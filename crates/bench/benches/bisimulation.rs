@@ -1,0 +1,57 @@
+//! Partition-refinement bisimulation scaling (Section 4.2): plain vs
+//! graded, across model variants and graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_bench::workloads;
+use portnum_logic::bisim::{refine, BisimStyle};
+use portnum_logic::Kripke;
+use std::time::Duration;
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisimulation/refine");
+    for w in workloads::gnp_sweep(&[32, 128], 0.08, 23) {
+        let k_mm = Kripke::k_mm(&w.graph);
+        let k_pp = Kripke::k_pp(&w.graph, &w.ports);
+        group.bench_with_input(BenchmarkId::new("plain_kmm", &w.name), &k_mm, |b, k| {
+            b.iter(|| refine(k, BisimStyle::Plain))
+        });
+        group.bench_with_input(BenchmarkId::new("graded_kmm", &w.name), &k_mm, |b, k| {
+            b.iter(|| refine(k, BisimStyle::Graded))
+        });
+        group.bench_with_input(BenchmarkId::new("plain_kpp", &w.name), &k_pp, |b, k| {
+            b.iter(|| refine(k, BisimStyle::Plain))
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetric_certificates(c: &mut Criterion) {
+    // The Lemma 15 certificate: all-nodes-bisimilar on regular graphs.
+    let mut group = c.benchmark_group("bisimulation/lemma15_certificate");
+    for k in [3usize, 5] {
+        let g = portnum_graph::generators::no_one_factor(k);
+        let p = portnum_graph::PortNumbering::symmetric_regular(&g).unwrap();
+        let model = Kripke::k_pp(&g, &p);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, m| {
+            b.iter(|| {
+                let classes = refine(m, BisimStyle::Plain);
+                assert_eq!(classes.class_count(classes.depth()), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_refine, bench_symmetric_certificates
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Theorem 2 compilers: formula→algorithm (compile + run) and
+//! algorithm→formula (configuration-space enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_graph::{generators, PortNumbering};
+use portnum_logic::compile::{compile_mb, compile_sb, mb_algorithm_to_formulas, ToFormulaOptions};
+use portnum_logic::{Formula, ModalIndex};
+use portnum_machine::adapters::{MbAsVector, SbAsVector};
+use portnum_machine::{MbAlgorithm, Multiset, Payload, Simulator, Status};
+use std::time::Duration;
+
+fn nested(depth: usize) -> Formula {
+    let mut f = Formula::prop(1);
+    for _ in 0..depth {
+        f = Formula::diamond(ModalIndex::Any, &f);
+    }
+    f
+}
+
+fn bench_formula_to_algorithm(c: &mut Criterion) {
+    let sim = Simulator::new();
+    let g = generators::grid(4, 4);
+    let p = PortNumbering::consistent(&g);
+    let mut group = c.benchmark_group("compile/formula_to_algorithm");
+    for depth in [1usize, 4, 8] {
+        let f = nested(depth);
+        group.bench_with_input(BenchmarkId::new("sb_compile_run", depth), &f, |b, f| {
+            b.iter(|| {
+                let algo = compile_sb(f).unwrap();
+                sim.run(&SbAsVector(algo), &g, &p).unwrap()
+            })
+        });
+        let graded = Formula::diamond_geq(ModalIndex::Any, 2, &nested(depth - 1));
+        group.bench_with_input(BenchmarkId::new("mb_compile_run", depth), &graded, |b, f| {
+            b.iter(|| {
+                let algo = compile_mb(f).unwrap();
+                sim.run(&MbAsVector(algo), &g, &p).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TwoOdd;
+
+impl MbAlgorithm for TwoOdd {
+    type State = usize;
+    type Msg = bool;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<usize, bool> {
+        Status::Running(degree)
+    }
+    fn broadcast(&self, state: &usize) -> bool {
+        state % 2 == 1
+    }
+    fn step(&self, _: &usize, received: &Multiset<Payload<bool>>) -> Status<usize, bool> {
+        Status::Stopped(received.count(&Payload::Data(true)) >= 2)
+    }
+}
+
+fn bench_algorithm_to_formula(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile/algorithm_to_formula");
+    for delta in [2usize, 3, 4] {
+        let opts = ToFormulaOptions { max_degree: delta, horizon: 4, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &opts, |b, opts| {
+            b.iter(|| mb_algorithm_to_formulas(&TwoOdd, opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_formula_to_algorithm, bench_algorithm_to_formula
+}
+criterion_main!(benches);

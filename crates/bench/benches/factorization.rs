@@ -1,0 +1,56 @@
+//! Lemma 15 machinery: double covers, 1-factorizations, and symmetric port
+//! numberings of regular graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_graph::{cover, generators, matching, PortNumbering};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_one_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization/one_factorization");
+    let mut rng = StdRng::seed_from_u64(53);
+    for (d, n) in [(3usize, 32usize), (4, 32), (5, 64)] {
+        let g = generators::random_regular(n, d, &mut rng);
+        let b = cover::bipartite_double_cover(&g);
+        group.bench_with_input(BenchmarkId::new(format!("d{d}"), n), &b, |bench, b| {
+            bench.iter(|| {
+                let factors = matching::one_factorization(b).unwrap();
+                assert_eq!(factors.len(), d);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetric_numbering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization/symmetric_numbering");
+    let mut rng = StdRng::seed_from_u64(59);
+    for n in [32usize, 96] {
+        let g = generators::random_regular(n, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |bench, g| {
+            bench.iter(|| PortNumbering::symmetric_regular(g).unwrap())
+        });
+    }
+    for k in [3usize, 5] {
+        let g = generators::no_one_factor(k);
+        group.bench_with_input(BenchmarkId::new("no_one_factor", k), &g, |bench, g| {
+            bench.iter(|| PortNumbering::symmetric_regular(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_one_factorization, bench_symmetric_numbering
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Covering graphs: lift construction, covering-map verification, and the
+//! cost of executing on a `k`-fold lift versus its base (the lifting
+//! lemma makes the outputs equal; the wall-clock cost scales with the
+//! number of sheets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum::algorithms::vv::ViewGather;
+use portnum_bench::workloads;
+use portnum_graph::lifts::{lift, Voltages};
+use portnum_machine::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_lift_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifts/construct");
+    let mut rng = StdRng::seed_from_u64(5);
+    for w in workloads::regular_sweep(3, &[16, 64], 19) {
+        for sheets in [2usize, 8] {
+            let voltages = Voltages::random(&w.graph, sheets, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}sheets", sheets), &w.name),
+                &(&w, &voltages),
+                |b, (w, voltages)| b.iter(|| lift(&w.graph, &w.ports, voltages).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cover_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifts/verify");
+    let mut rng = StdRng::seed_from_u64(6);
+    for w in workloads::regular_sweep(3, &[16, 64], 29) {
+        let voltages = Voltages::random(&w.graph, 4, &mut rng);
+        let lifted = lift(&w.graph, &w.ports, &voltages).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &(), |b, ()| {
+            b.iter(|| {
+                assert!(lifted.covering_map().verify(
+                    &w.graph,
+                    &w.ports,
+                    lifted.graph(),
+                    lifted.ports()
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution_base_vs_lift(c: &mut Criterion) {
+    // The lifting lemma's cost profile: same algorithm, same outputs per
+    // fibre, k-fold node count. Criterion shows the linear scaling.
+    let mut group = c.benchmark_group("lifts/execute_viewgather");
+    let mut rng = StdRng::seed_from_u64(7);
+    let w = &workloads::regular_sweep(3, &[32], 31)[0];
+    let sim = Simulator::new();
+    let algo = ViewGather { radius: 3 };
+    group.bench_function("base", |b| {
+        b.iter(|| sim.run(&algo, &w.graph, &w.ports).unwrap())
+    });
+    for sheets in [2usize, 4, 8] {
+        let voltages = Voltages::random(&w.graph, sheets, &mut rng);
+        let lifted = lift(&w.graph, &w.ports, &voltages).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("lift", sheets),
+            &lifted,
+            |b, lifted| b.iter(|| sim.run(&algo, lifted.graph(), lifted.ports()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_lift_construction, bench_cover_verification, bench_execution_base_vs_lift
+}
+criterion_main!(benches);

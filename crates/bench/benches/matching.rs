@@ -1,0 +1,56 @@
+//! Matching engines: Hopcroft–Karp on double covers and Edmonds' blossom
+//! on general graphs (the substrate of Lemmas 15–16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_graph::{cover, generators, matching};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/hopcroft_karp_double_cover");
+    let mut rng = StdRng::seed_from_u64(31);
+    for n in [32usize, 128] {
+        let g = generators::random_regular(n, 4, &mut rng);
+        let b = cover::bipartite_double_cover(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &b, |bench, b| {
+            bench.iter(|| {
+                let m = matching::hopcroft_karp(b);
+                assert_eq!(m.size, n);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/blossom");
+    let mut rng = StdRng::seed_from_u64(37);
+    for n in [32usize, 96] {
+        let g = generators::random_regular(n, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("regular3", n), &g, |bench, g| {
+            bench.iter(|| matching::maximum_matching(g))
+        });
+    }
+    for k in [3usize, 5] {
+        let g = generators::no_one_factor(k);
+        group.bench_with_input(BenchmarkId::new("no_one_factor", k), &g, |bench, g| {
+            bench.iter(|| assert!(!matching::has_one_factor(g)))
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_hopcroft_karp, bench_blossom
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Maximal independent set in the stronger models (Section 3.1):
+//! deterministic greedy-by-id (`LOCAL`) versus randomised Luby, across
+//! cycle sizes — a problem unsolvable in all seven weak classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum::stronger::local::{run_with_ids, GreedyMisById};
+use portnum::stronger::randomized::{run_randomized, LubyMis};
+use portnum_graph::{generators, PortNumbering};
+use std::time::Duration;
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_models/cycle");
+    for n in [32usize, 128, 512] {
+        let g = generators::cycle(n);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        // Adversarial id order (monotone along the cycle) — the greedy
+        // worst case, where decisions propagate sequentially.
+        let ids: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("greedy_ids_worstcase", n), &(), |b, ()| {
+            b.iter(|| run_with_ids(&GreedyMisById, &g, &p, &ids, 4 * n).unwrap())
+        });
+        // Scrambled ids — the typical case.
+        let scrambled: Vec<u64> =
+            (0..n as u64).map(|v| v.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        group.bench_with_input(BenchmarkId::new("greedy_ids_scrambled", n), &(), |b, ()| {
+            b.iter(|| run_with_ids(&GreedyMisById, &g, &p, &scrambled, 4 * n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("luby_randomised", n), &(), |b, ()| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_randomized(&LubyMis, &g, &p, seed, 100_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_mis
+}
+criterion_main!(benches);

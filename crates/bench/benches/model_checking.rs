@@ -1,0 +1,57 @@
+//! Model checking scaling: formula depth sweep and shared-subformula
+//! memoisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_bench::workloads;
+use portnum_logic::{evaluate, Formula, Kripke, ModalIndex};
+use std::time::Duration;
+
+fn nested(depth: usize) -> Formula {
+    let mut f = Formula::prop(2);
+    for i in 0..depth {
+        let grade = 1 + (i % 2);
+        f = Formula::diamond_geq(ModalIndex::Any, grade, &f).or(&Formula::prop(1));
+    }
+    f
+}
+
+fn bench_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_checking/depth");
+    for w in workloads::gnp_sweep(&[128], 0.05, 5) {
+        let k = Kripke::k_mm(&w.graph);
+        for depth in [2usize, 8, 32] {
+            let f = nested(depth);
+            group.bench_with_input(BenchmarkId::from_parameter(depth), &f, |b, f| {
+                b.iter(|| evaluate(&k, f).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_shared_subformulas(c: &mut Criterion) {
+    // f_{n+1} = f_n ∧ f_n: exponential tree, linear DAG.
+    let mut f = Formula::diamond(ModalIndex::Any, &Formula::prop(2));
+    for _ in 0..64 {
+        f = f.and(&f);
+    }
+    let w = &workloads::cycle_sweep(&[64])[0];
+    let k = Kripke::k_mm(&w.graph);
+    c.bench_function("model_checking/shared_dag_64_levels", |b| {
+        b.iter(|| evaluate(&k, &f).unwrap())
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_depth_sweep, bench_shared_subformulas
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: model checking on the bisimulation quotient versus the full
+//! model, and the growth of Hennessy–Milner characteristic formulas with
+//! depth.
+//!
+//! On highly symmetric inputs (a cycle under Lemma 15's numbering
+//! collapses to one world) the quotient turns model checking into
+//! constant work; on asymmetric inputs it buys nothing — the benchmark
+//! shows both regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_graph::{generators, PortNumbering};
+use portnum_logic::bisim::BisimStyle;
+use portnum_logic::{characteristic, evaluate, minimum_base, Formula, Kripke, ModalIndex};
+use std::time::Duration;
+
+/// A deep ungraded formula: alternating diamonds over the two in/out pairs.
+fn deep_formula(depth: usize) -> Formula {
+    let mut f = Formula::prop(2);
+    for t in 0..depth {
+        let index = ModalIndex::InOut(t % 2, t % 2);
+        f = Formula::diamond(index, &f).or(&Formula::prop(2));
+    }
+    f
+}
+
+fn bench_quotient_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient/eval_deep_formula");
+    let f = deep_formula(24);
+    for (name, g, p) in [
+        (
+            "symmetric_cycle256",
+            generators::cycle(256),
+            PortNumbering::symmetric_regular(&generators::cycle(256)).unwrap(),
+        ),
+        (
+            "path256",
+            generators::path(256),
+            PortNumbering::consistent(&generators::path(256)),
+        ),
+    ] {
+        let k = Kripke::k_pp(&g, &p);
+        group.bench_with_input(BenchmarkId::new("full", name), &k, |b, k| {
+            b.iter(|| evaluate(k, &f).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("quotient_then_eval", name), &k, |b, k| {
+            b.iter(|| {
+                let (q, map) = minimum_base(k);
+                let truth = evaluate(&q, &f).unwrap();
+                map.iter().map(|&b| truth[b]).collect::<Vec<bool>>()
+            })
+        });
+        // The quotient itself, amortisable across many formulas.
+        let (q, map) = minimum_base(&k);
+        group.bench_with_input(
+            BenchmarkId::new("eval_on_prebuilt_quotient", name),
+            &(q, map),
+            |b, (q, map)| {
+                b.iter(|| {
+                    let truth = evaluate(q, &f).unwrap();
+                    map.iter().map(|&b| truth[b]).collect::<Vec<bool>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_characteristic_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient/characteristic_formulas");
+    let g = generators::theorem13_witness().0;
+    let k = Kripke::k_mm(&g);
+    for depth in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("plain", depth), &depth, |b, &d| {
+            b.iter(|| characteristic(&k, BisimStyle::Plain, d))
+        });
+        group.bench_with_input(BenchmarkId::new("graded", depth), &depth, |b, &d| {
+            b.iter(|| characteristic(&k, BisimStyle::Graded, d))
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_quotient_vs_full, bench_characteristic_growth
+}
+criterion_main!(benches);

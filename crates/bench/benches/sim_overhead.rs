@@ -1,0 +1,120 @@
+//! Theorems 4, 8, 9: runtime cost of the simulation wrappers relative to
+//! direct execution (round overheads are printed by `reproduce`; this
+//! measures wall-clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum::algorithms::vv::ViewGather;
+use portnum::sim::{MbFromVb, MultisetFromVector, SetFromMultiset};
+use portnum_graph::{generators, PortNumbering};
+use portnum_machine::adapters::{
+    BroadcastAsVector, MbAsBroadcast, MbAsVector, MultisetAsVector, SetAsVector,
+};
+use portnum_machine::{MbAlgorithm, Multiset, MultisetAlgorithm, Payload, Simulator, Status};
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy)]
+struct DegreeProfile;
+
+impl MultisetAlgorithm for DegreeProfile {
+    type State = usize;
+    type Msg = usize;
+    type Output = Vec<usize>;
+
+    fn init(&self, degree: usize) -> Status<usize, Vec<usize>> {
+        Status::Running(degree)
+    }
+    fn message(&self, state: &usize, _port: usize) -> usize {
+        *state
+    }
+    fn step(&self, _: &usize, received: &Multiset<Payload<usize>>) -> Status<usize, Vec<usize>> {
+        Status::Stopped(received.iter().filter_map(Payload::data).copied().collect())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ParityMb;
+
+impl MbAlgorithm for ParityMb {
+    type State = usize;
+    type Msg = bool;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<usize, bool> {
+        Status::Running(degree)
+    }
+    fn broadcast(&self, state: &usize) -> bool {
+        state % 2 == 1
+    }
+    fn step(&self, _: &usize, received: &Multiset<Payload<bool>>) -> Status<usize, bool> {
+        Status::Stopped(received.count(&Payload::Data(true)) % 2 == 1)
+    }
+}
+
+fn bench_thm4(c: &mut Criterion) {
+    let sim = Simulator::new();
+    let mut group = c.benchmark_group("sim_overhead/thm4_set_from_multiset");
+    for delta in [2usize, 3] {
+        let g = if delta == 2 { generators::cycle(32) } else { generators::no_one_factor(3) };
+        let p = PortNumbering::consistent(&g);
+        group.bench_with_input(BenchmarkId::new("direct", delta), &delta, |b, _| {
+            b.iter(|| sim.run(&MultisetAsVector(DegreeProfile), &g, &p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("wrapped", delta), &delta, |b, &d| {
+            b.iter(|| {
+                sim.run(&SetAsVector(SetFromMultiset::new(DegreeProfile, d)), &g, &p).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm8(c: &mut Criterion) {
+    let sim = Simulator::new();
+    let g = generators::cycle(24);
+    let p = PortNumbering::consistent(&g);
+    let mut group = c.benchmark_group("sim_overhead/thm8_multiset_from_vector");
+    for radius in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("direct", radius), &radius, |b, &r| {
+            b.iter(|| sim.run(&ViewGather { radius: r }, &g, &p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("wrapped", radius), &radius, |b, &r| {
+            b.iter(|| {
+                sim.run(
+                    &MultisetAsVector(MultisetFromVector::new(ViewGather { radius: r })),
+                    &g,
+                    &p,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm9(c: &mut Criterion) {
+    let sim = Simulator::new();
+    let g = generators::grid(5, 5);
+    let p = PortNumbering::consistent(&g);
+    let mut group = c.benchmark_group("sim_overhead/thm9_mb_from_vb");
+    group.bench_function("direct", |b| {
+        b.iter(|| sim.run(&BroadcastAsVector(MbAsBroadcast(ParityMb)), &g, &p).unwrap())
+    });
+    group.bench_function("wrapped", |b| {
+        b.iter(|| sim.run(&MbAsVector(MbFromVb::new(MbAsBroadcast(ParityMb))), &g, &p).unwrap())
+    });
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_thm4, bench_thm8, bench_thm9
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Simulator throughput: one-round and multi-round algorithms across the
+//! standard suite and a cycle sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum::algorithms::mb::OddOddMb;
+use portnum::algorithms::sb::LocalMaxDegreeSb;
+use portnum::algorithms::vv::ViewGather;
+use portnum_bench::workloads;
+use portnum_machine::adapters::{MbAsVector, SbAsVector};
+use portnum_machine::Simulator;
+use std::time::Duration;
+
+fn bench_one_round(c: &mut Criterion) {
+    let sim = Simulator::new();
+    let mut group = c.benchmark_group("simulator/one_round");
+    for w in workloads::cycle_sweep(&[64, 256, 1024]) {
+        group.bench_with_input(BenchmarkId::new("local_max_sb", &w.name), &w, |b, w| {
+            b.iter(|| sim.run(&SbAsVector(LocalMaxDegreeSb), &w.graph, &w.ports).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("odd_odd_mb", &w.name), &w, |b, w| {
+            b.iter(|| sim.run(&MbAsVector(OddOddMb), &w.graph, &w.ports).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_gather(c: &mut Criterion) {
+    let sim = Simulator::new();
+    let mut group = c.benchmark_group("simulator/view_gather");
+    for w in workloads::regular_sweep(3, &[32, 64], 11) {
+        for radius in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("radius{radius}"), &w.name),
+                &w,
+                |b, w| b.iter(|| sim.run(&ViewGather { radius }, &w.graph, &w.ports).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_one_round, bench_view_gather
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Section 3.3 / [3]: the MB edge-packing vertex cover across graph
+//! families, including verification cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum::algorithms::mb::EdgePackingVertexCover;
+use portnum::verify;
+use portnum_bench::workloads;
+use portnum_machine::adapters::MbAsVector;
+use portnum_machine::Simulator;
+use std::time::Duration;
+
+fn bench_edge_packing(c: &mut Criterion) {
+    let sim = Simulator::new();
+    let mut group = c.benchmark_group("vertex_cover/edge_packing");
+    let mut suite = workloads::cycle_sweep(&[64, 256]);
+    suite.extend(workloads::regular_sweep(3, &[32, 64], 41));
+    suite.extend(workloads::gnp_sweep(&[24], 0.15, 43));
+    for w in suite {
+        if w.graph.edge_count() == 0 {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &w, |b, w| {
+            b.iter(|| {
+                let run = sim.run(&MbAsVector(EdgePackingVertexCover), &w.graph, &w.ports).unwrap();
+                assert!(verify::is_vertex_cover(&w.graph, run.outputs()));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_cover/exact_branch_and_bound");
+    for w in workloads::gnp_sweep(&[16, 20], 0.2, 47) {
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &w, |b, w| {
+            b.iter(|| verify::min_vertex_cover_size(&w.graph))
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_edge_packing, bench_exact_cover
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # portnum-bench
+//!
+//! Shared workload generators and report formatting for the benchmark
+//! harness and the `reproduce` binary, which regenerates every figure and
+//! table of the paper (see `EXPERIMENTS.md` at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;

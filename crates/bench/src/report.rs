@@ -1,0 +1,87 @@
+//! Minimal fixed-width table rendering for the `reproduce` binary.
+
+/// A plain-text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with blanks).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) -> &mut Table {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut width = vec![0usize; cols];
+        fn cell(row: &[String], c: usize) -> &str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        for c in 0..cols {
+            width[c] = std::iter::once(&self.header)
+                .chain(self.rows.iter())
+                .map(|r| cell(r, c).chars().count())
+                .max()
+                .unwrap_or(0);
+        }
+        let render_row = |row: &[String]| -> String {
+            let cells: Vec<String> = (0..cols)
+                .map(|c| format!("{:<w$}", cell(row, c), w = width[c]))
+                .collect();
+            format!("| {} |", cells.join(" | "))
+        };
+        let sep = format!(
+            "|{}|",
+            width.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        );
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a section heading for the reproduce report.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["x", "1"]);
+        t.row(["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("longer"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+}

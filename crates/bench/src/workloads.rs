@@ -1,0 +1,90 @@
+//! Workload generators shared by the Criterion benches and `reproduce`.
+
+use portnum_graph::{generators, Graph, PortNumbering};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named graph instance with a port numbering.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// A port numbering (consistent unless stated otherwise in the name).
+    pub ports: PortNumbering,
+}
+
+impl Workload {
+    /// Builds a workload with the canonical consistent numbering.
+    pub fn consistent(name: impl Into<String>, graph: Graph) -> Workload {
+        let ports = PortNumbering::consistent(&graph);
+        Workload { name: name.into(), graph, ports }
+    }
+
+    /// Builds a workload with a seeded random numbering.
+    pub fn random(name: impl Into<String>, graph: Graph, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ports = PortNumbering::random(&graph, &mut rng);
+        Workload { name: name.into(), graph, ports }
+    }
+}
+
+/// The standard small-graph suite used across benches: one representative
+/// per structural family the paper's proofs care about.
+pub fn standard_suite() -> Vec<Workload> {
+    vec![
+        Workload::consistent("figure1", generators::figure1_graph()),
+        Workload::consistent("cycle16", generators::cycle(16)),
+        Workload::consistent("star8", generators::star(8)),
+        Workload::consistent("grid4x4", generators::grid(4, 4)),
+        Workload::consistent("petersen", generators::petersen()),
+        Workload::consistent("no1factor3", generators::no_one_factor(3)),
+        Workload::consistent("thm13", generators::theorem13_witness().0),
+    ]
+}
+
+/// Cycles of increasing size (scaling benches).
+pub fn cycle_sweep(sizes: &[usize]) -> Vec<Workload> {
+    sizes.iter().map(|&n| Workload::consistent(format!("cycle{n}"), generators::cycle(n))).collect()
+}
+
+/// Random `d`-regular graphs of increasing size.
+pub fn regular_sweep(d: usize, sizes: &[usize], seed: u64) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let g = generators::random_regular(n, d, &mut rng);
+            Workload::random(format!("reg{d}-{n}"), g, seed ^ n as u64)
+        })
+        .collect()
+}
+
+/// Random bounded-degree `G(n, p)` graphs.
+pub fn gnp_sweep(sizes: &[usize], p: f64, seed: u64) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let g = generators::gnp(n, p, &mut rng);
+            Workload::consistent(format!("gnp{n}"), g)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_wellformed() {
+        for w in standard_suite() {
+            assert_eq!(w.graph.len(), w.ports.len(), "{}", w.name);
+            assert!(w.ports.is_consistent());
+        }
+        assert_eq!(cycle_sweep(&[4, 8]).len(), 2);
+        let regs = regular_sweep(3, &[8, 10], 7);
+        assert!(regs.iter().all(|w| w.graph.max_degree() == 3));
+    }
+}

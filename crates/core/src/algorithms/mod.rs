@@ -1,0 +1,20 @@
+//! Concrete algorithms, one module per model class.
+//!
+//! Each algorithm is written against the *weakest* trait that supports it,
+//! so its class membership is a static guarantee:
+//!
+//! * [`sb`] — `Set ∩ Broadcast`: local maximum degree; the degree-oblivious
+//!   non-isolation detector of Remark 2.
+//! * [`mb`] — `Multiset ∩ Broadcast`: the odd-odd algorithm of Theorem 13;
+//!   the edge-packing 2-approximate vertex cover in the spirit of
+//!   Åstrand–Suomela \[3\].
+//! * [`sv`] — `Set`: the star leaf-selection algorithm of Theorem 11.
+//! * [`vv`] — `Vector`: view gathering (Yamashita–Kameda).
+//! * [`vvc`] — `Vector`, meaningful under consistent numberings: the
+//!   local-type symmetry breaker of Theorem 17.
+
+pub mod mb;
+pub mod sb;
+pub mod sv;
+pub mod vv;
+pub mod vvc;

@@ -1,0 +1,158 @@
+//! Algorithms in `Set ∩ Broadcast` (class `SB`) and its degree-oblivious
+//! restriction `SBo` (Remark 2).
+
+use portnum_machine::{ObliviousAlgorithm, Payload, SbAlgorithm, Status};
+use std::collections::BTreeSet;
+
+/// One-round `SB` algorithm for [`LocalMaxDegree`](crate::problems::LocalMaxDegree):
+/// broadcast your degree; output 1 iff no neighbour reported a larger one.
+///
+/// Set reception suffices — only the *maximum* of the incoming degrees
+/// matters, not how often each value occurs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalMaxDegreeSb;
+
+impl SbAlgorithm for LocalMaxDegreeSb {
+    type State = usize;
+    type Msg = usize;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<usize, bool> {
+        Status::Running(degree)
+    }
+
+    fn broadcast(&self, state: &usize) -> usize {
+        *state
+    }
+
+    fn step(&self, state: &usize, received: &BTreeSet<Payload<usize>>) -> Status<usize, bool> {
+        let max_neighbor = received.iter().filter_map(Payload::data).max();
+        Status::Stopped(max_neighbor.is_none_or(|&m| m <= *state))
+    }
+}
+
+/// One-round **degree-oblivious** algorithm (class `SBo`) for
+/// [`NonIsolation`](crate::problems::NonIsolation): broadcast a ping;
+/// output 1 iff anything was heard. Remark 2 observes that this is
+/// essentially the *only* problem `SBo` can solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NonIsolationOblivious;
+
+impl ObliviousAlgorithm for NonIsolationOblivious {
+    type State = ();
+    type Msg = ();
+    type Output = bool;
+
+    fn init(&self) -> Status<(), bool> {
+        Status::Running(())
+    }
+
+    fn broadcast(&self, _state: &()) {}
+
+    fn step(&self, _state: &(), received: &BTreeSet<Payload<()>>) -> Status<(), bool> {
+        Status::Stopped(!received.is_empty())
+    }
+}
+
+/// `SB` algorithm broadcasting the *set* of degrees seen so far for a fixed
+/// number of rounds; the output is the set of degrees within distance
+/// `radius`. Demonstrates multi-round `SB` information spread (everything
+/// an `SB` algorithm learns is such a set-shaped aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeSetGossip {
+    /// How many rounds to gossip.
+    pub radius: usize,
+}
+
+impl SbAlgorithm for DegreeSetGossip {
+    type State = (usize, BTreeSet<usize>);
+    type Msg = BTreeSet<usize>;
+    type Output = BTreeSet<usize>;
+
+    fn init(&self, degree: usize) -> Status<(usize, BTreeSet<usize>), BTreeSet<usize>> {
+        let known: BTreeSet<usize> = [degree].into();
+        if self.radius == 0 {
+            Status::Stopped(known)
+        } else {
+            Status::Running((0, known))
+        }
+    }
+
+    fn broadcast(&self, (_, known): &(usize, BTreeSet<usize>)) -> BTreeSet<usize> {
+        known.clone()
+    }
+
+    fn step(
+        &self,
+        (round, known): &(usize, BTreeSet<usize>),
+        received: &BTreeSet<Payload<BTreeSet<usize>>>,
+    ) -> Status<(usize, BTreeSet<usize>), BTreeSet<usize>> {
+        let mut known = known.clone();
+        for payload in received {
+            if let Payload::Data(set) = payload {
+                known.extend(set.iter().copied());
+            }
+        }
+        if round + 1 == self.radius {
+            Status::Stopped(known)
+        } else {
+            Status::Running((round + 1, known))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{LocalMaxDegree, NonIsolation, Problem};
+    use portnum_graph::{generators, Graph, PortNumbering};
+    use portnum_machine::adapters::{ObliviousAsSb, SbAsVector};
+    use portnum_machine::Simulator;
+
+    #[test]
+    fn local_max_degree_solves_its_problem() {
+        let sim = Simulator::new();
+        for g in [
+            generators::star(4),
+            generators::path(5),
+            generators::figure1_graph(),
+            generators::grid(3, 3),
+        ] {
+            let p = PortNumbering::consistent(&g);
+            let run = sim.run(&SbAsVector(LocalMaxDegreeSb), &g, &p).unwrap();
+            assert!(LocalMaxDegree.is_valid(&g, run.outputs()), "{g}");
+            assert_eq!(run.rounds(), 1);
+        }
+    }
+
+    #[test]
+    fn oblivious_non_isolation() {
+        let g = Graph::disjoint_union(&[&generators::cycle(3), &Graph::empty(2)]);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new()
+            .run(&SbAsVector(ObliviousAsSb(NonIsolationOblivious)), &g, &p)
+            .unwrap();
+        assert!(NonIsolation.is_valid(&g, run.outputs()));
+    }
+
+    #[test]
+    fn degree_gossip_collects_ball() {
+        let g = generators::path(5); // degrees 1,2,2,2,1
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new()
+            .run(&SbAsVector(DegreeSetGossip { radius: 2 }), &g, &p)
+            .unwrap();
+        // Node 2 (middle) sees only degree-2 nodes within distance 1, but
+        // learns of degree 1 via two hops.
+        let out = &run.outputs()[2];
+        assert!(out.contains(&1) && out.contains(&2));
+        // Node 0 after radius 2 knows {1, 2}.
+        assert_eq!(run.outputs()[0], [1, 2].into());
+        // Radius 0 stops immediately with the own degree.
+        let run0 = Simulator::new()
+            .run(&SbAsVector(DegreeSetGossip { radius: 0 }), &g, &p)
+            .unwrap();
+        assert_eq!(run0.rounds(), 0);
+        assert_eq!(run0.outputs()[0], [1].into());
+    }
+}

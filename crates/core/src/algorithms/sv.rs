@@ -1,0 +1,117 @@
+//! Algorithms in class `Set` (problem class `SV`).
+
+use portnum_machine::{Payload, SetAlgorithm, Status};
+use std::collections::BTreeSet;
+
+/// Theorem 11's one-round `Set` algorithm for
+/// [`LeafInStar`](crate::problems::LeafInStar): every node sends its port
+/// index `i` to port `i`; a node outputs 1 iff it has degree 1 and received
+/// the set `{0}` — i.e. it is the leaf hanging off the centre's out-port 0.
+///
+/// This is the algorithm from the proof of Theorem 11 (with the paper's
+/// 1-based `{1}` becoming 0-based `{0}`); it shows `SV` can use *outgoing*
+/// port numbers to break the leaves' symmetry, which no `VB` algorithm can
+/// (the leaves are bisimilar in `K₊,₋` under every port numbering).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StarLeafSelect;
+
+impl SetAlgorithm for StarLeafSelect {
+    type State = usize;
+    type Msg = usize;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<usize, bool> {
+        if degree == 0 {
+            Status::Stopped(false)
+        } else {
+            Status::Running(degree)
+        }
+    }
+
+    fn message(&self, _state: &usize, port: usize) -> usize {
+        port
+    }
+
+    fn step(&self, state: &usize, received: &BTreeSet<Payload<usize>>) -> Status<usize, bool> {
+        let selected = *state == 1 && received.len() == 1 && received.contains(&Payload::Data(0));
+        Status::Stopped(selected)
+    }
+}
+
+/// A `Set` algorithm computing, in one round, the set of out-port indices
+/// that neighbours use towards this node — exactly the information an `SV`
+/// algorithm has that a `VB` algorithm lacks (Figure 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncomingPortProbe;
+
+impl SetAlgorithm for IncomingPortProbe {
+    type State = ();
+    type Msg = usize;
+    type Output = BTreeSet<usize>;
+
+    fn init(&self, _degree: usize) -> Status<(), BTreeSet<usize>> {
+        Status::Running(())
+    }
+
+    fn message(&self, _state: &(), port: usize) -> usize {
+        port
+    }
+
+    fn step(
+        &self,
+        _state: &(),
+        received: &BTreeSet<Payload<usize>>,
+    ) -> Status<(), BTreeSet<usize>> {
+        Status::Stopped(received.iter().filter_map(Payload::data).copied().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{LeafInStar, Problem};
+    use portnum_graph::{generators, PortNumbering};
+    use portnum_machine::adapters::SetAsVector;
+    use portnum_machine::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selects_exactly_one_leaf_under_any_numbering() {
+        let sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for k in [2usize, 3, 5, 9] {
+            let g = generators::star(k);
+            for _ in 0..10 {
+                let p = PortNumbering::random(&g, &mut rng);
+                let run = sim.run(&SetAsVector(StarLeafSelect), &g, &p).unwrap();
+                assert!(LeafInStar.is_valid(&g, run.outputs()), "k = {k}");
+                assert_eq!(run.rounds(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn harmless_on_other_graphs() {
+        let sim = Simulator::new();
+        for g in [generators::cycle(5), generators::grid(2, 3), generators::petersen()] {
+            let p = PortNumbering::consistent(&g);
+            let run = sim.run(&SetAsVector(StarLeafSelect), &g, &p).unwrap();
+            assert!(LeafInStar.is_valid(&g, run.outputs()), "{g}");
+        }
+    }
+
+    #[test]
+    fn incoming_port_probe_reads_backward_map() {
+        let g = generators::star(3);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&SetAsVector(IncomingPortProbe), &g, &p).unwrap();
+        // The centre hears {0} (every leaf's only port); each leaf hears
+        // the centre port wired to it.
+        assert_eq!(run.outputs()[0], [0].into());
+        for leaf in 1..=3 {
+            let expected: BTreeSet<usize> = [p.local_type(leaf)[0]].into();
+            assert_eq!(run.outputs()[leaf], expected);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Algorithms in class `Vector` (problem class `VV`).
+
+use portnum_machine::{MessageSize, Payload, Status, VectorAlgorithm};
+
+/// A truncated Yamashita–Kameda view: the full port-labelled unfolding of
+/// the graph around a node to a fixed depth. Two nodes have equal views of
+/// depth `t` iff no `Vector` algorithm can distinguish them in `t` rounds.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct View {
+    /// Degree of the root node.
+    pub degree: usize,
+    /// For each in-port `i` (in order): the out-port the feeding neighbour
+    /// used, and that neighbour's view of depth one less.
+    pub children: Vec<(usize, View)>,
+}
+
+impl View {
+    /// The leaf view of a node of the given degree.
+    pub fn leaf(degree: usize) -> View {
+        View { degree, children: Vec::new() }
+    }
+
+    /// Depth of the view tree.
+    pub fn depth(&self) -> usize {
+        self.children.iter().map(|(_, v)| v.depth() + 1).max().unwrap_or(0)
+    }
+
+    /// Number of tree nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|(_, v)| v.size()).sum::<usize>()
+    }
+}
+
+impl MessageSize for View {
+    fn size_units(&self) -> u64 {
+        1 + self
+            .children
+            .iter()
+            .map(|(_, v)| 1 + v.size_units())
+            .sum::<u64>()
+    }
+}
+
+/// The canonical `Vector` algorithm: gather the depth-`radius` view.
+///
+/// Every node's output is its [`View`]; equal outputs correspond exactly to
+/// view-equivalence, which the graph crate computes independently via
+/// interned refinement ([`portnum_graph::views::view_classes`]) — the two
+/// are cross-validated in the tests. Every `Vector` algorithm running in
+/// `radius` rounds factors through this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewGather {
+    /// How many rounds (= view depth) to gather.
+    pub radius: usize,
+}
+
+impl VectorAlgorithm for ViewGather {
+    type State = (usize, View);
+    type Msg = (usize, View);
+    type Output = View;
+
+    fn init(&self, degree: usize) -> Status<(usize, View), View> {
+        if self.radius == 0 {
+            Status::Stopped(View::leaf(degree))
+        } else {
+            Status::Running((0, View::leaf(degree)))
+        }
+    }
+
+    fn message(&self, (_, view): &(usize, View), port: usize) -> (usize, View) {
+        (port, view.clone())
+    }
+
+    fn step(
+        &self,
+        (round, view): &(usize, View),
+        received: &[Payload<(usize, View)>],
+    ) -> Status<(usize, View), View> {
+        let children: Vec<(usize, View)> = received
+            .iter()
+            .map(|payload| match payload {
+                Payload::Data((j, v)) => (*j, v.clone()),
+                Payload::Silent => unreachable!("view gathering never stops early"),
+            })
+            .collect();
+        let next = View { degree: view.degree, children };
+        if round + 1 == self.radius {
+            Status::Stopped(next)
+        } else {
+            Status::Running((round + 1, next))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::{generators, views, PortNumbering};
+    use portnum_machine::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn view_shapes() {
+        let leaf = View::leaf(3);
+        assert_eq!(leaf.depth(), 0);
+        assert_eq!(leaf.size(), 1);
+        let v = View { degree: 2, children: vec![(0, View::leaf(1)), (1, View::leaf(2))] };
+        assert_eq!(v.depth(), 1);
+        assert_eq!(v.size(), 3);
+        assert!(v.size_units() > 3);
+    }
+
+    #[test]
+    fn gathered_views_match_interned_view_classes() {
+        let mut rng = StdRng::seed_from_u64(2718);
+        let sim = Simulator::new();
+        for g in [
+            generators::figure1_graph(),
+            generators::cycle(6),
+            generators::petersen(),
+            generators::random_regular(8, 3, &mut rng),
+        ] {
+            let p = PortNumbering::random(&g, &mut rng);
+            for radius in 0..4 {
+                let run = sim.run(&ViewGather { radius }, &g, &p).unwrap();
+                assert_eq!(run.rounds(), radius);
+                let classes = views::view_classes(&g, &p, radius);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        assert_eq!(
+                            run.outputs()[u] == run.outputs()[v],
+                            classes.equivalent(radius, u, v),
+                            "{g}, radius {radius}, nodes {u},{v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_depth_equals_radius_on_long_cycles() {
+        let g = generators::cycle(12);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&ViewGather { radius: 3 }, &g, &p).unwrap();
+        assert!(run.outputs().iter().all(|v| v.depth() == 3));
+        // View sizes grow like 2^radius on a cycle.
+        assert!(run.outputs()[0].size() >= 2usize.pow(3));
+    }
+
+    #[test]
+    fn symmetric_numbering_gives_identical_views() {
+        let g = generators::no_one_factor(3);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        let run = Simulator::new().run(&ViewGather { radius: 4 }, &g, &p).unwrap();
+        let first = &run.outputs()[0];
+        assert!(run.outputs().iter().all(|v| v == first));
+    }
+}

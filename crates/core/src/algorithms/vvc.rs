@@ -1,0 +1,168 @@
+//! The `VVc` side: `Vector` algorithms whose correctness relies on the
+//! promised *consistency* of the port numbering.
+
+use portnum_machine::{Payload, Status, VectorAlgorithm};
+
+/// Theorem 17's two-round symmetry breaker.
+///
+/// Round 1: every node sends `i` to its port `i`; the received vector is
+/// the node's *local type* `t(v)` (the partner port of each of its ports —
+/// meaningful because consistency makes port `i` serve both directions of
+/// one edge). Round 2: local types are exchanged and a node outputs 1 iff
+/// its type is lexicographically maximal in its closed neighbourhood.
+///
+/// Under any **consistent** numbering of a graph in the family `𝒢`
+/// (connected, odd-regular, no 1-factor), local types cannot all coincide
+/// (Lemma 16), so the output is non-constant — solving
+/// [`SymmetryBreak`](crate::problems::SymmetryBreak) in `VVc(1)`. Under the
+/// symmetric *inconsistent* numbering of Lemma 15 the same algorithm
+/// produces constant output, and bisimilarity shows every `VV` algorithm
+/// must (Theorem 17).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalTypeSymmetryBreak;
+
+/// Protocol state: collecting the local type, then comparing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeState {
+    /// Round 1: waiting for partner port numbers.
+    Probing,
+    /// Round 2: the local type, being exchanged with neighbours.
+    Comparing(Vec<usize>),
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TypeMsg {
+    /// Round 1: "this message left through my port `i`".
+    PortNumber(usize),
+    /// Round 2: "my local type is …".
+    LocalType(Vec<usize>),
+}
+
+impl portnum_machine::MessageSize for TypeMsg {
+    fn size_units(&self) -> u64 {
+        match self {
+            TypeMsg::PortNumber(_) => 1,
+            TypeMsg::LocalType(t) => 1 + t.len() as u64,
+        }
+    }
+}
+
+impl VectorAlgorithm for LocalTypeSymmetryBreak {
+    type State = TypeState;
+    type Msg = TypeMsg;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<TypeState, bool> {
+        if degree == 0 {
+            Status::Stopped(false)
+        } else {
+            Status::Running(TypeState::Probing)
+        }
+    }
+
+    fn message(&self, state: &TypeState, port: usize) -> TypeMsg {
+        match state {
+            TypeState::Probing => TypeMsg::PortNumber(port),
+            TypeState::Comparing(t) => TypeMsg::LocalType(t.clone()),
+        }
+    }
+
+    fn step(&self, state: &TypeState, received: &[Payload<TypeMsg>]) -> Status<TypeState, bool> {
+        match state {
+            TypeState::Probing => {
+                let local_type: Vec<usize> = received
+                    .iter()
+                    .map(|payload| match payload {
+                        Payload::Data(TypeMsg::PortNumber(j)) => *j,
+                        _ => unreachable!("round 1 delivers port numbers from running nodes"),
+                    })
+                    .collect();
+                Status::Running(TypeState::Comparing(local_type))
+            }
+            TypeState::Comparing(own) => {
+                let is_max = received.iter().all(|payload| match payload {
+                    Payload::Data(TypeMsg::LocalType(t)) => t <= own,
+                    _ => unreachable!("round 2 delivers local types from running nodes"),
+                });
+                Status::Stopped(is_max)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{Problem, SymmetryBreak};
+    use portnum_graph::{generators, PortNumbering};
+    use portnum_machine::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn breaks_symmetry_on_family_graphs_with_consistent_numberings() {
+        let sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in [3usize, 5] {
+            let g = generators::no_one_factor(k);
+            assert!(SymmetryBreak::in_family(&g));
+            for _ in 0..10 {
+                let p = PortNumbering::random_consistent(&g, &mut rng);
+                let run = sim.run(&LocalTypeSymmetryBreak, &g, &p).unwrap();
+                assert!(SymmetryBreak.is_valid(&g, run.outputs()), "k = {k}");
+                assert_eq!(run.rounds(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_output_under_symmetric_numbering() {
+        // Lemma 15 in action: under the symmetric (inconsistent) numbering
+        // every node computes the same local type, so this algorithm fails —
+        // and by Theorem 17 every Vector algorithm must.
+        let g = generators::no_one_factor(3);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        assert!(!p.is_consistent());
+        let run = Simulator::new().run(&LocalTypeSymmetryBreak, &g, &p).unwrap();
+        let first = run.outputs()[0];
+        assert!(run.outputs().iter().all(|&b| b == first));
+        assert!(!SymmetryBreak.is_valid(&g, run.outputs()));
+    }
+
+    #[test]
+    fn local_types_match_port_numbering_ground_truth() {
+        // The round-1 reception reproduces PortNumbering::local_type.
+        let g = generators::petersen();
+        let mut rng = StdRng::seed_from_u64(17);
+        let p = PortNumbering::random_consistent(&g, &mut rng);
+        // Drive one round by hand.
+        let algo = LocalTypeSymmetryBreak;
+        let mut inbox: Vec<Vec<Payload<TypeMsg>>> =
+            g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
+        for v in g.nodes() {
+            for i in 0..g.degree(v) {
+                let t = p.forward(portnum_graph::Port::new(v, i));
+                inbox[t.node][t.index] = Payload::Data(TypeMsg::PortNumber(i));
+            }
+        }
+        for v in g.nodes() {
+            let next = algo.step(&TypeState::Probing, &inbox[v]);
+            match next {
+                Status::Running(TypeState::Comparing(t)) => {
+                    assert_eq!(t, p.local_type(v), "node {v}");
+                }
+                other => panic!("unexpected state {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_stop_immediately() {
+        let g = portnum_graph::Graph::empty(3);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&LocalTypeSymmetryBreak, &g, &p).unwrap();
+        assert_eq!(run.rounds(), 0);
+        assert_eq!(run.outputs(), &[false, false, false]);
+    }
+}

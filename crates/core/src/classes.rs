@@ -1,0 +1,192 @@
+//! The seven problem classes and their order structure (Figures 5a / 5b).
+
+use std::fmt;
+
+/// A problem class of the paper: graph problems solvable by deterministic
+/// anonymous algorithms in the corresponding model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProblemClass {
+    /// `SB` — `Set ∩ Broadcast`.
+    Sb,
+    /// `MB` — `Multiset ∩ Broadcast`.
+    Mb,
+    /// `VB` — `Broadcast` with vector reception.
+    Vb,
+    /// `SV` — `Set` reception with out-port numbers.
+    Sv,
+    /// `MV` — `Multiset` reception with out-port numbers.
+    Mv,
+    /// `VV` — full `Vector` model, arbitrary port numbering.
+    Vv,
+    /// `VVc` — full `Vector` model with a *consistent* port numbering: the
+    /// standard port-numbering model.
+    VVc,
+}
+
+impl ProblemClass {
+    /// All seven classes.
+    pub const ALL: [ProblemClass; 7] = [
+        ProblemClass::Sb,
+        ProblemClass::Mb,
+        ProblemClass::Vb,
+        ProblemClass::Sv,
+        ProblemClass::Mv,
+        ProblemClass::Vv,
+        ProblemClass::VVc,
+    ];
+
+    /// The *trivial* containments of Figure 5a — the partial order implied
+    /// directly by the definitions (weaker reception/emission ⇒ fewer
+    /// solvable problems). Returns `true` if `self ⊆ other` trivially.
+    pub fn trivially_contained_in(self, other: ProblemClass) -> bool {
+        use ProblemClass::*;
+        if self == other {
+            return true;
+        }
+        let up: &[ProblemClass] = match self {
+            Sb => &[Mb, Vb, Sv, Mv, Vv, VVc],
+            Mb => &[Vb, Mv, Vv, VVc],
+            Vb => &[Vv, VVc],
+            Sv => &[Mv, Vv, VVc],
+            Mv => &[Vv, VVc],
+            Vv => &[VVc],
+            VVc => &[],
+        };
+        up.contains(&other)
+    }
+
+    /// The *proven* level of the class in the linear order of Figure 5b:
+    ///
+    /// ```text
+    /// SB  ⊊  MB = VB  ⊊  SV = MV = VV  ⊊  VVc
+    ///  0       1             2             3
+    /// ```
+    ///
+    /// Main theorem of the paper (relations (1) and (2); the same collapse
+    /// holds for the constant-time versions).
+    pub fn level(self) -> usize {
+        use ProblemClass::*;
+        match self {
+            Sb => 0,
+            Mb | Vb => 1,
+            Sv | Mv | Vv => 2,
+            VVc => 3,
+        }
+    }
+
+    /// Returns `true` if `self ⊆ other` according to the proven linear
+    /// order (1).
+    pub fn contained_in(self, other: ProblemClass) -> bool {
+        self.level() <= other.level()
+    }
+
+    /// Returns `true` if the two classes are proven *equal*
+    /// (e.g. `SV = MV = VV`).
+    pub fn equals(self, other: ProblemClass) -> bool {
+        self.level() == other.level()
+    }
+
+    /// The canonical representative of the class's level, from the paper's
+    /// summary: consistent port numbering / no incoming port numbers / no
+    /// outgoing port numbers / neither.
+    pub fn representative(self) -> ProblemClass {
+        use ProblemClass::*;
+        match self.level() {
+            0 => Sb,
+            1 => Vb,
+            2 => Sv,
+            _ => VVc,
+        }
+    }
+
+    /// Which theorem of the paper establishes this class's relation to the
+    /// next level down, as `(theorem, statement)`.
+    pub fn collapse_evidence(self) -> &'static str {
+        use ProblemClass::*;
+        match self {
+            Sb => "SB ⊊ MB: Theorem 13 (odd-odd problem, plain vs graded bisimulation)",
+            Mb => "MB = VB: Theorem 9 (broadcast history simulation)",
+            Vb => "VB ⊊ SV: Theorem 11 (leaf selection in stars)",
+            Sv => "SV = MV: Theorem 4 (2Δ-round colouring preamble)",
+            Mv => "MV = VV: Theorem 8 (per-port history simulation)",
+            Vv => "VV ⊊ VVc: Theorem 17 + Lemmas 15–16 (regular graphs without a 1-factor)",
+            VVc => "VVc ⊊ LOCAL: unique identifiers break symmetry (Section 3.1)",
+        }
+    }
+}
+
+impl fmt::Display for ProblemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ProblemClass::Sb => "SB",
+            ProblemClass::Mb => "MB",
+            ProblemClass::Vb => "VB",
+            ProblemClass::Sv => "SV",
+            ProblemClass::Mv => "MV",
+            ProblemClass::Vv => "VV",
+            ProblemClass::VVc => "VVc",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProblemClass::*;
+
+    #[test]
+    fn trivial_partial_order_is_reflexive_transitive() {
+        for a in ProblemClass::ALL {
+            assert!(a.trivially_contained_in(a));
+            for b in ProblemClass::ALL {
+                for c in ProblemClass::ALL {
+                    if a.trivially_contained_in(b) && b.trivially_contained_in(c) {
+                        assert!(a.trivially_contained_in(c), "{a} ⊆ {b} ⊆ {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_order_is_refined_by_linear_order() {
+        // Everything the definitions promise, the theorem keeps.
+        for a in ProblemClass::ALL {
+            for b in ProblemClass::ALL {
+                if a.trivially_contained_in(b) {
+                    assert!(a.contained_in(b), "{a} ⊆ {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_order_shape() {
+        assert!(Sb.contained_in(Mb) && !Mb.contained_in(Sb));
+        assert!(Mb.equals(Vb));
+        assert!(Vb.contained_in(Sv) && !Sv.contained_in(Vb));
+        assert!(Sv.equals(Mv) && Mv.equals(Vv));
+        assert!(Vv.contained_in(VVc) && !VVc.contained_in(Vv));
+        // The surprising comparabilities absent from the trivial order:
+        assert!(!Vb.trivially_contained_in(Sv));
+        assert!(!Sv.trivially_contained_in(Vb));
+        assert!(Vb.contained_in(Sv));
+    }
+
+    #[test]
+    fn representatives() {
+        assert_eq!(Mb.representative(), Vb);
+        assert_eq!(Mv.representative(), Sv);
+        assert_eq!(Sb.representative(), Sb);
+        assert_eq!(VVc.representative(), VVc);
+    }
+
+    #[test]
+    fn display_and_evidence_nonempty() {
+        for c in ProblemClass::ALL {
+            assert!(!c.to_string().is_empty());
+            assert!(!c.collapse_evidence().is_empty());
+        }
+    }
+}

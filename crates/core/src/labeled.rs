@@ -1,0 +1,247 @@
+//! Local inputs (Section 3.4): structures `(V, E, f)` where each node
+//! carries a label `f(v)` available at initialisation.
+//!
+//! The paper observes that (a) the classification (1)–(2) extends verbatim
+//! to labelled graphs — a separation on unlabelled graphs is a fortiori a
+//! separation with labels — and (b) labels only become *necessary* below
+//! `SB`: the degree-oblivious class `SBo` of Remark 2, trivial on plain
+//! graphs, supports non-trivial algorithms once nodes have local inputs.
+//! This module makes both points executable.
+
+use portnum_graph::{Graph, Port, PortNumbering};
+use portnum_machine::{Message, Payload, Status};
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// A node labelling `f : V → u64`.
+pub type Labels = Vec<u64>;
+
+/// A labelled `Set ∩ Broadcast` algorithm: like
+/// [`SbAlgorithm`](portnum_machine::SbAlgorithm), but the initial state may
+/// depend on the local input. With `init` ignoring the degree this is the
+/// labelled `SBo` model.
+pub trait LabeledSbAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status from the degree and the local input `f(v)`.
+    fn init(&self, degree: usize, label: u64) -> Status<Self::State, Self::Output>;
+
+    /// The broadcast message.
+    fn broadcast(&self, state: &Self::State) -> Self::Msg;
+
+    /// The transition on the received set of payloads.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &BTreeSet<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// Synchronous execution of a labelled `SB` algorithm on `(G, p, f)`.
+///
+/// # Errors
+///
+/// Returns the number of still-running nodes if the round limit is hit.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != g.len()`.
+pub fn run_labeled_sb<A: LabeledSbAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    p: &PortNumbering,
+    labels: &Labels,
+    max_rounds: usize,
+) -> Result<(Vec<A::Output>, usize), usize> {
+    assert_eq!(labels.len(), g.len(), "one label per node");
+    let mut states: Vec<Status<A::State, A::Output>> =
+        g.nodes().map(|v| algo.init(g.degree(v), labels[v])).collect();
+    let mut rounds = 0;
+    while states.iter().any(|s| !s.is_stopped()) {
+        if rounds == max_rounds {
+            return Err(states.iter().filter(|s| !s.is_stopped()).count());
+        }
+        rounds += 1;
+        let mut inboxes: Vec<BTreeSet<Payload<A::Msg>>> =
+            g.nodes().map(|_| BTreeSet::new()).collect();
+        for v in g.nodes() {
+            match &states[v] {
+                Status::Running(s) => {
+                    let msg = algo.broadcast(s);
+                    for i in 0..g.degree(v) {
+                        let target = p.forward(Port::new(v, i));
+                        inboxes[target.node].insert(Payload::Data(msg.clone()));
+                    }
+                }
+                Status::Stopped(_) => {
+                    for i in 0..g.degree(v) {
+                        let target = p.forward(Port::new(v, i));
+                        inboxes[target.node].insert(Payload::Silent);
+                    }
+                }
+            }
+        }
+        for v in g.nodes() {
+            if let Status::Running(s) = states[v].clone() {
+                states[v] = algo.step(&s, &inboxes[v]);
+            }
+        }
+    }
+    let outputs = states
+        .into_iter()
+        .map(|s| match s {
+            Status::Stopped(o) => o,
+            Status::Running(_) => unreachable!("loop exits when all stopped"),
+        })
+        .collect();
+    Ok((outputs, rounds))
+}
+
+/// A **degree-oblivious** labelled algorithm (`SBo` + local inputs): each
+/// node broadcasts its label for `radius` rounds and outputs whether its
+/// own label is the strict maximum seen — a non-trivial computation that
+/// plain `SBo` cannot express at all (Remark 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelLocalMax {
+    /// Gossip radius.
+    pub radius: usize,
+}
+
+impl LabeledSbAlgorithm for LabelLocalMax {
+    type State = (usize, u64, u64); // (round, own label, max seen)
+    type Msg = u64;
+    type Output = bool;
+
+    fn init(&self, _degree: usize, label: u64) -> Status<(usize, u64, u64), bool> {
+        // Degree-oblivious: the state depends only on the label.
+        if self.radius == 0 {
+            Status::Stopped(true)
+        } else {
+            Status::Running((0, label, 0))
+        }
+    }
+
+    fn broadcast(&self, &(_, _, best): &(usize, u64, u64)) -> u64 {
+        best
+    }
+
+    fn step(
+        &self,
+        &(round, label, best): &(usize, u64, u64),
+        received: &BTreeSet<Payload<u64>>,
+    ) -> Status<(usize, u64, u64), bool> {
+        let heard = received.iter().filter_map(Payload::data).max().copied().unwrap_or(0);
+        let best = best.max(heard).max(label);
+        if round + 1 == self.radius {
+            Status::Stopped(label >= best)
+        } else {
+            Status::Running((round + 1, label, best))
+        }
+    }
+}
+
+/// Encodes a 1-bit label in topology: the paper's remark that "a uniformly
+/// finite amount of local information could be encoded in the topological
+/// information of the graph". Node `v` with label bit 1 gets one pendant
+/// leaf attached; with bit 0, two. Returns the enlarged graph and the ids
+/// of the original nodes.
+pub fn encode_labels_in_topology(g: &Graph, bits: &[bool]) -> (Graph, Vec<usize>) {
+    assert_eq!(bits.len(), g.len());
+    let extra: usize = bits.iter().map(|&b| if b { 1 } else { 2 }).sum();
+    let mut builder = Graph::builder(g.len() + extra);
+    for (u, v) in g.edges() {
+        builder.edge(u, v).expect("original edges are simple");
+    }
+    let mut next = g.len();
+    for (v, &bit) in bits.iter().enumerate() {
+        for _ in 0..if bit { 1 } else { 2 } {
+            builder.edge(v, next).expect("pendant edges are simple");
+            next += 1;
+        }
+    }
+    (builder.build(), g.nodes().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::generators;
+
+    #[test]
+    fn label_local_max_breaks_symmetry_on_cycles() {
+        // Plain SBo (indeed plain VVc!) cannot break the symmetry of a
+        // cycle; with distinct labels, degree-oblivious gossip can.
+        let g = generators::cycle(6);
+        let p = PortNumbering::consistent(&g);
+        let labels: Labels = vec![3, 1, 4, 1, 5, 9];
+        let (out, rounds) =
+            run_labeled_sb(&LabelLocalMax { radius: 3 }, &g, &p, &labels, 100).unwrap();
+        assert_eq!(rounds, 3);
+        // Node 5 (label 9) is the unique global max within radius 3 of all.
+        assert_eq!(out, vec![false, false, false, false, false, true]);
+    }
+
+    #[test]
+    fn constant_labels_keep_symmetry() {
+        // With constant inputs the labelled model degenerates back to the
+        // unlabelled one: all outputs equal on a symmetric instance.
+        let g = generators::cycle(5);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        let labels: Labels = vec![7; 5];
+        let (out, _) = run_labeled_sb(&LabelLocalMax { radius: 4 }, &g, &p, &labels, 100).unwrap();
+        assert!(out.iter().all(|&b| b == out[0]));
+    }
+
+    #[test]
+    fn early_stopping_with_radius_zero() {
+        let g = generators::path(3);
+        let p = PortNumbering::consistent(&g);
+        let (out, rounds) =
+            run_labeled_sb(&LabelLocalMax { radius: 0 }, &g, &p, &vec![0; 3], 10).unwrap();
+        assert_eq!(rounds, 0);
+        assert_eq!(out, vec![true, true, true]);
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        /// Never stops.
+        #[derive(Debug)]
+        struct Forever;
+        impl LabeledSbAlgorithm for Forever {
+            type State = ();
+            type Msg = ();
+            type Output = ();
+            fn init(&self, _d: usize, _l: u64) -> Status<(), ()> {
+                Status::Running(())
+            }
+            fn broadcast(&self, _: &()) {}
+            fn step(&self, _: &(), _: &BTreeSet<Payload<()>>) -> Status<(), ()> {
+                Status::Running(())
+            }
+        }
+        let g = generators::cycle(3);
+        let p = PortNumbering::consistent(&g);
+        assert_eq!(run_labeled_sb(&Forever, &g, &p, &vec![0; 3], 5), Err(3));
+    }
+
+    #[test]
+    fn topology_encoding_preserves_labels_as_degrees() {
+        let g = generators::cycle(4);
+        let bits = vec![true, false, true, false];
+        let (enlarged, originals) = encode_labels_in_topology(&g, &bits);
+        assert_eq!(enlarged.len(), 4 + 1 + 2 + 1 + 2);
+        for (&v, &bit) in originals.iter().zip(&bits) {
+            // Original degree 2 plus 1 or 2 pendants.
+            assert_eq!(enlarged.degree(v), 2 + if bit { 1 } else { 2 });
+        }
+        // The pendant leaves have degree 1.
+        for v in 4..enlarged.len() {
+            assert_eq!(enlarged.degree(v), 1);
+        }
+    }
+}

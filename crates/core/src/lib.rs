@@ -1,0 +1,85 @@
+//! # portnum
+//!
+//! A full reproduction of Hella, Järvisalo, Kuusisto, Laurinharju,
+//! Lempiäinen, Luosto, Suomela, Virtema: *Weak models of distributed
+//! computing, with connections to modal logic* (PODC 2012).
+//!
+//! The paper classifies seven models of deterministic distributed
+//! computing in anonymous port-numbered networks and proves that the
+//! associated problem classes collapse into a linear order:
+//!
+//! ```text
+//! SB  ⊊  MB = VB  ⊊  SV = MV = VV  ⊊  VVc
+//! ```
+//!
+//! This crate makes every ingredient executable:
+//!
+//! * [`classes`](ProblemClass) — the lattice of Figure 5a and the proven
+//!   order of Figure 5b;
+//! * [`problems`] — graph problems (Section 1.4) including the three
+//!   separation witnesses;
+//! * [`algorithms`] — concrete algorithms, each written against the
+//!   weakest class that supports it;
+//! * [`sim`] — Theorems 4, 8, and 9 as typed simulation wrappers: the
+//!   equalities `SV = MV = VV` and `MB = VB` exist as `impl`s;
+//! * [`separations`] — Theorems 11, 13, 17 as machine-checked evidence
+//!   (positive algorithm + bisimulation obstruction via Corollary 3);
+//! * [`stronger`] — the Section 3.1 extensions: the `LOCAL` model
+//!   (unique identifiers) and randomised algorithms, with maximal
+//!   independent set separating them from `VVc`;
+//! * [`verify`] — exact brute-force checkers; [`rational`] — exact
+//!   arithmetic for the vertex-cover packing algorithm.
+//!
+//! The three companion crates are re-exported: [`graph`]
+//! (`portnum-graph`), [`machine`] (`portnum-machine`), and [`logic`]
+//! (`portnum-logic`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use portnum::separations;
+//!
+//! // Re-derive the paper's main result from executable evidence.
+//! for evidence in separations::derive_linear_order() {
+//!     assert!(evidence.holds(), "{evidence}");
+//! }
+//! ```
+//!
+//! Simulate a `Broadcast` algorithm in class `MB` (Theorem 9):
+//!
+//! ```
+//! use portnum::algorithms::mb::OddOddMb;
+//! use portnum::machine::adapters::{MbAsBroadcast, MbAsVector};
+//! use portnum::machine::Simulator;
+//! use portnum::graph::{generators, PortNumbering};
+//! use portnum::sim::MbFromVb;
+//!
+//! let g = generators::figure1_graph();
+//! let p = PortNumbering::consistent(&g);
+//! let sim = Simulator::new();
+//!
+//! let direct = sim.run(&MbAsVector(OddOddMb), &g, &p)?;
+//! let wrapped = sim.run(&MbAsVector(MbFromVb::new(MbAsBroadcast(OddOddMb))), &g, &p)?;
+//! assert_eq!(direct.outputs(), wrapped.outputs());
+//! # Ok::<(), portnum::machine::ExecutionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+mod classes;
+pub mod labeled;
+pub mod problems;
+pub mod rational;
+pub mod separations;
+pub mod sim;
+pub mod stronger;
+pub mod verify;
+
+pub use classes::ProblemClass;
+pub use problems::Problem;
+
+pub use portnum_graph as graph;
+pub use portnum_logic as logic;
+pub use portnum_machine as machine;

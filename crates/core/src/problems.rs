@@ -1,0 +1,408 @@
+//! Graph problems (Section 1.4): a problem maps each graph to its set of
+//! acceptable solutions; [`Problem::is_valid`] decides membership.
+//!
+//! The library covers the classical examples of Section 1.4 (maximal
+//! independent set, colouring, Eulerian decision), the approximation
+//! problem motivating the weak models (vertex cover 2-approximation, \[3\]),
+//! and the three separation witnesses of Theorems 11, 13, and 17.
+
+use crate::verify;
+use portnum_graph::{matching, properties, Graph};
+
+/// A graph problem `Π`: for each graph, a set of valid solutions
+/// `S : V → Output`.
+pub trait Problem {
+    /// The finite output alphabet `Y`.
+    type Output: Clone + Eq + std::fmt::Debug;
+
+    /// A short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Whether `outputs` (indexed by node) is a valid solution on `g`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `outputs.len() != g.len()`.
+    fn is_valid(&self, g: &Graph, outputs: &[Self::Output]) -> bool;
+}
+
+/// Maximal independent set (Section 1.4). Not solvable in any of the weak
+/// models (a symmetric cycle defeats it); included as a reference problem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaximalIndependentSet;
+
+impl Problem for MaximalIndependentSet {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "maximal independent set"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        verify::is_maximal_independent_set(g, outputs)
+    }
+}
+
+/// Proper vertex `k`-colouring (Section 1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProperColoring {
+    /// Number of colours allowed.
+    pub colors: usize,
+}
+
+impl Problem for ProperColoring {
+    type Output = usize;
+
+    fn name(&self) -> &'static str {
+        "proper vertex colouring"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[usize]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        verify::is_proper_coloring(g, outputs, self.colors)
+    }
+}
+
+/// The Eulerian decision problem with the paper's accept/reject semantics:
+/// on a yes-instance every node outputs 1; on a no-instance at least one
+/// node outputs 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EulerianDecision;
+
+impl Problem for EulerianDecision {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "Eulerian decision"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        if properties::is_eulerian(g) {
+            outputs.iter().all(|&b| b)
+        } else {
+            outputs.iter().any(|&b| !b)
+        }
+    }
+}
+
+/// Vertex cover with an approximation guarantee: the output must be a
+/// vertex cover of size at most `factor_num/factor_den · opt` (opt computed
+/// exactly — keep instances small).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexCoverApprox {
+    /// Approximation factor numerator.
+    pub factor_num: usize,
+    /// Approximation factor denominator.
+    pub factor_den: usize,
+}
+
+impl VertexCoverApprox {
+    /// The 2-approximation variant of Åstrand–Suomela \[3\].
+    pub fn two() -> Self {
+        VertexCoverApprox { factor_num: 2, factor_den: 1 }
+    }
+}
+
+impl Problem for VertexCoverApprox {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "approximate minimum vertex cover"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        if !verify::is_vertex_cover(g, outputs) {
+            return false;
+        }
+        let size = outputs.iter().filter(|&&b| b).count();
+        let opt = verify::min_vertex_cover_size(g);
+        size * self.factor_den <= self.factor_num * opt
+    }
+}
+
+/// Theorem 11's witness problem: *select one leaf of a star*. On a `k`-star
+/// (`k > 1`), exactly one leaf must output 1 and every other node 0; on any
+/// other graph, anything goes.
+///
+/// In `SV(1)` (one round: send your port number to that port), but **not**
+/// in `VB`: the leaves of a star are bisimilar in `K₊,₋`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeafInStar;
+
+impl LeafInStar {
+    /// Returns the centre if `g` is a `k`-star with `k > 1`.
+    pub fn star_centre(g: &Graph) -> Option<usize> {
+        let n = g.len();
+        if n < 3 {
+            return None;
+        }
+        let centre = g.nodes().find(|&v| g.degree(v) == n - 1)?;
+        g.nodes()
+            .all(|v| v == centre || (g.degree(v) == 1 && g.has_edge(v, centre)))
+            .then_some(centre)
+    }
+}
+
+impl Problem for LeafInStar {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "leaf selection in stars"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        match Self::star_centre(g) {
+            None => true,
+            Some(centre) => {
+                !outputs[centre] && outputs.iter().filter(|&&b| b).count() == 1
+            }
+        }
+    }
+}
+
+/// Theorem 13's witness problem: a node outputs 1 iff it has an **odd
+/// number of odd-degree neighbours**.
+///
+/// In `MB(1)` (broadcast your degree parity, count), but **not** in `SB`:
+/// set reception cannot count, and the witness graph
+/// [`portnum_graph::generators::theorem13_witness`] has plain-bisimilar
+/// nodes that must answer differently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OddOdd;
+
+impl OddOdd {
+    /// The unique correct output at `v`.
+    pub fn expected(g: &Graph, v: usize) -> bool {
+        g.neighbors(v).iter().filter(|&&u| g.degree(u) % 2 == 1).count() % 2 == 1
+    }
+}
+
+impl Problem for OddOdd {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "odd number of odd-degree neighbours"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        g.nodes().all(|v| outputs[v] == Self::expected(g, v))
+    }
+}
+
+/// Theorem 17's witness problem: *break symmetry on the family `𝒢`* of
+/// connected, odd-degree-regular graphs without a 1-factor. On `G ∈ 𝒢` the
+/// output must be non-constant; on any other graph, anything goes.
+///
+/// In `VVc(1)` (two rounds: compare local types), but **not** in `VV`:
+/// Lemma 15 wires a symmetric port numbering from a 1-factorization of the
+/// bipartite double cover, making all nodes bisimilar in `K₊,₊`, while
+/// Lemma 16 shows consistent numberings cannot be symmetric on `𝒢`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymmetryBreak;
+
+impl SymmetryBreak {
+    /// Membership in the family `𝒢`: connected, `k`-regular for odd
+    /// `k ≥ 3`, and without a 1-factor.
+    pub fn in_family(g: &Graph) -> bool {
+        let Some(k) = properties::regularity(g) else {
+            return false;
+        };
+        k >= 3 && k % 2 == 1 && properties::is_connected(g) && !matching::has_one_factor(g)
+    }
+}
+
+impl Problem for SymmetryBreak {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "symmetry breaking on regular graphs without a 1-factor"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        if Self::in_family(g) {
+            outputs.iter().any(|&b| b) && outputs.iter().any(|&b| !b)
+        } else {
+            true
+        }
+    }
+}
+
+/// Leader election: on a *connected* graph, exactly one node outputs 1;
+/// disconnected graphs are unconstrained.
+///
+/// The natural global problem the paper's Section 5.4 cites from prior
+/// work (Boldi et al., Yamashita–Kameda): not solvable in `VVc` — a
+/// symmetric cycle has all nodes bisimilar in `K₊,₊`, and any connected
+/// cover duplicates a would-be leader — but solvable with unique
+/// identifiers by flood-max
+/// ([`FloodMaxLeader`](crate::stronger::local::FloodMaxLeader)). Being
+/// global, it cannot separate the *constant-time* classes (it is not even
+/// in `VVc(1)`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaderElection;
+
+impl Problem for LeaderElection {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "leader election"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        !properties::is_connected(g) || outputs.iter().filter(|&&b| b).count() == 1
+    }
+}
+
+/// A node outputs 1 iff its degree is maximal among its neighbours.
+/// Solvable in `SB(1)` — the classic example of a non-trivial problem at
+/// the very bottom of the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalMaxDegree;
+
+impl Problem for LocalMaxDegree {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "local maximum degree"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        g.nodes().all(|v| {
+            let is_max = g.neighbors(v).iter().all(|&u| g.degree(u) <= g.degree(v));
+            outputs[v] == is_max
+        })
+    }
+}
+
+/// A node outputs 1 iff it has at least one neighbour. The only problem
+/// (essentially) solvable in the degree-oblivious class `SBo` of Remark 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NonIsolation;
+
+impl Problem for NonIsolation {
+    type Output = bool;
+
+    fn name(&self) -> &'static str {
+        "non-isolation"
+    }
+
+    fn is_valid(&self, g: &Graph, outputs: &[bool]) -> bool {
+        assert_eq!(outputs.len(), g.len());
+        g.nodes().all(|v| outputs[v] == (g.degree(v) > 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::generators;
+
+    #[test]
+    fn mis_problem() {
+        let g = generators::cycle(4);
+        assert!(MaximalIndependentSet.is_valid(&g, &[true, false, true, false]));
+        assert!(!MaximalIndependentSet.is_valid(&g, &[true, true, false, false]));
+        assert!(!MaximalIndependentSet.is_valid(&g, &[true, false, false, false]));
+    }
+
+    #[test]
+    fn coloring_problem() {
+        let g = generators::cycle(5);
+        assert!(ProperColoring { colors: 3 }.is_valid(&g, &[0, 1, 0, 1, 2]));
+        assert!(!ProperColoring { colors: 2 }.is_valid(&g, &[0, 1, 0, 1, 2]));
+    }
+
+    #[test]
+    fn eulerian_problem() {
+        let yes = generators::cycle(4);
+        assert!(EulerianDecision.is_valid(&yes, &[true; 4]));
+        assert!(!EulerianDecision.is_valid(&yes, &[true, true, false, true]));
+        let no = generators::path(3);
+        assert!(EulerianDecision.is_valid(&no, &[true, false, true]));
+        assert!(!EulerianDecision.is_valid(&no, &[true, true, true]));
+    }
+
+    #[test]
+    fn vertex_cover_problem() {
+        let g = generators::cycle(5); // opt = 3
+        let p = VertexCoverApprox::two();
+        assert!(p.is_valid(&g, &[true, true, true, true, true])); // 5 ≤ 6
+        assert!(p.is_valid(&g, &[true, false, true, false, true]));
+        assert!(!p.is_valid(&g, &[true, false, true, false, false])); // not a cover
+        let star = generators::star(8); // opt = 1
+        assert!(!p.is_valid(&star, &[false, true, true, true, true, true, true, true, true]));
+        let mut all_leaves = vec![true; 9];
+        all_leaves[0] = false;
+        assert!(!p.is_valid(&star, &all_leaves), "8 leaves > 2·1");
+        let mut centre_only = vec![false; 9];
+        centre_only[0] = true;
+        assert!(p.is_valid(&star, &centre_only));
+    }
+
+    #[test]
+    fn leaf_in_star_problem() {
+        let g = generators::star(3);
+        assert_eq!(LeafInStar::star_centre(&g), Some(0));
+        assert!(LeafInStar.is_valid(&g, &[false, true, false, false]));
+        assert!(!LeafInStar.is_valid(&g, &[false, true, true, false]));
+        assert!(!LeafInStar.is_valid(&g, &[true, false, false, false]));
+        assert!(!LeafInStar.is_valid(&g, &[false, false, false, false]));
+        // Non-stars are unconstrained.
+        let c = generators::cycle(4);
+        assert_eq!(LeafInStar::star_centre(&c), None);
+        assert!(LeafInStar.is_valid(&c, &[false; 4]));
+        // K2 is formally a 1-star; the problem only constrains k > 1.
+        let k2 = generators::path(2);
+        assert_eq!(LeafInStar::star_centre(&k2), None);
+    }
+
+    #[test]
+    fn odd_odd_problem() {
+        let (g, (a, b)) = generators::theorem13_witness();
+        assert!(!OddOdd::expected(&g, a));
+        assert!(OddOdd::expected(&g, b));
+        let expected: Vec<bool> = g.nodes().map(|v| OddOdd::expected(&g, v)).collect();
+        assert!(OddOdd.is_valid(&g, &expected));
+        let mut wrong = expected.clone();
+        wrong[a] = !wrong[a];
+        assert!(!OddOdd.is_valid(&g, &wrong));
+    }
+
+    #[test]
+    fn symmetry_break_problem() {
+        let g = generators::no_one_factor(3);
+        assert!(SymmetryBreak::in_family(&g));
+        assert!(!SymmetryBreak::in_family(&generators::petersen()), "has a 1-factor");
+        assert!(!SymmetryBreak::in_family(&generators::cycle(6)), "even degree");
+        assert!(!SymmetryBreak::in_family(&generators::star(3)), "not regular");
+        let mut half = vec![false; g.len()];
+        half[0] = true;
+        assert!(SymmetryBreak.is_valid(&g, &half));
+        assert!(!SymmetryBreak.is_valid(&g, &vec![true; g.len()]));
+        assert!(!SymmetryBreak.is_valid(&g, &vec![false; g.len()]));
+        // Outside the family anything goes.
+        let p = generators::petersen();
+        assert!(SymmetryBreak.is_valid(&p, &vec![false; 10]));
+    }
+
+    #[test]
+    fn local_max_and_isolation() {
+        let g = generators::star(3);
+        assert!(LocalMaxDegree.is_valid(&g, &[true, false, false, false]));
+        assert!(!LocalMaxDegree.is_valid(&g, &[true, true, false, false]));
+        let mut h = Graph::disjoint_union(&[&generators::path(2), &Graph::empty(1)]);
+        assert!(NonIsolation.is_valid(&h, &[true, true, false]));
+        assert!(!NonIsolation.is_valid(&h, &[true, true, true]));
+        let _ = &mut h;
+    }
+
+    use portnum_graph::Graph;
+}

@@ -1,0 +1,212 @@
+//! Exact nonnegative rational arithmetic for the edge-packing algorithm.
+//!
+//! The `MB` vertex-cover algorithm raises edge packing weights by exact
+//! fractions (`residual / active-degree`); floating point would break both
+//! the saturation test (`residual == 0`) and determinism. Values are kept
+//! reduced; operations panic on `u128` overflow rather than silently
+//! corrupting the packing (documented in the algorithm's caveats).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A nonnegative rational number with reduced `u128` representation.
+///
+/// # Examples
+///
+/// ```
+/// use portnum::rational::Ratio;
+///
+/// let third = Ratio::new(1, 3);
+/// let sixth = Ratio::new(1, 6);
+/// assert_eq!(third.add(sixth), Ratio::new(1, 2));
+/// assert_eq!(third.sub(sixth), sixth);
+/// assert_eq!(third.min(sixth), sixth);
+/// assert_eq!(Ratio::one().div_int(4), Ratio::new(1, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u128,
+    den: u128,
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// Creates `num / den`, reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: u128, den: u128) -> Ratio {
+        assert!(den != 0, "denominator must be nonzero");
+        if num == 0 {
+            return Ratio { num: 0, den: 1 };
+        }
+        let g = gcd(num, den);
+        Ratio { num: num / g, den: den / g }
+    }
+
+    /// Zero.
+    pub fn zero() -> Ratio {
+        Ratio { num: 0, den: 1 }
+    }
+
+    /// One.
+    pub fn one() -> Ratio {
+        Ratio { num: 1, den: 1 }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// The numerator of the reduced form.
+    pub fn numerator(self) -> u128 {
+        self.num
+    }
+
+    /// The denominator of the reduced form.
+    pub fn denominator(self) -> u128 {
+        self.den
+    }
+
+    fn checked(op: Option<u128>) -> u128 {
+        op.expect("rational arithmetic overflowed u128; instance too large for exact packing")
+    }
+
+    /// Addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u128` overflow.
+    pub fn add(self, other: Ratio) -> Ratio {
+        let g = gcd(self.den, other.den);
+        let lcm = Self::checked(self.den.checked_mul(other.den / g));
+        let left = Self::checked(self.num.checked_mul(lcm / self.den));
+        let right = Self::checked(other.num.checked_mul(lcm / other.den));
+        Ratio::new(Self::checked(left.checked_add(right)), lcm)
+    }
+
+    /// Saturating subtraction (`0` if `other > self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u128` overflow.
+    pub fn sub(self, other: Ratio) -> Ratio {
+        let g = gcd(self.den, other.den);
+        let lcm = Self::checked(self.den.checked_mul(other.den / g));
+        let left = Self::checked(self.num.checked_mul(lcm / self.den));
+        let right = Self::checked(other.num.checked_mul(lcm / other.den));
+        Ratio::new(left.saturating_sub(right), lcm)
+    }
+
+    /// Division by a positive integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or on overflow.
+    pub fn div_int(self, k: usize) -> Ratio {
+        assert!(k != 0, "division by zero");
+        Ratio::new(self.num, Self::checked(self.den.checked_mul(k as u128)))
+    }
+
+    /// Multiplication by a nonnegative integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn mul_int(self, k: usize) -> Ratio {
+        Ratio::new(Self::checked(self.num.checked_mul(k as u128)), self.den)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        let left = Self::checked(self.num.checked_mul(other.den));
+        let right = Self::checked(other.num.checked_mul(self.den));
+        left.cmp(&right)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl portnum_machine::MessageSize for Ratio {
+    fn size_units(&self) -> u64 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(0, 7), Ratio::zero());
+        assert_eq!(Ratio::new(6, 3), Ratio::new(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(a.add(b), Ratio::new(5, 6));
+        assert_eq!(a.sub(b), Ratio::new(1, 6));
+        assert_eq!(b.sub(a), Ratio::zero());
+        assert_eq!(a.div_int(2), Ratio::new(1, 4));
+        assert_eq!(b.mul_int(3), Ratio::one());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(2, 3) > Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, 6).cmp(&Ratio::new(1, 3)), Ordering::Equal);
+        assert_eq!(Ratio::new(1, 3).min(Ratio::new(1, 4)), Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn saturation_at_one_is_exact() {
+        // 1/3 + 1/3 + 1/3 == 1 exactly — the heart of the packing test.
+        let third = Ratio::one().div_int(3);
+        let sum = third.add(third).add(third);
+        assert_eq!(sum, Ratio::one());
+        assert!(Ratio::one().sub(sum).is_zero());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ratio::new(3, 4).to_string(), "3/4");
+        assert_eq!(Ratio::new(4, 2).to_string(), "2");
+        assert_eq!(Ratio::zero().to_string(), "0");
+    }
+}

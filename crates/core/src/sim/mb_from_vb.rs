@@ -1,0 +1,260 @@
+//! Theorem 9: `Multiset ∩ Broadcast` simulates `Broadcast` with no round
+//! overhead (`MB = VB`) — the broadcast version of the history
+//! construction of Theorem 8, already implicit in Åstrand–Suomela \[3\].
+
+use portnum_machine::{
+    BroadcastAlgorithm, MbAlgorithm, Multiset, Payload, Status,
+};
+
+/// Wrapper state for [`MbFromVb`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VbHistoryState<S, M: Ord> {
+    inner: S,
+    /// Own broadcast history.
+    sent: Vec<Payload<M>>,
+    /// Reconstructed full histories of the feeding neighbours as of the
+    /// previous round.
+    neighbors: Multiset<Vec<Payload<M>>>,
+    degree: usize,
+}
+
+/// Theorem 9's wrapper: runs a [`BroadcastAlgorithm`] (class `VB`) as an
+/// [`MbAlgorithm`] (class `MB`) in the same number of rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbFromVb<A> {
+    inner: A,
+}
+
+impl<A> MbFromVb<A> {
+    /// Wraps a `Broadcast` algorithm.
+    pub fn new(inner: A) -> Self {
+        MbFromVb { inner }
+    }
+
+    /// Borrows the wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: BroadcastAlgorithm> MbAlgorithm for MbFromVb<A> {
+    type State = VbHistoryState<A::State, A::Msg>;
+    type Msg = Vec<Payload<A::Msg>>;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        match self.inner.init(degree) {
+            Status::Stopped(o) => Status::Stopped(o),
+            Status::Running(inner) => {
+                let mut neighbors = Multiset::new();
+                neighbors.insert_n(Vec::new(), degree);
+                Status::Running(VbHistoryState { inner, sent: Vec::new(), neighbors, degree })
+            }
+        }
+    }
+
+    fn broadcast(&self, state: &Self::State) -> Self::Msg {
+        let mut history = state.sent.clone();
+        history.push(Payload::Data(self.inner.broadcast(&state.inner)));
+        history
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &Multiset<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output> {
+        let round = state.sent.len() + 1;
+        let mut sent = state.sent.clone();
+        sent.push(Payload::Data(self.inner.broadcast(&state.inner)));
+
+        let mut pool = state.neighbors.clone();
+        let mut current: Multiset<Vec<Payload<A::Msg>>> = Multiset::new();
+        let mut silent_count = 0usize;
+        for (payload, count) in received.counts() {
+            match payload {
+                Payload::Data(history) => {
+                    debug_assert_eq!(history.len(), round, "history length mismatch");
+                    for _ in 0..count {
+                        let prefix = history[..round - 1].to_vec();
+                        let removed = pool.remove(&prefix);
+                        debug_assert!(removed, "incoming history extends no known prefix");
+                        current.insert(history.clone());
+                    }
+                }
+                Payload::Silent => silent_count += count,
+            }
+        }
+        debug_assert_eq!(pool.len(), silent_count, "frozen histories must match silence");
+        for (frozen, count) in pool.counts() {
+            let mut extended = frozen.clone();
+            extended.push(Payload::Silent);
+            current.insert_n(extended, count);
+        }
+
+        let reception: Vec<Payload<A::Msg>> = current
+            .iter()
+            .map(|h| h.last().expect("histories are nonempty after round 1").clone())
+            .collect();
+        debug_assert_eq!(reception.len(), state.degree);
+        match self.inner.step(&state.inner, &reception) {
+            Status::Stopped(o) => Status::Stopped(o),
+            Status::Running(inner) => Status::Running(VbHistoryState {
+                inner,
+                sent,
+                neighbors: current,
+                degree: state.degree,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::{generators, PortNumbering};
+    use portnum_machine::adapters::{BroadcastAsVector, MbAsVector};
+    use portnum_machine::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// `VB` view gathering: the broadcast analogue of Yamashita–Kameda
+    /// views (no outgoing port labels; children ordered by in-port).
+    #[derive(Debug, Clone, Copy)]
+    struct BcViewGather {
+        radius: usize,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct BcView {
+        degree: usize,
+        children: Vec<BcView>,
+    }
+
+    impl portnum_machine::MessageSize for BcView {
+        fn size_units(&self) -> u64 {
+            1 + self.children.iter().map(|c| c.size_units()).sum::<u64>()
+        }
+    }
+
+    impl BroadcastAlgorithm for BcViewGather {
+        type State = (usize, BcView);
+        type Msg = BcView;
+        type Output = BcView;
+
+        fn init(&self, degree: usize) -> Status<(usize, BcView), BcView> {
+            let leaf = BcView { degree, children: Vec::new() };
+            if self.radius == 0 {
+                Status::Stopped(leaf)
+            } else {
+                Status::Running((0, leaf))
+            }
+        }
+
+        fn broadcast(&self, (_, view): &(usize, BcView)) -> BcView {
+            view.clone()
+        }
+
+        fn step(
+            &self,
+            (round, view): &(usize, BcView),
+            received: &[Payload<BcView>],
+        ) -> Status<(usize, BcView), BcView> {
+            let children: Vec<BcView> = received
+                .iter()
+                .map(|p| match p {
+                    Payload::Data(v) => v.clone(),
+                    Payload::Silent => unreachable!("no early stopping"),
+                })
+                .collect();
+            let next = BcView { degree: view.degree, children };
+            if round + 1 == self.radius {
+                Status::Stopped(next)
+            } else {
+                Status::Running((round + 1, next))
+            }
+        }
+    }
+
+    /// In-port-order erasure: sort children recursively.
+    fn canon(view: &BcView) -> BcView {
+        let mut children: Vec<BcView> = view.children.iter().map(canon).collect();
+        children.sort();
+        BcView { degree: view.degree, children }
+    }
+
+    #[test]
+    fn wrapped_bc_views_agree_up_to_in_port_order() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let sim = Simulator::new();
+        for g in [
+            generators::figure1_graph(),
+            generators::cycle(5),
+            generators::star(4),
+            generators::grid(2, 3),
+        ] {
+            let p = PortNumbering::random(&g, &mut rng);
+            for radius in [1usize, 2, 3] {
+                let algo = BcViewGather { radius };
+                let direct = sim.run(&BroadcastAsVector(algo), &g, &p).unwrap();
+                let wrapped = sim.run(&MbAsVector(MbFromVb::new(algo)), &g, &p).unwrap();
+                assert_eq!(wrapped.rounds(), direct.rounds());
+                for v in g.nodes() {
+                    assert_eq!(
+                        canon(&wrapped.outputs()[v]),
+                        canon(&direct.outputs()[v]),
+                        "{g}, node {v}, radius {radius}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Staggered-stopping broadcast algorithm with port-independent output.
+    #[derive(Debug, Clone, Copy)]
+    struct BcSilenceCounter;
+
+    impl BroadcastAlgorithm for BcSilenceCounter {
+        type State = (usize, usize, usize);
+        type Msg = u8;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<(usize, usize, usize), usize> {
+            if degree == 0 {
+                Status::Stopped(0)
+            } else {
+                Status::Running((0, degree, 0))
+            }
+        }
+
+        fn broadcast(&self, _: &(usize, usize, usize)) -> u8 {
+            0
+        }
+
+        fn step(
+            &self,
+            &(round, degree, silents): &(usize, usize, usize),
+            received: &[Payload<u8>],
+        ) -> Status<(usize, usize, usize), usize> {
+            let silents = silents + received.iter().filter(|p| p.is_silent()).count();
+            if round + 1 == degree {
+                Status::Stopped(silents)
+            } else {
+                Status::Running((round + 1, degree, silents))
+            }
+        }
+    }
+
+    #[test]
+    fn staggered_broadcast_stopping_matches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sim = Simulator::new();
+        for g in [generators::star(3), generators::figure1_graph(), generators::path(6)] {
+            let p = PortNumbering::random(&g, &mut rng);
+            let direct = sim.run(&BroadcastAsVector(BcSilenceCounter), &g, &p).unwrap();
+            let wrapped = sim.run(&MbAsVector(MbFromVb::new(BcSilenceCounter)), &g, &p).unwrap();
+            assert_eq!(direct.outputs(), wrapped.outputs(), "{g}");
+            assert_eq!(direct.rounds(), wrapped.rounds(), "{g}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The collapse theorems as executable simulations.
+//!
+//! * [`SetFromMultiset`] — Theorem 4: any `Multiset` algorithm runs in
+//!   class `Set` after a `2Δ`-round colouring preamble
+//!   (`SV = MV`, overhead `T ↦ T + 2Δ`).
+//! * [`MultisetFromVector`] — Theorem 8: any `Vector` algorithm runs in
+//!   class `Multiset` by shipping full per-port message histories and
+//!   sorting them lexicographically into *virtual ports*
+//!   (`MV = VV`, same round count, message sizes grow with `T`).
+//! * [`MbFromVb`] — Theorem 9: the same history construction for
+//!   `Broadcast` algorithms (`MB = VB`).
+//! * [`SetFromVector`] — the composition: class `Set` simulates the full
+//!   `Vector` model (`SV = VV`).
+//!
+//! Because the wrappers implement the *weaker* trait, the type system
+//! itself witnesses the collapses: `SetFromMultiset<A>: SetAlgorithm`
+//! exists for every `A: MultisetAlgorithm`.
+
+mod mb_from_vb;
+mod multiset_from_vector;
+mod set_from_multiset;
+
+pub use mb_from_vb::{MbFromVb, VbHistoryState};
+pub use multiset_from_vector::{MfvState, MultisetFromVector};
+pub use set_from_multiset::{Beta, SetFromMultiset, SfmMsg, SfmState};
+
+/// Class `Set` simulates the full `Vector` model: Theorem 8 then Theorem 4.
+pub type SetFromVector<A> = SetFromMultiset<MultisetFromVector<A>>;
+
+/// Wraps a `Vector` algorithm for execution in class `Set`: runs in
+/// `T + 2·delta` rounds on graphs of maximum degree at most `delta`.
+pub fn set_from_vector<A>(inner: A, delta: usize) -> SetFromVector<A>
+where
+    A: portnum_machine::VectorAlgorithm,
+{
+    SetFromMultiset::new(MultisetFromVector::new(inner), delta)
+}

@@ -1,0 +1,261 @@
+//! Theorem 8: class `Multiset` simulates class `Vector` with no round
+//! overhead (`MV = VV`), at the price of messages that carry full
+//! histories.
+//!
+//! Every outgoing message is the complete history of inner messages sent
+//! to that port. The receiver sorts the histories it holds
+//! lexicographically and assigns them to *virtual in-ports* in that order;
+//! the proof shows this reproduces the inner execution under some port
+//! numbering that is compatible with the message history — and since the
+//! inner algorithm must be correct under *every* port numbering, the
+//! output is a valid solution.
+//!
+//! Stopped senders go silent; the receiver keeps last round's reconstructed
+//! histories and *freezes* the ones that no incoming history extends,
+//! padding them with the `m0` marker — exactly the `μ(y, i) = m0`
+//! convention of the paper.
+
+use portnum_machine::{Multiset, MultisetAlgorithm, Payload, Status, VectorAlgorithm};
+
+/// Wrapper state: the inner state plus the bookkeeping histories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MfvState<S, M: Ord> {
+    inner: S,
+    /// Per out-port history of inner messages sent so far.
+    sent: Vec<Vec<Payload<M>>>,
+    /// Reconstructed full histories of all `degree` feeding neighbours, as
+    /// of the previous round.
+    neighbors: Multiset<Vec<Payload<M>>>,
+    degree: usize,
+}
+
+/// Theorem 8's wrapper: runs a [`VectorAlgorithm`] as a
+/// [`MultisetAlgorithm`] in the same number of rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultisetFromVector<A> {
+    inner: A,
+}
+
+impl<A> MultisetFromVector<A> {
+    /// Wraps a `Vector` algorithm.
+    pub fn new(inner: A) -> Self {
+        MultisetFromVector { inner }
+    }
+
+    /// Borrows the wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: VectorAlgorithm> MultisetAlgorithm for MultisetFromVector<A> {
+    type State = MfvState<A::State, A::Msg>;
+    type Msg = Vec<Payload<A::Msg>>;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        match self.inner.init(degree) {
+            Status::Stopped(o) => Status::Stopped(o),
+            Status::Running(inner) => {
+                let empty: Vec<Payload<A::Msg>> = Vec::new();
+                let mut neighbors = Multiset::new();
+                neighbors.insert_n(empty, degree);
+                Status::Running(MfvState {
+                    inner,
+                    sent: vec![Vec::new(); degree],
+                    neighbors,
+                    degree,
+                })
+            }
+        }
+    }
+
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg {
+        let mut history = state.sent[port].clone();
+        history.push(Payload::Data(self.inner.message(&state.inner, port)));
+        history
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &Multiset<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output> {
+        let round = state.sent.first().map_or(1, |h| h.len() + 1);
+        // Re-derive what we sent this round (message() is pure).
+        let mut sent = state.sent.clone();
+        for (port, history) in sent.iter_mut().enumerate() {
+            history.push(Payload::Data(self.inner.message(&state.inner, port)));
+        }
+        // Reconstruct the neighbours' current histories: every incoming
+        // data history extends one previous history; leftovers are frozen
+        // (stopped) senders, extended with the m0 marker.
+        let mut pool = state.neighbors.clone();
+        let mut current: Multiset<Vec<Payload<A::Msg>>> = Multiset::new();
+        let mut silent_count = 0usize;
+        for (payload, count) in received.counts() {
+            match payload {
+                Payload::Data(history) => {
+                    debug_assert_eq!(history.len(), round, "history length mismatch");
+                    for _ in 0..count {
+                        let prefix = history[..round - 1].to_vec();
+                        let removed = pool.remove(&prefix);
+                        debug_assert!(removed, "incoming history extends no known prefix");
+                        current.insert(history.clone());
+                    }
+                }
+                Payload::Silent => silent_count += count,
+            }
+        }
+        debug_assert_eq!(pool.len(), silent_count, "frozen histories must match silence");
+        for (frozen, count) in pool.counts() {
+            let mut extended = frozen.clone();
+            extended.push(Payload::Silent);
+            current.insert_n(extended, count);
+        }
+        // Virtual ports: histories in lexicographic order; the inner
+        // reception is the vector of their last entries.
+        let reception: Vec<Payload<A::Msg>> = current
+            .iter()
+            .map(|h| h.last().expect("histories are nonempty after round 1").clone())
+            .collect();
+        debug_assert_eq!(reception.len(), state.degree);
+        match self.inner.step(&state.inner, &reception) {
+            Status::Stopped(o) => Status::Stopped(o),
+            Status::Running(inner) => Status::Running(MfvState {
+                inner,
+                sent,
+                neighbors: current,
+                degree: state.degree,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::vv::{View, ViewGather};
+    use portnum_graph::{generators, PortNumbering};
+    use portnum_machine::adapters::MultisetAsVector;
+    use portnum_machine::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Erases incoming-port information from a view, keeping outgoing port
+    /// labels: the invariant a `Multiset` simulation must preserve.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct OutView {
+        degree: usize,
+        children: Vec<(usize, OutView)>, // sorted
+    }
+
+    fn erase(view: &View) -> OutView {
+        let mut children: Vec<(usize, OutView)> =
+            view.children.iter().map(|(j, v)| (*j, erase(v))).collect();
+        children.sort();
+        OutView { degree: view.degree, children }
+    }
+
+    #[test]
+    fn wrapped_view_gather_preserves_outgoing_views() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sim = Simulator::new();
+        for g in [
+            generators::figure1_graph(),
+            generators::cycle(5),
+            generators::petersen(),
+            generators::star(4),
+        ] {
+            for _ in 0..3 {
+                let p = PortNumbering::random(&g, &mut rng);
+                for radius in [1usize, 2, 3] {
+                    let direct = sim.run(&ViewGather { radius }, &g, &p).unwrap();
+                    let wrapped = sim
+                        .run(
+                            &MultisetAsVector(MultisetFromVector::new(ViewGather { radius })),
+                            &g,
+                            &p,
+                        )
+                        .unwrap();
+                    // Same number of rounds — Theorem 8 has no overhead.
+                    assert_eq!(wrapped.rounds(), direct.rounds());
+                    // Outputs agree up to re-assignment of incoming ports.
+                    for v in g.nodes() {
+                        assert_eq!(
+                            erase(&wrapped.outputs()[v]),
+                            erase(&direct.outputs()[v]),
+                            "{g}, node {v}, radius {radius}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A `Vector` algorithm with staggered stopping whose output is
+    /// independent of incoming port numbers: stop after `degree` rounds,
+    /// output the total number of silent slots observed.
+    #[derive(Debug, Clone, Copy)]
+    struct SilenceCounter;
+
+    impl VectorAlgorithm for SilenceCounter {
+        type State = (usize, usize, usize);
+        type Msg = u8;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<(usize, usize, usize), usize> {
+            if degree == 0 {
+                Status::Stopped(0)
+            } else {
+                Status::Running((0, degree, 0))
+            }
+        }
+
+        fn message(&self, _: &(usize, usize, usize), _: usize) -> u8 {
+            0
+        }
+
+        fn step(
+            &self,
+            &(round, degree, silents): &(usize, usize, usize),
+            received: &[Payload<u8>],
+        ) -> Status<(usize, usize, usize), usize> {
+            let silents = silents + received.iter().filter(|p| p.is_silent()).count();
+            if round + 1 == degree {
+                Status::Stopped(silents)
+            } else {
+                Status::Running((round + 1, degree, silents))
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_histories_reproduce_silence_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = Simulator::new();
+        for g in [generators::star(3), generators::figure1_graph(), generators::grid(2, 3)] {
+            let p = PortNumbering::random(&g, &mut rng);
+            let direct = sim.run(&SilenceCounter, &g, &p).unwrap();
+            let wrapped = sim
+                .run(&MultisetAsVector(MultisetFromVector::new(SilenceCounter)), &g, &p)
+                .unwrap();
+            assert_eq!(direct.outputs(), wrapped.outputs(), "{g}");
+            assert_eq!(direct.rounds(), wrapped.rounds(), "{g}");
+        }
+    }
+
+    #[test]
+    fn message_sizes_grow_linearly_with_rounds() {
+        // The open-problem overhead the paper discusses: history messages
+        // grow with T.
+        let g = generators::cycle(8);
+        let p = PortNumbering::consistent(&g);
+        let sim = Simulator::new();
+        let run = sim
+            .run(&MultisetAsVector(MultisetFromVector::new(ViewGather { radius: 4 })), &g, &p)
+            .unwrap();
+        let sizes: Vec<u64> = run.stats().iter().map(|s| s.max_message_units).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes must grow: {sizes:?}");
+    }
+}

@@ -1,0 +1,417 @@
+//! Theorem 4: class `Set` simulates class `Multiset` with a `2Δ`-round
+//! preamble — the paper's central technical contribution (`SV = MV`).
+//!
+//! The preamble is the algorithm `C_Δ` from the proof: every node builds a
+//! sequence `β_t = (β_{t-1}, B_{t-1})` where `B_t` is the *set* of
+//! `(β_t(u), deg(u), i)` probes received in round `t`. Lemmas 5–6 show
+//! that after `2Δ` rounds the probe `(β_{2Δ}(u), deg(u), π(u,v))` is
+//! distinct for every neighbour `u` of every node `v` — outgoing port
+//! numbers break symmetry even without incoming ones. Tagging the inner
+//! algorithm's messages with these probes makes all received messages
+//! distinct, so the receiver can reconstruct the full *multiset* from the
+//! *set* it is handed (silent slots are recovered from the degree).
+
+use portnum_machine::{Message, MessageSize, Multiset, MultisetAlgorithm, Payload, SetAlgorithm, Status};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+/// The history value `β_t` of the preamble `C_Δ` (`β_0 = ∅` is the
+/// initial node).
+///
+/// `β_t` expands to a tree of `Θ(Δ^t)` nodes, so the implementation
+/// hash-conses: every structurally distinct value is interned once per
+/// thread and identified by a unique id. Equality, ordering, and hashing
+/// all go through the id, making them `O(1)` while agreeing exactly with
+/// structural equality (the ordering is some fixed total order, not the
+/// lexicographic one — nothing in the simulation depends on which).
+/// The *semantic* message size of the fully expanded tree is memoised at
+/// construction and reported by [`MessageSize`], so the bench harness
+/// still measures the paper's doubly-exponential message growth.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Beta {
+    id: u64,
+}
+
+/// Interner key: ids of the parts (children are always interned first).
+type BetaKey = (Option<u64>, Vec<(u64, usize, usize)>);
+
+#[derive(Debug, Clone)]
+struct BetaInfo {
+    depth: usize,
+    expanded_size: u64,
+}
+
+thread_local! {
+    static INTERNER: RefCell<(HashMap<BetaKey, u64>, Vec<BetaInfo>)> =
+        RefCell::new((HashMap::new(), Vec::new()));
+}
+
+impl Beta {
+    fn intern(key: BetaKey, depth: usize, expanded_size: u64) -> Beta {
+        INTERNER.with(|cell| {
+            let (table, infos) = &mut *cell.borrow_mut();
+            let next = infos.len() as u64;
+            let id = *table.entry(key).or_insert(next);
+            if id == next {
+                infos.push(BetaInfo { depth, expanded_size });
+            }
+            Beta { id }
+        })
+    }
+
+    fn info(&self) -> BetaInfo {
+        INTERNER.with(|cell| cell.borrow().1[self.id as usize].clone())
+    }
+
+    /// `β_1 = (β_0, B_0) = (∅, ∅)`.
+    fn initial() -> Beta {
+        Beta::intern((None, Vec::new()), 1, 1)
+    }
+
+    /// `β_{t+1} = (β_t, B_t)`.
+    fn extend(&self, received: BTreeSet<(Beta, usize, usize)>) -> Beta {
+        let info = self.info();
+        let mut expanded = 1u64.saturating_add(info.expanded_size);
+        for (b, _, _) in &received {
+            expanded = expanded.saturating_add(2).saturating_add(b.info().expanded_size);
+        }
+        let key = (
+            Some(self.id),
+            received.iter().map(|&(ref b, d, i)| (b.id, d, i)).collect(),
+        );
+        Beta::intern(key, info.depth + 1, expanded)
+    }
+
+    /// Nesting depth (the `t` of `β_t`).
+    pub fn depth(&self) -> usize {
+        self.info().depth
+    }
+}
+
+impl MessageSize for Beta {
+    /// The size of the *fully expanded* history tree — the semantic
+    /// message size a non-sharing implementation would transmit.
+    fn size_units(&self) -> u64 {
+        self.info().expanded_size
+    }
+}
+
+/// Messages of the wrapper: colouring probes during the preamble, tagged
+/// inner messages afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SfmMsg<M> {
+    /// Preamble round `t`: `(β_t(v), deg(v), i)` sent to port `i`.
+    Probe(Beta, usize, usize),
+    /// Simulation round: `(β_{2Δ}(v), deg(v), i, a)` where `a` is the
+    /// inner algorithm's message for port `i`.
+    Tagged(Beta, usize, usize, M),
+}
+
+impl<M: MessageSize> MessageSize for SfmMsg<M> {
+    fn size_units(&self) -> u64 {
+        match self {
+            SfmMsg::Probe(beta, _, _) => beta.size_units() + 2,
+            SfmMsg::Tagged(beta, _, _, m) => beta.size_units() + 2 + m.size_units(),
+        }
+    }
+}
+
+/// Wrapper state: preamble progress, then the inner state plus the tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SfmState<S> {
+    /// Running `C_Δ`: about to send `β_t` in round `t`.
+    Phase1 {
+        /// The next preamble round (1-based).
+        t: usize,
+        /// `β_t`.
+        beta: Beta,
+        /// Own degree.
+        degree: usize,
+    },
+    /// Simulating the inner algorithm.
+    Phase2 {
+        /// The tag `β_{2Δ}`.
+        beta: Beta,
+        /// Own degree.
+        degree: usize,
+        /// Inner algorithm state.
+        inner: S,
+    },
+}
+
+/// Theorem 4's wrapper: runs a [`MultisetAlgorithm`] as a [`SetAlgorithm`]
+/// in `T + 2·delta` rounds.
+///
+/// `delta` must be at least the maximum degree of every graph the wrapper
+/// is run on (the `Δ` of the family `F(Δ)`); Lemma 6's distinctness
+/// guarantee — and hence the multiset reconstruction — depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetFromMultiset<A> {
+    inner: A,
+    delta: usize,
+}
+
+impl<A> SetFromMultiset<A> {
+    /// Wraps `inner` for graphs of maximum degree at most `delta`.
+    pub fn new(inner: A, delta: usize) -> Self {
+        SetFromMultiset { inner, delta }
+    }
+
+    /// The preamble length `2Δ`.
+    pub fn preamble_rounds(&self) -> usize {
+        2 * self.delta
+    }
+
+    /// Borrows the wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: MultisetAlgorithm> SetFromMultiset<A> {
+    fn enter_phase2(
+        &self,
+        beta: Beta,
+        degree: usize,
+    ) -> Status<SfmState<A::State>, A::Output> {
+        match self.inner.init(degree) {
+            Status::Stopped(o) => Status::Stopped(o),
+            Status::Running(inner) => Status::Running(SfmState::Phase2 { beta, degree, inner }),
+        }
+    }
+}
+
+impl<A: MultisetAlgorithm> SetAlgorithm for SetFromMultiset<A> {
+    type State = SfmState<A::State>;
+    type Msg = SfmMsg<A::Msg>;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        if self.preamble_rounds() == 0 {
+            // Degenerate family (Δ = 0): no communication is possible
+            // anyway; hand over immediately.
+            self.enter_phase2(Beta::initial(), degree)
+        } else {
+            Status::Running(SfmState::Phase1 { t: 1, beta: Beta::initial(), degree })
+        }
+    }
+
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg {
+        match state {
+            SfmState::Phase1 { beta, degree, .. } => SfmMsg::Probe(beta.clone(), *degree, port),
+            SfmState::Phase2 { beta, degree, inner } => {
+                SfmMsg::Tagged(beta.clone(), *degree, port, self.inner.message(inner, port))
+            }
+        }
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &BTreeSet<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output> {
+        match state {
+            SfmState::Phase1 { t, beta, degree } => {
+                let b_t: BTreeSet<(Beta, usize, usize)> = received
+                    .iter()
+                    .map(|payload| match payload {
+                        Payload::Data(SfmMsg::Probe(b, d, i)) => (b.clone(), *d, *i),
+                        other => unreachable!(
+                            "preamble rounds carry only probes, got {other:?}"
+                        ),
+                    })
+                    .collect();
+                if *t == self.preamble_rounds() {
+                    // Tag with β_{2Δ} — the value just sent (Lemma 6).
+                    self.enter_phase2(beta.clone(), *degree)
+                } else {
+                    Status::Running(SfmState::Phase1 {
+                        t: t + 1,
+                        beta: beta.extend(b_t),
+                        degree: *degree,
+                    })
+                }
+            }
+            SfmState::Phase2 { beta, degree, inner } => {
+                // All data messages are pairwise distinct (Lemma 6), so the
+                // set faithfully represents the multiset of running
+                // neighbours; the rest were silent.
+                let mut reception: Multiset<Payload<A::Msg>> = Multiset::new();
+                let mut running = 0usize;
+                for payload in received {
+                    if let Payload::Data(SfmMsg::Tagged(_, _, _, a)) = payload {
+                        running += 1;
+                        reception.insert(Payload::Data(a.clone()));
+                    }
+                }
+                let silent = degree.checked_sub(running).expect(
+                    "more tagged messages than ports: delta too small for this graph",
+                );
+                reception.insert_n(Payload::Silent, silent);
+                match self.inner.step(inner, &reception) {
+                    Status::Stopped(o) => Status::Stopped(o),
+                    Status::Running(next) => Status::Running(SfmState::Phase2 {
+                        beta: beta.clone(),
+                        degree: *degree,
+                        inner: next,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+// A manual `Message`-compatibility sanity bound: SfmMsg<M> is a Message
+// whenever M is (derives provide the traits; this is just documentation).
+fn _assert_message<M: Message>() {
+    fn is_message<T: Message>() {}
+    is_message::<SfmMsg<M>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::{generators, PortNumbering};
+    use portnum_machine::adapters::{MultisetAsVector, SetAsVector};
+    use portnum_machine::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Genuine `Multiset` algorithm: output the sorted multiset of
+    /// neighbour degrees (multiplicities matter).
+    #[derive(Debug, Clone, Copy)]
+    struct DegreeProfile;
+
+    impl MultisetAlgorithm for DegreeProfile {
+        type State = usize;
+        type Msg = usize;
+        type Output = Vec<usize>;
+
+        fn init(&self, degree: usize) -> Status<usize, Vec<usize>> {
+            Status::Running(degree)
+        }
+
+        fn message(&self, state: &usize, _port: usize) -> usize {
+            *state
+        }
+
+        fn step(
+            &self,
+            _state: &usize,
+            received: &Multiset<Payload<usize>>,
+        ) -> Status<usize, Vec<usize>> {
+            Status::Stopped(received.iter().filter_map(Payload::data).copied().collect())
+        }
+    }
+
+    /// Two-round `Multiset` algorithm with staggered stopping: stops after
+    /// `min(degree, 2)` rounds, outputs the number of silent payloads seen.
+    #[derive(Debug, Clone, Copy)]
+    struct Staggered;
+
+    impl MultisetAlgorithm for Staggered {
+        type State = (usize, usize, usize); // (round, degree, silents)
+        type Msg = u8;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<(usize, usize, usize), usize> {
+            if degree == 0 {
+                Status::Stopped(0)
+            } else {
+                Status::Running((0, degree, 0))
+            }
+        }
+
+        fn message(&self, _state: &(usize, usize, usize), _port: usize) -> u8 {
+            1
+        }
+
+        fn step(
+            &self,
+            &(round, degree, silents): &(usize, usize, usize),
+            received: &Multiset<Payload<u8>>,
+        ) -> Status<(usize, usize, usize), usize> {
+            let silents = silents + received.count(&Payload::Silent);
+            if round + 1 == degree.min(2) {
+                Status::Stopped(silents)
+            } else {
+                Status::Running((round + 1, degree, silents))
+            }
+        }
+    }
+
+    fn compare_on<A>(inner: A, g: &portnum_graph::Graph, p: &PortNumbering, delta: usize)
+    where
+        A: MultisetAlgorithm + Clone,
+        A::Msg: MessageSize,
+    {
+        let sim = Simulator::new();
+        let direct = sim.run(&MultisetAsVector(inner.clone()), g, p).unwrap();
+        let wrapped = sim.run(&SetAsVector(SetFromMultiset::new(inner, delta)), g, p).unwrap();
+        assert_eq!(direct.outputs(), wrapped.outputs(), "{g}");
+        let expected = if direct.rounds() == 0 {
+            2 * delta
+        } else {
+            direct.rounds() + 2 * delta
+        };
+        assert_eq!(wrapped.rounds(), expected, "{g}");
+    }
+
+    #[test]
+    fn degree_profile_matches_direct_execution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for g in [
+            generators::star(4),
+            generators::cycle(5),
+            generators::figure1_graph(),
+            generators::petersen(),
+            generators::grid(3, 3),
+        ] {
+            let delta = g.max_degree();
+            for _ in 0..3 {
+                let p = PortNumbering::random(&g, &mut rng);
+                compare_on(DegreeProfile, &g, &p, delta);
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_slack_delta() {
+        // delta larger than the true maximum degree is allowed (the family
+        // parameter), just slower.
+        let g = generators::cycle(4);
+        let p = PortNumbering::consistent(&g);
+        compare_on(DegreeProfile, &g, &p, 5);
+    }
+
+    #[test]
+    fn staggered_stopping_is_reconstructed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for g in [generators::star(3), generators::figure1_graph(), generators::path(5)] {
+            let delta = g.max_degree();
+            let p = PortNumbering::random(&g, &mut rng);
+            compare_on(Staggered, &g, &p, delta);
+        }
+    }
+
+    #[test]
+    fn symmetric_numbering_still_works() {
+        // The preamble must cope with fully symmetric inputs: probes stay
+        // identical across neighbours for a while (or forever on
+        // vertex-transitive graphs), and the multiset reconstruction must
+        // still be exact because tags are distinct *per receiving node*.
+        let g = generators::cycle(6);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        compare_on(DegreeProfile, &g, &p, 2);
+    }
+
+    #[test]
+    fn beta_depth_tracks_preamble() {
+        let b1 = Beta::initial();
+        assert_eq!(b1.depth(), 1);
+        let b2 = b1.extend(BTreeSet::new());
+        assert_eq!(b2.depth(), 2);
+        assert!(b1 < b2 || b2 < b1);
+        assert!(b1.size_units() >= 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! The `LOCAL` model (Section 3.1, extension (a)): networks with unique
+//! identifiers.
+//!
+//! An [`IdAlgorithm`] is a `Vector` state machine whose initial state may
+//! depend on a globally unique identifier. Everything else — synchronous
+//! rounds, port-numbered message routing, `m0` from stopped nodes — is
+//! unchanged, so the model is a strict strengthening of `Vector`: wrap any
+//! [`VectorAlgorithm`] with [`IgnoreIds`] to embed it.
+//!
+//! The classic benefit of identifiers is deterministic symmetry breaking:
+//! [`GreedyMisById`] computes a maximal independent set on *every* graph —
+//! a problem outside `VVc`
+//! (see [`separation`](crate::stronger::separation)).
+
+use portnum_graph::{Graph, Port, PortNumbering};
+use portnum_machine::{Message, Payload, Status, VectorAlgorithm};
+use std::collections::HashSet;
+use std::fmt::Debug;
+
+/// An algorithm in the `LOCAL` model: `Vector` plus a unique identifier at
+/// initialisation.
+pub trait IdAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status from the degree and the node's unique identifier.
+    fn init(&self, degree: usize, id: u64) -> Status<Self::State, Self::Output>;
+
+    /// The message sent to out-port `port`. Only called on running nodes.
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
+
+    /// The transition on the vector of payloads indexed by in-port.
+    /// Only called on running nodes.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// Embeds a [`VectorAlgorithm`] into the `LOCAL` model by ignoring the
+/// identifier — the trivial containment `VV ⊆ LOCAL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IgnoreIds<A>(pub A);
+
+impl<A: VectorAlgorithm> IdAlgorithm for IgnoreIds<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize, _id: u64) -> Status<A::State, A::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &A::State, port: usize) -> A::Msg {
+        self.0.message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &A::State,
+        received: &[Payload<A::Msg>],
+    ) -> Status<A::State, A::Output> {
+        self.0.step(state, received)
+    }
+}
+
+/// Synchronous execution of an [`IdAlgorithm`] on `(G, p)` with the given
+/// identifier assignment (semantics otherwise identical to
+/// [`Simulator::run`](portnum_machine::Simulator::run)).
+///
+/// Returns the outputs and the number of rounds.
+///
+/// # Errors
+///
+/// Returns the number of still-running nodes if the round limit is hit.
+///
+/// # Panics
+///
+/// Panics if `ids.len() != g.len()` or the identifiers are not pairwise
+/// distinct (the `LOCAL` model promises globally unique ids).
+pub fn run_with_ids<A: IdAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    p: &PortNumbering,
+    ids: &[u64],
+    max_rounds: usize,
+) -> Result<(Vec<A::Output>, usize), usize> {
+    assert_eq!(ids.len(), g.len(), "one identifier per node");
+    let distinct: HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(distinct.len(), ids.len(), "identifiers must be unique");
+
+    let mut states: Vec<Status<A::State, A::Output>> =
+        g.nodes().map(|v| algo.init(g.degree(v), ids[v])).collect();
+    let mut rounds = 0usize;
+    while states.iter().any(|s| !s.is_stopped()) {
+        if rounds == max_rounds {
+            return Err(states.iter().filter(|s| !s.is_stopped()).count());
+        }
+        rounds += 1;
+        let mut inboxes: Vec<Vec<Payload<A::Msg>>> =
+            g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
+        for v in g.nodes() {
+            if let Status::Running(state) = &states[v] {
+                for i in 0..g.degree(v) {
+                    let target = p.forward(Port::new(v, i));
+                    inboxes[target.node][target.index] =
+                        Payload::Data(algo.message(state, i));
+                }
+            }
+        }
+        for v in g.nodes() {
+            if let Status::Running(state) = &states[v] {
+                states[v] = algo.step(state, &inboxes[v]);
+            }
+        }
+    }
+    let outputs = states
+        .into_iter()
+        .map(|s| match s {
+            Status::Stopped(o) => o,
+            Status::Running(_) => unreachable!("loop exits when all stopped"),
+        })
+        .collect();
+    Ok((outputs, rounds))
+}
+
+/// Messages of the MIS protocols: a live competitor's priority, or a
+/// decision announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MisMsg {
+    /// Still undecided, competing with this priority.
+    Active(u64),
+    /// Joined the independent set (sender stops after this round).
+    JoinedMis,
+    /// Dominated by an MIS neighbour (sender stops after this round).
+    WentOut,
+}
+
+/// Protocol phase of a node in the MIS protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MisPhase {
+    /// Competing: per-in-port liveness of the neighbours.
+    Active {
+        /// `alive[i]` — the neighbour feeding in-port `i` is undecided.
+        alive: Vec<bool>,
+    },
+    /// Decided; announce once, then stop with this output.
+    Announce(bool),
+}
+
+/// State of a node in [`GreedyMisById`] (and, with per-round redraws, in
+/// the Luby variant): own priority plus the protocol phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisState {
+    /// The current competition priority (the id; redrawn per round in the
+    /// randomised variant).
+    pub priority: u64,
+    /// Protocol phase.
+    pub phase: MisPhase,
+}
+
+/// Greedy maximal independent set by identifiers: an undecided node joins
+/// the MIS as soon as its id exceeds the ids of all still-undecided
+/// neighbours; neighbours of a joiner drop out. Decisions are announced
+/// for one round before stopping, so silence is never ambiguous.
+///
+/// Runs in at most `2n` rounds and outputs `true` exactly on a maximal
+/// independent set — for every graph, every port numbering, and every
+/// assignment of unique ids. No such guarantee is possible in `VVc`
+/// (Corollary 3a; see
+/// [`mis_beyond_vvc`](crate::stronger::separation::mis_beyond_vvc)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyMisById;
+
+impl GreedyMisById {
+    /// The decision step shared with the Luby variant: updates liveness
+    /// from `received`, then decides or keeps competing.
+    pub(crate) fn decide(
+        priority: u64,
+        mut alive: Vec<bool>,
+        received: &[Payload<MisMsg>],
+    ) -> Status<MisState, bool> {
+        let mut mis_neighbor = false;
+        let mut dominated_by_live = false;
+        for (i, payload) in received.iter().enumerate() {
+            match payload {
+                Payload::Data(MisMsg::Active(their)) => {
+                    debug_assert!(alive[i], "active message on a dead port");
+                    if *their > priority {
+                        dominated_by_live = true;
+                    }
+                }
+                Payload::Data(MisMsg::JoinedMis) => {
+                    alive[i] = false;
+                    mis_neighbor = true;
+                }
+                Payload::Data(MisMsg::WentOut) => alive[i] = false,
+                // Stopped nodes announced before stopping, so their port
+                // is already dead.
+                Payload::Silent => debug_assert!(!alive[i], "silence from a live port"),
+            }
+        }
+        if mis_neighbor {
+            Status::Running(MisState { priority, phase: MisPhase::Announce(false) })
+        } else if !dominated_by_live {
+            Status::Running(MisState { priority, phase: MisPhase::Announce(true) })
+        } else {
+            Status::Running(MisState { priority, phase: MisPhase::Active { alive } })
+        }
+    }
+
+    pub(crate) fn emit(state: &MisState) -> MisMsg {
+        match &state.phase {
+            MisPhase::Active { .. } => MisMsg::Active(state.priority),
+            MisPhase::Announce(true) => MisMsg::JoinedMis,
+            MisPhase::Announce(false) => MisMsg::WentOut,
+        }
+    }
+}
+
+impl IdAlgorithm for GreedyMisById {
+    type State = MisState;
+    type Msg = MisMsg;
+    type Output = bool;
+
+    fn init(&self, degree: usize, id: u64) -> Status<MisState, bool> {
+        if degree == 0 {
+            // Isolated nodes are in every MIS and have nobody to tell.
+            Status::Stopped(true)
+        } else {
+            Status::Running(MisState {
+                priority: id,
+                phase: MisPhase::Active { alive: vec![true; degree] },
+            })
+        }
+    }
+
+    fn message(&self, state: &MisState, _port: usize) -> MisMsg {
+        GreedyMisById::emit(state)
+    }
+
+    fn step(&self, state: &MisState, received: &[Payload<MisMsg>]) -> Status<MisState, bool> {
+        match &state.phase {
+            MisPhase::Announce(joined) => Status::Stopped(*joined),
+            MisPhase::Active { alive } => {
+                GreedyMisById::decide(state.priority, alive.clone(), received)
+            }
+        }
+    }
+}
+
+/// Flood-max leader election in the `LOCAL` model: every node floods the
+/// largest identifier it has heard for `rounds` rounds and then elects
+/// itself iff its own id is the maximum.
+///
+/// With `rounds ≥ diameter(G)` this solves
+/// [`LeaderElection`](crate::problems::LeaderElection) on every connected
+/// graph — the classic payoff of identifiers for *global* problems, and a
+/// problem provably outside `VVc`
+/// ([`leader_election_beyond_vvc`](crate::stronger::separation::leader_election_beyond_vvc)).
+/// The round budget must be supplied because anonymous-size networks
+/// admit no termination detection; Linial's model assumes `n` (hence a
+/// diameter bound) is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodMaxLeader {
+    /// How many flooding rounds to run (`≥ diameter` for correctness).
+    pub rounds: usize,
+}
+
+impl IdAlgorithm for FloodMaxLeader {
+    /// `(remaining rounds, own id, max id heard)`.
+    type State = (usize, u64, u64);
+    type Msg = u64;
+    type Output = bool;
+
+    fn init(&self, _degree: usize, id: u64) -> Status<(usize, u64, u64), bool> {
+        if self.rounds == 0 {
+            Status::Stopped(true) // no information: every node claims the crown
+        } else {
+            Status::Running((self.rounds, id, id))
+        }
+    }
+
+    fn message(&self, &(_, _, best): &(usize, u64, u64), _port: usize) -> u64 {
+        best
+    }
+
+    fn step(
+        &self,
+        &(remaining, id, best): &(usize, u64, u64),
+        received: &[Payload<u64>],
+    ) -> Status<(usize, u64, u64), bool> {
+        let heard = received.iter().filter_map(Payload::data).max().copied().unwrap_or(0);
+        let best = best.max(heard);
+        if remaining == 1 {
+            Status::Stopped(id == best)
+        } else {
+            Status::Running((remaining - 1, id, best))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{LeaderElection, MaximalIndependentSet, Problem};
+    use portnum_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_mis_on(g: &Graph, ids: &[u64], seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let p = PortNumbering::random(g, &mut rng);
+            let (out, rounds) =
+                run_with_ids(&GreedyMisById, g, &p, ids, 4 * g.len() + 4).unwrap();
+            assert!(
+                MaximalIndependentSet.is_valid(g, &out),
+                "not an MIS on {g} with ids {ids:?}: {out:?}"
+            );
+            assert!(rounds <= 2 * g.len() + 2, "{g}: took {rounds} rounds");
+        }
+    }
+
+    #[test]
+    fn greedy_mis_on_classic_graphs() {
+        for g in [
+            generators::cycle(4),
+            generators::cycle(7),
+            generators::star(5),
+            generators::petersen(),
+            generators::complete(5),
+            generators::grid(3, 4),
+            generators::path(6),
+        ] {
+            let ids: Vec<u64> = (0..g.len() as u64).map(|v| v * 7 + 3).collect();
+            check_mis_on(&g, &ids, 99);
+            // Reversed ids give a (generally different) valid MIS too.
+            let rev: Vec<u64> = ids.iter().rev().copied().collect();
+            check_mis_on(&g, &rev, 100);
+        }
+    }
+
+    #[test]
+    fn greedy_mis_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let g = generators::gnp(10, 0.3, &mut rng);
+            let ids: Vec<u64> = (0..g.len() as u64).map(|v| v.wrapping_mul(0x9e3779b9)).collect();
+            check_mis_on(&g, &ids, 5);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_join_immediately() {
+        let g = Graph::disjoint_union(&[&generators::path(2), &Graph::empty(1)]);
+        let p = PortNumbering::consistent(&g);
+        let (out, _) = run_with_ids(&GreedyMisById, &g, &p, &[10, 20, 30], 100).unwrap();
+        assert!(out[2], "isolated node must be in the MIS");
+        assert!(MaximalIndependentSet.is_valid(&g, &out));
+    }
+
+    #[test]
+    fn higher_id_wins_on_an_edge() {
+        let g = generators::path(2);
+        let p = PortNumbering::consistent(&g);
+        let (out, rounds) = run_with_ids(&GreedyMisById, &g, &p, &[5, 9], 100).unwrap();
+        assert_eq!(out, vec![false, true]);
+        assert_eq!(rounds, 3, "decide, announce, flush");
+    }
+
+    #[test]
+    fn ignore_ids_embeds_vector_algorithms() {
+        use crate::algorithms::vv::ViewGather;
+        use portnum_machine::Simulator;
+        let g = generators::petersen();
+        let p = PortNumbering::consistent(&g);
+        let ids: Vec<u64> = (0..10).collect();
+        let (with_ids, rounds) =
+            run_with_ids(&IgnoreIds(ViewGather { radius: 2 }), &g, &p, &ids, 100).unwrap();
+        let direct = Simulator::new().run(&ViewGather { radius: 2 }, &g, &p).unwrap();
+        assert_eq!(with_ids, direct.outputs());
+        assert_eq!(rounds, direct.rounds());
+    }
+
+    #[test]
+    fn flood_max_elects_the_maximum_id() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for g in [
+            generators::cycle(8),
+            generators::petersen(),
+            generators::path(6),
+            generators::grid(3, 3),
+        ] {
+            let p = PortNumbering::random(&g, &mut rng);
+            let ids: Vec<u64> = (0..g.len() as u64).map(|v| (v * 31 + 5) % 97).collect();
+            let max_pos =
+                ids.iter().enumerate().max_by_key(|(_, &id)| id).map(|(v, _)| v).unwrap();
+            // Any rounds >= diameter works; n - 1 is a safe bound.
+            let rounds = g.len() - 1;
+            let (out, took) =
+                run_with_ids(&FloodMaxLeader { rounds }, &g, &p, &ids, rounds + 1).unwrap();
+            assert!(LeaderElection.is_valid(&g, &out), "{g}: {out:?}");
+            assert!(out[max_pos], "{g}: the max id must win");
+            assert_eq!(took, rounds);
+        }
+    }
+
+    #[test]
+    fn flood_max_needs_the_diameter() {
+        // With too few rounds, distant nodes never hear the max id and
+        // several elect themselves — the round budget is load-bearing.
+        let g = generators::path(6);
+        let p = PortNumbering::consistent(&g);
+        let ids = vec![10, 1, 2, 3, 4, 5];
+        let (out, _) = run_with_ids(&FloodMaxLeader { rounds: 2 }, &g, &p, &ids, 10).unwrap();
+        assert!(!LeaderElection.is_valid(&g, &out), "2 < diameter 5 must fail: {out:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "identifiers must be unique")]
+    fn duplicate_ids_are_rejected() {
+        let g = generators::path(3);
+        let p = PortNumbering::consistent(&g);
+        let _ = run_with_ids(&GreedyMisById, &g, &p, &[1, 1, 2], 10);
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        let g = generators::cycle(4);
+        let p = PortNumbering::consistent(&g);
+        // One round is never enough for the 2-phase protocol.
+        assert!(run_with_ids(&GreedyMisById, &g, &p, &[1, 2, 3, 4], 1).is_err());
+    }
+
+    use portnum_graph::Graph;
+}

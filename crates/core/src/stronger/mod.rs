@@ -1,0 +1,30 @@
+//! The two stronger models of Section 3.1, executable: networks with
+//! **unique identifiers** (Linial's / the `LOCAL` model) and **randomised**
+//! distributed algorithms.
+//!
+//! The paper uses maximal independent set (MIS) as the problem separating
+//! the weak models from both extensions: "a cycle with a symmetric port
+//! numbering is a simple counterexample" for `MIS ∉ VVc`, while both
+//! stronger models solve MIS easily. This module builds all three pieces:
+//!
+//! * [`local`] — the `LOCAL` model: [`IdAlgorithm`](local::IdAlgorithm)
+//!   (initialisation sees a globally unique id) with a synchronous runner
+//!   and the classic greedy-by-id MIS algorithm;
+//! * [`randomized`] — randomised state machines:
+//!   [`RandomizedAlgorithm`](randomized::RandomizedAlgorithm) (private
+//!   random bits in `init` and `step`) with a seeded runner and a
+//!   Luby-style MIS algorithm;
+//! * [`separation`] — the negative side: on an even cycle there is a
+//!   *consistent* port numbering under which all nodes are bisimilar in
+//!   `K₊,₊`, so by Corollary 3(a) no deterministic anonymous algorithm —
+//!   not even in `VVc` — computes an MIS; packaged with the two positive
+//!   sides as machine-checked [`BeyondEvidence`](separation::BeyondEvidence).
+//!
+//! Both extensions strictly contain `VVc`: every `Vector` algorithm is an
+//! [`IdAlgorithm`](local::IdAlgorithm) that ignores its id and a
+//! [`RandomizedAlgorithm`](randomized::RandomizedAlgorithm) that ignores
+//! its random bits (see the adapter constructors in the submodules).
+
+pub mod local;
+pub mod randomized;
+pub mod separation;

@@ -1,0 +1,305 @@
+//! Randomised distributed algorithms (Section 3.1, extension (b)).
+//!
+//! A [`RandomizedAlgorithm`] is a `Vector` state machine whose
+//! initialisation and transitions may consume private random bits. The
+//! nodes remain anonymous — randomness is the *only* symmetry breaker —
+//! and the execution is otherwise the synchronous semantics of
+//! Section 1.3. The runner derives one independent deterministic stream
+//! per node from a master seed, so every run is reproducible.
+//!
+//! [`LubyMis`] is the classic payoff: maximal independent set with fresh
+//! random priorities per round, solving w.h.p. in `O(log n)` phases a
+//! problem that no deterministic anonymous algorithm solves at all
+//! (see [`separation`](crate::stronger::separation)).
+
+use crate::stronger::local::{GreedyMisById, MisMsg, MisPhase, MisState};
+use portnum_graph::{Graph, Port, PortNumbering};
+use portnum_machine::{Message, Payload, Status, VectorAlgorithm};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt::Debug;
+
+/// An anonymous randomised algorithm: `Vector` plus private random bits.
+pub trait RandomizedAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status from the degree, with access to the node's private
+    /// random stream.
+    fn init(&self, degree: usize, rng: &mut dyn RngCore) -> Status<Self::State, Self::Output>;
+
+    /// The message sent to out-port `port`. Only called on running nodes.
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
+
+    /// The transition on the vector of payloads indexed by in-port, with
+    /// access to the node's private random stream. Only called on running
+    /// nodes.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+        rng: &mut dyn RngCore,
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// Embeds a [`VectorAlgorithm`] into the randomised model by ignoring the
+/// random bits — the trivial containment of deterministic algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IgnoreRandomness<A>(pub A);
+
+impl<A: VectorAlgorithm> RandomizedAlgorithm for IgnoreRandomness<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize, _rng: &mut dyn RngCore) -> Status<A::State, A::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &A::State, port: usize) -> A::Msg {
+        self.0.message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &A::State,
+        received: &[Payload<A::Msg>],
+        _rng: &mut dyn RngCore,
+    ) -> Status<A::State, A::Output> {
+        self.0.step(state, received)
+    }
+}
+
+/// Synchronous execution of a [`RandomizedAlgorithm`] on `(G, p)`.
+///
+/// Each node receives an independent random stream derived
+/// deterministically from `seed` and its position, so runs are exactly
+/// reproducible; the position is a simulation artefact that the algorithm
+/// itself never observes (nodes stay anonymous).
+///
+/// Returns the outputs and the number of rounds.
+///
+/// # Errors
+///
+/// Returns the number of still-running nodes if the round limit is hit
+/// (randomised algorithms may have no deterministic round bound).
+pub fn run_randomized<A: RandomizedAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    p: &PortNumbering,
+    seed: u64,
+    max_rounds: usize,
+) -> Result<(Vec<A::Output>, usize), usize> {
+    let mut master = StdRng::seed_from_u64(seed);
+    let mut rngs: Vec<StdRng> =
+        g.nodes().map(|_| StdRng::seed_from_u64(master.random())).collect();
+
+    let mut states: Vec<Status<A::State, A::Output>> = g
+        .nodes()
+        .map(|v| algo.init(g.degree(v), &mut rngs[v]))
+        .collect();
+    let mut rounds = 0usize;
+    while states.iter().any(|s| !s.is_stopped()) {
+        if rounds == max_rounds {
+            return Err(states.iter().filter(|s| !s.is_stopped()).count());
+        }
+        rounds += 1;
+        let mut inboxes: Vec<Vec<Payload<A::Msg>>> =
+            g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
+        for v in g.nodes() {
+            if let Status::Running(state) = &states[v] {
+                for i in 0..g.degree(v) {
+                    let target = p.forward(Port::new(v, i));
+                    inboxes[target.node][target.index] =
+                        Payload::Data(algo.message(state, i));
+                }
+            }
+        }
+        for v in g.nodes() {
+            if let Status::Running(state) = &states[v] {
+                states[v] = algo.step(state, &inboxes[v], &mut rngs[v]);
+            }
+        }
+    }
+    let outputs = states
+        .into_iter()
+        .map(|s| match s {
+            Status::Stopped(o) => o,
+            Status::Running(_) => unreachable!("loop exits when all stopped"),
+        })
+        .collect();
+    Ok((outputs, rounds))
+}
+
+/// Luby-style randomised maximal independent set: every undecided node
+/// draws a fresh random priority each round and joins the MIS when its
+/// draw strictly exceeds all undecided neighbours' draws; neighbours of a
+/// joiner drop out, and decisions are announced for one round before
+/// stopping.
+///
+/// Anonymous and deterministic-round-free: only the random draws break
+/// symmetry. Each phase removes every edge incident to a local maximum,
+/// so the protocol finishes w.h.p. within `O(log n)` phases; ties (which
+/// have negligible probability at 64-bit precision) merely cost an extra
+/// round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LubyMis;
+
+impl RandomizedAlgorithm for LubyMis {
+    type State = MisState;
+    type Msg = MisMsg;
+    type Output = bool;
+
+    fn init(&self, degree: usize, rng: &mut dyn RngCore) -> Status<MisState, bool> {
+        if degree == 0 {
+            Status::Stopped(true)
+        } else {
+            Status::Running(MisState {
+                priority: rng.next_u64(),
+                phase: MisPhase::Active { alive: vec![true; degree] },
+            })
+        }
+    }
+
+    fn message(&self, state: &MisState, _port: usize) -> MisMsg {
+        GreedyMisById::emit(state)
+    }
+
+    fn step(
+        &self,
+        state: &MisState,
+        received: &[Payload<MisMsg>],
+        rng: &mut dyn RngCore,
+    ) -> Status<MisState, bool> {
+        match &state.phase {
+            MisPhase::Announce(joined) => Status::Stopped(*joined),
+            MisPhase::Active { alive } => {
+                match GreedyMisById::decide(state.priority, alive.clone(), received) {
+                    // Still competing: redraw the priority for the next
+                    // phase — this is the difference to the id-based
+                    // protocol.
+                    Status::Running(MisState { phase: MisPhase::Active { alive }, .. }) => {
+                        Status::Running(MisState {
+                            priority: rng.next_u64(),
+                            phase: MisPhase::Active { alive },
+                        })
+                    }
+                    decided => decided,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{MaximalIndependentSet, Problem};
+    use portnum_graph::generators;
+
+    #[test]
+    fn luby_mis_on_classic_graphs() {
+        for g in [
+            generators::cycle(4),
+            generators::cycle(9),
+            generators::star(6),
+            generators::petersen(),
+            generators::complete(6),
+            generators::grid(4, 4),
+        ] {
+            let p = PortNumbering::consistent(&g);
+            for seed in [1u64, 2, 3] {
+                let (out, rounds) = run_randomized(&LubyMis, &g, &p, seed, 1_000).unwrap();
+                assert!(
+                    MaximalIndependentSet.is_valid(&g, &out),
+                    "not an MIS on {g} with seed {seed}: {out:?}"
+                );
+                assert!(rounds <= 200, "{g}: suspiciously many rounds ({rounds})");
+            }
+        }
+    }
+
+    #[test]
+    fn luby_breaks_symmetric_numberings() {
+        // The whole point: randomness succeeds exactly where Corollary 3
+        // forbids deterministic algorithms (all nodes bisimilar in K₊,₊).
+        let g = generators::cycle(6);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        for seed in 0..5u64 {
+            let (out, _) = run_randomized(&LubyMis, &g, &p, seed, 1_000).unwrap();
+            assert!(MaximalIndependentSet.is_valid(&g, &out), "seed {seed}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let g = generators::petersen();
+        let p = PortNumbering::consistent(&g);
+        let a = run_randomized(&LubyMis, &g, &p, 42, 1_000).unwrap();
+        let b = run_randomized(&LubyMis, &g, &p, 42, 1_000).unwrap();
+        assert_eq!(a, b, "same seed, same run");
+        let c = run_randomized(&LubyMis, &g, &p, 43, 1_000).unwrap();
+        // Different seeds give valid but (here) different sets.
+        assert!(MaximalIndependentSet.is_valid(&g, &c.0));
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    fn ignore_randomness_embeds_deterministic_algorithms() {
+        use crate::algorithms::vv::ViewGather;
+        use portnum_machine::Simulator;
+        let g = generators::grid(2, 3);
+        let p = PortNumbering::consistent(&g);
+        let (rand_out, rounds) =
+            run_randomized(&IgnoreRandomness(ViewGather { radius: 2 }), &g, &p, 7, 100)
+                .unwrap();
+        let direct = Simulator::new().run(&ViewGather { radius: 2 }, &g, &p).unwrap();
+        assert_eq!(rand_out, direct.outputs());
+        assert_eq!(rounds, direct.rounds());
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        /// Never stops.
+        #[derive(Debug)]
+        struct Forever;
+        impl RandomizedAlgorithm for Forever {
+            type State = ();
+            type Msg = ();
+            type Output = ();
+            fn init(&self, _d: usize, _rng: &mut dyn RngCore) -> Status<(), ()> {
+                Status::Running(())
+            }
+            fn message(&self, _: &(), _: usize) {}
+            fn step(&self, _: &(), _: &[Payload<()>], _: &mut dyn RngCore) -> Status<(), ()> {
+                Status::Running(())
+            }
+        }
+        let g = generators::cycle(3);
+        let p = PortNumbering::consistent(&g);
+        assert_eq!(run_randomized(&Forever, &g, &p, 1, 5), Err(3));
+    }
+
+    #[test]
+    fn phase_count_shrinks_with_luck_of_the_draw() {
+        // Statistical sanity (not a proof): across seeds, Luby on a long
+        // cycle finishes well under the deterministic 2n worst case.
+        let g = generators::cycle(30);
+        let p = PortNumbering::consistent(&g);
+        let mut total_rounds = 0usize;
+        for seed in 0..10u64 {
+            let (out, rounds) = run_randomized(&LubyMis, &g, &p, seed, 10_000).unwrap();
+            assert!(MaximalIndependentSet.is_valid(&g, &out));
+            total_rounds += rounds;
+        }
+        assert!(
+            total_rounds / 10 < 2 * g.len(),
+            "average rounds {} should beat the 2n bound",
+            total_rounds / 10
+        );
+    }
+}

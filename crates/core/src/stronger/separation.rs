@@ -1,0 +1,287 @@
+//! `MIS ∉ VVc`, but `MIS ∈ LOCAL` and `MIS ∈` randomised — the paper's
+//! Section 3.1 separation between the weak models and the two stronger
+//! ones, machine-checked.
+//!
+//! The negative side is the paper's one-line remark made precise: "a cycle
+//! with a symmetric port numbering is a simple counterexample". An even
+//! cycle decomposes into two perfect matchings; wiring port `i` along
+//! matching `i` gives a *consistent* port numbering (each edge uses the
+//! same port index at both endpoints, so `p` is an involution) under which
+//! all nodes are plain-bisimilar in `K₊,₊`. By Corollary 3(a) every
+//! deterministic anonymous algorithm — the consistency promise included,
+//! so all of `VVc` — produces a constant output on the cycle, and no
+//! constant output is a maximal independent set.
+//!
+//! The positive sides are the algorithms of the sibling modules:
+//! [`GreedyMisById`] (unique identifiers) and [`LubyMis`] (randomness).
+
+use crate::problems::{LeaderElection, MaximalIndependentSet, Problem};
+use crate::stronger::local::{run_with_ids, FloodMaxLeader, GreedyMisById};
+use crate::stronger::randomized::{run_randomized, LubyMis};
+use portnum_graph::{Graph, Port, PortNumbering};
+use portnum_logic::bisim::{self, BisimStyle};
+use portnum_logic::Kripke;
+use std::fmt;
+
+/// The matching-based consistent symmetric port numbering of an even
+/// cycle `C_{2m}` (nodes in cycle order `0 — 1 — … — 2m-1 — 0`): port 0
+/// along the edges `{2i, 2i+1}`, port 1 along the edges `{2i+1, 2i+2}`.
+///
+/// The numbering is consistent (each edge uses one port index at both
+/// ends) and fully symmetric: every node's local type is `(0, 1)` and all
+/// nodes are bisimilar in `K₊,₊`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` (the construction needs a cycle on `≥ 4` nodes;
+/// `m = 1` would be a multigraph).
+pub fn even_cycle_matched_numbering(m: usize) -> (Graph, PortNumbering) {
+    assert!(m >= 2, "need an even cycle on at least 4 nodes");
+    let n = 2 * m;
+    let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let g = Graph::from_edges(n, &edges).expect("cycles are simple for n >= 3");
+    let mut fwd: Vec<Vec<Port>> = (0..n).map(|_| vec![Port::new(usize::MAX, 0); 2]).collect();
+    for v in 0..n {
+        let matched = if v % 2 == 0 { (v + 1) % n } else { v + n - 1 };
+        let other = if v % 2 == 0 { (v + n - 1) % n } else { (v + 1) % n };
+        fwd[v][0] = Port::new(matched % n, 0);
+        fwd[v][1] = Port::new(other, 1);
+    }
+    let p = PortNumbering::from_forward_map(&g, fwd)
+        .expect("matching-based wiring realises the cycle");
+    debug_assert!(p.is_consistent());
+    (g, p)
+}
+
+/// Evidence that a problem separates the weak models from a stronger one
+/// (the Section 3.1 analogue of
+/// [`SeparationEvidence`](crate::separations::SeparationEvidence), whose
+/// stronger side is outside the seven-class lattice).
+#[derive(Debug, Clone)]
+pub struct BeyondEvidence {
+    /// Name of the stronger model.
+    pub stronger_model: &'static str,
+    /// Name of the witness problem.
+    pub problem: &'static str,
+    /// The witness graph.
+    pub graph: Graph,
+    /// The consistent symmetric numbering certifying the negative side.
+    pub numbering_consistent: bool,
+    /// All nodes bisimilar in `K₊,₊` under that numbering (Corollary 3a's
+    /// hypothesis).
+    pub all_bisimilar: bool,
+    /// No constant output solves the problem on the witness graph.
+    pub constant_outputs_fail: bool,
+    /// The stronger model's algorithm solved the problem on the witness.
+    pub positive_solved: bool,
+    /// Rounds the positive algorithm took.
+    pub positive_rounds: usize,
+}
+
+impl BeyondEvidence {
+    /// Both halves hold: the problem is solvable in the stronger model but
+    /// in none of the paper's seven classes.
+    pub fn holds(&self) -> bool {
+        self.numbering_consistent
+            && self.all_bisimilar
+            && self.constant_outputs_fail
+            && self.positive_solved
+    }
+}
+
+impl fmt::Display for BeyondEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VVc ⊊ {} via “{}”: consistent symmetric numbering = {}, all nodes \
+             bisimilar in K₊,₊ = {}, constants fail = {}, positive side solved \
+             in {} rounds = {}",
+            self.stronger_model,
+            self.problem,
+            self.numbering_consistent,
+            self.all_bisimilar,
+            self.constant_outputs_fail,
+            self.positive_rounds,
+            self.positive_solved,
+        )
+    }
+}
+
+fn negative_side<P: Problem<Output = bool>>(
+    problem: &P,
+    g: &Graph,
+    p: &PortNumbering,
+) -> (bool, bool, bool) {
+    let model = Kripke::k_pp(g, p);
+    let classes = bisim::refine(&model, BisimStyle::Plain);
+    let all_bisimilar = classes.class_count(classes.depth()) == 1;
+    let constant_outputs_fail = !problem.is_valid(g, &vec![true; g.len()])
+        && !problem.is_valid(g, &vec![false; g.len()]);
+    (p.is_consistent(), all_bisimilar, constant_outputs_fail)
+}
+
+/// `MIS ∈ LOCAL ∖ VVc`, on the even cycle `C_{2m}`.
+pub fn mis_beyond_vvc(m: usize) -> BeyondEvidence {
+    let (g, p) = even_cycle_matched_numbering(m);
+    let (numbering_consistent, all_bisimilar, constant_outputs_fail) =
+        negative_side(&MaximalIndependentSet, &g, &p);
+    let ids: Vec<u64> = (0..g.len() as u64).map(|v| v.wrapping_mul(0x9e37_79b9) ^ 0xb7e1).collect();
+    let (outputs, positive_rounds) =
+        run_with_ids(&GreedyMisById, &g, &p, &ids, 4 * g.len()).expect("greedy MIS terminates");
+    BeyondEvidence {
+        stronger_model: "LOCAL (unique identifiers)",
+        problem: MaximalIndependentSet.name(),
+        positive_solved: MaximalIndependentSet.is_valid(&g, &outputs),
+        graph: g,
+        numbering_consistent,
+        all_bisimilar,
+        constant_outputs_fail,
+        positive_rounds,
+    }
+}
+
+/// `MIS ∈ randomised ∖ VVc`, on the even cycle `C_{2m}`.
+pub fn mis_beyond_vvc_randomized(m: usize, seed: u64) -> BeyondEvidence {
+    let (g, p) = even_cycle_matched_numbering(m);
+    let (numbering_consistent, all_bisimilar, constant_outputs_fail) =
+        negative_side(&MaximalIndependentSet, &g, &p);
+    let (outputs, positive_rounds) =
+        run_randomized(&LubyMis, &g, &p, seed, 100_000).expect("Luby terminates w.h.p.");
+    BeyondEvidence {
+        stronger_model: "randomised",
+        problem: MaximalIndependentSet.name(),
+        positive_solved: MaximalIndependentSet.is_valid(&g, &outputs),
+        graph: g,
+        numbering_consistent,
+        all_bisimilar,
+        constant_outputs_fail,
+        positive_rounds,
+    }
+}
+
+/// `Leader election ∈ LOCAL ∖ VVc`, on the even cycle `C_{2m}` — the
+/// paper's Section 5.4 remark on prior work's natural *global* witness,
+/// with flood-max on the positive side.
+pub fn leader_election_beyond_vvc(m: usize) -> BeyondEvidence {
+    let (g, p) = even_cycle_matched_numbering(m);
+    let (numbering_consistent, all_bisimilar, constant_outputs_fail) =
+        negative_side(&LeaderElection, &g, &p);
+    let ids: Vec<u64> = (0..g.len() as u64).map(|v| (v * 13 + 7) % 251).collect();
+    let diameter = m; // an even cycle C_{2m} has diameter m
+    let (outputs, positive_rounds) =
+        run_with_ids(&FloodMaxLeader { rounds: diameter }, &g, &p, &ids, diameter + 1)
+            .expect("flood-max runs exactly `rounds` rounds");
+    BeyondEvidence {
+        stronger_model: "LOCAL (unique identifiers)",
+        problem: LeaderElection.name(),
+        positive_solved: LeaderElection.is_valid(&g, &outputs),
+        graph: g,
+        numbering_consistent,
+        all_bisimilar,
+        constant_outputs_fail,
+        positive_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_machine::Simulator;
+
+    #[test]
+    fn matched_numbering_is_consistent_and_symmetric() {
+        for m in [2usize, 3, 5] {
+            let (g, p) = even_cycle_matched_numbering(m);
+            assert_eq!(g.len(), 2 * m);
+            assert!(p.is_consistent());
+            let t0 = p.local_type(0);
+            for v in g.nodes() {
+                assert_eq!(p.local_type(v), t0, "local types must coincide");
+            }
+            // Port i pairs with port i across every edge.
+            for (from, to) in p.pairs() {
+                assert_eq!(from.index, to.index);
+            }
+        }
+    }
+
+    #[test]
+    fn mis_beyond_vvc_holds() {
+        for m in [2usize, 4, 6] {
+            let e = mis_beyond_vvc(m);
+            assert!(e.holds(), "{e}");
+        }
+    }
+
+    #[test]
+    fn mis_beyond_vvc_randomized_holds() {
+        for (m, seed) in [(2usize, 7u64), (5, 8), (8, 9)] {
+            let e = mis_beyond_vvc_randomized(m, seed);
+            assert!(e.holds(), "{e}");
+        }
+    }
+
+    #[test]
+    fn leader_election_beyond_vvc_holds() {
+        for m in [2usize, 3, 6] {
+            let e = leader_election_beyond_vvc(m);
+            assert!(e.holds(), "{e}");
+            assert_eq!(e.positive_rounds, m, "flood-max runs diameter rounds");
+        }
+    }
+
+    #[test]
+    fn connected_covers_also_defeat_leader_election() {
+        // The second impossibility mechanism: a connected 2-lift of the
+        // witness carries any would-be leader to both fibre members, so
+        // no algorithm correct on C_{2m} *and* its lifts can elect.
+        use portnum_graph::lifts::{lift, Voltages};
+        use portnum_graph::properties;
+        let (g, p) = even_cycle_matched_numbering(3);
+        // Swap the sheets across exactly one edge: the total voltage
+        // around the cycle is odd, so the 2-lift is the connected C_24.
+        let mut perms = vec![vec![0, 1]; g.edge_count()];
+        perms[0] = vec![1, 0];
+        let voltages = Voltages::new(&g, 2, perms).unwrap();
+        let lifted = lift(&g, &p, &voltages).unwrap();
+        assert_eq!(properties::component_count(lifted.graph()), 1);
+        // If outputs on the lift are fibre-constant (which the lifting
+        // lemma forces for every deterministic anonymous algorithm), a
+        // unique leader downstairs means exactly two leaders upstairs.
+        let mut fake = vec![false; g.len()];
+        fake[0] = true;
+        assert!(LeaderElection.is_valid(&g, &fake));
+        let lifted_outputs: Vec<bool> = lifted
+            .graph()
+            .nodes()
+            .map(|w| fake[lifted.covering_map().project(w)])
+            .collect();
+        assert!(!LeaderElection.is_valid(lifted.graph(), &lifted_outputs));
+    }
+
+    #[test]
+    fn deterministic_anonymous_algorithms_output_constants_here() {
+        // Corollary 3a in action: run an actual VVc-side algorithm on the
+        // witness and watch it produce a constant (hence invalid) output.
+        use crate::algorithms::vvc::LocalTypeSymmetryBreak;
+        let (g, p) = even_cycle_matched_numbering(3);
+        let run = Simulator::new().run(&LocalTypeSymmetryBreak, &g, &p).unwrap();
+        let first = &run.outputs()[0];
+        assert!(run.outputs().iter().all(|o| o == first), "output must be constant");
+        assert!(!MaximalIndependentSet.is_valid(&g, run.outputs()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 nodes")]
+    fn tiny_cycles_rejected() {
+        let _ = even_cycle_matched_numbering(1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = mis_beyond_vvc(2);
+        let s = e.to_string();
+        assert!(s.contains("LOCAL"));
+        assert!(s.contains("maximal independent set"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Exact brute-force verifiers used by problem validity checks, tests, and
+//! the reproduce harness. Exponential-time; intended for small instances.
+
+use portnum_graph::{matching, Graph};
+
+/// Returns `true` if `cover` (an indicator per node) is a vertex cover.
+pub fn is_vertex_cover(g: &Graph, cover: &[bool]) -> bool {
+    g.edges().all(|(u, v)| cover[u] || cover[v])
+}
+
+/// The size of a minimum vertex cover, by branch and bound on edges.
+///
+/// Runs in `O*(2^{m})` worst case but prunes aggressively; fine for graphs
+/// with a few dozen nodes.
+pub fn min_vertex_cover_size(g: &Graph) -> usize {
+    // Lower bound from a maximum matching (König gives equality on
+    // bipartite graphs, so the search closes quickly there).
+    let matching_bound = matching::maximum_matching(g)
+        .iter()
+        .filter(|m| m.is_some())
+        .count()
+        / 2;
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut best = g.len();
+    let mut in_cover = vec![false; g.len()];
+    fn rec(
+        edges: &[(usize, usize)],
+        in_cover: &mut Vec<bool>,
+        size: usize,
+        best: &mut usize,
+        bound: usize,
+    ) {
+        if size >= *best {
+            return;
+        }
+        // Find the first uncovered edge.
+        let Some(&(u, v)) = edges.iter().find(|&&(u, v)| !in_cover[u] && !in_cover[v]) else {
+            *best = size;
+            return;
+        };
+        if *best == bound {
+            return;
+        }
+        in_cover[u] = true;
+        rec(edges, in_cover, size + 1, best, bound);
+        in_cover[u] = false;
+        in_cover[v] = true;
+        rec(edges, in_cover, size + 1, best, bound);
+        in_cover[v] = false;
+    }
+    rec(&edges, &mut in_cover, 0, &mut best, matching_bound);
+    best
+}
+
+/// Returns `true` if `set` is an independent set.
+pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
+    g.edges().all(|(u, v)| !(set[u] && set[v]))
+}
+
+/// Returns `true` if `set` is a *maximal* independent set.
+pub fn is_maximal_independent_set(g: &Graph, set: &[bool]) -> bool {
+    is_independent_set(g, set)
+        && g.nodes().all(|v| set[v] || g.neighbors(v).iter().any(|&u| set[u]))
+}
+
+/// Returns `true` if `colors` is a proper colouring with values `< k`.
+pub fn is_proper_coloring(g: &Graph, colors: &[usize], k: usize) -> bool {
+    colors.iter().all(|&c| c < k) && g.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+/// The independence number (size of a maximum independent set), brute force.
+pub fn max_independent_set_size(g: &Graph) -> usize {
+    // Complement of a minimum vertex cover.
+    g.len() - min_vertex_cover_size(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::generators;
+
+    #[test]
+    fn vertex_cover_checks() {
+        let g = generators::cycle(5);
+        assert!(is_vertex_cover(&g, &[true, false, true, false, true]));
+        assert!(!is_vertex_cover(&g, &[true, false, false, false, true]));
+        assert_eq!(min_vertex_cover_size(&g), 3);
+        assert_eq!(min_vertex_cover_size(&generators::star(5)), 1);
+        assert_eq!(min_vertex_cover_size(&generators::complete(5)), 4);
+        assert_eq!(min_vertex_cover_size(&generators::petersen()), 6);
+        assert_eq!(min_vertex_cover_size(&Graph::empty(4)), 0);
+    }
+
+    use portnum_graph::Graph;
+
+    #[test]
+    fn independent_set_checks() {
+        let g = generators::cycle(4);
+        assert!(is_maximal_independent_set(&g, &[true, false, true, false]));
+        // Independent but not maximal.
+        assert!(is_independent_set(&g, &[true, false, false, false]));
+        assert!(!is_maximal_independent_set(&g, &[true, false, false, false]));
+        // Not independent.
+        assert!(!is_independent_set(&g, &[true, true, false, false]));
+        assert_eq!(max_independent_set_size(&g), 2);
+    }
+
+    #[test]
+    fn coloring_checks() {
+        let g = generators::cycle(4);
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1], 2));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 0], 2));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 2], 2));
+        let odd = generators::cycle(5);
+        assert!(is_proper_coloring(&odd, &[0, 1, 0, 1, 2], 3));
+    }
+
+    #[test]
+    fn bound_matches_matching_on_bipartite() {
+        // König: on bipartite graphs min VC = max matching.
+        for g in [generators::grid(3, 3), generators::hypercube(3), generators::complete_bipartite(3, 4)]
+        {
+            let m = matching::maximum_matching(&g).iter().filter(|x| x.is_some()).count() / 2;
+            assert_eq!(min_vertex_cover_size(&g), m, "{g}");
+        }
+    }
+}

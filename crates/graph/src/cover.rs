@@ -1,0 +1,93 @@
+//! Covering constructions, primarily the bipartite double cover used in the
+//! proof of Lemma 15.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::matching::Bipartite;
+
+/// The bipartite double cover `G*` of `G` as an explicit bipartite graph:
+/// left worlds are `V × {1}`, right worlds are `V × {2}`, and every edge
+/// `{u, v}` of `G` induces `{(u,1),(v,2)}` and `{(v,1),(u,2)}` in `G*`.
+///
+/// If `G` is `k`-regular, so is `G*`, which is the precondition for its
+/// 1-factorization (Hall's marriage theorem / König's theorem).
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{cover, generators};
+///
+/// let g = generators::cycle(5);
+/// let cover = cover::bipartite_double_cover(&g);
+/// assert_eq!(cover.left_len(), 5);
+/// assert_eq!(cover.edge_count(), 10);
+/// ```
+pub fn bipartite_double_cover(g: &Graph) -> Bipartite {
+    let mut cover = Bipartite::new(g.len(), g.len());
+    for (u, v) in g.edges() {
+        cover.add_edge(u, v);
+        cover.add_edge(v, u);
+    }
+    cover
+}
+
+/// The bipartite double cover as an ordinary [`Graph`] on `2n` nodes:
+/// node `v` maps to `(v, 1) = v` and `(v, 2) = v + n`.
+pub fn double_cover_graph(g: &Graph) -> Graph {
+    let n = g.len();
+    let mut b = GraphBuilder::new(2 * n);
+    for (u, v) in g.edges() {
+        b.edge(u, v + n).expect("cover edges are simple");
+        b.edge(v, u + n).expect("cover edges are simple");
+    }
+    b.build()
+}
+
+/// Lifts a node of the double cover graph back to `(original, sheet)`.
+pub fn cover_projection(n: usize, cover_node: NodeId) -> (NodeId, u8) {
+    if cover_node < n {
+        (cover_node, 0)
+    } else {
+        (cover_node - n, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::properties;
+
+    #[test]
+    fn double_cover_is_bipartite_and_regular() {
+        let g = generators::petersen();
+        let c = double_cover_graph(&g);
+        assert_eq!(c.len(), 20);
+        assert_eq!(c.edge_count(), 2 * g.edge_count());
+        assert_eq!(properties::regularity(&c), Some(3));
+        assert!(properties::bipartition(&c).is_some());
+    }
+
+    #[test]
+    fn double_cover_of_bipartite_graph_is_disconnected() {
+        // The double cover of a connected bipartite graph is two disjoint
+        // copies of it.
+        let g = generators::cycle(4);
+        let c = double_cover_graph(&g);
+        assert_eq!(properties::component_count(&c), 2);
+    }
+
+    #[test]
+    fn double_cover_of_odd_cycle_is_big_cycle() {
+        let g = generators::cycle(5);
+        let c = double_cover_graph(&g);
+        assert_eq!(properties::component_count(&c), 1);
+        assert_eq!(properties::regularity(&c), Some(2));
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn projection_round_trip() {
+        assert_eq!(cover_projection(5, 3), (3, 0));
+        assert_eq!(cover_projection(5, 8), (3, 1));
+    }
+}

@@ -1,0 +1,164 @@
+//! Error types for graph construction and port-numbering operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising when constructing or validating a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop {
+        /// The node with the self loop.
+        node: usize,
+    },
+    /// The same undirected edge was given twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} is out of range for a graph on {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self loop at node {node} (graphs must be simple)")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge {{{u}, {v}}} (graphs must be simple)")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Errors arising when constructing or validating a
+/// [`PortNumbering`](crate::PortNumbering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortError {
+    /// The port map was not a bijection on the ports of the graph.
+    NotBijective,
+    /// The port map connected two nodes that are not adjacent in the graph,
+    /// or missed an adjacent pair (`A(p) != A(G)`).
+    EdgeMismatch,
+    /// A port index was outside `0..deg(v)`.
+    PortOutOfRange {
+        /// The node whose port was out of range.
+        node: usize,
+        /// The offending port index.
+        index: usize,
+        /// The degree of the node.
+        degree: usize,
+    },
+    /// The requested construction needs a regular graph.
+    NotRegular,
+    /// The requested construction needs a nonempty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for PortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PortError::NotBijective => write!(f, "port map is not a bijection on ports"),
+            PortError::EdgeMismatch => {
+                write!(f, "port map does not realise the adjacency relation of the graph")
+            }
+            PortError::PortOutOfRange { node, index, degree } => write!(
+                f,
+                "port index {index} out of range at node {node} of degree {degree}"
+            ),
+            PortError::NotRegular => write!(f, "construction requires a regular graph"),
+            PortError::EmptyGraph => write!(f, "construction requires a nonempty graph"),
+        }
+    }
+}
+
+impl Error for PortError {}
+
+/// Errors arising from matching and factorization routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchingError {
+    /// A perfect matching was required but does not exist.
+    NoPerfectMatching,
+    /// A factorization was requested on a graph that is not regular.
+    NotRegular,
+    /// Left and right sides of a bipartite graph have different sizes.
+    UnbalancedBipartite,
+}
+
+impl fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MatchingError::NoPerfectMatching => write!(f, "no perfect matching exists"),
+            MatchingError::NotRegular => write!(f, "graph is not regular"),
+            MatchingError::UnbalancedBipartite => {
+                write!(f, "bipartite graph has unbalanced sides")
+            }
+        }
+    }
+}
+
+impl Error for MatchingError {}
+
+/// Errors arising when constructing covering graphs (lifts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// A voltage assignment must have at least one sheet.
+    NoSheets,
+    /// The voltage assignment does not have one permutation per edge.
+    WrongEdgeCount {
+        /// Number of permutations given.
+        given: usize,
+        /// Number of edges of the base graph.
+        expected: usize,
+    },
+    /// A voltage was not a permutation of the sheet set.
+    NotAPermutation {
+        /// The canonical index of the offending edge.
+        edge: usize,
+        /// The number of sheets.
+        sheets: usize,
+    },
+    /// A projection image was not a node of the base graph.
+    ProjectionOutOfRange {
+        /// The offending image.
+        node: usize,
+        /// The number of base nodes.
+        base_len: usize,
+    },
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LiftError::NoSheets => write!(f, "voltage assignment needs at least one sheet"),
+            LiftError::WrongEdgeCount { given, expected } => write!(
+                f,
+                "voltage assignment has {given} permutations but the graph has {expected} edges"
+            ),
+            LiftError::NotAPermutation { edge, sheets } => write!(
+                f,
+                "voltage on edge {edge} is not a permutation of {sheets} sheets"
+            ),
+            LiftError::ProjectionOutOfRange { node, base_len } => write!(
+                f,
+                "projection image {node} is out of range for a base graph on {base_len} nodes"
+            ),
+        }
+    }
+}
+
+impl Error for LiftError {}

@@ -1,0 +1,498 @@
+//! Graph generators: classic families, random models, and the witness
+//! graphs used by the paper's separation proofs.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The path `P_n` on `n` nodes (`n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.edge(v - 1, v).expect("path edges are simple");
+    }
+    b.build()
+}
+
+/// The cycle `C_n` on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.edge(v, (v + 1) % n).expect("cycle edges are simple");
+    }
+    b.build()
+}
+
+/// The star `K_{1,k}`: node `0` is the centre, nodes `1..=k` are leaves.
+pub fn star(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(k + 1);
+    for v in 1..=k {
+        b.edge(0, v).expect("star edges are simple");
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.edge(u, v).expect("complete graph edges are simple");
+        }
+    }
+    b.build()
+}
+
+/// The circulant graph `C_n(offsets)`: node `v` is adjacent to
+/// `v ± s (mod n)` for every offset `s`. Circulants are vertex-transitive
+/// (hence regular), which makes them the natural stress family for
+/// symmetric port numberings (Lemma 15): `circulant(n, &[1])` is the
+/// cycle, `circulant(n, &[1, 2, …, ⌊n/2⌋])` the complete graph.
+///
+/// # Panics
+///
+/// Panics if an offset is `0`, exceeds `n / 2`, or is repeated (any of
+/// which would create loops or multi-edges).
+pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::new();
+    for &s in offsets {
+        assert!(s > 0, "offset 0 would be a self loop");
+        assert!(2 * s <= n, "offset {s} exceeds n/2 = {}", n / 2);
+        assert!(seen.insert(s), "offset {s} repeated");
+        for v in 0..n {
+            let u = (v + s) % n;
+            if !b.has_edge(v, u) {
+                b.edge(v, u).expect("distinct offsets give simple edges");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The wheel `W_k`: a `k`-cycle (nodes `1..=k`) plus a hub (node `0`)
+/// adjacent to every rim node.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+pub fn wheel(k: usize) -> Graph {
+    assert!(k >= 3, "a wheel needs a rim of at least 3 nodes");
+    let mut b = GraphBuilder::new(k + 1);
+    for v in 1..=k {
+        b.edge(0, v).expect("spokes are simple");
+        let next = if v == k { 1 } else { v + 1 };
+        b.edge(v, next).expect("rim edges are simple");
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` with left side `0..a` and right
+/// side `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            builder.edge(u, v).expect("bipartite edges are simple");
+        }
+    }
+    builder.build()
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.edge(idx(r, c), idx(r, c + 1)).expect("grid edges are simple");
+            }
+            if r + 1 < rows {
+                b.edge(idx(r, c), idx(r + 1, c)).expect("grid edges are simple");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.edge(v, u).expect("hypercube edges are simple");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A complete binary tree with the given number of nodes (heap layout:
+/// children of `v` are `2v + 1` and `2v + 2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.edge(v, (v - 1) / 2).expect("tree edges are simple");
+    }
+    b.build()
+}
+
+/// The Petersen graph (3-regular, 10 nodes; it *does* have a 1-factor).
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for v in 0..5 {
+        b.edge(v, (v + 1) % 5).expect("outer cycle");
+        b.edge(v, v + 5).expect("spokes");
+        b.edge(v + 5, (v + 2) % 5 + 5).expect("inner pentagram");
+    }
+    b.build()
+}
+
+/// The 4-node example graph of Figures 1–2 of the paper: one node of degree
+/// 3 (node `0`), two of degree 2 (nodes `1`, `2`), one of degree 1 (node `3`).
+pub fn figure1_graph() -> Graph {
+    Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]).expect("figure 1 graph is simple")
+}
+
+/// The two-component witness for Theorem 13 (`SB ⊊ MB`).
+///
+/// Component 1 (nodes `0..7`): two degree-3 nodes `0` and `4` joined by a
+/// degree-2 bridge node `3`, each carrying two pendant leaves. Node `0`
+/// has **two** odd-degree neighbours (its leaves).
+///
+/// Component 2 (nodes `7..13`): two degree-3 nodes `7` and `9` joined by two
+/// parallel degree-2 paths (through `11` and `12`), each carrying one
+/// pendant leaf. Node `7` has **one** odd-degree neighbour (its leaf).
+///
+/// All degree-3 nodes are bisimilar in the Kripke model `K_{-,-}` (each sees
+/// the *set* {leaf-class, bridge-class}), yet the odd-odd problem of
+/// Theorem 13 forces node `0` to answer 0 and node `7` to answer 1, so the
+/// problem is not in `SB`. A `Multiset ∩ Broadcast` algorithm distinguishes
+/// them by counting. Returns the graph together with the pair of white
+/// (bisimilar, differently-labelled) nodes `(0, 7)`.
+pub fn theorem13_witness() -> (Graph, (NodeId, NodeId)) {
+    let g = Graph::from_edges(
+        13,
+        &[
+            // Component 1: v1 = 0 (leaves 1, 2), bridge b1 = 3, v1' = 4 (leaves 5, 6).
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (3, 4),
+            (4, 5),
+            (4, 6),
+            // Component 2: v2 = 7 (leaf 8), v2' = 9 (leaf 10), bridges 11, 12.
+            (7, 8),
+            (7, 11),
+            (7, 12),
+            (9, 10),
+            (9, 11),
+            (9, 12),
+        ],
+    )
+    .expect("theorem 13 witness is simple");
+    (g, (0, 7))
+}
+
+/// A connected `k`-regular graph **without a 1-factor**, for odd `k ≥ 3`
+/// (Figure 9a generalised; for `k = 3` this is the classic 16-vertex example
+/// from Bondy–Murty, Fig. 5.10).
+///
+/// Construction: a centre node plus `k` copies of a gadget. The gadget is
+/// `K_{k+2}` minus a near-perfect matching missing `w`, minus one more edge
+/// `{w, x}`; this leaves every gadget node with degree `k` except `x` with
+/// degree `k - 1`. The centre is joined to the `x`-node of every copy.
+/// Removing the centre leaves `k` components of odd order `k + 2`, so by
+/// Tutte's theorem there is no perfect matching.
+///
+/// # Panics
+///
+/// Panics if `k` is even or `k < 3`.
+pub fn no_one_factor(k: usize) -> Graph {
+    assert!(k >= 3 && k % 2 == 1, "construction needs odd k >= 3");
+    let gadget_size = k + 2;
+    let n = 1 + k * gadget_size;
+    let centre = 0;
+    let mut b = GraphBuilder::new(n);
+    for copy in 0..k {
+        let base = 1 + copy * gadget_size;
+        let w = base;
+        let x = base + 1;
+        let excluded = |a: usize, c: usize| -> bool {
+            let (a, c) = if a < c { (a, c) } else { (c, a) };
+            // Near-perfect matching missing w: pairs (base+1, base+2),
+            // (base+3, base+4), ..., (base+k, base+k+1).
+            if a > base && (a - base) % 2 == 1 && c == a + 1 {
+                return true;
+            }
+            // The extra edge {w, x}.
+            a == w && c == x
+        };
+        for i in 0..gadget_size {
+            for j in (i + 1)..gadget_size {
+                if !excluded(base + i, base + j) {
+                    b.edge(base + i, base + j).expect("gadget edges are simple");
+                }
+            }
+        }
+        b.edge(centre, x).expect("spoke to gadget");
+    }
+    b.build()
+}
+
+/// A uniformly random graph `G(n, p)` (Erdős–Rényi).
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                b.edge(u, v).expect("gnp edges are simple");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random `d`-regular simple graph on `n` nodes via the configuration
+/// model with rejection (resampled until simple).
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd, or `d >= n`, or no simple pairing is found in a
+/// large number of attempts (astronomically unlikely for moderate `d`).
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "degree must be less than n");
+    'attempt: for _ in 0..10_000 {
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(rng);
+        let mut b = GraphBuilder::new(n);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || b.has_edge(u, v) {
+                continue 'attempt;
+            }
+            b.edge(u, v).expect("checked above");
+        }
+        return b.build();
+    }
+    panic!("failed to sample a simple {d}-regular graph on {n} nodes");
+}
+
+/// A random tree on `n` nodes (uniform Prüfer sequence for `n ≥ 2`).
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("single edge");
+    }
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("tree always has a leaf");
+        b.edge(leaf, v).expect("prufer edges are simple");
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(c) = leaves.pop().expect("two leaves remain");
+    b.edge(a, c).expect("prufer edges are simple");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::has_one_factor;
+    use crate::properties;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(5);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let c = cycle(5);
+        assert_eq!(c.edge_count(), 5);
+        assert!(c.nodes().all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = star(6);
+        assert_eq!(s.degree(0), 6);
+        assert!((1..=6).all(|v| s.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_and_bipartite() {
+        let k = complete(5);
+        assert_eq!(k.edge_count(), 10);
+        let kb = complete_bipartite(2, 3);
+        assert_eq!(kb.edge_count(), 6);
+        assert_eq!(properties::bipartition(&kb).is_some(), true);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn hypercube_regular() {
+        let q = hypercube(3);
+        assert_eq!(q.len(), 8);
+        assert_eq!(properties::regularity(&q), Some(3));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = binary_tree(7);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.degree(0), 2);
+        assert_eq!(t.degree(1), 3);
+        assert_eq!(t.degree(6), 1);
+    }
+
+    #[test]
+    fn petersen_is_cubic_with_one_factor() {
+        let g = petersen();
+        assert_eq!(properties::regularity(&g), Some(3));
+        assert!(properties::is_connected(&g));
+        assert!(has_one_factor(&g));
+    }
+
+    #[test]
+    fn figure1_graph_degrees() {
+        let g = figure1_graph();
+        let mut degs = g.degrees();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn theorem13_witness_degrees() {
+        let (g, (a, b)) = theorem13_witness();
+        assert_eq!(g.degree(a), 3);
+        assert_eq!(g.degree(b), 3);
+        // a has two odd-degree neighbours, b has one.
+        let odd = |v: usize| g.neighbors(v).iter().filter(|&&u| g.degree(u) % 2 == 1).count();
+        assert_eq!(odd(a), 2);
+        assert_eq!(odd(b), 1);
+    }
+
+    #[test]
+    fn no_one_factor_is_regular_connected_unmatchable() {
+        for k in [3usize, 5] {
+            let g = no_one_factor(k);
+            assert_eq!(g.len(), 1 + k * (k + 2));
+            assert_eq!(properties::regularity(&g), Some(k), "k = {k}");
+            assert!(properties::is_connected(&g));
+            assert!(!has_one_factor(&g), "k = {k} should have no 1-factor");
+        }
+    }
+
+    #[test]
+    fn no_one_factor_k3_is_the_classic_16_vertex_graph() {
+        let g = no_one_factor(3);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.edge_count(), 24);
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (n, d) in [(10, 3), (12, 4), (9, 2)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(properties::regularity(&g), Some(d));
+        }
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 3, 8, 20] {
+            let t = random_tree(n, &mut rng);
+            assert_eq!(t.edge_count(), n - 1);
+            assert!(properties::is_connected(&t));
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(gnp(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn circulant_special_cases() {
+        assert_eq!(circulant(7, &[1]), cycle(7));
+        assert_eq!(circulant(5, &[1, 2]), complete(5));
+        // An even n with the half offset: the "antipodal" matching makes
+        // the degree odd.
+        let g = circulant(6, &[1, 3]);
+        assert_eq!(properties::regularity(&g), Some(3));
+        assert!(properties::is_connected(&g));
+        // Every circulant admits the Lemma 15 symmetric numbering.
+        let p = crate::PortNumbering::symmetric_regular(&g).unwrap();
+        let t0 = p.local_type(0);
+        for v in g.nodes() {
+            assert_eq!(p.local_type(v), t0);
+        }
+    }
+
+    #[test]
+    fn circulant_rejects_bad_offsets() {
+        use std::panic::catch_unwind;
+        assert!(catch_unwind(|| circulant(6, &[0])).is_err());
+        assert!(catch_unwind(|| circulant(6, &[4])).is_err());
+        assert!(catch_unwind(|| circulant(6, &[2, 2])).is_err());
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(5);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.degree(0), 5, "hub");
+        for v in 1..=5 {
+            assert_eq!(g.degree(v), 3, "rim node {v}");
+        }
+        assert!(properties::is_connected(&g));
+        assert!(catch_unwind_silent(|| wheel(2)).is_err());
+    }
+
+    fn catch_unwind_silent<R>(f: impl FnOnce() -> R + std::panic::UnwindSafe) -> std::thread::Result<R> {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = std::panic::catch_unwind(f);
+        std::panic::set_hook(hook);
+        out
+    }
+}

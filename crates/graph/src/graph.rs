@@ -1,0 +1,335 @@
+//! Simple undirected graphs with bounded degree.
+//!
+//! The paper works with the family `F(Δ)` of simple undirected graphs of
+//! maximum degree at most `Δ`. [`Graph`] is an adjacency-list representation
+//! of such a graph, with nodes identified by `0..n`.
+//!
+//! Adjacency lists are kept sorted, so the *neighbour position* of `u` in
+//! `N(v)` is a stable, canonical notion used throughout the workspace (port
+//! numberings are stored as permutations of neighbour positions).
+
+use crate::error::GraphError;
+use std::fmt;
+
+/// A node identifier: an index in `0..n`.
+pub type NodeId = usize;
+
+/// A simple undirected graph on nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 3));
+/// # Ok::<(), portnum_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge is a self
+    /// loop, or an edge appears twice (in either orientation).
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Returns a builder for incremental construction.
+    pub fn builder(n: usize) -> GraphBuilder {
+        GraphBuilder::new(n)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree `Δ` (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The sorted neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v]
+    }
+
+    /// Position of `u` in the sorted neighbour list of `v`, if adjacent.
+    pub fn neighbor_position(&self, v: NodeId, u: NodeId) -> Option<usize> {
+        self.adj[v].binary_search(&u).ok()
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.len() && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all edges as pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.len()
+    }
+
+    /// The degree sequence, indexed by node.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// Builds the disjoint union of the given graphs, renumbering nodes of
+    /// the `i`-th graph by the total size of the preceding graphs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use portnum_graph::{generators, Graph};
+    ///
+    /// let g = Graph::disjoint_union(&[&generators::cycle(3), &generators::path(2)]);
+    /// assert_eq!(g.len(), 5);
+    /// assert_eq!(g.edge_count(), 4);
+    /// ```
+    pub fn disjoint_union(parts: &[&Graph]) -> Graph {
+        let n: usize = parts.iter().map(|g| g.len()).sum();
+        let mut b = GraphBuilder::new(n);
+        let mut offset = 0;
+        for g in parts {
+            for (u, v) in g.edges() {
+                b.edge(u + offset, v + offset)
+                    .expect("disjoint union of valid graphs is valid");
+            }
+            offset += g.len();
+        }
+        b.build()
+    }
+
+    /// Returns the subgraph induced on `keep` (order preserved), along with
+    /// the mapping from new ids to old ids.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut index = vec![usize::MAX; self.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            index[old] = new;
+        }
+        let mut b = GraphBuilder::new(keep.len());
+        for (u, v) in self.edges() {
+            if index[u] != usize::MAX && index[v] != usize::MAX {
+                b.edge(index[u], index[v]).expect("induced subgraph is simple");
+            }
+        }
+        (b.build(), keep.to_vec())
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.len(), self.edge_count())
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::Graph;
+///
+/// let mut b = Graph::builder(3);
+/// b.edge(0, 1)?;
+/// b.edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), portnum_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, self loops, or duplicates.
+    pub fn edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        let n = self.adj.len();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.adj[u].contains(&v) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edge_count += 1;
+        Ok(self)
+    }
+
+    /// Returns `true` if the edge `{u, v}` is already present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.adj.len() && self.adj[u].contains(&v)
+    }
+
+    /// Finalises the graph, sorting adjacency lists.
+    pub fn build(mut self) -> Graph {
+        for ns in &mut self.adj {
+            ns.sort_unstable();
+        }
+        Graph { adj: self.adj, edge_count: self.edge_count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_empty());
+        assert!(Graph::empty(0).is_empty());
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edges_both_orientations() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 1), (0, 1)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = Graph::from_edges(4, &[(2, 0), (3, 1), (0, 1)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn neighbor_position_matches_sorted_order() {
+        let g = Graph::from_edges(4, &[(1, 3), (1, 0), (1, 2)]).unwrap();
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbor_position(1, 2), Some(1));
+        assert_eq!(g.neighbor_position(1, 1), None);
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let a = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let b = Graph::from_edges(3, &[(0, 2)]).unwrap();
+        let u = Graph::disjoint_union(&[&a, &b]);
+        assert_eq!(u.len(), 5);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 4));
+        assert!(!u.has_edge(1, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_inner_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let (h, map) = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.edge_count(), 2);
+        assert_eq!(map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let g = Graph::empty(1);
+        assert!(!format!("{g}").is_empty());
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

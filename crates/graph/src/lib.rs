@@ -1,0 +1,61 @@
+//! # portnum-graph
+//!
+//! Graph substrate for the *port-numbering model* of distributed computing,
+//! as studied in Hella et al., “Weak models of distributed computing, with
+//! connections to modal logic” (PODC 2012).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — simple undirected graphs of bounded degree (the family
+//!   `F(Δ)` of the paper);
+//! * [`PortNumbering`] — bijections on ports realising the adjacency
+//!   relation, with consistent, random, and *symmetric* (Lemma 15)
+//!   constructions;
+//! * [`generators`] — classic families plus the paper's witness graphs
+//!   (Figure 1, the Theorem 13 two-component witness, Figure 9's regular
+//!   graphs without a 1-factor);
+//! * [`matching`] — Hopcroft–Karp, 1-factorization of regular bipartite
+//!   graphs, and Edmonds' blossom algorithm;
+//! * [`cover`] — bipartite double covers;
+//! * [`views`] — Yamashita–Kameda view equivalence;
+//! * [`refinement`] — colour refinement (1-WL);
+//! * [`properties`] — connectivity, regularity, bipartiteness, Eulerian
+//!   tests.
+//!
+//! # Quick start
+//!
+//! ```
+//! use portnum_graph::{generators, PortNumbering};
+//!
+//! // The classic cubic graph without a perfect matching (Figure 9a).
+//! let g = generators::no_one_factor(3);
+//! assert!(!portnum_graph::matching::has_one_factor(&g));
+//!
+//! // Lemma 15: a symmetric (inconsistent) port numbering exists because the
+//! // graph is regular...
+//! let p = PortNumbering::symmetric_regular(&g)?;
+//! assert!(!p.is_consistent());
+//!
+//! // ...while the canonical consistent numbering is an involution.
+//! let q = PortNumbering::consistent(&g);
+//! assert!(q.is_consistent());
+//! # Ok::<(), portnum_graph::PortError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+mod error;
+pub mod generators;
+mod graph;
+pub mod lifts;
+pub mod matching;
+mod ports;
+pub mod properties;
+pub mod refinement;
+pub mod views;
+
+pub use error::{GraphError, LiftError, MatchingError, PortError};
+pub use graph::{Graph, GraphBuilder, NodeId};
+pub use ports::{Port, PortNumbering};

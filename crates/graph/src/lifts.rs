@@ -1,0 +1,536 @@
+//! Covering graphs (*lifts*) of port-numbered graphs, built from
+//! permutation voltages.
+//!
+//! Covering maps are one of the classic tools behind the paper's subject
+//! (Section 3.3 cites covering graphs, lifts, and universal covers as the
+//! standard graph-theoretic companions of bisimulation). The *lifting
+//! lemma* states that a deterministic anonymous algorithm cannot
+//! distinguish a port-numbered graph `(G, p)` from any of its covers
+//! `(H, q)`: the execution at a cover node `w` is identical, round for
+//! round, to the execution at its projection `φ(w)`. In Kripke terms,
+//! `w` and `φ(w)` are bisimilar in `K₊,₊` — the module is the
+//! graph-theoretic face of the logic crate's bisimulation engine.
+//!
+//! This module constructs `k`-fold covers from [`Voltages`] (one
+//! permutation of the `k` sheets per edge), verifies arbitrary
+//! [`CoveringMap`]s, and exposes the bipartite double cover of
+//! [`cover`](crate::cover) as the special case of two sheets with the
+//! swap voltage on every edge.
+//!
+//! # Examples
+//!
+//! ```
+//! use portnum_graph::{generators, lifts, PortNumbering};
+//!
+//! let g = generators::cycle(3);
+//! let p = PortNumbering::consistent(&g);
+//!
+//! // A 2-lift of the triangle along cyclic voltages is the 6-cycle.
+//! let lift = lifts::lift(&g, &p, &lifts::Voltages::cyclic(&g, 2))?;
+//! assert_eq!(lift.graph().len(), 6);
+//! assert!(lift.covering_map().verify(&g, &p, lift.graph(), lift.ports()));
+//! # Ok::<(), portnum_graph::LiftError>(())
+//! ```
+
+use crate::error::LiftError;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::ports::{Port, PortNumbering};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A permutation voltage assignment: one permutation of the sheet set
+/// `{0, …, k-1}` per edge of the base graph, indexed in the canonical
+/// order of [`Graph::edges`] (pairs `(u, v)` with `u < v`, ascending).
+///
+/// Traversing edge `{u, v}` from `u` to `v` moves sheet `s` to
+/// `π(s)`; traversing it backwards applies `π⁻¹`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Voltages {
+    sheets: usize,
+    perms: Vec<Vec<usize>>,
+}
+
+impl Voltages {
+    /// Builds a voltage assignment from explicit permutations, validating
+    /// that each is a permutation of `0..sheets` and that there is exactly
+    /// one per edge of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftError`] if the count or any permutation is invalid.
+    pub fn new(g: &Graph, sheets: usize, perms: Vec<Vec<usize>>) -> Result<Self, LiftError> {
+        if sheets == 0 {
+            return Err(LiftError::NoSheets);
+        }
+        if perms.len() != g.edge_count() {
+            return Err(LiftError::WrongEdgeCount {
+                given: perms.len(),
+                expected: g.edge_count(),
+            });
+        }
+        for (edge, perm) in perms.iter().enumerate() {
+            if !is_permutation(perm, sheets) {
+                return Err(LiftError::NotAPermutation { edge, sheets });
+            }
+        }
+        Ok(Voltages { sheets, perms })
+    }
+
+    /// The identity voltage on every edge: the lift is `sheets` disjoint
+    /// copies of the base graph.
+    pub fn identity(g: &Graph, sheets: usize) -> Self {
+        Voltages {
+            sheets: sheets.max(1),
+            perms: vec![(0..sheets.max(1)).collect(); g.edge_count()],
+        }
+    }
+
+    /// The cyclic shift `s ↦ s + 1 (mod sheets)` on every edge. On an odd
+    /// cycle with two sheets this produces the double cycle; in general it
+    /// produces a connected lift whenever the base has an odd closed walk
+    /// meeting every edge class.
+    pub fn cyclic(g: &Graph, sheets: usize) -> Self {
+        let sheets = sheets.max(1);
+        let shift: Vec<usize> = (0..sheets).map(|s| (s + 1) % sheets).collect();
+        Voltages { sheets, perms: vec![shift; g.edge_count()] }
+    }
+
+    /// The swap voltage `s ↦ 1 - s` with two sheets on every edge: this is
+    /// exactly the bipartite double cover of
+    /// [`cover::double_cover_graph`](crate::cover::double_cover_graph).
+    pub fn double_cover(g: &Graph) -> Self {
+        Voltages { sheets: 2, perms: vec![vec![1, 0]; g.edge_count()] }
+    }
+
+    /// Independent uniformly random permutations on every edge.
+    pub fn random<R: Rng + ?Sized>(g: &Graph, sheets: usize, rng: &mut R) -> Self {
+        let sheets = sheets.max(1);
+        let perms = (0..g.edge_count())
+            .map(|_| {
+                let mut perm: Vec<usize> = (0..sheets).collect();
+                perm.shuffle(rng);
+                perm
+            })
+            .collect();
+        Voltages { sheets, perms }
+    }
+
+    /// Number of sheets `k`.
+    pub fn sheets(&self) -> usize {
+        self.sheets
+    }
+
+    /// The permutation assigned to the `edge`-th canonical edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn permutation(&self, edge: usize) -> &[usize] {
+        &self.perms[edge]
+    }
+}
+
+impl fmt::Display for Voltages {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Voltages(sheets={}, edges={})", self.sheets, self.perms.len())
+    }
+}
+
+/// A graph homomorphism `φ : H → G` claimed to be a covering map of
+/// port-numbered graphs; [`CoveringMap::verify`] checks the claim.
+///
+/// Cover node ids are arbitrary; the map stores `φ` as a vector indexed by
+/// cover node. Lifts built by [`lift`] use the convention
+/// `(v, s) = s·n + v`, so sheet `0` is the base graph's own node range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveringMap {
+    base_len: usize,
+    map: Vec<NodeId>,
+}
+
+impl CoveringMap {
+    /// Wraps an explicit projection `map[w] = φ(w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftError::ProjectionOutOfRange`] if some image is not a
+    /// base node.
+    pub fn new(base_len: usize, map: Vec<NodeId>) -> Result<Self, LiftError> {
+        if let Some(&bad) = map.iter().find(|&&v| v >= base_len) {
+            return Err(LiftError::ProjectionOutOfRange { node: bad, base_len });
+        }
+        Ok(CoveringMap { base_len, map })
+    }
+
+    /// The projection `φ(w)` of a cover node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn project(&self, w: NodeId) -> NodeId {
+        self.map[w]
+    }
+
+    /// Number of nodes in the base graph.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Number of nodes in the cover.
+    pub fn cover_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The fibre `φ⁻¹(v)` of a base node.
+    pub fn fiber(&self, v: NodeId) -> Vec<NodeId> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &img)| (img == v).then_some(w))
+            .collect()
+    }
+
+    /// Checks that `φ` is a covering map of port-numbered graphs: for every
+    /// cover port `(w, i)`, projecting the port connection of `q` yields
+    /// the port connection of `p`, i.e. `q((w, i)) = (x, j)` implies
+    /// `p((φ(w), i)) = (φ(x), j)`, and degrees are preserved.
+    ///
+    /// This local condition is exactly what makes executions commute with
+    /// `φ` (the lifting lemma), so it is the soundness check for every
+    /// covering-based argument in the workspace.
+    pub fn verify(
+        &self,
+        base_g: &Graph,
+        base_p: &PortNumbering,
+        cover_g: &Graph,
+        cover_p: &PortNumbering,
+    ) -> bool {
+        if self.map.len() != cover_g.len()
+            || self.base_len != base_g.len()
+            || base_p.len() != base_g.len()
+            || cover_p.len() != cover_g.len()
+        {
+            return false;
+        }
+        for w in cover_g.nodes() {
+            let v = self.map[w];
+            if cover_g.degree(w) != base_g.degree(v) {
+                return false;
+            }
+            for i in 0..cover_g.degree(w) {
+                let qx = cover_p.forward(Port::new(w, i));
+                let px = base_p.forward(Port::new(v, i));
+                if self.map[qx.node] != px.node || qx.index != px.index {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for CoveringMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CoveringMap({} → {})", self.map.len(), self.base_len)
+    }
+}
+
+/// A `k`-fold cover of a port-numbered graph, as produced by [`lift`]:
+/// the lifted graph, its lifted port numbering, and the projection back
+/// to the base.
+#[derive(Debug, Clone)]
+pub struct Lift {
+    graph: Graph,
+    ports: PortNumbering,
+    covering_map: CoveringMap,
+    sheets: usize,
+}
+
+impl Lift {
+    /// The lifted graph on `k·n` nodes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The lifted port numbering.
+    pub fn ports(&self) -> &PortNumbering {
+        &self.ports
+    }
+
+    /// The projection `φ((v, s)) = v`.
+    pub fn covering_map(&self) -> &CoveringMap {
+        &self.covering_map
+    }
+
+    /// Number of sheets `k`.
+    pub fn sheets(&self) -> usize {
+        self.sheets
+    }
+
+    /// The cover node id of `(v, sheet)`.
+    pub fn node(&self, v: NodeId, sheet: usize) -> NodeId {
+        sheet * self.covering_map.base_len() + v
+    }
+
+    /// Splits a cover node id back into `(base node, sheet)`.
+    pub fn split(&self, w: NodeId) -> (NodeId, usize) {
+        let n = self.covering_map.base_len();
+        (w % n, w / n)
+    }
+}
+
+/// Builds the `k`-fold lift of `(g, p)` along `voltages`.
+///
+/// The lift has node set `V × {0, …, k-1}` (node `(v, s)` is `s·n + v`).
+/// Edge `{u, v}` of `g` (with `u < v` and voltage `π`) lifts to the edges
+/// `{(u, s), (v, π(s))}` for every sheet `s`, and the port numbering lifts
+/// along: if `p((u, i)) = (v, j)`, then in the lift node `(u, s)` sends
+/// from port `i` to port `j` of `v`'s copy on the sheet reached by the
+/// voltage. The projection is a covering map by construction, which the
+/// returned value's [`CoveringMap::verify`] re-checks in debug builds.
+///
+/// # Errors
+///
+/// Returns [`LiftError::WrongEdgeCount`] if `voltages` was built for a
+/// graph with a different number of edges.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, lifts, PortNumbering};
+///
+/// // Identity voltages: 3 disjoint copies of the Petersen graph.
+/// let g = generators::petersen();
+/// let p = PortNumbering::consistent(&g);
+/// let lift = lifts::lift(&g, &p, &lifts::Voltages::identity(&g, 3))?;
+/// assert_eq!(lift.graph().len(), 30);
+/// assert_eq!(lift.graph().edge_count(), 45);
+/// # Ok::<(), portnum_graph::LiftError>(())
+/// ```
+pub fn lift(g: &Graph, p: &PortNumbering, voltages: &Voltages) -> Result<Lift, LiftError> {
+    if voltages.perms.len() != g.edge_count() {
+        return Err(LiftError::WrongEdgeCount {
+            given: voltages.perms.len(),
+            expected: g.edge_count(),
+        });
+    }
+    let n = g.len();
+    let k = voltages.sheets;
+
+    // Edge index lookup and inverse permutations for backward traversal.
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut edge_id = std::collections::HashMap::new();
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        edge_id.insert((u, v), e);
+    }
+    let inverses: Vec<Vec<usize>> = voltages
+        .perms
+        .iter()
+        .map(|perm| {
+            let mut inv = vec![0; k];
+            for (s, &t) in perm.iter().enumerate() {
+                inv[t] = s;
+            }
+            inv
+        })
+        .collect();
+
+    // Sheet reached when traversing from `a` to its neighbour `b` starting
+    // on sheet `s`.
+    let traverse = |a: NodeId, b: NodeId, s: usize| -> usize {
+        if a < b {
+            voltages.perms[edge_id[&(a, b)]][s]
+        } else {
+            inverses[edge_id[&(b, a)]][s]
+        }
+    };
+
+    let mut builder = GraphBuilder::new(k * n);
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        for s in 0..k {
+            let t = voltages.perms[e][s];
+            builder
+                .edge(s * n + u, t * n + v)
+                .expect("lift of a simple graph is simple");
+        }
+    }
+    let graph = builder.build();
+
+    let mut fwd: Vec<Vec<Port>> = (0..k * n)
+        .map(|w| vec![Port::new(usize::MAX, 0); g.degree(w % n)])
+        .collect();
+    for v in g.nodes() {
+        for i in 0..g.degree(v) {
+            let target = p.forward(Port::new(v, i));
+            for s in 0..k {
+                let t = traverse(v, target.node, s);
+                fwd[s * n + v][i] = Port::new(t * n + target.node, target.index);
+            }
+        }
+    }
+    let ports = PortNumbering::from_forward_map(&graph, fwd)
+        .expect("lift of a valid port numbering is valid");
+
+    let map: Vec<NodeId> = (0..k * n).map(|w| w % n).collect();
+    let covering_map = CoveringMap::new(n, map).expect("projection images are base nodes");
+    debug_assert!(covering_map.verify(g, p, &graph, &ports));
+
+    Ok(Lift { graph, ports, covering_map, sheets: k })
+}
+
+fn is_permutation(perm: &[usize], k: usize) -> bool {
+    if perm.len() != k {
+        return false;
+    }
+    let mut seen = vec![false; k];
+    for &s in perm {
+        if s >= k || seen[s] {
+            return false;
+        }
+        seen[s] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover;
+    use crate::generators;
+    use crate::properties;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_lift_is_disjoint_copies() {
+        let g = generators::cycle(5);
+        let p = PortNumbering::consistent(&g);
+        let lift = lift(&g, &p, &Voltages::identity(&g, 3)).unwrap();
+        assert_eq!(lift.graph().len(), 15);
+        assert_eq!(properties::component_count(lift.graph()), 3);
+        assert!(lift.covering_map().verify(&g, &p, lift.graph(), lift.ports()));
+    }
+
+    #[test]
+    fn double_cover_voltage_matches_cover_module() {
+        let g = generators::petersen();
+        let p = PortNumbering::consistent(&g);
+        let lift = lift(&g, &p, &Voltages::double_cover(&g)).unwrap();
+        assert_eq!(*lift.graph(), cover::double_cover_graph(&g));
+        assert!(lift.covering_map().verify(&g, &p, lift.graph(), lift.ports()));
+    }
+
+    #[test]
+    fn cyclic_lift_of_triangle_is_hexagon() {
+        let g = generators::cycle(3);
+        let p = PortNumbering::consistent(&g);
+        let lift = lift(&g, &p, &Voltages::cyclic(&g, 2)).unwrap();
+        assert_eq!(lift.graph().len(), 6);
+        assert_eq!(properties::component_count(lift.graph()), 1);
+        assert_eq!(properties::regularity(lift.graph()), Some(2));
+    }
+
+    #[test]
+    fn random_lifts_are_valid_covers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for g in [generators::petersen(), generators::grid(3, 3), generators::complete(5)] {
+            let p = PortNumbering::random(&g, &mut rng);
+            for sheets in [1, 2, 4] {
+                let v = Voltages::random(&g, sheets, &mut rng);
+                let lift = lift(&g, &p, &v).unwrap();
+                assert_eq!(lift.graph().len(), sheets * g.len());
+                assert_eq!(lift.graph().edge_count(), sheets * g.edge_count());
+                assert!(lift.covering_map().verify(&g, &p, lift.graph(), lift.ports()));
+                for w in lift.graph().nodes() {
+                    let (v_, s) = lift.split(w);
+                    assert_eq!(lift.node(v_, s), w);
+                    assert_eq!(lift.covering_map().project(w), v_);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fibers_partition_the_cover() {
+        let g = generators::star(3);
+        let p = PortNumbering::consistent(&g);
+        let lift = lift(&g, &p, &Voltages::identity(&g, 2)).unwrap();
+        let mut seen = vec![false; lift.graph().len()];
+        for v in g.nodes() {
+            let fiber = lift.covering_map().fiber(v);
+            assert_eq!(fiber.len(), 2);
+            for w in fiber {
+                assert!(!seen[w]);
+                seen[w] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn verify_rejects_non_covers() {
+        let g = generators::cycle(4);
+        let p = PortNumbering::consistent(&g);
+        // A map from a graph of the wrong shape.
+        let h = generators::cycle(5);
+        let q = PortNumbering::consistent(&h);
+        let phi = CoveringMap::new(4, vec![0, 1, 2, 3, 0]).unwrap();
+        assert!(!phi.verify(&g, &p, &h, &q));
+        // The identity on the same graph *is* a (1-fold) cover.
+        let id = CoveringMap::new(4, vec![0, 1, 2, 3]).unwrap();
+        assert!(id.verify(&g, &p, &g, &p));
+        // A wrong projection on the right graph.
+        let bad = CoveringMap::new(4, vec![1, 0, 2, 3]).unwrap();
+        assert!(!bad.verify(&g, &p, &g, &p));
+    }
+
+    #[test]
+    fn voltage_validation() {
+        let g = generators::path(3);
+        assert!(matches!(
+            Voltages::new(&g, 0, vec![]),
+            Err(LiftError::NoSheets)
+        ));
+        assert!(matches!(
+            Voltages::new(&g, 2, vec![vec![0, 1]]),
+            Err(LiftError::WrongEdgeCount { given: 1, expected: 2 })
+        ));
+        assert!(matches!(
+            Voltages::new(&g, 2, vec![vec![0, 1], vec![0, 0]]),
+            Err(LiftError::NotAPermutation { edge: 1, sheets: 2 })
+        ));
+        assert!(Voltages::new(&g, 2, vec![vec![0, 1], vec![1, 0]]).is_ok());
+    }
+
+    #[test]
+    fn covering_map_rejects_out_of_range() {
+        assert!(matches!(
+            CoveringMap::new(3, vec![0, 3]),
+            Err(LiftError::ProjectionOutOfRange { node: 3, base_len: 3 })
+        ));
+    }
+
+    #[test]
+    fn lift_preserves_local_types() {
+        // The local type (Theorem 17) is a local invariant, so it must be
+        // constant on fibres.
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::no_one_factor(3);
+        let p = PortNumbering::random(&g, &mut rng);
+        let lift = lift(&g, &p, &Voltages::random(&g, 3, &mut rng)).unwrap();
+        for w in lift.graph().nodes() {
+            let (v, _) = lift.split(w);
+            assert_eq!(lift.ports().local_type(w), p.local_type(v));
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let g = generators::cycle(3);
+        let v = Voltages::identity(&g, 2);
+        assert!(!format!("{v}").is_empty());
+        let m = CoveringMap::new(3, vec![0, 1, 2]).unwrap();
+        assert!(!format!("{m}").is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Hopcroft–Karp maximum matching in bipartite graphs, `O(E √V)`.
+
+use super::Bipartite;
+use std::collections::VecDeque;
+
+const NIL: usize = usize::MAX;
+
+/// A maximum matching of a bipartite graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteMatching {
+    /// `left_to_right[l]` is the right partner of left node `l`, if matched.
+    pub left_to_right: Vec<Option<usize>>,
+    /// `right_to_left[r]` is the left partner of right node `r`, if matched.
+    pub right_to_left: Vec<Option<usize>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+/// Computes a maximum matching via Hopcroft–Karp.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::matching::{hopcroft_karp, Bipartite};
+///
+/// let mut b = Bipartite::new(2, 2);
+/// b.add_edge(0, 0);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0);
+/// let m = hopcroft_karp(&b);
+/// assert_eq!(m.size, 2);
+/// ```
+pub fn hopcroft_karp(b: &Bipartite) -> BipartiteMatching {
+    let ln = b.left_len();
+    let rn = b.right_len();
+    let mut match_l = vec![NIL; ln];
+    let mut match_r = vec![NIL; rn];
+    let mut dist = vec![0usize; ln];
+    let mut size = 0;
+
+    loop {
+        // BFS layering from free left nodes.
+        let mut queue = VecDeque::new();
+        for l in 0..ln {
+            if match_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = usize::MAX;
+            }
+        }
+        let mut found_free_right = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in b.neighbors(l) {
+                let next = match_r[r];
+                if next == NIL {
+                    found_free_right = true;
+                } else if dist[next] == usize::MAX {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found_free_right {
+            break;
+        }
+        // DFS augmentation along layered paths.
+        fn dfs(
+            l: usize,
+            b: &Bipartite,
+            match_l: &mut [usize],
+            match_r: &mut [usize],
+            dist: &mut [usize],
+        ) -> bool {
+            for i in 0..b.neighbors(l).len() {
+                let r = b.neighbors(l)[i];
+                let next = match_r[r];
+                if next == NIL
+                    || (dist[next] == dist[l] + 1 && dfs(next, b, match_l, match_r, dist))
+                {
+                    match_l[l] = r;
+                    match_r[r] = l;
+                    return true;
+                }
+            }
+            dist[l] = usize::MAX;
+            false
+        }
+        for l in 0..ln {
+            if match_l[l] == NIL && dfs(l, b, &mut match_l, &mut match_r, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+
+    BipartiteMatching {
+        left_to_right: match_l.iter().map(|&x| (x != NIL).then_some(x)).collect(),
+        right_to_left: match_r.iter().map(|&x| (x != NIL).then_some(x)).collect(),
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::bipartite_double_cover;
+    use crate::generators;
+
+    fn check_matching(b: &Bipartite, m: &BipartiteMatching) {
+        let mut count = 0;
+        for (l, r) in m.left_to_right.iter().enumerate() {
+            if let Some(r) = r {
+                assert!(b.neighbors(l).contains(r), "matched edge must exist");
+                assert_eq!(m.right_to_left[*r], Some(l));
+                count += 1;
+            }
+        }
+        assert_eq!(count, m.size);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = Bipartite::new(3, 3);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn perfect_on_complete_bipartite() {
+        let mut b = Bipartite::new(4, 4);
+        for l in 0..4 {
+            for r in 0..4 {
+                b.add_edge(l, r);
+            }
+        }
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size, 4);
+        check_matching(&b, &m);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // l0-{r0,r1}, l1-{r0}: greedy l0->r0 must be undone.
+        let mut b = Bipartite::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size, 2);
+        check_matching(&b, &m);
+    }
+
+    #[test]
+    fn deficient_side() {
+        // Two left nodes compete for one right node.
+        let mut b = Bipartite::new(2, 1);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size, 1);
+        check_matching(&b, &m);
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // A path structure forcing a length-5 augmenting path.
+        let mut b = Bipartite::new(3, 3);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        b.add_edge(1, 1);
+        b.add_edge(2, 1);
+        b.add_edge(2, 2);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.size, 3);
+        check_matching(&b, &m);
+    }
+
+    #[test]
+    fn perfect_matching_in_regular_covers() {
+        for g in [generators::cycle(7), generators::petersen(), generators::no_one_factor(3)] {
+            let b = bipartite_double_cover(&g);
+            let m = hopcroft_karp(&b);
+            assert_eq!(m.size, g.len(), "regular bipartite graphs have perfect matchings");
+            check_matching(&b, &m);
+        }
+    }
+}

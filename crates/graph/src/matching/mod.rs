@@ -1,0 +1,271 @@
+//! Matchings: bipartite maximum matching (Hopcroft–Karp), 1-factorization of
+//! regular bipartite graphs, and maximum matching in general graphs
+//! (Edmonds' blossom algorithm).
+//!
+//! These are the combinatorial engines behind Lemmas 15 and 16 of the paper:
+//! symmetric port numberings of regular graphs come from 1-factorizations of
+//! the bipartite double cover, and the separation `VV ⊊ VVc` (Theorem 17)
+//! needs regular graphs *without* a 1-factor, certified by the blossom
+//! algorithm.
+
+mod blossom;
+mod hopcroft_karp;
+
+pub use blossom::maximum_matching;
+pub use hopcroft_karp::{hopcroft_karp, BipartiteMatching};
+
+use crate::error::MatchingError;
+use crate::graph::Graph;
+
+/// A bipartite (multi)graph with `left_len` left nodes and `right_len` right
+/// nodes, stored as adjacency from the left side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bipartite {
+    adj: Vec<Vec<usize>>,
+    right_len: usize,
+    edge_count: usize,
+}
+
+impl Bipartite {
+    /// Creates an empty bipartite graph.
+    pub fn new(left_len: usize, right_len: usize) -> Self {
+        Bipartite { adj: vec![Vec::new(); left_len], right_len, edge_count: 0 }
+    }
+
+    /// Adds an edge from left node `l` to right node `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` or `r` is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.adj.len(), "left node out of range");
+        assert!(r < self.right_len, "right node out of range");
+        self.adj[l].push(r);
+        self.edge_count += 1;
+    }
+
+    /// Number of left nodes.
+    pub fn left_len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right nodes.
+    pub fn right_len(&self) -> usize {
+        self.right_len
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Right neighbours of left node `l` (with multiplicity).
+    pub fn neighbors(&self, l: usize) -> &[usize] {
+        &self.adj[l]
+    }
+
+    /// If every left and right node has degree exactly `k`, returns `Some(k)`.
+    pub fn regularity(&self) -> Option<usize> {
+        if self.left_len() == 0 {
+            return (self.right_len == 0).then_some(0);
+        }
+        let k = self.adj[0].len();
+        if self.adj.iter().any(|row| row.len() != k) {
+            return None;
+        }
+        let mut rdeg = vec![0usize; self.right_len];
+        for row in &self.adj {
+            for &r in row {
+                rdeg[r] += 1;
+            }
+        }
+        rdeg.iter().all(|&d| d == k).then_some(k)
+    }
+}
+
+/// Decomposes a `k`-regular bipartite graph with equal sides into `k`
+/// disjoint perfect matchings (1-factors), returned as permutations:
+/// `factors[i][l] = r` means factor `i` matches left `l` to right `r`.
+///
+/// This is the classical corollary of Hall's marriage theorem used in the
+/// proof of Lemma 15.
+///
+/// # Errors
+///
+/// Returns [`MatchingError::UnbalancedBipartite`] if the sides differ and
+/// [`MatchingError::NotRegular`] if the graph is not regular.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{cover, generators, matching};
+///
+/// let g = generators::petersen();
+/// let factors = matching::one_factorization(&cover::bipartite_double_cover(&g))?;
+/// assert_eq!(factors.len(), 3);
+/// # Ok::<(), portnum_graph::MatchingError>(())
+/// ```
+pub fn one_factorization(b: &Bipartite) -> Result<Vec<Vec<usize>>, MatchingError> {
+    if b.left_len() != b.right_len() {
+        return Err(MatchingError::UnbalancedBipartite);
+    }
+    let k = b.regularity().ok_or(MatchingError::NotRegular)?;
+    let mut remaining = b.clone();
+    let mut factors = Vec::with_capacity(k);
+    for _ in 0..k {
+        let m = hopcroft_karp(&remaining);
+        if m.size != remaining.left_len() {
+            // A regular bipartite graph always has a perfect matching, so
+            // this is unreachable for valid inputs.
+            return Err(MatchingError::NoPerfectMatching);
+        }
+        let factor: Vec<usize> = m
+            .left_to_right
+            .iter()
+            .map(|r| r.expect("perfect matching covers the left side"))
+            .collect();
+        // Remove one occurrence of each matched edge.
+        for (l, &r) in factor.iter().enumerate() {
+            let pos = remaining.adj[l]
+                .iter()
+                .position(|&x| x == r)
+                .expect("matched edge exists");
+            remaining.adj[l].swap_remove(pos);
+            remaining.edge_count -= 1;
+        }
+        factors.push(factor);
+    }
+    Ok(factors)
+}
+
+/// Returns `true` if the graph has a 1-factor (perfect matching).
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, matching};
+///
+/// assert!(matching::has_one_factor(&generators::petersen()));
+/// assert!(!matching::has_one_factor(&generators::no_one_factor(3)));
+/// ```
+pub fn has_one_factor(g: &Graph) -> bool {
+    if g.len() % 2 != 0 {
+        return false;
+    }
+    maximum_matching(g).iter().all(|x| x.is_some())
+}
+
+/// Exhaustive maximum-matching size, for cross-checking the blossom
+/// algorithm on small graphs (exponential time; keep `g` tiny).
+pub fn brute_force_matching_size(g: &Graph) -> usize {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    fn rec(edges: &[(usize, usize)], used: &mut Vec<bool>, i: usize) -> usize {
+        if i == edges.len() {
+            return 0;
+        }
+        let skip = rec(edges, used, i + 1);
+        let (u, v) = edges[i];
+        let mut best = skip;
+        if !used[u] && !used[v] {
+            used[u] = true;
+            used[v] = true;
+            best = best.max(1 + rec(edges, used, i + 1));
+            used[u] = false;
+            used[v] = false;
+        }
+        best
+    }
+    let mut used = vec![false; g.len()];
+    rec(&edges, &mut used, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::bipartite_double_cover;
+    use crate::generators;
+
+    #[test]
+    fn bipartite_accessors() {
+        let mut b = Bipartite::new(2, 3);
+        b.add_edge(0, 0);
+        b.add_edge(0, 2);
+        b.add_edge(1, 1);
+        assert_eq!(b.left_len(), 2);
+        assert_eq!(b.right_len(), 3);
+        assert_eq!(b.edge_count(), 3);
+        assert_eq!(b.neighbors(0), &[0, 2]);
+        assert_eq!(b.regularity(), None);
+    }
+
+    #[test]
+    fn regularity_of_double_cover() {
+        let g = generators::cycle(5);
+        let b = bipartite_double_cover(&g);
+        assert_eq!(b.regularity(), Some(2));
+    }
+
+    #[test]
+    fn factorization_of_cycle_cover() {
+        let g = generators::cycle(5);
+        let b = bipartite_double_cover(&g);
+        let factors = one_factorization(&b).unwrap();
+        assert_eq!(factors.len(), 2);
+        // Factors are disjoint permutations along edges of g.
+        for (l, (&r0, &r1)) in factors[0].iter().zip(&factors[1]).enumerate() {
+            assert_ne!(r0, r1);
+            assert!(g.has_edge(l, r0));
+            assert!(g.has_edge(l, r1));
+        }
+        for f in &factors {
+            let mut seen = vec![false; 5];
+            for &r in f {
+                assert!(!seen[r], "factor must be a permutation");
+                seen[r] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_of_cubic_covers() {
+        for g in [generators::petersen(), generators::no_one_factor(3)] {
+            let b = bipartite_double_cover(&g);
+            let factors = one_factorization(&b).unwrap();
+            assert_eq!(factors.len(), 3);
+            let n = g.len();
+            let mut used = std::collections::HashSet::new();
+            for f in &factors {
+                for (l, &r) in f.iter().enumerate() {
+                    assert!(g.has_edge(l, r));
+                    assert!(used.insert((l, r)), "factors must be edge-disjoint");
+                }
+            }
+            assert_eq!(used.len(), 3 * n);
+        }
+    }
+
+    #[test]
+    fn factorization_rejects_unbalanced_and_irregular() {
+        let b = Bipartite::new(2, 3);
+        assert_eq!(one_factorization(&b), Err(MatchingError::UnbalancedBipartite));
+        let mut b = Bipartite::new(2, 2);
+        b.add_edge(0, 0);
+        assert_eq!(one_factorization(&b), Err(MatchingError::NotRegular));
+    }
+
+    #[test]
+    fn has_one_factor_examples() {
+        assert!(has_one_factor(&generators::cycle(4)));
+        assert!(!has_one_factor(&generators::cycle(5)));
+        assert!(has_one_factor(&generators::complete(6)));
+        assert!(!has_one_factor(&generators::star(3)));
+        assert!(has_one_factor(&generators::hypercube(3)));
+    }
+
+    #[test]
+    fn brute_force_sizes() {
+        assert_eq!(brute_force_matching_size(&generators::path(4)), 2);
+        assert_eq!(brute_force_matching_size(&generators::cycle(5)), 2);
+        assert_eq!(brute_force_matching_size(&generators::star(4)), 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! Port numberings (Section 1.2 of the paper).
+//!
+//! A *port* of a graph `G` is a pair `(v, i)` with `i < deg(v)` (the paper
+//! numbers ports `1..=deg(v)`; this crate uses `0`-based indices throughout).
+//! A *port numbering* is a bijection `p` on the ports of `G` such that the
+//! node pairs connected by `p` are exactly the adjacent pairs of `G`
+//! (`A(p) = A(G)`). It is *consistent* if `p` is an involution:
+//! `p(p((v, i))) = (v, i)`.
+//!
+//! Semantics: if node `v` sends a message to its port `i` and
+//! `p((v, i)) = (u, j)`, the message is received by `u` from its port `j`.
+
+use crate::error::PortError;
+use crate::graph::{Graph, NodeId};
+use crate::matching::one_factorization;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A port `(node, index)` with a `0`-based index `< deg(node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port {
+    /// The node owning the port.
+    pub node: NodeId,
+    /// The `0`-based port index.
+    pub index: usize,
+}
+
+impl Port {
+    /// Creates a port.
+    pub fn new(node: NodeId, index: usize) -> Self {
+        Port { node, index }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.node, self.index)
+    }
+}
+
+/// A port numbering `p` of a graph.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, PortNumbering};
+///
+/// let g = generators::cycle(4);
+/// let p = PortNumbering::consistent(&g);
+/// assert!(p.is_consistent());
+/// // A message sent by node 0 to its port i is received by a neighbour of 0.
+/// let q = p.forward(portnum_graph::Port::new(0, 0));
+/// assert!(g.neighbors(0).contains(&q.node));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortNumbering {
+    /// `fwd[v][i] = p((v, i))`.
+    fwd: Vec<Vec<Port>>,
+    /// `bwd[u][j] = p^{-1}((u, j))`.
+    bwd: Vec<Vec<Port>>,
+}
+
+impl PortNumbering {
+    /// Builds a port numbering from the forward map `fwd[v][i] = p((v, i))`,
+    /// validating that it is a bijection on ports realising exactly the
+    /// adjacency relation of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortError`] if the map is not a valid port numbering of `g`.
+    pub fn from_forward_map(g: &Graph, fwd: Vec<Vec<Port>>) -> Result<Self, PortError> {
+        if fwd.len() != g.len() {
+            return Err(PortError::NotBijective);
+        }
+        for v in g.nodes() {
+            if fwd[v].len() != g.degree(v) {
+                return Err(PortError::NotBijective);
+            }
+        }
+        let mut bwd: Vec<Vec<Option<Port>>> =
+            g.nodes().map(|v| vec![None; g.degree(v)]).collect();
+        for v in g.nodes() {
+            for (i, &q) in fwd[v].iter().enumerate() {
+                if q.node >= g.len() || q.index >= g.degree(q.node) {
+                    return Err(PortError::PortOutOfRange {
+                        node: q.node,
+                        index: q.index,
+                        degree: if q.node < g.len() { g.degree(q.node) } else { 0 },
+                    });
+                }
+                if !g.has_edge(v, q.node) {
+                    return Err(PortError::EdgeMismatch);
+                }
+                if bwd[q.node][q.index].is_some() {
+                    return Err(PortError::NotBijective);
+                }
+                bwd[q.node][q.index] = Some(Port::new(v, i));
+            }
+        }
+        let bwd: Vec<Vec<Port>> = bwd
+            .into_iter()
+            .map(|row| row.into_iter().collect::<Option<Vec<_>>>())
+            .collect::<Option<Vec<_>>>()
+            .ok_or(PortError::NotBijective)?;
+        // `A(p) = A(G)`: a bijection with adjacent targets is not enough (all
+        // of a node's ports could point at a single neighbour), so check that
+        // the out-targets of every node are exactly its neighbour set.
+        for v in g.nodes() {
+            let mut targets: Vec<NodeId> = fwd[v].iter().map(|q| q.node).collect();
+            targets.sort_unstable();
+            if targets != g.neighbors(v) {
+                return Err(PortError::EdgeMismatch);
+            }
+        }
+        Ok(PortNumbering { fwd, bwd })
+    }
+
+    /// The canonical *consistent* port numbering: edges are scanned in
+    /// canonical order and each endpoint uses its next free port, with
+    /// `p` an involution (Figure 2 of the paper).
+    ///
+    /// Every graph has one; this is the conventional choice for the
+    /// `VVc` model.
+    pub fn consistent(g: &Graph) -> Self {
+        let mut next: Vec<usize> = vec![0; g.len()];
+        let mut fwd: Vec<Vec<Port>> =
+            g.nodes().map(|v| vec![Port::new(usize::MAX, 0); g.degree(v)]).collect();
+        for (u, v) in g.edges() {
+            let i = next[u];
+            let j = next[v];
+            next[u] += 1;
+            next[v] += 1;
+            fwd[u][i] = Port::new(v, j);
+            fwd[v][j] = Port::new(u, i);
+        }
+        let bwd = fwd.clone();
+        PortNumbering { fwd, bwd }
+    }
+
+    /// A uniformly random port numbering (not consistent in general):
+    /// independently for every node, the incident edges are assigned to
+    /// out-ports and to in-ports by uniform random permutations.
+    ///
+    /// Every port numbering of `g` arises this way.
+    pub fn random<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Self {
+        let mut out_perm: Vec<Vec<usize>> = Vec::with_capacity(g.len());
+        let mut in_perm: Vec<Vec<usize>> = Vec::with_capacity(g.len());
+        for v in g.nodes() {
+            let d = g.degree(v);
+            let mut a: Vec<usize> = (0..d).collect();
+            let mut b: Vec<usize> = (0..d).collect();
+            a.shuffle(rng);
+            b.shuffle(rng);
+            out_perm.push(a);
+            in_perm.push(b);
+        }
+        let mut fwd: Vec<Vec<Port>> =
+            g.nodes().map(|v| vec![Port::new(usize::MAX, 0); g.degree(v)]).collect();
+        for v in g.nodes() {
+            for (k, &u) in g.neighbors(v).iter().enumerate() {
+                let i = out_perm[v][k];
+                let pos = g.neighbor_position(u, v).expect("adjacency is symmetric");
+                let j = in_perm[u][pos];
+                fwd[v][i] = Port::new(u, j);
+            }
+        }
+        Self::from_forward_map(g, fwd).expect("random construction is valid by design")
+    }
+
+    /// A uniformly random *consistent* port numbering: each node assigns its
+    /// incident edges to ports by a uniform random permutation, and the same
+    /// port serves both directions of an edge.
+    pub fn random_consistent<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Self {
+        let mut perm: Vec<Vec<usize>> = Vec::with_capacity(g.len());
+        for v in g.nodes() {
+            let d = g.degree(v);
+            let mut a: Vec<usize> = (0..d).collect();
+            a.shuffle(rng);
+            perm.push(a);
+        }
+        let mut fwd: Vec<Vec<Port>> =
+            g.nodes().map(|v| vec![Port::new(usize::MAX, 0); g.degree(v)]).collect();
+        for v in g.nodes() {
+            for (k, &u) in g.neighbors(v).iter().enumerate() {
+                let i = perm[v][k];
+                let pos = g.neighbor_position(u, v).expect("adjacency is symmetric");
+                let j = perm[u][pos];
+                fwd[v][i] = Port::new(u, j);
+            }
+        }
+        let bwd = fwd.clone();
+        PortNumbering { fwd, bwd }
+    }
+
+    /// The *symmetric* port numbering of a `k`-regular graph from Lemma 15 of
+    /// the paper: the bipartite double cover of `g` is decomposed into `k`
+    /// disjoint perfect matchings `E_0, …, E_{k-1}` (Hall's theorem), and
+    /// port `i` of every node is wired along `E_i`, so that
+    /// `p((v, i)) = (σ_i(v), i)` for a permutation `σ_i` of the nodes.
+    ///
+    /// Under this numbering, *all nodes are bisimilar* in the Kripke model
+    /// `K_{+,+}(G, p)`: no deterministic anonymous algorithm can break
+    /// symmetry. The numbering is in general *inconsistent* — this is the
+    /// engine behind the separation `VV ⊊ VVc` (Theorem 17).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortError::NotRegular`] if `g` is not regular and
+    /// [`PortError::EmptyGraph`] if `g` has no nodes.
+    pub fn symmetric_regular(g: &Graph) -> Result<Self, PortError> {
+        if g.is_empty() {
+            return Err(PortError::EmptyGraph);
+        }
+        let k = g.degree(0);
+        if g.nodes().any(|v| g.degree(v) != k) {
+            return Err(PortError::NotRegular);
+        }
+        if k == 0 {
+            return Ok(PortNumbering { fwd: vec![Vec::new(); g.len()], bwd: vec![Vec::new(); g.len()] });
+        }
+        let cover = crate::cover::bipartite_double_cover(g);
+        let factors = one_factorization(&cover).map_err(|_| PortError::NotRegular)?;
+        debug_assert_eq!(factors.len(), k);
+        let mut fwd: Vec<Vec<Port>> = g.nodes().map(|_| vec![Port::new(usize::MAX, 0); k]).collect();
+        for (i, sigma) in factors.iter().enumerate() {
+            // sigma[u] = v where {(u,1),(v,2)} is in factor E_i.
+            for u in g.nodes() {
+                fwd[u][i] = Port::new(sigma[u], i);
+            }
+        }
+        Self::from_forward_map(g, fwd)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Returns `true` if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+
+    /// Degree of `v` as recorded by the numbering.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.fwd[v].len()
+    }
+
+    /// `p(q)`: the port that receives what is sent to `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a port of the graph.
+    pub fn forward(&self, q: Port) -> Port {
+        self.fwd[q.node][q.index]
+    }
+
+    /// `p^{-1}(q)`: the port whose transmissions arrive at `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a port of the graph.
+    pub fn backward(&self, q: Port) -> Port {
+        self.bwd[q.node][q.index]
+    }
+
+    /// Returns `true` if `p` is an involution (`p ∘ p = id`), i.e. the port
+    /// numbering is *consistent* in the sense of Section 1.2.
+    pub fn is_consistent(&self) -> bool {
+        self.fwd.iter().enumerate().all(|(v, row)| {
+            row.iter()
+                .enumerate()
+                .all(|(i, &q)| self.fwd[q.node][q.index] == Port::new(v, i))
+        })
+    }
+
+    /// The *local type* of node `v` (proof of Theorem 17): the vector whose
+    /// `i`-th entry is the index of the port at the other end of `v`'s
+    /// incoming port `i`, i.e. `t(v)_i = j` where `p((u, j)) = (v, i)`.
+    pub fn local_type(&self, v: NodeId) -> Vec<usize> {
+        self.bwd[v].iter().map(|q| q.index).collect()
+    }
+
+    /// Iterates over all `(port, p(port))` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (Port, Port)> + '_ {
+        self.fwd.iter().enumerate().flat_map(|(v, row)| {
+            row.iter().enumerate().map(move |(i, &q)| (Port::new(v, i), q))
+        })
+    }
+}
+
+impl fmt::Display for PortNumbering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortNumbering(n={}, consistent={})", self.len(), self.is_consistent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_valid(g: &Graph, p: &PortNumbering) {
+        // Bijectivity and edge realisation via round trips.
+        for v in g.nodes() {
+            assert_eq!(p.degree(v), g.degree(v));
+            for i in 0..g.degree(v) {
+                let q = Port::new(v, i);
+                let fq = p.forward(q);
+                assert!(g.has_edge(v, fq.node));
+                assert_eq!(p.backward(fq), q);
+                let bq = p.backward(q);
+                assert_eq!(p.forward(bq), q);
+            }
+        }
+        // Every adjacent pair is connected by some port pair.
+        for (u, v) in g.edges() {
+            let mut seen_uv = false;
+            let mut seen_vu = false;
+            for (from, to) in p.pairs() {
+                if from.node == u && to.node == v {
+                    seen_uv = true;
+                }
+                if from.node == v && to.node == u {
+                    seen_vu = true;
+                }
+            }
+            assert!(seen_uv && seen_vu, "edge ({u},{v}) not realised");
+        }
+    }
+
+    #[test]
+    fn consistent_numbering_is_valid_and_consistent() {
+        for g in [
+            generators::cycle(5),
+            generators::star(4),
+            generators::complete(5),
+            generators::grid(3, 4),
+        ] {
+            let p = PortNumbering::consistent(&g);
+            check_valid(&g, &p);
+            assert!(p.is_consistent());
+        }
+    }
+
+    #[test]
+    fn random_numbering_is_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for g in [generators::cycle(6), generators::complete(4), generators::petersen()] {
+            for _ in 0..5 {
+                let p = PortNumbering::random(&g, &mut rng);
+                check_valid(&g, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn random_consistent_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let g = generators::grid(2, 4);
+            let p = PortNumbering::random_consistent(&g, &mut rng);
+            check_valid(&g, &p);
+            assert!(p.is_consistent());
+        }
+    }
+
+    #[test]
+    fn random_numbering_is_eventually_inconsistent() {
+        // On K4 most port numberings are inconsistent; check that some draw is.
+        let g = generators::complete(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let inconsistent =
+            (0..50).any(|_| !PortNumbering::random(&g, &mut rng).is_consistent());
+        assert!(inconsistent);
+    }
+
+    #[test]
+    fn symmetric_regular_cycle() {
+        let g = generators::cycle(5);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        check_valid(&g, &p);
+        // Every node must look identical: the local type is the same everywhere.
+        let t0 = p.local_type(0);
+        for v in g.nodes() {
+            assert_eq!(p.local_type(v), t0);
+        }
+    }
+
+    #[test]
+    fn symmetric_regular_petersen() {
+        let g = generators::petersen();
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        check_valid(&g, &p);
+        // Port i is wired to port i everywhere.
+        for (from, to) in p.pairs() {
+            assert_eq!(from.index, to.index);
+        }
+    }
+
+    #[test]
+    fn symmetric_regular_rejects_irregular() {
+        let g = generators::star(3);
+        assert_eq!(PortNumbering::symmetric_regular(&g), Err(PortError::NotRegular));
+    }
+
+    #[test]
+    fn local_type_matches_backward_map() {
+        let g = generators::cycle(4);
+        let p = PortNumbering::consistent(&g);
+        for v in g.nodes() {
+            let t = p.local_type(v);
+            for (i, &j) in t.iter().enumerate() {
+                let src = p.backward(Port::new(v, i));
+                assert_eq!(src.index, j);
+            }
+        }
+    }
+
+    #[test]
+    fn from_forward_map_rejects_garbage() {
+        let g = generators::path(3);
+        // Wrong arity.
+        assert!(PortNumbering::from_forward_map(&g, vec![vec![], vec![], vec![]]).is_err());
+        // Non-adjacent wiring.
+        let fwd = vec![
+            vec![Port::new(2, 0)],
+            vec![Port::new(0, 0), Port::new(2, 0)],
+            vec![Port::new(1, 1)],
+        ];
+        assert_eq!(
+            PortNumbering::from_forward_map(&g, fwd),
+            Err(PortError::EdgeMismatch)
+        );
+        // Not injective: two ports point at the same port.
+        let fwd = vec![
+            vec![Port::new(1, 0)],
+            vec![Port::new(0, 0), Port::new(2, 0)],
+            vec![Port::new(1, 0)],
+        ];
+        assert!(PortNumbering::from_forward_map(&g, fwd).is_err());
+    }
+}

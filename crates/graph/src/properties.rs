@@ -1,0 +1,191 @@
+//! Structural predicates and statistics on graphs.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Connected components as a label per node (labels are `0..k` in order of
+/// first appearance).
+pub fn components(g: &Graph) -> Vec<usize> {
+    let mut label = vec![usize::MAX; g.len()];
+    let mut next = 0;
+    for start in g.nodes() {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::from([start]);
+        label[start] = next;
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if label[u] == usize::MAX {
+                    label[u] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    components(g).iter().max().map_or(0, |&m| m + 1)
+}
+
+/// Returns `true` if the graph is connected (the empty graph is connected).
+pub fn is_connected(g: &Graph) -> bool {
+    component_count(g) <= 1
+}
+
+/// If the graph is `k`-regular, returns `Some(k)`.
+pub fn regularity(g: &Graph) -> Option<usize> {
+    if g.is_empty() {
+        return Some(0);
+    }
+    let k = g.degree(0);
+    g.nodes().all(|v| g.degree(v) == k).then_some(k)
+}
+
+/// If the graph is bipartite, returns a 2-colouring (side per node);
+/// otherwise `None`.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let mut side = vec![u8::MAX; g.len()];
+    for start in g.nodes() {
+        if side[start] != u8::MAX {
+            continue;
+        }
+        side[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if side[u] == u8::MAX {
+                    side[u] = 1 - side[v];
+                    queue.push_back(u);
+                } else if side[u] == side[v] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// Returns `true` if the graph is Eulerian in the sense used by the paper's
+/// Section 1.4 example: connected once isolated nodes are removed, and every
+/// node has even degree.
+pub fn is_eulerian(g: &Graph) -> bool {
+    if g.nodes().any(|v| g.degree(v) % 2 == 1) {
+        return false;
+    }
+    let labels = components(g);
+    let mut nontrivial: Option<usize> = None;
+    for v in g.nodes() {
+        if g.degree(v) > 0 {
+            match nontrivial {
+                None => nontrivial = Some(labels[v]),
+                Some(l) if l != labels[v] => return false,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Breadth-first distances from `source` (`usize::MAX` if unreachable).
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.len()];
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The diameter of a connected graph, or `None` if disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.is_empty() || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        let d = bfs_distances(g, v);
+        best = best.max(d.into_iter().max().unwrap_or(0));
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::disjoint_union(&[&generators::cycle(3), &generators::path(2)]);
+        assert_eq!(component_count(&g), 2);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&generators::grid(3, 3)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn regularity_checks() {
+        assert_eq!(regularity(&generators::cycle(7)), Some(2));
+        assert_eq!(regularity(&generators::petersen()), Some(3));
+        assert_eq!(regularity(&generators::star(3)), None);
+        assert_eq!(regularity(&Graph::empty(4)), Some(0));
+    }
+
+    #[test]
+    fn bipartition_checks() {
+        assert!(bipartition(&generators::cycle(4)).is_some());
+        assert!(bipartition(&generators::cycle(5)).is_none());
+        let side = bipartition(&generators::complete_bipartite(3, 2)).unwrap();
+        assert!(side[..3].iter().all(|&s| s == side[0]));
+        assert!(side[3..].iter().all(|&s| s != side[0]));
+    }
+
+    #[test]
+    fn eulerian_checks() {
+        assert!(is_eulerian(&generators::cycle(5)));
+        assert!(!is_eulerian(&generators::path(3)));
+        // Two disjoint cycles are not Eulerian (not connected).
+        let g = Graph::disjoint_union(&[&generators::cycle(3), &generators::cycle(3)]);
+        assert!(!is_eulerian(&g));
+        // Isolated nodes are fine.
+        let g = Graph::disjoint_union(&[&generators::cycle(3), &Graph::empty(2)]);
+        assert!(is_eulerian(&g));
+        // K5 is Eulerian (4-regular, connected).
+        assert!(is_eulerian(&generators::complete(5)));
+        assert!(!is_eulerian(&generators::complete(4)));
+    }
+
+    #[test]
+    fn histogram_and_distances() {
+        let g = generators::star(4);
+        assert_eq!(degree_histogram(&g), vec![0, 4, 0, 0, 1]);
+        let d = bfs_distances(&g, 1);
+        assert_eq!(d[0], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(diameter(&generators::path(5)), Some(4));
+        assert_eq!(diameter(&Graph::empty(2)), None);
+    }
+}

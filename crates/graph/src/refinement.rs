@@ -1,0 +1,152 @@
+//! Colour refinement (1-dimensional Weisfeiler–Leman).
+//!
+//! Starting from the degree partition, each round replaces a node's colour
+//! with the *multiset* of its neighbours' colours. This is exactly graded
+//! bisimulation refinement on the Kripke model `K_{-,-}(G)` of the paper
+//! (the logic crate cross-validates the equivalence), and characterises what
+//! `Multiset ∩ Broadcast` algorithms can distinguish.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Per-round colour classes: `levels[t][v]` is node `v`'s colour after `t`
+/// refinement rounds; colours are contiguous small integers per round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorClasses {
+    levels: Vec<Vec<usize>>,
+}
+
+impl ColorClasses {
+    /// Colour of `v` after `t` rounds.
+    pub fn class(&self, t: usize, v: NodeId) -> usize {
+        self.levels[t][v]
+    }
+
+    /// The full colouring after `t` rounds.
+    pub fn level(&self, t: usize) -> &[usize] {
+        &self.levels[t]
+    }
+
+    /// Number of refinement rounds computed.
+    pub fn rounds(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Number of distinct colours after `t` rounds.
+    pub fn class_count(&self, t: usize) -> usize {
+        self.levels[t].iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// First round whose partition equals the previous round's, if any.
+    pub fn stable_round(&self) -> Option<usize> {
+        (1..self.levels.len())
+            .find(|&t| self.levels[t] == self.levels[t - 1])
+            .map(|t| t - 1)
+    }
+}
+
+/// Runs colour refinement for `rounds` rounds.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, refinement};
+///
+/// // All nodes of any cycle share a colour forever.
+/// let c = refinement::color_refinement(&generators::cycle(7), 5);
+/// assert_eq!(c.class_count(5), 1);
+/// ```
+pub fn color_refinement(g: &Graph, rounds: usize) -> ColorClasses {
+    let n = g.len();
+    let mut levels: Vec<Vec<usize>> = Vec::with_capacity(rounds + 1);
+
+    let mut ids: HashMap<usize, usize> = HashMap::new();
+    let mut level0 = vec![0usize; n];
+    for v in 0..n {
+        let fresh = ids.len();
+        level0[v] = *ids.entry(g.degree(v)).or_insert(fresh);
+    }
+    levels.push(level0);
+
+    for _ in 0..rounds {
+        let prev = levels.last().expect("depth 0 exists");
+        let mut sigs: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut next = vec![0usize; n];
+        for v in 0..n {
+            let mut colours: Vec<usize> = g.neighbors(v).iter().map(|&u| prev[u]).collect();
+            colours.sort_unstable();
+            let fresh = sigs.len();
+            next[v] = *sigs.entry((prev[v], colours)).or_insert(fresh);
+        }
+        levels.push(next);
+    }
+
+    ColorClasses { levels }
+}
+
+/// Runs colour refinement to stability; returns the classes and the round at
+/// which the partition stabilised.
+pub fn stable_coloring(g: &Graph) -> (ColorClasses, usize) {
+    let n = g.len().max(1);
+    let classes = color_refinement(g, n);
+    let round = classes.stable_round().unwrap_or(n);
+    (classes, round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    #[test]
+    fn cycles_of_different_lengths_are_wl_equivalent() {
+        let g = Graph::disjoint_union(&[&generators::cycle(3), &generators::cycle(4)]);
+        let (classes, round) = stable_coloring(&g);
+        assert_eq!(classes.class_count(round), 1);
+    }
+
+    #[test]
+    fn path_refines_by_distance_to_ends() {
+        let g = generators::path(5);
+        let (classes, round) = stable_coloring(&g);
+        let level = classes.level(round);
+        assert_eq!(level[0], level[4]);
+        assert_eq!(level[1], level[3]);
+        assert_ne!(level[0], level[2]);
+        assert_eq!(classes.class_count(round), 3);
+    }
+
+    #[test]
+    fn theorem13_witness_white_nodes_share_wl_colour_initially_but_not_under_counting() {
+        // Colour refinement (multiset-based!) *does* separate the white
+        // nodes of the Theorem 13 witness — that is exactly why the problem
+        // is solvable in MB. The set-based bisimulation of the logic crate
+        // does not separate them.
+        let (g, (a, b)) = generators::theorem13_witness();
+        let (classes, round) = stable_coloring(&g);
+        assert_ne!(classes.class(round, a), classes.class(round, b));
+        // At round 0 they agree (same degree).
+        assert_eq!(classes.class(0, a), classes.class(0, b));
+    }
+
+    #[test]
+    fn refinement_is_monotone_and_stabilises() {
+        let g = generators::grid(3, 3);
+        let (classes, round) = stable_coloring(&g);
+        for t in 1..=round {
+            assert!(classes.class_count(t) >= classes.class_count(t - 1));
+        }
+        // Once stable, later rounds keep the same partition.
+        let more = color_refinement(&g, round + 3);
+        assert_eq!(more.level(round), more.level(round + 3));
+    }
+
+    #[test]
+    fn regular_graphs_stay_monochromatic() {
+        for g in [generators::petersen(), generators::hypercube(3), generators::no_one_factor(3)] {
+            let (classes, round) = stable_coloring(&g);
+            assert_eq!(classes.class_count(round), 1, "{g}");
+        }
+    }
+}

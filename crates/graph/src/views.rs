@@ -1,0 +1,411 @@
+//! Yamashita–Kameda *views*: truncations of the universal cover of a
+//! port-numbered graph.
+//!
+//! The depth-`t` view of a node is the tree of all walks of length `≤ t`
+//! leaving it, annotated with port numbers. Two nodes with equal depth-`t`
+//! views are indistinguishable to any `Vector` algorithm within `t` rounds —
+//! this is the graph-theoretic twin of `t`-step bisimilarity in the Kripke
+//! model `K_{+,+}(G, p)` (the logic crate cross-validates the two notions).
+//!
+//! Rather than materialising exponentially-large trees, this module interns
+//! views: [`view_classes`] returns, per depth, a partition of the nodes into
+//! view-equivalence classes.
+
+use crate::graph::{Graph, NodeId};
+use crate::ports::{Port, PortNumbering};
+use std::collections::HashMap;
+
+/// Per-depth view-equivalence classes.
+///
+/// `levels[t][v]` is the class of node `v`'s depth-`t` view; class ids are
+/// small integers, contiguous per level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewClasses {
+    levels: Vec<Vec<usize>>,
+}
+
+impl ViewClasses {
+    /// The class of node `v` at depth `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` exceeds the computed depth or `v` is out of range.
+    pub fn class(&self, t: usize, v: NodeId) -> usize {
+        self.levels[t][v]
+    }
+
+    /// The full partition at depth `t`.
+    pub fn level(&self, t: usize) -> &[usize] {
+        &self.levels[t]
+    }
+
+    /// Greatest computed depth.
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Number of distinct classes at depth `t`.
+    pub fn class_count(&self, t: usize) -> usize {
+        self.levels[t].iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Returns `true` if nodes `u` and `v` have equal views at depth `t`.
+    pub fn equivalent(&self, t: usize, u: NodeId, v: NodeId) -> bool {
+        self.levels[t][u] == self.levels[t][v]
+    }
+
+    /// The first depth at which the partition stabilises (no further
+    /// refinement), if it stabilises within the computed range.
+    pub fn stable_depth(&self) -> Option<usize> {
+        (1..self.levels.len())
+            .find(|&t| self.levels[t] == self.levels[t - 1])
+            .map(|t| t - 1)
+    }
+}
+
+/// Computes view-equivalence classes for depths `0..=depth`.
+///
+/// The depth-0 view is the degree. The depth-`(t+1)` view of `v` is the
+/// tuple `(deg(v), [(i, j, view_t(u))]_i)` where for each incoming port `i`
+/// of `v`, `(u, j) = p^{-1}((v, i))` is the neighbour (and its port) wired
+/// into `i`.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, views, PortNumbering};
+///
+/// let g = generators::cycle(6);
+/// let p = PortNumbering::symmetric_regular(&g)?;
+/// let classes = views::view_classes(&g, &p, 6);
+/// // Under a symmetric numbering all nodes look alike forever.
+/// assert_eq!(classes.class_count(6), 1);
+/// # Ok::<(), portnum_graph::PortError>(())
+/// ```
+pub fn view_classes(g: &Graph, p: &PortNumbering, depth: usize) -> ViewClasses {
+    let n = g.len();
+    let mut levels: Vec<Vec<usize>> = Vec::with_capacity(depth + 1);
+
+    // Depth 0: partition by degree.
+    let mut ids: HashMap<usize, usize> = HashMap::new();
+    let mut level0 = vec![0usize; n];
+    for v in 0..n {
+        let next = ids.len();
+        let id = *ids.entry(g.degree(v)).or_insert(next);
+        level0[v] = id;
+    }
+    levels.push(level0);
+
+    for _ in 0..depth {
+        let prev = levels.last().expect("at least depth 0 exists");
+        let mut sigs: HashMap<(usize, Vec<(usize, usize, usize)>), usize> = HashMap::new();
+        let mut next_level = vec![0usize; n];
+        for v in 0..n {
+            let mut ports: Vec<(usize, usize, usize)> = Vec::with_capacity(g.degree(v));
+            for i in 0..g.degree(v) {
+                let src = p.backward(Port::new(v, i));
+                ports.push((i, src.index, prev[src.node]));
+            }
+            let key = (g.degree(v), ports);
+            let fresh = sigs.len();
+            let id = *sigs.entry(key).or_insert(fresh);
+            next_level[v] = id;
+        }
+        levels.push(next_level);
+    }
+
+    ViewClasses { levels }
+}
+
+/// Computes classes until the partition stabilises, returning the classes
+/// and the stabilisation depth. Stabilisation is guaranteed within `n`
+/// levels (each refinement strictly grows the class count or stops).
+pub fn stable_view_classes(g: &Graph, p: &PortNumbering) -> (ViewClasses, usize) {
+    let n = g.len().max(1);
+    let classes = view_classes(g, p, n);
+    let depth = classes.stable_depth().unwrap_or(n);
+    (classes, depth)
+}
+
+/// The depth-`depth` truncation of the **universal cover** of `(g, p)`
+/// around `root`, materialised as an explicit port-numbered tree.
+///
+/// Tree nodes are the non-backtracking walks of length `≤ depth` starting
+/// at `root` (walk id `0` is the empty walk, the tree's root). Interior
+/// walks keep the full degree and port wiring of their endpoint, so the
+/// projection "walk ↦ endpoint" satisfies the covering condition
+/// everywhere except at the depth-`depth` leaves, whose remaining ports
+/// are cut (each leaf keeps the single port `0`, wired to its parent —
+/// so the local types of the leaves *and of their neighbours* deviate
+/// from the base; everything at distance `< depth - 1` is exact).
+///
+/// **Simulation guarantee**: for any algorithm and any `T < depth`, the
+/// execution at the tree's root for `T` rounds is identical to the
+/// execution at `root` in `(g, p)` — information from the mutilated
+/// leaves needs `depth` rounds to arrive. This is the classic
+/// local-views simulation lemma (Section 3.3's universal covers), and
+/// the tree is the inverse limit companion of the finite covers built by
+/// [`lifts`](crate::lifts).
+///
+/// Returns the tree, its port numbering, and the projection map
+/// `walk ↦ endpoint in g`.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, views, PortNumbering};
+///
+/// // The universal cover of a cycle is the bi-infinite path; the depth-3
+/// // truncation around any node is the path on 7 nodes.
+/// let g = generators::cycle(5);
+/// let p = PortNumbering::consistent(&g);
+/// let (tree, _q, projection) = views::universal_cover_truncation(&g, &p, 0, 3);
+/// assert_eq!(tree.len(), 7);
+/// assert_eq!(projection[0], 0);
+/// ```
+pub fn universal_cover_truncation(
+    g: &Graph,
+    p: &PortNumbering,
+    root: NodeId,
+    depth: usize,
+) -> (Graph, PortNumbering, Vec<NodeId>) {
+    assert!(root < g.len(), "root {root} out of range");
+
+    // BFS over non-backtracking walks. For each tree node: endpoint,
+    // depth, parent, and the graph edge used to reach it.
+    struct Walk {
+        endpoint: NodeId,
+        depth: usize,
+        parent: Option<usize>,
+        // Canonical (min, max) edge to the parent.
+        parent_edge: Option<(NodeId, NodeId)>,
+    }
+    let mut walks =
+        vec![Walk { endpoint: root, depth: 0, parent: None, parent_edge: None }];
+    // Child lookup: (tree node, canonical edge) → tree node.
+    let mut child: HashMap<(usize, (NodeId, NodeId)), usize> = HashMap::new();
+    let mut frontier = vec![0usize];
+    for d in 0..depth {
+        let mut next_frontier = Vec::new();
+        for &w in &frontier {
+            let v = walks[w].endpoint;
+            for &u in g.neighbors(v) {
+                let edge = (v.min(u), v.max(u));
+                if walks[w].parent_edge == Some(edge) {
+                    continue; // backtracking
+                }
+                let id = walks.len();
+                walks.push(Walk {
+                    endpoint: u,
+                    depth: d + 1,
+                    parent: Some(w),
+                    parent_edge: Some(edge),
+                });
+                child.insert((w, edge), id);
+                next_frontier.push(id);
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    // Resolve the tree node reached from `w` (ending at `v`) along the
+    // graph edge {v, u}.
+    let resolve = |w: usize, v: NodeId, u: NodeId| -> usize {
+        let edge = (v.min(u), v.max(u));
+        if walks[w].parent_edge == Some(edge) {
+            walks[w].parent.expect("non-root walks have parents")
+        } else {
+            child[&(w, edge)]
+        }
+    };
+
+    let n = walks.len();
+    let mut builder = crate::graph::GraphBuilder::new(n);
+    for (w, walk) in walks.iter().enumerate() {
+        if let Some(parent) = walk.parent {
+            builder.edge(parent, w).expect("tree edges are simple");
+        }
+    }
+    let tree = builder.build();
+
+    let mut fwd: Vec<Vec<Port>> = Vec::with_capacity(n);
+    for (w, walk) in walks.iter().enumerate() {
+        let v = walk.endpoint;
+        if walk.depth < depth {
+            // Interior walk: inherit the endpoint's full wiring.
+            let mut row = Vec::with_capacity(g.degree(v));
+            for i in 0..g.degree(v) {
+                let target = p.forward(Port::new(v, i));
+                let w2 = resolve(w, v, target.node);
+                // A cut leaf keeps only port 0.
+                let index = if walks[w2].depth == depth { 0 } else { target.index };
+                row.push(Port::new(w2, index));
+            }
+            fwd.push(row);
+        } else if let Some(parent) = walk.parent {
+            // Leaf: single port 0 towards the parent, entering the
+            // parent on the in-port the base graph uses for this edge.
+            let u = walks[parent].endpoint;
+            let i = (0..g.degree(v))
+                .find(|&i| p.forward(Port::new(v, i)).node == u)
+                .expect("the out-port towards an adjacent node exists");
+            let target = p.forward(Port::new(v, i));
+            fwd.push(vec![Port::new(parent, target.index)]);
+        } else {
+            // depth == 0: the truncation is the bare root.
+            fwd.push(Vec::new());
+        }
+    }
+    let ports = PortNumbering::from_forward_map(&tree, fwd)
+        .expect("universal-cover wiring is a valid port numbering");
+    let projection = walks.iter().map(|w| w.endpoint).collect();
+    (tree, ports, projection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cycle_symmetric_views_never_split() {
+        let g = generators::cycle(5);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        let classes = view_classes(&g, &p, 10);
+        for t in 0..=10 {
+            assert_eq!(classes.class_count(t), 1, "depth {t}");
+        }
+    }
+
+    #[test]
+    fn star_views_split_leaves_from_centre() {
+        let g = generators::star(4);
+        let p = PortNumbering::consistent(&g);
+        let classes = view_classes(&g, &p, 3);
+        assert_eq!(classes.class_count(0), 2);
+        // At depth 1, each leaf sees which centre port it hangs off: all
+        // leaves get distinct views under a consistent numbering.
+        assert!(classes.class_count(1) >= 4);
+        assert!(!classes.equivalent(1, 1, 2));
+    }
+
+    #[test]
+    fn path_views_refine_with_distance_to_ends() {
+        // Views depend on the port numbering: under the canonical consistent
+        // numbering the mirror symmetry of the path is *broken* (node 1 sees
+        // its end through port 0, node 5 through port 1), so the ends end up
+        // in different classes even though the graph has a mirror
+        // automorphism. Degree-0 classes still merge the ends.
+        let g = generators::path(7);
+        let p = PortNumbering::consistent(&g);
+        let (classes, depth) = stable_view_classes(&g, &p);
+        assert_eq!(classes.class(0, 0), classes.class(0, 6));
+        let final_level = classes.level(depth);
+        assert_ne!(final_level[0], final_level[3]);
+        assert_ne!(final_level[0], final_level[6]);
+    }
+
+    #[test]
+    fn refinement_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::random_regular(12, 3, &mut rng);
+        let p = PortNumbering::random(&g, &mut rng);
+        let classes = view_classes(&g, &p, 8);
+        for t in 1..=8 {
+            // Partitions refine: same class at depth t implies same at t-1.
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if classes.equivalent(t, u, v) {
+                        assert!(classes.equivalent(t - 1, u, v));
+                    }
+                }
+            }
+            assert!(classes.class_count(t) >= classes.class_count(t - 1));
+        }
+    }
+
+    #[test]
+    fn stable_depth_reported_correctly() {
+        let g = generators::cycle(4);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        let (classes, depth) = stable_view_classes(&g, &p);
+        assert_eq!(depth, 0);
+        assert_eq!(classes.class_count(depth), 1);
+    }
+
+    #[test]
+    fn universal_cover_of_cubic_graph_is_the_3_regular_tree() {
+        // Non-backtracking walks from a node of the Petersen graph: the
+        // depth-d truncation has 1 + 3·(2^d - 1) nodes.
+        let g = generators::petersen();
+        let p = PortNumbering::consistent(&g);
+        for d in 0..=4usize {
+            let (tree, q, projection) = universal_cover_truncation(&g, &p, 0, d);
+            assert_eq!(tree.len(), 1 + 3 * ((1 << d) - 1), "depth {d}");
+            assert_eq!(projection.len(), tree.len());
+            assert_eq!(projection[0], 0);
+            assert_eq!(q.len(), tree.len());
+            // Interior nodes keep the projected degree; projections are
+            // adjacency-preserving.
+            for w in tree.nodes() {
+                for &x in tree.neighbors(w) {
+                    assert!(g.has_edge(projection[w], projection[x]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn universal_cover_truncation_of_a_tree_is_itself() {
+        // A tree is its own universal cover: deep truncations stop
+        // growing once the whole tree is unfolded.
+        let g = generators::binary_tree(7);
+        let p = PortNumbering::consistent(&g);
+        let (tree, _, _) = universal_cover_truncation(&g, &p, 0, 10);
+        assert_eq!(tree.len(), g.len());
+        assert_eq!(tree.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn consistent_numberings_lift_consistently() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        let (_, q, _) = universal_cover_truncation(&g, &p, 2, 3);
+        assert!(q.is_consistent());
+    }
+
+    #[test]
+    fn depth_zero_truncation_is_the_bare_root() {
+        let g = generators::cycle(3);
+        let p = PortNumbering::consistent(&g);
+        let (tree, q, projection) = universal_cover_truncation(&g, &p, 1, 0);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.edge_count(), 0);
+        assert_eq!(q.degree(0), 0);
+        assert_eq!(projection, vec![1]);
+    }
+
+    #[test]
+    fn interior_views_match_base_views() {
+        // The view partition of the truncation, restricted to walks of
+        // depth ≤ D - t, refines compatibly with the base graph's views:
+        // the root's depth-(D-1) view class must contain ... — checked
+        // here concretely through equal degrees and local types at the
+        // root.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::random_regular(8, 3, &mut rng);
+        let p = PortNumbering::random(&g, &mut rng);
+        for root in [0usize, 3, 7] {
+            let (tree, q, projection) = universal_cover_truncation(&g, &p, root, 3);
+            assert_eq!(projection[0], root);
+            assert_eq!(tree.degree(0), g.degree(root));
+            assert_eq!(q.local_type(0), p.local_type(root), "root {root}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests for the graph substrate.
+
+use portnum_graph::{
+    cover, generators, lifts, matching, properties, refinement, views, Graph, Port,
+    PortNumbering,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
+            let mut b = Graph::builder(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if mask[idx] {
+                        b.edge(u, v).expect("pairs are distinct");
+                    }
+                    idx += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn handshake_lemma(g in arb_graph(10)) {
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+        prop_assert_eq!(g.edges().count(), g.edge_count());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted(g in arb_graph(10)) {
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &u in ns {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.neighbor_position(v, u).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_numbering_is_involution(g in arb_graph(9)) {
+        let p = PortNumbering::consistent(&g);
+        prop_assert!(p.is_consistent());
+        for v in g.nodes() {
+            for i in 0..g.degree(v) {
+                let q = Port::new(v, i);
+                prop_assert_eq!(p.forward(p.forward(q)), q);
+            }
+        }
+    }
+
+    #[test]
+    fn blossom_matches_brute_force(g in arb_graph(8)) {
+        let m = matching::maximum_matching(&g);
+        let mut size = 0;
+        for (v, partner) in m.iter().enumerate() {
+            if let Some(u) = partner {
+                prop_assert!(g.has_edge(v, *u));
+                prop_assert_eq!(m[*u], Some(v));
+                if v < *u { size += 1; }
+            }
+        }
+        prop_assert_eq!(size, matching::brute_force_matching_size(&g));
+    }
+
+    #[test]
+    fn double_cover_is_bipartite_with_doubled_edges(g in arb_graph(9)) {
+        let c = cover::double_cover_graph(&g);
+        prop_assert_eq!(c.len(), 2 * g.len());
+        prop_assert_eq!(c.edge_count(), 2 * g.edge_count());
+        prop_assert!(properties::bipartition(&c).is_some());
+        // Covers preserve degrees.
+        for v in g.nodes() {
+            prop_assert_eq!(c.degree(v), g.degree(v));
+            prop_assert_eq!(c.degree(v + g.len()), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn view_refinement_is_monotone(g in arb_graph(8), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let classes = views::view_classes(&g, &p, 5);
+        for t in 1..=5 {
+            prop_assert!(classes.class_count(t) >= classes.class_count(t - 1));
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if classes.equivalent(t, u, v) {
+                        prop_assert!(classes.equivalent(t - 1, u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wl_stabilises_and_respects_degrees(g in arb_graph(9)) {
+        let (classes, round) = refinement::stable_coloring(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if classes.class(round, u) == classes.class(round, v) {
+                    prop_assert_eq!(g.degree(u), g.degree(v));
+                }
+            }
+        }
+        // Stability: one more round changes nothing.
+        let more = refinement::color_refinement(&g, round + 1);
+        prop_assert_eq!(more.level(round), more.level(round + 1));
+    }
+
+    #[test]
+    fn random_lifts_are_covering_maps(
+        g in arb_graph(8),
+        sheets in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let voltages = lifts::Voltages::random(&g, sheets, &mut rng);
+        let lift = lifts::lift(&g, &p, &voltages).expect("voltages fit the graph");
+        prop_assert_eq!(lift.graph().len(), sheets * g.len());
+        prop_assert_eq!(lift.graph().edge_count(), sheets * g.edge_count());
+        prop_assert!(lift.covering_map().verify(&g, &p, lift.graph(), lift.ports()));
+        // Fibres have exactly `sheets` members and degrees are preserved.
+        for v in g.nodes() {
+            let fiber = lift.covering_map().fiber(v);
+            prop_assert_eq!(fiber.len(), sheets);
+            for w in fiber {
+                prop_assert_eq!(lift.graph().degree(w), g.degree(v));
+            }
+        }
+        // Consistency lifts: the lift of a consistent numbering along
+        // *involutive* voltages stays consistent (double cover is one).
+        let q = PortNumbering::consistent(&g);
+        let dc = lifts::lift(&g, &q, &lifts::Voltages::double_cover(&g)).unwrap();
+        prop_assert!(dc.ports().is_consistent());
+    }
+
+    #[test]
+    fn universal_cover_truncations_are_trees_projecting_homomorphically(
+        g in arb_graph(8),
+        root in 0usize..8,
+        depth in 0usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let root = root % g.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let (tree, q, projection) = views::universal_cover_truncation(&g, &p, root, depth);
+        // A tree: connected with n - 1 edges.
+        prop_assert_eq!(tree.edge_count() + 1, tree.len());
+        prop_assert_eq!(properties::component_count(&tree), 1);
+        prop_assert_eq!(projection[0], root);
+        prop_assert_eq!(q.len(), tree.len());
+        // The projection is a graph homomorphism preserving local types at
+        // interior nodes (distance < depth from the root).
+        let mut dist = vec![usize::MAX; tree.len()];
+        dist[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(w) = queue.pop_front() {
+            for &x in tree.neighbors(w) {
+                if dist[x] == usize::MAX {
+                    dist[x] = dist[w] + 1;
+                    queue.push_back(x);
+                }
+            }
+        }
+        for w in tree.nodes() {
+            for &x in tree.neighbors(w) {
+                prop_assert!(g.has_edge(projection[w], projection[x]));
+            }
+            if dist[w] < depth {
+                prop_assert_eq!(tree.degree(w), g.degree(projection[w]));
+            }
+            // Local types record the *feeders'* out-port numbers, and a
+            // cut leaf keeps only port 0 — so exactness holds one layer
+            // further in.
+            if dist[w] + 1 < depth {
+                prop_assert_eq!(q.local_type(w), p.local_type(projection[w]));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_lift_multiplies_components(g in arb_graph(8), sheets in 1usize..=3) {
+        let p = PortNumbering::consistent(&g);
+        let lift = lifts::lift(&g, &p, &lifts::Voltages::identity(&g, sheets)).unwrap();
+        prop_assert_eq!(
+            properties::component_count(lift.graph()),
+            sheets * properties::component_count(&g)
+        );
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph(10)) {
+        let labels = properties::components(&g);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u], labels[v]);
+        }
+        let k = properties::component_count(&g);
+        prop_assert!(labels.iter().all(|&l| l < k));
+    }
+}
+
+#[test]
+fn symmetric_numbering_exists_for_random_regular_graphs() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for (n, d) in [(8usize, 3usize), (10, 4), (12, 5)] {
+        let g = generators::random_regular(n, d, &mut rng);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        // Port i always connects to port i.
+        for (from, to) in p.pairs() {
+            assert_eq!(from.index, to.index);
+        }
+        // Every node has the same local type.
+        let t0 = p.local_type(0);
+        for v in g.nodes() {
+            assert_eq!(p.local_type(v), t0);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Bisimulation and graded bisimulation via partition refinement
+//! (Section 4.2).
+//!
+//! For finite (hence image-finite) Kripke models, bisimilarity is the limit
+//! of signature refinement: start from the valuation partition (degrees)
+//! and repeatedly split worlds whose successors fall into distinguishable
+//! blocks. Two styles:
+//!
+//! * [`BisimStyle::Plain`] — signatures record, per modality, the *set* of
+//!   successor blocks. The limit is bisimilarity; two bisimilar worlds
+//!   satisfy the same ML/MML formulas (Fact 1a).
+//! * [`BisimStyle::Graded`] — signatures record the *multiset* (counts) of
+//!   successor blocks. The limit is g-bisimilarity (conditions B2*/B3*);
+//!   two g-bisimilar worlds satisfy the same GML/GMML formulas (Fact 1b).
+//!
+//! Truncating the refinement at `t` rounds yields `t`-step equivalence:
+//! worlds equivalent at depth `t` agree on all formulas of modal depth
+//! `≤ t`, which via Theorem 2 means no algorithm of the matching class can
+//! separate them within `t` rounds.
+
+use crate::kripke::Kripke;
+use std::collections::HashMap;
+
+/// Plain (set-based) or graded (counting) refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BisimStyle {
+    /// Set-based signatures: bisimulation for ML/MML.
+    Plain,
+    /// Counting signatures: graded bisimulation for GML/GMML.
+    Graded,
+}
+
+/// The result of a refinement run: a partition per depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisimClasses {
+    style: BisimStyle,
+    levels: Vec<Vec<usize>>,
+    stable: bool,
+}
+
+impl BisimClasses {
+    /// The refinement style used.
+    pub fn style(&self) -> BisimStyle {
+        self.style
+    }
+
+    /// The block of world `v` at depth `t`.
+    pub fn class(&self, t: usize, v: usize) -> usize {
+        self.levels[t.min(self.levels.len() - 1)][v]
+    }
+
+    /// The partition at depth `t` (clamped to the deepest computed level;
+    /// once stable, deeper levels are identical).
+    pub fn level(&self, t: usize) -> &[usize] {
+        &self.levels[t.min(self.levels.len() - 1)]
+    }
+
+    /// The final (deepest) partition computed.
+    pub fn final_level(&self) -> &[usize] {
+        self.levels.last().expect("at least depth 0")
+    }
+
+    /// Number of blocks at depth `t`.
+    pub fn class_count(&self, t: usize) -> usize {
+        self.level(t).iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Depth of the deepest computed partition.
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Returns `true` if the refinement ran to a fixpoint, in which case
+    /// [`Self::final_level`] is the full (g-)bisimilarity partition.
+    pub fn is_stable(&self) -> bool {
+        self.stable
+    }
+
+    /// Whether `u` and `v` are equivalent at depth `t`.
+    pub fn equivalent_at(&self, t: usize, u: usize, v: usize) -> bool {
+        self.level(t)[u] == self.level(t)[v]
+    }
+
+    /// Whether `u` and `v` are (g-)bisimilar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the refinement was truncated before stabilising.
+    pub fn bisimilar(&self, u: usize, v: usize) -> bool {
+        assert!(self.stable, "refinement was truncated; rerun without a depth bound");
+        let level = self.final_level();
+        level[u] == level[v]
+    }
+}
+
+/// Runs signature refinement to a fixpoint.
+pub fn refine(model: &Kripke, style: BisimStyle) -> BisimClasses {
+    refine_impl(model, style, None)
+}
+
+/// Runs signature refinement for at most `depth` rounds (the result
+/// characterises formulas of modal depth `≤ depth`).
+pub fn refine_bounded(model: &Kripke, style: BisimStyle, depth: usize) -> BisimClasses {
+    refine_impl(model, style, Some(depth))
+}
+
+fn refine_impl(model: &Kripke, style: BisimStyle, depth: Option<usize>) -> BisimClasses {
+    let n = model.len();
+    let indices: Vec<_> = model.indices().collect();
+
+    // Depth 0: partition by valuation (degree atoms).
+    let mut ids: HashMap<usize, usize> = HashMap::new();
+    let mut level0 = vec![0usize; n];
+    for v in 0..n {
+        let fresh = ids.len();
+        level0[v] = *ids.entry(model.degree(v)).or_insert(fresh);
+    }
+    let mut levels = vec![level0];
+    let mut stable = n <= 1;
+
+    loop {
+        if let Some(d) = depth {
+            if levels.len() > d {
+                break;
+            }
+        }
+        let prev = levels.last().expect("depth 0 exists");
+        // Signature: previous block + per-modality successor blocks
+        // (with counts when graded, deduplicated when plain).
+        type Sig = (usize, Vec<Vec<(usize, usize)>>);
+        let mut sigs: HashMap<Sig, usize> = HashMap::new();
+        let mut next = vec![0usize; n];
+        for v in 0..n {
+            let mut per_index = Vec::with_capacity(indices.len());
+            for &index in &indices {
+                let mut blocks: Vec<usize> =
+                    model.successors(v, index).iter().map(|&w| prev[w]).collect();
+                blocks.sort_unstable();
+                let mut counted: Vec<(usize, usize)> = Vec::new();
+                for b in blocks {
+                    match counted.last_mut() {
+                        Some((last, c)) if *last == b => *c += 1,
+                        _ => counted.push((b, 1)),
+                    }
+                }
+                if style == BisimStyle::Plain {
+                    for entry in &mut counted {
+                        entry.1 = 1;
+                    }
+                }
+                per_index.push(counted);
+            }
+            let fresh = sigs.len();
+            next[v] = *sigs.entry((prev[v], per_index)).or_insert(fresh);
+        }
+        let done = &next == prev;
+        levels.push(next);
+        if done {
+            stable = true;
+            break;
+        }
+        if depth.is_none() && levels.len() > n + 1 {
+            // Unreachable: refinement stabilises within n rounds.
+            stable = true;
+            break;
+        }
+    }
+
+    BisimClasses { style, levels, stable }
+}
+
+/// Whether worlds `u` and `v` of one model are (g-)bisimilar.
+pub fn bisimilar(model: &Kripke, style: BisimStyle, u: usize, v: usize) -> bool {
+    refine(model, style).bisimilar(u, v)
+}
+
+/// Whether world `u` of `a` is (g-)bisimilar to world `v` of `b`
+/// (computed on the disjoint union).
+///
+/// # Panics
+///
+/// Panics if the model variants differ.
+pub fn bisimilar_across(
+    a: &Kripke,
+    u: usize,
+    b: &Kripke,
+    v: usize,
+    style: BisimStyle,
+) -> bool {
+    let union = a.disjoint_union(b);
+    bisimilar(&union, style, u, a.len() + v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::{generators, Graph, PortNumbering};
+
+    #[test]
+    fn cycle_nodes_all_bisimilar() {
+        let k = Kripke::k_mm(&generators::cycle(6));
+        let classes = refine(&k, BisimStyle::Plain);
+        assert!(classes.is_stable());
+        assert_eq!(classes.class_count(classes.depth()), 1);
+        let classes = refine(&k, BisimStyle::Graded);
+        assert_eq!(classes.class_count(classes.depth()), 1);
+    }
+
+    #[test]
+    fn cycles_of_different_length_bisimilar_across() {
+        let a = Kripke::k_mm(&generators::cycle(3));
+        let b = Kripke::k_mm(&generators::cycle(5));
+        assert!(bisimilar_across(&a, 0, &b, 0, BisimStyle::Plain));
+        assert!(bisimilar_across(&a, 0, &b, 0, BisimStyle::Graded));
+    }
+
+    #[test]
+    fn star_centre_differs_from_leaves() {
+        let k = Kripke::k_mm(&generators::star(3));
+        assert!(!bisimilar(&k, BisimStyle::Plain, 0, 1));
+        assert!(bisimilar(&k, BisimStyle::Plain, 1, 2));
+    }
+
+    #[test]
+    fn plain_vs_graded_on_theorem13_witness() {
+        // The heart of Theorem 13: the white nodes are plain-bisimilar in
+        // K_{-,-} (sets cannot count) but NOT g-bisimilar (multisets can).
+        let (g, (a, b)) = generators::theorem13_witness();
+        let k = Kripke::k_mm(&g);
+        assert!(bisimilar(&k, BisimStyle::Plain, a, b));
+        assert!(!bisimilar(&k, BisimStyle::Graded, a, b));
+    }
+
+    #[test]
+    fn graded_refines_plain() {
+        let (g, _) = generators::theorem13_witness();
+        let k = Kripke::k_mm(&g);
+        let plain = refine(&k, BisimStyle::Plain);
+        let graded = refine(&k, BisimStyle::Graded);
+        for u in 0..k.len() {
+            for v in 0..k.len() {
+                if graded.bisimilar(u, v) {
+                    assert!(plain.bisimilar(u, v), "graded classes must refine plain");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_port_numbering_makes_all_nodes_bisimilar_in_k_pp() {
+        // Lemma 15, machine-checked.
+        for g in [generators::cycle(5), generators::petersen(), generators::no_one_factor(3)] {
+            let p = PortNumbering::symmetric_regular(&g).unwrap();
+            let k = Kripke::k_pp(&g, &p);
+            let classes = refine(&k, BisimStyle::Plain);
+            assert_eq!(classes.class_count(classes.depth()), 1, "graph {g}");
+        }
+    }
+
+    #[test]
+    fn consistent_numbering_separates_no_one_factor_graph() {
+        // Lemma 16 (contrapositive): with a consistent numbering of a graph
+        // in the family 𝒢, not all nodes can stay bisimilar in K_{+,+}.
+        let g = generators::no_one_factor(3);
+        let p = PortNumbering::consistent(&g);
+        let k = Kripke::k_pp(&g, &p);
+        let classes = refine(&k, BisimStyle::Plain);
+        assert!(classes.class_count(classes.depth()) > 1);
+    }
+
+    #[test]
+    fn bounded_refinement_matches_modal_depth() {
+        // On a path, worlds at distance ≥ t+1 from both ends cannot be
+        // separated by depth-t formulas; bounded refinement reflects that.
+        // (Use an odd path so nodes 2 and 5 are not mirror images: their
+        // distances to the nearest end are 2 and 3.)
+        let g = generators::path(9);
+        let k = Kripke::k_mm(&g);
+        let c1 = refine_bounded(&k, BisimStyle::Plain, 1);
+        assert!(!c1.is_stable() || c1.depth() <= 1);
+        // Depth 1: nodes 2 and 5 both see two degree-2 neighbours.
+        assert!(c1.equivalent_at(1, 2, 5));
+        // Full refinement eventually separates them.
+        let full = refine(&k, BisimStyle::Plain);
+        assert!(full.is_stable());
+        assert!(!full.bisimilar(2, 5));
+        // Mirror-image nodes stay bisimilar forever.
+        assert!(full.bisimilar(2, 6));
+    }
+
+    #[test]
+    fn equivalent_at_clamps_beyond_stability() {
+        let k = Kripke::k_mm(&generators::cycle(4));
+        let classes = refine(&k, BisimStyle::Plain);
+        assert!(classes.equivalent_at(10_000, 0, 2));
+    }
+
+    #[test]
+    fn k_pm_star_leaves_bisimilar_any_numbering() {
+        // Theorem 11's obstruction: in K_{+,-} the leaves of a star are
+        // bisimilar under every port numbering (each leaf's single in-port
+        // is fed by the centre).
+        let g = generators::star(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use rand::SeedableRng;
+        for _ in 0..10 {
+            let p = PortNumbering::random(&g, &mut rng);
+            let k = Kripke::k_pm(&g, &p);
+            let classes = refine(&k, BisimStyle::Plain);
+            for leaf in 2..=4 {
+                assert!(classes.bisimilar(1, leaf));
+            }
+        }
+    }
+
+    #[test]
+    fn k_mp_star_leaves_can_differ() {
+        // By contrast, in K_{-,+} (Set/Multiset classes) the leaves *can*
+        // be separated: each leaf sees which out-port of the centre feeds
+        // it. This is why leaf selection is in SV(1) (Theorem 11).
+        let g = generators::star(3);
+        let p = PortNumbering::consistent(&g);
+        let k = Kripke::k_mp(&g, &p);
+        let classes = refine(&k, BisimStyle::Plain);
+        assert!(!classes.bisimilar(1, 2));
+    }
+
+    #[test]
+    fn disconnected_components_compare() {
+        let g = Graph::disjoint_union(&[&generators::cycle(3), &generators::cycle(4)]);
+        let k = Kripke::k_mm(&g);
+        assert!(bisimilar(&k, BisimStyle::Plain, 0, 4));
+    }
+}

@@ -1,0 +1,285 @@
+//! Characteristic formulas (Hennessy–Milner): for every world `v` and
+//! depth `t` there is a formula `χᵗ_v` whose extension is *exactly* the
+//! `t`-step equivalence class of `v`.
+//!
+//! This makes the connection between bisimulation and modal logic
+//! two-sided and executable. [`bisim`](crate::bisim) shows that
+//! (g-)bisimilar worlds satisfy the same formulas (Fact 1); this module
+//! provides the converse witness: whenever two worlds are *not*
+//! `t`-equivalent, `χᵗ` is a concrete formula of modal depth `≤ t` that
+//! separates them. Via Theorem 2, `χᵗ_v` compiles to a distributed
+//! algorithm that recognises in `t` rounds exactly the nodes whose
+//! `t`-round view matches `v`'s.
+//!
+//! The construction is by induction on `t` over the partition-refinement
+//! levels, one formula per *class* (so subtrees are shared):
+//!
+//! * depth 0: `χ⁰_C = q_d` for the common degree `d` of the class;
+//! * depth `t+1`, [`BisimStyle::Plain`]: for each modality `α`, a diamond
+//!   `⟨α⟩ χᵗ_D` for every class `D` reachable from the class
+//!   representative, plus the box `[α] ⋁_D χᵗ_D` forbidding anything else;
+//! * depth `t+1`, [`BisimStyle::Graded`]: exact counts
+//!   `⟨α⟩≥m χᵗ_D ∧ ¬⟨α⟩≥m+1 χᵗ_D` per reachable class, plus the same box.
+//!
+//! # Examples
+//!
+//! ```
+//! use portnum_graph::generators;
+//! use portnum_logic::bisim::BisimStyle;
+//! use portnum_logic::{characteristic, evaluate, Kripke};
+//!
+//! // On a star, the centre's depth-1 characteristic formula holds at the
+//! // centre and nowhere else.
+//! let k = Kripke::k_mm(&generators::star(3));
+//! let chars = characteristic(&k, BisimStyle::Plain, 1);
+//! let truth = evaluate(&k, chars.formula_for(0, 1))?;
+//! assert_eq!(truth, vec![true, false, false, false]);
+//! # Ok::<(), portnum_logic::LogicError>(())
+//! ```
+
+use crate::bisim::{refine_bounded, BisimClasses, BisimStyle};
+use crate::formula::{Formula, ModalIndex};
+use crate::kripke::Kripke;
+
+/// Characteristic formulas of a model at every depth `0..=depth`, one per
+/// equivalence class per depth (see [`characteristic`] for the
+/// construction).
+#[derive(Debug, Clone)]
+pub struct CharacteristicFormulas {
+    style: BisimStyle,
+    classes: BisimClasses,
+    /// `formulas[t][c]` characterises class `c` of the depth-`t` partition.
+    formulas: Vec<Vec<Formula>>,
+}
+
+impl CharacteristicFormulas {
+    /// The refinement style the formulas characterise.
+    pub fn style(&self) -> BisimStyle {
+        self.style
+    }
+
+    /// The underlying refinement levels.
+    pub fn classes(&self) -> &BisimClasses {
+        &self.classes
+    }
+
+    /// The deepest characterised level.
+    pub fn depth(&self) -> usize {
+        self.formulas.len() - 1
+    }
+
+    /// The formula characterising class `c` of the depth-`t` partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > self.depth()` or `c` is not a class at that level.
+    pub fn class_formula(&self, t: usize, c: usize) -> &Formula {
+        &self.formulas[t][c]
+    }
+
+    /// The formula whose extension is exactly the depth-`t` equivalence
+    /// class of `world`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > self.depth()` or `world` is out of range.
+    pub fn formula_for(&self, world: usize, t: usize) -> &Formula {
+        &self.formulas[t][self.classes.class(t, world)]
+    }
+}
+
+/// Builds the characteristic formulas of `model` for all depths
+/// `0..=depth`.
+///
+/// For every world `v`, world `w`, and `t ≤ depth`:
+/// `w ⊨ χᵗ_v` iff `v` and `w` are `t`-step equivalent (in particular
+/// `v ⊨ χᵗ_v` always). With [`BisimStyle::Plain`] the formulas are
+/// ungraded (ML/MML); with [`BisimStyle::Graded`] they use graded
+/// modalities (GML/GMML).
+pub fn characteristic(model: &Kripke, style: BisimStyle, depth: usize) -> CharacteristicFormulas {
+    let classes = refine_bounded(model, style, depth);
+    let indices: Vec<ModalIndex> = model.indices().collect();
+    let n = model.len();
+
+    // Depth 0: one degree atom per class.
+    let mut formulas: Vec<Vec<Formula>> = Vec::with_capacity(depth + 1);
+    formulas.push(class_representatives(classes.level(0), n)
+        .into_iter()
+        .map(|rep| Formula::prop(model.degree(rep)))
+        .collect());
+
+    for t in 1..=depth {
+        let reps = class_representatives(classes.level(t), n);
+        let prev = &formulas[t - 1];
+        let prev_level = classes.level(t - 1);
+        let mut level_formulas = Vec::with_capacity(reps.len());
+        for rep in reps {
+            let mut parts = vec![Formula::prop(model.degree(rep))];
+            for &index in &indices {
+                // Count successors per previous-level class.
+                let mut counts: Vec<usize> = vec![0; prev.len()];
+                for &w in model.successors(rep, index) {
+                    counts[prev_level[w]] += 1;
+                }
+                let reachable: Vec<usize> =
+                    (0..prev.len()).filter(|&c| counts[c] > 0).collect();
+                for &c in &reachable {
+                    match style {
+                        BisimStyle::Plain => {
+                            parts.push(Formula::diamond(index, &prev[c]));
+                        }
+                        BisimStyle::Graded => {
+                            let m = counts[c];
+                            parts.push(Formula::diamond_geq(index, m, &prev[c]));
+                            parts.push(Formula::diamond_geq(index, m + 1, &prev[c]).not());
+                        }
+                    }
+                }
+                // Nothing outside the reachable classes: [α] ⋁_D χ_D.
+                let union = Formula::any_of(reachable.iter().map(|&c| prev[c].clone()));
+                parts.push(Formula::box_(index, &union));
+            }
+            level_formulas.push(Formula::all_of(parts));
+        }
+        formulas.push(level_formulas);
+    }
+
+    CharacteristicFormulas { style, classes, formulas }
+}
+
+/// Convenience wrapper: the single depth-`t` characteristic formula of one
+/// world.
+pub fn characteristic_formula(
+    model: &Kripke,
+    style: BisimStyle,
+    world: usize,
+    depth: usize,
+) -> Formula {
+    characteristic(model, style, depth).formula_for(world, depth).clone()
+}
+
+/// First member of each class, indexed by class id.
+fn class_representatives(level: &[usize], n: usize) -> Vec<usize> {
+    let count = level.iter().max().map_or(0, |&m| m + 1);
+    let mut reps = vec![usize::MAX; count];
+    for v in 0..n {
+        if reps[level[v]] == usize::MAX {
+            reps[level[v]] = v;
+        }
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use portnum_graph::{generators, PortNumbering};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_exact(model: &Kripke, style: BisimStyle, depth: usize) {
+        let chars = characteristic(model, style, depth);
+        for t in 0..=depth {
+            for v in 0..model.len() {
+                let truth = evaluate(model, chars.formula_for(v, t)).unwrap();
+                for w in 0..model.len() {
+                    assert_eq!(
+                        truth[w],
+                        chars.classes().equivalent_at(t, v, w),
+                        "χ^{t}_{v} at {w} (style {style:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_k_mm_of_small_graphs() {
+        for g in [
+            generators::star(3),
+            generators::path(5),
+            generators::cycle(6),
+            generators::theorem13_witness().0,
+        ] {
+            let k = Kripke::k_mm(&g);
+            assert_exact(&k, BisimStyle::Plain, 3);
+            assert_exact(&k, BisimStyle::Graded, 3);
+        }
+    }
+
+    #[test]
+    fn exact_on_port_models() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = generators::figure1_graph();
+        let p = PortNumbering::random(&g, &mut rng);
+        for k in [Kripke::k_pp(&g, &p), Kripke::k_mp(&g, &p), Kripke::k_pm(&g, &p)] {
+            assert_exact(&k, BisimStyle::Plain, 3);
+            assert_exact(&k, BisimStyle::Graded, 3);
+        }
+    }
+
+    #[test]
+    fn modal_depth_bounded_by_level() {
+        let k = Kripke::k_mm(&generators::path(6));
+        let chars = characteristic(&k, BisimStyle::Plain, 4);
+        for t in 0..=4 {
+            for v in 0..k.len() {
+                assert!(chars.formula_for(v, t).modal_depth() <= t);
+            }
+        }
+        // At depth 1 on a path the formula genuinely needs its modality.
+        assert_eq!(chars.formula_for(0, 1).modal_depth(), 1);
+    }
+
+    #[test]
+    fn plain_style_yields_ungraded_formulas() {
+        let k = Kripke::k_mm(&generators::theorem13_witness().0);
+        let chars = characteristic(&k, BisimStyle::Plain, 3);
+        for v in 0..k.len() {
+            assert!(chars.formula_for(v, 3).is_ungraded());
+        }
+        let graded = characteristic(&k, BisimStyle::Graded, 3);
+        // The witness graph needs counting: some graded formula is graded.
+        assert!((0..k.len()).any(|v| !graded.formula_for(v, 3).is_ungraded()));
+    }
+
+    #[test]
+    fn characteristic_separates_theorem13_whites_gradedly_only() {
+        // The two white nodes are plain-bisimilar but not g-bisimilar: the
+        // plain characteristic formula of one holds at the other, the
+        // graded one does not.
+        let (g, (a, b)) = generators::theorem13_witness();
+        let k = Kripke::k_mm(&g);
+        let plain = characteristic_formula(&k, BisimStyle::Plain, a, 2);
+        let graded = characteristic_formula(&k, BisimStyle::Graded, a, 2);
+        let tp = evaluate(&k, &plain).unwrap();
+        let tg = evaluate(&k, &graded).unwrap();
+        assert!(tp[a] && tp[b], "plain χ cannot separate the white nodes");
+        assert!(tg[a] && !tg[b], "graded χ separates them");
+    }
+
+    #[test]
+    fn cross_model_separation_via_disjoint_union() {
+        // χ of a star centre, evaluated in a union with a cycle, holds at
+        // no cycle node.
+        let star = Kripke::k_mm(&generators::star(3));
+        let cycle = Kripke::k_mm(&generators::cycle(4));
+        let union = star.disjoint_union(&cycle);
+        let chi = characteristic_formula(&union, BisimStyle::Plain, 0, 2);
+        let truth = evaluate(&union, &chi).unwrap();
+        assert!(truth[0]);
+        for w in star.len()..union.len() {
+            assert!(!truth[w], "cycle node {w} is not 2-equivalent to the centre");
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_degree_atom() {
+        let k = Kripke::k_mm(&generators::star(2));
+        let chars = characteristic(&k, BisimStyle::Plain, 0);
+        assert_eq!(chars.depth(), 0);
+        assert_eq!(chars.formula_for(0, 0), &Formula::prop(2));
+        assert_eq!(chars.formula_for(1, 0), &Formula::prop(1));
+    }
+}

@@ -1,0 +1,740 @@
+//! Formula → algorithm (Theorem 2, proof parts 1–2).
+//!
+//! Each node maintains a three-valued assignment `Σ → {0, 1, U}` over the
+//! subformula table: the truth values of all subformulas of modal depth
+//! `≤ t` are determined after `t` rounds. Messages carry the current truth
+//! values of exactly those subformulas the receiving side's diamonds need
+//! (the sets `D_j` / `D` of the proof). When the root is determined —
+//! after exactly `md(ψ)` rounds — the node stops and outputs it.
+
+use super::{Node, Table};
+use crate::error::CompileError;
+use crate::formula::{Formula, IndexFamily, ModalIndex};
+use portnum_machine::{
+    BroadcastAlgorithm, MbAlgorithm, Multiset, MultisetAlgorithm, Payload, SbAlgorithm,
+    SetAlgorithm, Status, VectorAlgorithm,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Three-valued truth: the paper's `{0, 1, U}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Truth {
+    /// Determined false.
+    False,
+    /// Determined true.
+    True,
+    /// Not yet determined (modal depth exceeds elapsed rounds).
+    Unknown,
+}
+
+impl portnum_machine::MessageSize for Truth {
+    fn size_units(&self) -> u64 {
+        1
+    }
+}
+
+impl Truth {
+    fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    fn not(self) -> Truth {
+        match self {
+            Truth::False => Truth::True,
+            Truth::True => Truth::False,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// The paper's (δ∧): **no short-circuiting** — the result is `U`
+    /// whenever either side is `U`, even if the other side is already
+    /// false. This keeps determination times uniform across nodes
+    /// (`f(η) ≠ U ⟺ md(η) ≤ t`), which the message protocol relies on.
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::Unknown, _) | (_, Truth::Unknown) => Truth::Unknown,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::False,
+        }
+    }
+
+    /// Dual of [`Truth::and`]; likewise non-short-circuiting.
+    fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::Unknown, _) | (_, Truth::Unknown) => Truth::Unknown,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::True,
+        }
+    }
+}
+
+/// A node's state: one [`Truth`] per subformula, in table order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assignment(Vec<Truth>);
+
+impl Assignment {
+    /// The truth value currently assigned to the root formula.
+    pub fn root_value(&self, engine_len: usize) -> Truth {
+        self.0[engine_len - 1]
+    }
+}
+
+/// Shared mechanics of the six compiled-algorithm types.
+#[derive(Debug, Clone)]
+struct Engine {
+    table: Arc<Table>,
+    /// For the out-port message families: `j → D_j` (inner ids of diamonds
+    /// whose index mentions out-port `j`).
+    out_dict: BTreeMap<usize, Vec<usize>>,
+    /// For the broadcast families: `D` (inner ids of all diamonds).
+    bc_dict: Vec<usize>,
+}
+
+impl Engine {
+    fn new(formula: &Formula, family: IndexFamily) -> Result<Engine, CompileError> {
+        check_family(formula, family)?;
+        let table = Table::build(formula);
+        let mut out_dict: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut bc_dict: Vec<usize> = Vec::new();
+        for (_, index, _, inner) in table.diamonds() {
+            match index {
+                ModalIndex::InOut(_, j) | ModalIndex::Out(j) => {
+                    let entry = out_dict.entry(j).or_default();
+                    if !entry.contains(&inner) {
+                        entry.push(inner);
+                    }
+                }
+                ModalIndex::In(_) | ModalIndex::Any => {
+                    if !bc_dict.contains(&inner) {
+                        bc_dict.push(inner);
+                    }
+                }
+            }
+        }
+        Ok(Engine { table: Arc::new(table), out_dict, bc_dict })
+    }
+
+    fn init(&self, degree: usize) -> Status<Assignment, bool> {
+        let mut values: Vec<Truth> = Vec::with_capacity(self.table.nodes.len());
+        for node in &self.table.nodes {
+            let v = match *node {
+                Node::Top => Truth::True,
+                Node::Bottom => Truth::False,
+                Node::Prop(d) => Truth::from_bool(d == degree),
+                Node::Not(a) => values[a].not(),
+                Node::And(a, b) => Truth::and(values[a], values[b]),
+                Node::Or(a, b) => Truth::or(values[a], values[b]),
+                Node::Diamond { grade: 0, .. } => Truth::True,
+                Node::Diamond { .. } => Truth::Unknown,
+            };
+            values.push(v);
+        }
+        self.finish(Assignment(values))
+    }
+
+    fn finish(&self, assignment: Assignment) -> Status<Assignment, bool> {
+        match assignment.0[self.table.root] {
+            Truth::Unknown => Status::Running(assignment),
+            v => Status::Stopped(v == Truth::True),
+        }
+    }
+
+    /// Message for out-port `j`: the marker `j` plus the current values of
+    /// `D_j`, in dictionary order.
+    fn out_message(&self, state: &Assignment, j: usize) -> (usize, Vec<Truth>) {
+        let values = self
+            .out_dict
+            .get(&j)
+            .map(|ids| ids.iter().map(|&id| state.0[id]).collect())
+            .unwrap_or_default();
+        (j, values)
+    }
+
+    /// Broadcast message: the current values of `D`.
+    fn bc_message(&self, state: &Assignment) -> Vec<Truth> {
+        self.bc_dict.iter().map(|&id| state.0[id]).collect()
+    }
+
+    /// Looks up the transmitted value of subformula `inner` inside a
+    /// payload for out-port `j`.
+    fn out_value(&self, j: usize, inner: usize, values: &[Truth]) -> Truth {
+        let pos = self
+            .out_dict
+            .get(&j)
+            .and_then(|ids| ids.iter().position(|&id| id == inner));
+        pos.and_then(|p| values.get(p).copied()).unwrap_or(Truth::False)
+    }
+
+    /// Looks up the transmitted value of subformula `inner` inside a
+    /// broadcast payload.
+    fn bc_value(&self, inner: usize, values: &[Truth]) -> Truth {
+        let pos = self.bc_dict.iter().position(|&id| id == inner);
+        pos.and_then(|p| values.get(p).copied()).unwrap_or(Truth::False)
+    }
+
+    /// One transition: resolve every still-unknown subformula whose
+    /// children are determined, evaluating diamonds with `eval_dia`
+    /// (called only when the diamond's inner subformula is determined).
+    fn step_with(
+        &self,
+        state: &Assignment,
+        mut eval_dia: impl FnMut(ModalIndex, usize, usize) -> Truth,
+    ) -> Status<Assignment, bool> {
+        let mut next = state.0.clone();
+        for (id, node) in self.table.nodes.iter().enumerate() {
+            if next[id] != Truth::Unknown {
+                continue;
+            }
+            next[id] = match *node {
+                Node::Top | Node::Bottom | Node::Prop(_) => {
+                    unreachable!("atoms are determined at initialisation")
+                }
+                Node::Not(a) => next[a].not(),
+                Node::And(a, b) => Truth::and(next[a], next[b]),
+                Node::Or(a, b) => Truth::or(next[a], next[b]),
+                Node::Diamond { index, grade, inner } => {
+                    if state.0[inner] == Truth::Unknown {
+                        Truth::Unknown
+                    } else {
+                        eval_dia(index, grade, inner)
+                    }
+                }
+            };
+        }
+        self.finish(Assignment(next))
+    }
+}
+
+fn check_family(formula: &Formula, expected: IndexFamily) -> Result<(), CompileError> {
+    for index in formula.indices() {
+        if index.family() != expected {
+            return Err(CompileError::FamilyMismatch { expected, found: index.family() });
+        }
+    }
+    Ok(())
+}
+
+fn check_ungraded(formula: &Formula) -> Result<(), CompileError> {
+    // Grade 0 is fine (constant true); grades ≥ 2 need counting.
+    fn walk(f: &Formula) -> bool {
+        use crate::formula::FormulaKind;
+        match f.kind() {
+            FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => true,
+            FormulaKind::Not(a) => walk(a),
+            FormulaKind::And(a, b) | FormulaKind::Or(a, b) => walk(a) && walk(b),
+            FormulaKind::Diamond { grade, inner, .. } => *grade <= 1 && walk(inner),
+        }
+    }
+    if walk(formula) {
+        Ok(())
+    } else {
+        Err(CompileError::GradedNotSupported)
+    }
+}
+
+macro_rules! compiled_common {
+    ($name:ident) => {
+        impl $name {
+            /// The compiled formula's modal depth — the exact number of
+            /// communication rounds the algorithm runs.
+            pub fn rounds(&self) -> usize {
+                self.depth
+            }
+        }
+    };
+}
+
+/// Theorem 2(b), first half: MML over `[Δ]×[Δ]` compiled into class
+/// `Vector`. Run it on `(G, p)`; the output at node `v` is
+/// `K₊,₊(G,p), v ⊨ ψ`.
+#[derive(Debug, Clone)]
+pub struct VectorFormulaAlgorithm {
+    engine: Engine,
+    depth: usize,
+}
+compiled_common!(VectorFormulaAlgorithm);
+
+/// Compiles an MML/GMML formula over indices `(i, j)` for class `Vector`.
+///
+/// # Errors
+///
+/// [`CompileError::FamilyMismatch`] if the formula mentions indices outside
+/// `[Δ]×[Δ]`.
+pub fn compile_vector(formula: &Formula) -> Result<VectorFormulaAlgorithm, CompileError> {
+    Ok(VectorFormulaAlgorithm {
+        engine: Engine::new(formula, IndexFamily::InOut)?,
+        depth: formula.modal_depth(),
+    })
+}
+
+impl VectorAlgorithm for VectorFormulaAlgorithm {
+    type State = Assignment;
+    type Msg = (usize, Vec<Truth>);
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<Assignment, bool> {
+        self.engine.init(degree)
+    }
+
+    fn message(&self, state: &Assignment, port: usize) -> (usize, Vec<Truth>) {
+        self.engine.out_message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &Assignment,
+        received: &[Payload<(usize, Vec<Truth>)>],
+    ) -> Status<Assignment, bool> {
+        self.engine.step_with(state, |index, grade, inner| {
+            let ModalIndex::InOut(i, j) = index else {
+                unreachable!("family checked at compile time")
+            };
+            let hit = match received.get(i) {
+                Some(Payload::Data((jj, values))) if *jj == j => {
+                    self.engine.out_value(j, inner, values) == Truth::True
+                }
+                _ => false,
+            };
+            Truth::from_bool(usize::from(hit) >= grade)
+        })
+    }
+}
+
+/// Theorem 2(c): GMML over `{*}×[Δ]` compiled into class `Multiset`.
+#[derive(Debug, Clone)]
+pub struct MultisetFormulaAlgorithm {
+    engine: Engine,
+    depth: usize,
+}
+compiled_common!(MultisetFormulaAlgorithm);
+
+/// Compiles a GMML formula over indices `(*, j)` for class `Multiset`.
+///
+/// # Errors
+///
+/// [`CompileError::FamilyMismatch`] on indices outside `{*}×[Δ]`.
+pub fn compile_multiset(formula: &Formula) -> Result<MultisetFormulaAlgorithm, CompileError> {
+    Ok(MultisetFormulaAlgorithm {
+        engine: Engine::new(formula, IndexFamily::Out)?,
+        depth: formula.modal_depth(),
+    })
+}
+
+impl MultisetAlgorithm for MultisetFormulaAlgorithm {
+    type State = Assignment;
+    type Msg = (usize, Vec<Truth>);
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<Assignment, bool> {
+        self.engine.init(degree)
+    }
+
+    fn message(&self, state: &Assignment, port: usize) -> (usize, Vec<Truth>) {
+        self.engine.out_message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &Assignment,
+        received: &Multiset<Payload<(usize, Vec<Truth>)>>,
+    ) -> Status<Assignment, bool> {
+        self.engine.step_with(state, |index, grade, inner| {
+            let ModalIndex::Out(j) = index else {
+                unreachable!("family checked at compile time")
+            };
+            let count: usize = received
+                .counts()
+                .filter_map(|(payload, c)| match payload {
+                    Payload::Data((jj, values))
+                        if *jj == j
+                            && self.engine.out_value(j, inner, values) == Truth::True =>
+                    {
+                        Some(c)
+                    }
+                    _ => None,
+                })
+                .sum();
+            Truth::from_bool(count >= grade)
+        })
+    }
+}
+
+/// Theorem 2(d): MML over `{*}×[Δ]` compiled into class `Set`.
+#[derive(Debug, Clone)]
+pub struct SetFormulaAlgorithm {
+    engine: Engine,
+    depth: usize,
+}
+compiled_common!(SetFormulaAlgorithm);
+
+/// Compiles an ungraded MML formula over indices `(*, j)` for class `Set`.
+///
+/// # Errors
+///
+/// [`CompileError::FamilyMismatch`] on wrong indices;
+/// [`CompileError::GradedNotSupported`] if any grade exceeds 1.
+pub fn compile_set(formula: &Formula) -> Result<SetFormulaAlgorithm, CompileError> {
+    check_ungraded(formula)?;
+    Ok(SetFormulaAlgorithm {
+        engine: Engine::new(formula, IndexFamily::Out)?,
+        depth: formula.modal_depth(),
+    })
+}
+
+impl SetAlgorithm for SetFormulaAlgorithm {
+    type State = Assignment;
+    type Msg = (usize, Vec<Truth>);
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<Assignment, bool> {
+        self.engine.init(degree)
+    }
+
+    fn message(&self, state: &Assignment, port: usize) -> (usize, Vec<Truth>) {
+        self.engine.out_message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &Assignment,
+        received: &BTreeSet<Payload<(usize, Vec<Truth>)>>,
+    ) -> Status<Assignment, bool> {
+        self.engine.step_with(state, |index, grade, inner| {
+            let ModalIndex::Out(j) = index else {
+                unreachable!("family checked at compile time")
+            };
+            debug_assert!(grade == 1, "grades checked at compile time");
+            let hit = received.iter().any(|payload| match payload {
+                Payload::Data((jj, values)) => {
+                    *jj == j && self.engine.out_value(j, inner, values) == Truth::True
+                }
+                Payload::Silent => false,
+            });
+            Truth::from_bool(hit)
+        })
+    }
+}
+
+/// Theorem 2(e): MML over `[Δ]×{*}` compiled into class `Broadcast`.
+#[derive(Debug, Clone)]
+pub struct BroadcastFormulaAlgorithm {
+    engine: Engine,
+    depth: usize,
+}
+compiled_common!(BroadcastFormulaAlgorithm);
+
+/// Compiles an MML/GMML formula over indices `(i, *)` for class
+/// `Broadcast`.
+///
+/// # Errors
+///
+/// [`CompileError::FamilyMismatch`] on indices outside `[Δ]×{*}`.
+pub fn compile_broadcast(formula: &Formula) -> Result<BroadcastFormulaAlgorithm, CompileError> {
+    Ok(BroadcastFormulaAlgorithm {
+        engine: Engine::new(formula, IndexFamily::In)?,
+        depth: formula.modal_depth(),
+    })
+}
+
+impl BroadcastAlgorithm for BroadcastFormulaAlgorithm {
+    type State = Assignment;
+    type Msg = Vec<Truth>;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<Assignment, bool> {
+        self.engine.init(degree)
+    }
+
+    fn broadcast(&self, state: &Assignment) -> Vec<Truth> {
+        self.engine.bc_message(state)
+    }
+
+    fn step(
+        &self,
+        state: &Assignment,
+        received: &[Payload<Vec<Truth>>],
+    ) -> Status<Assignment, bool> {
+        self.engine.step_with(state, |index, grade, inner| {
+            let ModalIndex::In(i) = index else {
+                unreachable!("family checked at compile time")
+            };
+            let hit = match received.get(i) {
+                Some(Payload::Data(values)) => {
+                    self.engine.bc_value(inner, values) == Truth::True
+                }
+                _ => false,
+            };
+            Truth::from_bool(usize::from(hit) >= grade)
+        })
+    }
+}
+
+/// Theorem 2(f): GML over `{(*,*)}` compiled into `Multiset ∩ Broadcast`.
+#[derive(Debug, Clone)]
+pub struct MbFormulaAlgorithm {
+    engine: Engine,
+    depth: usize,
+}
+compiled_common!(MbFormulaAlgorithm);
+
+/// Compiles a GML formula over the index `(*, *)` for class `MB`.
+///
+/// # Errors
+///
+/// [`CompileError::FamilyMismatch`] on indices other than `(*,*)`.
+pub fn compile_mb(formula: &Formula) -> Result<MbFormulaAlgorithm, CompileError> {
+    Ok(MbFormulaAlgorithm {
+        engine: Engine::new(formula, IndexFamily::Any)?,
+        depth: formula.modal_depth(),
+    })
+}
+
+impl MbAlgorithm for MbFormulaAlgorithm {
+    type State = Assignment;
+    type Msg = Vec<Truth>;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<Assignment, bool> {
+        self.engine.init(degree)
+    }
+
+    fn broadcast(&self, state: &Assignment) -> Vec<Truth> {
+        self.engine.bc_message(state)
+    }
+
+    fn step(
+        &self,
+        state: &Assignment,
+        received: &Multiset<Payload<Vec<Truth>>>,
+    ) -> Status<Assignment, bool> {
+        self.engine.step_with(state, |index, grade, inner| {
+            debug_assert_eq!(index, ModalIndex::Any, "family checked at compile time");
+            let count: usize = received
+                .counts()
+                .filter_map(|(payload, c)| match payload {
+                    Payload::Data(values)
+                        if self.engine.bc_value(inner, values) == Truth::True =>
+                    {
+                        Some(c)
+                    }
+                    _ => None,
+                })
+                .sum();
+            Truth::from_bool(count >= grade)
+        })
+    }
+}
+
+/// Theorem 2(g): ML over `{(*,*)}` compiled into `Set ∩ Broadcast`.
+#[derive(Debug, Clone)]
+pub struct SbFormulaAlgorithm {
+    engine: Engine,
+    depth: usize,
+}
+compiled_common!(SbFormulaAlgorithm);
+
+/// Compiles an ungraded ML formula over the index `(*,*)` for class `SB`.
+///
+/// # Errors
+///
+/// [`CompileError::FamilyMismatch`] on wrong indices;
+/// [`CompileError::GradedNotSupported`] if any grade exceeds 1.
+pub fn compile_sb(formula: &Formula) -> Result<SbFormulaAlgorithm, CompileError> {
+    check_ungraded(formula)?;
+    Ok(SbFormulaAlgorithm {
+        engine: Engine::new(formula, IndexFamily::Any)?,
+        depth: formula.modal_depth(),
+    })
+}
+
+impl SbAlgorithm for SbFormulaAlgorithm {
+    type State = Assignment;
+    type Msg = Vec<Truth>;
+    type Output = bool;
+
+    fn init(&self, degree: usize) -> Status<Assignment, bool> {
+        self.engine.init(degree)
+    }
+
+    fn broadcast(&self, state: &Assignment) -> Vec<Truth> {
+        self.engine.bc_message(state)
+    }
+
+    fn step(
+        &self,
+        state: &Assignment,
+        received: &BTreeSet<Payload<Vec<Truth>>>,
+    ) -> Status<Assignment, bool> {
+        self.engine.step_with(state, |index, grade, inner| {
+            debug_assert_eq!(index, ModalIndex::Any, "family checked at compile time");
+            debug_assert!(grade == 1, "grades checked at compile time");
+            let hit = received.iter().any(|payload| match payload {
+                Payload::Data(values) => self.engine.bc_value(inner, values) == Truth::True,
+                Payload::Silent => false,
+            });
+            Truth::from_bool(hit)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::kripke::Kripke;
+    use portnum_graph::{generators, PortNumbering};
+    use portnum_machine::adapters::{
+        BroadcastAsVector, MbAsVector, MultisetAsVector, SbAsVector, SetAsVector,
+    };
+    use portnum_machine::Simulator;
+
+    #[test]
+    fn propositional_formula_needs_no_rounds() {
+        let f = Formula::prop(2).or(&Formula::prop(1).not());
+        let algo = compile_mb(&f).unwrap();
+        let g = generators::star(3);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&MbAsVector(algo), &g, &p).unwrap();
+        assert_eq!(run.rounds(), 0);
+        let k = Kripke::k_mm(&g);
+        assert_eq!(run.outputs().to_vec(), evaluate(&k, &f).unwrap());
+    }
+
+    #[test]
+    fn sb_depth_one_runs_one_round() {
+        // "some neighbour has degree 3"
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(3));
+        let algo = compile_sb(&f).unwrap();
+        assert_eq!(algo.rounds(), 1);
+        let g = generators::star(3);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&SbAsVector(algo), &g, &p).unwrap();
+        assert_eq!(run.rounds(), 1);
+        assert_eq!(run.outputs(), &[false, true, true, true]);
+    }
+
+    #[test]
+    fn mb_counts_neighbours() {
+        // "at least 2 neighbours have odd degree 1"
+        let f = Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(1));
+        let algo = compile_mb(&f).unwrap();
+        let g = generators::star(4);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&MbAsVector(algo), &g, &p).unwrap();
+        assert_eq!(run.outputs(), &[true, false, false, false, false]);
+        let k = Kripke::k_mm(&g);
+        assert_eq!(run.outputs().to_vec(), evaluate(&k, &f).unwrap());
+    }
+
+    #[test]
+    fn nested_formula_runs_md_rounds() {
+        // md = 3: ⟨⟩⟨⟩⟨⟩ q1
+        let mut f = Formula::prop(1);
+        for _ in 0..3 {
+            f = Formula::diamond(ModalIndex::Any, &f);
+        }
+        let algo = compile_sb(&f).unwrap();
+        let g = generators::path(6);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&SbAsVector(algo), &g, &p).unwrap();
+        assert_eq!(run.rounds(), 3);
+        let k = Kripke::k_mm(&g);
+        assert_eq!(run.outputs().to_vec(), evaluate(&k, &f).unwrap());
+    }
+
+    #[test]
+    fn vector_formula_reads_ports() {
+        // ⟨(0,0)⟩ q2 on a path: "the node feeding my in-port 0 from its
+        // out-port 0 has degree 2".
+        let f = Formula::diamond(ModalIndex::InOut(0, 0), &Formula::prop(2));
+        let algo = compile_vector(&f).unwrap();
+        let g = generators::path(3);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&algo, &g, &p).unwrap();
+        let k = Kripke::k_pp(&g, &p);
+        assert_eq!(run.outputs().to_vec(), evaluate(&k, &f).unwrap());
+    }
+
+    #[test]
+    fn all_six_classes_agree_with_model_checking() {
+        // A depth-2 formula evaluated through every compiled class on its
+        // matching model: each must equal the model checker.
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        let sim = Simulator::new();
+
+        // (*,*): ⟨⟩(q2 ∧ ⟨⟩q3)
+        let f_any = Formula::diamond(
+            ModalIndex::Any,
+            &Formula::prop(2).and(&Formula::diamond(ModalIndex::Any, &Formula::prop(3))),
+        );
+        let k_mm = Kripke::k_mm(&g);
+        let expected = evaluate(&k_mm, &f_any).unwrap();
+        let run = sim.run(&SbAsVector(compile_sb(&f_any).unwrap()), &g, &p).unwrap();
+        assert_eq!(run.outputs().to_vec(), expected, "SB");
+        let run = sim.run(&MbAsVector(compile_mb(&f_any).unwrap()), &g, &p).unwrap();
+        assert_eq!(run.outputs().to_vec(), expected, "MB");
+
+        // (*,j): ⟨(*,0)⟩⟨(*,1)⟩ q3
+        let f_out = Formula::diamond(
+            ModalIndex::Out(0),
+            &Formula::diamond(ModalIndex::Out(1), &Formula::prop(3)),
+        );
+        let k_mp = Kripke::k_mp(&g, &p);
+        let expected = evaluate(&k_mp, &f_out).unwrap();
+        let run = sim.run(&SetAsVector(compile_set(&f_out).unwrap()), &g, &p).unwrap();
+        assert_eq!(run.outputs().to_vec(), expected, "Set");
+        let run =
+            sim.run(&MultisetAsVector(compile_multiset(&f_out).unwrap()), &g, &p).unwrap();
+        assert_eq!(run.outputs().to_vec(), expected, "Multiset");
+
+        // (i,*): ⟨(0,*)⟩ ¬⟨(1,*)⟩ q1
+        let f_in = Formula::diamond(
+            ModalIndex::In(0),
+            &Formula::diamond(ModalIndex::In(1), &Formula::prop(1)).not(),
+        );
+        let k_pm = Kripke::k_pm(&g, &p);
+        let expected = evaluate(&k_pm, &f_in).unwrap();
+        let run =
+            sim.run(&BroadcastAsVector(compile_broadcast(&f_in).unwrap()), &g, &p).unwrap();
+        assert_eq!(run.outputs().to_vec(), expected, "Broadcast");
+
+        // (i,j): ⟨(0,1)⟩ q2
+        let f_io = Formula::diamond(ModalIndex::InOut(0, 1), &Formula::prop(2));
+        let k_pp = Kripke::k_pp(&g, &p);
+        let expected = evaluate(&k_pp, &f_io).unwrap();
+        let run = sim.run(&compile_vector(&f_io).unwrap(), &g, &p).unwrap();
+        assert_eq!(run.outputs().to_vec(), expected, "Vector");
+    }
+
+    #[test]
+    fn family_and_grade_validation() {
+        let wrong = Formula::diamond(ModalIndex::Out(0), &Formula::top());
+        assert!(matches!(
+            compile_vector(&wrong),
+            Err(CompileError::FamilyMismatch { .. })
+        ));
+        let graded = Formula::diamond_geq(ModalIndex::Any, 2, &Formula::top());
+        assert!(matches!(compile_sb(&graded), Err(CompileError::GradedNotSupported)));
+        assert!(compile_mb(&graded).is_ok());
+        let graded_out = Formula::diamond_geq(ModalIndex::Out(0), 3, &Formula::top());
+        assert!(matches!(compile_set(&graded_out), Err(CompileError::GradedNotSupported)));
+        assert!(compile_multiset(&graded_out).is_ok());
+    }
+
+    #[test]
+    fn grade_zero_is_constant_true() {
+        let f = Formula::diamond_geq(ModalIndex::Any, 0, &Formula::prop(7));
+        let algo = compile_sb(&f).unwrap();
+        let g = generators::cycle(3);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&SbAsVector(algo), &g, &p).unwrap();
+        assert_eq!(run.rounds(), 0);
+        assert_eq!(run.outputs(), &[true, true, true]);
+    }
+}

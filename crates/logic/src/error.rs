@@ -1,0 +1,99 @@
+//! Error types for the logic crate.
+
+use crate::formula::IndexFamily;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from model construction and model checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A formula used a modality from a different index family than the
+    /// model interprets.
+    FamilyMismatch {
+        /// The family the model interprets.
+        expected: IndexFamily,
+        /// The family found in the formula.
+        found: IndexFamily,
+    },
+    /// A relation mentioned a world id out of range.
+    WorldOutOfRange,
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::FamilyMismatch { expected, found } => write!(
+                f,
+                "formula uses {found:?} modalities but the model interprets {expected:?}"
+            ),
+            LogicError::WorldOutOfRange => write!(f, "relation refers to a world out of range"),
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+/// Errors from the Theorem-2 compilers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The formula's modalities do not match the target algorithm class.
+    FamilyMismatch {
+        /// The family the target class evaluates.
+        expected: IndexFamily,
+        /// The family found in the formula.
+        found: IndexFamily,
+    },
+    /// A graded modality (`⟨α⟩≥k`, `k ≥ 2`) cannot be evaluated by a
+    /// `Set`-based class.
+    GradedNotSupported,
+    /// The algorithm-to-formula construction found configurations still
+    /// running at the horizon.
+    NotStoppedByHorizon {
+        /// The horizon that was used.
+        horizon: usize,
+    },
+    /// The reachable configuration space exceeded the limit.
+    TooManyConfigs {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::FamilyMismatch { expected, found } => write!(
+                f,
+                "formula uses {found:?} modalities but the target class evaluates {expected:?}"
+            ),
+            CompileError::GradedNotSupported => {
+                write!(f, "graded modalities cannot be evaluated with set reception")
+            }
+            CompileError::NotStoppedByHorizon { horizon } => {
+                write!(f, "algorithm has configurations still running at horizon {horizon}")
+            }
+            CompileError::TooManyConfigs { limit } => {
+                write!(f, "reachable configuration space exceeded limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Errors from the formula parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseError {}

@@ -1,0 +1,196 @@
+//! Model checking: evaluating formulas over all worlds of a Kripke model.
+//!
+//! The evaluator is bottom-up and memoises shared subformulas by identity,
+//! so formulas built with heavy structural sharing (as produced by the
+//! algorithm-to-formula compiler) are checked in time linear in the number
+//! of *distinct* subformulas times the model size.
+
+use crate::error::LogicError;
+use crate::formula::{Formula, FormulaKind};
+use crate::kripke::Kripke;
+use std::collections::HashMap;
+
+/// Evaluates `formula` at every world of `model`.
+///
+/// # Errors
+///
+/// Returns [`LogicError::FamilyMismatch`] if the formula uses modalities
+/// from a different index family than the model interprets.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::generators;
+/// use portnum_logic::{evaluate, Formula, Kripke, ModalIndex};
+///
+/// let k = Kripke::k_mm(&generators::path(3));
+/// // "all my neighbours have degree 1" — true only at the middle node?
+/// // No: the ends have a single degree-2 neighbour, the middle has two
+/// // degree-1 neighbours.
+/// let f = Formula::box_(ModalIndex::Any, &Formula::prop(1));
+/// assert_eq!(evaluate(&k, &f)?, vec![false, true, false]);
+/// # Ok::<(), portnum_logic::LogicError>(())
+/// ```
+pub fn evaluate(model: &Kripke, formula: &Formula) -> Result<Vec<bool>, LogicError> {
+    let mut memo: HashMap<*const FormulaKind, Vec<bool>> = HashMap::new();
+    eval_rec(model, formula, &mut memo)
+}
+
+/// Evaluates `formula` at a single world.
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn satisfies(model: &Kripke, world: usize, formula: &Formula) -> Result<bool, LogicError> {
+    Ok(evaluate(model, formula)?[world])
+}
+
+/// The extension `‖formula‖` as a set of world ids.
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn extension(model: &Kripke, formula: &Formula) -> Result<Vec<usize>, LogicError> {
+    Ok(evaluate(model, formula)?
+        .into_iter()
+        .enumerate()
+        .filter_map(|(v, sat)| sat.then_some(v))
+        .collect())
+}
+
+fn eval_rec(
+    model: &Kripke,
+    formula: &Formula,
+    memo: &mut HashMap<*const FormulaKind, Vec<bool>>,
+) -> Result<Vec<bool>, LogicError> {
+    let key = formula.kind() as *const FormulaKind;
+    if let Some(cached) = memo.get(&key) {
+        return Ok(cached.clone());
+    }
+    let n = model.len();
+    let result = match formula.kind() {
+        FormulaKind::Top => vec![true; n],
+        FormulaKind::Bottom => vec![false; n],
+        FormulaKind::Prop(d) => (0..n).map(|v| model.degree(v) == *d).collect(),
+        FormulaKind::Not(a) => {
+            let inner = eval_rec(model, a, memo)?;
+            inner.into_iter().map(|b| !b).collect()
+        }
+        FormulaKind::And(a, b) => {
+            let left = eval_rec(model, a, memo)?;
+            let right = eval_rec(model, b, memo)?;
+            left.into_iter().zip(right).map(|(x, y)| x && y).collect()
+        }
+        FormulaKind::Or(a, b) => {
+            let left = eval_rec(model, a, memo)?;
+            let right = eval_rec(model, b, memo)?;
+            left.into_iter().zip(right).map(|(x, y)| x || y).collect()
+        }
+        FormulaKind::Diamond { index, grade, inner } => {
+            if index.family() != model.variant().family() {
+                return Err(LogicError::FamilyMismatch {
+                    expected: model.variant().family(),
+                    found: index.family(),
+                });
+            }
+            let sat = eval_rec(model, inner, memo)?;
+            (0..n)
+                .map(|v| {
+                    let count =
+                        model.successors(v, *index).iter().filter(|&&w| sat[w]).count();
+                    count >= *grade
+                })
+                .collect()
+        }
+    };
+    memo.insert(key, result.clone());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::ModalIndex;
+    use portnum_graph::{generators, PortNumbering};
+
+    #[test]
+    fn propositional_connectives() {
+        let k = Kripke::k_mm(&generators::star(2));
+        let q2 = Formula::prop(2);
+        let q1 = Formula::prop(1);
+        assert_eq!(evaluate(&k, &q2).unwrap(), vec![true, false, false]);
+        assert_eq!(evaluate(&k, &q2.not()).unwrap(), vec![false, true, true]);
+        assert_eq!(evaluate(&k, &q2.or(&q1)).unwrap(), vec![true, true, true]);
+        assert_eq!(evaluate(&k, &q2.and(&q1)).unwrap(), vec![false, false, false]);
+        assert_eq!(evaluate(&k, &Formula::top()).unwrap(), vec![true; 3]);
+        assert_eq!(evaluate(&k, &Formula::bottom()).unwrap(), vec![false; 3]);
+    }
+
+    #[test]
+    fn graded_diamonds_count() {
+        // Star with 3 leaves: the centre has 3 degree-1 successors.
+        let k = Kripke::k_mm(&generators::star(3));
+        let q1 = Formula::prop(1);
+        for grade in 0..=4 {
+            let f = Formula::diamond_geq(ModalIndex::Any, grade, &q1);
+            let expected_centre = grade <= 3;
+            assert_eq!(satisfies(&k, 0, &f).unwrap(), expected_centre, "grade {grade}");
+        }
+        // A leaf has one successor (the centre, degree 3), so ⟨⟩≥1 q1 fails.
+        assert!(!satisfies(&k, 1, &Formula::diamond(ModalIndex::Any, &q1)).unwrap());
+    }
+
+    #[test]
+    fn port_indexed_modalities() {
+        let g = generators::path(3);
+        let p = PortNumbering::consistent(&g);
+        let k = Kripke::k_pp(&g, &p);
+        // Node 0's in-port 0 is fed by node 1; which out-port node 1 uses
+        // depends on the canonical numbering: edge (0,1) pairs port 0 with
+        // port 0, so ⟨(0,0)⟩ q2 holds at node 0 (node 1 has degree 2).
+        let f = Formula::diamond(ModalIndex::InOut(0, 0), &Formula::prop(2));
+        assert!(satisfies(&k, 0, &f).unwrap());
+        // Out-of-range ports give empty relations, never panics.
+        let g5 = Formula::diamond(ModalIndex::InOut(5, 5), &Formula::top());
+        assert_eq!(evaluate(&k, &g5).unwrap(), vec![false; 3]);
+    }
+
+    #[test]
+    fn family_mismatch_is_an_error() {
+        let k = Kripke::k_mm(&generators::cycle(3));
+        let f = Formula::diamond(ModalIndex::Out(0), &Formula::top());
+        assert!(matches!(
+            evaluate(&k, &f),
+            Err(LogicError::FamilyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extension_collects_worlds() {
+        let k = Kripke::k_mm(&generators::star(3));
+        let f = Formula::prop(1);
+        assert_eq!(extension(&k, &f).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_subformulas_evaluate_once() {
+        // Build a deeply shared formula: f_{n+1} = f_n & f_n. Without
+        // memoisation this would take 2^40 steps.
+        let mut f = Formula::prop(2);
+        for _ in 0..40 {
+            f = f.and(&f);
+        }
+        let k = Kripke::k_mm(&generators::cycle(5));
+        assert_eq!(evaluate(&k, &f).unwrap(), vec![true; 5]);
+    }
+
+    #[test]
+    fn box_is_dual() {
+        let g = generators::star(3);
+        let k = Kripke::k_mm(&g);
+        let f = Formula::box_(ModalIndex::Any, &Formula::prop(1));
+        // Centre: all neighbours are leaves -> true. Leaf: neighbour is the
+        // centre (degree 3) -> false.
+        assert_eq!(evaluate(&k, &f).unwrap(), vec![true, false, false, false]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Formulas of the modal logics ML, GML, MML, and GMML (Section 4.1).
+//!
+//! One AST covers all four logics. The proposition symbols are the paper's
+//! degree atoms `q_d` (“this node has degree `d`”). Modalities are indexed
+//! by [`ModalIndex`], covering the four index families of Section 4.3:
+//!
+//! | family | index | Kripke model | algorithm class |
+//! |---|---|---|---|
+//! | `[Δ]×[Δ]`   | `⟨(i,j)⟩` | `K₊,₊` | `Vector` |
+//! | `{*}×[Δ]`   | `⟨(*,j)⟩` | `K₋,₊` | `Multiset` / `Set` |
+//! | `[Δ]×{*}`   | `⟨(i,*)⟩` | `K₊,₋` | `Broadcast` |
+//! | `{(*,*)}`   | `⟨(*,*)⟩` | `K₋,₋` | `MB` / `SB` |
+//!
+//! Every diamond carries a *grade* `k`: `⟨α⟩≥k φ` holds when at least `k`
+//! accessible worlds satisfy `φ`. Grade 1 is the plain diamond; a formula
+//! all of whose grades are 1 belongs to the ungraded logic (ML/MML), which
+//! is what the `Set`-based classes can evaluate.
+//!
+//! Port indices are `0`-based, matching the rest of the workspace.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A modality index `α` (see module docs for the four families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ModalIndex {
+    /// `(i, j)`: the neighbour whose out-port `j` feeds my in-port `i`.
+    InOut(usize, usize),
+    /// `(*, j)`: any neighbour transmitting from its out-port `j`.
+    Out(usize),
+    /// `(i, *)`: the neighbour feeding my in-port `i`.
+    In(usize),
+    /// `(*, *)`: any neighbour.
+    Any,
+}
+
+impl ModalIndex {
+    /// The family this index belongs to.
+    pub fn family(self) -> IndexFamily {
+        match self {
+            ModalIndex::InOut(_, _) => IndexFamily::InOut,
+            ModalIndex::Out(_) => IndexFamily::Out,
+            ModalIndex::In(_) => IndexFamily::In,
+            ModalIndex::Any => IndexFamily::Any,
+        }
+    }
+}
+
+impl fmt::Display for ModalIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModalIndex::InOut(i, j) => write!(f, "{i},{j}"),
+            ModalIndex::Out(j) => write!(f, "*,{j}"),
+            ModalIndex::In(i) => write!(f, "{i},*"),
+            ModalIndex::Any => write!(f, "*,*"),
+        }
+    }
+}
+
+/// The four index families `I^Δ_{a,b}` of Section 4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IndexFamily {
+    /// `I_{+,+} = [Δ] × [Δ]` — full port information.
+    InOut,
+    /// `I_{-,+} = {*} × [Δ]` — sender ports only.
+    Out,
+    /// `I_{+,-} = [Δ] × {*}` — receiver ports only.
+    In,
+    /// `I_{-,-} = {(*,*)}` — adjacency only.
+    Any,
+}
+
+/// The shape of a formula node; obtain it with [`Formula::kind`].
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub enum FormulaKind {
+    /// `⊤`.
+    Top,
+    /// `⊥`.
+    Bottom,
+    /// Degree atom `q_d`.
+    Prop(usize),
+    /// Negation.
+    Not(Formula),
+    /// Conjunction.
+    And(Formula, Formula),
+    /// Disjunction.
+    Or(Formula, Formula),
+    /// Graded diamond `⟨α⟩≥k φ` (`grade = k`; plain diamond has `k = 1`).
+    Diamond {
+        /// The modality index `α`.
+        index: ModalIndex,
+        /// The grade `k ≥ 0` (`⟨α⟩≥0 φ` is trivially true).
+        grade: usize,
+        /// The subformula `φ`.
+        inner: Formula,
+    },
+}
+
+/// A modal formula (cheaply cloneable; subtrees are shared).
+///
+/// # Examples
+///
+/// ```
+/// use portnum_logic::{Formula, ModalIndex};
+///
+/// // "my degree is 2, and at least two neighbours have degree 1"
+/// let f = Formula::prop(2).and(&Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(1)));
+/// assert_eq!(f.modal_depth(), 1);
+/// assert_eq!(f.to_string(), "(q2 & <*,*>>=2 q1)");
+/// assert!(!f.is_ungraded());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Formula {
+    node: Arc<FormulaKind>,
+}
+
+impl Formula {
+    fn new(kind: FormulaKind) -> Self {
+        Formula { node: Arc::new(kind) }
+    }
+
+    /// `⊤`.
+    pub fn top() -> Self {
+        Formula::new(FormulaKind::Top)
+    }
+
+    /// `⊥`.
+    pub fn bottom() -> Self {
+        Formula::new(FormulaKind::Bottom)
+    }
+
+    /// The degree atom `q_d`.
+    pub fn prop(d: usize) -> Self {
+        Formula::new(FormulaKind::Prop(d))
+    }
+
+    /// Negation `¬self`.
+    pub fn not(&self) -> Self {
+        Formula::new(FormulaKind::Not(self.clone()))
+    }
+
+    /// Conjunction `self ∧ other`.
+    pub fn and(&self, other: &Formula) -> Self {
+        Formula::new(FormulaKind::And(self.clone(), other.clone()))
+    }
+
+    /// Disjunction `self ∨ other`.
+    pub fn or(&self, other: &Formula) -> Self {
+        Formula::new(FormulaKind::Or(self.clone(), other.clone()))
+    }
+
+    /// Plain diamond `⟨α⟩ inner`.
+    pub fn diamond(index: ModalIndex, inner: &Formula) -> Self {
+        Formula::diamond_geq(index, 1, inner)
+    }
+
+    /// Graded diamond `⟨α⟩≥k inner`.
+    pub fn diamond_geq(index: ModalIndex, grade: usize, inner: &Formula) -> Self {
+        Formula::new(FormulaKind::Diamond { index, grade, inner: inner.clone() })
+    }
+
+    /// Box `[α] inner = ¬⟨α⟩¬inner`.
+    pub fn box_(index: ModalIndex, inner: &Formula) -> Self {
+        Formula::diamond(index, &inner.not()).not()
+    }
+
+    /// Disjunction of a sequence (`⊥` when empty).
+    pub fn any_of<I: IntoIterator<Item = Formula>>(items: I) -> Self {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => Formula::bottom(),
+            Some(first) => iter.fold(first, |acc, f| acc.or(&f)),
+        }
+    }
+
+    /// Conjunction of a sequence (`⊤` when empty).
+    pub fn all_of<I: IntoIterator<Item = Formula>>(items: I) -> Self {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => Formula::top(),
+            Some(first) => iter.fold(first, |acc, f| acc.and(&f)),
+        }
+    }
+
+    /// The node shape, for pattern matching.
+    pub fn kind(&self) -> &FormulaKind {
+        &self.node
+    }
+
+    /// The modal depth `md(φ)`: deepest nesting of modalities.
+    ///
+    /// By Theorem 2 this equals the running time of the compiled
+    /// distributed algorithm.
+    pub fn modal_depth(&self) -> usize {
+        match self.kind() {
+            FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => 0,
+            FormulaKind::Not(a) => a.modal_depth(),
+            FormulaKind::And(a, b) | FormulaKind::Or(a, b) => {
+                a.modal_depth().max(b.modal_depth())
+            }
+            FormulaKind::Diamond { inner, .. } => inner.modal_depth() + 1,
+        }
+    }
+
+    /// Returns `true` if every grade is 1 (the formula is in ML/MML rather
+    /// than GML/GMML).
+    pub fn is_ungraded(&self) -> bool {
+        match self.kind() {
+            FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => true,
+            FormulaKind::Not(a) => a.is_ungraded(),
+            FormulaKind::And(a, b) | FormulaKind::Or(a, b) => {
+                a.is_ungraded() && b.is_ungraded()
+            }
+            FormulaKind::Diamond { grade, inner, .. } => *grade == 1 && inner.is_ungraded(),
+        }
+    }
+
+    /// Returns `true` if every modality index belongs to `family`.
+    pub fn uses_only(&self, family: IndexFamily) -> bool {
+        match self.kind() {
+            FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => true,
+            FormulaKind::Not(a) => a.uses_only(family),
+            FormulaKind::And(a, b) | FormulaKind::Or(a, b) => {
+                a.uses_only(family) && b.uses_only(family)
+            }
+            FormulaKind::Diamond { index, inner, .. } => {
+                index.family() == family && inner.uses_only(family)
+            }
+        }
+    }
+
+    /// All modality indices appearing in the formula.
+    pub fn indices(&self) -> Vec<ModalIndex> {
+        let mut out = Vec::new();
+        fn walk(f: &Formula, out: &mut Vec<ModalIndex>) {
+            match f.kind() {
+                FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => {}
+                FormulaKind::Not(a) => walk(a, out),
+                FormulaKind::And(a, b) | FormulaKind::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                FormulaKind::Diamond { index, inner, .. } => {
+                    if !out.contains(index) {
+                        out.push(*index);
+                    }
+                    walk(inner, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Number of nodes in the syntax tree (shared subtrees counted once per
+    /// occurrence).
+    pub fn size(&self) -> usize {
+        match self.kind() {
+            FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => 1,
+            FormulaKind::Not(a) => 1 + a.size(),
+            FormulaKind::And(a, b) | FormulaKind::Or(a, b) => 1 + a.size() + b.size(),
+            FormulaKind::Diamond { inner, .. } => 1 + inner.size(),
+        }
+    }
+
+    /// Structural-sharing identity: true if both wrap the same node.
+    pub fn ptr_eq(&self, other: &Formula) -> bool {
+        Arc::ptr_eq(&self.node, &other.node)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            FormulaKind::Top => write!(f, "true"),
+            FormulaKind::Bottom => write!(f, "false"),
+            FormulaKind::Prop(d) => write!(f, "q{d}"),
+            FormulaKind::Not(a) => write!(f, "!{a}"),
+            FormulaKind::And(a, b) => write!(f, "({a} & {b})"),
+            FormulaKind::Or(a, b) => write!(f, "({a} | {b})"),
+            FormulaKind::Diamond { index, grade, inner } => {
+                if *grade == 1 {
+                    write!(f, "<{index}> {inner}")
+                } else {
+                    write!(f, "<{index}>>={grade} {inner}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modal_depth_counts_nesting() {
+        let q = Formula::prop(1);
+        assert_eq!(q.modal_depth(), 0);
+        let d1 = Formula::diamond(ModalIndex::Any, &q);
+        let d2 = Formula::diamond(ModalIndex::Out(0), &d1);
+        assert_eq!(d2.modal_depth(), 2);
+        let mix = d2.and(&d1).or(&q.not());
+        assert_eq!(mix.modal_depth(), 2);
+        assert_eq!(Formula::box_(ModalIndex::Any, &d1).modal_depth(), 2);
+    }
+
+    #[test]
+    fn gradedness_and_family() {
+        let q = Formula::prop(1);
+        let plain = Formula::diamond(ModalIndex::Out(2), &q);
+        let graded = Formula::diamond_geq(ModalIndex::Out(2), 3, &q);
+        assert!(plain.is_ungraded());
+        assert!(!graded.is_ungraded());
+        assert!(plain.uses_only(IndexFamily::Out));
+        assert!(!plain.uses_only(IndexFamily::Any));
+        assert!(q.uses_only(IndexFamily::InOut));
+    }
+
+    #[test]
+    fn indices_deduplicated() {
+        let q = Formula::prop(1);
+        let f = Formula::diamond(ModalIndex::In(0), &Formula::diamond(ModalIndex::In(0), &q))
+            .and(&Formula::diamond(ModalIndex::In(1), &q));
+        assert_eq!(f.indices(), vec![ModalIndex::In(0), ModalIndex::In(1)]);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let f = Formula::prop(2).and(&Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(1)));
+        assert_eq!(f.to_string(), "(q2 & <*,*>>=2 q1)");
+        let g = Formula::diamond(ModalIndex::InOut(0, 1), &Formula::top()).not();
+        assert_eq!(g.to_string(), "!<0,1> true");
+        assert_eq!(Formula::bottom().to_string(), "false");
+    }
+
+    #[test]
+    fn any_of_all_of_empty() {
+        assert_eq!(Formula::any_of([]), Formula::bottom());
+        assert_eq!(Formula::all_of([]), Formula::top());
+        let items = vec![Formula::prop(1), Formula::prop(2)];
+        assert_eq!(Formula::any_of(items.clone()).to_string(), "(q1 | q2)");
+        assert_eq!(Formula::all_of(items).to_string(), "(q1 & q2)");
+    }
+
+    #[test]
+    fn structural_equality_and_sharing() {
+        let a = Formula::prop(3);
+        let b = Formula::prop(3);
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+        let c = a.clone();
+        assert!(a.ptr_eq(&c));
+        assert_eq!(a.size(), 1);
+        assert_eq!(a.and(&b).size(), 3);
+    }
+}

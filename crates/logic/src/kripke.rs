@@ -1,0 +1,297 @@
+//! Kripke models, including the four canonical models `K_{a,b}(G, p)` of
+//! Section 4.3.
+//!
+//! A port-numbered graph `(G, p)` induces accessibility relations
+//!
+//! ```text
+//! R_(i,j) = { (v, w) : p((w, j)) = (v, i) }
+//! ```
+//!
+//! (“`w`'s out-port `j` feeds `v`'s in-port `i`”), together with their
+//! projections `R_(*,j)`, `R_(i,*)`, and `R_(*,*)`, and the valuation
+//! `τ(q_d) = { v : deg(v) = d }`. The four models
+//! `K₊,₊ / K₋,₊ / K₊,₋ / K₋,₋` expose exactly the information available to
+//! the `Vector` / `Multiset`·`Set` / `Broadcast` / `MB`·`SB` algorithm
+//! classes respectively (Figure 7).
+
+use crate::error::LogicError;
+use crate::formula::{IndexFamily, ModalIndex};
+use portnum_graph::{Graph, Port, PortNumbering};
+use std::collections::BTreeMap;
+
+/// Which of the four canonical model variants a [`Kripke`] model is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelVariant {
+    /// `K₊,₊`: relations `R_(i,j)` — full port information.
+    PlusPlus,
+    /// `K₋,₊`: relations `R_(*,j)` — sender's out-port only.
+    MinusPlus,
+    /// `K₊,₋`: relations `R_(i,*)` — receiver's in-port only.
+    PlusMinus,
+    /// `K₋,₋`: the single relation `R_(*,*)` — plain adjacency.
+    MinusMinus,
+}
+
+impl ModelVariant {
+    /// The index family whose modalities this variant interprets.
+    pub fn family(self) -> IndexFamily {
+        match self {
+            ModelVariant::PlusPlus => IndexFamily::InOut,
+            ModelVariant::MinusPlus => IndexFamily::Out,
+            ModelVariant::PlusMinus => IndexFamily::In,
+            ModelVariant::MinusMinus => IndexFamily::Any,
+        }
+    }
+}
+
+/// A finite multimodal Kripke model with degree-atom valuation.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, PortNumbering};
+/// use portnum_logic::{Formula, Kripke, ModalIndex};
+///
+/// let g = generators::star(3);
+/// let p = PortNumbering::consistent(&g);
+/// let k = Kripke::k_mm(&g);
+/// // "some neighbour has degree 3" holds exactly at the leaves.
+/// let f = Formula::diamond(ModalIndex::Any, &Formula::prop(3));
+/// assert_eq!(portnum_logic::evaluate(&k, &f)?, vec![false, true, true, true]);
+/// # let _ = p;
+/// # Ok::<(), portnum_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kripke {
+    variant: ModelVariant,
+    degree: Vec<usize>,
+    relations: BTreeMap<ModalIndex, Vec<Vec<usize>>>,
+    empty: Vec<usize>,
+}
+
+impl Kripke {
+    fn from_ports(
+        g: &Graph,
+        p: &PortNumbering,
+        variant: ModelVariant,
+        project: impl Fn(usize, usize) -> ModalIndex,
+    ) -> Self {
+        let n = g.len();
+        let mut relations: BTreeMap<ModalIndex, Vec<Vec<usize>>> = BTreeMap::new();
+        for v in g.nodes() {
+            for i in 0..g.degree(v) {
+                let src = p.backward(Port::new(v, i));
+                let index = project(i, src.index);
+                relations.entry(index).or_insert_with(|| vec![Vec::new(); n])[v].push(src.node);
+            }
+        }
+        Kripke { variant, degree: g.degrees(), relations, empty: Vec::new() }
+    }
+
+    /// The model `K₊,₊(G, p)` with relations `R_(i,j)`.
+    pub fn k_pp(g: &Graph, p: &PortNumbering) -> Self {
+        Self::from_ports(g, p, ModelVariant::PlusPlus, ModalIndex::InOut)
+    }
+
+    /// The model `K₋,₊(G, p)` with relations `R_(*,j)`.
+    pub fn k_mp(g: &Graph, p: &PortNumbering) -> Self {
+        Self::from_ports(g, p, ModelVariant::MinusPlus, |_i, j| ModalIndex::Out(j))
+    }
+
+    /// The model `K₊,₋(G, p)` with relations `R_(i,*)`.
+    pub fn k_pm(g: &Graph, p: &PortNumbering) -> Self {
+        Self::from_ports(g, p, ModelVariant::PlusMinus, |i, _j| ModalIndex::In(i))
+    }
+
+    /// The model `K₋,₋(G)` with the single relation `R_(*,*)` (the edge set
+    /// as a symmetric relation). Independent of the port numbering.
+    pub fn k_mm(g: &Graph) -> Self {
+        let mut rel = vec![Vec::new(); g.len()];
+        for v in g.nodes() {
+            rel[v] = g.neighbors(v).to_vec();
+        }
+        let mut relations = BTreeMap::new();
+        relations.insert(ModalIndex::Any, rel);
+        Kripke {
+            variant: ModelVariant::MinusMinus,
+            degree: g.degrees(),
+            relations,
+            empty: Vec::new(),
+        }
+    }
+
+    /// Builds a custom model from explicit parts (for hand-crafted logic
+    /// tests). All relation indices must belong to `variant`'s family, and
+    /// all successor ids must be `< degree.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::FamilyMismatch`] or
+    /// [`LogicError::WorldOutOfRange`] on malformed input.
+    pub fn from_parts(
+        variant: ModelVariant,
+        degree: Vec<usize>,
+        relations: BTreeMap<ModalIndex, Vec<Vec<usize>>>,
+    ) -> Result<Self, LogicError> {
+        let n = degree.len();
+        for (&index, rows) in &relations {
+            if index.family() != variant.family() {
+                return Err(LogicError::FamilyMismatch {
+                    expected: variant.family(),
+                    found: index.family(),
+                });
+            }
+            if rows.len() != n || rows.iter().flatten().any(|&w| w >= n) {
+                return Err(LogicError::WorldOutOfRange);
+            }
+        }
+        Ok(Kripke { variant, degree, relations, empty: Vec::new() })
+    }
+
+    /// The model variant.
+    pub fn variant(&self) -> ModelVariant {
+        self.variant
+    }
+
+    /// Number of worlds.
+    pub fn len(&self) -> usize {
+        self.degree.len()
+    }
+
+    /// Returns `true` if the model has no worlds.
+    pub fn is_empty(&self) -> bool {
+        self.degree.is_empty()
+    }
+
+    /// The degree recorded at world `v` (its valuation: `q_d` holds iff
+    /// `degree(v) = d`).
+    pub fn degree(&self, v: usize) -> usize {
+        self.degree[v]
+    }
+
+    /// Successors of `v` under the relation for `index` (empty if the
+    /// relation does not occur in the model).
+    pub fn successors(&self, v: usize, index: ModalIndex) -> &[usize] {
+        self.relations.get(&index).map_or(&self.empty, |rows| &rows[v])
+    }
+
+    /// The modality indices with nonempty relations, in sorted order.
+    pub fn indices(&self) -> impl Iterator<Item = ModalIndex> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Disjoint union with another model of the same variant; worlds of
+    /// `other` are shifted by `self.len()`.
+    ///
+    /// Bisimilarity *across* two models is bisimilarity of the shifted
+    /// worlds inside the union — the standard trick used by the separation
+    /// proofs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variants differ.
+    pub fn disjoint_union(&self, other: &Kripke) -> Kripke {
+        assert_eq!(self.variant, other.variant, "variants must match");
+        let offset = self.len();
+        let n = offset + other.len();
+        let mut degree = self.degree.clone();
+        degree.extend_from_slice(&other.degree);
+        let mut relations: BTreeMap<ModalIndex, Vec<Vec<usize>>> = BTreeMap::new();
+        let all_keys: Vec<ModalIndex> =
+            self.relations.keys().chain(other.relations.keys()).copied().collect();
+        for index in all_keys {
+            let entry = relations.entry(index).or_insert_with(|| vec![Vec::new(); n]);
+            if let Some(rows) = self.relations.get(&index) {
+                for (v, row) in rows.iter().enumerate() {
+                    entry[v] = row.clone();
+                }
+            }
+            if let Some(rows) = other.relations.get(&index) {
+                for (v, row) in rows.iter().enumerate() {
+                    entry[offset + v] = row.iter().map(|&w| w + offset).collect();
+                }
+            }
+        }
+        Kripke { variant: self.variant, degree, relations, empty: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portnum_graph::generators;
+
+    #[test]
+    fn k_pp_reconstructs_port_structure() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        let k = Kripke::k_pp(&g, &p);
+        // Every in-port of every node yields exactly one successor, so the
+        // total relation size equals the number of ports = 2|E|.
+        let total: usize =
+            k.indices().map(|i| (0..k.len()).map(|v| k.successors(v, i).len()).sum::<usize>()).sum();
+        assert_eq!(total, 2 * g.edge_count());
+        assert_eq!(k.variant(), ModelVariant::PlusPlus);
+    }
+
+    #[test]
+    fn k_mm_is_adjacency() {
+        let g = generators::cycle(4);
+        let k = Kripke::k_mm(&g);
+        for v in g.nodes() {
+            assert_eq!(k.successors(v, ModalIndex::Any), g.neighbors(v));
+        }
+        assert_eq!(k.degree(0), 2);
+    }
+
+    #[test]
+    fn variants_project_the_same_edges() {
+        use rand::SeedableRng;
+        let g = generators::petersen();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let p = PortNumbering::random(&g, &mut rng);
+        let pp = Kripke::k_pp(&g, &p);
+        let mp = Kripke::k_mp(&g, &p);
+        let pm = Kripke::k_pm(&g, &p);
+        let mm = Kripke::k_mm(&g);
+        let count = |k: &Kripke| -> usize {
+            k.indices()
+                .map(|i| (0..k.len()).map(|v| k.successors(v, i).len()).sum::<usize>())
+                .sum()
+        };
+        assert_eq!(count(&pp), count(&mp));
+        assert_eq!(count(&mp), count(&pm));
+        assert_eq!(count(&pm), count(&mm));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let mut rel = BTreeMap::new();
+        rel.insert(ModalIndex::Any, vec![vec![1], vec![0]]);
+        assert!(Kripke::from_parts(ModelVariant::MinusMinus, vec![1, 1], rel.clone()).is_ok());
+        assert_eq!(
+            Kripke::from_parts(ModelVariant::PlusPlus, vec![1, 1], rel).unwrap_err(),
+            LogicError::FamilyMismatch {
+                expected: IndexFamily::InOut,
+                found: IndexFamily::Any
+            }
+        );
+        let mut bad = BTreeMap::new();
+        bad.insert(ModalIndex::Any, vec![vec![5], vec![0]]);
+        assert_eq!(
+            Kripke::from_parts(ModelVariant::MinusMinus, vec![1, 1], bad).unwrap_err(),
+            LogicError::WorldOutOfRange
+        );
+    }
+
+    #[test]
+    fn disjoint_union_offsets_relations() {
+        let a = Kripke::k_mm(&generators::cycle(3));
+        let b = Kripke::k_mm(&generators::path(2));
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.successors(3, ModalIndex::Any), &[4]);
+        assert_eq!(u.successors(0, ModalIndex::Any), &[1, 2]);
+        assert_eq!(u.degree(4), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! A text syntax for formulas, round-tripping with `Display`.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula := or
+//! or      := and ('|' and)*
+//! and     := unary ('&' unary)*
+//! unary   := '!' unary | '<' index '>' ['>=' NUM] unary | '[' index ']' unary | atom
+//! atom    := 'true' | 'false' | 'q' NUM | '(' formula ')'
+//! index   := NUM ',' NUM | '*' ',' NUM | NUM ',' '*' | '*' ',' '*'
+//! ```
+//!
+//! Port indices are `0`-based. `[α]φ` is sugar for `!<α>!φ`.
+//!
+//! # Examples
+//!
+//! ```
+//! use portnum_logic::parse;
+//!
+//! let f = parse("q2 & <*,*>>=2 q1")?;
+//! assert_eq!(f.modal_depth(), 1);
+//! let g = parse(&f.to_string())?;
+//! assert_eq!(f, g);
+//! # Ok::<(), portnum_logic::ParseError>(())
+//! ```
+
+use crate::error::ParseError;
+use crate::formula::{Formula, ModalIndex};
+
+/// Parses a formula from the textual syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending position.
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let f = p.or_expr()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { position: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| self.error("number too large"))
+    }
+
+    fn keyword(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            let after = self.pos + word.len();
+            let boundary = self
+                .bytes
+                .get(after)
+                .is_none_or(|b| !b.is_ascii_alphanumeric());
+            if boundary {
+                self.pos = after;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn or_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat(b'|') {
+            let right = self.and_expr()?;
+            left = left.or(&right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.unary()?;
+        while self.eat(b'&') {
+            let right = self.unary()?;
+            left = left.and(&right);
+        }
+        Ok(left)
+    }
+
+    fn index(&mut self, close: u8) -> Result<ModalIndex, ParseError> {
+        let first_star = self.eat(b'*');
+        let first = if first_star { None } else { Some(self.number()?) };
+        self.expect(b',')?;
+        let second_star = self.eat(b'*');
+        let second = if second_star { None } else { Some(self.number()?) };
+        self.expect(close)?;
+        Ok(match (first, second) {
+            (Some(i), Some(j)) => ModalIndex::InOut(i, j),
+            (None, Some(j)) => ModalIndex::Out(j),
+            (Some(i), None) => ModalIndex::In(i),
+            (None, None) => ModalIndex::Any,
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(self.unary()?.not())
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                let index = self.index(b'>')?;
+                let grade = if self.peek() == Some(b'>') {
+                    self.pos += 1;
+                    self.expect(b'=')?;
+                    self.number()?
+                } else {
+                    1
+                };
+                let inner = self.unary()?;
+                Ok(Formula::diamond_geq(index, grade, &inner))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let index = self.index(b']')?;
+                let inner = self.unary()?;
+                Ok(Formula::box_(index, &inner))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        if self.keyword("true") {
+            return Ok(Formula::top());
+        }
+        if self.keyword("false") {
+            return Ok(Formula::bottom());
+        }
+        match self.peek() {
+            Some(b'q') => {
+                self.pos += 1;
+                Ok(Formula::prop(self.number()?))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let f = self.or_expr()?;
+                self.expect(b')')?;
+                Ok(f)
+            }
+            _ => Err(self.error("expected an atom, '!', '<', '[', or '('")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_and_connectives() {
+        assert_eq!(parse("true").unwrap(), Formula::top());
+        assert_eq!(parse("q7").unwrap(), Formula::prop(7));
+        assert_eq!(parse("!q1").unwrap(), Formula::prop(1).not());
+        assert_eq!(
+            parse("q1 & q2 | q3").unwrap(),
+            Formula::prop(1).and(&Formula::prop(2)).or(&Formula::prop(3))
+        );
+        assert_eq!(
+            parse("q1 & (q2 | q3)").unwrap(),
+            Formula::prop(1).and(&Formula::prop(2).or(&Formula::prop(3)))
+        );
+    }
+
+    #[test]
+    fn modalities() {
+        assert_eq!(
+            parse("<*,*> q1").unwrap(),
+            Formula::diamond(ModalIndex::Any, &Formula::prop(1))
+        );
+        assert_eq!(
+            parse("<2,3> q1").unwrap(),
+            Formula::diamond(ModalIndex::InOut(2, 3), &Formula::prop(1))
+        );
+        assert_eq!(
+            parse("<*,3>>=4 q1").unwrap(),
+            Formula::diamond_geq(ModalIndex::Out(3), 4, &Formula::prop(1))
+        );
+        assert_eq!(
+            parse("<1,*> q1").unwrap(),
+            Formula::diamond(ModalIndex::In(1), &Formula::prop(1))
+        );
+        assert_eq!(
+            parse("[*,*] q1").unwrap(),
+            Formula::box_(ModalIndex::Any, &Formula::prop(1))
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "(q2 & <*,*>>=2 q1)",
+            "!<0,1> true",
+            "((q1 | q2) & <*,0> !q3)",
+            "<1,*> <*,*> false",
+        ] {
+            let f = parse(text).unwrap();
+            assert_eq!(parse(&f.to_string()).unwrap(), f, "{text}");
+        }
+    }
+
+    #[test]
+    fn errors_report_position() {
+        assert!(parse("").is_err());
+        assert!(parse("q").is_err());
+        assert!(parse("(q1").is_err());
+        assert!(parse("q1 q2").is_err());
+        assert!(parse("<1> q1").is_err());
+        assert!(parse("<*,*>>= q1").is_err());
+        let err = parse("q1 & #").unwrap_err();
+        assert_eq!(err.position, 5);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn keywords_need_boundaries() {
+        assert!(parse("truex").is_err());
+        assert!(parse("true2").is_err());
+    }
+}

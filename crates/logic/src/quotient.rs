@@ -1,0 +1,233 @@
+//! Bisimulation quotients: the smallest Kripke model equivalent to a
+//! given one.
+//!
+//! Collapsing a model along its bisimilarity partition yields the
+//! *minimum base* — the Kripke-side analogue of the minimum base of a
+//! graph fibration (Boldi–Vigna), reached here by partition refinement
+//! instead of degree refinement. The quotient map is a functional
+//! bisimulation, so by Fact 1 every ML/MML formula has the same truth
+//! value at a world and at its block; model checking a large symmetric
+//! model can therefore be done on its (often tiny) quotient.
+//!
+//! The construction uses *plain* bisimilarity. A set-based quotient
+//! cannot preserve graded truth — `⟨α⟩≥2 φ` needs two distinct
+//! successors, and a quotient block stands for many — so requests for a
+//! graded-style partition are rejected.
+//!
+//! # Examples
+//!
+//! ```
+//! use portnum_graph::{generators, PortNumbering};
+//! use portnum_logic::bisim::{refine, BisimStyle};
+//! use portnum_logic::{quotient, Kripke};
+//!
+//! // Under Lemma 15's symmetric numbering, the Petersen graph's K₊,₊
+//! // collapses to a single world.
+//! let g = generators::petersen();
+//! let p = PortNumbering::symmetric_regular(&g)?;
+//! let k = Kripke::k_pp(&g, &p);
+//! let (q, map) = quotient(&k, &refine(&k, BisimStyle::Plain));
+//! assert_eq!(q.len(), 1);
+//! assert!(map.iter().all(|&b| b == 0));
+//! # Ok::<(), portnum_graph::PortError>(())
+//! ```
+
+use crate::bisim::{refine, BisimClasses, BisimStyle};
+use crate::kripke::Kripke;
+use std::collections::BTreeMap;
+
+/// Collapses `model` along a stable plain-bisimulation partition.
+///
+/// Returns the quotient model and the projection `map[v] = block of v`.
+/// The quotient has one world per block, the common degree of the block
+/// as its valuation, and `B →α C` iff some (equivalently, by stability:
+/// every) member of `B` has an `α`-successor in `C`.
+///
+/// Every ML/MML formula `φ` satisfies
+/// `model, v ⊨ φ  ⇔  quotient, map[v] ⊨ φ`.
+///
+/// # Panics
+///
+/// Panics if `classes` was computed with [`BisimStyle::Graded`], was
+/// truncated before stabilising, or does not match the model's size.
+pub fn quotient(model: &Kripke, classes: &BisimClasses) -> (Kripke, Vec<usize>) {
+    assert_eq!(
+        classes.style(),
+        BisimStyle::Plain,
+        "set-based quotients preserve only ungraded truth; use BisimStyle::Plain"
+    );
+    assert!(classes.is_stable(), "quotient needs a stable partition");
+    let level = classes.final_level();
+    assert_eq!(level.len(), model.len(), "partition does not match the model");
+
+    let block_count = level.iter().max().map_or(0, |&m| m + 1);
+    let mut degree = vec![usize::MAX; block_count];
+    for v in 0..model.len() {
+        let b = level[v];
+        if degree[b] == usize::MAX {
+            degree[b] = model.degree(v);
+        } else {
+            debug_assert_eq!(
+                degree[b],
+                model.degree(v),
+                "stable partitions refine the valuation"
+            );
+        }
+    }
+
+    let mut relations: BTreeMap<_, Vec<Vec<usize>>> = BTreeMap::new();
+    for index in model.indices() {
+        let mut rows = vec![Vec::new(); block_count];
+        for v in 0..model.len() {
+            let b = level[v];
+            for &w in model.successors(v, index) {
+                let c = level[w];
+                if !rows[b].contains(&c) {
+                    rows[b].push(c);
+                }
+            }
+        }
+        for row in &mut rows {
+            row.sort_unstable();
+        }
+        relations.insert(index, rows);
+    }
+
+    let quotient = Kripke::from_parts(model.variant(), degree, relations)
+        .expect("quotient worlds are in range and indices belong to the variant");
+    (quotient, level.to_vec())
+}
+
+/// The *minimum base* of a model: its quotient by full plain
+/// bisimilarity. The result has no two bisimilar worlds, so it is the
+/// smallest model bisimulation-equivalent to the input.
+pub fn minimum_base(model: &Kripke) -> (Kripke, Vec<usize>) {
+    quotient(model, &refine(model, BisimStyle::Plain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisim::{bisimilar_across, refine_bounded};
+    use crate::eval::evaluate;
+    use crate::formula::{Formula, ModalIndex};
+    use portnum_graph::{generators, PortNumbering};
+
+    fn ungraded_samples(max_port: usize, family: &dyn Fn(usize) -> ModalIndex) -> Vec<Formula> {
+        let mut out = Vec::new();
+        for d in 1..=3 {
+            let q = Formula::prop(d);
+            for i in 0..max_port {
+                let dia = Formula::diamond(family(i), &q);
+                out.push(dia.clone());
+                out.push(Formula::box_(family(i), &q.or(&Formula::prop(2))));
+                out.push(Formula::diamond(family(0), &dia).not());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn quotient_preserves_ungraded_truth() {
+        let g = generators::theorem13_witness().0;
+        let k = Kripke::k_mm(&g);
+        let (q, map) = minimum_base(&k);
+        assert!(q.len() < k.len(), "the witness graph has symmetry to exploit");
+        for f in ungraded_samples(1, &|_| ModalIndex::Any) {
+            let orig = evaluate(&k, &f).unwrap();
+            let quot = evaluate(&q, &f).unwrap();
+            for v in 0..k.len() {
+                assert_eq!(orig[v], quot[map[v]], "{f} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_preserves_truth_on_port_models() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        for (k, indexer) in [
+            (Kripke::k_pm(&g, &p), (|i| ModalIndex::In(i)) as fn(usize) -> ModalIndex),
+            (Kripke::k_mp(&g, &p), |j| ModalIndex::Out(j)),
+        ] {
+            let (q, map) = minimum_base(&k);
+            for f in ungraded_samples(3, &indexer) {
+                let orig = evaluate(&k, &f).unwrap();
+                let quot = evaluate(&q, &f).unwrap();
+                for v in 0..k.len() {
+                    assert_eq!(orig[v], quot[map[v]], "{f} at {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_worlds_are_pairwise_non_bisimilar() {
+        let g = generators::grid(3, 3);
+        let k = Kripke::k_mm(&g);
+        let (q, _) = minimum_base(&k);
+        let classes = refine(&q, BisimStyle::Plain);
+        for u in 0..q.len() {
+            for v in (u + 1)..q.len() {
+                assert!(!classes.bisimilar(u, v), "quotient must be minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_is_idempotent() {
+        let g = generators::path(7);
+        let k = Kripke::k_mm(&g);
+        let (q1, _) = minimum_base(&k);
+        let (q2, map2) = minimum_base(&q1);
+        assert_eq!(q1.len(), q2.len());
+        // The second projection is a bijection.
+        let mut seen = vec![false; q2.len()];
+        for &b in &map2 {
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn worlds_bisimilar_to_their_blocks() {
+        // The quotient map is a bisimulation: v in the original is
+        // bisimilar to map[v] in the quotient.
+        let g = generators::star(4);
+        let k = Kripke::k_mm(&g);
+        let (q, map) = minimum_base(&k);
+        for v in 0..k.len() {
+            assert!(bisimilar_across(&k, v, &q, map[v], BisimStyle::Plain));
+        }
+    }
+
+    #[test]
+    fn symmetric_cycle_collapses_to_a_point() {
+        let g = generators::cycle(7);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        let k = Kripke::k_pp(&g, &p);
+        let (q, _) = minimum_base(&k);
+        assert_eq!(q.len(), 1);
+        // The single world has a successor under each of its indices.
+        for index in q.indices() {
+            assert_eq!(q.successors(0, index), &[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "BisimStyle::Plain")]
+    fn graded_partitions_are_rejected() {
+        let k = Kripke::k_mm(&generators::cycle(3));
+        let classes = refine(&k, BisimStyle::Graded);
+        let _ = quotient(&k, &classes);
+    }
+
+    #[test]
+    #[should_panic(expected = "stable partition")]
+    fn truncated_partitions_are_rejected() {
+        let k = Kripke::k_mm(&generators::path(9));
+        let classes = refine_bounded(&k, BisimStyle::Plain, 1);
+        assert!(!classes.is_stable());
+        let _ = quotient(&k, &classes);
+    }
+}

@@ -1,0 +1,287 @@
+//! Formula transformations: simplification and negation normal form.
+//!
+//! Both transformations preserve extensions on every Kripke model (a
+//! property-tested invariant), so they can be applied freely before the
+//! Theorem-2 compilers — a smaller formula compiles to a distributed
+//! algorithm with fewer tracked subformulas, and a shallower one to a
+//! faster algorithm (running time = modal depth).
+
+use crate::formula::{Formula, FormulaKind};
+
+/// Bottom-up simplification: constant folding, double-negation and
+/// idempotence elimination, and the graded-diamond absorption rules
+/// `⟨α⟩≥0 φ ≡ ⊤` and `⟨α⟩≥k ⊥ ≡ ⊥` (for `k ≥ 1`).
+///
+/// The result is semantically equivalent to the input on every model,
+/// never larger than the input, and never modally deeper.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_logic::{parse, simplify};
+///
+/// let f = parse("(q1 & true)")?;
+/// assert_eq!(simplify(&f), parse("q1")?);
+/// let g = parse("!!<*,*>>=0 q2")?;
+/// assert_eq!(simplify(&g).to_string(), "true");
+/// # Ok::<(), portnum_logic::ParseError>(())
+/// ```
+pub fn simplify(f: &Formula) -> Formula {
+    match f.kind() {
+        FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => f.clone(),
+        FormulaKind::Not(a) => {
+            let a = simplify(a);
+            match a.kind() {
+                FormulaKind::Top => Formula::bottom(),
+                FormulaKind::Bottom => Formula::top(),
+                FormulaKind::Not(inner) => inner.clone(),
+                _ => a.not(),
+            }
+        }
+        FormulaKind::And(a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            match (a.kind(), b.kind()) {
+                (FormulaKind::Bottom, _) | (_, FormulaKind::Bottom) => Formula::bottom(),
+                (FormulaKind::Top, _) => b,
+                (_, FormulaKind::Top) => a,
+                _ if a == b => a,
+                _ => a.and(&b),
+            }
+        }
+        FormulaKind::Or(a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            match (a.kind(), b.kind()) {
+                (FormulaKind::Top, _) | (_, FormulaKind::Top) => Formula::top(),
+                (FormulaKind::Bottom, _) => b,
+                (_, FormulaKind::Bottom) => a,
+                _ if a == b => a,
+                _ => a.or(&b),
+            }
+        }
+        FormulaKind::Diamond { index, grade, inner } => {
+            if *grade == 0 {
+                return Formula::top();
+            }
+            let inner = simplify(inner);
+            if matches!(inner.kind(), FormulaKind::Bottom) {
+                Formula::bottom()
+            } else {
+                Formula::diamond_geq(*index, *grade, &inner)
+            }
+        }
+    }
+}
+
+/// Negation normal form: negations are pushed inward through Boolean
+/// connectives (De Morgan, double negation) until they sit only in front
+/// of atoms or graded diamonds.
+///
+/// Diamonds are the stopping point because the syntax has no dual
+/// modality: `¬⟨α⟩≥k φ` ("at most `k-1` `α`-successors satisfy `φ`") has
+/// no positive graded form here, matching the paper's grammar. The
+/// result is semantically equivalent to the input on every model and has
+/// the same modal depth.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_logic::{nnf, parse};
+///
+/// let f = parse("!(q1 & !q2)")?;
+/// assert_eq!(nnf(&f).to_string(), "(!q1 | q2)");
+/// # Ok::<(), portnum_logic::ParseError>(())
+/// ```
+pub fn nnf(f: &Formula) -> Formula {
+    nnf_signed(f, false)
+}
+
+fn nnf_signed(f: &Formula, negate: bool) -> Formula {
+    match f.kind() {
+        FormulaKind::Top => {
+            if negate {
+                Formula::bottom()
+            } else {
+                Formula::top()
+            }
+        }
+        FormulaKind::Bottom => {
+            if negate {
+                Formula::top()
+            } else {
+                Formula::bottom()
+            }
+        }
+        FormulaKind::Prop(d) => {
+            let atom = Formula::prop(*d);
+            if negate {
+                atom.not()
+            } else {
+                atom
+            }
+        }
+        FormulaKind::Not(a) => nnf_signed(a, !negate),
+        FormulaKind::And(a, b) => {
+            let a = nnf_signed(a, negate);
+            let b = nnf_signed(b, negate);
+            if negate {
+                a.or(&b)
+            } else {
+                a.and(&b)
+            }
+        }
+        FormulaKind::Or(a, b) => {
+            let a = nnf_signed(a, negate);
+            let b = nnf_signed(b, negate);
+            if negate {
+                a.and(&b)
+            } else {
+                a.or(&b)
+            }
+        }
+        FormulaKind::Diamond { index, grade, inner } => {
+            let dia = Formula::diamond_geq(*index, *grade, &nnf_signed(inner, false));
+            if negate {
+                dia.not()
+            } else {
+                dia
+            }
+        }
+    }
+}
+
+/// Returns `true` if every negation in the formula is applied directly to
+/// an atom or a diamond — i.e. the formula is in the normal form produced
+/// by [`nnf`].
+pub fn is_nnf(f: &Formula) -> bool {
+    match f.kind() {
+        FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => true,
+        FormulaKind::Not(a) => matches!(
+            a.kind(),
+            FormulaKind::Prop(_) | FormulaKind::Diamond { .. }
+        ) && is_nnf_inner(a),
+        FormulaKind::And(a, b) | FormulaKind::Or(a, b) => is_nnf(a) && is_nnf(b),
+        FormulaKind::Diamond { inner, .. } => is_nnf(inner),
+    }
+}
+
+fn is_nnf_inner(f: &Formula) -> bool {
+    match f.kind() {
+        FormulaKind::Prop(_) => true,
+        FormulaKind::Diamond { inner, .. } => is_nnf(inner),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::formula::ModalIndex;
+    use crate::kripke::Kripke;
+    use crate::parser::parse;
+    use portnum_graph::generators;
+
+    fn assert_equivalent(a: &Formula, b: &Formula) {
+        for g in [
+            generators::figure1_graph(),
+            generators::star(3),
+            generators::theorem13_witness().0,
+        ] {
+            let k = Kripke::k_mm(&g);
+            assert_eq!(
+                evaluate(&k, a).unwrap(),
+                evaluate(&k, b).unwrap(),
+                "{a} vs {b} on {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        for (input, expected) in [
+            ("(q1 & true)", "q1"),
+            ("(q1 & false)", "false"),
+            ("(q1 | true)", "true"),
+            ("(q1 | false)", "q1"),
+            ("!!q1", "q1"),
+            ("!true", "false"),
+            ("(q1 & q1)", "q1"),
+            ("(q1 | q1)", "q1"),
+            ("<*,*>>=0 q1", "true"),
+            ("<*,*> false", "false"),
+            ("<*,*>>=2 (q1 & false)", "false"),
+        ] {
+            let f = parse(input).unwrap();
+            let s = simplify(&f);
+            assert_eq!(s, parse(expected).unwrap(), "simplify({input})");
+            assert_equivalent(&f, &s);
+        }
+    }
+
+    #[test]
+    fn simplify_never_grows() {
+        for input in [
+            "!(q1 & !(q2 | false))",
+            "<*,*>(<*,*> true & !false)",
+            "((q1 | q1) & (q2 & true))",
+        ] {
+            let f = parse(input).unwrap();
+            let s = simplify(&f);
+            assert!(s.size() <= f.size(), "{f} grew to {s}");
+            assert!(s.modal_depth() <= f.modal_depth());
+            assert_equivalent(&f, &s);
+        }
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_literals() {
+        for input in [
+            "!(q1 & !q2)",
+            "!(q1 | (q2 & !q3))",
+            "!!(q1 | !!q2)",
+            "!<*,*>(q1 & !q2)",
+            "<*,*>!(q1 | q2)",
+            "!(<*,*>>=2 q1 | !q3)",
+        ] {
+            let f = parse(input).unwrap();
+            let n = nnf(&f);
+            assert!(is_nnf(&n), "nnf({input}) = {n} is not in NNF");
+            assert_eq!(n.modal_depth(), f.modal_depth(), "{input}");
+            assert_equivalent(&f, &n);
+        }
+    }
+
+    #[test]
+    fn nnf_is_idempotent() {
+        let f = parse("!(q1 & !(<*,*> q2 | !q3))").unwrap();
+        let once = nnf(&f);
+        assert_eq!(nnf(&once), once);
+    }
+
+    #[test]
+    fn is_nnf_rejects_buried_negations() {
+        assert!(is_nnf(&parse("(!q1 | q2)").unwrap()));
+        assert!(is_nnf(&parse("!<*,*> q1").unwrap()));
+        assert!(!is_nnf(&parse("!!q1").unwrap()));
+        assert!(!is_nnf(&parse("!(q1 & q2)").unwrap()));
+        assert!(!is_nnf(&parse("!true").unwrap()));
+        assert!(!is_nnf(&parse("<*,*> !(q1 | q2)").unwrap()));
+    }
+
+    #[test]
+    fn simplified_formulas_compile_faster() {
+        // The practical payoff: fewer subformulas and shallower depth for
+        // the Theorem-2 compiler, hence fewer rounds.
+        let f = Formula::diamond(
+            ModalIndex::Any,
+            &parse("(q2 & true)").unwrap(),
+        )
+        .or(&Formula::top());
+        let s = simplify(&f);
+        assert_eq!(s, Formula::top());
+        assert_eq!(s.modal_depth(), 0, "depth 1 collapsed to 0");
+        assert_equivalent(&f, &s);
+    }
+}

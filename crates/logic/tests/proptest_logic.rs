@@ -1,0 +1,258 @@
+//! Property-based tests for the logic crate: evaluation laws, bisimulation
+//! invariance, and parser totality on displayed formulas.
+
+use portnum_graph::{Graph, PortNumbering};
+use portnum_logic::bisim::{refine, refine_bounded, BisimStyle};
+use portnum_logic::{
+    characteristic, evaluate, is_nnf, minimum_base, nnf, parse, simplify, Formula, Kripke,
+    ModalIndex,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=8).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
+            let mut b = Graph::builder(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if mask[idx] {
+                        b.edge(u, v).expect("pairs distinct");
+                    }
+                    idx += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::top()),
+        Just(Formula::bottom()),
+        (0usize..=4).prop_map(Formula::prop),
+    ];
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(&b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(&b)),
+            (0usize..=3, inner).prop_map(|(k, f)| Formula::diamond_geq(ModalIndex::Any, k, &f)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn boolean_laws_hold_pointwise(g in arb_graph(), f in arb_formula(), h in arb_formula()) {
+        let k = Kripke::k_mm(&g);
+        let vf = evaluate(&k, &f).unwrap();
+        let vh = evaluate(&k, &h).unwrap();
+        let vand = evaluate(&k, &f.and(&h)).unwrap();
+        let vor = evaluate(&k, &f.or(&h)).unwrap();
+        let vneg = evaluate(&k, &f.not()).unwrap();
+        for w in 0..k.len() {
+            prop_assert_eq!(vand[w], vf[w] && vh[w]);
+            prop_assert_eq!(vor[w], vf[w] || vh[w]);
+            prop_assert_eq!(vneg[w], !vf[w]);
+        }
+        // De Morgan through the box dual.
+        let box_f = Formula::box_(ModalIndex::Any, &f);
+        let vbox = evaluate(&k, &box_f).unwrap();
+        let vdia_neg = evaluate(&k, &Formula::diamond(ModalIndex::Any, &f.not())).unwrap();
+        for w in 0..k.len() {
+            prop_assert_eq!(vbox[w], !vdia_neg[w]);
+        }
+    }
+
+    #[test]
+    fn grades_are_antitone(g in arb_graph(), f in arb_formula()) {
+        let k = Kripke::k_mm(&g);
+        let mut prev = evaluate(&k, &Formula::diamond_geq(ModalIndex::Any, 0, &f)).unwrap();
+        prop_assert!(prev.iter().all(|&b| b), "grade 0 is trivially true");
+        for grade in 1..=4 {
+            let cur = evaluate(&k, &Formula::diamond_geq(ModalIndex::Any, grade, &f)).unwrap();
+            for w in 0..k.len() {
+                prop_assert!(!cur[w] || prev[w], "⟨⟩≥{grade} implies ⟨⟩≥{}", grade - 1);
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn graded_bisimilar_worlds_agree(g in arb_graph(), f in arb_formula()) {
+        let k = Kripke::k_mm(&g);
+        let classes = refine(&k, BisimStyle::Graded);
+        let truth = evaluate(&k, &f).unwrap();
+        for u in 0..k.len() {
+            for v in 0..k.len() {
+                if classes.bisimilar(u, v) {
+                    prop_assert_eq!(truth[u], truth[v], "{} vs {} on {}", u, v, f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_refinement_respects_modal_depth(g in arb_graph(), f in arb_formula()) {
+        let k = Kripke::k_mm(&g);
+        let depth = f.modal_depth();
+        let classes = refine_bounded(&k, BisimStyle::Graded, depth);
+        let truth = evaluate(&k, &f).unwrap();
+        for u in 0..k.len() {
+            for v in 0..k.len() {
+                if classes.equivalent_at(depth, u, v) {
+                    prop_assert_eq!(truth[u], truth[v],
+                        "depth-{} equivalent worlds {} and {} disagree on {}", depth, u, v, f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn characteristic_formulas_are_exact(g in arb_graph(), depth in 0usize..=3) {
+        let k = Kripke::k_mm(&g);
+        for style in [BisimStyle::Plain, BisimStyle::Graded] {
+            let chars = characteristic(&k, style, depth);
+            for v in 0..k.len() {
+                let truth = evaluate(&k, chars.formula_for(v, depth)).unwrap();
+                for w in 0..k.len() {
+                    prop_assert_eq!(
+                        truth[w],
+                        chars.classes().equivalent_at(depth, v, w),
+                        "style {:?}, depth {}, worlds {} {}", style, depth, v, w
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_preserves_ungraded_formulas(g in arb_graph(), f in arb_formula()) {
+        // Strip grades so the formula lands in ML (set-based quotients do
+        // not preserve counting).
+        fn ungrade(f: &Formula) -> Formula {
+            use portnum_logic::FormulaKind;
+            match f.kind() {
+                FormulaKind::Top => Formula::top(),
+                FormulaKind::Bottom => Formula::bottom(),
+                FormulaKind::Prop(d) => Formula::prop(*d),
+                FormulaKind::Not(a) => ungrade(a).not(),
+                FormulaKind::And(a, b) => ungrade(a).and(&ungrade(b)),
+                FormulaKind::Or(a, b) => ungrade(a).or(&ungrade(b)),
+                FormulaKind::Diamond { index, inner, .. } =>
+                    Formula::diamond(*index, &ungrade(inner)),
+            }
+        }
+        let f = ungrade(&f);
+        let k = Kripke::k_mm(&g);
+        let (q, map) = minimum_base(&k);
+        let orig = evaluate(&k, &f).unwrap();
+        let quot = evaluate(&q, &f).unwrap();
+        for v in 0..k.len() {
+            prop_assert_eq!(orig[v], quot[map[v]], "{} at {}", f, v);
+        }
+    }
+
+    #[test]
+    fn quotient_block_count_matches_refinement(g in arb_graph()) {
+        let k = Kripke::k_mm(&g);
+        let classes = refine(&k, BisimStyle::Plain);
+        let (q, map) = minimum_base(&k);
+        prop_assert_eq!(q.len(), classes.class_count(classes.depth()));
+        for u in 0..k.len() {
+            for v in 0..k.len() {
+                prop_assert_eq!(map[u] == map[v], classes.bisimilar(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_identity(f in arb_formula()) {
+        prop_assert_eq!(parse(&f.to_string()).unwrap(), f);
+    }
+
+    #[test]
+    fn simplify_preserves_extension_and_never_grows(g in arb_graph(), f in arb_formula()) {
+        let k = Kripke::k_mm(&g);
+        let s = simplify(&f);
+        prop_assert!(s.size() <= f.size(), "{} grew to {}", f, s);
+        prop_assert!(s.modal_depth() <= f.modal_depth());
+        prop_assert_eq!(evaluate(&k, &f).unwrap(), evaluate(&k, &s).unwrap(), "{} vs {}", f, s);
+        // Idempotent.
+        prop_assert_eq!(simplify(&s.clone()), s);
+    }
+
+    #[test]
+    fn nnf_preserves_extension_and_normalises(g in arb_graph(), f in arb_formula()) {
+        let k = Kripke::k_mm(&g);
+        let n = nnf(&f);
+        prop_assert!(is_nnf(&n), "nnf({}) = {} not normal", f, n);
+        prop_assert_eq!(n.modal_depth(), f.modal_depth());
+        prop_assert_eq!(evaluate(&k, &f).unwrap(), evaluate(&k, &n).unwrap(), "{} vs {}", f, n);
+        prop_assert_eq!(nnf(&n.clone()), n);
+    }
+
+    #[test]
+    fn disjoint_union_preserves_truth(g in arb_graph(), h in arb_graph(), f in arb_formula()) {
+        let ka = Kripke::k_mm(&g);
+        let kb = Kripke::k_mm(&h);
+        let ku = ka.disjoint_union(&kb);
+        let va = evaluate(&ka, &f).unwrap();
+        let vb = evaluate(&kb, &f).unwrap();
+        let vu = evaluate(&ku, &f).unwrap();
+        for w in 0..ka.len() {
+            prop_assert_eq!(vu[w], va[w]);
+        }
+        for w in 0..kb.len() {
+            prop_assert_eq!(vu[ka.len() + w], vb[w]);
+        }
+    }
+}
+
+#[test]
+fn bisimulation_is_invariant_under_world_relabelling() {
+    // Reversing node ids of a graph must not change the partition sizes.
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..10 {
+        let g = portnum_graph::generators::gnp(8, 0.3, &mut rng);
+        let n = g.len();
+        let reversed_edges: Vec<(usize, usize)> =
+            g.edges().map(|(u, v)| (n - 1 - u, n - 1 - v)).collect();
+        let h = Graph::from_edges(n, &reversed_edges).unwrap();
+        let ck = refine(&Kripke::k_mm(&g), BisimStyle::Plain);
+        let ch = refine(&Kripke::k_mm(&h), BisimStyle::Plain);
+        assert_eq!(ck.class_count(ck.depth()), ch.class_count(ch.depth()));
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(
+                    ck.bisimilar(u, v),
+                    ch.bisimilar(n - 1 - u, n - 1 - v),
+                    "relabelling must preserve bisimilarity"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kripke_from_random_port_numberings_is_total_function_per_in_port() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..10 {
+        let g = portnum_graph::generators::gnp(8, 0.4, &mut rng);
+        let p = PortNumbering::random(&g, &mut rng);
+        let k = Kripke::k_pm(&g, &p);
+        for v in g.nodes() {
+            for i in 0..g.degree(v) {
+                assert_eq!(k.successors(v, ModalIndex::In(i)).len(), 1);
+            }
+            assert!(k.successors(v, ModalIndex::In(g.degree(v))).is_empty());
+        }
+    }
+}

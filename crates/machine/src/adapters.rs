@@ -1,0 +1,385 @@
+//! Zero-cost embeddings of the weaker algorithm classes into
+//! [`VectorAlgorithm`], the interface executed by the
+//! [`Simulator`](crate::Simulator).
+//!
+//! The embeddings implement the *trivial* inclusions of Figure 5a:
+//! an algorithm that only looks at the set of incoming messages is in
+//! particular a vector algorithm (it just ignores the order), and a
+//! broadcast algorithm is a vector algorithm whose `μ` ignores the port.
+//! The non-trivial *converse* simulations (Theorems 4, 8, 9) live in the
+//! `portnum` core crate.
+
+use crate::algorithm::{
+    BroadcastAlgorithm, MbAlgorithm, MultisetAlgorithm, ObliviousAlgorithm, SbAlgorithm,
+    SetAlgorithm, Status, VectorAlgorithm,
+};
+use crate::multiset::Multiset;
+use crate::payload::Payload;
+use std::collections::BTreeSet;
+
+macro_rules! delegate_inner {
+    ($name:ident) => {
+        impl<A> $name<A> {
+            /// Wraps an algorithm.
+            pub fn new(inner: A) -> Self {
+                $name(inner)
+            }
+
+            /// Borrows the wrapped algorithm.
+            pub fn inner(&self) -> &A {
+                &self.0
+            }
+
+            /// Unwraps the algorithm.
+            pub fn into_inner(self) -> A {
+                self.0
+            }
+        }
+    };
+}
+
+/// Runs a [`MultisetAlgorithm`] as a [`VectorAlgorithm`] by forgetting the
+/// order of incoming messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MultisetAsVector<A>(pub A);
+delegate_inner!(MultisetAsVector);
+
+impl<A: MultisetAlgorithm> VectorAlgorithm for MultisetAsVector<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg {
+        self.0.message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output> {
+        let multiset: Multiset<Payload<Self::Msg>> = received.iter().cloned().collect();
+        self.0.step(state, &multiset)
+    }
+}
+
+/// Runs a [`SetAlgorithm`] as a [`VectorAlgorithm`] by forgetting order and
+/// multiplicities of incoming messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SetAsVector<A>(pub A);
+delegate_inner!(SetAsVector);
+
+impl<A: SetAlgorithm> VectorAlgorithm for SetAsVector<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg {
+        self.0.message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output> {
+        let set: BTreeSet<Payload<Self::Msg>> = received.iter().cloned().collect();
+        self.0.step(state, &set)
+    }
+}
+
+/// Runs a [`SetAlgorithm`] as a [`MultisetAlgorithm`] (forget
+/// multiplicities). Used to compose the simulation theorems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SetAsMultiset<A>(pub A);
+delegate_inner!(SetAsMultiset);
+
+impl<A: SetAlgorithm> MultisetAlgorithm for SetAsMultiset<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg {
+        self.0.message(state, port)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &Multiset<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output> {
+        self.0.step(state, &received.to_set())
+    }
+}
+
+/// Runs a [`BroadcastAlgorithm`] as a [`VectorAlgorithm`] whose `μ` ignores
+/// the out-port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BroadcastAsVector<A>(pub A);
+delegate_inner!(BroadcastAsVector);
+
+impl<A: BroadcastAlgorithm> VectorAlgorithm for BroadcastAsVector<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &Self::State, _port: usize) -> Self::Msg {
+        self.0.broadcast(state)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output> {
+        self.0.step(state, received)
+    }
+}
+
+/// Runs an [`MbAlgorithm`] (`Multiset ∩ Broadcast`) as a
+/// [`VectorAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MbAsVector<A>(pub A);
+delegate_inner!(MbAsVector);
+
+impl<A: MbAlgorithm> VectorAlgorithm for MbAsVector<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &Self::State, _port: usize) -> Self::Msg {
+        self.0.broadcast(state)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output> {
+        let multiset: Multiset<Payload<Self::Msg>> = received.iter().cloned().collect();
+        self.0.step(state, &multiset)
+    }
+}
+
+/// Runs an [`MbAlgorithm`] as a [`BroadcastAlgorithm`] (forget the order in
+/// which the vector reception presents messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MbAsBroadcast<A>(pub A);
+delegate_inner!(MbAsBroadcast);
+
+impl<A: MbAlgorithm> BroadcastAlgorithm for MbAsBroadcast<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn broadcast(&self, state: &Self::State) -> Self::Msg {
+        self.0.broadcast(state)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output> {
+        let multiset: Multiset<Payload<Self::Msg>> = received.iter().cloned().collect();
+        self.0.step(state, &multiset)
+    }
+}
+
+/// Runs an [`SbAlgorithm`] (`Set ∩ Broadcast`) as a [`VectorAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SbAsVector<A>(pub A);
+delegate_inner!(SbAsVector);
+
+impl<A: SbAlgorithm> VectorAlgorithm for SbAsVector<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn message(&self, state: &Self::State, _port: usize) -> Self::Msg {
+        self.0.broadcast(state)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output> {
+        let set: BTreeSet<Payload<Self::Msg>> = received.iter().cloned().collect();
+        self.0.step(state, &set)
+    }
+}
+
+/// Runs an [`SbAlgorithm`] as an [`MbAlgorithm`] (forget multiplicities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SbAsMb<A>(pub A);
+delegate_inner!(SbAsMb);
+
+impl<A: SbAlgorithm> MbAlgorithm for SbAsMb<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init(degree)
+    }
+
+    fn broadcast(&self, state: &Self::State) -> Self::Msg {
+        self.0.broadcast(state)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &Multiset<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output> {
+        self.0.step(state, &received.to_set())
+    }
+}
+
+/// Runs a degree-oblivious [`ObliviousAlgorithm`] (class `SBo`, Remark 2) as
+/// an [`SbAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObliviousAsSb<A>(pub A);
+delegate_inner!(ObliviousAsSb);
+
+impl<A: ObliviousAlgorithm> SbAlgorithm for ObliviousAsSb<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn init(&self, _degree: usize) -> Status<Self::State, Self::Output> {
+        self.0.init()
+    }
+
+    fn broadcast(&self, state: &Self::State) -> Self::Msg {
+        self.0.broadcast(state)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &BTreeSet<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output> {
+        self.0.step(state, received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An MB algorithm: after one round, output the number of distinct
+    /// neighbour degrees (multiset reception keeps duplicates).
+    #[derive(Debug, Clone, Copy, Default)]
+    struct CountNeighbors;
+
+    impl MbAlgorithm for CountNeighbors {
+        type State = usize;
+        type Msg = u8;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<usize, usize> {
+            Status::Running(degree)
+        }
+
+        fn broadcast(&self, _state: &usize) -> u8 {
+            1
+        }
+
+        fn step(&self, _state: &usize, received: &Multiset<Payload<u8>>) -> Status<usize, usize> {
+            Status::Stopped(received.len())
+        }
+    }
+
+    #[test]
+    fn mb_as_vector_counts_with_multiplicity() {
+        let algo = MbAsVector(CountNeighbors);
+        let s = match algo.init(3) {
+            Status::Running(s) => s,
+            Status::Stopped(_) => panic!("should run"),
+        };
+        assert_eq!(algo.message(&s, 0), algo.message(&s, 2));
+        let out = algo.step(
+            &s,
+            &[Payload::Data(1), Payload::Data(1), Payload::Data(1)],
+        );
+        assert_eq!(out, Status::Stopped(3));
+    }
+
+    /// An SB algorithm: output whether any neighbour broadcast `true`.
+    #[derive(Debug, Clone, Copy, Default)]
+    struct AnyTrue;
+
+    impl SbAlgorithm for AnyTrue {
+        type State = bool;
+        type Msg = bool;
+        type Output = bool;
+
+        fn init(&self, degree: usize) -> Status<bool, bool> {
+            Status::Running(degree % 2 == 0)
+        }
+
+        fn broadcast(&self, state: &bool) -> bool {
+            *state
+        }
+
+        fn step(&self, _state: &bool, received: &BTreeSet<Payload<bool>>) -> Status<bool, bool> {
+            Status::Stopped(received.contains(&Payload::Data(true)))
+        }
+    }
+
+    #[test]
+    fn sb_as_vector_collapses_duplicates() {
+        let algo = SbAsVector(AnyTrue);
+        let out = algo.step(&true, &[Payload::Data(false), Payload::Data(false)]);
+        assert_eq!(out, Status::Stopped(false));
+        let out = algo.step(&true, &[Payload::Data(false), Payload::Data(true)]);
+        assert_eq!(out, Status::Stopped(true));
+    }
+
+    #[test]
+    fn sb_as_mb_matches_direct_set_semantics() {
+        let direct = AnyTrue;
+        let via_mb = SbAsMb(AnyTrue);
+        let m: Multiset<Payload<bool>> =
+            vec![Payload::Data(true), Payload::Data(true)].into();
+        let s: BTreeSet<Payload<bool>> = m.to_set();
+        assert_eq!(SbAlgorithm::step(&direct, &false, &s), via_mb.step(&false, &m));
+    }
+
+    #[test]
+    fn inner_accessors() {
+        let w = MbAsVector::new(CountNeighbors);
+        let _: &CountNeighbors = w.inner();
+        let _: CountNeighbors = w.into_inner();
+    }
+}

@@ -1,0 +1,284 @@
+//! Algorithm traits for the seven model variants.
+//!
+//! The paper's distributed state machine is `A = (Y, Z, z0, M, m0, μ, δ)`
+//! (Section 1.1). Here:
+//!
+//! * `Y` (stopping states carrying the local output) and `Z` (intermediate
+//!   states) become [`Status<S, O>`];
+//! * `z0` becomes `init(degree)`;
+//! * `μ` becomes `message(state, port)` (or `broadcast(state)` in the
+//!   `Broadcast` classes);
+//! * `δ` becomes `step(state, received)`, where the type of `received`
+//!   enforces the class: a slice for `Vector`, a [`Multiset`] for
+//!   `Multiset`, a [`BTreeSet`] for `Set` (Figure 3).
+//!
+//! The paper's special "no message" symbol `m0`, sent by stopped nodes, is
+//! [`Payload::Silent`]. **Deviation from the paper, by design**: reception
+//! vectors are *not* padded with `m0` up to `Δ` — a node receives exactly
+//! `deg(v)` payloads. Since every algorithm knows its own degree, the
+//! padding carries no information; dropping it keeps `Δ` out of the trait
+//! signatures.
+//!
+//! Class membership is *static*: an implementation of [`SbAlgorithm`] is in
+//! `Set ∩ Broadcast` by construction, because its transition function is
+//! only ever shown the set of distinct incoming payloads and its emission
+//! function cannot depend on the port. Adapters in [`crate::adapters`]
+//! embed every class into [`VectorAlgorithm`], the one interface the
+//! [`Simulator`](crate::Simulator) executes.
+
+use crate::multiset::Multiset;
+use crate::payload::Payload;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Requirements on message types: comparable (for multiset/set semantics and
+/// lexicographic history orderings), hashable, cloneable, printable.
+pub trait Message: Clone + Ord + Eq + Hash + Debug {}
+
+impl<T: Clone + Ord + Eq + Hash + Debug> Message for T {}
+
+/// The status of a node: still computing, or stopped with a local output.
+///
+/// Corresponds to the partition of states into intermediate states `Z` and
+/// stopping states `Y` in the paper. Once stopped, a node sends no further
+/// messages and never changes its output (`δ(y, ~m) = y`, `μ(y, i) = m0`);
+/// the simulator enforces this, so `step` is never called on stopped nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status<S, O> {
+    /// The node is still running, in intermediate state `S`.
+    Running(S),
+    /// The node has halted with local output `O`.
+    Stopped(O),
+}
+
+impl<S, O> Status<S, O> {
+    /// Returns the output if stopped.
+    pub fn output(&self) -> Option<&O> {
+        match self {
+            Status::Running(_) => None,
+            Status::Stopped(o) => Some(o),
+        }
+    }
+
+    /// Returns the intermediate state if running.
+    pub fn running(&self) -> Option<&S> {
+        match self {
+            Status::Running(s) => Some(s),
+            Status::Stopped(_) => None,
+        }
+    }
+
+    /// Returns `true` if the node has stopped.
+    pub fn is_stopped(&self) -> bool {
+        matches!(self, Status::Stopped(_))
+    }
+
+    /// Maps the running state.
+    pub fn map_state<S2>(self, f: impl FnOnce(S) -> S2) -> Status<S2, O> {
+        match self {
+            Status::Running(s) => Status::Running(f(s)),
+            Status::Stopped(o) => Status::Stopped(o),
+        }
+    }
+}
+
+/// An algorithm in class `Vector`: full access to incoming and outgoing port
+/// numbers. Problems solvable by such algorithms form the class `VV`
+/// (or `VVc` when a consistent port numbering is promised).
+pub trait VectorAlgorithm {
+    /// Intermediate state (the paper's `Z`).
+    type State: Clone + Debug;
+    /// Message type (the paper's `M` without `m0`; see [`Payload`]).
+    type Msg: Message;
+    /// Local output (the paper's `Y`).
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status of a node of the given degree (the paper's `z0`).
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output>;
+
+    /// The message sent to out-port `port` (`0 ≤ port < degree`); the
+    /// paper's `μ`. Only called on running nodes.
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
+
+    /// The state transition on receiving `received[i]` from in-port `i`;
+    /// the paper's `δ`. Only called on running nodes.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// An algorithm in class `Multiset`: outgoing port numbers available,
+/// incoming messages delivered as a multiset. Defines problem class `MV`.
+pub trait MultisetAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status of a node of the given degree.
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output>;
+
+    /// The message sent to out-port `port`.
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
+
+    /// The state transition on receiving the given multiset of payloads.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &Multiset<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// An algorithm in class `Set`: outgoing port numbers available, incoming
+/// messages delivered as a set (multiplicities forgotten). Defines problem
+/// class `SV`.
+pub trait SetAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status of a node of the given degree.
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output>;
+
+    /// The message sent to out-port `port`.
+    fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
+
+    /// The state transition on receiving the given set of payloads.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &BTreeSet<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// An algorithm in class `Broadcast` (with vector reception): one message to
+/// all neighbours, incoming port numbers available. Defines problem class
+/// `VB`.
+pub trait BroadcastAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status of a node of the given degree.
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output>;
+
+    /// The single message broadcast to every neighbour.
+    fn broadcast(&self, state: &Self::State) -> Self::Msg;
+
+    /// The state transition on receiving `received[i]` from in-port `i`.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &[Payload<Self::Msg>],
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// An algorithm in `Multiset ∩ Broadcast`: broadcast emission, multiset
+/// reception. Defines problem class `MB`.
+pub trait MbAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status of a node of the given degree.
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output>;
+
+    /// The single message broadcast to every neighbour.
+    fn broadcast(&self, state: &Self::State) -> Self::Msg;
+
+    /// The state transition on receiving the given multiset of payloads.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &Multiset<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// An algorithm in `Set ∩ Broadcast`: broadcast emission, set reception —
+/// the weakest non-trivial model (close to "beeping"). Defines problem
+/// class `SB`.
+pub trait SbAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status of a node of the given degree.
+    fn init(&self, degree: usize) -> Status<Self::State, Self::Output>;
+
+    /// The single message broadcast to every neighbour.
+    fn broadcast(&self, state: &Self::State) -> Self::Msg;
+
+    /// The state transition on receiving the given set of payloads.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &BTreeSet<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output>;
+}
+
+/// A *degree-oblivious* `Set ∩ Broadcast` algorithm (the class `SBo` of
+/// Remark 2): the initial state may not depend on the degree. Such
+/// algorithms can only distinguish isolated from non-isolated nodes.
+pub trait ObliviousAlgorithm {
+    /// Intermediate state.
+    type State: Clone + Debug;
+    /// Message type.
+    type Msg: Message;
+    /// Local output.
+    type Output: Clone + Eq + Debug;
+
+    /// Initial status — identical for every node regardless of degree.
+    fn init(&self) -> Status<Self::State, Self::Output>;
+
+    /// The single message broadcast to every neighbour.
+    fn broadcast(&self, state: &Self::State) -> Self::Msg;
+
+    /// The state transition on receiving the given set of payloads.
+    fn step(
+        &self,
+        state: &Self::State,
+        received: &BTreeSet<Payload<Self::Msg>>,
+    ) -> Status<Self::State, Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_accessors() {
+        let r: Status<u32, bool> = Status::Running(7);
+        let s: Status<u32, bool> = Status::Stopped(true);
+        assert_eq!(r.running(), Some(&7));
+        assert_eq!(r.output(), None);
+        assert!(!r.is_stopped());
+        assert_eq!(s.output(), Some(&true));
+        assert_eq!(s.running(), None);
+        assert!(s.is_stopped());
+    }
+
+    #[test]
+    fn status_map_state() {
+        let r: Status<u32, bool> = Status::Running(7);
+        assert_eq!(r.map_state(|x| x + 1), Status::Running(8));
+        let s: Status<u32, bool> = Status::Stopped(false);
+        assert_eq!(s.map_state(|x| x + 1), Status::Stopped(false));
+    }
+}

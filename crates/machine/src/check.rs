@@ -1,0 +1,253 @@
+//! Dynamic class checkers.
+//!
+//! Class membership in this workspace is already *static* (traits), but the
+//! paper defines the classes semantically: a `Vector` machine is in
+//! `Multiset` if `δ` is invariant under permutations of the reception
+//! vector, in `Set` if invariant under multiplicity changes, and in
+//! `Broadcast` if `μ` ignores the port (Section 1.5). These checkers test
+//! the semantic conditions on receptions harvested from a real execution —
+//! useful for validating hand-written [`VectorAlgorithm`]s and the adapter
+//! wrappers themselves.
+
+use crate::algorithm::{Status, VectorAlgorithm};
+use crate::payload::Payload;
+use portnum_graph::{Graph, Port, PortNumbering};
+
+/// States and receptions observed while running `algo` on `(g, p)`.
+#[derive(Debug, Clone)]
+pub struct Observations<A: VectorAlgorithm> {
+    /// Running states observed, paired with the reception they were fed.
+    pub samples: Vec<(A::State, Vec<Payload<A::Msg>>)>,
+}
+
+/// Runs `algo` for at most `max_rounds` rounds, recording every
+/// `(state, reception)` pair fed to `δ`.
+pub fn observe<A: VectorAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    p: &PortNumbering,
+    max_rounds: usize,
+) -> Observations<A> {
+    let mut states: Vec<Status<A::State, A::Output>> =
+        g.nodes().map(|v| algo.init(g.degree(v))).collect();
+    let mut samples = Vec::new();
+    for _ in 0..max_rounds {
+        if states.iter().all(Status::is_stopped) {
+            break;
+        }
+        let mut inboxes: Vec<Vec<Payload<A::Msg>>> =
+            g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
+        for v in g.nodes() {
+            if let Status::Running(state) = &states[v] {
+                for i in 0..g.degree(v) {
+                    let target = p.forward(Port::new(v, i));
+                    inboxes[target.node][target.index] = Payload::Data(algo.message(state, i));
+                }
+            }
+        }
+        for v in g.nodes() {
+            if let Status::Running(state) = states[v].clone() {
+                samples.push((state.clone(), inboxes[v].clone()));
+                states[v] = algo.step(&state, &inboxes[v]);
+            }
+        }
+    }
+    Observations { samples }
+}
+
+fn statuses_equal<A: VectorAlgorithm>(
+    a: &Status<A::State, A::Output>,
+    b: &Status<A::State, A::Output>,
+) -> bool
+where
+    A::State: PartialEq,
+{
+    match (a, b) {
+        (Status::Running(x), Status::Running(y)) => x == y,
+        (Status::Stopped(x), Status::Stopped(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Checks `δ` invariance under all rotations and the full reversal of each
+/// observed reception (a practical stand-in for all permutations): the
+/// semantic condition for membership in class `Multiset`.
+pub fn is_order_invariant<A: VectorAlgorithm>(algo: &A, obs: &Observations<A>) -> bool
+where
+    A::State: PartialEq,
+{
+    obs.samples.iter().all(|(state, received)| {
+        let reference = algo.step(state, received);
+        let mut rotated = received.clone();
+        for _ in 0..received.len() {
+            rotated.rotate_left(1);
+            if !statuses_equal::<A>(&algo.step(state, &rotated), &reference) {
+                return false;
+            }
+        }
+        let mut reversed = received.clone();
+        reversed.reverse();
+        statuses_equal::<A>(&algo.step(state, &reversed), &reference)
+    })
+}
+
+/// Checks `δ` invariance under redistributing multiplicities while keeping
+/// the underlying *set* of the reception fixed: the semantic condition
+/// separating `Set` from `Multiset`.
+///
+/// For each observed reception with a repeated entry, every distinct value
+/// in turn absorbs all the surplus copies; each such variant has the same
+/// set and must produce the same transition.
+pub fn is_multiplicity_invariant<A: VectorAlgorithm>(algo: &A, obs: &Observations<A>) -> bool
+where
+    A::State: PartialEq,
+{
+    obs.samples.iter().all(|(state, received)| {
+        let distinct: Vec<&Payload<A::Msg>> = {
+            let set: std::collections::BTreeSet<_> = received.iter().collect();
+            set.into_iter().collect()
+        };
+        if distinct.len() == received.len() || distinct.is_empty() {
+            return true; // multiplicities are forced; nothing to vary
+        }
+        let reference = algo.step(state, received);
+        distinct.iter().all(|&absorber| {
+            // One copy of every distinct value, then pad with `absorber`.
+            let mut variant: Vec<Payload<A::Msg>> =
+                distinct.iter().map(|&m| m.clone()).collect();
+            variant.resize(received.len(), absorber.clone());
+            statuses_equal::<A>(&algo.step(state, &variant), &reference)
+        })
+    })
+}
+
+/// Checks that `μ` ignores the out-port on every observed state: the
+/// semantic condition for membership in class `Broadcast`.
+pub fn is_broadcast<A: VectorAlgorithm>(algo: &A, obs: &Observations<A>, max_degree: usize) -> bool {
+    obs.samples.iter().all(|(state, _)| {
+        let reference = algo.message(state, 0);
+        (1..max_degree.max(1)).all(|i| algo.message(state, i) == reference)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{MbAsVector, SbAsVector};
+    use crate::algorithm::{MbAlgorithm, SbAlgorithm};
+    use crate::multiset::Multiset;
+    use std::collections::BTreeSet;
+
+    /// Counts odd-degree neighbours; genuinely multiset, not set.
+    #[derive(Debug)]
+    struct OddCount;
+
+    impl MbAlgorithm for OddCount {
+        type State = usize;
+        type Msg = bool;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<usize, usize> {
+            Status::Running(degree)
+        }
+
+        fn broadcast(&self, state: &usize) -> bool {
+            state % 2 == 1
+        }
+
+        fn step(&self, _: &usize, received: &Multiset<Payload<bool>>) -> Status<usize, usize> {
+            Status::Stopped(received.count(&Payload::Data(true)))
+        }
+    }
+
+    /// Purely set-based: does any neighbour have odd degree?
+    #[derive(Debug)]
+    struct AnyOdd;
+
+    impl SbAlgorithm for AnyOdd {
+        type State = usize;
+        type Msg = bool;
+        type Output = bool;
+
+        fn init(&self, degree: usize) -> Status<usize, bool> {
+            Status::Running(degree)
+        }
+
+        fn broadcast(&self, state: &usize) -> bool {
+            state % 2 == 1
+        }
+
+        fn step(&self, _: &usize, received: &BTreeSet<Payload<bool>>) -> Status<usize, bool> {
+            Status::Stopped(received.contains(&Payload::Data(true)))
+        }
+    }
+
+    /// A genuine vector algorithm: output depends on the message on in-port
+    /// 0, and messages depend on the out-port.
+    #[derive(Debug)]
+    struct FirstPort;
+
+    impl VectorAlgorithm for FirstPort {
+        type State = usize;
+        type Msg = usize;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<usize, usize> {
+            Status::Running(degree)
+        }
+
+        fn message(&self, state: &usize, port: usize) -> usize {
+            state * 10 + port
+        }
+
+        fn step(&self, _: &usize, received: &[Payload<usize>]) -> Status<usize, usize> {
+            Status::Stopped(match received.first() {
+                Some(Payload::Data(m)) => *m + 1,
+                _ => 0,
+            })
+        }
+    }
+
+    /// A star whose centre also has one degree-2 neighbour, so the centre's
+    /// reception mixes distinct values with repetitions.
+    fn tailed_star() -> portnum_graph::Graph {
+        portnum_graph::Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5)]).unwrap()
+    }
+
+    #[test]
+    fn mb_algorithm_is_order_invariant_but_not_set() {
+        let g = tailed_star();
+        let p = portnum_graph::PortNumbering::consistent(&g);
+        let algo = MbAsVector(OddCount);
+        let obs = observe(&algo, &g, &p, 10);
+        assert!(is_order_invariant(&algo, &obs));
+        assert!(is_broadcast(&algo, &obs, g.max_degree()));
+        // The centre receives {odd×3, even×1}: redistributing multiplicities
+        // within the same set changes the count of `odd`, so the
+        // multiplicity check must fail.
+        assert!(!is_multiplicity_invariant(&algo, &obs));
+    }
+
+    #[test]
+    fn sb_algorithm_passes_all_checks() {
+        let g = tailed_star();
+        let p = portnum_graph::PortNumbering::consistent(&g);
+        let algo = SbAsVector(AnyOdd);
+        let obs = observe(&algo, &g, &p, 10);
+        assert!(is_order_invariant(&algo, &obs));
+        assert!(is_multiplicity_invariant(&algo, &obs));
+        assert!(is_broadcast(&algo, &obs, g.max_degree()));
+    }
+
+    #[test]
+    fn vector_algorithm_fails_order_invariance() {
+        // The centre of the tailed star receives distinct values (degree-1
+        // leaves broadcast 10, the degree-2 neighbour sends 20 or 21), so
+        // rotating the reception changes in-port 0.
+        let g = tailed_star();
+        let p = portnum_graph::PortNumbering::consistent(&g);
+        let obs = observe(&FirstPort, &g, &p, 10);
+        assert!(!is_order_invariant(&FirstPort, &obs));
+        assert!(!is_broadcast(&FirstPort, &obs, g.max_degree()));
+    }
+}

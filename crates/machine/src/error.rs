@@ -1,0 +1,29 @@
+//! Execution errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the [`Simulator`](crate::Simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// The round limit was reached with nodes still running.
+    RoundLimit {
+        /// The configured limit.
+        limit: usize,
+        /// How many nodes had not stopped.
+        still_running: usize,
+    },
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ExecutionError::RoundLimit { limit, still_running } => write!(
+                f,
+                "round limit {limit} reached with {still_running} nodes still running"
+            ),
+        }
+    }
+}
+
+impl Error for ExecutionError {}

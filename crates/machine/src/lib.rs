@@ -1,0 +1,77 @@
+//! # portnum-machine
+//!
+//! Distributed state machines for the port-numbering model and its weak
+//! variants, after Hella et al., “Weak models of distributed computing, with
+//! connections to modal logic” (PODC 2012), Sections 1.1–1.5.
+//!
+//! * Algorithm traits for all seven model variants — [`VectorAlgorithm`],
+//!   [`MultisetAlgorithm`], [`SetAlgorithm`], [`BroadcastAlgorithm`],
+//!   [`MbAlgorithm`], [`SbAlgorithm`], and the degree-oblivious
+//!   [`ObliviousAlgorithm`] of Remark 2 — with class membership enforced by
+//!   the trait signatures themselves.
+//! * [`adapters`] embedding every class into [`VectorAlgorithm`] (the
+//!   trivial inclusions of Figure 5a).
+//! * The synchronous [`Simulator`] of Section 1.3, with round statistics
+//!   and abstract [`MessageSize`] accounting.
+//! * [`Multiset`] and [`Payload`] (`m0`) reception structures.
+//! * [`check`]: dynamic validators for the semantic class conditions.
+//!
+//! # Quick start
+//!
+//! ```
+//! use portnum_graph::{generators, PortNumbering};
+//! use portnum_machine::{
+//!     adapters::SbAsVector, Payload, SbAlgorithm, Simulator, Status,
+//! };
+//! use std::collections::BTreeSet;
+//!
+//! /// `Set ∩ Broadcast`: am I a local maximum by degree?
+//! #[derive(Debug)]
+//! struct LocalMax;
+//!
+//! impl SbAlgorithm for LocalMax {
+//!     type State = usize;
+//!     type Msg = usize;
+//!     type Output = bool;
+//!
+//!     fn init(&self, degree: usize) -> Status<usize, bool> {
+//!         Status::Running(degree)
+//!     }
+//!     fn broadcast(&self, state: &usize) -> usize {
+//!         *state
+//!     }
+//!     fn step(&self, state: &usize, received: &BTreeSet<Payload<usize>>) -> Status<usize, bool> {
+//!         let max_nbr = received.iter().filter_map(Payload::data).max();
+//!         Status::Stopped(max_nbr.is_none_or(|&m| m <= *state))
+//!     }
+//! }
+//!
+//! let g = generators::star(4);
+//! let p = PortNumbering::consistent(&g);
+//! let run = Simulator::new().run(&SbAsVector(LocalMax), &g, &p)?;
+//! assert_eq!(run.outputs()[0], true);   // the centre
+//! assert_eq!(run.outputs()[1], false);  // a leaf
+//! # Ok::<(), portnum_machine::ExecutionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+mod algorithm;
+pub mod check;
+mod error;
+mod multiset;
+mod payload;
+mod simulator;
+mod size;
+
+pub use algorithm::{
+    BroadcastAlgorithm, MbAlgorithm, Message, MultisetAlgorithm, ObliviousAlgorithm,
+    SbAlgorithm, SetAlgorithm, Status, VectorAlgorithm,
+};
+pub use error::ExecutionError;
+pub use multiset::Multiset;
+pub use payload::{data_messages, Payload};
+pub use simulator::{Execution, RoundStats, Simulator};
+pub use size::MessageSize;

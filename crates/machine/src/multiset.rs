@@ -1,0 +1,258 @@
+//! An ordered multiset, the reception structure of `Multiset` algorithms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::iter::FromIterator;
+
+/// A finite multiset over an ordered element type.
+///
+/// This is the paper's `multiset(~a)`: the vector of incoming messages with
+/// the port order forgotten but multiplicities kept (Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use portnum_machine::Multiset;
+///
+/// let a: Multiset<&str> = ["a", "b", "a"].into_iter().collect();
+/// let b: Multiset<&str> = ["b", "a", "a"].into_iter().collect();
+/// assert_eq!(a, b);                 // order is forgotten...
+/// assert_eq!(a.count(&"a"), 2);     // ...multiplicity is not
+/// assert_eq!(a.len(), 3);
+/// assert_eq!(a.distinct_len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+    len: usize,
+}
+
+impl<T: Ord> Multiset<T> {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Multiset { counts: BTreeMap::new(), len: 0 }
+    }
+
+    /// Inserts one occurrence of `value`.
+    pub fn insert(&mut self, value: T) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Inserts `n` occurrences of `value`.
+    pub fn insert_n(&mut self, value: T, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.len += n;
+    }
+
+    /// Removes one occurrence of `value`; returns `true` if one was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        match self.counts.get_mut(value) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.len -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(value);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of occurrences of `value`.
+    pub fn count(&self, value: &T) -> usize {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if `value` occurs at least once.
+    pub fn contains(&self, value: &T) -> bool {
+        self.counts.contains_key(value)
+    }
+
+    /// Total number of elements, counted with multiplicity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct elements.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over `(element, multiplicity)` pairs in ascending order.
+    pub fn counts(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterates over distinct elements in ascending order.
+    pub fn distinct(&self) -> impl Iterator<Item = &T> {
+        self.counts.keys()
+    }
+
+    /// Iterates over all elements with multiplicity, in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.counts.iter().flat_map(|(k, &c)| std::iter::repeat(k).take(c))
+    }
+
+    /// The underlying set: distinct elements only. This is the paper's
+    /// `set(~a)` obtained from `multiset(~a)` by forgetting multiplicities.
+    pub fn to_set(&self) -> std::collections::BTreeSet<T>
+    where
+        T: Clone,
+    {
+        self.counts.keys().cloned().collect()
+    }
+
+    /// Merges another multiset into this one.
+    pub fn union_with(&mut self, other: &Multiset<T>)
+    where
+        T: Clone,
+    {
+        for (k, c) in other.counts() {
+            self.insert_n(k.clone(), c);
+        }
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for x in iter {
+            m.insert(x);
+        }
+        m
+    }
+}
+
+impl<T: Ord> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.insert(x);
+        }
+    }
+}
+
+impl<T: Ord> From<Vec<T>> for Multiset<T> {
+    fn from(v: Vec<T>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<T: Ord + fmt::Display> fmt::Display for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (k, c) in self.counts() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if c == 1 {
+                write!(f, "{k}")?;
+            } else {
+                write!(f, "{k}×{c}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a Multiset<T> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_count_remove() {
+        let mut m = Multiset::new();
+        m.insert(3);
+        m.insert(3);
+        m.insert(5);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.count(&3), 2);
+        assert_eq!(m.count(&4), 0);
+        assert!(m.remove(&3));
+        assert_eq!(m.count(&3), 1);
+        assert!(m.remove(&3));
+        assert!(!m.remove(&3));
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(&5));
+        assert!(!m.contains(&3));
+    }
+
+    #[test]
+    fn equality_ignores_order_keeps_multiplicity() {
+        let a: Multiset<u32> = vec![1, 2, 1].into();
+        let b: Multiset<u32> = vec![2, 1, 1].into();
+        let c: Multiset<u32> = vec![1, 2].into();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn set_projection() {
+        let a: Multiset<u32> = vec![1, 2, 1].into();
+        let s = a.to_set();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&1) && s.contains(&2));
+    }
+
+    #[test]
+    fn iteration_orders() {
+        let m: Multiset<i32> = vec![5, 1, 5, 3].into();
+        let all: Vec<_> = m.iter().copied().collect();
+        assert_eq!(all, vec![1, 3, 5, 5]);
+        let distinct: Vec<_> = m.distinct().copied().collect();
+        assert_eq!(distinct, vec![1, 3, 5]);
+        let counts: Vec<_> = m.counts().map(|(k, c)| (*k, c)).collect();
+        assert_eq!(counts, vec![(1, 1), (3, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn insert_n_and_union() {
+        let mut a: Multiset<&str> = Multiset::new();
+        a.insert_n("x", 3);
+        a.insert_n("y", 0);
+        assert_eq!(a.len(), 3);
+        assert!(!a.contains(&"y"));
+        let b: Multiset<&str> = vec!["x", "z"].into();
+        a.union_with(&b);
+        assert_eq!(a.count(&"x"), 4);
+        assert_eq!(a.count(&"z"), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        let m: Multiset<u8> = vec![1, 1, 2].into();
+        assert_eq!(format!("{m}"), "{1×2, 2}");
+        let e: Multiset<u8> = Multiset::new();
+        assert_eq!(format!("{e}"), "{}");
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let a: Multiset<u8> = vec![1].into();
+        let b: Multiset<u8> = vec![1, 1].into();
+        assert!(a < b || b < a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

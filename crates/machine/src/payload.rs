@@ -1,0 +1,126 @@
+//! The `m0` "no message" symbol of the paper, as an explicit payload type.
+
+use std::fmt;
+
+/// What arrives on an in-port in one round: either the special "no message"
+/// symbol `m0` (the sender has stopped) or an actual message.
+///
+/// `Silent` orders before every `Data(_)`, giving payloads a canonical total
+/// order whenever the message type has one.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_machine::Payload;
+///
+/// let a: Payload<u32> = Payload::Data(5);
+/// assert_eq!(a.data(), Some(&5));
+/// assert!(Payload::<u32>::Silent < a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Payload<M> {
+    /// The paper's `m0`: the sending node has stopped.
+    Silent,
+    /// An ordinary message.
+    Data(M),
+}
+
+impl<M> Payload<M> {
+    /// Returns the message, if any.
+    pub fn data(&self) -> Option<&M> {
+        match self {
+            Payload::Silent => None,
+            Payload::Data(m) => Some(m),
+        }
+    }
+
+    /// Consumes the payload, returning the message if any.
+    pub fn into_data(self) -> Option<M> {
+        match self {
+            Payload::Silent => None,
+            Payload::Data(m) => Some(m),
+        }
+    }
+
+    /// Returns `true` for `Silent`.
+    pub fn is_silent(&self) -> bool {
+        matches!(self, Payload::Silent)
+    }
+
+    /// Maps the message type.
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Payload<N> {
+        match self {
+            Payload::Silent => Payload::Silent,
+            Payload::Data(m) => Payload::Data(f(m)),
+        }
+    }
+
+    /// Borrows the payload contents.
+    pub fn as_ref(&self) -> Payload<&M> {
+        match self {
+            Payload::Silent => Payload::Silent,
+            Payload::Data(m) => Payload::Data(m),
+        }
+    }
+}
+
+impl<M> From<Option<M>> for Payload<M> {
+    fn from(o: Option<M>) -> Self {
+        match o {
+            None => Payload::Silent,
+            Some(m) => Payload::Data(m),
+        }
+    }
+}
+
+impl<M: fmt::Display> fmt::Display for Payload<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Silent => write!(f, "∅"),
+            Payload::Data(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Extracts the non-silent messages from a reception slice, in port order.
+pub fn data_messages<'a, M>(received: &'a [Payload<M>]) -> impl Iterator<Item = &'a M> {
+    received.iter().filter_map(Payload::data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_accessors() {
+        let s: Payload<u8> = Payload::Silent;
+        let d = Payload::Data(0u8);
+        assert!(s < d);
+        assert!(s.is_silent());
+        assert!(!d.is_silent());
+        assert_eq!(d.into_data(), Some(0));
+        assert_eq!(s.into_data(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Payload::from(Some(3)), Payload::Data(3));
+        assert_eq!(Payload::<u8>::from(None), Payload::Silent);
+        assert_eq!(Payload::Data(3).map(|x| x * 2), Payload::Data(6));
+        assert_eq!(Payload::<u8>::Silent.map(|x| x * 2), Payload::Silent);
+        assert_eq!(Payload::Data(3).as_ref(), Payload::Data(&3));
+    }
+
+    #[test]
+    fn data_messages_filters_silence() {
+        let r = [Payload::Data(1), Payload::Silent, Payload::Data(2)];
+        let v: Vec<_> = data_messages(&r).copied().collect();
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Payload::<u8>::Silent), "∅");
+        assert_eq!(format!("{}", Payload::Data(9)), "9");
+    }
+}

@@ -1,0 +1,381 @@
+//! The synchronous executor of Section 1.3.
+//!
+//! Given a state machine `A`, a graph `G`, and a port numbering `p`, the
+//! execution is defined round by round: every running node sends one message
+//! per out-port (`μ`), messages are routed along `p`, and every running node
+//! applies the transition `δ` to the vector of payloads indexed by its
+//! in-ports. Stopped nodes emit [`Payload::Silent`] (the paper's `m0`) and
+//! never change state.
+
+use crate::algorithm::{Status, VectorAlgorithm};
+use crate::error::ExecutionError;
+use crate::payload::Payload;
+use crate::size::MessageSize;
+use portnum_graph::{Graph, Port, PortNumbering};
+
+/// Per-round statistics recorded during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Messages actually sent (silent payloads from stopped nodes excluded).
+    pub messages_sent: u64,
+    /// Sum of [`MessageSize::size_units`] over all sent messages.
+    pub total_message_units: u64,
+    /// Largest single message this round.
+    pub max_message_units: u64,
+    /// Nodes still running *before* the round's transition.
+    pub nodes_running: usize,
+}
+
+/// The result of a completed run: every node has stopped.
+#[derive(Debug, Clone)]
+pub struct Execution<O> {
+    outputs: Vec<O>,
+    rounds: usize,
+    stats: Vec<RoundStats>,
+    stop_times: Vec<usize>,
+}
+
+impl<O> Execution<O> {
+    /// Local outputs, indexed by node (the solution `S: V → Y`).
+    pub fn outputs(&self) -> &[O] {
+        &self.outputs
+    }
+
+    /// Consumes the execution, returning the outputs.
+    pub fn into_outputs(self) -> Vec<O> {
+        self.outputs
+    }
+
+    /// The stopping time `T`: the first round at which every node had
+    /// stopped (0 if all initial states were stopping states).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Per-round statistics (`stats()[t]` describes round `t + 1`).
+    pub fn stats(&self) -> &[RoundStats] {
+        &self.stats
+    }
+
+    /// Round at which each node stopped.
+    pub fn stop_times(&self) -> &[usize] {
+        &self.stop_times
+    }
+
+    /// Largest message observed over the whole run.
+    pub fn max_message_units(&self) -> u64 {
+        self.stats.iter().map(|s| s.max_message_units).max().unwrap_or(0)
+    }
+
+    /// Total message units over the whole run.
+    pub fn total_message_units(&self) -> u64 {
+        self.stats.iter().map(|s| s.total_message_units).sum()
+    }
+}
+
+/// Synchronous simulator with a round-limit guard.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::{generators, PortNumbering};
+/// use portnum_machine::{Simulator, Status, VectorAlgorithm, Payload};
+///
+/// /// One round: learn the out-port index your port-0 neighbour uses
+/// /// towards you... or simply stop immediately with your degree.
+/// #[derive(Debug)]
+/// struct Degree;
+/// impl VectorAlgorithm for Degree {
+///     type State = ();
+///     type Msg = ();
+///     type Output = usize;
+///     fn init(&self, degree: usize) -> Status<(), usize> {
+///         Status::Stopped(degree)
+///     }
+///     fn message(&self, _: &(), _: usize) {}
+///     fn step(&self, _: &(), _: &[Payload<()>]) -> Status<(), usize> {
+///         unreachable!("all nodes stop at time 0")
+///     }
+/// }
+///
+/// let g = generators::star(3);
+/// let p = PortNumbering::consistent(&g);
+/// let run = Simulator::new().run(&Degree, &g, &p)?;
+/// assert_eq!(run.rounds(), 0);
+/// assert_eq!(run.outputs(), &[3, 1, 1, 1]);
+/// # Ok::<(), portnum_machine::ExecutionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Simulator {
+    max_rounds: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator with the default round limit (100 000).
+    pub fn new() -> Self {
+        Simulator { max_rounds: 100_000 }
+    }
+
+    /// Sets the round limit after which a non-terminating run is aborted.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Executes `algo` on `(g, p)` until every node stops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutionError::RoundLimit`] if some node is still running
+    /// after the configured number of rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is a port numbering of a graph with a different number
+    /// of nodes than `g`.
+    pub fn run<A>(
+        &self,
+        algo: &A,
+        g: &Graph,
+        p: &PortNumbering,
+    ) -> Result<Execution<A::Output>, ExecutionError>
+    where
+        A: VectorAlgorithm,
+        A::Msg: MessageSize,
+    {
+        assert_eq!(g.len(), p.len(), "graph and port numbering sizes differ");
+        let n = g.len();
+        let mut states: Vec<Status<A::State, A::Output>> =
+            g.nodes().map(|v| algo.init(g.degree(v))).collect();
+        let mut stop_times = vec![0usize; n];
+        let mut stats = Vec::new();
+        let mut round = 0usize;
+
+        while states.iter().any(|s| !s.is_stopped()) {
+            if round == self.max_rounds {
+                return Err(ExecutionError::RoundLimit {
+                    limit: self.max_rounds,
+                    still_running: states.iter().filter(|s| !s.is_stopped()).count(),
+                });
+            }
+            round += 1;
+
+            // Phase 1: every running node writes into its neighbours'
+            // in-port buffers; stopped nodes contribute silence.
+            let mut inboxes: Vec<Vec<Payload<A::Msg>>> =
+                g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
+            let mut round_stats = RoundStats {
+                nodes_running: states.iter().filter(|s| !s.is_stopped()).count(),
+                ..RoundStats::default()
+            };
+            for v in g.nodes() {
+                if let Status::Running(state) = &states[v] {
+                    for i in 0..g.degree(v) {
+                        let msg = algo.message(state, i);
+                        let units = msg.size_units();
+                        round_stats.messages_sent += 1;
+                        round_stats.total_message_units += units;
+                        round_stats.max_message_units = round_stats.max_message_units.max(units);
+                        let target = p.forward(Port::new(v, i));
+                        inboxes[target.node][target.index] = Payload::Data(msg);
+                    }
+                }
+            }
+
+            // Phase 2: simultaneous transitions.
+            for v in g.nodes() {
+                if let Status::Running(state) = &states[v] {
+                    let next = algo.step(state, &inboxes[v]);
+                    if next.is_stopped() {
+                        stop_times[v] = round;
+                    }
+                    states[v] = next;
+                }
+            }
+            stats.push(round_stats);
+        }
+
+        let outputs = states
+            .into_iter()
+            .map(|s| match s {
+                Status::Stopped(o) => o,
+                Status::Running(_) => unreachable!("loop exits only when all stopped"),
+            })
+            .collect();
+        Ok(Execution { outputs, rounds: round, stats, stop_times })
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::SbAsVector;
+    use crate::algorithm::SbAlgorithm;
+    use portnum_graph::generators;
+    use std::collections::BTreeSet;
+
+    /// Every node forwards a counter for `k` rounds, then stops with it.
+    #[derive(Debug)]
+    struct CountRounds {
+        k: usize,
+    }
+
+    impl VectorAlgorithm for CountRounds {
+        type State = usize;
+        type Msg = usize;
+        type Output = usize;
+
+        fn init(&self, _degree: usize) -> Status<usize, usize> {
+            if self.k == 0 {
+                Status::Stopped(0)
+            } else {
+                Status::Running(0)
+            }
+        }
+
+        fn message(&self, state: &usize, _port: usize) -> usize {
+            *state
+        }
+
+        fn step(&self, state: &usize, _received: &[Payload<usize>]) -> Status<usize, usize> {
+            let next = state + 1;
+            if next == self.k {
+                Status::Stopped(next)
+            } else {
+                Status::Running(next)
+            }
+        }
+    }
+
+    #[test]
+    fn runs_for_exactly_k_rounds() {
+        let g = generators::cycle(5);
+        let p = PortNumbering::consistent(&g);
+        for k in [0usize, 1, 3, 10] {
+            let run = Simulator::new().run(&CountRounds { k }, &g, &p).unwrap();
+            assert_eq!(run.rounds(), k);
+            assert!(run.outputs().iter().all(|&o| o == k));
+            assert_eq!(run.stats().len(), k);
+            if k > 0 {
+                assert_eq!(run.stats()[0].messages_sent, 10);
+                assert_eq!(run.stats()[0].nodes_running, 5);
+                assert!(run.stop_times().iter().all(|&t| t == k));
+            }
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = generators::cycle(3);
+        let p = PortNumbering::consistent(&g);
+        let err = Simulator::new()
+            .with_max_rounds(4)
+            .run(&CountRounds { k: 10 }, &g, &p)
+            .unwrap_err();
+        assert_eq!(err, ExecutionError::RoundLimit { limit: 4, still_running: 3 });
+    }
+
+    /// A node stops at a round equal to its degree; others keep relaying.
+    /// Exercises silent payloads from stopped nodes.
+    #[derive(Debug)]
+    struct StopAtDegree;
+
+    impl VectorAlgorithm for StopAtDegree {
+        type State = (usize, usize, usize); // (round, degree, silent_seen)
+        type Msg = u8;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<(usize, usize, usize), usize> {
+            Status::Running((0, degree, 0))
+        }
+
+        fn message(&self, _state: &(usize, usize, usize), _port: usize) -> u8 {
+            0
+        }
+
+        fn step(
+            &self,
+            &(round, degree, silent): &(usize, usize, usize),
+            received: &[Payload<u8>],
+        ) -> Status<(usize, usize, usize), usize> {
+            let silent = silent + received.iter().filter(|p| p.is_silent()).count();
+            let round = round + 1;
+            if round >= degree {
+                Status::Stopped(silent)
+            } else {
+                Status::Running((round, degree, silent))
+            }
+        }
+    }
+
+    #[test]
+    fn stopped_nodes_send_silence() {
+        // Star with 3 leaves: leaves stop after round 1, centre after round 3.
+        // In rounds 2 and 3 the centre hears silence from all 3 leaves.
+        let g = generators::star(3);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&StopAtDegree, &g, &p).unwrap();
+        assert_eq!(run.rounds(), 3);
+        assert_eq!(run.outputs()[0], 6, "centre hears 3 silent ports in rounds 2 and 3");
+        assert!(run.outputs()[1..].iter().all(|&o| o == 0));
+        assert_eq!(run.stop_times(), &[3, 1, 1, 1]);
+        // Message counts decay as nodes stop.
+        assert_eq!(run.stats()[0].messages_sent, 6);
+        assert_eq!(run.stats()[1].messages_sent, 3);
+        assert_eq!(run.stats()[2].messages_sent, 3);
+    }
+
+    /// SB echo: stop after one round, reporting whether any neighbour exists.
+    #[derive(Debug)]
+    struct Ping;
+
+    impl SbAlgorithm for Ping {
+        type State = ();
+        type Msg = ();
+        type Output = bool;
+
+        fn init(&self, _degree: usize) -> Status<(), bool> {
+            Status::Running(())
+        }
+
+        fn broadcast(&self, _state: &()) {}
+
+        fn step(&self, _state: &(), received: &BTreeSet<Payload<()>>) -> Status<(), bool> {
+            Status::Stopped(!received.is_empty())
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_hear_nothing() {
+        let g = Graph::disjoint_union(&[&generators::path(2), &Graph::empty(1)]);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&SbAsVector(Ping), &g, &p).unwrap();
+        assert_eq!(run.outputs(), &[true, true, false]);
+    }
+
+    use portnum_graph::Graph;
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = Graph::empty(0);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&CountRounds { k: 5 }, &g, &p).unwrap();
+        assert_eq!(run.rounds(), 0);
+        assert!(run.outputs().is_empty());
+    }
+
+    #[test]
+    fn message_unit_accounting() {
+        let g = generators::path(2);
+        let p = PortNumbering::consistent(&g);
+        let run = Simulator::new().run(&CountRounds { k: 2 }, &g, &p).unwrap();
+        assert_eq!(run.total_message_units(), 4);
+        assert_eq!(run.max_message_units(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Abstract message-size accounting.
+//!
+//! The paper's open question at the end of Section 5.4 concerns the *message
+//! size* overhead of the simulation theorems. [`MessageSize`] assigns every
+//! message an abstract size in "units" (scalars count 1, containers add
+//! their contents plus 1), which the simulator aggregates per round so that
+//! the bench harness can chart the growth of history-based simulations
+//! (Theorems 8 and 9) against the `O(Δ)`-preamble simulation (Theorem 4).
+
+use crate::multiset::Multiset;
+use crate::payload::Payload;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract size of a message in units.
+pub trait MessageSize {
+    /// The size of this value in abstract units (≥ 1 for scalars).
+    fn size_units(&self) -> u64;
+}
+
+macro_rules! scalar_size {
+    ($($t:ty),* $(,)?) => {
+        $(impl MessageSize for $t {
+            fn size_units(&self) -> u64 {
+                1
+            }
+        })*
+    };
+}
+
+scalar_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char, ());
+
+impl MessageSize for String {
+    fn size_units(&self) -> u64 {
+        1 + self.len() as u64
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn size_units(&self) -> u64 {
+        1 + self.iter().map(MessageSize::size_units).sum::<u64>()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn size_units(&self) -> u64 {
+        1 + self.as_ref().map_or(0, MessageSize::size_units)
+    }
+}
+
+impl<T: MessageSize> MessageSize for Box<T> {
+    fn size_units(&self) -> u64 {
+        (**self).size_units()
+    }
+}
+
+impl<T: MessageSize + Ord> MessageSize for BTreeSet<T> {
+    fn size_units(&self) -> u64 {
+        1 + self.iter().map(MessageSize::size_units).sum::<u64>()
+    }
+}
+
+impl<K: MessageSize + Ord, V: MessageSize> MessageSize for BTreeMap<K, V> {
+    fn size_units(&self) -> u64 {
+        1 + self.iter().map(|(k, v)| k.size_units() + v.size_units()).sum::<u64>()
+    }
+}
+
+impl<T: MessageSize + Ord> MessageSize for Multiset<T> {
+    fn size_units(&self) -> u64 {
+        1 + self.counts().map(|(k, _)| k.size_units() + 1).sum::<u64>()
+    }
+}
+
+impl<M: MessageSize> MessageSize for Payload<M> {
+    fn size_units(&self) -> u64 {
+        match self {
+            Payload::Silent => 1,
+            Payload::Data(m) => 1 + m.size_units(),
+        }
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn size_units(&self) -> u64 {
+        self.0.size_units() + self.1.size_units()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize, C: MessageSize> MessageSize for (A, B, C) {
+    fn size_units(&self) -> u64 {
+        self.0.size_units() + self.1.size_units() + self.2.size_units()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize, C: MessageSize, D: MessageSize> MessageSize
+    for (A, B, C, D)
+{
+    fn size_units(&self) -> u64 {
+        self.0.size_units() + self.1.size_units() + self.2.size_units() + self.3.size_units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_unit() {
+        assert_eq!(5u32.size_units(), 1);
+        assert_eq!(true.size_units(), 1);
+        assert_eq!(().size_units(), 1);
+    }
+
+    #[test]
+    fn containers_accumulate() {
+        assert_eq!(vec![1u8, 2, 3].size_units(), 4);
+        assert_eq!(Vec::<u8>::new().size_units(), 1);
+        let nested = vec![vec![1u8], vec![2, 3]];
+        assert_eq!(nested.size_units(), 1 + 2 + 3);
+        assert_eq!(Some(7u8).size_units(), 2);
+        assert_eq!(None::<u8>.size_units(), 1);
+        assert_eq!("abc".to_string().size_units(), 4);
+    }
+
+    #[test]
+    fn payload_and_multiset() {
+        assert_eq!(Payload::<u8>::Silent.size_units(), 1);
+        assert_eq!(Payload::Data(9u8).size_units(), 2);
+        let m: Multiset<u8> = vec![1, 1, 2].into();
+        assert_eq!(m.size_units(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn tuples_sum() {
+        assert_eq!((1u8, 2u8).size_units(), 2);
+        assert_eq!((1u8, 2u8, vec![1u8]).size_units(), 4);
+        assert_eq!((1u8, 2u8, 3u8, 4u8).size_units(), 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the machine crate: adapter coherence and
+//! simulator determinism.
+
+use portnum_graph::{Graph, PortNumbering};
+use portnum_machine::adapters::{MbAsBroadcast, MbAsVector, SbAsMb, SbAsVector, SetAsMultiset};
+use portnum_machine::{
+    check, BroadcastAlgorithm, MbAlgorithm, Multiset, Payload, SbAlgorithm, SetAlgorithm,
+    Simulator, Status, VectorAlgorithm,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=8).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
+            let mut b = Graph::builder(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if mask[idx] {
+                        b.edge(u, v).expect("pairs distinct");
+                    }
+                    idx += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// A parameterised SB algorithm: gossip degree sets for `rounds` rounds,
+/// output the set of degrees seen.
+#[derive(Debug, Clone, Copy)]
+struct Gossip {
+    rounds: usize,
+}
+
+impl SbAlgorithm for Gossip {
+    type State = (usize, BTreeSet<usize>);
+    type Msg = BTreeSet<usize>;
+    type Output = BTreeSet<usize>;
+
+    fn init(&self, degree: usize) -> Status<(usize, BTreeSet<usize>), BTreeSet<usize>> {
+        let s: BTreeSet<usize> = [degree].into();
+        if self.rounds == 0 {
+            Status::Stopped(s)
+        } else {
+            Status::Running((0, s))
+        }
+    }
+
+    fn broadcast(&self, (_, s): &(usize, BTreeSet<usize>)) -> BTreeSet<usize> {
+        s.clone()
+    }
+
+    fn step(
+        &self,
+        (round, s): &(usize, BTreeSet<usize>),
+        received: &BTreeSet<Payload<BTreeSet<usize>>>,
+    ) -> Status<(usize, BTreeSet<usize>), BTreeSet<usize>> {
+        let mut s = s.clone();
+        for p in received {
+            if let Payload::Data(t) = p {
+                s.extend(t.iter().copied());
+            }
+        }
+        if round + 1 == self.rounds {
+            Status::Stopped(s)
+        } else {
+            Status::Running((round + 1, s))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_is_deterministic(g in arb_graph(), rounds in 0usize..4, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let algo = SbAsVector(Gossip { rounds });
+        let sim = Simulator::new();
+        let a = sim.run(&algo, &g, &p).unwrap();
+        let b = sim.run(&algo, &g, &p).unwrap();
+        prop_assert_eq!(a.outputs(), b.outputs());
+        prop_assert_eq!(a.rounds(), b.rounds());
+        prop_assert_eq!(a.rounds(), rounds);
+    }
+
+    #[test]
+    fn sb_output_is_numbering_independent(g in arb_graph(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        // SB algorithms cannot see the port numbering at all.
+        use rand::SeedableRng;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(s1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(s2);
+        let p1 = PortNumbering::random(&g, &mut r1);
+        let p2 = PortNumbering::random(&g, &mut r2);
+        let sim = Simulator::new();
+        let a = sim.run(&SbAsVector(Gossip { rounds: 2 }), &g, &p1).unwrap();
+        let b = sim.run(&SbAsVector(Gossip { rounds: 2 }), &g, &p2).unwrap();
+        prop_assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn adapter_tower_agrees(g in arb_graph(), seed in any::<u64>()) {
+        // SB → Vector directly, or SB → MB → Vector: identical behaviour.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let sim = Simulator::new();
+        let direct = sim.run(&SbAsVector(Gossip { rounds: 2 }), &g, &p).unwrap();
+        let tower = sim.run(&MbAsVector(SbAsMb(Gossip { rounds: 2 })), &g, &p).unwrap();
+        prop_assert_eq!(direct.outputs(), tower.outputs());
+        prop_assert_eq!(direct.rounds(), tower.rounds());
+    }
+
+    #[test]
+    fn semantic_class_checks_validate_adapters(g in arb_graph(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let algo = SbAsVector(Gossip { rounds: 2 });
+        let obs = check::observe(&algo, &g, &p, 8);
+        prop_assert!(check::is_order_invariant(&algo, &obs));
+        prop_assert!(check::is_multiplicity_invariant(&algo, &obs));
+        prop_assert!(check::is_broadcast(&algo, &obs, g.max_degree()));
+    }
+}
+
+/// A Set algorithm whose Multiset embedding must behave identically.
+#[derive(Debug, Clone, Copy)]
+struct PortsSeen;
+
+impl SetAlgorithm for PortsSeen {
+    type State = ();
+    type Msg = usize;
+    type Output = BTreeSet<usize>;
+
+    fn init(&self, _d: usize) -> Status<(), BTreeSet<usize>> {
+        Status::Running(())
+    }
+    fn message(&self, _: &(), port: usize) -> usize {
+        port
+    }
+    fn step(&self, _: &(), received: &BTreeSet<Payload<usize>>) -> Status<(), BTreeSet<usize>> {
+        Status::Stopped(received.iter().filter_map(Payload::data).copied().collect())
+    }
+}
+
+#[test]
+fn set_as_multiset_embedding_is_faithful() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let sim = Simulator::new();
+    for _ in 0..10 {
+        let g = portnum_graph::generators::gnp(8, 0.4, &mut rng);
+        let p = PortNumbering::random(&g, &mut rng);
+        let direct = sim.run(&portnum_machine::adapters::SetAsVector(PortsSeen), &g, &p).unwrap();
+        let via_multiset = sim
+            .run(&portnum_machine::adapters::MultisetAsVector(SetAsMultiset(PortsSeen)), &g, &p)
+            .unwrap();
+        assert_eq!(direct.outputs(), via_multiset.outputs());
+    }
+}
+
+/// An MB algorithm embedded as a Broadcast algorithm must agree.
+#[derive(Debug, Clone, Copy)]
+struct CountTrue;
+
+impl MbAlgorithm for CountTrue {
+    type State = usize;
+    type Msg = bool;
+    type Output = usize;
+
+    fn init(&self, degree: usize) -> Status<usize, usize> {
+        Status::Running(degree)
+    }
+    fn broadcast(&self, state: &usize) -> bool {
+        *state >= 2
+    }
+    fn step(&self, _: &usize, received: &Multiset<Payload<bool>>) -> Status<usize, usize> {
+        Status::Stopped(received.count(&Payload::Data(true)))
+    }
+}
+
+#[test]
+fn mb_as_broadcast_embedding_is_faithful() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let sim = Simulator::new();
+    for _ in 0..10 {
+        let g = portnum_graph::generators::gnp(8, 0.4, &mut rng);
+        let p = PortNumbering::random(&g, &mut rng);
+        let direct = sim.run(&MbAsVector(CountTrue), &g, &p).unwrap();
+        let via_vb = sim
+            .run(
+                &portnum_machine::adapters::BroadcastAsVector(MbAsBroadcast(CountTrue)),
+                &g,
+                &p,
+            )
+            .unwrap();
+        assert_eq!(direct.outputs(), via_vb.outputs());
+    }
+}
+
+// Silence unused-trait warnings in configurations where only some tests run.
+#[allow(dead_code)]
+fn _markers<B: BroadcastAlgorithm, V: VectorAlgorithm>() {}

@@ -1,0 +1,71 @@
+//! Hennessy–Milner meets Theorem 2: compute the characteristic formula of
+//! a node, *compile it into a distributed algorithm*, and watch the
+//! network recognise — in `md(χ)` rounds — exactly the nodes that are
+//! indistinguishable from it.
+//!
+//! The demo uses the paper's Theorem 13 witness: two "white" nodes that
+//! plain bisimulation (class `SB`, logic ML) provably cannot separate but
+//! graded bisimulation (class `MB`, logic GML) can. The characteristic
+//! formulas make both facts executable.
+//!
+//! Run with: `cargo run --example hennessy_milner`
+
+use portnum::graph::{generators, PortNumbering};
+use portnum::logic::bisim::{refine_bounded, BisimStyle};
+use portnum::logic::compile::{compile_mb, compile_sb};
+use portnum::logic::{characteristic, evaluate, Kripke};
+use portnum::machine::adapters::{MbAsVector, SbAsVector};
+use portnum::machine::Simulator;
+
+fn render(v: &[bool]) -> String {
+    v.iter().map(|&b| if b { '#' } else { '.' }).collect()
+}
+
+fn main() {
+    let (g, (white_a, white_b)) = generators::theorem13_witness();
+    let p = PortNumbering::consistent(&g);
+    let k = Kripke::k_mm(&g);
+    let depth = 2;
+    println!(
+        "graph: Theorem 13 witness ({} nodes); white nodes {white_a} and {white_b}\n",
+        g.len()
+    );
+
+    for (style, name) in [(BisimStyle::Plain, "plain/ML"), (BisimStyle::Graded, "graded/GML")] {
+        let chars = characteristic(&k, style, depth);
+        let chi = chars.formula_for(white_a, depth).clone();
+        println!("characteristic formula of node {white_a} ({name}, depth {depth}):");
+        println!("  size {} nodes, modal depth {}", chi.size(), chi.modal_depth());
+
+        // Model-check it...
+        let truth = evaluate(&k, &chi).expect("χ evaluates on its own model");
+
+        // ...and run it as a distributed algorithm of the matching class.
+        let sim = Simulator::new();
+        let (distributed, rounds) = if style == BisimStyle::Plain {
+            let algo = compile_sb(&chi).expect("plain χ is ungraded ML");
+            let run = sim.run(&SbAsVector(algo), &g, &p).expect("terminates");
+            (run.outputs().to_vec(), run.rounds())
+        } else {
+            let algo = compile_mb(&chi).expect("graded χ is GML");
+            let run = sim.run(&MbAsVector(algo), &g, &p).expect("terminates");
+            (run.outputs().to_vec(), run.rounds())
+        };
+        assert_eq!(distributed, truth, "Theorem 2: simulation ≡ model checking");
+
+        // The extension is exactly the equivalence class of the node.
+        let classes = refine_bounded(&k, style, depth);
+        for w in g.nodes() {
+            assert_eq!(truth[w], classes.equivalent_at(depth, white_a, w));
+        }
+
+        println!("  extension ({rounds} rounds, distributed): {}", render(&distributed));
+        println!(
+            "  recognises the other white node {white_b}: {}\n",
+            if truth[white_b] { "yes — cannot separate" } else { "no — separated!" }
+        );
+    }
+
+    println!("plain χ marks both whites (SB algorithms cannot count);");
+    println!("graded χ marks only node {white_a} — the executable heart of SB ⊊ MB.");
+}

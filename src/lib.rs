@@ -1,0 +1,5 @@
+//! Umbrella crate for examples and integration tests.
+pub use portnum;
+pub use portnum_graph;
+pub use portnum_logic;
+pub use portnum_machine;

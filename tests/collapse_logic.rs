@@ -1,0 +1,159 @@
+//! The §5.4 corollaries, composed end to end: formulas of the *stronger*
+//! logics are solvable by algorithms of the *weaker* classes, by chaining
+//! the Theorem 2 compiler with the Theorem 4/9 simulation wrappers.
+//!
+//! * GMML on `K₋,₊` compiles to a `Multiset` algorithm (Theorem 2c); the
+//!   Theorem 4 wrapper runs it in class `Set` — so counting modalities
+//!   cost nothing over sets beyond `2Δ` rounds (corollary (b):
+//!   MML and GMML capture the same problems on `K₋,₊`).
+//! * MML on `K₊,₋` compiles to a `Broadcast` algorithm (Theorem 2e); the
+//!   Theorem 9 wrapper runs it in `Multiset ∩ Broadcast` — in-port
+//!   modalities are within reach of `MB` (corollary (d): MML on `K₊,₋`
+//!   captures the same problems as GML on `K₋,₋`).
+
+use portnum::sim::{MbFromVb, SetFromMultiset};
+use portnum_graph::{generators, Graph, PortNumbering};
+use portnum_logic::compile::{compile_broadcast, compile_multiset};
+use portnum_logic::{evaluate, Formula, Kripke, ModalIndex};
+use portnum_machine::adapters::{MbAsVector, SetAsVector};
+use portnum_machine::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn graphs(rng: &mut StdRng) -> Vec<Graph> {
+    let mut out = vec![
+        generators::figure1_graph(),
+        generators::star(3),
+        generators::cycle(5),
+        generators::wheel(4),
+    ];
+    for _ in 0..3 {
+        out.push(generators::gnp(8, 0.3, rng));
+    }
+    out
+}
+
+/// A random graded formula over `(*, j)` indices of depth ≤ 2.
+fn random_out_formula<R: Rng>(rng: &mut R, max_port: usize, depth: usize) -> Formula {
+    match rng.random_range(0..8u32) {
+        0 => Formula::top(),
+        1 | 2 => Formula::prop(rng.random_range(0..=max_port)),
+        3 => random_out_formula(rng, max_port, depth).not(),
+        4 => {
+            let a = random_out_formula(rng, max_port, depth);
+            let b = random_out_formula(rng, max_port, depth);
+            a.and(&b)
+        }
+        _ if depth == 0 => Formula::prop(rng.random_range(0..=max_port)),
+        _ => Formula::diamond_geq(
+            ModalIndex::Out(rng.random_range(0..max_port)),
+            rng.random_range(1..=2),
+            &random_out_formula(rng, max_port, depth - 1),
+        ),
+    }
+}
+
+/// A random ungraded, **in-port-symmetric** formula over `(i, *)` indices
+/// of depth ≤ 2: every modality appears as a disjunction or conjunction
+/// over *all* in-ports, so the extension does not depend on how the
+/// receiver numbers its ports. Theorem 9 reassigns in-port numbers during
+/// the simulation, so only such formulas have a pointwise-stable meaning
+/// in class `MB` (problem-level solvability is what the theorem asserts
+/// for the rest).
+fn random_in_formula<R: Rng>(rng: &mut R, max_port: usize, depth: usize) -> Formula {
+    match rng.random_range(0..8u32) {
+        0 => Formula::bottom(),
+        1 | 2 => Formula::prop(rng.random_range(0..=max_port)),
+        3 => random_in_formula(rng, max_port, depth).not(),
+        4 => {
+            let a = random_in_formula(rng, max_port, depth);
+            let b = random_in_formula(rng, max_port, depth);
+            a.or(&b)
+        }
+        _ if depth == 0 => Formula::prop(rng.random_range(0..=max_port)),
+        _ => {
+            let inner = random_in_formula(rng, max_port, depth - 1);
+            let diamonds = (0..max_port).map(|i| Formula::diamond(ModalIndex::In(i), &inner));
+            if rng.random_bool(0.5) {
+                // "some neighbour satisfies inner"
+                Formula::any_of(diamonds)
+            } else {
+                // "I have max_port ports and all feeders satisfy inner"
+                Formula::all_of(diamonds)
+            }
+        }
+    }
+}
+
+#[test]
+fn gmml_on_k_mp_is_solvable_in_class_set() {
+    // Corollary (b), executable: every GMML formula — counting included —
+    // defines a problem solvable without multiplicities, paying 2Δ rounds.
+    let mut rng = StdRng::seed_from_u64(54);
+    let sim = Simulator::new();
+    for trial in 0..10 {
+        for g in graphs(&mut rng) {
+            let delta = g.max_degree().max(1);
+            let p = PortNumbering::random(&g, &mut rng);
+            let psi = random_out_formula(&mut rng, delta, 2);
+            let expected = evaluate(&Kripke::k_mp(&g, &p), &psi).unwrap();
+            let algo = compile_multiset(&psi).expect("GMML compiles to Multiset");
+            let run = sim
+                .run(&SetAsVector(SetFromMultiset::new(algo, delta)), &g, &p)
+                .expect("terminates");
+            assert_eq!(run.outputs(), expected, "trial {trial}: {psi} on {g}");
+            assert!(
+                run.rounds() <= psi.modal_depth() + 2 * delta,
+                "trial {trial}: {psi} took {} rounds on {g}",
+                run.rounds()
+            );
+        }
+    }
+}
+
+#[test]
+fn mml_on_k_pm_is_solvable_in_class_mb() {
+    // Corollary (d), executable: in-port-symmetric MML on K₊,₋ is
+    // MB-computable pointwise (and general MML problem-wise, Theorem 9).
+    let mut rng = StdRng::seed_from_u64(45);
+    let sim = Simulator::new();
+    for trial in 0..10 {
+        for g in graphs(&mut rng) {
+            let delta = g.max_degree().max(1);
+            let p = PortNumbering::random(&g, &mut rng);
+            let psi = random_in_formula(&mut rng, delta, 2);
+            let expected = evaluate(&Kripke::k_pm(&g, &p), &psi).unwrap();
+            let algo = compile_broadcast(&psi).expect("MML/In compiles to Broadcast");
+            let run = sim
+                .run(&MbAsVector(MbFromVb::new(algo)), &g, &p)
+                .expect("terminates");
+            assert_eq!(run.outputs(), expected, "trial {trial}: {psi} on {g}");
+            assert!(run.rounds() <= psi.modal_depth(), "no round overhead (Theorem 9)");
+        }
+    }
+}
+
+#[test]
+fn simplification_composes_with_compilation() {
+    // `simplify` may lower the modal depth, and the compiled algorithm
+    // gets faster accordingly, with identical outputs.
+    use portnum_logic::simplify;
+    let mut rng = StdRng::seed_from_u64(99);
+    let sim = Simulator::new();
+    let g = generators::figure1_graph();
+    let p = PortNumbering::consistent(&g);
+    let delta = g.max_degree();
+    for _ in 0..40 {
+        let psi = random_out_formula(&mut rng, delta, 2);
+        let slim = simplify(&psi);
+        let k = Kripke::k_mp(&g, &p);
+        assert_eq!(evaluate(&k, &psi).unwrap(), evaluate(&k, &slim).unwrap(), "{psi}");
+        let a = compile_multiset(&psi).unwrap();
+        let b = compile_multiset(&slim).unwrap();
+        use portnum_machine::adapters::MultisetAsVector;
+        let run_a = sim.run(&MultisetAsVector(a), &g, &p).unwrap();
+        let run_b = sim.run(&MultisetAsVector(b), &g, &p).unwrap();
+        assert_eq!(run_a.outputs(), run_b.outputs(), "{psi} vs {slim}");
+        assert!(run_b.rounds() <= run_a.rounds(), "{psi} vs {slim}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-validation of independent characterisations of the same
+//! equivalences:
+//!
+//! * Yamashita–Kameda view equivalence == bounded bisimilarity on `K₊,₊`;
+//! * colour refinement (1-WL) == graded bisimilarity on `K₋,₋`;
+//! * `t`-step bisimilar nodes receive equal outputs from every compiled
+//!   formula algorithm of depth ≤ `t` (Fact 1 via Theorem 2).
+
+use portnum::algorithms::vv::ViewGather;
+use portnum_graph::{generators, refinement, views, Graph, PortNumbering};
+use portnum_logic::bisim::{refine, refine_bounded, BisimStyle};
+use portnum_logic::Kripke;
+use portnum_machine::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn suite(rng: &mut StdRng) -> Vec<Graph> {
+    let mut graphs = vec![
+        generators::figure1_graph(),
+        generators::cycle(6),
+        generators::petersen(),
+        generators::theorem13_witness().0,
+        generators::grid(3, 3),
+    ];
+    for _ in 0..3 {
+        graphs.push(generators::gnp(9, 0.3, rng));
+    }
+    graphs
+}
+
+#[test]
+fn views_equal_bounded_bisimulation_on_k_pp() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for g in suite(&mut rng) {
+        for _ in 0..3 {
+            let p = PortNumbering::random(&g, &mut rng);
+            let k = Kripke::k_pp(&g, &p);
+            for depth in 0..5 {
+                let view = views::view_classes(&g, &p, depth);
+                let bisim = refine_bounded(&k, BisimStyle::Plain, depth);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        assert_eq!(
+                            view.equivalent(depth, u, v),
+                            bisim.equivalent_at(depth, u, v),
+                            "{g}: nodes {u},{v} at depth {depth}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn color_refinement_equals_graded_bisimulation_on_k_mm() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for g in suite(&mut rng) {
+        let k = Kripke::k_mm(&g);
+        let (wl, wl_round) = refinement::stable_coloring(&g);
+        let graded = refine(&k, BisimStyle::Graded);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    wl.class(wl_round, u) == wl.class(wl_round, v),
+                    graded.bisimilar(u, v),
+                    "{g}: nodes {u},{v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn view_gather_outputs_equal_view_classes() {
+    // The executable (simulator) and the static (interning) notions of
+    // views coincide.
+    let mut rng = StdRng::seed_from_u64(3);
+    let sim = Simulator::new();
+    for g in suite(&mut rng) {
+        let p = PortNumbering::random(&g, &mut rng);
+        for radius in [1usize, 3] {
+            let run = sim.run(&ViewGather { radius }, &g, &p).unwrap();
+            let classes = views::view_classes(&g, &p, radius);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        run.outputs()[u] == run.outputs()[v],
+                        classes.equivalent(radius, u, v),
+                        "{g}: nodes {u},{v} radius {radius}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symmetric_numberings_collapse_all_three_notions() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for g in [generators::cycle(7), generators::petersen(), generators::no_one_factor(3)] {
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        // Views never split.
+        let (vc, d) = views::stable_view_classes(&g, &p);
+        assert_eq!(vc.class_count(d), 1, "{g}");
+        // Bisimulation never splits.
+        let k = Kripke::k_pp(&g, &p);
+        let classes = refine(&k, BisimStyle::Plain);
+        assert_eq!(classes.class_count(classes.depth()), 1, "{g}");
+        // 1-WL never splits (regular graph).
+        let (wl, r) = refinement::stable_coloring(&g);
+        assert_eq!(wl.class_count(r), 1, "{g}");
+        let _ = &mut rng;
+    }
+}
+
+#[test]
+fn bounded_bisimulation_bounds_algorithm_outputs() {
+    // If u ~_t v in K_{+,+}, every Vector algorithm run for t rounds gives
+    // them equal outputs — checked with view gathering as the universal
+    // t-round algorithm.
+    let mut rng = StdRng::seed_from_u64(5);
+    let sim = Simulator::new();
+    for g in suite(&mut rng) {
+        let p = PortNumbering::random(&g, &mut rng);
+        let k = Kripke::k_pp(&g, &p);
+        for t in [1usize, 2] {
+            let bisim = refine_bounded(&k, BisimStyle::Plain, t);
+            let run = sim.run(&ViewGather { radius: t }, &g, &p).unwrap();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if bisim.equivalent_at(t, u, v) {
+                        assert_eq!(run.outputs()[u], run.outputs()[v], "{g}: {u},{v} at {t}");
+                    }
+                }
+            }
+        }
+    }
+}

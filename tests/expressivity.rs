@@ -1,0 +1,150 @@
+//! Instance-level checks of the Section 5.4 expressivity corollaries.
+
+use portnum_graph::{generators, Graph, PortNumbering};
+use portnum_logic::bisim::{refine, BisimStyle};
+use portnum_logic::{evaluate, Formula, Kripke, ModalIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Corollary (d): MML on `K₊,₋` captures the same problems as GML on
+/// `K₋,₋`. Instance: counting can be eliminated in favour of in-port
+/// disjunctions. For graphs of maximum degree ≤ Δ,
+/// `⟨(*,*)⟩≥k φ  ≡  ⋁_{S ⊆ [Δ], |S| = k} ⋀_{i ∈ S} ⟨(i,*)⟩φ`.
+#[test]
+fn graded_any_equals_in_port_combinations() {
+    let mut rng = StdRng::seed_from_u64(54);
+    let graphs: Vec<Graph> = vec![
+        generators::figure1_graph(),
+        generators::star(3),
+        generators::path(5),
+        generators::gnp(8, 0.3, &mut rng),
+    ];
+    for g in graphs {
+        let delta = g.max_degree().max(1);
+        let p = PortNumbering::random(&g, &mut rng);
+        let phi = Formula::prop(1).or(&Formula::prop(3));
+        for k in 0..=delta.min(4) {
+            let graded = Formula::diamond_geq(ModalIndex::Any, k, &phi);
+            let k_mm = Kripke::k_mm(&g);
+            let lhs = evaluate(&k_mm, &graded).unwrap();
+
+            // All k-subsets of in-ports 0..delta.
+            let mut disjuncts = Vec::new();
+            let ports: Vec<usize> = (0..delta).collect();
+            subsets(&ports, k, &mut Vec::new(), &mut |subset| {
+                disjuncts.push(Formula::all_of(
+                    subset.iter().map(|&i| Formula::diamond(ModalIndex::In(i), &phi)),
+                ));
+            });
+            let translated = Formula::any_of(disjuncts);
+            let k_pm = Kripke::k_pm(&g, &p);
+            let rhs = evaluate(&k_pm, &translated).unwrap();
+            assert_eq!(lhs, rhs, "{g}: k = {k}");
+        }
+    }
+}
+
+fn subsets(items: &[usize], k: usize, prefix: &mut Vec<usize>, emit: &mut impl FnMut(&[usize])) {
+    if k == 0 {
+        emit(prefix);
+        return;
+    }
+    if items.len() < k {
+        return;
+    }
+    // Include items[0].
+    prefix.push(items[0]);
+    subsets(&items[1..], k - 1, prefix, emit);
+    prefix.pop();
+    // Exclude items[0].
+    subsets(&items[1..], k, prefix, emit);
+}
+
+/// Corollary (c): the class captured by MML strictly shrinks when moving
+/// from `K₋,₊` to `K₊,₋`. Instance: the leaf-selection property “I am a
+/// leaf fed from my neighbour's out-port 0” is MML-definable on `K₋,₊`,
+/// while on `K₊,₋` the leaves of a star are bisimilar, so no formula can
+/// single one out (Fact 1a).
+#[test]
+fn out_port_knowledge_is_not_in_port_knowledge() {
+    let mut rng = StdRng::seed_from_u64(55);
+    for k in [3usize, 5] {
+        let g = generators::star(k);
+        let p = PortNumbering::random(&g, &mut rng);
+
+        // Definable on K_{-,+}: q1 ∧ ⟨(*,0)⟩⊤.
+        let select = Formula::prop(1).and(&Formula::diamond(ModalIndex::Out(0), &Formula::top()));
+        let k_mp = Kripke::k_mp(&g, &p);
+        let chosen = evaluate(&k_mp, &select).unwrap();
+        assert_eq!(chosen.iter().filter(|&&b| b).count(), 1, "exactly one leaf selected");
+        assert!(!chosen[0], "the centre is never selected");
+
+        // Obstruction on K_{+,-}: all leaves bisimilar.
+        let k_pm = Kripke::k_pm(&g, &p);
+        let classes = refine(&k_pm, BisimStyle::Plain);
+        for leaf in 2..=k {
+            assert!(classes.bisimilar(1, leaf));
+        }
+    }
+}
+
+/// Corollary (a)/(b) instance: on `K₋,₊`, the graded modality `⟨(*,j)⟩≥k`
+/// adds nothing for k ∈ {0, 1} (trivially), and bisimilar-in-plain nodes of
+/// the Theorem 13 witness are separated only once grading enters — i.e.
+/// GML > ML on `K₋,₋`, matching `SB ⊊ MB`.
+#[test]
+fn grading_strictly_adds_power_on_k_mm() {
+    let (g, (a, b)) = generators::theorem13_witness();
+    let k = Kripke::k_mm(&g);
+    // No ungraded formula separates a and b (they are plain-bisimilar)...
+    let plain = refine(&k, BisimStyle::Plain);
+    assert!(plain.bisimilar(a, b));
+    // ...but a graded formula does.
+    let f = Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(1));
+    let truth = evaluate(&k, &f).unwrap();
+    assert_ne!(truth[a], truth[b]);
+}
+
+/// Fact 1 on random instances: (g-)bisimilar worlds satisfy the same
+/// (graded) formulas.
+#[test]
+fn bisimilar_worlds_agree_on_formulas() {
+    let mut rng = StdRng::seed_from_u64(56);
+    for _ in 0..10 {
+        let g = generators::gnp(9, 0.3, &mut rng);
+        let k = Kripke::k_mm(&g);
+        let plain = refine(&k, BisimStyle::Plain);
+        let graded = refine(&k, BisimStyle::Graded);
+        let formulas = [
+            Formula::diamond(ModalIndex::Any, &Formula::prop(2)),
+            Formula::diamond(
+                ModalIndex::Any,
+                &Formula::diamond(ModalIndex::Any, &Formula::prop(1)).not(),
+            ),
+        ];
+        let graded_formulas = [
+            Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(2)),
+            Formula::diamond_geq(ModalIndex::Any, 3, &Formula::top()),
+        ];
+        for f in &formulas {
+            let truth = evaluate(&k, f).unwrap();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if plain.bisimilar(u, v) {
+                        assert_eq!(truth[u], truth[v], "{g}: {f}");
+                    }
+                }
+            }
+        }
+        for f in &graded_formulas {
+            let truth = evaluate(&k, f).unwrap();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if graded.bisimilar(u, v) {
+                        assert_eq!(truth[u], truth[v], "{g}: {f}");
+                    }
+                }
+            }
+        }
+    }
+}

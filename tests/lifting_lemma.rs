@@ -1,0 +1,206 @@
+//! The lifting lemma, executable: a deterministic anonymous algorithm
+//! cannot distinguish a port-numbered graph `(G, p)` from any covering
+//! graph `(H, q)` — the execution at a cover node equals the execution at
+//! its projection, round for round. This is the graph-theoretic companion
+//! of bisimulation invariance (Section 3.3/4.2 of the paper): the
+//! projection of a cover is a functional bisimulation on `K₊,₊`.
+
+use portnum::algorithms::mb::OddOddMb;
+use portnum::algorithms::sb::LocalMaxDegreeSb;
+use portnum::algorithms::vv::ViewGather;
+use portnum::algorithms::vvc::LocalTypeSymmetryBreak;
+use portnum::graph::lifts::{lift, Voltages};
+use portnum::graph::{generators, Graph, PortNumbering};
+use portnum::logic::bisim::{bisimilar_across, BisimStyle};
+use portnum::logic::Kripke;
+use portnum::machine::adapters::{MbAsVector, SbAsVector};
+use portnum::machine::{MessageSize, Simulator, VectorAlgorithm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `algo` on the base and on the lift and checks that outputs and
+/// stopping times are constant on fibres and equal to the base values.
+fn assert_execution_lifts<A>(algo: &A, g: &Graph, p: &PortNumbering, voltages: &Voltages)
+where
+    A: VectorAlgorithm,
+    A::Msg: MessageSize,
+    A::Output: PartialEq + std::fmt::Debug,
+{
+    let lifted = lift(g, p, voltages).expect("voltages match the base graph");
+    let sim = Simulator::new();
+    let base = sim.run(algo, g, p).expect("base run terminates");
+    let cover = sim
+        .run(algo, lifted.graph(), lifted.ports())
+        .expect("cover run terminates");
+    assert_eq!(base.rounds(), cover.rounds(), "round counts must agree");
+    for w in lifted.graph().nodes() {
+        let v = lifted.covering_map().project(w);
+        assert_eq!(
+            cover.outputs()[w],
+            base.outputs()[v],
+            "output at cover node {w} differs from its projection {v}"
+        );
+        assert_eq!(
+            cover.stop_times()[w],
+            base.stop_times()[v],
+            "stopping time at cover node {w} differs from its projection {v}"
+        );
+    }
+}
+
+fn test_instances() -> Vec<(Graph, PortNumbering, Voltages)> {
+    let mut rng = StdRng::seed_from_u64(2012);
+    let mut out = Vec::new();
+    for g in [
+        generators::cycle(5),
+        generators::star(4),
+        generators::petersen(),
+        generators::grid(3, 3),
+        generators::no_one_factor(3),
+    ] {
+        let consistent = PortNumbering::consistent(&g);
+        let random = PortNumbering::random(&g, &mut rng);
+        for p in [consistent, random] {
+            out.push((g.clone(), p.clone(), Voltages::identity(&g, 2)));
+            out.push((g.clone(), p.clone(), Voltages::double_cover(&g)));
+            out.push((g.clone(), p.clone(), Voltages::random(&g, 3, &mut rng)));
+        }
+    }
+    out
+}
+
+#[test]
+fn sb_executions_commute_with_covers() {
+    for (g, p, voltages) in test_instances() {
+        assert_execution_lifts(&SbAsVector(LocalMaxDegreeSb), &g, &p, &voltages);
+    }
+}
+
+#[test]
+fn mb_executions_commute_with_covers() {
+    for (g, p, voltages) in test_instances() {
+        assert_execution_lifts(&MbAsVector(OddOddMb), &g, &p, &voltages);
+    }
+}
+
+#[test]
+fn view_gathering_commutes_with_covers() {
+    // The strongest check: the *entire depth-3 view* (which determines any
+    // 3-round Vector algorithm's behaviour) is preserved by projection.
+    for (g, p, voltages) in test_instances() {
+        assert_execution_lifts(&ViewGather { radius: 3 }, &g, &p, &voltages);
+    }
+}
+
+#[test]
+fn vvc_symmetry_breaker_cannot_see_through_covers() {
+    // Even the VVc-side algorithm of Theorem 17 — when run on an
+    // *inconsistent* numbering it has no stopping guarantee in general,
+    // but it always halts in 2 rounds by construction — commutes with
+    // covers. Consistency is a *global* property: lifts of consistent
+    // numberings need not be consistent, but execution still commutes.
+    for (g, p, voltages) in test_instances() {
+        assert_execution_lifts(&LocalTypeSymmetryBreak, &g, &p, &voltages);
+    }
+}
+
+#[test]
+fn cover_nodes_are_bisimilar_to_their_projections() {
+    // The logic-side face of the same fact: (v, s) in the lift and v in
+    // the base are bisimilar in K₊,₊ — checked by partition refinement on
+    // the disjoint union.
+    let mut rng = StdRng::seed_from_u64(7);
+    for g in [generators::cycle(4), generators::petersen(), generators::star(3)] {
+        let p = PortNumbering::random(&g, &mut rng);
+        let lifted = lift(&g, &p, &Voltages::random(&g, 2, &mut rng)).unwrap();
+        let base_k = Kripke::k_pp(&g, &p);
+        let cover_k = Kripke::k_pp(lifted.graph(), lifted.ports());
+        for w in lifted.graph().nodes() {
+            let v = lifted.covering_map().project(w);
+            assert!(
+                bisimilar_across(&cover_k, w, &base_k, v, BisimStyle::Plain),
+                "cover node {w} not bisimilar to projection {v}"
+            );
+            assert!(bisimilar_across(&cover_k, w, &base_k, v, BisimStyle::Graded));
+        }
+    }
+}
+
+#[test]
+fn universal_cover_truncations_simulate_the_base() {
+    // The inverse-limit companion of the finite lifts: running any
+    // algorithm for T rounds at the root of the depth-(T+1) truncation of
+    // the universal cover produces the output of the base node —
+    // information from the mutilated leaves needs T+1 hops.
+    use portnum::graph::views::universal_cover_truncation;
+    let mut rng = StdRng::seed_from_u64(2013);
+    let sim = Simulator::new();
+    for g in [generators::petersen(), generators::grid(3, 3), generators::no_one_factor(3)] {
+        let p = PortNumbering::random(&g, &mut rng);
+        for radius in [1usize, 2, 3] {
+            let base = sim.run(&ViewGather { radius }, &g, &p).unwrap();
+            for root in [0usize, g.len() / 2] {
+                let (tree, q, projection) =
+                    universal_cover_truncation(&g, &p, root, radius + 1);
+                let cover = sim.run(&ViewGather { radius }, &tree, &q).unwrap();
+                assert_eq!(projection[0], root);
+                assert_eq!(
+                    cover.outputs()[0],
+                    base.outputs()[root],
+                    "{g}, root {root}, radius {radius}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_depth_must_exceed_running_time() {
+    // The sharpness of the guarantee: at depth exactly T the cut leaves
+    // *can* change the root's T-round output (they lie about degrees).
+    use portnum::graph::views::universal_cover_truncation;
+    let g = generators::petersen();
+    let p = PortNumbering::consistent(&g);
+    let sim = Simulator::new();
+    let radius = 2;
+    let base = sim.run(&ViewGather { radius }, &g, &p).unwrap();
+    let (tree, q, _) = universal_cover_truncation(&g, &p, 0, radius);
+    let cover = sim.run(&ViewGather { radius }, &tree, &q).unwrap();
+    assert_ne!(
+        cover.outputs()[0], base.outputs()[0],
+        "depth-T truncations see degree-1 leaves where the base has degree 3"
+    );
+}
+
+#[test]
+fn connected_lifts_defeat_leader_election_style_problems() {
+    // Why covers matter for impossibility: any problem whose solutions
+    // require a *unique* marked node (leader election) is unsolvable in
+    // VVc on graph families closed under connected covers, because the
+    // lifted execution marks every fibre member equally. We check the
+    // mechanism: a connected 2-lift duplicates every output.
+    let g = generators::cycle(5);
+    let p = PortNumbering::consistent(&g);
+    let lifted = lift(&g, &p, &Voltages::cyclic(&g, 2)).unwrap();
+    assert_eq!(
+        portnum::graph::properties::component_count(lifted.graph()),
+        1,
+        "cyclic 2-lift of an odd cycle is connected"
+    );
+    let sim = Simulator::new();
+    let base = sim.run(&ViewGather { radius: 4 }, &g, &p).unwrap();
+    let cover = sim
+        .run(&ViewGather { radius: 4 }, lifted.graph(), lifted.ports())
+        .unwrap();
+    for v in g.nodes() {
+        let fiber = lifted.covering_map().fiber(v);
+        assert_eq!(fiber.len(), 2);
+        // Both fibre members produce the base output: any "leader" mark
+        // at v would be duplicated at both, so no algorithm elects a
+        // unique leader on the 10-cycle while behaving correctly on the
+        // 5-cycle.
+        for w in fiber {
+            assert_eq!(cover.outputs()[w], base.outputs()[v]);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! End-to-end reproduction of the paper's main result: the linear order
+//! `SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc` (relations (1) and (2)).
+
+use portnum::separations::{derive_linear_order, theorem11, theorem13, theorem17};
+use portnum::ProblemClass;
+
+#[test]
+fn all_separations_hold() {
+    for evidence in derive_linear_order() {
+        assert!(evidence.holds(), "{evidence}");
+    }
+}
+
+#[test]
+fn separations_respect_the_class_levels() {
+    for evidence in derive_linear_order() {
+        assert!(evidence.weaker.level() < evidence.stronger.level());
+        assert!(evidence.weaker.contained_in(evidence.stronger));
+        assert!(!evidence.stronger.contained_in(evidence.weaker));
+    }
+}
+
+#[test]
+fn theorem11_scales_with_star_size() {
+    for k in [2usize, 3, 6, 10] {
+        let e = theorem11(k, 3);
+        assert!(e.holds(), "star K(1,{k}): {e}");
+        assert_eq!(e.bisimilar_nodes.len(), k);
+    }
+}
+
+#[test]
+fn theorem17_holds_for_higher_odd_degrees() {
+    let e = theorem17(5, 2);
+    assert!(e.holds(), "{e}");
+    assert_eq!(e.graph.len(), 1 + 5 * 7);
+}
+
+#[test]
+fn theorem13_graded_bisimulation_separates_what_plain_cannot() {
+    let e = theorem13();
+    assert!(e.holds());
+    // The evidence already encodes: plain-bisimilar, not graded-bisimilar.
+    assert_eq!(e.weaker, ProblemClass::Sb);
+    assert_eq!(e.stronger, ProblemClass::Mb);
+}
+
+#[test]
+fn four_levels_exactly() {
+    let mut levels: Vec<usize> = ProblemClass::ALL.iter().map(|c| c.level()).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    assert_eq!(levels, vec![0, 1, 2, 3]);
+}

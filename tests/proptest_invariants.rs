@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! workspace: port numberings, multisets, the formula parser, and the
+//! Theorem 2 capture, all on arbitrary inputs.
+
+use portnum_graph::{Graph, PortNumbering};
+use portnum_logic::compile::{compile_mb, compile_sb};
+use portnum_logic::{evaluate, parse, Formula, IndexFamily, Kripke, ModalIndex};
+use portnum_machine::adapters::{MbAsVector, SbAsVector};
+use portnum_machine::{Multiset, Simulator};
+use proptest::prelude::*;
+
+/// An arbitrary simple graph on up to 9 nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=9).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
+            let mut builder = Graph::builder(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if mask[idx] {
+                        builder.edge(u, v).expect("each pair visited once");
+                    }
+                    idx += 1;
+                }
+            }
+            builder.build()
+        })
+    })
+}
+
+/// An arbitrary formula over the `(*,*)` family.
+fn arb_any_formula(graded: bool) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::top()),
+        Just(Formula::bottom()),
+        (0usize..=5).prop_map(Formula::prop),
+    ];
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        let max_grade = if graded { 3usize } else { 1 };
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(&b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(&b)),
+            (1usize..=max_grade, inner)
+                .prop_map(|(k, f)| Formula::diamond_geq(ModalIndex::Any, k, &f)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_port_numberings_are_valid(g in arb_graph(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        // p is a bijection realising exactly A(G).
+        for v in g.nodes() {
+            prop_assert_eq!(p.degree(v), g.degree(v));
+            let mut targets: Vec<usize> = (0..g.degree(v))
+                .map(|i| p.forward(portnum_graph::Port::new(v, i)).node)
+                .collect();
+            targets.sort_unstable();
+            prop_assert_eq!(targets.as_slice(), g.neighbors(v));
+            for i in 0..g.degree(v) {
+                let q = portnum_graph::Port::new(v, i);
+                prop_assert_eq!(p.backward(p.forward(q)), q);
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_numberings_are_involutions(g in arb_graph(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random_consistent(&g, &mut rng);
+        prop_assert!(p.is_consistent());
+        for (from, to) in p.pairs() {
+            prop_assert_eq!(p.forward(to), from);
+        }
+    }
+
+    #[test]
+    fn multiset_laws(xs in proptest::collection::vec(0u8..8, 0..20),
+                     ys in proptest::collection::vec(0u8..8, 0..20)) {
+        let a: Multiset<u8> = xs.iter().copied().collect();
+        let b: Multiset<u8> = ys.iter().copied().collect();
+        prop_assert_eq!(a.len(), xs.len());
+        // Union is commutative on counts.
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Set projection forgets exactly the multiplicities.
+        let set = a.to_set();
+        prop_assert_eq!(set.len(), a.distinct_len());
+        for x in a.distinct() {
+            prop_assert!(set.contains(x));
+        }
+        // Sorted iteration matches a sorted vector.
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let iterated: Vec<u8> = a.iter().copied().collect();
+        prop_assert_eq!(iterated, sorted);
+    }
+
+    #[test]
+    fn parser_round_trips(f in arb_any_formula(true)) {
+        let text = f.to_string();
+        let parsed = parse(&text).expect("display output must parse");
+        prop_assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn formula_metrics_are_consistent(f in arb_any_formula(true)) {
+        prop_assert!(f.uses_only(IndexFamily::Any));
+        // Boxes only add what diamonds add.
+        let boxed = Formula::box_(ModalIndex::Any, &f);
+        prop_assert_eq!(boxed.modal_depth(), f.modal_depth() + 1);
+        prop_assert!(f.size() >= 1);
+    }
+
+    #[test]
+    fn theorem2_capture_sb(g in arb_graph(), f in arb_any_formula(false), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let k = Kripke::k_mm(&g);
+        let algo = compile_sb(&f).expect("ungraded formulas compile to SB");
+        let run = Simulator::new().run(&SbAsVector(algo), &g, &p).expect("terminates");
+        prop_assert_eq!(run.outputs(), evaluate(&k, &f).expect("family matches"));
+        prop_assert_eq!(run.rounds(), f.modal_depth());
+    }
+
+    #[test]
+    fn theorem2_capture_mb(g in arb_graph(), f in arb_any_formula(true), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let k = Kripke::k_mm(&g);
+        let algo = compile_mb(&f).expect("graded formulas compile to MB");
+        let run = Simulator::new().run(&MbAsVector(algo), &g, &p).expect("terminates");
+        prop_assert_eq!(run.outputs(), evaluate(&k, &f).expect("family matches"));
+        prop_assert_eq!(run.rounds(), f.modal_depth());
+    }
+
+    #[test]
+    fn edge_packing_always_covers(g in arb_graph(), seed in any::<u64>()) {
+        use portnum::algorithms::mb::EdgePackingVertexCover;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let run = Simulator::new()
+            .run(&MbAsVector(EdgePackingVertexCover), &g, &p)
+            .expect("edge packing terminates");
+        prop_assert!(portnum::verify::is_vertex_cover(&g, run.outputs()));
+        let size = run.outputs().iter().filter(|&&b| b).count();
+        let opt = portnum::verify::min_vertex_cover_size(&g);
+        prop_assert!(size <= 2 * opt, "|C| = {size} > 2·{opt}");
+    }
+}

@@ -1,0 +1,213 @@
+//! The equalities `MB = VB`, `MV = VV`, `SV = MV` (Theorems 4, 8, 9)
+//! stress-tested on random graphs and numberings, including the composed
+//! `SV = VV` simulation.
+
+use portnum::sim::{set_from_vector, MbFromVb, MultisetFromVector, SetFromMultiset};
+use portnum_graph::{generators, Graph, PortNumbering};
+use portnum_machine::adapters::{
+    BroadcastAsVector, MbAsBroadcast, MbAsVector, MultisetAsVector, SetAsVector,
+};
+use portnum_machine::{
+    BroadcastAlgorithm, MbAlgorithm, Multiset, MultisetAlgorithm, Payload, Simulator, Status,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 3-round Multiset algorithm: iterated multiset-of-degrees hashing
+/// (a colour-refinement step per round), output the final colour.
+#[derive(Debug, Clone, Copy)]
+struct WlColors {
+    rounds: usize,
+}
+
+impl MultisetAlgorithm for WlColors {
+    type State = (usize, u64);
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&self, degree: usize) -> Status<(usize, u64), u64> {
+        if self.rounds == 0 {
+            Status::Stopped(degree as u64)
+        } else {
+            Status::Running((0, degree as u64))
+        }
+    }
+
+    fn message(&self, &(_, color): &(usize, u64), _port: usize) -> u64 {
+        color
+    }
+
+    fn step(
+        &self,
+        &(round, color): &(usize, u64),
+        received: &Multiset<Payload<u64>>,
+    ) -> Status<(usize, u64), u64> {
+        // A cheap deterministic hash of (own colour, multiset).
+        let mut h: u64 = color.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for (payload, count) in received.counts() {
+            let v = match payload {
+                Payload::Data(c) => c.wrapping_add(1),
+                Payload::Silent => 0,
+            };
+            h = h.rotate_left(13) ^ v.wrapping_mul(count as u64 + 1);
+        }
+        if round + 1 == self.rounds {
+            Status::Stopped(h)
+        } else {
+            Status::Running((round + 1, h))
+        }
+    }
+}
+
+/// Broadcast variant of the same idea.
+#[derive(Debug, Clone, Copy)]
+struct BcWlColors {
+    rounds: usize,
+}
+
+impl BroadcastAlgorithm for BcWlColors {
+    type State = (usize, u64);
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&self, degree: usize) -> Status<(usize, u64), u64> {
+        if self.rounds == 0 {
+            Status::Stopped(degree as u64)
+        } else {
+            Status::Running((0, degree as u64))
+        }
+    }
+
+    fn broadcast(&self, &(_, color): &(usize, u64)) -> u64 {
+        color
+    }
+
+    fn step(
+        &self,
+        &(round, color): &(usize, u64),
+        received: &[Payload<u64>],
+    ) -> Status<(usize, u64), u64> {
+        // Order-insensitive fold so the output is numbering-independent.
+        let mut vals: Vec<u64> = received
+            .iter()
+            .map(|p| match p {
+                Payload::Data(c) => c.wrapping_add(1),
+                Payload::Silent => 0,
+            })
+            .collect();
+        vals.sort_unstable();
+        let mut h: u64 = color.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for v in vals {
+            h = h.rotate_left(13) ^ v;
+        }
+        if round + 1 == self.rounds {
+            Status::Stopped(h)
+        } else {
+            Status::Running((round + 1, h))
+        }
+    }
+}
+
+fn suite(rng: &mut StdRng) -> Vec<Graph> {
+    let mut graphs = vec![
+        generators::figure1_graph(),
+        generators::cycle(7),
+        generators::star(5),
+        generators::petersen(),
+    ];
+    for _ in 0..3 {
+        graphs.push(generators::gnp(9, 0.3, rng));
+    }
+    graphs.push(generators::random_regular(10, 3, rng));
+    graphs
+}
+
+#[test]
+fn theorem4_set_simulates_multiset_everywhere() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let sim = Simulator::new();
+    for g in suite(&mut rng) {
+        let delta = g.max_degree().max(1);
+        for _ in 0..3 {
+            let p = PortNumbering::random(&g, &mut rng);
+            for rounds in [1usize, 3] {
+                let inner = WlColors { rounds };
+                let direct = sim.run(&MultisetAsVector(inner), &g, &p).unwrap();
+                let wrapped =
+                    sim.run(&SetAsVector(SetFromMultiset::new(inner, delta)), &g, &p).unwrap();
+                assert_eq!(direct.outputs(), wrapped.outputs(), "{g} rounds {rounds}");
+                assert_eq!(wrapped.rounds(), direct.rounds() + 2 * delta, "{g}");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem8_multiset_simulates_vector_on_multiset_invariant_algorithms() {
+    // For algorithms that are semantically multiset-invariant, the
+    // simulation must reproduce outputs exactly.
+    let mut rng = StdRng::seed_from_u64(88);
+    let sim = Simulator::new();
+    for g in suite(&mut rng) {
+        let p = PortNumbering::random(&g, &mut rng);
+        let inner = MultisetAsVector(WlColors { rounds: 3 });
+        let direct = sim.run(&inner, &g, &p).unwrap();
+        let wrapped =
+            sim.run(&MultisetAsVector(MultisetFromVector::new(inner)), &g, &p).unwrap();
+        assert_eq!(direct.outputs(), wrapped.outputs(), "{g}");
+        assert_eq!(direct.rounds(), wrapped.rounds(), "{g}");
+    }
+}
+
+#[test]
+fn theorem9_mb_simulates_vb() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let sim = Simulator::new();
+    for g in suite(&mut rng) {
+        let p = PortNumbering::random(&g, &mut rng);
+        for rounds in [1usize, 2, 4] {
+            let inner = BcWlColors { rounds };
+            let direct = sim.run(&BroadcastAsVector(inner), &g, &p).unwrap();
+            let wrapped = sim.run(&MbAsVector(MbFromVb::new(inner)), &g, &p).unwrap();
+            assert_eq!(direct.outputs(), wrapped.outputs(), "{g} rounds {rounds}");
+            assert_eq!(direct.rounds(), wrapped.rounds(), "{g}");
+        }
+    }
+}
+
+#[test]
+fn composed_sv_equals_vv() {
+    // SV = VV via Theorem 8 then Theorem 4.
+    let mut rng = StdRng::seed_from_u64(111);
+    let sim = Simulator::new();
+    for g in suite(&mut rng) {
+        let delta = g.max_degree().max(1);
+        let p = PortNumbering::random(&g, &mut rng);
+        let inner = MultisetAsVector(WlColors { rounds: 2 });
+        let direct = sim.run(&inner, &g, &p).unwrap();
+        let wrapped = sim.run(&SetAsVector(set_from_vector(inner, delta)), &g, &p).unwrap();
+        assert_eq!(direct.outputs(), wrapped.outputs(), "{g}");
+        assert_eq!(wrapped.rounds(), direct.rounds() + 2 * delta, "{g}");
+    }
+}
+
+#[test]
+fn mb_algorithms_survive_the_whole_tower() {
+    // An MB algorithm wrapped as VB, then simulated back in MB (Theorem 9):
+    // the round trip across the MB = VB equality.
+    use portnum::algorithms::mb::OddOddMb;
+    use portnum::problems::{OddOdd, Problem};
+    let mut rng = StdRng::seed_from_u64(123);
+    let sim = Simulator::new();
+    for g in suite(&mut rng) {
+        let p = PortNumbering::random(&g, &mut rng);
+        let wrapped = sim
+            .run(&MbAsVector(MbFromVb::new(MbAsBroadcast(OddOddMb))), &g, &p)
+            .unwrap();
+        assert!(OddOdd.is_valid(&g, wrapped.outputs()), "{g}");
+    }
+}
+
+// Keep trait imports used even if rustc trims test configs.
+#[allow(dead_code)]
+fn _markers<A: MbAlgorithm>() {}

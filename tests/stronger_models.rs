@@ -1,0 +1,122 @@
+//! Section 3.1 end-to-end: the two stronger models (unique ids,
+//! randomness) solve maximal independent set on instances where
+//! bisimulation proves every weak-model algorithm fails — and the
+//! embeddings of the weak models into the stronger ones are exact.
+
+use portnum::problems::{MaximalIndependentSet, Problem};
+use portnum::separations;
+use portnum::stronger::local::{run_with_ids, GreedyMisById, IgnoreIds};
+use portnum::stronger::randomized::{run_randomized, IgnoreRandomness, LubyMis};
+use portnum::stronger::separation::{
+    even_cycle_matched_numbering, mis_beyond_vvc, mis_beyond_vvc_randomized,
+};
+use portnum_graph::{generators, PortNumbering};
+use portnum_logic::bisim::{refine, BisimStyle};
+use portnum_logic::{evaluate, Kripke};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn the_full_hierarchy_with_its_two_extensions() {
+    // The paper's landscape in one test: the linear order of the seven
+    // weak classes, plus the two Section 3.1 models strictly above VVc.
+    for e in separations::derive_linear_order() {
+        assert!(e.holds(), "{e}");
+    }
+    for m in [2usize, 5] {
+        assert!(mis_beyond_vvc(m).holds());
+        assert!(mis_beyond_vvc_randomized(m, 13).holds());
+    }
+}
+
+#[test]
+fn greedy_and_luby_agree_with_the_problem_validator_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for trial in 0..15 {
+        let g = generators::gnp(9, 0.35, &mut rng);
+        let p = PortNumbering::random(&g, &mut rng);
+        let mut ids: Vec<u64> = (0..g.len() as u64).collect();
+        // Shuffle ids by random swaps to decorrelate from node order.
+        for i in 0..ids.len() {
+            let j = rng.random_range(0..ids.len());
+            ids.swap(i, j);
+        }
+        let (out, _) = run_with_ids(&GreedyMisById, &g, &p, &ids, 4 * g.len() + 4)
+            .expect("greedy terminates");
+        assert!(MaximalIndependentSet.is_valid(&g, &out), "trial {trial} greedy: {out:?}");
+
+        let (out, _) = run_randomized(&LubyMis, &g, &p, trial as u64, 100_000)
+            .expect("Luby terminates w.h.p.");
+        assert!(MaximalIndependentSet.is_valid(&g, &out), "trial {trial} luby: {out:?}");
+    }
+}
+
+#[test]
+fn mis_outputs_constant_under_bisimilar_ids_free_models() {
+    // On the witness numbering, even the strongest weak-model algorithm —
+    // compiled from any formula — is constant across the cycle, because
+    // one world of K++ satisfies a formula iff all do.
+    let (g, p) = even_cycle_matched_numbering(4);
+    let k = Kripke::k_pp(&g, &p);
+    let classes = refine(&k, BisimStyle::Plain);
+    assert_eq!(classes.class_count(classes.depth()), 1);
+    // Sample formulas of every depth: extensions are all-or-nothing.
+    use portnum_logic::{Formula, ModalIndex};
+    let mut f = Formula::prop(2);
+    for depth in 0..4 {
+        let truth = evaluate(&k, &f).unwrap();
+        assert!(
+            truth.iter().all(|&b| b == truth[0]),
+            "depth {depth}: non-constant extension on a bisimilar model"
+        );
+        f = Formula::diamond(ModalIndex::InOut(depth % 2, depth % 2), &f);
+    }
+}
+
+#[test]
+fn embeddings_are_conservative() {
+    // Running a weak-model algorithm through the stronger-model runners
+    // changes nothing: same outputs, same round counts, for every
+    // algorithm class (exercised through the Vector embedding).
+    use portnum::algorithms::vvc::LocalTypeSymmetryBreak;
+    use portnum_machine::Simulator;
+    let mut rng = StdRng::seed_from_u64(77);
+    for g in [generators::petersen(), generators::no_one_factor(3)] {
+        let p = PortNumbering::random_consistent(&g, &mut rng);
+        let direct = Simulator::new().run(&LocalTypeSymmetryBreak, &g, &p).unwrap();
+
+        let ids: Vec<u64> = (0..g.len() as u64).map(|v| 1000 - v).collect();
+        let (id_out, id_rounds) =
+            run_with_ids(&IgnoreIds(LocalTypeSymmetryBreak), &g, &p, &ids, 100).unwrap();
+        assert_eq!(id_out, direct.outputs());
+        assert_eq!(id_rounds, direct.rounds());
+
+        let (rand_out, rand_rounds) =
+            run_randomized(&IgnoreRandomness(LocalTypeSymmetryBreak), &g, &p, 5, 100).unwrap();
+        assert_eq!(rand_out, direct.outputs());
+        assert_eq!(rand_rounds, direct.rounds());
+    }
+}
+
+#[test]
+fn luby_round_counts_scale_gently() {
+    // Shape check in the spirit of the paper's O(log n) expectation: the
+    // average Luby round count grows much slower than n.
+    let mut avg_rounds = Vec::new();
+    for n in [8usize, 32, 128] {
+        let g = generators::cycle(n);
+        let p = PortNumbering::symmetric_regular(&g).unwrap();
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let (out, rounds) = run_randomized(&LubyMis, &g, &p, seed, 100_000).unwrap();
+            assert!(MaximalIndependentSet.is_valid(&g, &out));
+            total += rounds;
+        }
+        avg_rounds.push(total as f64 / 8.0);
+    }
+    // 16x more nodes should cost far less than 16x more rounds.
+    assert!(
+        avg_rounds[2] < avg_rounds[0] * 8.0,
+        "rounds grew too fast: {avg_rounds:?}"
+    );
+}

@@ -1,0 +1,158 @@
+//! Theorem 2 exercised across random graphs, random port numberings, and
+//! randomly generated formulas: compiled algorithms agree with the model
+//! checker, in `md(ψ)` rounds, in all six class/logic pairings.
+
+use portnum_graph::{generators, Graph, PortNumbering};
+use portnum_logic::compile::{
+    compile_broadcast, compile_mb, compile_multiset, compile_sb, compile_set, compile_vector,
+};
+use portnum_logic::{evaluate, Formula, IndexFamily, Kripke, ModalIndex};
+use portnum_machine::adapters::{
+    BroadcastAsVector, MbAsVector, MultisetAsVector, SbAsVector, SetAsVector,
+};
+use portnum_machine::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random formula over the given index family, with grades allowed or
+/// not, of modal depth at most `depth`.
+fn random_formula<R: Rng>(
+    rng: &mut R,
+    family: IndexFamily,
+    graded: bool,
+    depth: usize,
+    max_port: usize,
+) -> Formula {
+    let choice = rng.random_range(0..10u32);
+    match choice {
+        0 => Formula::top(),
+        1 => Formula::bottom(),
+        2 | 3 => Formula::prop(rng.random_range(0..=max_port)),
+        4 => random_formula(rng, family, graded, depth, max_port).not(),
+        5 | 6 => {
+            let a = random_formula(rng, family, graded, depth, max_port);
+            let b = random_formula(rng, family, graded, depth, max_port);
+            if choice == 5 {
+                a.and(&b)
+            } else {
+                a.or(&b)
+            }
+        }
+        _ if depth == 0 => Formula::prop(rng.random_range(0..=max_port)),
+        _ => {
+            let index = match family {
+                IndexFamily::InOut => ModalIndex::InOut(
+                    rng.random_range(0..max_port),
+                    rng.random_range(0..max_port),
+                ),
+                IndexFamily::Out => ModalIndex::Out(rng.random_range(0..max_port)),
+                IndexFamily::In => ModalIndex::In(rng.random_range(0..max_port)),
+                IndexFamily::Any => ModalIndex::Any,
+            };
+            let grade = if graded { rng.random_range(0..=3) } else { 1 };
+            let inner = random_formula(rng, family, graded, depth - 1, max_port);
+            Formula::diamond_geq(index, grade, &inner)
+        }
+    }
+}
+
+fn random_graphs(rng: &mut StdRng) -> Vec<Graph> {
+    let mut graphs = vec![
+        generators::figure1_graph(),
+        generators::cycle(5),
+        generators::star(3),
+        generators::path(4),
+    ];
+    for _ in 0..4 {
+        graphs.push(generators::gnp(7, 0.35, rng));
+    }
+    graphs
+}
+
+#[test]
+fn sb_and_mb_agree_with_k_mm() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let sim = Simulator::new();
+    for round in 0..30 {
+        let graphs = random_graphs(&mut rng);
+        for g in graphs {
+            let p = PortNumbering::random(&g, &mut rng);
+            let k = Kripke::k_mm(&g);
+            let plain = random_formula(&mut rng, IndexFamily::Any, false, 3, g.max_degree().max(1));
+            let algo = compile_sb(&plain).expect("ungraded ML compiles to SB");
+            let run = sim.run(&SbAsVector(algo), &g, &p).unwrap();
+            assert_eq!(run.outputs(), evaluate(&k, &plain).unwrap(), "SB {round}: {plain} on {g}");
+            // The compiled algorithm stops as soon as the root's truth
+            // value is determined, which can happen before `md(ψ)` rounds
+            // (e.g. a trivially-true `⟨α⟩≥0` at the root); Theorem 2's
+            // bound is an upper bound.
+            assert!(run.rounds() <= plain.modal_depth(), "SB overran md: {plain}");
+
+            let graded = random_formula(&mut rng, IndexFamily::Any, true, 3, g.max_degree().max(1));
+            let algo = compile_mb(&graded).expect("GML compiles to MB");
+            let run = sim.run(&MbAsVector(algo), &g, &p).unwrap();
+            assert_eq!(run.outputs(), evaluate(&k, &graded).unwrap(), "MB {round}: {graded} on {g}");
+            assert!(run.rounds() <= graded.modal_depth(), "MB overran md: {graded}");
+        }
+    }
+}
+
+#[test]
+fn set_and_multiset_agree_with_k_mp() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let sim = Simulator::new();
+    for _ in 0..30 {
+        for g in random_graphs(&mut rng) {
+            let p = PortNumbering::random(&g, &mut rng);
+            let k = Kripke::k_mp(&g, &p);
+            let max_port = g.max_degree().max(1);
+            let plain = random_formula(&mut rng, IndexFamily::Out, false, 3, max_port);
+            let run = sim.run(&SetAsVector(compile_set(&plain).unwrap()), &g, &p).unwrap();
+            assert_eq!(run.outputs(), evaluate(&k, &plain).unwrap(), "Set: {plain} on {g}");
+
+            let graded = random_formula(&mut rng, IndexFamily::Out, true, 3, max_port);
+            let run =
+                sim.run(&MultisetAsVector(compile_multiset(&graded).unwrap()), &g, &p).unwrap();
+            assert_eq!(run.outputs(), evaluate(&k, &graded).unwrap(), "Multiset: {graded} on {g}");
+        }
+    }
+}
+
+#[test]
+fn broadcast_agrees_with_k_pm_and_vector_with_k_pp() {
+    let mut rng = StdRng::seed_from_u64(303);
+    let sim = Simulator::new();
+    for _ in 0..30 {
+        for g in random_graphs(&mut rng) {
+            let p = PortNumbering::random(&g, &mut rng);
+            let max_port = g.max_degree().max(1);
+            let f_in = random_formula(&mut rng, IndexFamily::In, true, 3, max_port);
+            let k = Kripke::k_pm(&g, &p);
+            let run =
+                sim.run(&BroadcastAsVector(compile_broadcast(&f_in).unwrap()), &g, &p).unwrap();
+            assert_eq!(run.outputs(), evaluate(&k, &f_in).unwrap(), "VB: {f_in} on {g}");
+
+            let f_io = random_formula(&mut rng, IndexFamily::InOut, true, 3, max_port);
+            let k = Kripke::k_pp(&g, &p);
+            let run = sim.run(&compile_vector(&f_io).unwrap(), &g, &p).unwrap();
+            assert_eq!(run.outputs(), evaluate(&k, &f_io).unwrap(), "VV: {f_io} on {g}");
+        }
+    }
+}
+
+#[test]
+fn consistent_numberings_are_a_special_case_of_vv() {
+    // VVc(1) is captured by MML on consistent K_{+,+} (Theorem 2a): the
+    // same compiled algorithm, promised a consistent numbering.
+    let mut rng = StdRng::seed_from_u64(404);
+    let sim = Simulator::new();
+    for _ in 0..20 {
+        for g in random_graphs(&mut rng) {
+            let p = PortNumbering::random_consistent(&g, &mut rng);
+            let f = random_formula(&mut rng, IndexFamily::InOut, true, 2, g.max_degree().max(1));
+            let k = Kripke::k_pp(&g, &p);
+            let run = sim.run(&compile_vector(&f).unwrap(), &g, &p).unwrap();
+            assert_eq!(run.outputs(), evaluate(&k, &f).unwrap(), "VVc: {f} on {g}");
+        }
+    }
+}
