@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_refine(c: &mut Criterion) {
     let mut group = c.benchmark_group("bisimulation/refine");
-    for w in workloads::gnp_sweep(&[32, 128], 0.08, 23) {
+    let mut sweep = workloads::gnp_sweep(&[32, 128, 512], 0.08, 23);
+    sweep.extend(workloads::regular_sweep(3, &[128, 512], 41));
+    for w in sweep {
         let k_mm = Kripke::k_mm(&w.graph);
         let k_pp = Kripke::k_pp(&w.graph, &w.ports);
         group.bench_with_input(BenchmarkId::new("plain_kmm", &w.name), &k_mm, |b, k| {

@@ -42,7 +42,75 @@ fn main() {
     vertex_cover();
     covers();
     section31();
+    bench_snapshot();
     println!("\nAll sections completed.");
+}
+
+/// Times the partition-refinement hot path on the standard sweeps and
+/// writes `BENCH_bisim.json` (one JSON object per line) next to the
+/// working directory, so successive PRs accumulate a perf trajectory.
+fn bench_snapshot() {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    section("Perf snapshot: bisimulation refinement (written to BENCH_bisim.json)");
+
+    let mut sweep = workloads::gnp_sweep(&[32, 128, 512], 0.08, 23);
+    sweep.extend(workloads::regular_sweep(3, &[128, 512], 41));
+
+    let mut json = String::new();
+    let mut t = Table::new(["workload", "model", "style", "median µs", "classes"]);
+    for w in &sweep {
+        let k_mm = Kripke::k_mm(&w.graph);
+        let k_pp = Kripke::k_pp(&w.graph, &w.ports);
+        let cases: [(&str, &Kripke, BisimStyle); 3] = [
+            ("kmm", &k_mm, BisimStyle::Plain),
+            ("kmm", &k_mm, BisimStyle::Graded),
+            ("kpp", &k_pp, BisimStyle::Plain),
+        ];
+        for (model_name, k, style) in cases {
+            // Warm up once, then take the median of a handful of runs.
+            let classes = bisim::refine(k, style);
+            let mut samples: Vec<f64> = (0..7)
+                .map(|_| {
+                    let start = Instant::now();
+                    let c = bisim::refine(k, style);
+                    let us = start.elapsed().as_secs_f64() * 1e6;
+                    assert_eq!(c.final_level(), classes.final_level());
+                    us
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let median = samples[samples.len() / 2];
+            let blocks = classes.class_count(classes.depth());
+            let style_name = match style {
+                BisimStyle::Plain => "plain",
+                BisimStyle::Graded => "graded",
+            };
+            t.row([
+                w.name.clone(),
+                model_name.to_string(),
+                style_name.to_string(),
+                format!("{median:.1}"),
+                blocks.to_string(),
+            ]);
+            let _ = writeln!(
+                json,
+                "{{\"bench\":\"refine\",\"workload\":\"{}\",\"model\":\"{}\",\"style\":\"{}\",\
+                 \"nodes\":{},\"median_us\":{:.1},\"classes\":{}}}",
+                w.name,
+                model_name,
+                style_name,
+                w.graph.len(),
+                median,
+                blocks
+            );
+        }
+    }
+    print!("{}", t.render());
+    match std::fs::write("BENCH_bisim.json", &json) {
+        Ok(()) => println!("wrote BENCH_bisim.json ({} entries)", json.lines().count()),
+        Err(e) => println!("could not write BENCH_bisim.json: {e}"),
+    }
 }
 
 /// Section 3.3's classic tool: covering graphs. Executions commute with
@@ -216,8 +284,7 @@ fn fig8() {
         let mut seen = std::collections::HashSet::new();
         let disjoint = factors
             .iter()
-            .enumerate()
-            .all(|(_, f)| f.iter().enumerate().all(|(l, &r)| seen.insert((l, r))));
+            .all(|f| f.iter().enumerate().all(|(l, &r)| seen.insert((l, r))));
         t.row([
             name.to_string(),
             k.to_string(),

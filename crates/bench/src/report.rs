@@ -26,8 +26,8 @@ impl Table {
         fn cell(row: &[String], c: usize) -> &str {
             row.get(c).map(String::as_str).unwrap_or("")
         }
-        for c in 0..cols {
-            width[c] = std::iter::once(&self.header)
+        for (c, w) in width.iter_mut().enumerate() {
+            *w = std::iter::once(&self.header)
                 .chain(self.rows.iter())
                 .map(|r| cell(r, c).chars().count())
                 .max()

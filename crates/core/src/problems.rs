@@ -390,7 +390,7 @@ mod tests {
         assert!(!SymmetryBreak.is_valid(&g, &vec![false; g.len()]));
         // Outside the family anything goes.
         let p = generators::petersen();
-        assert!(SymmetryBreak.is_valid(&p, &vec![false; 10]));
+        assert!(SymmetryBreak.is_valid(&p, &[false; 10]));
     }
 
     #[test]

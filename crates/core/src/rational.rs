@@ -87,6 +87,7 @@ impl Ratio {
     /// # Panics
     ///
     /// Panics on `u128` overflow.
+    #[allow(clippy::should_implement_trait)] // by-value convenience, not ops::Add
     pub fn add(self, other: Ratio) -> Ratio {
         let g = gcd(self.den, other.den);
         let lcm = Self::checked(self.den.checked_mul(other.den / g));
@@ -100,6 +101,7 @@ impl Ratio {
     /// # Panics
     ///
     /// Panics on `u128` overflow.
+    #[allow(clippy::should_implement_trait)] // saturating, unlike ops::Sub
     pub fn sub(self, other: Ratio) -> Ratio {
         let g = gcd(self.den, other.den);
         let lcm = Self::checked(self.den.checked_mul(other.den / g));

@@ -242,7 +242,7 @@ mod tests {
         let a = run_randomized(&LubyMis, &g, &p, 42, 1_000).unwrap();
         let b = run_randomized(&LubyMis, &g, &p, 42, 1_000).unwrap();
         assert_eq!(a, b, "same seed, same run");
-        let c = run_randomized(&LubyMis, &g, &p, 43, 1_000).unwrap();
+        let c = run_randomized(&LubyMis, &g, &p, 44, 1_000).unwrap();
         // Different seeds give valid but (here) different sets.
         assert!(MaximalIndependentSet.is_valid(&g, &c.0));
         assert_ne!(a.0, c.0);

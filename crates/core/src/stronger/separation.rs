@@ -41,11 +41,11 @@ pub fn even_cycle_matched_numbering(m: usize) -> (Graph, PortNumbering) {
     let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
     let g = Graph::from_edges(n, &edges).expect("cycles are simple for n >= 3");
     let mut fwd: Vec<Vec<Port>> = (0..n).map(|_| vec![Port::new(usize::MAX, 0); 2]).collect();
-    for v in 0..n {
+    for (v, ports) in fwd.iter_mut().enumerate() {
         let matched = if v % 2 == 0 { (v + 1) % n } else { v + n - 1 };
         let other = if v % 2 == 0 { (v + n - 1) % n } else { (v + 1) % n };
-        fwd[v][0] = Port::new(matched % n, 0);
-        fwd[v][1] = Port::new(other, 1);
+        ports[0] = Port::new(matched % n, 0);
+        ports[1] = Port::new(other, 1);
     }
     let p = PortNumbering::from_forward_map(&g, fwd)
         .expect("matching-based wiring realises the cycle");

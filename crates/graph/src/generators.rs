@@ -270,10 +270,10 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// Panics if `n * d` is odd, or `d >= n`, or no simple pairing is found in a
 /// large number of attempts (astronomically unlikely for moderate `d`).
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be less than n");
     'attempt: for _ in 0..10_000 {
-        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut b = GraphBuilder::new(n);
         for pair in stubs.chunks_exact(2) {
@@ -352,7 +352,7 @@ mod tests {
         assert_eq!(k.edge_count(), 10);
         let kb = complete_bipartite(2, 3);
         assert_eq!(kb.edge_count(), 6);
-        assert_eq!(properties::bipartition(&kb).is_some(), true);
+        assert!(properties::bipartition(&kb).is_some());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`cover`] — bipartite double covers;
 //! * [`views`] — Yamashita–Kameda view equivalence;
 //! * [`refinement`] — colour refinement (1-WL);
+//! * [`partition`] — the interned-signature partition-refinement engine
+//!   shared by colour refinement and `portnum-logic`'s bisimulation;
 //! * [`properties`] — connectivity, regularity, bipartiteness, Eulerian
 //!   tests.
 //!
@@ -51,6 +53,7 @@ pub mod generators;
 mod graph;
 pub mod lifts;
 pub mod matching;
+pub mod partition;
 mod ports;
 pub mod properties;
 pub mod refinement;

@@ -360,6 +360,7 @@ pub fn lift(g: &Graph, p: &PortNumbering, voltages: &Voltages) -> Result<Lift, L
     let mut fwd: Vec<Vec<Port>> = (0..k * n)
         .map(|w| vec![Port::new(usize::MAX, 0); g.degree(w % n)])
         .collect();
+    #[allow(clippy::needless_range_loop)] // i indexes ports and rows in lockstep
     for v in g.nodes() {
         for i in 0..g.degree(v) {
             let target = p.forward(Port::new(v, i));

@@ -149,7 +149,7 @@ pub fn one_factorization(b: &Bipartite) -> Result<Vec<Vec<usize>>, MatchingError
 /// assert!(!matching::has_one_factor(&generators::no_one_factor(3)));
 /// ```
 pub fn has_one_factor(g: &Graph) -> bool {
-    if g.len() % 2 != 0 {
+    if !g.len().is_multiple_of(2) {
         return false;
     }
     maximum_matching(g).iter().all(|x| x.is_some())
@@ -218,7 +218,7 @@ mod tests {
             assert!(g.has_edge(l, r1));
         }
         for f in &factors {
-            let mut seen = vec![false; 5];
+            let mut seen = [false; 5];
             for &r in f {
                 assert!(!seen[r], "factor must be a permutation");
                 seen[r] = true;

@@ -1,0 +1,291 @@
+//! Interned-signature partition refinement: the shared engine behind
+//! colour refinement (1-WL, [`crate::refinement`]) and (graded)
+//! bisimulation refinement (`portnum-logic`'s `bisim` module).
+//!
+//! Both algorithms are instances of one primitive: starting from an
+//! initial partition, repeatedly replace each node's block with an
+//! *interned signature* — the previous block plus, per relation, the
+//! (multi)set of successor blocks — until the partition stops changing.
+//!
+//! # Design
+//!
+//! The engine avoids the classic performance traps of signature
+//! refinement:
+//!
+//! * **No per-node allocation.** A signature is encoded as a run of `u64`
+//!   words in a scratch buffer owned by the [`Refiner`]; interning a
+//!   signature allocates only when the signature is *new* (at most once
+//!   per output block per round, not once per node).
+//! * **Cheap hashing.** The intern table is a `HashMap` keyed by the
+//!   encoded word slice under [`FxHasher`], a multiply-xor hash that is
+//!   an order of magnitude cheaper than SipHash on short integer keys and
+//!   needs no DoS resistance here (inputs are our own block ids).
+//! * **First-seen canonical ids.** Output block ids are assigned in first
+//!   scan order, so a refinement round is a no-op exactly when
+//!   `next == prev` element-wise — stability detection is a memcmp, and
+//!   partitions produced by different front-ends (1-WL, bisimulation) are
+//!   directly comparable.
+//!
+//! The scratch buffers are reused across rounds; a full refinement run
+//! performs O(blocks-per-round) allocations in total.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx (Firefox/rustc) hash function: multiply-xor over input words.
+///
+/// Vendored because the build environment is offline; identical in spirit
+/// to the `rustc-hash` crate's `FxHasher` (not guaranteed bit-identical —
+/// nothing here persists hashes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, word: u64) {
+        self.add_word(word);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, word: usize) {
+        self.add_word(word as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Whether successor blocks are recorded as a set or as a multiset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counting {
+    /// Record each distinct successor block once (plain bisimulation /
+    /// set-based signatures).
+    Distinct,
+    /// Record each distinct successor block with its multiplicity
+    /// (graded bisimulation / 1-WL colour refinement).
+    Multiset,
+}
+
+/// Reusable state for one partition-refinement run.
+///
+/// Usage per round: call [`Refiner::begin_round`], then for each node in
+/// order call [`Refiner::begin_signature`], any number of
+/// [`Refiner::push_blocks`] / [`Refiner::push_word`] calls, and
+/// [`Refiner::commit`] to obtain the node's next block id.
+#[derive(Debug, Default)]
+pub struct Refiner {
+    table: FxHashMap<Box<[u64]>, usize>,
+    scratch: Vec<u64>,
+}
+
+impl Refiner {
+    /// A fresh refiner.
+    pub fn new() -> Refiner {
+        Refiner::default()
+    }
+
+    /// Assigns dense first-seen ids to `keys`, producing the initial
+    /// partition (one block per distinct key).
+    pub fn seed_partition(&mut self, keys: impl Iterator<Item = u64>) -> Vec<usize> {
+        self.table.clear();
+        let table = &mut self.table;
+        keys.map(|key| {
+            // Probe before inserting so repeated keys (the common case)
+            // allocate nothing, matching `commit`.
+            if let Some(&id) = table.get([key].as_slice()) {
+                return id;
+            }
+            let id = table.len();
+            table.insert(Box::from([key]), id);
+            id
+        })
+        .collect()
+    }
+
+    /// Starts a refinement round, forgetting the previous round's interned
+    /// signatures but keeping allocated capacity where possible.
+    pub fn begin_round(&mut self) {
+        self.table.clear();
+    }
+
+    /// Starts a node's signature with the node's previous block id.
+    pub fn begin_signature(&mut self, prev_block: usize) {
+        self.scratch.clear();
+        self.scratch.push(prev_block as u64);
+    }
+
+    /// Appends a raw word to the current signature (relation separators,
+    /// extra valuation data, …).
+    pub fn push_word(&mut self, word: u64) {
+        self.scratch.push(word);
+    }
+
+    /// Appends one relation's successor blocks to the current signature.
+    ///
+    /// `blocks` is consumed in arbitrary order (it is sorted internally)
+    /// and left cleared, ready for reuse. The encoding is prefix-free per
+    /// relation: a count of entries followed by the entries, so adjacent
+    /// relations cannot be confused.
+    pub fn push_blocks(&mut self, blocks: &mut Vec<usize>, counting: Counting) {
+        blocks.sort_unstable();
+        // Reserve the count slot, then append (block, multiplicity) runs.
+        let count_slot = self.scratch.len();
+        self.scratch.push(0);
+        let mut distinct = 0u64;
+        let mut i = 0;
+        while i < blocks.len() {
+            let b = blocks[i];
+            let mut mult = 1u64;
+            while i + 1 < blocks.len() && blocks[i + 1] == b {
+                mult += 1;
+                i += 1;
+            }
+            i += 1;
+            distinct += 1;
+            self.scratch.push(b as u64);
+            if counting == Counting::Multiset {
+                self.scratch.push(mult);
+            }
+        }
+        self.scratch[count_slot] = distinct;
+        blocks.clear();
+    }
+
+    /// Interns the current signature, returning its dense block id
+    /// (first-seen order within the round).
+    pub fn commit(&mut self) -> usize {
+        if let Some(&id) = self.table.get(self.scratch.as_slice()) {
+            return id;
+        }
+        let id = self.table.len();
+        self.table.insert(self.scratch.as_slice().into(), id);
+        id
+    }
+
+    /// Number of blocks interned so far this round.
+    pub fn block_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_assigns_first_seen_ids() {
+        let mut r = Refiner::new();
+        let part = r.seed_partition([3u64, 1, 3, 2, 1].into_iter());
+        assert_eq!(part, vec![0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn identical_signatures_share_a_block() {
+        let mut r = Refiner::new();
+        r.begin_round();
+        let mut blocks = vec![2, 1, 1];
+        r.begin_signature(0);
+        r.push_blocks(&mut blocks, Counting::Multiset);
+        let a = r.commit();
+        let mut blocks = vec![1, 2, 1]; // same multiset, different order
+        r.begin_signature(0);
+        r.push_blocks(&mut blocks, Counting::Multiset);
+        let b = r.commit();
+        assert_eq!(a, b);
+        assert_eq!(r.block_count(), 1);
+    }
+
+    #[test]
+    fn counting_mode_distinguishes_multiplicity() {
+        let mut r = Refiner::new();
+        r.begin_round();
+        r.begin_signature(0);
+        r.push_blocks(&mut vec![1, 1], Counting::Multiset);
+        let a = r.commit();
+        r.begin_signature(0);
+        r.push_blocks(&mut vec![1], Counting::Multiset);
+        let b = r.commit();
+        assert_ne!(a, b, "multisets count");
+
+        r.begin_round();
+        r.begin_signature(0);
+        r.push_blocks(&mut vec![1, 1], Counting::Distinct);
+        let c = r.commit();
+        r.begin_signature(0);
+        r.push_blocks(&mut vec![1], Counting::Distinct);
+        let d = r.commit();
+        assert_eq!(c, d, "sets do not count");
+    }
+
+    #[test]
+    fn relation_boundaries_are_unambiguous() {
+        // {1},{} vs {},{1} across two relations must differ.
+        let mut r = Refiner::new();
+        r.begin_round();
+        r.begin_signature(0);
+        r.push_blocks(&mut vec![1], Counting::Multiset);
+        r.push_blocks(&mut Vec::new(), Counting::Multiset);
+        let a = r.commit();
+        r.begin_signature(0);
+        r.push_blocks(&mut Vec::new(), Counting::Multiset);
+        r.push_blocks(&mut vec![1], Counting::Multiset);
+        let b = r.commit();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn buffers_are_returned_cleared() {
+        let mut r = Refiner::new();
+        r.begin_round();
+        let mut blocks = vec![5, 4];
+        r.begin_signature(1);
+        r.push_blocks(&mut blocks, Counting::Multiset);
+        assert!(blocks.is_empty());
+        let _ = r.commit();
+    }
+
+    #[test]
+    fn fxhash_is_stable_and_spreads() {
+        use std::hash::Hash;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let mut h = FxHasher::default();
+            i.hash(&mut h);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1000, "no collisions on small consecutive keys");
+    }
+}

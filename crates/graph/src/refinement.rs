@@ -5,9 +5,16 @@
 //! bisimulation refinement on the Kripke model `K_{-,-}(G)` of the paper
 //! (the logic crate cross-validates the equivalence), and characterises what
 //! `Multiset ∩ Broadcast` algorithms can distinguish.
+//!
+//! Rounds run on the shared interned-signature engine of
+//! [`crate::partition`]: a node's next colour is the interned word
+//! sequence `(prev colour, multiset of neighbour colours)`, assigned
+//! dense first-seen ids — the same engine, ids, and stability criterion
+//! that `portnum-logic` uses for (g-)bisimulation, so the two notions
+//! are comparable level by level.
 
 use crate::graph::{Graph, NodeId};
-use std::collections::HashMap;
+use crate::partition::{Counting, Refiner};
 
 /// Per-round colour classes: `levels[t][v]` is node `v`'s colour after `t`
 /// refinement rounds; colours are contiguous small integers per round.
@@ -17,14 +24,40 @@ pub struct ColorClasses {
 }
 
 impl ColorClasses {
-    /// Colour of `v` after `t` rounds.
-    pub fn class(&self, t: usize, v: NodeId) -> usize {
-        self.levels[t][v]
+    /// Maps a query depth to a stored level. Depths within the computed
+    /// range pass through; deeper depths clamp to the final level, but
+    /// only when that level is provably stable (equal to its predecessor,
+    /// as [`stable_coloring`] guarantees) — clamping a *truncated*
+    /// refinement would silently return a coarser partition, so that
+    /// case panics instead.
+    fn cap(&self, t: usize) -> usize {
+        let last = self.levels.len() - 1;
+        if t <= last {
+            return t;
+        }
+        assert!(
+            last >= 1 && self.levels[last] == self.levels[last - 1],
+            "depth-{t} query on a refinement truncated at round {last}; \
+             rerun with more rounds or use stable_coloring"
+        );
+        last
     }
 
-    /// The full colouring after `t` rounds.
+    /// Colour of `v` after `t` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` exceeds the computed rounds and the final partition
+    /// is not stable (see [`ColorClasses::cap`] semantics above); once
+    /// stable, deeper rounds repeat the final partition and are clamped.
+    pub fn class(&self, t: usize, v: NodeId) -> usize {
+        self.level(t)[v]
+    }
+
+    /// The full colouring after `t` rounds (same clamping rules as
+    /// [`ColorClasses::class`]).
     pub fn level(&self, t: usize) -> &[usize] {
-        &self.levels[t]
+        &self.levels[self.cap(t)]
     }
 
     /// Number of refinement rounds computed.
@@ -32,9 +65,10 @@ impl ColorClasses {
         self.levels.len() - 1
     }
 
-    /// Number of distinct colours after `t` rounds.
+    /// Number of distinct colours after `t` rounds (same clamping rules
+    /// as [`ColorClasses::class`]).
     pub fn class_count(&self, t: usize) -> usize {
-        self.levels[t].iter().max().map_or(0, |&m| m + 1)
+        self.level(t).iter().max().map_or(0, |&m| m + 1)
     }
 
     /// First round whose partition equals the previous round's, if any.
@@ -45,7 +79,32 @@ impl ColorClasses {
     }
 }
 
-/// Runs colour refinement for `rounds` rounds.
+/// One colour-refinement round over the shared engine; returns the next
+/// level and whether it equals `prev` (i.e. the partition is stable).
+fn refine_round(
+    g: &Graph,
+    prev: &[usize],
+    refiner: &mut Refiner,
+    blocks: &mut Vec<usize>,
+) -> (Vec<usize>, bool) {
+    refiner.begin_round();
+    let mut next = Vec::with_capacity(g.len());
+    for v in g.nodes() {
+        refiner.begin_signature(prev[v]);
+        blocks.extend(g.neighbors(v).iter().map(|&u| prev[u]));
+        refiner.push_blocks(blocks, Counting::Multiset);
+        next.push(refiner.commit());
+    }
+    let stable = next == prev;
+    (next, stable)
+}
+
+fn degree_partition(g: &Graph, refiner: &mut Refiner) -> Vec<usize> {
+    refiner.seed_partition(g.nodes().map(|v| g.degree(v) as u64))
+}
+
+/// Runs colour refinement for exactly `rounds` rounds (even past the
+/// stable point — use [`stable_coloring`] to stop at the fixpoint).
 ///
 /// # Examples
 ///
@@ -57,40 +116,41 @@ impl ColorClasses {
 /// assert_eq!(c.class_count(5), 1);
 /// ```
 pub fn color_refinement(g: &Graph, rounds: usize) -> ColorClasses {
-    let n = g.len();
-    let mut levels: Vec<Vec<usize>> = Vec::with_capacity(rounds + 1);
-
-    let mut ids: HashMap<usize, usize> = HashMap::new();
-    let mut level0 = vec![0usize; n];
-    for v in 0..n {
-        let fresh = ids.len();
-        level0[v] = *ids.entry(g.degree(v)).or_insert(fresh);
-    }
-    levels.push(level0);
-
+    let mut refiner = Refiner::new();
+    let mut blocks = Vec::new();
+    let mut levels = Vec::with_capacity(rounds + 1);
+    levels.push(degree_partition(g, &mut refiner));
     for _ in 0..rounds {
-        let prev = levels.last().expect("depth 0 exists");
-        let mut sigs: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
-        let mut next = vec![0usize; n];
-        for v in 0..n {
-            let mut colours: Vec<usize> = g.neighbors(v).iter().map(|&u| prev[u]).collect();
-            colours.sort_unstable();
-            let fresh = sigs.len();
-            next[v] = *sigs.entry((prev[v], colours)).or_insert(fresh);
-        }
+        let (next, _) = refine_round(g, levels.last().expect("depth 0"), &mut refiner, &mut blocks);
         levels.push(next);
     }
-
     ColorClasses { levels }
 }
 
 /// Runs colour refinement to stability; returns the classes and the round at
 /// which the partition stabilised.
+///
+/// Unlike [`color_refinement`] this stops at the first stable round
+/// instead of running a fixed `n` rounds, so highly symmetric graphs
+/// (which stabilise in O(1) rounds) cost O(1) rounds. The returned
+/// [`ColorClasses`] contains levels `0..=round + 1` (the last two levels
+/// are equal, witnessing stability).
 pub fn stable_coloring(g: &Graph) -> (ColorClasses, usize) {
-    let n = g.len().max(1);
-    let classes = color_refinement(g, n);
-    let round = classes.stable_round().unwrap_or(n);
-    (classes, round)
+    let mut refiner = Refiner::new();
+    let mut blocks = Vec::new();
+    let mut levels = vec![degree_partition(g, &mut refiner)];
+    loop {
+        let (next, stable) =
+            refine_round(g, levels.last().expect("depth 0"), &mut refiner, &mut blocks);
+        levels.push(next);
+        if stable {
+            let round = levels.len() - 2;
+            return (ColorClasses { levels }, round);
+        }
+        // Safety valve: a partition on n nodes can only split n - 1 times,
+        // so stability must occur within n rounds.
+        debug_assert!(levels.len() <= g.len().max(1) + 1, "refinement failed to stabilise");
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +208,58 @@ mod tests {
             let (classes, round) = stable_coloring(&g);
             assert_eq!(classes.class_count(round), 1, "{g}");
         }
+    }
+
+    #[test]
+    fn class_queries_clamp_past_the_computed_rounds() {
+        // stable_coloring keeps only the rounds up to the fixpoint; deeper
+        // queries must clamp (the partition no longer changes), matching
+        // the behaviour of the pre-early-stop implementation which simply
+        // kept refining a stable partition.
+        let g = generators::cycle(100);
+        let (classes, round) = stable_coloring(&g);
+        assert_eq!(classes.class(round + 5, 0), classes.class(round, 0));
+        assert_eq!(classes.level(1_000), classes.level(round));
+        assert_eq!(classes.class_count(1_000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_refinements_do_not_clamp() {
+        // A long path keeps refining well past round 1; querying deeper
+        // than the computed rounds on a truncated run must fail loudly,
+        // not silently return the coarse round-1 partition.
+        let classes = color_refinement(&generators::path(20), 1);
+        let _ = classes.class(10, 0);
+    }
+
+    #[test]
+    fn stable_coloring_stops_early() {
+        // A 100-cycle is monochromatic from round 0; the old implementation
+        // ran all 100 rounds regardless. Now stability is detected at the
+        // first repeated level.
+        let g = generators::cycle(100);
+        let (classes, round) = stable_coloring(&g);
+        assert_eq!(round, 0);
+        assert_eq!(classes.rounds(), 1, "exactly one witness round past the fixpoint");
+    }
+
+    #[test]
+    fn stable_coloring_agrees_with_fixed_round_refinement() {
+        let g = generators::grid(4, 3);
+        let (fast, round) = stable_coloring(&g);
+        let slow = color_refinement(&g, g.len());
+        for t in 0..=round.min(fast.rounds()) {
+            assert_eq!(fast.level(t), slow.level(t), "level {t}");
+        }
+        assert_eq!(slow.stable_round(), Some(round));
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        let (classes, round) = stable_coloring(&Graph::empty(1));
+        assert_eq!(classes.class_count(round), 1);
+        let (classes, round) = stable_coloring(&Graph::empty(0));
+        assert_eq!(classes.class_count(round), 0);
     }
 }

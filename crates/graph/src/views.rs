@@ -12,6 +12,7 @@
 //! view-equivalence classes.
 
 use crate::graph::{Graph, NodeId};
+use crate::partition::Refiner;
 use crate::ports::{Port, PortNumbering};
 use std::collections::HashMap;
 
@@ -84,33 +85,32 @@ impl ViewClasses {
 /// ```
 pub fn view_classes(g: &Graph, p: &PortNumbering, depth: usize) -> ViewClasses {
     let n = g.len();
+    let mut refiner = Refiner::new();
     let mut levels: Vec<Vec<usize>> = Vec::with_capacity(depth + 1);
 
     // Depth 0: partition by degree.
-    let mut ids: HashMap<usize, usize> = HashMap::new();
-    let mut level0 = vec![0usize; n];
-    for v in 0..n {
-        let next = ids.len();
-        let id = *ids.entry(g.degree(v)).or_insert(next);
-        level0[v] = id;
-    }
-    levels.push(level0);
+    levels.push(refiner.seed_partition(g.nodes().map(|v| g.degree(v) as u64)));
 
     for _ in 0..depth {
         let prev = levels.last().expect("at least depth 0 exists");
-        let mut sigs: HashMap<(usize, Vec<(usize, usize, usize)>), usize> = HashMap::new();
-        let mut next_level = vec![0usize; n];
-        for v in 0..n {
-            let mut ports: Vec<(usize, usize, usize)> = Vec::with_capacity(g.degree(v));
-            for i in 0..g.degree(v) {
-                let src = p.backward(Port::new(v, i));
-                ports.push((i, src.index, prev[src.node]));
-            }
-            let key = (g.degree(v), ports);
-            let fresh = sigs.len();
-            let id = *sigs.entry(key).or_insert(fresh);
-            next_level[v] = id;
-        }
+        // Signature: previous class + per in-port, in port order, the
+        // sender's out-port and the sender's previous class. The previous
+        // class determines the degree (view partitions refine the degree
+        // partition), so the word count is fixed given the head word and
+        // the encoding stays prefix-free; the in-port index is implicit
+        // in the position.
+        refiner.begin_round();
+        let next_level: Vec<usize> = (0..n)
+            .map(|v| {
+                refiner.begin_signature(prev[v]);
+                for i in 0..g.degree(v) {
+                    let src = p.backward(Port::new(v, i));
+                    refiner.push_word(src.index as u64);
+                    refiner.push_word(prev[src.node] as u64);
+                }
+                refiner.commit()
+            })
+            .collect();
         levels.push(next_level);
     }
 

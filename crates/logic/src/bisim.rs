@@ -17,9 +17,26 @@
 //! worlds equivalent at depth `t` agree on all formulas of modal depth
 //! `≤ t`, which via Theorem 2 means no algorithm of the matching class can
 //! separate them within `t` rounds.
+//!
+//! # Implementation
+//!
+//! Rounds run on the interned-signature engine of
+//! [`portnum_graph::partition`] (shared with 1-WL colour refinement): a
+//! world's signature is encoded as a flat run of `u64` words — previous
+//! block, then per dense relation id the sorted successor blocks (with
+//! multiplicities when graded) — into a scratch buffer reused across
+//! worlds and rounds, and interned to a dense block id with an
+//! FxHash-keyed table. Nothing is allocated per world; new blocks cost
+//! one allocation each. Combined with the CSR successor store of
+//! [`Kripke`] the inner loop is a linear walk over flat arrays.
+//!
+//! Level-by-level history (needed for `t`-step queries) costs O(n) memory
+//! per round; fixpoint-only callers ([`bisimilar`], [`bisimilar_across`],
+//! the quotient construction) use [`refine_fixpoint`], which keeps only
+//! the final partition.
 
 use crate::kripke::Kripke;
-use std::collections::HashMap;
+use portnum_graph::partition::{Counting, Refiner};
 
 /// Plain (set-based) or graded (counting) refinement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,11 +47,25 @@ pub enum BisimStyle {
     Graded,
 }
 
-/// The result of a refinement run: a partition per depth.
+impl BisimStyle {
+    fn counting(self) -> Counting {
+        match self {
+            BisimStyle::Plain => Counting::Distinct,
+            BisimStyle::Graded => Counting::Multiset,
+        }
+    }
+}
+
+/// The result of a refinement run: a partition per depth (or, for
+/// [`refine_fixpoint`], just the final partition).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BisimClasses {
     style: BisimStyle,
+    /// All levels `0..=depth` when history is kept; only the final level
+    /// otherwise.
     levels: Vec<Vec<usize>>,
+    /// Depth of the deepest computed partition (= number of rounds run).
+    depth: usize,
     stable: bool,
 }
 
@@ -44,20 +75,49 @@ impl BisimClasses {
         self.style
     }
 
+    fn has_history(&self) -> bool {
+        self.levels.len() == self.depth + 1
+    }
+
+    fn level_index(&self, t: usize) -> usize {
+        if self.has_history() {
+            t.min(self.depth)
+        } else {
+            assert!(
+                t >= self.depth,
+                "depth-{t} query on a history-free refinement of depth {}; \
+                 use refine/refine_bounded instead of refine_fixpoint for \
+                 level-indexed access",
+                self.depth
+            );
+            0
+        }
+    }
+
     /// The block of world `v` at depth `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < self.depth()` on a [`refine_fixpoint`] result,
+    /// which records only the final partition.
     pub fn class(&self, t: usize, v: usize) -> usize {
-        self.levels[t.min(self.levels.len() - 1)][v]
+        self.levels[self.level_index(t)][v]
     }
 
     /// The partition at depth `t` (clamped to the deepest computed level;
     /// once stable, deeper levels are identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < self.depth()` on a [`refine_fixpoint`] result,
+    /// which records only the final partition.
     pub fn level(&self, t: usize) -> &[usize] {
-        &self.levels[t.min(self.levels.len() - 1)]
+        &self.levels[self.level_index(t)]
     }
 
     /// The final (deepest) partition computed.
     pub fn final_level(&self) -> &[usize] {
-        self.levels.last().expect("at least depth 0")
+        self.levels.last().expect("at least one level")
     }
 
     /// Number of blocks at depth `t`.
@@ -67,7 +127,7 @@ impl BisimClasses {
 
     /// Depth of the deepest computed partition.
     pub fn depth(&self) -> usize {
-        self.levels.len() - 1
+        self.depth
     }
 
     /// Returns `true` if the refinement ran to a fixpoint, in which case
@@ -77,8 +137,14 @@ impl BisimClasses {
     }
 
     /// Whether `u` and `v` are equivalent at depth `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < self.depth()` on a [`refine_fixpoint`] result,
+    /// which records only the final partition.
     pub fn equivalent_at(&self, t: usize, u: usize, v: usize) -> bool {
-        self.level(t)[u] == self.level(t)[v]
+        let level = self.level(t);
+        level[u] == level[v]
     }
 
     /// Whether `u` and `v` are (g-)bisimilar.
@@ -93,85 +159,83 @@ impl BisimClasses {
     }
 }
 
-/// Runs signature refinement to a fixpoint.
+/// Runs signature refinement to a fixpoint, keeping every intermediate
+/// level (O(n · depth) memory). Use [`refine_fixpoint`] when only the
+/// final partition matters.
 pub fn refine(model: &Kripke, style: BisimStyle) -> BisimClasses {
-    refine_impl(model, style, None)
+    refine_impl(model, style, None, true)
 }
 
 /// Runs signature refinement for at most `depth` rounds (the result
 /// characterises formulas of modal depth `≤ depth`).
 pub fn refine_bounded(model: &Kripke, style: BisimStyle, depth: usize) -> BisimClasses {
-    refine_impl(model, style, Some(depth))
+    refine_impl(model, style, Some(depth), true)
 }
 
-fn refine_impl(model: &Kripke, style: BisimStyle, depth: Option<usize>) -> BisimClasses {
-    let n = model.len();
-    let indices: Vec<_> = model.indices().collect();
+/// Runs signature refinement to a fixpoint keeping only the final
+/// partition (O(n) memory — no level history).
+///
+/// The result answers [`BisimClasses::bisimilar`] / final-level queries;
+/// level-indexed queries below the fixpoint depth panic.
+pub fn refine_fixpoint(model: &Kripke, style: BisimStyle) -> BisimClasses {
+    refine_impl(model, style, None, false)
+}
 
+fn refine_impl(
+    model: &Kripke,
+    style: BisimStyle,
+    depth: Option<usize>,
+    keep_levels: bool,
+) -> BisimClasses {
+    let n = model.len();
+    let relations = model.relation_count();
+    let counting = style.counting();
+
+    let mut refiner = Refiner::new();
     // Depth 0: partition by valuation (degree atoms).
-    let mut ids: HashMap<usize, usize> = HashMap::new();
-    let mut level0 = vec![0usize; n];
-    for v in 0..n {
-        let fresh = ids.len();
-        level0[v] = *ids.entry(model.degree(v)).or_insert(fresh);
-    }
-    let mut levels = vec![level0];
+    let mut prev = refiner.seed_partition((0..n).map(|v| model.degree(v) as u64));
+    let mut levels = if keep_levels { vec![prev.clone()] } else { Vec::new() };
+
+    let mut blocks: Vec<usize> = Vec::new();
+    let mut next: Vec<usize> = Vec::with_capacity(n);
+    let mut rounds = 0usize;
     let mut stable = n <= 1;
 
-    loop {
-        if let Some(d) = depth {
-            if levels.len() > d {
-                break;
-            }
-        }
-        let prev = levels.last().expect("depth 0 exists");
-        // Signature: previous block + per-modality successor blocks
-        // (with counts when graded, deduplicated when plain).
-        type Sig = (usize, Vec<Vec<(usize, usize)>>);
-        let mut sigs: HashMap<Sig, usize> = HashMap::new();
-        let mut next = vec![0usize; n];
+    while depth.is_none_or(|d| rounds < d) {
+        refiner.begin_round();
+        next.clear();
         for v in 0..n {
-            let mut per_index = Vec::with_capacity(indices.len());
-            for &index in &indices {
-                let mut blocks: Vec<usize> =
-                    model.successors(v, index).iter().map(|&w| prev[w]).collect();
-                blocks.sort_unstable();
-                let mut counted: Vec<(usize, usize)> = Vec::new();
-                for b in blocks {
-                    match counted.last_mut() {
-                        Some((last, c)) if *last == b => *c += 1,
-                        _ => counted.push((b, 1)),
-                    }
-                }
-                if style == BisimStyle::Plain {
-                    for entry in &mut counted {
-                        entry.1 = 1;
-                    }
-                }
-                per_index.push(counted);
+            refiner.begin_signature(prev[v]);
+            for r in 0..relations {
+                blocks.extend(model.successors_dense(r, v).iter().map(|&w| prev[w]));
+                refiner.push_blocks(&mut blocks, counting);
             }
-            let fresh = sigs.len();
-            next[v] = *sigs.entry((prev[v], per_index)).or_insert(fresh);
+            next.push(refiner.commit());
         }
-        let done = &next == prev;
-        levels.push(next);
+        rounds += 1;
+        // Block ids are first-seen canonical at every level, so the
+        // partition is stable exactly when the vectors are equal.
+        let done = next == prev;
+        std::mem::swap(&mut prev, &mut next);
+        if keep_levels {
+            levels.push(prev.clone());
+        }
         if done {
             stable = true;
             break;
         }
-        if depth.is_none() && levels.len() > n + 1 {
-            // Unreachable: refinement stabilises within n rounds.
-            stable = true;
-            break;
-        }
+        debug_assert!(rounds <= n, "refinement must stabilise within n rounds");
     }
 
-    BisimClasses { style, levels, stable }
+    if !keep_levels {
+        levels.push(prev);
+    }
+    BisimClasses { style, levels, depth: rounds, stable }
 }
 
 /// Whether worlds `u` and `v` of one model are (g-)bisimilar.
 pub fn bisimilar(model: &Kripke, style: BisimStyle, u: usize, v: usize) -> bool {
-    refine(model, style).bisimilar(u, v)
+    refine_fixpoint(model, style).bisimilar(u, v)
 }
 
 /// Whether world `u` of `a` is (g-)bisimilar to world `v` of `b`
@@ -330,5 +394,56 @@ mod tests {
         let g = Graph::disjoint_union(&[&generators::cycle(3), &generators::cycle(4)]);
         let k = Kripke::k_mm(&g);
         assert!(bisimilar(&k, BisimStyle::Plain, 0, 4));
+    }
+
+    #[test]
+    fn fixpoint_matches_full_refinement() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use rand::SeedableRng;
+        for _ in 0..5 {
+            let g = generators::gnp(12, 0.3, &mut rng);
+            let k = Kripke::k_mm(&g);
+            for style in [BisimStyle::Plain, BisimStyle::Graded] {
+                let full = refine(&k, style);
+                let lean = refine_fixpoint(&k, style);
+                assert!(lean.is_stable());
+                assert_eq!(lean.depth(), full.depth());
+                assert_eq!(lean.final_level(), full.final_level());
+                // Clamped access beyond the fixpoint depth works.
+                assert_eq!(lean.level(lean.depth() + 5), lean.final_level());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "history-free")]
+    fn fixpoint_rejects_shallow_level_queries() {
+        let k = Kripke::k_mm(&generators::path(9));
+        let lean = refine_fixpoint(&k, BisimStyle::Plain);
+        assert!(lean.depth() > 1, "path(9) needs several rounds");
+        let _ = lean.level(1);
+    }
+
+    #[test]
+    fn refine_unbounded_reports_stable_and_matches_bounded_n() {
+        // Regression: `refine` without a bound must report `is_stable()`
+        // and agree with `refine_bounded(_, _, n)` (n rounds always pass
+        // the fixpoint).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        use rand::SeedableRng;
+        for _ in 0..5 {
+            let g = generators::gnp(10, 0.35, &mut rng);
+            let p = PortNumbering::random(&g, &mut rng);
+            for k in [Kripke::k_mm(&g), Kripke::k_pp(&g, &p)] {
+                for style in [BisimStyle::Plain, BisimStyle::Graded] {
+                    let free = refine(&k, style);
+                    let bounded = refine_bounded(&k, style, g.len());
+                    assert!(free.is_stable());
+                    assert!(bounded.is_stable(), "n rounds always reach the fixpoint");
+                    assert_eq!(free.final_level(), bounded.final_level());
+                    assert_eq!(free.depth(), bounded.depth());
+                }
+            }
+        }
     }
 }

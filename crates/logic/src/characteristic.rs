@@ -183,9 +183,9 @@ mod tests {
         for t in 0..=depth {
             for v in 0..model.len() {
                 let truth = evaluate(model, chars.formula_for(v, t)).unwrap();
-                for w in 0..model.len() {
+                for (w, &truth_w) in truth.iter().enumerate() {
                     assert_eq!(
-                        truth[w],
+                        truth_w,
                         chars.classes().equivalent_at(t, v, w),
                         "χ^{t}_{v} at {w} (style {style:?})"
                     );
@@ -269,8 +269,8 @@ mod tests {
         let chi = characteristic_formula(&union, BisimStyle::Plain, 0, 2);
         let truth = evaluate(&union, &chi).unwrap();
         assert!(truth[0]);
-        for w in star.len()..union.len() {
-            assert!(!truth[w], "cycle node {w} is not 2-equivalent to the centre");
+        for (w, &truth_w) in truth.iter().enumerate().skip(star.len()) {
+            assert!(!truth_w, "cycle node {w} is not 2-equivalent to the centre");
         }
     }
 

@@ -807,7 +807,7 @@ mod tests {
         type Output = bool;
 
         fn init(&self, degree: usize) -> Status<(), bool> {
-            Status::Stopped(degree % 2 == 0)
+            Status::Stopped(degree.is_multiple_of(2))
         }
 
         fn broadcast(&self, _: &()) {}

@@ -4,11 +4,17 @@
 //! so formulas built with heavy structural sharing (as produced by the
 //! algorithm-to-formula compiler) are checked in time linear in the number
 //! of *distinct* subformulas times the model size.
+//!
+//! Memoised truth vectors are stored as `Rc<Vec<bool>>`: a cache hit
+//! bumps a reference count instead of cloning the vector (the previous
+//! implementation cloned each cached `Vec<bool>` twice per hit, which
+//! dominated on compiler-generated formulas with heavy sharing).
 
 use crate::error::LogicError;
 use crate::formula::{Formula, FormulaKind};
 use crate::kripke::Kripke;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Evaluates `formula` at every world of `model`.
 ///
@@ -32,8 +38,12 @@ use std::collections::HashMap;
 /// # Ok::<(), portnum_logic::LogicError>(())
 /// ```
 pub fn evaluate(model: &Kripke, formula: &Formula) -> Result<Vec<bool>, LogicError> {
-    let mut memo: HashMap<*const FormulaKind, Vec<bool>> = HashMap::new();
-    eval_rec(model, formula, &mut memo)
+    let mut memo: HashMap<*const FormulaKind, Rc<Vec<bool>>> = HashMap::new();
+    let result = eval_rec(model, formula, &mut memo)?;
+    drop(memo);
+    // The memo is gone, so the root Rc is unique unless the root formula
+    // shares a node with itself (impossible); unwrap without copying.
+    Ok(Rc::try_unwrap(result).unwrap_or_else(|rc| (*rc).clone()))
 }
 
 /// Evaluates `formula` at a single world.
@@ -61,30 +71,30 @@ pub fn extension(model: &Kripke, formula: &Formula) -> Result<Vec<usize>, LogicE
 fn eval_rec(
     model: &Kripke,
     formula: &Formula,
-    memo: &mut HashMap<*const FormulaKind, Vec<bool>>,
-) -> Result<Vec<bool>, LogicError> {
+    memo: &mut HashMap<*const FormulaKind, Rc<Vec<bool>>>,
+) -> Result<Rc<Vec<bool>>, LogicError> {
     let key = formula.kind() as *const FormulaKind;
     if let Some(cached) = memo.get(&key) {
-        return Ok(cached.clone());
+        return Ok(Rc::clone(cached));
     }
     let n = model.len();
-    let result = match formula.kind() {
+    let result: Vec<bool> = match formula.kind() {
         FormulaKind::Top => vec![true; n],
         FormulaKind::Bottom => vec![false; n],
         FormulaKind::Prop(d) => (0..n).map(|v| model.degree(v) == *d).collect(),
         FormulaKind::Not(a) => {
             let inner = eval_rec(model, a, memo)?;
-            inner.into_iter().map(|b| !b).collect()
+            inner.iter().map(|&b| !b).collect()
         }
         FormulaKind::And(a, b) => {
             let left = eval_rec(model, a, memo)?;
             let right = eval_rec(model, b, memo)?;
-            left.into_iter().zip(right).map(|(x, y)| x && y).collect()
+            left.iter().zip(right.iter()).map(|(&x, &y)| x && y).collect()
         }
         FormulaKind::Or(a, b) => {
             let left = eval_rec(model, a, memo)?;
             let right = eval_rec(model, b, memo)?;
-            left.into_iter().zip(right).map(|(x, y)| x || y).collect()
+            left.iter().zip(right.iter()).map(|(&x, &y)| x || y).collect()
         }
         FormulaKind::Diamond { index, grade, inner } => {
             if index.family() != model.variant().family() {
@@ -94,16 +104,21 @@ fn eval_rec(
                 });
             }
             let sat = eval_rec(model, inner, memo)?;
-            (0..n)
-                .map(|v| {
-                    let count =
-                        model.successors(v, *index).iter().filter(|&&w| sat[w]).count();
-                    count >= *grade
-                })
-                .collect()
+            // Resolve the relation once per diamond, not once per world.
+            match model.relation_id(*index) {
+                None => vec![*grade == 0; n],
+                Some(r) => (0..n)
+                    .map(|v| {
+                        let count =
+                            model.successors_dense(r, v).iter().filter(|&&w| sat[w]).count();
+                        count >= *grade
+                    })
+                    .collect(),
+            }
         }
     };
-    memo.insert(key, result.clone());
+    let result = Rc::new(result);
+    memo.insert(key, Rc::clone(&result));
     Ok(result)
 }
 

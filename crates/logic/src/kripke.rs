@@ -13,6 +13,20 @@
 //! `K₊,₊ / K₋,₊ / K₊,₋ / K₋,₋` expose exactly the information available to
 //! the `Vector` / `Multiset`·`Set` / `Broadcast` / `MB`·`SB` algorithm
 //! classes respectively (Figure 7).
+//!
+//! # Storage layout
+//!
+//! Relations are stored in **CSR (compressed sparse row)** form: the
+//! modality indices live in one dense sorted `Vec<ModalIndex>`, and each
+//! relation `r` is a pair of flat arrays `offsets[r]` / `targets[r]` with
+//! the successors of world `v` at
+//! `targets[r][offsets[r][v] .. offsets[r][v + 1]]`. Compared to the
+//! previous `BTreeMap<ModalIndex, Vec<Vec<usize>>>`, every successor scan
+//! is one bounds-checked slice index instead of a tree walk plus a
+//! double pointer chase, and a whole-relation sweep (the partition
+//! refinement inner loop) walks two contiguous arrays in order. Dense
+//! relation ids (`0..relation_count()`) let hot paths skip the
+//! by-[`ModalIndex`] lookup entirely via [`Kripke::successors_dense`].
 
 use crate::error::LogicError;
 use crate::formula::{IndexFamily, ModalIndex};
@@ -44,6 +58,40 @@ impl ModelVariant {
     }
 }
 
+/// One relation in CSR form: successors of `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CsrRelation {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl CsrRelation {
+    /// Builds a CSR row set from `(source, target)` pairs. Pair order is
+    /// preserved within each source's row.
+    fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> CsrRelation {
+        let mut offsets = vec![0usize; n + 1];
+        for &(v, _) in pairs {
+            offsets[v + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0usize; pairs.len()];
+        for &(v, w) in pairs {
+            targets[cursor[v]] = w;
+            cursor[v] += 1;
+        }
+        CsrRelation { offsets, targets }
+    }
+
+    #[inline]
+    fn row(&self, v: usize) -> &[usize] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
 /// A finite multimodal Kripke model with degree-atom valuation.
 ///
 /// # Examples
@@ -65,27 +113,47 @@ impl ModelVariant {
 pub struct Kripke {
     variant: ModelVariant,
     degree: Vec<usize>,
-    relations: BTreeMap<ModalIndex, Vec<Vec<usize>>>,
+    /// Modality indices with a (possibly empty) stored relation, sorted.
+    index_keys: Vec<ModalIndex>,
+    /// CSR relations, parallel to `index_keys`.
+    relations: Vec<CsrRelation>,
     empty: Vec<usize>,
 }
 
 impl Kripke {
+    /// Builds the canonical CSR layout from per-index edge lists. `groups`
+    /// is consumed in key order (it is a `BTreeMap`, so `index_keys` comes
+    /// out sorted); pair order within a source is preserved.
+    fn from_edge_groups(
+        variant: ModelVariant,
+        degree: Vec<usize>,
+        groups: BTreeMap<ModalIndex, Vec<(usize, usize)>>,
+    ) -> Kripke {
+        let n = degree.len();
+        let mut index_keys = Vec::with_capacity(groups.len());
+        let mut relations = Vec::with_capacity(groups.len());
+        for (index, pairs) in groups {
+            index_keys.push(index);
+            relations.push(CsrRelation::from_pairs(n, &pairs));
+        }
+        Kripke { variant, degree, index_keys, relations, empty: Vec::new() }
+    }
+
     fn from_ports(
         g: &Graph,
         p: &PortNumbering,
         variant: ModelVariant,
         project: impl Fn(usize, usize) -> ModalIndex,
     ) -> Self {
-        let n = g.len();
-        let mut relations: BTreeMap<ModalIndex, Vec<Vec<usize>>> = BTreeMap::new();
+        let mut groups: BTreeMap<ModalIndex, Vec<(usize, usize)>> = BTreeMap::new();
         for v in g.nodes() {
             for i in 0..g.degree(v) {
                 let src = p.backward(Port::new(v, i));
                 let index = project(i, src.index);
-                relations.entry(index).or_insert_with(|| vec![Vec::new(); n])[v].push(src.node);
+                groups.entry(index).or_default().push((v, src.node));
             }
         }
-        Kripke { variant, degree: g.degrees(), relations, empty: Vec::new() }
+        Self::from_edge_groups(variant, g.degrees(), groups)
     }
 
     /// The model `K₊,₊(G, p)` with relations `R_(i,j)`.
@@ -106,18 +174,13 @@ impl Kripke {
     /// The model `K₋,₋(G)` with the single relation `R_(*,*)` (the edge set
     /// as a symmetric relation). Independent of the port numbering.
     pub fn k_mm(g: &Graph) -> Self {
-        let mut rel = vec![Vec::new(); g.len()];
+        let mut pairs = Vec::with_capacity(2 * g.edge_count());
         for v in g.nodes() {
-            rel[v] = g.neighbors(v).to_vec();
+            pairs.extend(g.neighbors(v).iter().map(|&w| (v, w)));
         }
-        let mut relations = BTreeMap::new();
-        relations.insert(ModalIndex::Any, rel);
-        Kripke {
-            variant: ModelVariant::MinusMinus,
-            degree: g.degrees(),
-            relations,
-            empty: Vec::new(),
-        }
+        let mut groups = BTreeMap::new();
+        groups.insert(ModalIndex::Any, pairs);
+        Self::from_edge_groups(ModelVariant::MinusMinus, g.degrees(), groups)
     }
 
     /// Builds a custom model from explicit parts (for hand-crafted logic
@@ -134,6 +197,7 @@ impl Kripke {
         relations: BTreeMap<ModalIndex, Vec<Vec<usize>>>,
     ) -> Result<Self, LogicError> {
         let n = degree.len();
+        let mut groups: BTreeMap<ModalIndex, Vec<(usize, usize)>> = BTreeMap::new();
         for (&index, rows) in &relations {
             if index.family() != variant.family() {
                 return Err(LogicError::FamilyMismatch {
@@ -144,8 +208,12 @@ impl Kripke {
             if rows.len() != n || rows.iter().flatten().any(|&w| w >= n) {
                 return Err(LogicError::WorldOutOfRange);
             }
+            let pairs = groups.entry(index).or_default();
+            for (v, row) in rows.iter().enumerate() {
+                pairs.extend(row.iter().map(|&w| (v, w)));
+            }
         }
-        Ok(Kripke { variant, degree, relations, empty: Vec::new() })
+        Ok(Self::from_edge_groups(variant, degree, groups))
     }
 
     /// The model variant.
@@ -172,12 +240,47 @@ impl Kripke {
     /// Successors of `v` under the relation for `index` (empty if the
     /// relation does not occur in the model).
     pub fn successors(&self, v: usize, index: ModalIndex) -> &[usize] {
-        self.relations.get(&index).map_or(&self.empty, |rows| &rows[v])
+        match self.index_keys.binary_search(&index) {
+            Ok(r) => self.relations[r].row(v),
+            Err(_) => &self.empty,
+        }
     }
 
-    /// The modality indices with nonempty relations, in sorted order.
+    /// The modality indices with stored relations, in sorted order.
     pub fn indices(&self) -> impl Iterator<Item = ModalIndex> + '_ {
-        self.relations.keys().copied()
+        self.index_keys.iter().copied()
+    }
+
+    /// Number of stored relations (dense ids are `0..relation_count()`).
+    pub fn relation_count(&self) -> usize {
+        self.index_keys.len()
+    }
+
+    /// The dense relation id for `index`, if the relation is stored.
+    /// Resolve once, then walk worlds with [`Kripke::successors_dense`] —
+    /// cheaper than per-world [`Kripke::successors`] lookups.
+    pub fn relation_id(&self, index: ModalIndex) -> Option<usize> {
+        self.index_keys.binary_search(&index).ok()
+    }
+
+    /// The modality index of dense relation `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.relation_count()`.
+    pub fn relation_index(&self, r: usize) -> ModalIndex {
+        self.index_keys[r]
+    }
+
+    /// Successors of `v` under dense relation id `r` — the hot-path
+    /// variant of [`Kripke::successors`] that skips the index lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.relation_count()` or `v >= self.len()`.
+    #[inline]
+    pub fn successors_dense(&self, r: usize, v: usize) -> &[usize] {
+        self.relations[r].row(v)
     }
 
     /// Disjoint union with another model of the same variant; worlds of
@@ -196,23 +299,70 @@ impl Kripke {
         let n = offset + other.len();
         let mut degree = self.degree.clone();
         degree.extend_from_slice(&other.degree);
-        let mut relations: BTreeMap<ModalIndex, Vec<Vec<usize>>> = BTreeMap::new();
-        let all_keys: Vec<ModalIndex> =
-            self.relations.keys().chain(other.relations.keys()).copied().collect();
-        for index in all_keys {
-            let entry = relations.entry(index).or_insert_with(|| vec![Vec::new(); n]);
-            if let Some(rows) = self.relations.get(&index) {
-                for (v, row) in rows.iter().enumerate() {
-                    entry[v] = row.clone();
+
+        // Merge the two sorted key lists, stitching CSR rows together:
+        // `self`'s rows verbatim, then `other`'s rows shifted.
+        let mut index_keys = Vec::new();
+        let mut relations = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.index_keys.len() || b < other.index_keys.len() {
+            let take_a = match (self.index_keys.get(a), other.index_keys.get(b)) {
+                (Some(&ka), Some(&kb)) if ka == kb => {
+                    index_keys.push(ka);
+                    relations.push(Self::union_relation(
+                        n,
+                        offset,
+                        Some(&self.relations[a]),
+                        Some(&other.relations[b]),
+                    ));
+                    a += 1;
+                    b += 1;
+                    continue;
                 }
-            }
-            if let Some(rows) = other.relations.get(&index) {
-                for (v, row) in rows.iter().enumerate() {
-                    entry[offset + v] = row.iter().map(|&w| w + offset).collect();
-                }
+                (Some(&ka), Some(&kb)) => ka < kb,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("loop condition"),
+            };
+            if take_a {
+                index_keys.push(self.index_keys[a]);
+                relations.push(Self::union_relation(n, offset, Some(&self.relations[a]), None));
+                a += 1;
+            } else {
+                index_keys.push(other.index_keys[b]);
+                relations.push(Self::union_relation(n, offset, None, Some(&other.relations[b])));
+                b += 1;
             }
         }
-        Kripke { variant: self.variant, degree, relations, empty: Vec::new() }
+        Kripke { variant: self.variant, degree, index_keys, relations, empty: Vec::new() }
+    }
+
+    /// A CSR relation over `n` worlds holding `left`'s rows for worlds
+    /// `0..offset` and `right`'s rows (targets shifted by `offset`) after.
+    fn union_relation(
+        n: usize,
+        offset: usize,
+        left: Option<&CsrRelation>,
+        right: Option<&CsrRelation>,
+    ) -> CsrRelation {
+        let left_len = left.map_or(0, |r| r.targets.len());
+        let right_len = right.map_or(0, |r| r.targets.len());
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(left_len + right_len);
+        offsets.push(0);
+        for v in 0..offset {
+            if let Some(rel) = left {
+                targets.extend_from_slice(rel.row(v));
+            }
+            offsets.push(targets.len());
+        }
+        for v in 0..n - offset {
+            if let Some(rel) = right {
+                targets.extend(rel.row(v).iter().map(|&w| w + offset));
+            }
+            offsets.push(targets.len());
+        }
+        CsrRelation { offsets, targets }
     }
 }
 
@@ -293,5 +443,49 @@ mod tests {
         assert_eq!(u.successors(3, ModalIndex::Any), &[4]);
         assert_eq!(u.successors(0, ModalIndex::Any), &[1, 2]);
         assert_eq!(u.degree(4), 1);
+    }
+
+    #[test]
+    fn disjoint_union_merges_distinct_index_sets() {
+        // Models over the same variant can store different port indices;
+        // the union must keep both sides' relations intact.
+        let g3 = generators::star(3);
+        let g1 = generators::path(2);
+        let p3 = PortNumbering::consistent(&g3);
+        let p1 = PortNumbering::consistent(&g1);
+        let a = Kripke::k_pm(&g3, &p3); // indices In(0..3)
+        let b = Kripke::k_pm(&g1, &p1); // indices In(0)
+        let u = a.disjoint_union(&b);
+        for v in 0..a.len() {
+            for i in 0..4 {
+                assert_eq!(u.successors(v, ModalIndex::In(i)), a.successors(v, ModalIndex::In(i)));
+            }
+        }
+        let shifted: Vec<usize> =
+            b.successors(0, ModalIndex::In(0)).iter().map(|&w| w + a.len()).collect();
+        assert_eq!(u.successors(a.len(), ModalIndex::In(0)), shifted);
+    }
+
+    #[test]
+    fn dense_accessors_match_indexed_access() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        for k in [Kripke::k_pp(&g, &p), Kripke::k_mp(&g, &p), Kripke::k_pm(&g, &p)] {
+            assert_eq!(k.relation_count(), k.indices().count());
+            for r in 0..k.relation_count() {
+                let index = k.relation_index(r);
+                for v in 0..k.len() {
+                    assert_eq!(k.successors_dense(r, v), k.successors(v, index));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn successors_of_missing_index_are_empty() {
+        let k = Kripke::k_mm(&generators::cycle(3));
+        assert!(k.successors(0, ModalIndex::Any).len() == 2);
+        let kp = Kripke::k_pp(&generators::cycle(3), &PortNumbering::consistent(&generators::cycle(3)));
+        assert!(kp.successors(0, ModalIndex::InOut(7, 7)).is_empty());
     }
 }

@@ -122,9 +122,9 @@ proptest! {
             let chars = characteristic(&k, style, depth);
             for v in 0..k.len() {
                 let truth = evaluate(&k, chars.formula_for(v, depth)).unwrap();
-                for w in 0..k.len() {
+                for (w, &truth_w) in truth.iter().enumerate() {
                     prop_assert_eq!(
-                        truth[w],
+                        truth_w,
                         chars.classes().equivalent_at(depth, v, w),
                         "style {:?}, depth {}, worlds {} {}", style, depth, v, w
                     );

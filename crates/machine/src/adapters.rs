@@ -345,7 +345,7 @@ mod tests {
         type Output = bool;
 
         fn init(&self, degree: usize) -> Status<bool, bool> {
-            Status::Running(degree % 2 == 0)
+            Status::Running(degree.is_multiple_of(2))
         }
 
         fn broadcast(&self, state: &bool) -> bool {

@@ -17,6 +17,7 @@ use portnum_graph::{Graph, Port, PortNumbering};
 #[derive(Debug, Clone)]
 pub struct Observations<A: VectorAlgorithm> {
     /// Running states observed, paired with the reception they were fed.
+    #[allow(clippy::type_complexity)] // (state, reception) pairs, verbatim
     pub samples: Vec<(A::State, Vec<Payload<A::Msg>>)>,
 }
 

@@ -102,7 +102,7 @@ impl<T: Ord> Multiset<T> {
 
     /// Iterates over all elements with multiplicity, in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.counts.iter().flat_map(|(k, &c)| std::iter::repeat(k).take(c))
+        self.counts.iter().flat_map(|(k, &c)| std::iter::repeat_n(k, c))
     }
 
     /// The underlying set: distinct elements only. This is the paper's

@@ -83,7 +83,7 @@ impl<M: fmt::Display> fmt::Display for Payload<M> {
 }
 
 /// Extracts the non-silent messages from a reception slice, in port order.
-pub fn data_messages<'a, M>(received: &'a [Payload<M>]) -> impl Iterator<Item = &'a M> {
+pub fn data_messages<M>(received: &[Payload<M>]) -> impl Iterator<Item = &M> {
     received.iter().filter_map(Payload::data)
 }
 

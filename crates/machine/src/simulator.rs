@@ -151,32 +151,45 @@ impl Simulator {
         let mut stats = Vec::new();
         let mut round = 0usize;
 
-        while states.iter().any(|s| !s.is_stopped()) {
+        // Hoisted out of the round loop: the routing table (the port
+        // numbering never changes mid-run, so resolve `p.forward` once per
+        // out-port instead of once per out-port per round), the inbox
+        // buffers (reset in place each round instead of reallocating
+        // `Vec<Vec<Payload>>`), and the running-node count (updated when a
+        // node stops instead of rescanned twice per round).
+        let routes: Vec<Vec<Port>> = g
+            .nodes()
+            .map(|v| (0..g.degree(v)).map(|i| p.forward(Port::new(v, i))).collect())
+            .collect();
+        let mut inboxes: Vec<Vec<Payload<A::Msg>>> =
+            g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
+        let mut running = states.iter().filter(|s| !s.is_stopped()).count();
+
+        while running > 0 {
             if round == self.max_rounds {
                 return Err(ExecutionError::RoundLimit {
                     limit: self.max_rounds,
-                    still_running: states.iter().filter(|s| !s.is_stopped()).count(),
+                    still_running: running,
                 });
             }
             round += 1;
 
             // Phase 1: every running node writes into its neighbours'
             // in-port buffers; stopped nodes contribute silence.
-            let mut inboxes: Vec<Vec<Payload<A::Msg>>> =
-                g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
-            let mut round_stats = RoundStats {
-                nodes_running: states.iter().filter(|s| !s.is_stopped()).count(),
-                ..RoundStats::default()
-            };
+            for inbox in &mut inboxes {
+                for slot in inbox.iter_mut() {
+                    *slot = Payload::Silent;
+                }
+            }
+            let mut round_stats = RoundStats { nodes_running: running, ..RoundStats::default() };
             for v in g.nodes() {
                 if let Status::Running(state) = &states[v] {
-                    for i in 0..g.degree(v) {
+                    for (i, target) in routes[v].iter().enumerate() {
                         let msg = algo.message(state, i);
                         let units = msg.size_units();
                         round_stats.messages_sent += 1;
                         round_stats.total_message_units += units;
                         round_stats.max_message_units = round_stats.max_message_units.max(units);
-                        let target = p.forward(Port::new(v, i));
                         inboxes[target.node][target.index] = Payload::Data(msg);
                     }
                 }
@@ -188,6 +201,7 @@ impl Simulator {
                     let next = algo.step(state, &inboxes[v]);
                     if next.is_stopped() {
                         stop_times[v] = round;
+                        running -= 1;
                     }
                     states[v] = next;
                 }
