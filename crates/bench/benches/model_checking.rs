@@ -1,18 +1,70 @@
 //! Model checking scaling: formula depth sweep and shared-subformula
-//! memoisation.
+//! memoisation, each comparing the packed (`Bitset`) evaluator against
+//! the byte-at-a-time `Vec<bool>` evaluator it replaced.
+//!
+//! `evaluate_legacy` below reproduces the pre-bitset evaluator (memoised
+//! `Rc<Vec<bool>>`, one byte per world) so the packed-vs-legacy delta
+//! stays measurable after the legacy path is gone from the library.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use portnum_bench::workloads;
-use portnum_logic::{evaluate, Formula, Kripke, ModalIndex};
+use portnum_logic::{evaluate_packed, Formula, FormulaKind, Kripke};
+use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::Duration;
 
-fn nested(depth: usize) -> Formula {
-    let mut f = Formula::prop(2);
-    for i in 0..depth {
-        let grade = 1 + (i % 2);
-        f = Formula::diamond_geq(ModalIndex::Any, grade, &f).or(&Formula::prop(1));
+/// The pre-bitset evaluator, kept verbatim as the bench baseline.
+fn evaluate_legacy(model: &Kripke, formula: &Formula) -> Vec<bool> {
+    fn rec(
+        model: &Kripke,
+        formula: &Formula,
+        memo: &mut HashMap<*const FormulaKind, Rc<Vec<bool>>>,
+    ) -> Rc<Vec<bool>> {
+        let key = formula.kind() as *const FormulaKind;
+        if let Some(cached) = memo.get(&key) {
+            return Rc::clone(cached);
+        }
+        let n = model.len();
+        let result: Vec<bool> = match formula.kind() {
+            FormulaKind::Top => vec![true; n],
+            FormulaKind::Bottom => vec![false; n],
+            FormulaKind::Prop(d) => (0..n).map(|v| model.degree(v) == *d).collect(),
+            FormulaKind::Not(a) => rec(model, a, memo).iter().map(|&b| !b).collect(),
+            FormulaKind::And(a, b) => {
+                let left = rec(model, a, memo);
+                let right = rec(model, b, memo);
+                left.iter().zip(right.iter()).map(|(&x, &y)| x && y).collect()
+            }
+            FormulaKind::Or(a, b) => {
+                let left = rec(model, a, memo);
+                let right = rec(model, b, memo);
+                left.iter().zip(right.iter()).map(|(&x, &y)| x || y).collect()
+            }
+            FormulaKind::Diamond { index, grade, inner } => {
+                let sat = rec(model, inner, memo);
+                match model.relation_id(*index) {
+                    None => vec![*grade == 0; n],
+                    Some(r) => (0..n)
+                        .map(|v| {
+                            let count = model
+                                .successors_dense(r, v)
+                                .iter()
+                                .filter(|&&w| sat[w as usize])
+                                .count();
+                            count >= *grade
+                        })
+                        .collect(),
+                }
+            }
+        };
+        let result = Rc::new(result);
+        memo.insert(key, Rc::clone(&result));
+        result
     }
-    f
+    let mut memo = HashMap::new();
+    let result = rec(model, formula, &mut memo);
+    drop(memo);
+    Rc::try_unwrap(result).unwrap_or_else(|rc| (*rc).clone())
 }
 
 fn bench_depth_sweep(c: &mut Criterion) {
@@ -20,9 +72,12 @@ fn bench_depth_sweep(c: &mut Criterion) {
     for w in workloads::gnp_sweep(&[128], 0.05, 5) {
         let k = Kripke::k_mm(&w.graph);
         for depth in [2usize, 8, 32] {
-            let f = nested(depth);
-            group.bench_with_input(BenchmarkId::from_parameter(depth), &f, |b, f| {
-                b.iter(|| evaluate(&k, f).unwrap())
+            let f = workloads::nested_diamonds(depth);
+            group.bench_with_input(BenchmarkId::new("packed", depth), &f, |b, f| {
+                b.iter(|| evaluate_packed(&k, f).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("legacy", depth), &f, |b, f| {
+                b.iter(|| evaluate_legacy(&k, f))
             });
         }
     }
@@ -30,16 +85,15 @@ fn bench_depth_sweep(c: &mut Criterion) {
 }
 
 fn bench_shared_subformulas(c: &mut Criterion) {
-    // f_{n+1} = f_n ∧ f_n: exponential tree, linear DAG.
-    let mut f = Formula::diamond(ModalIndex::Any, &Formula::prop(2));
-    for _ in 0..64 {
-        f = f.and(&f);
-    }
+    // Exponential tree, linear DAG: the connective layers dominate, so
+    // this is the word-parallel best case.
+    let f = workloads::shared_dag(64);
     let w = &workloads::cycle_sweep(&[64])[0];
     let k = Kripke::k_mm(&w.graph);
-    c.bench_function("model_checking/shared_dag_64_levels", |b| {
-        b.iter(|| evaluate(&k, &f).unwrap())
-    });
+    let mut group = c.benchmark_group("model_checking/shared_dag_64_levels");
+    group.bench_function("packed", |b| b.iter(|| evaluate_packed(&k, &f).unwrap()));
+    group.bench_function("legacy", |b| b.iter(|| evaluate_legacy(&k, &f)));
+    group.finish();
 }
 
 fn configure() -> Criterion {

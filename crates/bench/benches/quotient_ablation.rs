@@ -8,9 +8,10 @@
 //! shows both regimes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_graph::bitset::Bitset;
 use portnum_graph::{generators, PortNumbering};
 use portnum_logic::bisim::BisimStyle;
-use portnum_logic::{characteristic, evaluate, minimum_base, Formula, Kripke, ModalIndex};
+use portnum_logic::{characteristic, evaluate_packed, minimum_base, Formula, Kripke, ModalIndex};
 use std::time::Duration;
 
 /// A deep ungraded formula: alternating diamonds over the two in/out pairs.
@@ -40,13 +41,13 @@ fn bench_quotient_vs_full(c: &mut Criterion) {
     ] {
         let k = Kripke::k_pp(&g, &p);
         group.bench_with_input(BenchmarkId::new("full", name), &k, |b, k| {
-            b.iter(|| evaluate(k, &f).unwrap())
+            b.iter(|| evaluate_packed(k, &f).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("quotient_then_eval", name), &k, |b, k| {
             b.iter(|| {
                 let (q, map) = minimum_base(k);
-                let truth = evaluate(&q, &f).unwrap();
-                map.iter().map(|&b| truth[b]).collect::<Vec<bool>>()
+                let truth = evaluate_packed(&q, &f).unwrap();
+                Bitset::from_fn(map.len(), |v| truth.get(map[v]))
             })
         });
         // The quotient itself, amortisable across many formulas.
@@ -56,8 +57,8 @@ fn bench_quotient_vs_full(c: &mut Criterion) {
             &(q, map),
             |b, (q, map)| {
                 b.iter(|| {
-                    let truth = evaluate(q, &f).unwrap();
-                    map.iter().map(|&b| truth[b]).collect::<Vec<bool>>()
+                    let truth = evaluate_packed(q, &f).unwrap();
+                    Bitset::from_fn(map.len(), |v| truth.get(map[v]))
                 })
             },
         );

@@ -16,7 +16,7 @@ use portnum_logic::compile::{
     compile_broadcast, compile_mb, compile_multiset, compile_sb, compile_set, compile_vector,
     mb_algorithm_to_formulas, ToFormulaOptions,
 };
-use portnum_logic::{evaluate, parse, Formula, Kripke, ModalIndex};
+use portnum_logic::{evaluate, evaluate_packed, parse, Formula, Kripke, ModalIndex};
 use portnum_machine::adapters::{
     BroadcastAsVector, MbAsVector, MultisetAsVector, ObliviousAsSb, SbAsVector, SetAsVector,
 };
@@ -43,7 +43,28 @@ fn main() {
     covers();
     section31();
     bench_snapshot();
+    bench_eval_snapshot();
     println!("\nAll sections completed.");
+}
+
+/// Median wall-clock microseconds of 7 runs of `routine` (the caller
+/// warms up by computing its reference result first); `verify` checks
+/// each run's output *outside* the timed region so the assert cost
+/// never skews the sample. Shared by every `BENCH_*.json` snapshot so
+/// their medians stay methodologically comparable.
+fn median_us<T>(mut routine: impl FnMut() -> T, mut verify: impl FnMut(T)) -> f64 {
+    use std::time::Instant;
+    let mut samples: Vec<f64> = (0..7)
+        .map(|_| {
+            let start = Instant::now();
+            let out = routine();
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            verify(out);
+            us
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
 }
 
 /// Times the partition-refinement hot path on the standard sweeps and
@@ -51,7 +72,6 @@ fn main() {
 /// working directory, so successive PRs accumulate a perf trajectory.
 fn bench_snapshot() {
     use std::fmt::Write as _;
-    use std::time::Instant;
     section("Perf snapshot: bisimulation refinement (written to BENCH_bisim.json)");
 
     let mut sweep = workloads::gnp_sweep(&[32, 128, 512], 0.08, 23);
@@ -70,17 +90,10 @@ fn bench_snapshot() {
         for (model_name, k, style) in cases {
             // Warm up once, then take the median of a handful of runs.
             let classes = bisim::refine(k, style);
-            let mut samples: Vec<f64> = (0..7)
-                .map(|_| {
-                    let start = Instant::now();
-                    let c = bisim::refine(k, style);
-                    let us = start.elapsed().as_secs_f64() * 1e6;
-                    assert_eq!(c.final_level(), classes.final_level());
-                    us
-                })
-                .collect();
-            samples.sort_by(|a, b| a.total_cmp(b));
-            let median = samples[samples.len() / 2];
+            let median = median_us(
+                || bisim::refine(k, style),
+                |c| assert_eq!(c.final_level(), classes.final_level()),
+            );
             let blocks = classes.class_count(classes.depth());
             let style_name = match style {
                 BisimStyle::Plain => "plain",
@@ -110,6 +123,55 @@ fn bench_snapshot() {
     match std::fs::write("BENCH_bisim.json", &json) {
         Ok(()) => println!("wrote BENCH_bisim.json ({} entries)", json.lines().count()),
         Err(e) => println!("could not write BENCH_bisim.json: {e}"),
+    }
+}
+
+/// Times the packed model checker on the standard eval workloads and
+/// writes `BENCH_eval.json` next to `BENCH_bisim.json`, so the perf
+/// trajectory covers model checking as well as refinement.
+fn bench_eval_snapshot() {
+    use std::fmt::Write as _;
+    section("Perf snapshot: packed model checking (written to BENCH_eval.json)");
+
+    let shared = workloads::shared_dag(64);
+    let mut cases: Vec<(String, Kripke, &str, Formula)> = Vec::new();
+    for w in workloads::gnp_sweep(&[128, 512], 0.05, 5) {
+        cases.push((
+            w.name.clone(),
+            Kripke::k_mm(&w.graph),
+            "nested32",
+            workloads::nested_diamonds(32),
+        ));
+    }
+    for w in workloads::cycle_sweep(&[64, 256]) {
+        cases.push((w.name.clone(), Kripke::k_mm(&w.graph), "shared_dag64", shared.clone()));
+    }
+
+    let mut json = String::new();
+    let mut t = Table::new(["workload", "case", "median µs", "worlds true"]);
+    for (name, k, case, f) in &cases {
+        let reference = evaluate_packed(k, f).expect("well-formed case");
+        let median = median_us(
+            || evaluate_packed(k, f).expect("well-formed case"),
+            |truth| assert_eq!(truth, reference),
+        );
+        let ones = reference.count_ones();
+        t.row([name.clone(), case.to_string(), format!("{median:.1}"), ones.to_string()]);
+        let _ = writeln!(
+            json,
+            "{{\"bench\":\"eval\",\"workload\":\"{}\",\"case\":\"{}\",\"worlds\":{},\
+             \"median_us\":{:.1},\"ones\":{}}}",
+            name,
+            case,
+            k.len(),
+            median,
+            ones
+        );
+    }
+    print!("{}", t.render());
+    match std::fs::write("BENCH_eval.json", &json) {
+        Ok(()) => println!("wrote BENCH_eval.json ({} entries)", json.lines().count()),
+        Err(e) => println!("could not write BENCH_eval.json: {e}"),
     }
 }
 

@@ -1,8 +1,33 @@
 //! Workload generators shared by the Criterion benches and `reproduce`.
 
 use portnum_graph::{generators, Graph, PortNumbering};
+use portnum_logic::{Formula, ModalIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// A depth-`depth` model-checking formula alternating grade-1 and
+/// grade-2 diamonds over `Any`, used by the eval benches and the
+/// `BENCH_eval.json` snapshot — one definition so both measure the
+/// same workload.
+pub fn nested_diamonds(depth: usize) -> Formula {
+    let mut f = Formula::prop(2);
+    for i in 0..depth {
+        let grade = 1 + (i % 2);
+        f = Formula::diamond_geq(ModalIndex::Any, grade, &f).or(&Formula::prop(1));
+    }
+    f
+}
+
+/// `f_{n+1} = f_n ∧ f_n` iterated `levels` times over a diamond seed:
+/// an exponential formula tree that is a linear DAG, exercising the
+/// evaluator's shared-subformula memoisation.
+pub fn shared_dag(levels: usize) -> Formula {
+    let mut f = Formula::diamond(ModalIndex::Any, &Formula::prop(2));
+    for _ in 0..levels {
+        f = f.and(&f);
+    }
+    f
+}
 
 /// A named graph instance with a port numbering.
 #[derive(Debug, Clone)]

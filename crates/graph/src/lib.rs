@@ -21,6 +21,8 @@
 //! * [`refinement`] — colour refinement (1-WL);
 //! * [`partition`] — the interned-signature partition-refinement engine
 //!   shared by colour refinement and `portnum-logic`'s bisimulation;
+//! * [`bitset`] — packed `u64`-word truth vectors backing
+//!   `portnum-logic`'s word-parallel model checker;
 //! * [`properties`] — connectivity, regularity, bipartiteness, Eulerian
 //!   tests.
 //!
@@ -47,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod cover;
 mod error;
 pub mod generators;

@@ -28,9 +28,23 @@
 //!
 //! The scratch buffers are reused across rounds; a full refinement run
 //! performs O(blocks-per-round) allocations in total.
+//!
+//! # Parallel rounds
+//!
+//! Signature *encoding* (gather successor blocks, sort, flatten to
+//! words) only reads the previous partition, so it is embarrassingly
+//! parallel over nodes; only the *interning* step needs the shared
+//! table. [`parallel_encode`] runs the encode phase on scoped threads,
+//! each filling its own [`SignatureBuffer`] for a contiguous node chunk;
+//! the caller then walks the buffers in node order calling
+//! [`Refiner::commit_slice`], which preserves the first-seen canonical
+//! id order of the sequential engine exactly. Front-ends gate this on a
+//! size threshold — thread spawns only pay off once a round encodes
+//! thousands of nodes.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::Range;
 
 /// The Fx (Firefox/rustc) hash function: multiply-xor over input words.
 ///
@@ -160,28 +174,7 @@ impl Refiner {
     /// relation: a count of entries followed by the entries, so adjacent
     /// relations cannot be confused.
     pub fn push_blocks(&mut self, blocks: &mut Vec<usize>, counting: Counting) {
-        blocks.sort_unstable();
-        // Reserve the count slot, then append (block, multiplicity) runs.
-        let count_slot = self.scratch.len();
-        self.scratch.push(0);
-        let mut distinct = 0u64;
-        let mut i = 0;
-        while i < blocks.len() {
-            let b = blocks[i];
-            let mut mult = 1u64;
-            while i + 1 < blocks.len() && blocks[i + 1] == b {
-                mult += 1;
-                i += 1;
-            }
-            i += 1;
-            distinct += 1;
-            self.scratch.push(b as u64);
-            if counting == Counting::Multiset {
-                self.scratch.push(mult);
-            }
-        }
-        self.scratch[count_slot] = distinct;
-        blocks.clear();
+        encode_blocks(&mut self.scratch, blocks, counting);
     }
 
     /// Interns the current signature, returning its dense block id
@@ -195,10 +188,191 @@ impl Refiner {
         id
     }
 
+    /// Interns a pre-encoded signature (as produced by a
+    /// [`SignatureBuffer`]), returning its dense block id. Equivalent to
+    /// encoding the same words via
+    /// [`begin_signature`](Refiner::begin_signature)/…/[`commit`](Refiner::commit).
+    pub fn commit_slice(&mut self, signature: &[u64]) -> usize {
+        if let Some(&id) = self.table.get(signature) {
+            return id;
+        }
+        let id = self.table.len();
+        self.table.insert(signature.into(), id);
+        id
+    }
+
     /// Number of blocks interned so far this round.
     pub fn block_count(&self) -> usize {
         self.table.len()
     }
+}
+
+/// Flattens one relation's successor blocks into `out` using the shared
+/// prefix-free encoding: a distinct-count slot, then `(block)` or
+/// `(block, multiplicity)` runs in sorted order. `blocks` is sorted in
+/// place and left cleared for reuse.
+fn encode_blocks(out: &mut Vec<u64>, blocks: &mut Vec<usize>, counting: Counting) {
+    blocks.sort_unstable();
+    // Reserve the count slot, then append (block, multiplicity) runs.
+    let count_slot = out.len();
+    out.push(0);
+    let mut distinct = 0u64;
+    let mut i = 0;
+    while i < blocks.len() {
+        let b = blocks[i];
+        let mut mult = 1u64;
+        while i + 1 < blocks.len() && blocks[i + 1] == b {
+            mult += 1;
+            i += 1;
+        }
+        i += 1;
+        distinct += 1;
+        out.push(b as u64);
+        if counting == Counting::Multiset {
+            out.push(mult);
+        }
+    }
+    out[count_slot] = distinct;
+    blocks.clear();
+}
+
+/// A chunk-local run of encoded signatures for the parallel encode phase.
+///
+/// One thread fills one buffer for a contiguous node range: per node,
+/// [`begin`](SignatureBuffer::begin), any number of
+/// [`push_blocks`](SignatureBuffer::push_blocks) /
+/// [`push_word`](SignatureBuffer::push_word) calls (the same encoding the
+/// [`Refiner`] uses), then [`end`](SignatureBuffer::end). The buffer's
+/// backing storage is reused across rounds.
+#[derive(Debug, Default)]
+pub struct SignatureBuffer {
+    words: Vec<u64>,
+    /// Prefix bounds: signature `i` is `words[bounds[i]..bounds[i + 1]]`.
+    bounds: Vec<usize>,
+    /// Scratch for gathering successor blocks, reused across nodes.
+    blocks: Vec<usize>,
+}
+
+impl SignatureBuffer {
+    /// A fresh, empty buffer.
+    pub fn new() -> SignatureBuffer {
+        SignatureBuffer::default()
+    }
+
+    /// Drops all encoded signatures, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.bounds.clear();
+    }
+
+    /// Starts the next node's signature with its previous block id.
+    pub fn begin(&mut self, prev_block: usize) {
+        if self.bounds.is_empty() {
+            self.bounds.push(0);
+        }
+        self.words.push(prev_block as u64);
+    }
+
+    /// Appends a raw word to the current signature.
+    pub fn push_word(&mut self, word: u64) {
+        self.words.push(word);
+    }
+
+    /// Appends one relation's successor blocks to the current signature
+    /// (same encoding as [`Refiner::push_blocks`]).
+    pub fn push_blocks(&mut self, blocks: &mut Vec<usize>, counting: Counting) {
+        encode_blocks(&mut self.words, blocks, counting);
+    }
+
+    /// The internal successor-gather scratch vector (empty between
+    /// nodes); gather into it, then pass it to
+    /// [`push_blocks`](SignatureBuffer::push_blocks).
+    pub fn blocks_scratch(&mut self) -> &mut Vec<usize> {
+        &mut self.blocks
+    }
+
+    /// Finishes the current node's signature.
+    pub fn end(&mut self) {
+        self.bounds.push(self.words.len());
+    }
+
+    /// Number of complete signatures in the buffer.
+    pub fn len(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Returns `true` if the buffer holds no complete signature.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th encoded signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn signature(&self, i: usize) -> &[u64] {
+        &self.words[self.bounds[i]..self.bounds[i + 1]]
+    }
+}
+
+/// Minimum signature words of per-round encode work before refinement
+/// front-ends parallelise the encode phase.
+///
+/// [`parallel_encode`] spawns and joins fresh scoped threads every
+/// round (hundreds of microseconds); below roughly this much work per
+/// round that overhead outweighs the speedup. Gating on work rather
+/// than node count protects the worst shape — long-diameter models
+/// take Θ(diameter) rounds, each individually cheap.
+pub const PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// Number of worker threads the refinement front-ends use for the encode
+/// phase (the host's available parallelism, 1 if unknown).
+pub fn encode_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Worker threads for an encode phase doing `work` signature words per
+/// round (for refinement this is roughly nodes + stored successor
+/// pairs): [`encode_threads`] at or above [`PARALLEL_THRESHOLD`], 1
+/// (sequential) below it. The single gate shared by every refinement
+/// front-end so the engines cannot diverge on tuning.
+pub fn threads_for(work: usize) -> usize {
+    if work >= PARALLEL_THRESHOLD {
+        encode_threads()
+    } else {
+        1
+    }
+}
+
+/// Runs one round's encode phase in parallel: splits `0..n` into up to
+/// `threads` contiguous chunks and calls `encode(range, buffer)` for
+/// each on its own scoped thread. `buffers` is resized to the chunk
+/// count and cleared; storage persists across calls so repeated rounds
+/// reuse capacity.
+///
+/// The caller completes the round by interning every buffered signature
+/// **in node order** via [`Refiner::commit_slice`]; since ids are
+/// first-seen, the result is bit-identical to the sequential path.
+pub fn parallel_encode<F>(n: usize, threads: usize, buffers: &mut Vec<SignatureBuffer>, encode: F)
+where
+    F: Fn(Range<usize>, &mut SignatureBuffer) + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    buffers.resize_with(threads, SignatureBuffer::default);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (i, buffer) in buffers.iter_mut().enumerate() {
+            let encode = &encode;
+            let range = (i * chunk).min(n)..((i + 1) * chunk).min(n);
+            scope.spawn(move || {
+                buffer.clear();
+                if !range.is_empty() {
+                    encode(range, buffer);
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -275,6 +449,66 @@ mod tests {
         r.push_blocks(&mut blocks, Counting::Multiset);
         assert!(blocks.is_empty());
         let _ = r.commit();
+    }
+
+    #[test]
+    fn commit_slice_matches_incremental_commit() {
+        let mut r = Refiner::new();
+        r.begin_round();
+        r.begin_signature(3);
+        r.push_blocks(&mut vec![7, 7, 2], Counting::Multiset);
+        let incremental = r.commit();
+
+        let mut buf = SignatureBuffer::new();
+        buf.begin(3);
+        buf.push_blocks(&mut vec![2, 7, 7], Counting::Multiset);
+        buf.end();
+        assert_eq!(r.commit_slice(buf.signature(0)), incremental);
+        assert_eq!(r.block_count(), 1);
+    }
+
+    #[test]
+    fn signature_buffer_bounds() {
+        let mut buf = SignatureBuffer::new();
+        assert!(buf.is_empty());
+        buf.begin(0);
+        buf.push_word(9);
+        buf.end();
+        buf.begin(1);
+        buf.end();
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.signature(0), &[0, 9]);
+        assert_eq!(buf.signature(1), &[1]);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn parallel_encode_covers_all_nodes_in_order() {
+        // Encode node ids over 3 threads; walking the buffers in order
+        // must reproduce 0..n exactly once each.
+        let n = 17;
+        let mut buffers = Vec::new();
+        parallel_encode(n, 3, &mut buffers, |range, buf| {
+            for v in range {
+                buf.begin(v);
+                buf.end();
+            }
+        });
+        let flat: Vec<u64> = buffers
+            .iter()
+            .flat_map(|b| (0..b.len()).map(|i| b.signature(i)[0]))
+            .collect();
+        assert_eq!(flat, (0..n as u64).collect::<Vec<_>>());
+        // Re-running with fewer nodes reuses and re-clears the buffers.
+        parallel_encode(5, 3, &mut buffers, |range, buf| {
+            for v in range {
+                buf.begin(v);
+                buf.end();
+            }
+        });
+        let total: usize = buffers.iter().map(SignatureBuffer::len).sum();
+        assert_eq!(total, 5);
     }
 
     #[test]

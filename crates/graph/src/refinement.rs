@@ -11,10 +11,17 @@
 //! sequence `(prev colour, multiset of neighbour colours)`, assigned
 //! dense first-seen ids — the same engine, ids, and stability criterion
 //! that `portnum-logic` uses for (g-)bisimulation, so the two notions
-//! are comparable level by level.
+//! are comparable level by level. On graphs with at least
+//! [`crate::partition::PARALLEL_THRESHOLD`] signature words of encode
+//! work per round (nodes + edge endpoints) the encode phase of
+//! each round fans out over scoped threads (see
+//! [`crate::partition::parallel_encode`]); the sequential intern phase
+//! keeps colour ids bit-identical to the single-threaded engine.
 
 use crate::graph::{Graph, NodeId};
-use crate::partition::{Counting, Refiner};
+use crate::partition::{
+    parallel_encode, threads_for, Counting, Refiner, SignatureBuffer,
+};
 
 /// Per-round colour classes: `levels[t][v]` is node `v`'s colour after `t`
 /// refinement rounds; colours are contiguous small integers per round.
@@ -79,21 +86,55 @@ impl ColorClasses {
     }
 }
 
+/// Reusable per-run state for colour-refinement rounds: the shared
+/// interner plus the sequential and parallel encode scratch buffers.
+#[derive(Default)]
+struct RoundState {
+    refiner: Refiner,
+    blocks: Vec<usize>,
+    buffers: Vec<SignatureBuffer>,
+    /// Worker threads for the encode phase (1 = sequential).
+    threads: usize,
+}
+
+impl RoundState {
+    fn for_graph(g: &Graph) -> RoundState {
+        // Per-round encode work: one previous colour plus both endpoints
+        // of every edge.
+        RoundState { threads: threads_for(g.len() + 2 * g.edge_count()), ..RoundState::default() }
+    }
+}
+
 /// One colour-refinement round over the shared engine; returns the next
 /// level and whether it equals `prev` (i.e. the partition is stable).
-fn refine_round(
-    g: &Graph,
-    prev: &[usize],
-    refiner: &mut Refiner,
-    blocks: &mut Vec<usize>,
-) -> (Vec<usize>, bool) {
-    refiner.begin_round();
+fn refine_round(g: &Graph, prev: &[usize], state: &mut RoundState) -> (Vec<usize>, bool) {
+    state.refiner.begin_round();
     let mut next = Vec::with_capacity(g.len());
-    for v in g.nodes() {
-        refiner.begin_signature(prev[v]);
-        blocks.extend(g.neighbors(v).iter().map(|&u| prev[u]));
-        refiner.push_blocks(blocks, Counting::Multiset);
-        next.push(refiner.commit());
+    if state.threads > 1 {
+        // Parallel encode into chunk-local buffers, then intern in node
+        // order (first-seen ids match the sequential engine exactly).
+        parallel_encode(g.len(), state.threads, &mut state.buffers, |range, buf| {
+            let mut blocks = std::mem::take(buf.blocks_scratch());
+            for v in range {
+                buf.begin(prev[v]);
+                blocks.extend(g.neighbors(v).iter().map(|&u| prev[u]));
+                buf.push_blocks(&mut blocks, Counting::Multiset);
+                buf.end();
+            }
+            *buf.blocks_scratch() = blocks;
+        });
+        for buf in &state.buffers {
+            for i in 0..buf.len() {
+                next.push(state.refiner.commit_slice(buf.signature(i)));
+            }
+        }
+    } else {
+        for v in g.nodes() {
+            state.refiner.begin_signature(prev[v]);
+            state.blocks.extend(g.neighbors(v).iter().map(|&u| prev[u]));
+            state.refiner.push_blocks(&mut state.blocks, Counting::Multiset);
+            next.push(state.refiner.commit());
+        }
     }
     let stable = next == prev;
     (next, stable)
@@ -116,12 +157,11 @@ fn degree_partition(g: &Graph, refiner: &mut Refiner) -> Vec<usize> {
 /// assert_eq!(c.class_count(5), 1);
 /// ```
 pub fn color_refinement(g: &Graph, rounds: usize) -> ColorClasses {
-    let mut refiner = Refiner::new();
-    let mut blocks = Vec::new();
+    let mut state = RoundState::for_graph(g);
     let mut levels = Vec::with_capacity(rounds + 1);
-    levels.push(degree_partition(g, &mut refiner));
+    levels.push(degree_partition(g, &mut state.refiner));
     for _ in 0..rounds {
-        let (next, _) = refine_round(g, levels.last().expect("depth 0"), &mut refiner, &mut blocks);
+        let (next, _) = refine_round(g, levels.last().expect("depth 0"), &mut state);
         levels.push(next);
     }
     ColorClasses { levels }
@@ -136,12 +176,10 @@ pub fn color_refinement(g: &Graph, rounds: usize) -> ColorClasses {
 /// [`ColorClasses`] contains levels `0..=round + 1` (the last two levels
 /// are equal, witnessing stability).
 pub fn stable_coloring(g: &Graph) -> (ColorClasses, usize) {
-    let mut refiner = Refiner::new();
-    let mut blocks = Vec::new();
-    let mut levels = vec![degree_partition(g, &mut refiner)];
+    let mut state = RoundState::for_graph(g);
+    let mut levels = vec![degree_partition(g, &mut state.refiner)];
     loop {
-        let (next, stable) =
-            refine_round(g, levels.last().expect("depth 0"), &mut refiner, &mut blocks);
+        let (next, stable) = refine_round(g, levels.last().expect("depth 0"), &mut state);
         levels.push(next);
         if stable {
             let round = levels.len() - 2;
@@ -253,6 +291,35 @@ mod tests {
             assert_eq!(fast.level(t), slow.level(t), "level {t}");
         }
         assert_eq!(slow.stable_round(), Some(round));
+    }
+
+    #[test]
+    fn parallel_rounds_match_sequential() {
+        // Force the chunked encode path on graphs far below the
+        // threshold: every level must be bit-identical to the
+        // sequential engine (first-seen intern order is preserved).
+        for g in [
+            generators::grid(6, 7),
+            generators::path(23),
+            Graph::disjoint_union(&[&generators::petersen(), &generators::star(5)]),
+        ] {
+            let mut seq = RoundState { threads: 1, ..RoundState::default() };
+            let mut par = RoundState { threads: 3, ..RoundState::default() };
+            let mut level_s = degree_partition(&g, &mut seq.refiner);
+            let mut level_p = degree_partition(&g, &mut par.refiner);
+            assert_eq!(level_s, level_p);
+            for round in 0..g.len() {
+                let (next_s, stable_s) = refine_round(&g, &level_s, &mut seq);
+                let (next_p, stable_p) = refine_round(&g, &level_p, &mut par);
+                assert_eq!(next_s, next_p, "{g} diverged at round {round}");
+                assert_eq!(stable_s, stable_p);
+                if stable_s {
+                    break;
+                }
+                level_s = next_s;
+                level_p = next_p;
+            }
+        }
     }
 
     #[test]

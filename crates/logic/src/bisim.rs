@@ -23,20 +23,43 @@
 //! Rounds run on the interned-signature engine of
 //! [`portnum_graph::partition`] (shared with 1-WL colour refinement): a
 //! world's signature is encoded as a flat run of `u64` words — previous
-//! block, then per dense relation id the sorted successor blocks (with
-//! multiplicities when graded) — into a scratch buffer reused across
-//! worlds and rounds, and interned to a dense block id with an
-//! FxHash-keyed table. Nothing is allocated per world; new blocks cost
-//! one allocation each. Combined with the CSR successor store of
-//! [`Kripke`] the inner loop is a linear walk over flat arrays.
+//! block, then for each *nonempty* relation row its dense relation id
+//! followed by the sorted successor blocks (with multiplicities when
+//! graded) — into a scratch buffer reused across worlds and rounds, and
+//! interned to a dense block id with an FxHash-keyed table. Nothing is
+//! allocated per world; new blocks cost one allocation each.
+//!
+//! Empty rows are skipped entirely: each world's nonempty relation rows
+//! are indexed once per run, which on many-relation models (K₊,₊ stores
+//! O(Δ²) relations, almost all rows empty) shrinks the per-round work
+//! from O(worlds × relations) to O(edges). Embedding the relation id in
+//! the signature keeps the encoding canonical without per-relation
+//! separators — [`Refiner::push_blocks`] is prefix-free, so streams
+//! cannot collide across different row splits.
 //!
 //! Level-by-level history (needed for `t`-step queries) costs O(n) memory
 //! per round; fixpoint-only callers ([`bisimilar`], [`bisimilar_across`],
 //! the quotient construction) use [`refine_fixpoint`], which keeps only
 //! the final partition.
+//!
+//! On models with at least [`PARALLEL_THRESHOLD`] signature words of
+//! per-round encode work (worlds + stored successor pairs) each round
+//! runs in two phases: the encode phase (gather + sort + flatten
+//! signatures — the dominant cost) fans out over scoped threads into
+//! chunk-local
+//! [`SignatureBuffer`]s, and the intern phase walks the buffers in world
+//! order through the shared table, so block ids (and therefore every
+//! partition) are bit-identical to the sequential engine's.
 
 use crate::kripke::Kripke;
-use portnum_graph::partition::{Counting, Refiner};
+use portnum_graph::partition::{
+    encode_threads, parallel_encode, threads_for, Counting, Refiner, SignatureBuffer,
+};
+
+/// Minimum signature words of per-round encode work (worlds + stored
+/// successor pairs) before refinement rounds parallelise their encode
+/// phase; below this, thread-spawn overhead dominates the round.
+pub const PARALLEL_THRESHOLD: usize = portnum_graph::partition::PARALLEL_THRESHOLD;
 
 /// Plain (set-based) or graded (counting) refinement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,6 +210,31 @@ fn refine_impl(
     depth: Option<usize>,
     keep_levels: bool,
 ) -> BisimClasses {
+    refine_engine(
+        model,
+        style,
+        depth,
+        keep_levels,
+        threads_for(model.len() + model.relation_entry_count()),
+    )
+}
+
+/// Runs the full-history refinement with the encode phase forced onto
+/// worker threads regardless of model size. Exists so tests and benches
+/// can pin the parallel path against the sequential one; use [`refine`]
+/// and friends everywhere else.
+#[doc(hidden)]
+pub fn refine_forced_parallel(model: &Kripke, style: BisimStyle) -> BisimClasses {
+    refine_engine(model, style, None, true, encode_threads().max(2))
+}
+
+fn refine_engine(
+    model: &Kripke,
+    style: BisimStyle,
+    depth: Option<usize>,
+    keep_levels: bool,
+    threads: usize,
+) -> BisimClasses {
     let n = model.len();
     let relations = model.relation_count();
     let counting = style.counting();
@@ -196,7 +244,52 @@ fn refine_impl(
     let mut prev = refiner.seed_partition((0..n).map(|v| model.degree(v) as u64));
     let mut levels = if keep_levels { vec![prev.clone()] } else { Vec::new() };
 
+    // Index each world's nonempty relation rows once per run: signatures
+    // then skip empty rows (the overwhelming majority on K₊,₊, which has
+    // O(Δ²) relations), pushing the relation id into the signature to
+    // stay canonical. The index is itself CSR — world `v`'s rows are
+    // `row_index[row_bounds[v]..row_bounds[v + 1]]`, ascending by
+    // relation — so building it costs two flat passes and two
+    // allocations, no per-world `Vec`s. Skipped at depth 0, where the
+    // round loop never runs.
+    const EMPTY_ROW: (u64, &[u32]) = (0, &[]);
+    let (row_bounds, row_index) = if depth == Some(0) {
+        (vec![0usize; n + 1], Vec::new())
+    } else {
+        let mut row_bounds = vec![0usize; n + 1];
+        for r in 0..relations {
+            let (offsets, _) = model.relation_rows(r);
+            let mut start = offsets[0];
+            for v in 0..n {
+                let end = offsets[v + 1];
+                row_bounds[v + 1] += (end > start) as usize;
+                start = end;
+            }
+        }
+        for v in 0..n {
+            row_bounds[v + 1] += row_bounds[v];
+        }
+        let mut row_index = vec![EMPTY_ROW; row_bounds[n]];
+        let mut cursor = row_bounds.clone();
+        for r in 0..relations {
+            let (offsets, targets) = model.relation_rows(r);
+            let mut start = offsets[0];
+            for v in 0..n {
+                let end = offsets[v + 1];
+                if end > start {
+                    row_index[cursor[v]] = (r as u64, &targets[start..end]);
+                    cursor[v] += 1;
+                }
+                start = end;
+            }
+        }
+        (row_bounds, row_index)
+    };
+    let world_rows =
+        |v: usize| -> &[(u64, &[u32])] { &row_index[row_bounds[v]..row_bounds[v + 1]] };
+
     let mut blocks: Vec<usize> = Vec::new();
+    let mut buffers: Vec<SignatureBuffer> = Vec::new();
     let mut next: Vec<usize> = Vec::with_capacity(n);
     let mut rounds = 0usize;
     let mut stable = n <= 1;
@@ -204,13 +297,40 @@ fn refine_impl(
     while depth.is_none_or(|d| rounds < d) {
         refiner.begin_round();
         next.clear();
-        for v in 0..n {
-            refiner.begin_signature(prev[v]);
-            for r in 0..relations {
-                blocks.extend(model.successors_dense(r, v).iter().map(|&w| prev[w]));
-                refiner.push_blocks(&mut blocks, counting);
+        if threads > 1 {
+            // Phase 1 (parallel): encode every world's signature against
+            // the frozen `prev` into chunk-local buffers.
+            let prev_ref = &prev;
+            parallel_encode(n, threads, &mut buffers, |range, buf| {
+                let mut blocks = std::mem::take(buf.blocks_scratch());
+                for v in range {
+                    buf.begin(prev_ref[v]);
+                    for &(r, row) in world_rows(v) {
+                        buf.push_word(r);
+                        blocks.extend(row.iter().map(|&w| prev_ref[w as usize]));
+                        buf.push_blocks(&mut blocks, counting);
+                    }
+                    buf.end();
+                }
+                *buf.blocks_scratch() = blocks;
+            });
+            // Phase 2 (sequential): intern in world order — first-seen
+            // ids come out identical to the sequential engine.
+            for buf in &buffers {
+                for i in 0..buf.len() {
+                    next.push(refiner.commit_slice(buf.signature(i)));
+                }
             }
-            next.push(refiner.commit());
+        } else {
+            for v in 0..n {
+                refiner.begin_signature(prev[v]);
+                for &(r, row) in world_rows(v) {
+                    refiner.push_word(r);
+                    blocks.extend(row.iter().map(|&w| prev[w as usize]));
+                    refiner.push_blocks(&mut blocks, counting);
+                }
+                next.push(refiner.commit());
+            }
         }
         rounds += 1;
         // Block ids are first-seen canonical at every level, so the

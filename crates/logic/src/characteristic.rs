@@ -119,7 +119,7 @@ pub fn characteristic(model: &Kripke, style: BisimStyle, depth: usize) -> Charac
                 // Count successors per previous-level class.
                 let mut counts: Vec<usize> = vec![0; prev.len()];
                 for &w in model.successors(rep, index) {
-                    counts[prev_level[w]] += 1;
+                    counts[prev_level[w as usize]] += 1;
                 }
                 let reachable: Vec<usize> =
                     (0..prev.len()).filter(|&c| counts[c] > 0).collect();
@@ -173,7 +173,7 @@ fn class_representatives(level: &[usize], n: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::evaluate;
+    use crate::eval::evaluate_packed;
     use portnum_graph::{generators, PortNumbering};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -182,10 +182,10 @@ mod tests {
         let chars = characteristic(model, style, depth);
         for t in 0..=depth {
             for v in 0..model.len() {
-                let truth = evaluate(model, chars.formula_for(v, t)).unwrap();
-                for (w, &truth_w) in truth.iter().enumerate() {
+                let truth = evaluate_packed(model, chars.formula_for(v, t)).unwrap();
+                for w in 0..model.len() {
                     assert_eq!(
-                        truth_w,
+                        truth.get(w),
                         chars.classes().equivalent_at(t, v, w),
                         "χ^{t}_{v} at {w} (style {style:?})"
                     );
@@ -253,10 +253,10 @@ mod tests {
         let k = Kripke::k_mm(&g);
         let plain = characteristic_formula(&k, BisimStyle::Plain, a, 2);
         let graded = characteristic_formula(&k, BisimStyle::Graded, a, 2);
-        let tp = evaluate(&k, &plain).unwrap();
-        let tg = evaluate(&k, &graded).unwrap();
-        assert!(tp[a] && tp[b], "plain χ cannot separate the white nodes");
-        assert!(tg[a] && !tg[b], "graded χ separates them");
+        let tp = evaluate_packed(&k, &plain).unwrap();
+        let tg = evaluate_packed(&k, &graded).unwrap();
+        assert!(tp.get(a) && tp.get(b), "plain χ cannot separate the white nodes");
+        assert!(tg.get(a) && !tg.get(b), "graded χ separates them");
     }
 
     #[test]
@@ -267,10 +267,10 @@ mod tests {
         let cycle = Kripke::k_mm(&generators::cycle(4));
         let union = star.disjoint_union(&cycle);
         let chi = characteristic_formula(&union, BisimStyle::Plain, 0, 2);
-        let truth = evaluate(&union, &chi).unwrap();
-        assert!(truth[0]);
-        for (w, &truth_w) in truth.iter().enumerate().skip(star.len()) {
-            assert!(!truth_w, "cycle node {w} is not 2-equivalent to the centre");
+        let truth = evaluate_packed(&union, &chi).unwrap();
+        assert!(truth.get(0));
+        for w in star.len()..union.len() {
+            assert!(!truth.get(w), "cycle node {w} is not 2-equivalent to the centre");
         }
     }
 

@@ -5,23 +5,66 @@
 //! algorithm-to-formula compiler) are checked in time linear in the number
 //! of *distinct* subformulas times the model size.
 //!
-//! Memoised truth vectors are stored as `Rc<Vec<bool>>`: a cache hit
-//! bumps a reference count instead of cloning the vector (the previous
-//! implementation cloned each cached `Vec<bool>` twice per hit, which
-//! dominated on compiler-generated formulas with heavy sharing).
+//! # Packed truth vectors
+//!
+//! Truth vectors are [`Bitset`]s — one bit per world, 64 worlds per
+//! `u64` word — so the propositional connectives (`¬`, `∧`, `∨`) are
+//! word-parallel loops instead of per-world byte ops, and the memo holds
+//! `Rc<Bitset>` at 1/8 the footprint of the former `Rc<Vec<bool>>`
+//! (a cache hit still only bumps a reference count). Diamonds walk the
+//! model's CSR successor rows testing bits of the subformula's vector;
+//! grade-1 diamonds (`⟨α⟩φ = ⟨α⟩≥1 φ`, by far the most common) early-exit
+//! at the first satisfying successor.
+//!
+//! [`evaluate_packed`] is the native entry point; [`evaluate`] /
+//! [`satisfies`] / [`extension`] are thin views over it kept for callers
+//! that want `Vec<bool>` / a single world / a world list.
 
 use crate::error::LogicError;
 use crate::formula::{Formula, FormulaKind};
 use crate::kripke::Kripke;
-use std::collections::HashMap;
+use portnum_graph::bitset::Bitset;
+use portnum_graph::partition::FxHashMap;
 use std::rc::Rc;
 
-/// Evaluates `formula` at every world of `model`.
+/// Evaluates `formula` at every world of `model`, packed one bit per
+/// world.
 ///
 /// # Errors
 ///
 /// Returns [`LogicError::FamilyMismatch`] if the formula uses modalities
 /// from a different index family than the model interprets.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::generators;
+/// use portnum_logic::{evaluate_packed, Formula, Kripke, ModalIndex};
+///
+/// let k = Kripke::k_mm(&generators::path(3));
+/// let f = Formula::box_(ModalIndex::Any, &Formula::prop(1));
+/// let truth = evaluate_packed(&k, &f)?;
+/// assert_eq!(truth.to_bools(), vec![false, true, false]);
+/// # Ok::<(), portnum_logic::LogicError>(())
+/// ```
+pub fn evaluate_packed(model: &Kripke, formula: &Formula) -> Result<Bitset, LogicError> {
+    let mut memo: FxHashMap<*const FormulaKind, Rc<Bitset>> = FxHashMap::default();
+    let result = eval_rec(model, formula, &mut memo)?;
+    drop(memo);
+    // The memo is gone, so the root Rc is unique unless the root formula
+    // shares a node with itself (impossible); unwrap without copying.
+    Ok(Rc::try_unwrap(result).unwrap_or_else(|rc| (*rc).clone()))
+}
+
+/// Evaluates `formula` at every world of `model`, as one `bool` per
+/// world.
+///
+/// Compatibility wrapper over [`evaluate_packed`]; prefer the packed
+/// form in new code — it is what the evaluator computes natively.
+///
+/// # Errors
+///
+/// See [`evaluate_packed`].
 ///
 /// # Examples
 ///
@@ -38,63 +81,54 @@ use std::rc::Rc;
 /// # Ok::<(), portnum_logic::LogicError>(())
 /// ```
 pub fn evaluate(model: &Kripke, formula: &Formula) -> Result<Vec<bool>, LogicError> {
-    let mut memo: HashMap<*const FormulaKind, Rc<Vec<bool>>> = HashMap::new();
-    let result = eval_rec(model, formula, &mut memo)?;
-    drop(memo);
-    // The memo is gone, so the root Rc is unique unless the root formula
-    // shares a node with itself (impossible); unwrap without copying.
-    Ok(Rc::try_unwrap(result).unwrap_or_else(|rc| (*rc).clone()))
+    Ok(evaluate_packed(model, formula)?.to_bools())
 }
 
 /// Evaluates `formula` at a single world.
 ///
 /// # Errors
 ///
-/// See [`evaluate`].
+/// See [`evaluate_packed`].
 pub fn satisfies(model: &Kripke, world: usize, formula: &Formula) -> Result<bool, LogicError> {
-    Ok(evaluate(model, formula)?[world])
+    Ok(evaluate_packed(model, formula)?.get(world))
 }
 
 /// The extension `‖formula‖` as a set of world ids.
 ///
 /// # Errors
 ///
-/// See [`evaluate`].
+/// See [`evaluate_packed`].
 pub fn extension(model: &Kripke, formula: &Formula) -> Result<Vec<usize>, LogicError> {
-    Ok(evaluate(model, formula)?
-        .into_iter()
-        .enumerate()
-        .filter_map(|(v, sat)| sat.then_some(v))
-        .collect())
+    Ok(evaluate_packed(model, formula)?.iter_ones().collect())
 }
 
 fn eval_rec(
     model: &Kripke,
     formula: &Formula,
-    memo: &mut HashMap<*const FormulaKind, Rc<Vec<bool>>>,
-) -> Result<Rc<Vec<bool>>, LogicError> {
+    memo: &mut FxHashMap<*const FormulaKind, Rc<Bitset>>,
+) -> Result<Rc<Bitset>, LogicError> {
     let key = formula.kind() as *const FormulaKind;
     if let Some(cached) = memo.get(&key) {
         return Ok(Rc::clone(cached));
     }
     let n = model.len();
-    let result: Vec<bool> = match formula.kind() {
-        FormulaKind::Top => vec![true; n],
-        FormulaKind::Bottom => vec![false; n],
-        FormulaKind::Prop(d) => (0..n).map(|v| model.degree(v) == *d).collect(),
+    let result: Bitset = match formula.kind() {
+        FormulaKind::Top => Bitset::ones(n),
+        FormulaKind::Bottom => Bitset::zeros(n),
+        FormulaKind::Prop(d) => Bitset::from_fn(n, |v| model.degree(v) == *d),
         FormulaKind::Not(a) => {
             let inner = eval_rec(model, a, memo)?;
-            inner.iter().map(|&b| !b).collect()
+            inner.not()
         }
         FormulaKind::And(a, b) => {
             let left = eval_rec(model, a, memo)?;
             let right = eval_rec(model, b, memo)?;
-            left.iter().zip(right.iter()).map(|(&x, &y)| x && y).collect()
+            left.and(&right)
         }
         FormulaKind::Or(a, b) => {
             let left = eval_rec(model, a, memo)?;
             let right = eval_rec(model, b, memo)?;
-            left.iter().zip(right.iter()).map(|(&x, &y)| x || y).collect()
+            left.or(&right)
         }
         FormulaKind::Diamond { index, grade, inner } => {
             if index.family() != model.variant().family() {
@@ -104,19 +138,51 @@ fn eval_rec(
                 });
             }
             let sat = eval_rec(model, inner, memo)?;
-            // Resolve the relation once per diamond, not once per world.
+            if *grade == 0 {
+                // ⟨α⟩≥0 φ is vacuously true, with or without a stored
+                // relation.
+                return cache(memo, key, Bitset::ones(n));
+            }
+            // Resolve the relation once per diamond, not once per world,
+            // and test successor bits on the raw words: the successor
+            // loop is the evaluator's hottest code and `w` is already
+            // range-checked by construction (CSR targets are world ids).
+            let sat_words = sat.words();
+            let test = |w: u32| sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1;
             match model.relation_id(*index) {
-                None => vec![*grade == 0; n],
-                Some(r) => (0..n)
-                    .map(|v| {
-                        let count =
-                            model.successors_dense(r, v).iter().filter(|&&w| sat[w]).count();
-                        count >= *grade
+                None => Bitset::zeros(n),
+                Some(r) => {
+                    let (offsets, targets) = model.relation_rows(r);
+                    // `from_fn` visits worlds in order, so the row start
+                    // is carried instead of re-read each iteration.
+                    let mut start = offsets[0];
+                    Bitset::from_fn(n, |v| {
+                        let end = offsets[v + 1];
+                        let row = &targets[start..end];
+                        start = end;
+                        let mut count = 0usize;
+                        // Early-exit once the grade is met: successors
+                        // past the threshold cannot change the answer
+                        // (for grade 1 — the common case — this stops at
+                        // the first satisfying successor).
+                        row.iter().any(|&w| {
+                            count += test(w) as usize;
+                            count >= *grade
+                        })
                     })
-                    .collect(),
+                }
             }
         }
     };
+    cache(memo, key, result)
+}
+
+/// Memoises `result` under `key` and returns the shared handle.
+fn cache(
+    memo: &mut FxHashMap<*const FormulaKind, Rc<Bitset>>,
+    key: *const FormulaKind,
+    result: Bitset,
+) -> Result<Rc<Bitset>, LogicError> {
     let result = Rc::new(result);
     memo.insert(key, Rc::clone(&result));
     Ok(result)
@@ -171,6 +237,17 @@ mod tests {
     }
 
     #[test]
+    fn grade_zero_diamonds_hold_everywhere() {
+        // ⟨α⟩≥0 φ is vacuously true, with or without a stored relation.
+        let k = Kripke::k_mm(&generators::path(3));
+        let f = Formula::diamond_geq(ModalIndex::Any, 0, &Formula::bottom());
+        assert_eq!(evaluate(&k, &f).unwrap(), vec![true; 3]);
+        let kp = Kripke::k_pp(&generators::path(3), &PortNumbering::consistent(&generators::path(3)));
+        let g0 = Formula::diamond_geq(ModalIndex::InOut(9, 9), 0, &Formula::bottom());
+        assert_eq!(evaluate(&kp, &g0).unwrap(), vec![true; 3]);
+    }
+
+    #[test]
     fn family_mismatch_is_an_error() {
         let k = Kripke::k_mm(&generators::cycle(3));
         let f = Formula::diamond(ModalIndex::Out(0), &Formula::top());
@@ -185,6 +262,19 @@ mod tests {
         let k = Kripke::k_mm(&generators::star(3));
         let f = Formula::prop(1);
         assert_eq!(extension(&k, &f).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn packed_and_unpacked_agree() {
+        let k = Kripke::k_mm(&generators::grid(3, 3));
+        let f = Formula::box_(ModalIndex::Any, &Formula::prop(2))
+            .or(&Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(3)).not());
+        let packed = evaluate_packed(&k, &f).unwrap();
+        assert_eq!(packed.to_bools(), evaluate(&k, &f).unwrap());
+        assert_eq!(packed.len(), k.len());
+        let ext = extension(&k, &f).unwrap();
+        assert!(ext.iter().all(|&v| packed.get(v)));
+        assert_eq!(ext.len(), packed.count_ones());
     }
 
     #[test]

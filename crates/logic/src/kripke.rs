@@ -27,6 +27,12 @@
 //! refinement inner loop) walks two contiguous arrays in order. Dense
 //! relation ids (`0..relation_count()`) let hot paths skip the
 //! by-[`ModalIndex`] lookup entirely via [`Kripke::successors_dense`].
+//!
+//! Targets are stored as `u32` world ids (models are capped at `2³²`
+//! worlds, asserted on construction): half the relation memory of
+//! `usize` targets, so twice as many successors per cache line on the
+//! refinement and evaluation sweeps. Accessors therefore hand out
+//! `&[u32]`; widen with `w as usize` when indexing host-side arrays.
 
 use crate::error::LogicError;
 use crate::formula::{IndexFamily, ModalIndex};
@@ -59,11 +65,11 @@ impl ModelVariant {
 }
 
 /// One relation in CSR form: successors of `v` are
-/// `targets[offsets[v] .. offsets[v + 1]]`.
+/// `targets[offsets[v] .. offsets[v + 1]]`, stored as `u32` world ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct CsrRelation {
     offsets: Vec<usize>,
-    targets: Vec<usize>,
+    targets: Vec<u32>,
 }
 
 impl CsrRelation {
@@ -78,16 +84,16 @@ impl CsrRelation {
             offsets[v + 1] += offsets[v];
         }
         let mut cursor = offsets.clone();
-        let mut targets = vec![0usize; pairs.len()];
+        let mut targets = vec![0u32; pairs.len()];
         for &(v, w) in pairs {
-            targets[cursor[v]] = w;
+            targets[cursor[v]] = w as u32;
             cursor[v] += 1;
         }
         CsrRelation { offsets, targets }
     }
 
     #[inline]
-    fn row(&self, v: usize) -> &[usize] {
+    fn row(&self, v: usize) -> &[u32] {
         &self.targets[self.offsets[v]..self.offsets[v + 1]]
     }
 }
@@ -117,7 +123,7 @@ pub struct Kripke {
     index_keys: Vec<ModalIndex>,
     /// CSR relations, parallel to `index_keys`.
     relations: Vec<CsrRelation>,
-    empty: Vec<usize>,
+    empty: Vec<u32>,
 }
 
 impl Kripke {
@@ -130,6 +136,7 @@ impl Kripke {
         groups: BTreeMap<ModalIndex, Vec<(usize, usize)>>,
     ) -> Kripke {
         let n = degree.len();
+        assert!(n <= u32::MAX as usize, "Kripke models are capped at 2^32 worlds");
         let mut index_keys = Vec::with_capacity(groups.len());
         let mut relations = Vec::with_capacity(groups.len());
         for (index, pairs) in groups {
@@ -238,8 +245,8 @@ impl Kripke {
     }
 
     /// Successors of `v` under the relation for `index` (empty if the
-    /// relation does not occur in the model).
-    pub fn successors(&self, v: usize, index: ModalIndex) -> &[usize] {
+    /// relation does not occur in the model), as `u32` world ids.
+    pub fn successors(&self, v: usize, index: ModalIndex) -> &[u32] {
         match self.index_keys.binary_search(&index) {
             Ok(r) => self.relations[r].row(v),
             Err(_) => &self.empty,
@@ -279,8 +286,30 @@ impl Kripke {
     ///
     /// Panics if `r >= self.relation_count()` or `v >= self.len()`.
     #[inline]
-    pub fn successors_dense(&self, r: usize, v: usize) -> &[usize] {
+    pub fn successors_dense(&self, r: usize, v: usize) -> &[u32] {
         self.relations[r].row(v)
+    }
+
+    /// Total number of stored successor pairs across all relations —
+    /// the refinement engine's per-round signature encode work.
+    pub fn relation_entry_count(&self) -> usize {
+        self.relations.iter().map(|rel| rel.targets.len()).sum()
+    }
+
+    /// The raw CSR arrays of dense relation id `r`: successors of `v` are
+    /// `targets[offsets[v]..offsets[v + 1]]`. For loops over *all* worlds
+    /// (the model checker's diamond evaluation) this beats per-world
+    /// [`Kripke::successors_dense`] calls: the relation is resolved once
+    /// and a sequential scan can carry `offsets[v + 1]` over as the next
+    /// row's start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.relation_count()`.
+    #[inline]
+    pub fn relation_rows(&self, r: usize) -> (&[usize], &[u32]) {
+        let rel = &self.relations[r];
+        (&rel.offsets, &rel.targets)
     }
 
     /// Disjoint union with another model of the same variant; worlds of
@@ -297,6 +326,7 @@ impl Kripke {
         assert_eq!(self.variant, other.variant, "variants must match");
         let offset = self.len();
         let n = offset + other.len();
+        assert!(n <= u32::MAX as usize, "Kripke models are capped at 2^32 worlds");
         let mut degree = self.degree.clone();
         degree.extend_from_slice(&other.degree);
 
@@ -358,7 +388,7 @@ impl Kripke {
         }
         for v in 0..n - offset {
             if let Some(rel) = right {
-                targets.extend(rel.row(v).iter().map(|&w| w + offset));
+                targets.extend(rel.row(v).iter().map(|&w| w + offset as u32));
             }
             offsets.push(targets.len());
         }
@@ -389,7 +419,9 @@ mod tests {
         let g = generators::cycle(4);
         let k = Kripke::k_mm(&g);
         for v in g.nodes() {
-            assert_eq!(k.successors(v, ModalIndex::Any), g.neighbors(v));
+            let widened: Vec<usize> =
+                k.successors(v, ModalIndex::Any).iter().map(|&w| w as usize).collect();
+            assert_eq!(widened, g.neighbors(v));
         }
         assert_eq!(k.degree(0), 2);
     }
@@ -461,8 +493,8 @@ mod tests {
                 assert_eq!(u.successors(v, ModalIndex::In(i)), a.successors(v, ModalIndex::In(i)));
             }
         }
-        let shifted: Vec<usize> =
-            b.successors(0, ModalIndex::In(0)).iter().map(|&w| w + a.len()).collect();
+        let shifted: Vec<u32> =
+            b.successors(0, ModalIndex::In(0)).iter().map(|&w| w + a.len() as u32).collect();
         assert_eq!(u.successors(a.len(), ModalIndex::In(0)), shifted);
     }
 

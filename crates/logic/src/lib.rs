@@ -8,7 +8,8 @@
 //! * [`parse`] — a text syntax round-tripping with `Display`;
 //! * [`Kripke`] — the canonical models `K₊,₊ / K₋,₊ / K₊,₋ / K₋,₋(G, p)`
 //!   of Section 4.3, plus custom models;
-//! * [`evaluate`] — a memoising model checker;
+//! * [`evaluate`]/[`evaluate_packed`] — a memoising model checker over
+//!   packed (`u64`-word) truth vectors;
 //! * [`bisim`] — plain and graded bisimulation via partition refinement,
 //!   bounded or to fixpoint (Section 4.2, Fact 1);
 //! * [`characteristic`] — Hennessy–Milner characteristic formulas: the
@@ -62,7 +63,7 @@ mod transform;
 
 pub use characteristic::{characteristic, characteristic_formula, CharacteristicFormulas};
 pub use error::{CompileError, LogicError, ParseError};
-pub use eval::{evaluate, extension, satisfies};
+pub use eval::{evaluate, evaluate_packed, extension, satisfies};
 pub use formula::{Formula, FormulaKind, IndexFamily, ModalIndex};
 pub use kripke::{Kripke, ModelVariant};
 pub use parser::parse;

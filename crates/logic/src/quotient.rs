@@ -79,7 +79,7 @@ pub fn quotient(model: &Kripke, classes: &BisimClasses) -> (Kripke, Vec<usize>) 
         let mut rows = vec![Vec::new(); block_count];
         for v in 0..model.len() {
             let b = level[v];
-            rows[b].extend(model.successors_dense(r, v).iter().map(|&w| level[w]));
+            rows[b].extend(model.successors_dense(r, v).iter().map(|&w| level[w as usize]));
         }
         for row in &mut rows {
             row.sort_unstable();
@@ -107,7 +107,7 @@ pub fn minimum_base(model: &Kripke) -> (Kripke, Vec<usize>) {
 mod tests {
     use super::*;
     use crate::bisim::{bisimilar_across, refine, refine_bounded};
-    use crate::eval::evaluate;
+    use crate::eval::evaluate_packed;
     use crate::formula::{Formula, ModalIndex};
     use portnum_graph::{generators, PortNumbering};
 
@@ -132,10 +132,10 @@ mod tests {
         let (q, map) = minimum_base(&k);
         assert!(q.len() < k.len(), "the witness graph has symmetry to exploit");
         for f in ungraded_samples(1, &|_| ModalIndex::Any) {
-            let orig = evaluate(&k, &f).unwrap();
-            let quot = evaluate(&q, &f).unwrap();
-            for v in 0..k.len() {
-                assert_eq!(orig[v], quot[map[v]], "{f} at {v}");
+            let orig = evaluate_packed(&k, &f).unwrap();
+            let quot = evaluate_packed(&q, &f).unwrap();
+            for (v, &b) in map.iter().enumerate() {
+                assert_eq!(orig.get(v), quot.get(b), "{f} at {v}");
             }
         }
     }
@@ -150,10 +150,10 @@ mod tests {
         ] {
             let (q, map) = minimum_base(&k);
             for f in ungraded_samples(3, &indexer) {
-                let orig = evaluate(&k, &f).unwrap();
-                let quot = evaluate(&q, &f).unwrap();
-                for v in 0..k.len() {
-                    assert_eq!(orig[v], quot[map[v]], "{f} at {v}");
+                let orig = evaluate_packed(&k, &f).unwrap();
+                let quot = evaluate_packed(&q, &f).unwrap();
+                for (v, &b) in map.iter().enumerate() {
+                    assert_eq!(orig.get(v), quot.get(b), "{f} at {v}");
                 }
             }
         }

@@ -1,0 +1,143 @@
+//! Property tests pinning the packed (bitset) model checker to a naive
+//! reference evaluator.
+//!
+//! The reference is the textbook semantics over `Vec<bool>`: no
+//! memoisation, no packing, one recursive call per subformula
+//! occurrence. The packed evaluator must agree bit-for-bit on random
+//! formulas over random models of **all four** canonical variants, and
+//! the `evaluate` / `satisfies` / `extension` wrappers must stay
+//! consistent views of the packed result.
+
+use portnum_graph::{Graph, PortNumbering};
+use portnum_logic::{
+    evaluate, evaluate_packed, extension, satisfies, Formula, FormulaKind, Kripke, ModalIndex,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=9).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
+            let mut b = Graph::builder(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if mask[idx] {
+                        b.edge(u, v).expect("pairs distinct");
+                    }
+                    idx += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Random formulas whose modal indices come from `mk(in_port, out_port)`,
+/// so each canonical variant gets formulas of its own index family.
+fn arb_formula(mk: fn(usize, usize) -> ModalIndex) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::top()),
+        Just(Formula::bottom()),
+        (0usize..=4).prop_map(Formula::prop),
+    ];
+    leaf.prop_recursive(4, 20, 3, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(&b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(&b)),
+            (0usize..=3, 0usize..=2, 0usize..=2, inner)
+                .prop_map(move |(k, i, j, f)| Formula::diamond_geq(mk(i, j), k, &f)),
+        ]
+    })
+}
+
+/// Textbook semantics: unmemoised recursion over `Vec<bool>`.
+fn reference_eval(model: &Kripke, formula: &Formula) -> Vec<bool> {
+    let n = model.len();
+    match formula.kind() {
+        FormulaKind::Top => vec![true; n],
+        FormulaKind::Bottom => vec![false; n],
+        FormulaKind::Prop(d) => (0..n).map(|v| model.degree(v) == *d).collect(),
+        FormulaKind::Not(a) => reference_eval(model, a).iter().map(|&b| !b).collect(),
+        FormulaKind::And(a, b) => {
+            let (x, y) = (reference_eval(model, a), reference_eval(model, b));
+            x.iter().zip(&y).map(|(&p, &q)| p && q).collect()
+        }
+        FormulaKind::Or(a, b) => {
+            let (x, y) = (reference_eval(model, a), reference_eval(model, b));
+            x.iter().zip(&y).map(|(&p, &q)| p || q).collect()
+        }
+        FormulaKind::Diamond { index, grade, inner } => {
+            let sat = reference_eval(model, inner);
+            (0..n)
+                .map(|v| {
+                    let count = model
+                        .successors(v, *index)
+                        .iter()
+                        .filter(|&&w| sat[w as usize])
+                        .count();
+                    count >= *grade
+                })
+                .collect()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_matches_reference_on_all_variants(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        f_pp in arb_formula(ModalIndex::InOut),
+        f_mp in arb_formula(|_i, j| ModalIndex::Out(j)),
+        f_pm in arb_formula(|i, _j| ModalIndex::In(i)),
+        f_mm in arb_formula(|_i, _j| ModalIndex::Any),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let cases = [
+            (Kripke::k_pp(&g, &p), &f_pp),
+            (Kripke::k_mp(&g, &p), &f_mp),
+            (Kripke::k_pm(&g, &p), &f_pm),
+            (Kripke::k_mm(&g), &f_mm),
+        ];
+        for (model, f) in &cases {
+            let expected = reference_eval(model, f);
+            let packed = evaluate_packed(model, f).unwrap();
+            prop_assert_eq!(packed.len(), model.len());
+            prop_assert_eq!(
+                &packed.to_bools(), &expected,
+                "variant {:?} on {} with {}", model.variant(), g, f
+            );
+            // The wrapper views are consistent projections of the packed
+            // vector.
+            prop_assert_eq!(&evaluate(model, f).unwrap(), &expected);
+            let ext = extension(model, f).unwrap();
+            prop_assert_eq!(ext.len(), packed.count_ones());
+            for (v, &sat) in expected.iter().enumerate() {
+                prop_assert_eq!(satisfies(model, v, f).unwrap(), sat);
+                prop_assert_eq!(ext.contains(&v), sat);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_memoisation_is_sound_under_sharing(
+        g in arb_graph(),
+        f in arb_formula(|_i, _j| ModalIndex::Any),
+    ) {
+        // Sharing the same subtree many times must not change truth —
+        // the memo returns the identical packed vector each time.
+        let k = Kripke::k_mm(&g);
+        let shared = f.and(&f).or(&f.and(&f)).not().not();
+        prop_assert_eq!(
+            evaluate_packed(&k, &shared).unwrap().to_bools(),
+            reference_eval(&k, &shared)
+        );
+    }
+}

@@ -9,7 +9,9 @@
 //! every depth* for both styles on all four canonical model variants.
 
 use portnum_graph::{Graph, PortNumbering};
-use portnum_logic::bisim::{refine, refine_bounded, refine_fixpoint, BisimStyle};
+use portnum_logic::bisim::{
+    refine, refine_bounded, refine_fixpoint, refine_forced_parallel, BisimStyle,
+};
 use portnum_logic::{Kripke, ModalIndex};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -58,7 +60,7 @@ fn reference_refine(model: &Kripke, style: BisimStyle, rounds: usize) -> Vec<Vec
             let mut per_index = Vec::with_capacity(indices.len());
             for &index in &indices {
                 let mut blocks: Vec<usize> =
-                    model.successors(v, index).iter().map(|&w| prev[w]).collect();
+                    model.successors(v, index).iter().map(|&w| prev[w as usize]).collect();
                 blocks.sort_unstable();
                 let mut counted: Vec<(usize, usize)> = Vec::new();
                 for b in blocks {
@@ -142,6 +144,32 @@ proptest! {
                         canonical(&slow[t.min(slow.len() - 1)]),
                         "variant {:?}, style {:?}, depth {} (bound {})",
                         model.variant(), style, t, depth
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_parallel_refinement_matches_sequential(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        // The chunked encode + in-order intern path must produce levels
+        // BIT-identical (not just partition-equal) to the sequential
+        // engine, far below the auto-parallel threshold.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        for model in all_variants(&g, &p) {
+            for style in [BisimStyle::Plain, BisimStyle::Graded] {
+                let seq = refine(&model, style);
+                let par = refine_forced_parallel(&model, style);
+                prop_assert!(par.is_stable());
+                prop_assert_eq!(seq.depth(), par.depth());
+                for t in 0..=seq.depth() {
+                    prop_assert_eq!(
+                        seq.level(t), par.level(t),
+                        "variant {:?}, style {:?}, level {}", model.variant(), style, t
                     );
                 }
             }

@@ -151,18 +151,30 @@ impl Simulator {
         let mut stats = Vec::new();
         let mut round = 0usize;
 
-        // Hoisted out of the round loop: the routing table (the port
-        // numbering never changes mid-run, so resolve `p.forward` once per
-        // out-port instead of once per out-port per round), the inbox
-        // buffers (reset in place each round instead of reallocating
-        // `Vec<Vec<Payload>>`), and the running-node count (updated when a
-        // node stops instead of rescanned twice per round).
-        let routes: Vec<Vec<Port>> = g
-            .nodes()
-            .map(|v| (0..g.degree(v)).map(|i| p.forward(Port::new(v, i))).collect())
-            .collect();
-        let mut inboxes: Vec<Vec<Payload<A::Msg>>> =
-            g.nodes().map(|v| vec![Payload::Silent; g.degree(v)]).collect();
+        // Hoisted out of the round loop: the inbox arena, the routing
+        // table, and the running-node count (updated when a node stops
+        // instead of rescanned twice per round).
+        //
+        // Inboxes live in ONE flat arena indexed by per-node port
+        // offsets — in-port `i` of node `v` is `arena[offsets[v] + i]` —
+        // so a round touches a single contiguous allocation instead of
+        // chasing one `Vec` per node. Routing is resolved all the way to
+        // arena slots: out-port `i` of node `v` delivers into
+        // `arena[route_slots[offsets[v] + i]]`, making each send one
+        // indexed store (the port numbering never changes mid-run).
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in g.nodes() {
+            offsets.push(offsets[v] + g.degree(v));
+        }
+        let mut route_slots = Vec::with_capacity(offsets[n]);
+        for v in g.nodes() {
+            for i in 0..g.degree(v) {
+                let target = p.forward(Port::new(v, i));
+                route_slots.push(offsets[target.node] + target.index);
+            }
+        }
+        let mut arena: Vec<Payload<A::Msg>> = vec![Payload::Silent; offsets[n]];
         let mut running = states.iter().filter(|s| !s.is_stopped()).count();
 
         while running > 0 {
@@ -175,22 +187,21 @@ impl Simulator {
             round += 1;
 
             // Phase 1: every running node writes into its neighbours'
-            // in-port buffers; stopped nodes contribute silence.
-            for inbox in &mut inboxes {
-                for slot in inbox.iter_mut() {
-                    *slot = Payload::Silent;
-                }
+            // in-port slots; stopped nodes contribute silence.
+            for slot in arena.iter_mut() {
+                *slot = Payload::Silent;
             }
             let mut round_stats = RoundStats { nodes_running: running, ..RoundStats::default() };
             for v in g.nodes() {
                 if let Status::Running(state) = &states[v] {
-                    for (i, target) in routes[v].iter().enumerate() {
+                    let base = offsets[v];
+                    for i in 0..g.degree(v) {
                         let msg = algo.message(state, i);
                         let units = msg.size_units();
                         round_stats.messages_sent += 1;
                         round_stats.total_message_units += units;
                         round_stats.max_message_units = round_stats.max_message_units.max(units);
-                        inboxes[target.node][target.index] = Payload::Data(msg);
+                        arena[route_slots[base + i]] = Payload::Data(msg);
                     }
                 }
             }
@@ -198,7 +209,7 @@ impl Simulator {
             // Phase 2: simultaneous transitions.
             for v in g.nodes() {
                 if let Status::Running(state) = &states[v] {
-                    let next = algo.step(state, &inboxes[v]);
+                    let next = algo.step(state, &arena[offsets[v]..offsets[v + 1]]);
                     if next.is_stopped() {
                         stop_times[v] = round;
                         running -= 1;
