@@ -1,14 +1,21 @@
-//! Model checking scaling: formula depth sweep and shared-subformula
-//! memoisation, each comparing the packed (`Bitset`) evaluator against
-//! the byte-at-a-time `Vec<bool>` evaluator it replaced.
+//! Model checking scaling: formula depth sweep, shared-subformula
+//! memoisation, compiled-plan suites, and diamond strategies.
 //!
-//! `evaluate_legacy` below reproduces the pre-bitset evaluator (memoised
-//! `Rc<Vec<bool>>`, one byte per world) so the packed-vs-legacy delta
-//! stays measurable after the legacy path is gone from the library.
+//! Three engines are compared: the plan engine behind
+//! [`evaluate_packed`] (hash-consed IR, slot recycling, forward/reverse
+//! diamonds), the recursive pointer-memoised bitset engine
+//! ([`evaluate_packed_recursive`], the differential-testing reference),
+//! and `evaluate_legacy` below — the pre-bitset evaluator (memoised
+//! `Rc<Vec<bool>>`, one byte per world) kept verbatim so the historical
+//! delta stays measurable after the legacy path is gone from the
+//! library.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use portnum_bench::workloads;
-use portnum_logic::{evaluate_packed, Formula, FormulaKind, Kripke};
+use portnum_logic::plan::DiamondMode;
+use portnum_logic::{
+    evaluate_packed, evaluate_packed_recursive, Formula, FormulaKind, Kripke, Plan,
+};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
@@ -96,6 +103,55 @@ fn bench_shared_subformulas(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_formula_suite(c: &mut Criterion) {
+    // Sixteen diamond towers of increasing depth, built independently:
+    // tower `d` structurally contains tower `d − 1`, but nothing shares
+    // `Arc`s — the compiler-suite shape where pointer memoisation is
+    // blind and structural hash-consing collapses the whole suite to
+    // O(deepest tower) instructions.
+    let suite: Vec<Formula> = (1..=16).map(workloads::nested_diamonds).collect();
+    for w in workloads::gnp_sweep(&[128], 0.05, 5) {
+        let k = Kripke::k_mm(&w.graph);
+        let mut group = c.benchmark_group("model_checking/formula_suite16");
+        group.bench_function("plan_compile_and_execute", |b| {
+            b.iter(|| Plan::compile_suite(&k, suite.iter()).unwrap().execute(&k))
+        });
+        let plan = Plan::compile_suite(&k, suite.iter()).unwrap();
+        group.bench_function("plan_execute_precompiled", |b| b.iter(|| plan.execute(&k)));
+        group.bench_function("recursive", |b| {
+            b.iter(|| {
+                suite
+                    .iter()
+                    .map(|f| evaluate_packed_recursive(&k, f).unwrap().count_ones())
+                    .sum::<usize>()
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_diamond_strategies(c: &mut Criterion) {
+    // Deep alternating-grade towers: the grade-1 levels are eligible
+    // for predecessor-row unions, the grade-2 levels always count
+    // forward — `auto` picks per instruction.
+    let f = workloads::nested_diamonds(16);
+    for w in workloads::gnp_sweep(&[512], 0.05, 5) {
+        let k = Kripke::k_mm(&w.graph);
+        let plan = Plan::compile(&k, &f).unwrap();
+        let mut group = c.benchmark_group("model_checking/diamond_strategy");
+        for (name, mode) in [
+            ("auto", DiamondMode::Auto),
+            ("forward", DiamondMode::Forward),
+            ("reverse", DiamondMode::Reverse),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, w.graph.len()), &mode, |b, &mode| {
+                b.iter(|| plan.execute_with(&k, mode))
+            });
+        }
+        group.finish();
+    }
+}
+
 fn configure() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -106,6 +162,7 @@ fn configure() -> Criterion {
 criterion_group! {
     name = benches;
     config = configure();
-    targets = bench_depth_sweep, bench_shared_subformulas
+    targets = bench_depth_sweep, bench_shared_subformulas, bench_formula_suite,
+        bench_diamond_strategies
 }
 criterion_main!(benches);

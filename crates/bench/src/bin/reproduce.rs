@@ -16,7 +16,9 @@ use portnum_logic::compile::{
     compile_broadcast, compile_mb, compile_multiset, compile_sb, compile_set, compile_vector,
     mb_algorithm_to_formulas, ToFormulaOptions,
 };
-use portnum_logic::{evaluate, evaluate_packed, parse, Formula, Kripke, ModalIndex};
+use portnum_logic::{
+    evaluate, evaluate_packed, evaluate_packed_recursive, parse, Formula, Kripke, ModalIndex, Plan,
+};
 use portnum_machine::adapters::{
     BroadcastAsVector, MbAsVector, MultisetAsVector, ObliviousAsSb, SbAsVector, SetAsVector,
 };
@@ -167,6 +169,64 @@ fn bench_eval_snapshot() {
             median,
             ones
         );
+    }
+
+    // Shared-structure formula suite: sixteen independently built
+    // diamond towers (structurally nested, no shared `Arc`s), checked
+    // as one compiled plan vs. one recursive evaluation per formula.
+    let suite: Vec<Formula> = (1..=16).map(workloads::nested_diamonds).collect();
+    for w in workloads::gnp_sweep(&[128, 512], 0.05, 5) {
+        let k = Kripke::k_mm(&w.graph);
+        let reference: Vec<usize> = suite
+            .iter()
+            .map(|f| evaluate_packed(&k, f).expect("suite case").count_ones())
+            .collect();
+        let total_ones: usize = reference.iter().sum();
+        let suite_cases = [
+            (
+                "formula_suite_plan",
+                median_us(
+                    || Plan::compile_suite(&k, suite.iter()).expect("suite compiles").execute(&k),
+                    |truths| {
+                        let ones: Vec<usize> =
+                            truths.iter().map(portnum_graph::bitset::Bitset::count_ones).collect();
+                        assert_eq!(ones, reference);
+                    },
+                ),
+            ),
+            (
+                "formula_suite_recursive",
+                median_us(
+                    || {
+                        suite
+                            .iter()
+                            .map(|f| {
+                                evaluate_packed_recursive(&k, f).expect("suite case").count_ones()
+                            })
+                            .collect::<Vec<usize>>()
+                    },
+                    |ones| assert_eq!(ones, reference),
+                ),
+            ),
+        ];
+        for (case, median) in suite_cases {
+            t.row([
+                w.name.clone(),
+                case.to_string(),
+                format!("{median:.1}"),
+                total_ones.to_string(),
+            ]);
+            let _ = writeln!(
+                json,
+                "{{\"bench\":\"eval\",\"workload\":\"{}\",\"case\":\"{}\",\"worlds\":{},\
+                 \"median_us\":{:.1},\"ones\":{}}}",
+                w.name,
+                case,
+                k.len(),
+                median,
+                total_ones
+            );
+        }
     }
     print!("{}", t.render());
     match std::fs::write("BENCH_eval.json", &json) {

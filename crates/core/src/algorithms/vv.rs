@@ -5,13 +5,35 @@ use portnum_machine::{MessageSize, Payload, Status, VectorAlgorithm};
 /// A truncated Yamashita–Kameda view: the full port-labelled unfolding of
 /// the graph around a node to a fixed depth. Two nodes have equal views of
 /// depth `t` iff no `Vector` algorithm can distinguish them in `t` rounds.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct View {
     /// Degree of the root node.
     pub degree: usize,
     /// For each in-port `i` (in order): the out-port the feeding neighbour
     /// used, and that neighbour's view of depth one less.
     pub children: Vec<(usize, View)>,
+}
+
+// Manual `Clone` for the sake of `clone_from`: views are trees of
+// `Vec`s, and the simulator's payload recycling re-clones a node's view
+// into the same inbox slot every round — deep `clone_from` reuses the
+// entire previous tree's allocations when the shape matches (it grows
+// by one level per round, so interior nodes always match).
+impl Clone for View {
+    fn clone(&self) -> View {
+        View { degree: self.degree, children: self.children.clone() }
+    }
+
+    fn clone_from(&mut self, source: &View) {
+        self.degree = source.degree;
+        self.children.truncate(source.children.len());
+        for (dst, src) in self.children.iter_mut().zip(&source.children) {
+            dst.0 = src.0;
+            dst.1.clone_from(&src.1);
+        }
+        let grown = self.children.len();
+        self.children.extend_from_slice(&source.children[grown..]);
+    }
 }
 
 impl View {
@@ -69,6 +91,23 @@ impl VectorAlgorithm for ViewGather {
 
     fn message(&self, (_, view): &(usize, View), port: usize) -> (usize, View) {
         (port, view.clone())
+    }
+
+    fn message_into(
+        &self,
+        (_, view): &(usize, View),
+        port: usize,
+        slot: &mut Payload<(usize, View)>,
+    ) {
+        // Reuse last round's view tree in place; its shape is a strict
+        // prefix of this round's, so every allocation is recycled.
+        match slot.data_mut() {
+            Some((j, old)) => {
+                *j = port;
+                old.clone_from(view);
+            }
+            None => *slot = Payload::Data((port, view.clone())),
+        }
     }
 
     fn step(

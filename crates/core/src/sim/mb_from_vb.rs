@@ -59,6 +59,19 @@ impl<A: BroadcastAlgorithm> MbAlgorithm for MbFromVb<A> {
         history
     }
 
+    fn broadcast_into(&self, state: &Self::State, slot: &mut Payload<Self::Msg>) {
+        // As in `MultisetFromVector`: refill the delivered history
+        // buffer in place instead of allocating one Vec per message.
+        match slot.data_mut() {
+            Some(history) => {
+                history.clear();
+                history.extend(state.sent.iter().cloned());
+                history.push(Payload::Data(self.inner.broadcast(&state.inner)));
+            }
+            None => *slot = Payload::Data(self.broadcast(state)),
+        }
+    }
+
     fn step(
         &self,
         state: &Self::State,

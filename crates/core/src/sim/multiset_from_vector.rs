@@ -76,6 +76,19 @@ impl<A: VectorAlgorithm> MultisetAlgorithm for MultisetFromVector<A> {
         history
     }
 
+    fn message_into(&self, state: &Self::State, port: usize, slot: &mut Payload<Self::Msg>) {
+        // History messages grow by one entry per round; refill last
+        // round's buffer instead of allocating a fresh Vec per message.
+        match slot.data_mut() {
+            Some(history) => {
+                history.clear();
+                history.extend(state.sent[port].iter().cloned());
+                history.push(Payload::Data(self.inner.message(&state.inner, port)));
+            }
+            None => *slot = Payload::Data(self.message(state, port)),
+        }
+    }
+
     fn step(
         &self,
         state: &Self::State,

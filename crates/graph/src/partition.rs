@@ -346,10 +346,15 @@ pub fn threads_for(work: usize) -> usize {
 }
 
 /// Runs one round's encode phase in parallel: splits `0..n` into up to
-/// `threads` contiguous chunks and calls `encode(range, buffer)` for
-/// each on its own scoped thread. `buffers` is resized to the chunk
-/// count and cleared; storage persists across calls so repeated rounds
-/// reuse capacity.
+/// `threads` contiguous chunks **of equal node count** and calls
+/// `encode(range, buffer)` for each on its own scoped thread. `buffers`
+/// is resized to the chunk count and cleared; storage persists across
+/// calls so repeated rounds reuse capacity.
+///
+/// On degree-skewed inputs equal node ranges are a poor split — one hub
+/// world's signature can dominate a round and serialise it behind a
+/// single thread. When per-node work is known, prefer
+/// [`parallel_encode_weighted`], which splits at work quantiles.
 ///
 /// The caller completes the round by interning every buffered signature
 /// **in node order** via [`Refiner::commit_slice`]; since ids are
@@ -359,12 +364,63 @@ where
     F: Fn(Range<usize>, &mut SignatureBuffer) + Sync,
 {
     let threads = threads.clamp(1, n.max(1));
-    buffers.resize_with(threads, SignatureBuffer::default);
     let chunk = n.div_ceil(threads);
+    let ranges = (0..threads).map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n));
+    encode_ranges(ranges.collect(), buffers, encode);
+}
+
+/// Work-balanced variant of [`parallel_encode`]: `work` is the
+/// prefix-sum array of per-node encode work (`work[v + 1] - work[v]` ≈
+/// signature words node `v` will emit; `work.len() == n + 1`), and
+/// chunk boundaries are placed at work quantiles instead of equal node
+/// counts, so a hub node no longer serialises the round behind one
+/// thread. Refinement front-ends derive `work` from the CSR offsets
+/// they already hold.
+///
+/// Chunks remain contiguous and in node order, so the sequential intern
+/// phase — and therefore every block id — is unchanged.
+///
+/// # Panics
+///
+/// Panics if `work` is empty (it must have an entry per node plus the
+/// leading zero).
+pub fn parallel_encode_weighted<F>(
+    work: &[usize],
+    threads: usize,
+    buffers: &mut Vec<SignatureBuffer>,
+    encode: F,
+) where
+    F: Fn(Range<usize>, &mut SignatureBuffer) + Sync,
+{
+    let n = work.len().checked_sub(1).expect("work must be a prefix-sum array of length n + 1");
+    let threads = threads.clamp(1, n.max(1));
+    let total = work[n];
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for i in 0..threads {
+        let end = if i + 1 == threads {
+            n
+        } else {
+            // First node index whose cumulative work reaches this
+            // chunk's quantile.
+            let target = (total * (i + 1)).div_ceil(threads);
+            work.partition_point(|&w| w < target).clamp(start, n)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    encode_ranges(ranges, buffers, encode);
+}
+
+/// Shared scoped-thread fan-out over precomputed contiguous ranges.
+fn encode_ranges<F>(ranges: Vec<Range<usize>>, buffers: &mut Vec<SignatureBuffer>, encode: F)
+where
+    F: Fn(Range<usize>, &mut SignatureBuffer) + Sync,
+{
+    buffers.resize_with(ranges.len(), SignatureBuffer::default);
     std::thread::scope(|scope| {
-        for (i, buffer) in buffers.iter_mut().enumerate() {
+        for (range, buffer) in ranges.into_iter().zip(buffers.iter_mut()) {
             let encode = &encode;
-            let range = (i * chunk).min(n)..((i + 1) * chunk).min(n);
             scope.spawn(move || {
                 buffer.clear();
                 if !range.is_empty() {
@@ -509,6 +565,58 @@ mod tests {
         });
         let total: usize = buffers.iter().map(SignatureBuffer::len).sum();
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn weighted_encode_covers_all_nodes_in_order() {
+        // Hub-heavy work: node 0 carries almost everything. The split
+        // must still cover 0..n exactly once, in order.
+        let n = 16usize;
+        let mut work = vec![0usize; n + 1];
+        for v in 0..n {
+            work[v + 1] = work[v] + if v == 0 { 1000 } else { 1 };
+        }
+        let mut buffers = Vec::new();
+        parallel_encode_weighted(&work, 4, &mut buffers, |range, buf| {
+            for v in range {
+                buf.begin(v);
+                buf.end();
+            }
+        });
+        let flat: Vec<u64> = buffers
+            .iter()
+            .flat_map(|b| (0..b.len()).map(|i| b.signature(i)[0]))
+            .collect();
+        assert_eq!(flat, (0..n as u64).collect::<Vec<_>>());
+        // The hub is isolated in its own chunk instead of dragging a
+        // quarter of the nodes with it.
+        assert_eq!(buffers[0].len(), 1, "hub chunk holds only the hub");
+    }
+
+    #[test]
+    fn weighted_encode_balances_uniform_work_like_equal_ranges() {
+        let n = 24usize;
+        let work: Vec<usize> = (0..=n).collect(); // unit work per node
+        let mut weighted = Vec::new();
+        parallel_encode_weighted(&work, 3, &mut weighted, |range, buf| {
+            for v in range {
+                buf.begin(v);
+                buf.end();
+            }
+        });
+        assert!(weighted.iter().all(|b| b.len() == 8), "uniform work splits evenly");
+        // Zero-work arrays degenerate gracefully (everything in the
+        // last chunk, nothing lost).
+        let zeros = vec![0usize; n + 1];
+        let mut buffers = Vec::new();
+        parallel_encode_weighted(&zeros, 3, &mut buffers, |range, buf| {
+            for v in range {
+                buf.begin(v);
+                buf.end();
+            }
+        });
+        let total: usize = buffers.iter().map(SignatureBuffer::len).sum();
+        assert_eq!(total, n);
     }
 
     #[test]

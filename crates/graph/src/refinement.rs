@@ -20,7 +20,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::partition::{
-    parallel_encode, threads_for, Counting, Refiner, SignatureBuffer,
+    parallel_encode_weighted, threads_for, Counting, Refiner, SignatureBuffer,
 };
 
 /// Per-round colour classes: `levels[t][v]` is node `v`'s colour after `t`
@@ -95,6 +95,9 @@ struct RoundState {
     buffers: Vec<SignatureBuffer>,
     /// Worker threads for the encode phase (1 = sequential).
     threads: usize,
+    /// Prefix sums of per-node encode work (degrees do not change, so
+    /// one array serves every round); built only when `threads > 1`.
+    work: Vec<usize>,
 }
 
 impl RoundState {
@@ -103,17 +106,35 @@ impl RoundState {
         // of every edge.
         RoundState { threads: threads_for(g.len() + 2 * g.edge_count()), ..RoundState::default() }
     }
+
+    /// Builds the per-node work prefix sums (colour word + count slot +
+    /// one entry per neighbour) used to balance the parallel chunks.
+    /// Idempotent; [`refine_round`] calls it lazily so a `RoundState`
+    /// cannot reach the parallel path without its work array.
+    fn ensure_work(&mut self, g: &Graph) {
+        if self.threads > 1 && self.work.len() != g.len() + 1 {
+            self.work.clear();
+            self.work.reserve(g.len() + 1);
+            self.work.push(0);
+            for v in g.nodes() {
+                self.work.push(self.work[v] + 2 + g.degree(v));
+            }
+        }
+    }
 }
 
 /// One colour-refinement round over the shared engine; returns the next
 /// level and whether it equals `prev` (i.e. the partition is stable).
 fn refine_round(g: &Graph, prev: &[usize], state: &mut RoundState) -> (Vec<usize>, bool) {
     state.refiner.begin_round();
+    state.ensure_work(g);
     let mut next = Vec::with_capacity(g.len());
     if state.threads > 1 {
-        // Parallel encode into chunk-local buffers, then intern in node
-        // order (first-seen ids match the sequential engine exactly).
-        parallel_encode(g.len(), state.threads, &mut state.buffers, |range, buf| {
+        // Parallel encode into chunk-local buffers split at work
+        // quantiles (a hub node gets a chunk to itself), then intern in
+        // node order (first-seen ids match the sequential engine
+        // exactly).
+        parallel_encode_weighted(&state.work, state.threads, &mut state.buffers, |range, buf| {
             let mut blocks = std::mem::take(buf.blocks_scratch());
             for v in range {
                 buf.begin(prev[v]);

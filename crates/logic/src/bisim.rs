@@ -50,10 +50,17 @@
 //! [`SignatureBuffer`]s, and the intern phase walks the buffers in world
 //! order through the shared table, so block ids (and therefore every
 //! partition) are bit-identical to the sequential engine's.
+//!
+//! Chunk boundaries sit at *work* quantiles, not equal world counts:
+//! each world's encode cost (≈ its signature words, derived from the
+//! CSR row index built once per run) is prefix-summed and the rounds
+//! split via [`parallel_encode_weighted`], so a degree-skewed hub world
+//! no longer drags a full node-range behind one thread while the other
+//! threads finish early.
 
 use crate::kripke::Kripke;
 use portnum_graph::partition::{
-    encode_threads, parallel_encode, threads_for, Counting, Refiner, SignatureBuffer,
+    encode_threads, parallel_encode_weighted, threads_for, Counting, Refiner, SignatureBuffer,
 };
 
 /// Minimum signature words of per-round encode work (worlds + stored
@@ -288,6 +295,22 @@ fn refine_engine(
     let world_rows =
         |v: usize| -> &[(u64, &[u32])] { &row_index[row_bounds[v]..row_bounds[v + 1]] };
 
+    // Per-world encode work for the balanced parallel split: one word
+    // for the previous block plus, per nonempty row, the relation id,
+    // the count slot, and the successor entries. Only the *relative*
+    // weights matter, so multiplicity words are not modelled.
+    let work: Vec<usize> = if threads > 1 {
+        let mut work = Vec::with_capacity(n + 1);
+        work.push(0);
+        for v in 0..n {
+            let row_words: usize = world_rows(v).iter().map(|&(_, row)| 2 + row.len()).sum();
+            work.push(work[v] + 1 + row_words);
+        }
+        work
+    } else {
+        Vec::new()
+    };
+
     let mut blocks: Vec<usize> = Vec::new();
     let mut buffers: Vec<SignatureBuffer> = Vec::new();
     let mut next: Vec<usize> = Vec::with_capacity(n);
@@ -299,9 +322,10 @@ fn refine_engine(
         next.clear();
         if threads > 1 {
             // Phase 1 (parallel): encode every world's signature against
-            // the frozen `prev` into chunk-local buffers.
+            // the frozen `prev` into chunk-local buffers, split at
+            // work quantiles so a hub world cannot serialise the round.
             let prev_ref = &prev;
-            parallel_encode(n, threads, &mut buffers, |range, buf| {
+            parallel_encode_weighted(&work, threads, &mut buffers, |range, buf| {
                 let mut blocks = std::mem::take(buf.blocks_scratch());
                 for v in range {
                     buf.begin(prev_ref[v]);

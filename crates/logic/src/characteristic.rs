@@ -180,9 +180,19 @@ mod tests {
 
     fn assert_exact(model: &Kripke, style: BisimStyle, depth: usize) {
         let chars = characteristic(model, style, depth);
+        // One plan cache for the whole χ suite: deeper characteristic
+        // formulas embed the shallower ones, so the checker recomputes
+        // nothing across the (v, t) sweep — and must agree with the
+        // recursive reference on every query.
+        let mut checker = crate::plan::ModelChecker::new(model);
         for t in 0..=depth {
             for v in 0..model.len() {
-                let truth = evaluate_packed(model, chars.formula_for(v, t)).unwrap();
+                let truth = checker.check(chars.formula_for(v, t)).unwrap();
+                assert_eq!(
+                    *truth,
+                    evaluate_packed(model, chars.formula_for(v, t)).unwrap(),
+                    "plan cache vs one-shot plan, χ^{t}_{v}"
+                );
                 for w in 0..model.len() {
                     assert_eq!(
                         truth.get(w),
@@ -192,6 +202,12 @@ mod tests {
                 }
             }
         }
+        // The (v, t) sweep re-checks each class formula once per class
+        // member and embeds level t − 1 in level t, so the shared cache
+        // must resolve most checks without computing anything new.
+        let stats = checker.stats();
+        assert!(stats.dedup_hits > 0, "{stats:?}");
+        assert!(stats.computed < stats.ast_nodes, "{stats:?}");
     }
 
     #[test]

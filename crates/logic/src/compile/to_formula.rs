@@ -618,11 +618,25 @@ mod tests {
             let p = PortNumbering::consistent(&g);
             let run = Simulator::new().run(&TwoRounds, &g, &p).unwrap();
             let k = Kripke::k_pp(&g, &p);
+            // One per-model checker for the whole emitted suite: the
+            // compiler's formulas share structure, so the plan cache
+            // computes strictly fewer vectors than it lowers AST nodes.
+            let mut checker = crate::plan::ModelChecker::new(&k);
             for (o, psi) in &formulas {
                 let expected: Vec<bool> =
                     run.outputs().iter().map(|out| out == o).collect();
-                assert_eq!(evaluate(&k, psi).unwrap(), expected, "graph {g}, output {o}");
+                assert_eq!(
+                    checker.check(psi).unwrap().to_bools(),
+                    expected,
+                    "graph {g}, output {o}"
+                );
             }
+            // The emitted suite shares structure across outputs, so the
+            // cache must compute strictly fewer vectors than it lowered
+            // AST nodes (pure pointer memoisation would tie, not beat).
+            let stats = checker.stats();
+            assert!(stats.computed < stats.ast_nodes, "{stats:?}");
+            assert!(stats.dedup_hits > 0, "{stats:?}");
         }
     }
 
@@ -677,10 +691,15 @@ mod tests {
             for p in [PortNumbering::consistent(&g), PortNumbering::random(&g, &mut rng)] {
                 let run = Simulator::new().run(&MultisetAsVector(TwoTwos), &g, &p).unwrap();
                 let k = Kripke::k_mp(&g, &p);
+                let mut checker = crate::plan::ModelChecker::new(&k);
                 for (o, psi) in &formulas {
                     let expected: Vec<bool> =
                         run.outputs().iter().map(|out| out == o).collect();
-                    assert_eq!(evaluate(&k, psi).unwrap(), expected, "graph {g}, output {o}");
+                    assert_eq!(
+                        checker.check(psi).unwrap().to_bools(),
+                        expected,
+                        "graph {g}, output {o}"
+                    );
                 }
             }
         }
@@ -735,10 +754,14 @@ mod tests {
             for p in [PortNumbering::consistent(&g), PortNumbering::random(&g, &mut rng)] {
                 let run = Simulator::new().run(&BroadcastAsVector(BcTwoRounds), &g, &p).unwrap();
                 let k = Kripke::k_pm(&g, &p);
-                for (o, psi) in &formulas {
+                // Whole suite through one shared plan, roots in suite order.
+                let plan =
+                    crate::plan::Plan::compile_suite(&k, formulas.iter().map(|(_, f)| f)).unwrap();
+                let truths = plan.execute(&k);
+                for ((o, psi), truth) in formulas.iter().zip(&truths) {
                     let expected: Vec<bool> =
                         run.outputs().iter().map(|out| out == o).collect();
-                    assert_eq!(evaluate(&k, psi).unwrap(), expected, "graph {g}, output {o}");
+                    assert_eq!(truth.to_bools(), expected, "graph {g}, output {o}: {psi}");
                 }
             }
         }

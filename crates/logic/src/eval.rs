@@ -1,34 +1,48 @@
 //! Model checking: evaluating formulas over all worlds of a Kripke model.
 //!
-//! The evaluator is bottom-up and memoises shared subformulas by identity,
-//! so formulas built with heavy structural sharing (as produced by the
-//! algorithm-to-formula compiler) are checked in time linear in the number
-//! of *distinct* subformulas times the model size.
+//! [`evaluate_packed`] compiles the formula into a one-shot
+//! [`Plan`](crate::plan::Plan) — a hash-consed, topologically ordered
+//! instruction list — and runs it as a linear loop. Structurally equal
+//! subformulas are evaluated once *even when they share no memory*, and
+//! diamond instructions pick between the forward CSR walk and the
+//! reverse predecessor-row union per instruction (see
+//! [`crate::plan`] for the lowering, slot-recycling, and cost-heuristic
+//! details). Checking many formulas against one model? Use
+//! [`Plan::compile_suite`](crate::plan::Plan::compile_suite) or the
+//! incremental [`ModelChecker`](crate::plan::ModelChecker) instead of
+//! repeated `evaluate_packed` calls.
 //!
 //! # Packed truth vectors
 //!
 //! Truth vectors are [`Bitset`]s — one bit per world, 64 worlds per
 //! `u64` word — so the propositional connectives (`¬`, `∧`, `∨`) are
-//! word-parallel loops instead of per-world byte ops, and the memo holds
-//! `Rc<Bitset>` at 1/8 the footprint of the former `Rc<Vec<bool>>`
-//! (a cache hit still only bumps a reference count). Diamonds walk the
-//! model's CSR successor rows testing bits of the subformula's vector;
-//! grade-1 diamonds (`⟨α⟩φ = ⟨α⟩≥1 φ`, by far the most common) early-exit
-//! at the first satisfying successor.
+//! word-parallel loops instead of per-world byte ops.
 //!
 //! [`evaluate_packed`] is the native entry point; [`evaluate`] /
 //! [`satisfies`] / [`extension`] are thin views over it kept for callers
 //! that want `Vec<bool>` / a single world / a world list.
+//!
+//! # The recursive reference engine
+//!
+//! [`evaluate_packed_recursive`] is the pre-plan engine: a bottom-up
+//! walk over the `Arc`-linked AST memoising by pointer identity. It is
+//! kept as the differential-testing reference (the proptests pin plans
+//! bit-identical to it) and as the baseline the benches measure plans
+//! against.
 
 use crate::error::LogicError;
 use crate::formula::{Formula, FormulaKind};
 use crate::kripke::Kripke;
+use crate::plan::Plan;
 use portnum_graph::bitset::Bitset;
 use portnum_graph::partition::FxHashMap;
 use std::rc::Rc;
 
 /// Evaluates `formula` at every world of `model`, packed one bit per
 /// world.
+///
+/// Compiles a single-formula [`Plan`](crate::plan::Plan) and executes
+/// it; see the module docs for when to hold a suite-level plan instead.
 ///
 /// # Errors
 ///
@@ -48,6 +62,20 @@ use std::rc::Rc;
 /// # Ok::<(), portnum_logic::LogicError>(())
 /// ```
 pub fn evaluate_packed(model: &Kripke, formula: &Formula) -> Result<Bitset, LogicError> {
+    Ok(Plan::compile(model, formula)?.execute(model).pop().expect("one root per formula"))
+}
+
+/// The recursive, pointer-memoised evaluator — the reference
+/// implementation plans are differential-tested against.
+///
+/// Prefer [`evaluate_packed`]: this engine recomputes structurally
+/// equal subformulas that do not share `Arc`s and never uses the
+/// reverse diamond path.
+///
+/// # Errors
+///
+/// See [`evaluate_packed`].
+pub fn evaluate_packed_recursive(model: &Kripke, formula: &Formula) -> Result<Bitset, LogicError> {
     let mut memo: FxHashMap<*const FormulaKind, Rc<Bitset>> = FxHashMap::default();
     let result = eval_rec(model, formula, &mut memo)?;
     drop(memo);
@@ -93,7 +121,9 @@ pub fn satisfies(model: &Kripke, world: usize, formula: &Formula) -> Result<bool
     Ok(evaluate_packed(model, formula)?.get(world))
 }
 
-/// The extension `‖formula‖` as a set of world ids.
+/// The extension `‖formula‖` as a set of world ids, driven directly by
+/// [`Bitset::iter_ones`] on the packed result (no intermediate
+/// `Vec<bool>`).
 ///
 /// # Errors
 ///
@@ -287,6 +317,18 @@ mod tests {
         }
         let k = Kripke::k_mm(&generators::cycle(5));
         assert_eq!(evaluate(&k, &f).unwrap(), vec![true; 5]);
+    }
+
+    #[test]
+    fn plan_and_recursive_engines_agree() {
+        let k = Kripke::k_mm(&generators::grid(3, 4));
+        let f = Formula::box_(ModalIndex::Any, &Formula::prop(3))
+            .or(&Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(2)))
+            .and(&Formula::diamond(ModalIndex::Any, &Formula::prop(4)).not());
+        assert_eq!(
+            evaluate_packed(&k, &f).unwrap(),
+            evaluate_packed_recursive(&k, &f).unwrap()
+        );
     }
 
     #[test]

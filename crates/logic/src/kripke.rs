@@ -33,11 +33,24 @@
 //! `usize` targets, so twice as many successors per cache line on the
 //! refinement and evaluation sweeps. Accessors therefore hand out
 //! `&[u32]`; widen with `w as usize` when indexing host-side arrays.
+//!
+//! # Reverse adjacency
+//!
+//! The forward CSR answers "successors of `v`" in O(row); the packed
+//! model checker's reverse diamond path also needs "predecessors of
+//! `w`" as *bit rows*, so `⟨α⟩φ` can be computed as a union of whole
+//! predecessor rows over `iter_ones(‖φ‖)`. [`Kripke::predecessor_rows`]
+//! materialises one [`BitMatrix`] per relation — n² bits, so only worth
+//! it for relations the evaluator actually drives in reverse — lazily
+//! and at most once per relation (a `OnceLock` per relation; the cache
+//! is ignored by `PartialEq` and survives `clone`).
 
 use crate::error::LogicError;
 use crate::formula::{IndexFamily, ModalIndex};
+use portnum_graph::bitset::BitMatrix;
 use portnum_graph::{Graph, Port, PortNumbering};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Which of the four canonical model variants a [`Kripke`] model is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,7 +128,7 @@ impl CsrRelation {
 /// # let _ = p;
 /// # Ok::<(), portnum_logic::LogicError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Kripke {
     variant: ModelVariant,
     degree: Vec<usize>,
@@ -123,8 +136,25 @@ pub struct Kripke {
     index_keys: Vec<ModalIndex>,
     /// CSR relations, parallel to `index_keys`.
     relations: Vec<CsrRelation>,
+    /// Lazily-built predecessor bit rows, parallel to `relations`.
+    /// Derived data: excluded from equality, cloned along with the model.
+    reverse: Vec<OnceLock<BitMatrix>>,
     empty: Vec<u32>,
 }
+
+// The `reverse` cache is derived from `relations`, so two models are
+// equal iff their declared parts are — comparing the cache would make
+// equality depend on evaluation history.
+impl PartialEq for Kripke {
+    fn eq(&self, other: &Kripke) -> bool {
+        self.variant == other.variant
+            && self.degree == other.degree
+            && self.index_keys == other.index_keys
+            && self.relations == other.relations
+    }
+}
+
+impl Eq for Kripke {}
 
 impl Kripke {
     /// Builds the canonical CSR layout from per-index edge lists. `groups`
@@ -143,7 +173,8 @@ impl Kripke {
             index_keys.push(index);
             relations.push(CsrRelation::from_pairs(n, &pairs));
         }
-        Kripke { variant, degree, index_keys, relations, empty: Vec::new() }
+        let reverse = (0..relations.len()).map(|_| OnceLock::new()).collect();
+        Kripke { variant, degree, index_keys, relations, reverse, empty: Vec::new() }
     }
 
     fn from_ports(
@@ -312,6 +343,43 @@ impl Kripke {
         (&rel.offsets, &rel.targets)
     }
 
+    /// The predecessor bit rows of dense relation `r`: row `w` holds the
+    /// set `{ v : w ∈ successors(v) }`, packed as a bit row directly
+    /// OR-able into a [`portnum_graph::bitset::Bitset`] over the worlds.
+    ///
+    /// Built lazily from the forward CSR on first call and cached for
+    /// the lifetime of the model (a clone carries any already-built
+    /// rows). Costs n²/8 bytes per materialised relation, which is why
+    /// the model checker gates the reverse diamond path on a footprint
+    /// cap before calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.relation_count()`.
+    pub fn predecessor_rows(&self, r: usize) -> &BitMatrix {
+        self.reverse[r].get_or_init(|| {
+            let n = self.len();
+            let mut m = BitMatrix::zeros(n, n);
+            let (offsets, targets) = self.relation_rows(r);
+            let mut start = offsets[0];
+            for v in 0..n {
+                let end = offsets[v + 1];
+                for &w in &targets[start..end] {
+                    m.insert(w as usize, v);
+                }
+                start = end;
+            }
+            m
+        })
+    }
+
+    /// Number of `u64` words a predecessor matrix of this model costs
+    /// (per relation) — the quantity the evaluator's reverse-path cap
+    /// compares against, without forcing the build.
+    pub fn predecessor_matrix_words(&self) -> usize {
+        self.len() * self.len().div_ceil(64)
+    }
+
     /// Disjoint union with another model of the same variant; worlds of
     /// `other` are shifted by `self.len()`.
     ///
@@ -364,7 +432,8 @@ impl Kripke {
                 b += 1;
             }
         }
-        Kripke { variant: self.variant, degree, index_keys, relations, empty: Vec::new() }
+        let reverse = (0..relations.len()).map(|_| OnceLock::new()).collect();
+        Kripke { variant: self.variant, degree, index_keys, relations, reverse, empty: Vec::new() }
     }
 
     /// A CSR relation over `n` worlds holding `left`'s rows for worlds
@@ -510,6 +579,29 @@ mod tests {
                     assert_eq!(k.successors_dense(r, v), k.successors(v, index));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn predecessor_rows_invert_the_forward_csr() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        for k in [Kripke::k_pp(&g, &p), Kripke::k_mp(&g, &p), Kripke::k_mm(&g)] {
+            for r in 0..k.relation_count() {
+                let m = k.predecessor_rows(r);
+                assert_eq!(m.row_count(), k.len());
+                assert_eq!(m.col_count(), k.len());
+                for v in 0..k.len() {
+                    for w in 0..k.len() {
+                        let forward = k.successors_dense(r, v).contains(&(w as u32));
+                        assert_eq!(m.get(w, v), forward, "relation {r}, edge ({v},{w})");
+                    }
+                }
+            }
+            // The cache survives cloning and does not affect equality.
+            let copy = k.clone();
+            assert_eq!(copy, k);
+            assert_eq!(copy.predecessor_rows(0), k.predecessor_rows(0));
         }
     }
 

@@ -8,8 +8,12 @@
 //! * [`parse`] — a text syntax round-tripping with `Display`;
 //! * [`Kripke`] — the canonical models `K₊,₊ / K₋,₊ / K₊,₋ / K₋,₋(G, p)`
 //!   of Section 4.3, plus custom models;
-//! * [`evaluate`]/[`evaluate_packed`] — a memoising model checker over
-//!   packed (`u64`-word) truth vectors;
+//! * [`evaluate`]/[`evaluate_packed`] — a model checker over packed
+//!   (`u64`-word) truth vectors, compiled per formula into a
+//!   hash-consed [`plan::Plan`] with forward/reverse diamond selection;
+//! * [`plan`] — compiled evaluation plans: suite-level lowering
+//!   ([`plan::Plan::compile_suite`]) and the per-model
+//!   [`plan::ModelChecker`] cache amortising suites formula by formula;
 //! * [`bisim`] — plain and graded bisimulation via partition refinement,
 //!   bounded or to fixpoint (Section 4.2, Fact 1);
 //! * [`characteristic`] — Hennessy–Milner characteristic formulas: the
@@ -58,12 +62,14 @@ mod eval;
 mod formula;
 mod kripke;
 mod parser;
+pub mod plan;
 mod quotient;
 mod transform;
 
 pub use characteristic::{characteristic, characteristic_formula, CharacteristicFormulas};
 pub use error::{CompileError, LogicError, ParseError};
-pub use eval::{evaluate, evaluate_packed, extension, satisfies};
+pub use eval::{evaluate, evaluate_packed, evaluate_packed_recursive, extension, satisfies};
+pub use plan::{DiamondMode, ModelChecker, Plan};
 pub use formula::{Formula, FormulaKind, IndexFamily, ModalIndex};
 pub use kripke::{Kripke, ModelVariant};
 pub use parser::parse;

@@ -1,0 +1,1046 @@
+//! Compiled evaluation plans: hash-consed formula IR plus a linear
+//! executor, the engine behind [`evaluate_packed`](crate::evaluate_packed).
+//!
+//! The recursive evaluator memoises subformulas by *pointer* identity,
+//! so structurally equal subformulas built separately — exactly what the
+//! algorithm-to-formula compiler and the characteristic-formula
+//! construction produce — are recomputed once per distinct `Arc`. A
+//! [`Plan`] instead **lowers** a formula (or a whole suite of formulas
+//! sharing one model) into a flat, topologically ordered instruction
+//! list with *structural* hash-consing: two subformulas that look the
+//! same become one instruction, whether or not they share memory.
+//!
+//! # Lowering
+//!
+//! Each AST node becomes at most one [`Op`]-instruction whose operands
+//! are earlier instruction ids. Lowering folds on the fly:
+//!
+//! * `⟨α⟩≥0 φ → ⊤`, and a diamond over a relation the model does not
+//!   store (or over `⊥`) `→ ⊥`;
+//! * `¬¬a → a`, `¬⊤ → ⊥`, `¬⊥ → ⊤`;
+//! * `a ∧ a → a`, `a ∧ ⊤ → a`, `a ∧ ⊥ → ⊥` (dually for `∨`), with
+//!   commutative operands canonicalised by id order so `a ∧ b` and
+//!   `b ∧ a` cons to the same instruction.
+//!
+//! Folds can orphan already-lowered subtrees, so a finished plan is
+//! compacted to the instructions reachable from its roots.
+//!
+//! # Slot allocation
+//!
+//! Every instruction writes one [`Bitset`] slot. Slots are recycled at
+//! an operand's *last use* (roots are pinned), so the executor's peak
+//! memory is bounded by the width of the instruction DAG, not its node
+//! count — a deep chain of diamonds runs in two slots however long it
+//! is. All slot writes are full overwrites, so recycled storage is
+//! reused without clearing.
+//!
+//! # Diamond strategies
+//!
+//! Diamond instructions have two implementations, chosen per
+//! instruction at execution time ([`DiamondMode::Auto`]):
+//!
+//! * **forward** — walk the relation's CSR successor rows testing bits
+//!   of `‖φ‖`, with early exit at the grade (the recursive evaluator's
+//!   strategy; cost ≈ stored successor pairs);
+//! * **reverse** — union the relation's predecessor bit rows
+//!   ([`Kripke::predecessor_rows`]) over `iter_ones(‖φ‖)`; cost ≈
+//!   `|‖φ‖| × n/64` word ORs, a large win when `‖φ‖` is sparse.
+//!
+//! Reverse is only considered for grade-1 diamonds (the graded case
+//! falls back to forward counting), only when the predecessor matrix
+//! fits under [`REVERSE_WORD_CAP`], and under [`DiamondMode::Auto`]
+//! only when `count_ones(‖φ‖) × row_words < stored successor pairs`,
+//! i.e. when the row unions beat the full CSR sweep.
+//!
+//! # Suites and the per-model cache
+//!
+//! [`Plan::compile_suite`] lowers many formulas into one plan (shared
+//! instructions evaluated once, one root per formula);
+//! [`ModelChecker`] is the incremental variant — a per-model cache that
+//! keeps the hash-cons table, every computed truth vector, and the
+//! model's bisimulation quotient alive across `check` calls, so a
+//! formula suite arriving one formula at a time (the compiler's
+//! emission order) still pays for each distinct subformula once.
+
+use crate::error::LogicError;
+use crate::formula::{Formula, FormulaKind};
+use crate::kripke::Kripke;
+use portnum_graph::bitset::Bitset;
+use portnum_graph::partition::FxHashMap;
+use std::rc::Rc;
+
+/// Strategy selection for diamond instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DiamondMode {
+    /// Choose per instruction by the cost heuristic (the default).
+    #[default]
+    Auto,
+    /// Always walk the forward CSR rows.
+    Forward,
+    /// Use predecessor rows whenever legal: grade 1 **and** the
+    /// predecessor matrix under [`REVERSE_WORD_CAP`]. Graded diamonds
+    /// and over-cap models still fall back to forward counting — check
+    /// [`ExecStats::reverse_diamonds`] when pinning this mode for a
+    /// measurement.
+    Reverse,
+}
+
+/// Predecessor matrices larger than this many `u64` words (16 MiB) are
+/// never built by the evaluator — beyond it the n²-bit reverse storage
+/// stops paying for itself against the O(edges) forward sweep.
+pub const REVERSE_WORD_CAP: usize = 1 << 21;
+
+/// One plan instruction; operands are earlier instruction ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    Top,
+    Bottom,
+    /// Degree atom `q_d`.
+    Prop(usize),
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    /// `⟨α⟩≥grade φ` with `grade ≥ 1` over a stored relation (grade 0
+    /// and missing relations fold away during lowering).
+    Diamond { rel: u32, grade: usize, inner: u32 },
+}
+
+impl Op {
+    /// Calls `f` on each operand instruction id.
+    fn for_each_operand(self, mut f: impl FnMut(u32)) {
+        match self {
+            Op::Top | Op::Bottom | Op::Prop(_) => {}
+            Op::Not(a) | Op::Diamond { inner: a, .. } => f(a),
+            Op::And(a, b) | Op::Or(a, b) => {
+                f(a);
+                f(b);
+            }
+        }
+    }
+}
+
+/// Lowering statistics — the observability hook for structural dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Pointer-distinct AST nodes visited during lowering. The
+    /// recursive evaluator computes one truth vector per such node.
+    pub ast_nodes: usize,
+    /// Live instructions — truth vectors the executor actually
+    /// computes. `instructions < ast_nodes` exactly when structural
+    /// dedup or folding removed work pointer memoisation would do.
+    pub instructions: usize,
+    /// Lowered nodes resolved to an existing instruction (hash-cons
+    /// hits, pointer-memo hits, and folds).
+    pub dedup_hits: usize,
+    /// Peak live `Bitset` slots during execution (the DAG width bound).
+    pub slots: usize,
+}
+
+/// Execution statistics of one plan run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Instructions executed (= `Bitset` computations performed).
+    pub executed: usize,
+    /// Diamonds evaluated by the forward CSR walk.
+    pub forward_diamonds: usize,
+    /// Diamonds evaluated by predecessor-row unions.
+    pub reverse_diamonds: usize,
+}
+
+/// Reusable lowering state: the instruction list, the structural
+/// hash-cons table, and the pointer memo short-circuiting re-lowering
+/// of `Arc`-shared subtrees.
+#[derive(Debug, Default)]
+struct Lowerer {
+    ops: Vec<Op>,
+    cons: FxHashMap<Op, u32>,
+    ptr_memo: FxHashMap<*const FormulaKind, u32>,
+    ast_nodes: usize,
+    dedup_hits: usize,
+}
+
+impl Lowerer {
+    fn intern(&mut self, op: Op) -> u32 {
+        if let Some(&id) = self.cons.get(&op) {
+            self.dedup_hits += 1;
+            return id;
+        }
+        let id = u32::try_from(self.ops.len()).expect("plans are capped at 2^32 instructions");
+        self.cons.insert(op, id);
+        self.ops.push(op);
+        id
+    }
+
+    fn mk_not(&mut self, a: u32) -> u32 {
+        match self.ops[a as usize] {
+            Op::Not(inner) => {
+                self.dedup_hits += 1;
+                inner
+            }
+            Op::Top => self.intern(Op::Bottom),
+            Op::Bottom => self.intern(Op::Top),
+            _ => self.intern(Op::Not(a)),
+        }
+    }
+
+    fn mk_and(&mut self, a: u32, b: u32) -> u32 {
+        let (a, b) = (a.min(b), a.max(b));
+        if a == b {
+            self.dedup_hits += 1;
+            return a;
+        }
+        match (self.ops[a as usize], self.ops[b as usize]) {
+            (Op::Bottom, _) | (_, Op::Bottom) => self.intern(Op::Bottom),
+            (Op::Top, _) => {
+                self.dedup_hits += 1;
+                b
+            }
+            (_, Op::Top) => {
+                self.dedup_hits += 1;
+                a
+            }
+            _ => self.intern(Op::And(a, b)),
+        }
+    }
+
+    fn mk_or(&mut self, a: u32, b: u32) -> u32 {
+        let (a, b) = (a.min(b), a.max(b));
+        if a == b {
+            self.dedup_hits += 1;
+            return a;
+        }
+        match (self.ops[a as usize], self.ops[b as usize]) {
+            (Op::Top, _) | (_, Op::Top) => self.intern(Op::Top),
+            (Op::Bottom, _) => {
+                self.dedup_hits += 1;
+                b
+            }
+            (_, Op::Bottom) => {
+                self.dedup_hits += 1;
+                a
+            }
+            _ => self.intern(Op::Or(a, b)),
+        }
+    }
+
+    fn lower(&mut self, model: &Kripke, formula: &Formula) -> Result<u32, LogicError> {
+        let key = formula.kind() as *const FormulaKind;
+        if let Some(&id) = self.ptr_memo.get(&key) {
+            self.dedup_hits += 1;
+            return Ok(id);
+        }
+        self.ast_nodes += 1;
+        let id = match formula.kind() {
+            FormulaKind::Top => self.intern(Op::Top),
+            FormulaKind::Bottom => self.intern(Op::Bottom),
+            FormulaKind::Prop(d) => self.intern(Op::Prop(*d)),
+            FormulaKind::Not(a) => {
+                let a = self.lower(model, a)?;
+                self.mk_not(a)
+            }
+            FormulaKind::And(a, b) => {
+                let a = self.lower(model, a)?;
+                let b = self.lower(model, b)?;
+                self.mk_and(a, b)
+            }
+            FormulaKind::Or(a, b) => {
+                let a = self.lower(model, a)?;
+                let b = self.lower(model, b)?;
+                self.mk_or(a, b)
+            }
+            FormulaKind::Diamond { index, grade, inner } => {
+                if index.family() != model.variant().family() {
+                    return Err(LogicError::FamilyMismatch {
+                        expected: model.variant().family(),
+                        found: index.family(),
+                    });
+                }
+                let inner = self.lower(model, inner)?;
+                if *grade == 0 {
+                    // ⟨α⟩≥0 φ is vacuously true, stored relation or not.
+                    self.intern(Op::Top)
+                } else {
+                    match model.relation_id(*index) {
+                        None => self.intern(Op::Bottom),
+                        // ⟨α⟩≥k ⊥ has no satisfying successor for k ≥ 1.
+                        Some(_) if self.ops[inner as usize] == Op::Bottom => {
+                            self.intern(Op::Bottom)
+                        }
+                        Some(r) => self.intern(Op::Diamond {
+                            rel: u32::try_from(r).expect("relation ids fit u32"),
+                            grade: *grade,
+                            inner,
+                        }),
+                    }
+                }
+            }
+        };
+        self.ptr_memo.insert(key, id);
+        Ok(id)
+    }
+}
+
+/// A compiled evaluation plan for one model: a topologically ordered,
+/// hash-consed instruction list with recycled output slots, one root
+/// per input formula.
+///
+/// A plan resolves relation ids and folds against the model it was
+/// compiled for; executing it against any other model is a logic error
+/// (sizes are asserted, contents are the caller's contract).
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::generators;
+/// use portnum_logic::plan::Plan;
+/// use portnum_logic::{Formula, Kripke, ModalIndex};
+///
+/// let k = Kripke::k_mm(&generators::star(3));
+/// // Two structurally equal diamonds that share no memory…
+/// let a = Formula::diamond(ModalIndex::Any, &Formula::prop(1));
+/// let b = Formula::diamond(ModalIndex::Any, &Formula::prop(1));
+/// let plan = Plan::compile_suite(&k, [&a, &b])?;
+/// // …lower to the same instructions.
+/// assert!(plan.stats().instructions < plan.stats().ast_nodes);
+/// let truth = plan.execute(&k);
+/// assert_eq!(truth[0], truth[1]);
+/// # Ok::<(), portnum_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plan {
+    n: usize,
+    ops: Vec<Op>,
+    /// Output slot of each instruction.
+    dst: Vec<u32>,
+    slot_count: usize,
+    /// Root instruction of each input formula, in input order.
+    roots: Vec<u32>,
+    stats: PlanStats,
+}
+
+impl Plan {
+    /// Compiles a single formula against `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::FamilyMismatch`] if the formula uses
+    /// modalities from a different index family than the model.
+    pub fn compile(model: &Kripke, formula: &Formula) -> Result<Plan, LogicError> {
+        Plan::compile_suite(model, std::iter::once(formula))
+    }
+
+    /// Compiles a suite of formulas sharing `model` into one plan;
+    /// subformulas shared *structurally* across the suite are lowered
+    /// and executed once. Roots come out in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::FamilyMismatch`] as [`Plan::compile`].
+    pub fn compile_suite<'a, I>(model: &Kripke, formulas: I) -> Result<Plan, LogicError>
+    where
+        I: IntoIterator<Item = &'a Formula>,
+    {
+        let mut lw = Lowerer::default();
+        let mut roots = Vec::new();
+        for f in formulas {
+            roots.push(lw.lower(model, f)?);
+        }
+        Ok(Plan::finish(model.len(), lw.ops, roots, lw.ast_nodes, lw.dedup_hits))
+    }
+
+    /// Compacts to the live instructions, assigns recycled slots, and
+    /// freezes the statistics.
+    fn finish(n: usize, ops: Vec<Op>, roots: Vec<u32>, ast_nodes: usize, dedup: usize) -> Plan {
+        // Reachability from the roots: folds may have orphaned subtrees.
+        let mut live = vec![false; ops.len()];
+        let mut stack: Vec<u32> = roots.clone();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut live[id as usize], true) {
+                continue;
+            }
+            ops[id as usize].for_each_operand(|a| stack.push(a));
+        }
+
+        // Order-preserving compaction (operands precede consumers, so
+        // the remap is always populated before it is read).
+        let mut remap = vec![u32::MAX; ops.len()];
+        let mut compact: Vec<Op> = Vec::with_capacity(ops.len());
+        for (id, op) in ops.into_iter().enumerate() {
+            if !live[id] {
+                continue;
+            }
+            let rewritten = match op {
+                Op::Top | Op::Bottom | Op::Prop(_) => op,
+                Op::Not(a) => Op::Not(remap[a as usize]),
+                Op::And(a, b) => Op::And(remap[a as usize], remap[b as usize]),
+                Op::Or(a, b) => Op::Or(remap[a as usize], remap[b as usize]),
+                Op::Diamond { rel, grade, inner } => {
+                    Op::Diamond { rel, grade, inner: remap[inner as usize] }
+                }
+            };
+            remap[id] = compact.len() as u32;
+            compact.push(rewritten);
+        }
+        let roots: Vec<u32> = roots.iter().map(|&r| remap[r as usize]).collect();
+
+        // Liveness: an instruction's slot is free after its last
+        // consumer; roots are pinned until the end of the run.
+        let mut last_use: Vec<u32> = (0..compact.len() as u32).collect();
+        for (id, op) in compact.iter().enumerate() {
+            op.for_each_operand(|a| last_use[a as usize] = id as u32);
+        }
+        for &r in &roots {
+            last_use[r as usize] = u32::MAX;
+        }
+
+        // Slot assignment with a free stack. The destination is
+        // allocated before dying operands are released, so an
+        // instruction never aliases its own inputs.
+        let mut dst = vec![0u32; compact.len()];
+        let mut free: Vec<u32> = Vec::new();
+        let mut slot_count = 0usize;
+        for (id, op) in compact.iter().enumerate() {
+            dst[id] = free.pop().unwrap_or_else(|| {
+                slot_count += 1;
+                (slot_count - 1) as u32
+            });
+            op.for_each_operand(|a| {
+                if last_use[a as usize] == id as u32 {
+                    free.push(dst[a as usize]);
+                }
+            });
+        }
+
+        let stats = PlanStats {
+            ast_nodes,
+            instructions: compact.len(),
+            dedup_hits: dedup,
+            slots: slot_count,
+        };
+        Plan { n, ops: compact, dst, slot_count, roots, stats }
+    }
+
+    /// Lowering statistics (instruction, dedup, and slot counts).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Number of live instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the plan has no instructions (empty suite).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of input formulas (= result vectors per execution).
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Executes with [`DiamondMode::Auto`]; returns one truth vector
+    /// per input formula, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` has a different number of worlds than the
+    /// model the plan was compiled for (compile and execute against the
+    /// same model).
+    pub fn execute(&self, model: &Kripke) -> Vec<Bitset> {
+        self.execute_with(model, DiamondMode::Auto).0
+    }
+
+    /// Executes the plan as a linear loop over its instructions with
+    /// the given diamond strategy, returning the root truth vectors and
+    /// the execution statistics.
+    ///
+    /// # Panics
+    ///
+    /// See [`Plan::execute`].
+    pub fn execute_with(&self, model: &Kripke, mode: DiamondMode) -> (Vec<Bitset>, ExecStats) {
+        assert_eq!(
+            model.len(),
+            self.n,
+            "plan executed against a model of a different size than it was compiled for"
+        );
+        let mut stats = ExecStats::default();
+        let mut slots: Vec<Bitset> = (0..self.slot_count).map(|_| Bitset::default()).collect();
+        for (id, &op) in self.ops.iter().enumerate() {
+            let dst = self.dst[id] as usize;
+            // Take the output slot so operand slots stay borrowable;
+            // every arm fully overwrites it (recycled contents are
+            // stale by design).
+            let mut out = std::mem::take(&mut slots[dst]);
+            eval_op_into(
+                model,
+                mode,
+                op,
+                |a| &slots[self.dst[a as usize] as usize],
+                &mut out,
+                &mut stats,
+            );
+            stats.executed += 1;
+            slots[dst] = out;
+        }
+
+        // Move each root's vector out of its slot; duplicate roots
+        // (identical formulas in the suite) clone the first copy.
+        let mut results: Vec<Bitset> = Vec::with_capacity(self.roots.len());
+        let mut first_owner: FxHashMap<u32, usize> = FxHashMap::default();
+        for &r in &self.roots {
+            let slot = self.dst[r as usize];
+            match first_owner.get(&slot) {
+                Some(&i) => results.push(results[i].clone()),
+                None => {
+                    first_owner.insert(slot, results.len());
+                    results.push(std::mem::take(&mut slots[slot as usize]));
+                }
+            }
+        }
+        (results, stats)
+    }
+}
+
+/// Evaluates one instruction into `out` (a full overwrite), resolving
+/// operand truth vectors through `operand`. The single evaluation
+/// engine shared by [`Plan::execute_with`] (slot-backed operands) and
+/// [`ModelChecker`] (`Rc`-cached operands), so the two cannot drift.
+fn eval_op_into<'a>(
+    model: &Kripke,
+    mode: DiamondMode,
+    op: Op,
+    operand: impl Fn(u32) -> &'a Bitset,
+    out: &mut Bitset,
+    stats: &mut ExecStats,
+) {
+    let n = model.len();
+    match op {
+        Op::Top => out.assign_ones(n),
+        Op::Bottom => out.assign_zeros(n),
+        Op::Prop(d) => out.assign_from_fn(n, |v| model.degree(v) == d),
+        Op::Not(a) => {
+            out.copy_from(operand(a));
+            out.not_assign();
+        }
+        Op::And(a, b) => {
+            out.copy_from(operand(a));
+            out.and_assign(operand(b));
+        }
+        Op::Or(a, b) => {
+            out.copy_from(operand(a));
+            out.or_assign(operand(b));
+        }
+        Op::Diamond { rel, grade, inner } => {
+            diamond_into(model, mode, rel as usize, grade, operand(inner), out, stats);
+        }
+    }
+}
+
+/// Evaluates one diamond instruction into `out`, choosing the forward
+/// CSR walk or the reverse predecessor-row union per the mode and the
+/// cost heuristic (see the module docs). Shared by [`Plan`] and
+/// [`ModelChecker`].
+fn diamond_into(
+    model: &Kripke,
+    mode: DiamondMode,
+    rel: usize,
+    grade: usize,
+    sat: &Bitset,
+    out: &mut Bitset,
+    stats: &mut ExecStats,
+) {
+    let n = model.len();
+    let (offsets, targets) = model.relation_rows(rel);
+    let use_reverse = grade == 1
+        && model.predecessor_matrix_words() <= REVERSE_WORD_CAP
+        && match mode {
+            DiamondMode::Forward => false,
+            DiamondMode::Reverse => true,
+            // Row unions touch ones × row_words words; the forward walk
+            // touches every stored successor pair once.
+            DiamondMode::Auto => sat.count_ones() * sat.words().len() < targets.len(),
+        };
+    if use_reverse {
+        stats.reverse_diamonds += 1;
+        let pred = model.predecessor_rows(rel);
+        out.assign_zeros(n);
+        for w in sat.iter_ones() {
+            out.or_words(pred.row(w));
+        }
+    } else {
+        stats.forward_diamonds += 1;
+        let sat_words = sat.words();
+        let test = |w: u32| sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1;
+        let mut start = offsets[0];
+        out.assign_from_fn(n, |v| {
+            let end = offsets[v + 1];
+            let row = &targets[start..end];
+            start = end;
+            let mut count = 0usize;
+            // Early-exit once the grade is met (for grade 1 — the
+            // common case — this stops at the first satisfying
+            // successor).
+            row.iter().any(|&w| {
+                count += test(w) as usize;
+                count >= grade
+            })
+        });
+    }
+}
+
+/// Cumulative statistics of a [`ModelChecker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckerStats {
+    /// Pointer-distinct AST nodes lowered so far.
+    pub ast_nodes: usize,
+    /// Distinct instructions in the shared cons table.
+    pub instructions: usize,
+    /// Truth vectors computed against the main model (`≤ instructions`;
+    /// strictly fewer than `ast_nodes` once dedup bites).
+    pub computed: usize,
+    /// Truth vectors computed on the cached quotient by
+    /// [`ModelChecker::check_via_quotient`] (per-call plans, outside
+    /// the main cons table).
+    pub quotient_computed: usize,
+    /// Lowered nodes resolved to an existing instruction.
+    pub dedup_hits: usize,
+    /// Diamonds evaluated forward / in reverse.
+    pub forward_diamonds: usize,
+    /// See [`CheckerStats::forward_diamonds`].
+    pub reverse_diamonds: usize,
+}
+
+/// A per-model evaluation cache: lowering state, computed truth
+/// vectors, and the bisimulation quotient, all keyed to one model and
+/// shared across every formula checked against it.
+///
+/// Where [`Plan::compile_suite`] wants the whole suite up front, a
+/// `ModelChecker` accepts formulas one at a time (the order compiler
+/// suites arrive in) and amortises both lowering and evaluation:
+/// a subformula structurally seen before — in *any* earlier formula —
+/// costs a hash lookup, not a Bitset computation.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::generators;
+/// use portnum_logic::plan::ModelChecker;
+/// use portnum_logic::{Formula, Kripke, ModalIndex};
+///
+/// let k = Kripke::k_mm(&generators::cycle(5));
+/// let mut checker = ModelChecker::new(&k);
+/// let dia = Formula::diamond(ModalIndex::Any, &Formula::prop(2));
+/// let first = checker.check(&dia)?;
+/// // A structurally equal formula is a pure cache hit.
+/// let again = checker.check(&Formula::diamond(ModalIndex::Any, &Formula::prop(2)))?;
+/// assert!(std::rc::Rc::ptr_eq(&first, &again));
+/// # Ok::<(), portnum_logic::LogicError>(())
+/// ```
+pub struct ModelChecker<'m> {
+    model: &'m Kripke,
+    lw: Lowerer,
+    /// Checked formulas, kept alive so the pointer memo in `lw` can
+    /// never observe a recycled allocation.
+    retained: Vec<Formula>,
+    /// Computed truth vectors, indexed by instruction id.
+    results: Vec<Option<Rc<Bitset>>>,
+    mode: DiamondMode,
+    quotient: Option<Rc<(Kripke, Vec<usize>)>>,
+    computed: usize,
+    quotient_computed: usize,
+    exec: ExecStats,
+}
+
+impl<'m> ModelChecker<'m> {
+    /// A fresh checker for `model` using [`DiamondMode::Auto`].
+    pub fn new(model: &'m Kripke) -> Self {
+        Self::with_mode(model, DiamondMode::Auto)
+    }
+
+    /// A fresh checker with an explicit diamond strategy (benches pin
+    /// forward vs. reverse with this).
+    pub fn with_mode(model: &'m Kripke, mode: DiamondMode) -> Self {
+        ModelChecker {
+            model,
+            lw: Lowerer::default(),
+            retained: Vec::new(),
+            results: Vec::new(),
+            mode,
+            quotient: None,
+            computed: 0,
+            quotient_computed: 0,
+            exec: ExecStats::default(),
+        }
+    }
+
+    /// The model this checker is bound to.
+    pub fn model(&self) -> &'m Kripke {
+        self.model
+    }
+
+    /// Evaluates `formula` at every world, reusing every structurally
+    /// shared subresult computed by earlier calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::FamilyMismatch`] as
+    /// [`evaluate_packed`](crate::evaluate_packed) does.
+    pub fn check(&mut self, formula: &Formula) -> Result<Rc<Bitset>, LogicError> {
+        let memo_before = self.lw.ptr_memo.len();
+        let lowered = self.lw.lower(self.model, formula);
+        // The pointer memo stays sound only while its keys stay alive;
+        // retain the formula iff lowering recorded new nodes (a pure
+        // memo hit pins nothing new, so repeated checks stay bounded).
+        // Checked even on error: a failed lowering memoises the
+        // subformulas it reached before failing.
+        if self.lw.ptr_memo.len() > memo_before {
+            self.retained.push(formula.clone());
+        }
+        let root = lowered?;
+        self.results.resize(self.lw.ops.len(), None);
+        if let Some(cached) = &self.results[root as usize] {
+            return Ok(Rc::clone(cached));
+        }
+        self.eval_needed(root);
+        Ok(Rc::clone(self.results[root as usize].as_ref().expect("just evaluated")))
+    }
+
+    /// Computes the still-missing results `root` depends on, ascending
+    /// by instruction id (operands precede consumers).
+    fn eval_needed(&mut self, root: u32) {
+        let mut needed: Vec<u32> = Vec::new();
+        let mut visited = vec![false; self.lw.ops.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut visited[id as usize], true)
+                || self.results[id as usize].is_some()
+            {
+                continue;
+            }
+            needed.push(id);
+            self.lw.ops[id as usize].for_each_operand(|a| stack.push(a));
+        }
+        needed.sort_unstable();
+        for id in needed {
+            let mut out = Bitset::default();
+            let results = &self.results;
+            eval_op_into(
+                self.model,
+                self.mode,
+                self.lw.ops[id as usize],
+                |a| results[a as usize].as_ref().expect("operands evaluated before consumers"),
+                &mut out,
+                &mut self.exec,
+            );
+            self.computed += 1;
+            self.results[id as usize] = Some(Rc::new(out));
+        }
+    }
+
+    /// The model's minimum base (quotient by plain bisimilarity),
+    /// computed on first use and cached for the checker's lifetime —
+    /// the "quotient keyed by model identity" that amortises
+    /// symmetric-model suites.
+    pub fn minimum_base(&mut self) -> Rc<(Kripke, Vec<usize>)> {
+        if let Some(q) = &self.quotient {
+            return Rc::clone(q);
+        }
+        let q = Rc::new(crate::quotient::minimum_base(self.model));
+        self.quotient = Some(Rc::clone(&q));
+        q
+    }
+
+    /// Evaluates an **ungraded** formula on the cached quotient and
+    /// expands the result back to the full model — a large win when the
+    /// model is symmetric (quotient ≪ model). Only the quotient itself
+    /// is amortised; the quotient-side plan is compiled per call (it
+    /// runs under the checker's pinned [`DiamondMode`] and is counted
+    /// in [`CheckerStats`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::check`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula is graded: set-based quotients preserve
+    /// only ungraded truth (see [`crate::quotient`]).
+    pub fn check_via_quotient(&mut self, formula: &Formula) -> Result<Bitset, LogicError> {
+        assert!(
+            formula.is_ungraded(),
+            "quotients preserve only ungraded truth; use check() for graded formulas"
+        );
+        let q = self.minimum_base();
+        let (quotient, map) = &*q;
+        let plan = Plan::compile(quotient, formula)?;
+        let (mut truths, exec) = plan.execute_with(quotient, self.mode);
+        self.quotient_computed += exec.executed;
+        self.exec.forward_diamonds += exec.forward_diamonds;
+        self.exec.reverse_diamonds += exec.reverse_diamonds;
+        let truth = truths.pop().expect("single root");
+        Ok(Bitset::from_fn(map.len(), |v| truth.get(map[v])))
+    }
+
+    /// Cumulative lowering/evaluation statistics.
+    pub fn stats(&self) -> CheckerStats {
+        CheckerStats {
+            ast_nodes: self.lw.ast_nodes,
+            instructions: self.lw.ops.len(),
+            computed: self.computed,
+            quotient_computed: self.quotient_computed,
+            dedup_hits: self.lw.dedup_hits,
+            forward_diamonds: self.exec.forward_diamonds,
+            reverse_diamonds: self.exec.reverse_diamonds,
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelChecker<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelChecker")
+            .field("worlds", &self.model.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_packed_recursive;
+    use crate::formula::ModalIndex;
+    use portnum_graph::{generators, PortNumbering};
+
+    /// Structurally equal diamond towers sharing no `Arc`s.
+    fn unshared_tower(depth: usize) -> Formula {
+        let mut f = Formula::prop(2);
+        for _ in 0..depth {
+            f = Formula::diamond(ModalIndex::Any, &f).or(&Formula::prop(1));
+        }
+        f
+    }
+
+    #[test]
+    fn plan_matches_recursive_on_all_variants() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        let models = [
+            Kripke::k_pp(&g, &p),
+            Kripke::k_mp(&g, &p),
+            Kripke::k_pm(&g, &p),
+            Kripke::k_mm(&g),
+        ];
+        for k in &models {
+            let index = k.indices().next().unwrap();
+            let f = Formula::diamond(index, &Formula::prop(2))
+                .or(&Formula::box_(index, &Formula::prop(3)))
+                .and(&Formula::diamond_geq(index, 2, &Formula::prop(2)).not());
+            let plan = Plan::compile(k, &f).unwrap();
+            let got = plan.execute(k).pop().unwrap();
+            assert_eq!(got, evaluate_packed_recursive(k, &f).unwrap(), "{:?}", k.variant());
+        }
+    }
+
+    #[test]
+    fn structural_dedup_beats_pointer_identity() {
+        // Two separately built copies: pointer memoisation sees 2×
+        // the nodes, the plan lowers them once.
+        let a = unshared_tower(6);
+        let b = unshared_tower(6);
+        let k = Kripke::k_mm(&generators::grid(3, 3));
+        let plan = Plan::compile_suite(&k, [&a, &b]).unwrap();
+        let stats = plan.stats();
+        assert!(
+            stats.instructions < stats.ast_nodes,
+            "dedup must shrink the instruction list: {stats:?}"
+        );
+        assert!(stats.dedup_hits > 0);
+        let (results, exec) = plan.execute_with(&k, DiamondMode::Auto);
+        assert_eq!(exec.executed, stats.instructions);
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], evaluate_packed_recursive(&k, &a).unwrap());
+    }
+
+    #[test]
+    fn slots_are_bounded_by_dag_width() {
+        // A pure diamond chain has width 1; with the Or-leaf it's 2–3.
+        let k = Kripke::k_mm(&generators::cycle(8));
+        let mut f = Formula::prop(2);
+        for _ in 0..40 {
+            f = Formula::diamond(ModalIndex::Any, &f);
+        }
+        let plan = Plan::compile(&k, &f).unwrap();
+        assert!(plan.stats().slots <= 2, "{:?}", plan.stats());
+        assert_eq!(plan.len(), 41);
+        assert_eq!(
+            plan.execute(&k).pop().unwrap(),
+            evaluate_packed_recursive(&k, &f).unwrap()
+        );
+    }
+
+    #[test]
+    fn forward_and_reverse_diamonds_agree() {
+        let g = generators::grid(4, 4);
+        let p = PortNumbering::consistent(&g);
+        for k in [Kripke::k_mm(&g), Kripke::k_pm(&g, &p)] {
+            let index = k.indices().next().unwrap();
+            let f = Formula::diamond(index, &Formula::prop(2))
+                .or(&Formula::diamond(index, &Formula::prop(3).not()));
+            let plan = Plan::compile(&k, &f).unwrap();
+            let (fwd, sf) = plan.execute_with(&k, DiamondMode::Forward);
+            let (rev, sr) = plan.execute_with(&k, DiamondMode::Reverse);
+            assert_eq!(fwd, rev);
+            assert_eq!(sf.reverse_diamonds, 0);
+            assert_eq!(sr.forward_diamonds, 0);
+            assert!(sr.reverse_diamonds > 0);
+        }
+    }
+
+    #[test]
+    fn graded_diamonds_fall_back_to_forward() {
+        let k = Kripke::k_mm(&generators::star(4));
+        let f = Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(1));
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (mut out, stats) = plan.execute_with(&k, DiamondMode::Reverse);
+        assert_eq!(stats.forward_diamonds, 1, "graded must count forward");
+        assert_eq!(out.pop().unwrap(), evaluate_packed_recursive(&k, &f).unwrap());
+    }
+
+    #[test]
+    fn folds_preserve_semantics() {
+        let k = Kripke::k_mm(&generators::path(5));
+        let q = Formula::prop(1);
+        let cases = [
+            q.not().not(),
+            q.and(&q),
+            q.or(&Formula::bottom()),
+            q.and(&Formula::top()),
+            q.and(&Formula::bottom()),
+            q.or(&Formula::top()),
+            Formula::diamond_geq(ModalIndex::Any, 0, &q),
+            Formula::diamond(ModalIndex::Any, &Formula::bottom()),
+            Formula::top().not(),
+        ];
+        for f in &cases {
+            let plan = Plan::compile(&k, f).unwrap();
+            assert_eq!(
+                plan.execute(&k).pop().unwrap(),
+                evaluate_packed_recursive(&k, f).unwrap(),
+                "{f}"
+            );
+        }
+        // a ∧ b and b ∧ a cons to one instruction.
+        let ab = q.and(&Formula::prop(2));
+        let ba = Formula::prop(2).and(&q);
+        let plan = Plan::compile_suite(&k, [&ab, &ba]).unwrap();
+        let diamonds_and_atoms = 3; // q1, q2, and one shared And
+        assert_eq!(plan.len(), diamonds_and_atoms);
+    }
+
+    #[test]
+    fn family_mismatch_is_an_error() {
+        let k = Kripke::k_mm(&generators::cycle(3));
+        let f = Formula::diamond(ModalIndex::Out(0), &Formula::top());
+        assert!(matches!(
+            Plan::compile(&k, &f),
+            Err(LogicError::FamilyMismatch { .. })
+        ));
+        // …even under a vacuous grade, as in the recursive engine.
+        let g0 = Formula::diamond_geq(ModalIndex::Out(0), 0, &Formula::top());
+        assert!(Plan::compile(&k, &g0).is_err());
+    }
+
+    #[test]
+    fn checker_caches_across_structurally_equal_formulas() {
+        let k = Kripke::k_mm(&generators::grid(3, 3));
+        let mut checker = ModelChecker::new(&k);
+        let first = checker.check(&unshared_tower(5)).unwrap();
+        let computed_once = checker.stats().computed;
+        let again = checker.check(&unshared_tower(5)).unwrap();
+        assert!(Rc::ptr_eq(&first, &again));
+        assert_eq!(checker.stats().computed, computed_once, "second check is free");
+        assert!(checker.stats().computed < checker.stats().ast_nodes);
+    }
+
+    #[test]
+    fn repeated_checks_stay_bounded() {
+        let k = Kripke::k_mm(&generators::cycle(6));
+        let mut checker = ModelChecker::new(&k);
+        let f = unshared_tower(4);
+        let first = checker.check(&f).unwrap();
+        let retained = checker.retained.len();
+        // Re-checking the same Arc-shared formula is a pure memo hit:
+        // no new retention, no new computation, same Rc back.
+        for _ in 0..5 {
+            let again = checker.check(&f).unwrap();
+            assert!(Rc::ptr_eq(&first, &again));
+        }
+        assert_eq!(checker.retained.len(), retained);
+        // A failed lowering retains the formula: its subnodes entered
+        // the pointer memo before the family check failed.
+        let bad = Formula::prop(1).and(&Formula::diamond(
+            crate::formula::ModalIndex::Out(0),
+            &Formula::prop(2),
+        ));
+        assert!(checker.check(&bad).is_err());
+        assert!(checker.retained.len() > retained);
+    }
+
+    #[test]
+    fn checker_quotient_is_cached_and_agrees() {
+        let g = generators::theorem13_witness().0;
+        let k = Kripke::k_mm(&g);
+        let mut checker = ModelChecker::new(&k);
+        let q1 = checker.minimum_base();
+        let q2 = checker.minimum_base();
+        assert!(Rc::ptr_eq(&q1, &q2));
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(2)).not();
+        let via_q = checker.check_via_quotient(&f).unwrap();
+        assert_eq!(&via_q, &*checker.check(&f).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "ungraded")]
+    fn checker_quotient_rejects_graded() {
+        let k = Kripke::k_mm(&generators::cycle(4));
+        let mut checker = ModelChecker::new(&k);
+        let _ = checker.check_via_quotient(&Formula::diamond_geq(
+            ModalIndex::Any,
+            2,
+            &Formula::top(),
+        ));
+    }
+
+    #[test]
+    fn empty_suite_and_empty_model() {
+        let k = Kripke::k_mm(&generators::cycle(3));
+        let plan = Plan::compile_suite(&k, []).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.root_count(), 0);
+        assert!(plan.execute(&k).is_empty());
+
+        let empty = Kripke::from_parts(
+            crate::kripke::ModelVariant::MinusMinus,
+            Vec::new(),
+            std::collections::BTreeMap::new(),
+        )
+        .unwrap();
+        let truth = Plan::compile(&empty, &Formula::top()).unwrap().execute(&empty);
+        assert_eq!(truth[0].len(), 0);
+    }
+
+    #[test]
+    fn duplicate_roots_share_one_instruction() {
+        let k = Kripke::k_mm(&generators::star(2));
+        let f = Formula::prop(1);
+        let plan = Plan::compile_suite(&k, [&f, &f, &f]).unwrap();
+        assert_eq!(plan.root_count(), 3);
+        assert_eq!(plan.len(), 1);
+        let out = plan.execute(&k);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+    }
+}

@@ -107,7 +107,6 @@ pub fn minimum_base(model: &Kripke) -> (Kripke, Vec<usize>) {
 mod tests {
     use super::*;
     use crate::bisim::{bisimilar_across, refine, refine_bounded};
-    use crate::eval::evaluate_packed;
     use crate::formula::{Formula, ModalIndex};
     use portnum_graph::{generators, PortNumbering};
 
@@ -129,14 +128,14 @@ mod tests {
     fn quotient_preserves_ungraded_truth() {
         let g = generators::theorem13_witness().0;
         let k = Kripke::k_mm(&g);
-        let (q, map) = minimum_base(&k);
-        assert!(q.len() < k.len(), "the witness graph has symmetry to exploit");
+        // The suite runs through one per-model plan cache; its
+        // `check_via_quotient` is this theorem, applied.
+        let mut checker = crate::plan::ModelChecker::new(&k);
+        assert!(checker.minimum_base().0.len() < k.len(), "the witness graph has symmetry");
         for f in ungraded_samples(1, &|_| ModalIndex::Any) {
-            let orig = evaluate_packed(&k, &f).unwrap();
-            let quot = evaluate_packed(&q, &f).unwrap();
-            for (v, &b) in map.iter().enumerate() {
-                assert_eq!(orig.get(v), quot.get(b), "{f} at {v}");
-            }
+            let orig = checker.check(&f).unwrap();
+            let via_quotient = checker.check_via_quotient(&f).unwrap();
+            assert_eq!(*orig, via_quotient, "{f}");
         }
     }
 
@@ -149,11 +148,13 @@ mod tests {
             (Kripke::k_mp(&g, &p), |j| ModalIndex::Out(j)),
         ] {
             let (q, map) = minimum_base(&k);
-            for f in ungraded_samples(3, &indexer) {
-                let orig = evaluate_packed(&k, &f).unwrap();
-                let quot = evaluate_packed(&q, &f).unwrap();
+            let suite = ungraded_samples(3, &indexer);
+            // Evaluate the whole suite on both sides through shared plans.
+            let orig = crate::plan::Plan::compile_suite(&k, suite.iter()).unwrap().execute(&k);
+            let quot = crate::plan::Plan::compile_suite(&q, suite.iter()).unwrap().execute(&q);
+            for ((f, o), qt) in suite.iter().zip(&orig).zip(&quot) {
                 for (v, &b) in map.iter().enumerate() {
-                    assert_eq!(orig.get(v), quot.get(b), "{f} at {v}");
+                    assert_eq!(o.get(v), qt.get(b), "{f} at {v}");
                 }
             }
         }

@@ -7,10 +7,19 @@
 //! formulas over random models of **all four** canonical variants, and
 //! the `evaluate` / `satisfies` / `extension` wrappers must stay
 //! consistent views of the packed result.
+//!
+//! The plan engine gets the same treatment: compiled plans (under every
+//! diamond strategy) and the incremental [`ModelChecker`] cache are
+//! pinned bit-identical to the recursive pointer-memoised engine
+//! [`evaluate_packed_recursive`], including on formulas that are
+//! structurally equal but share no `Arc`s — the dedup case pointer
+//! identity cannot see, observable through the plan statistics hook.
 
 use portnum_graph::{Graph, PortNumbering};
+use portnum_logic::plan::{DiamondMode, ModelChecker, Plan};
 use portnum_logic::{
-    evaluate, evaluate_packed, extension, satisfies, Formula, FormulaKind, Kripke, ModalIndex,
+    evaluate, evaluate_packed, evaluate_packed_recursive, extension, satisfies, Formula,
+    FormulaKind, Kripke, ModalIndex,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -86,6 +95,22 @@ fn reference_eval(model: &Kripke, formula: &Formula) -> Vec<bool> {
     }
 }
 
+/// Rebuilds `f` node by node so the copy is structurally equal to the
+/// original but shares none of its `Arc`s.
+fn deep_clone(f: &Formula) -> Formula {
+    match f.kind() {
+        FormulaKind::Top => Formula::top(),
+        FormulaKind::Bottom => Formula::bottom(),
+        FormulaKind::Prop(d) => Formula::prop(*d),
+        FormulaKind::Not(a) => deep_clone(a).not(),
+        FormulaKind::And(a, b) => deep_clone(a).and(&deep_clone(b)),
+        FormulaKind::Or(a, b) => deep_clone(a).or(&deep_clone(b)),
+        FormulaKind::Diamond { index, grade, inner } => {
+            Formula::diamond_geq(*index, *grade, &deep_clone(inner))
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -124,6 +149,83 @@ proptest! {
                 prop_assert_eq!(ext.contains(&v), sat);
             }
         }
+    }
+
+    #[test]
+    fn plans_match_recursive_engine_on_all_variants_and_modes(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        f_pp in arb_formula(ModalIndex::InOut),
+        f_mp in arb_formula(|_i, j| ModalIndex::Out(j)),
+        f_pm in arb_formula(|i, _j| ModalIndex::In(i)),
+        f_mm in arb_formula(|_i, _j| ModalIndex::Any),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let cases = [
+            (Kripke::k_pp(&g, &p), &f_pp),
+            (Kripke::k_mp(&g, &p), &f_mp),
+            (Kripke::k_pm(&g, &p), &f_pm),
+            (Kripke::k_mm(&g), &f_mm),
+        ];
+        for (model, f) in &cases {
+            let reference = evaluate_packed_recursive(model, f).unwrap();
+            let plan = Plan::compile(model, f).unwrap();
+            for mode in [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse] {
+                let (mut out, exec) = plan.execute_with(model, mode);
+                prop_assert_eq!(
+                    out.pop().unwrap(), reference.clone(),
+                    "variant {:?}, mode {:?}, formula {}", model.variant(), mode, f
+                );
+                prop_assert_eq!(exec.executed, plan.stats().instructions);
+            }
+        }
+    }
+
+    #[test]
+    fn unshared_structural_duplicates_dedup_to_one_computation(
+        g in arb_graph(),
+        f in arb_formula(|_i, _j| ModalIndex::Any),
+    ) {
+        // A suite of one formula plus a structurally equal copy sharing
+        // no Arcs: pointer memoisation would evaluate every node twice,
+        // the plan must execute strictly fewer instructions than it
+        // lowered pointer-distinct AST nodes.
+        let k = Kripke::k_mm(&g);
+        let copy = deep_clone(&f);
+        prop_assert!(!f.ptr_eq(&copy));
+        prop_assert_eq!(&f, &copy);
+        let plan = Plan::compile_suite(&k, [&f, &copy]).unwrap();
+        let stats = plan.stats();
+        prop_assert!(
+            stats.instructions < stats.ast_nodes,
+            "dedup invisible in stats: {:?} for {}", stats, f
+        );
+        let truths = plan.execute(&k);
+        prop_assert_eq!(&truths[0], &truths[1]);
+        prop_assert_eq!(&truths[0], &evaluate_packed_recursive(&k, &f).unwrap());
+    }
+
+    #[test]
+    fn checker_suite_matches_recursive_engine(
+        g in arb_graph(),
+        suite in proptest::collection::vec(arb_formula(|_i, _j| ModalIndex::Any), 1..5),
+    ) {
+        // Many formulas, one model, one shared plan cache: every result
+        // must match the per-formula recursive engine, and the cache
+        // can only ever compute as many vectors as it has instructions.
+        let k = Kripke::k_mm(&g);
+        let mut checker = ModelChecker::new(&k);
+        for f in &suite {
+            let got = checker.check(f).unwrap();
+            prop_assert_eq!(&*got, &evaluate_packed_recursive(&k, f).unwrap(), "{}", f);
+            // Re-checking an unshared copy is a pure cache hit.
+            let again = checker.check(&deep_clone(f)).unwrap();
+            prop_assert!(std::rc::Rc::ptr_eq(&got, &again));
+        }
+        let stats = checker.stats();
+        prop_assert!(stats.computed <= stats.instructions);
+        prop_assert!(stats.instructions <= stats.ast_nodes);
     }
 
     #[test]

@@ -57,6 +57,10 @@ impl<A: MultisetAlgorithm> VectorAlgorithm for MultisetAsVector<A> {
         self.0.message(state, port)
     }
 
+    fn message_into(&self, state: &Self::State, port: usize, slot: &mut Payload<Self::Msg>) {
+        self.0.message_into(state, port, slot)
+    }
+
     fn step(
         &self,
         state: &Self::State,
@@ -84,6 +88,10 @@ impl<A: SetAlgorithm> VectorAlgorithm for SetAsVector<A> {
 
     fn message(&self, state: &Self::State, port: usize) -> Self::Msg {
         self.0.message(state, port)
+    }
+
+    fn message_into(&self, state: &Self::State, port: usize, slot: &mut Payload<Self::Msg>) {
+        self.0.message_into(state, port, slot)
     }
 
     fn step(
@@ -115,6 +123,10 @@ impl<A: SetAlgorithm> MultisetAlgorithm for SetAsMultiset<A> {
         self.0.message(state, port)
     }
 
+    fn message_into(&self, state: &Self::State, port: usize, slot: &mut Payload<Self::Msg>) {
+        self.0.message_into(state, port, slot)
+    }
+
     fn step(
         &self,
         state: &Self::State,
@@ -143,6 +155,10 @@ impl<A: BroadcastAlgorithm> VectorAlgorithm for BroadcastAsVector<A> {
         self.0.broadcast(state)
     }
 
+    fn message_into(&self, state: &Self::State, _port: usize, slot: &mut Payload<Self::Msg>) {
+        self.0.broadcast_into(state, slot)
+    }
+
     fn step(
         &self,
         state: &Self::State,
@@ -169,6 +185,10 @@ impl<A: MbAlgorithm> VectorAlgorithm for MbAsVector<A> {
 
     fn message(&self, state: &Self::State, _port: usize) -> Self::Msg {
         self.0.broadcast(state)
+    }
+
+    fn message_into(&self, state: &Self::State, _port: usize, slot: &mut Payload<Self::Msg>) {
+        self.0.broadcast_into(state, slot)
     }
 
     fn step(
@@ -200,6 +220,10 @@ impl<A: MbAlgorithm> BroadcastAlgorithm for MbAsBroadcast<A> {
         self.0.broadcast(state)
     }
 
+    fn broadcast_into(&self, state: &Self::State, slot: &mut Payload<Self::Msg>) {
+        self.0.broadcast_into(state, slot)
+    }
+
     fn step(
         &self,
         state: &Self::State,
@@ -228,6 +252,10 @@ impl<A: SbAlgorithm> VectorAlgorithm for SbAsVector<A> {
         self.0.broadcast(state)
     }
 
+    fn message_into(&self, state: &Self::State, _port: usize, slot: &mut Payload<Self::Msg>) {
+        self.0.broadcast_into(state, slot)
+    }
+
     fn step(
         &self,
         state: &Self::State,
@@ -254,6 +282,10 @@ impl<A: SbAlgorithm> MbAlgorithm for SbAsMb<A> {
 
     fn broadcast(&self, state: &Self::State) -> Self::Msg {
         self.0.broadcast(state)
+    }
+
+    fn broadcast_into(&self, state: &Self::State, slot: &mut Payload<Self::Msg>) {
+        self.0.broadcast_into(state, slot)
     }
 
     fn step(

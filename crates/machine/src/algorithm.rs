@@ -101,6 +101,18 @@ pub trait VectorAlgorithm {
     /// paper's `μ`. Only called on running nodes.
     fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
 
+    /// Writes the message for `port` into `slot`, which holds the
+    /// payload this node delivered on the same route last round
+    /// (routing is static). Must leave `slot` holding `Payload::Data`
+    /// of exactly [`VectorAlgorithm::message`]'s value; the default
+    /// does precisely that. Algorithms with allocation-heavy message
+    /// bodies (`Vec`s, histories) override it to recycle the previous
+    /// round's buffers via [`Payload::data_mut`] — the simulator's
+    /// inbox slots then reach steady state with zero allocation.
+    fn message_into(&self, state: &Self::State, port: usize, slot: &mut Payload<Self::Msg>) {
+        *slot = Payload::Data(self.message(state, port));
+    }
+
     /// The state transition on receiving `received[i]` from in-port `i`;
     /// the paper's `δ`. Only called on running nodes.
     fn step(
@@ -125,6 +137,12 @@ pub trait MultisetAlgorithm {
 
     /// The message sent to out-port `port`.
     fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
+
+    /// Slot-recycling variant of [`MultisetAlgorithm::message`]; see
+    /// [`VectorAlgorithm::message_into`] for the contract.
+    fn message_into(&self, state: &Self::State, port: usize, slot: &mut Payload<Self::Msg>) {
+        *slot = Payload::Data(self.message(state, port));
+    }
 
     /// The state transition on receiving the given multiset of payloads.
     fn step(
@@ -151,6 +169,12 @@ pub trait SetAlgorithm {
     /// The message sent to out-port `port`.
     fn message(&self, state: &Self::State, port: usize) -> Self::Msg;
 
+    /// Slot-recycling variant of [`SetAlgorithm::message`]; see
+    /// [`VectorAlgorithm::message_into`] for the contract.
+    fn message_into(&self, state: &Self::State, port: usize, slot: &mut Payload<Self::Msg>) {
+        *slot = Payload::Data(self.message(state, port));
+    }
+
     /// The state transition on receiving the given set of payloads.
     fn step(
         &self,
@@ -176,6 +200,13 @@ pub trait BroadcastAlgorithm {
     /// The single message broadcast to every neighbour.
     fn broadcast(&self, state: &Self::State) -> Self::Msg;
 
+    /// Slot-recycling variant of [`BroadcastAlgorithm::broadcast`]
+    /// (called once per out-port by the executor); see
+    /// [`VectorAlgorithm::message_into`] for the contract.
+    fn broadcast_into(&self, state: &Self::State, slot: &mut Payload<Self::Msg>) {
+        *slot = Payload::Data(self.broadcast(state));
+    }
+
     /// The state transition on receiving `received[i]` from in-port `i`.
     fn step(
         &self,
@@ -199,6 +230,12 @@ pub trait MbAlgorithm {
 
     /// The single message broadcast to every neighbour.
     fn broadcast(&self, state: &Self::State) -> Self::Msg;
+
+    /// Slot-recycling variant of [`MbAlgorithm::broadcast`]; see
+    /// [`VectorAlgorithm::message_into`] for the contract.
+    fn broadcast_into(&self, state: &Self::State, slot: &mut Payload<Self::Msg>) {
+        *slot = Payload::Data(self.broadcast(state));
+    }
 
     /// The state transition on receiving the given multiset of payloads.
     fn step(
@@ -224,6 +261,12 @@ pub trait SbAlgorithm {
 
     /// The single message broadcast to every neighbour.
     fn broadcast(&self, state: &Self::State) -> Self::Msg;
+
+    /// Slot-recycling variant of [`SbAlgorithm::broadcast`]; see
+    /// [`VectorAlgorithm::message_into`] for the contract.
+    fn broadcast_into(&self, state: &Self::State, slot: &mut Payload<Self::Msg>) {
+        *slot = Payload::Data(self.broadcast(state));
+    }
 
     /// The state transition on receiving the given set of payloads.
     fn step(

@@ -42,6 +42,20 @@ impl<M> Payload<M> {
         }
     }
 
+    /// Mutably borrows the message, if any.
+    ///
+    /// This is the hook `message_into`/`broadcast_into` overrides use to
+    /// recycle a previous round's allocation in place: the simulator
+    /// hands each sender the payload it delivered on the same route last
+    /// round, and a `Vec`-bodied message can `clear()` and refill it
+    /// instead of allocating afresh.
+    pub fn data_mut(&mut self) -> Option<&mut M> {
+        match self {
+            Payload::Silent => None,
+            Payload::Data(m) => Some(m),
+        }
+    }
+
     /// Returns `true` for `Silent`.
     pub fn is_silent(&self) -> bool {
         matches!(self, Payload::Silent)

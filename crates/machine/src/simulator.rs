@@ -187,21 +187,33 @@ impl Simulator {
             round += 1;
 
             // Phase 1: every running node writes into its neighbours'
-            // in-port slots; stopped nodes contribute silence.
-            for slot in arena.iter_mut() {
-                *slot = Payload::Silent;
-            }
+            // in-port slots; stopped nodes contribute silence. Each
+            // slot is fed by exactly one out-port, so visiting every
+            // sender covers the arena without a blanket reset — and a
+            // running sender's slot still holds the payload it
+            // delivered on the same route last round, which
+            // `message_into` overrides recycle in place instead of
+            // dropping and reallocating (the payload arena stays at
+            // zero allocations per round in steady state).
             let mut round_stats = RoundStats { nodes_running: running, ..RoundStats::default() };
             for v in g.nodes() {
-                if let Status::Running(state) = &states[v] {
-                    let base = offsets[v];
-                    for i in 0..g.degree(v) {
-                        let msg = algo.message(state, i);
-                        let units = msg.size_units();
-                        round_stats.messages_sent += 1;
-                        round_stats.total_message_units += units;
-                        round_stats.max_message_units = round_stats.max_message_units.max(units);
-                        arena[route_slots[base + i]] = Payload::Data(msg);
+                let base = offsets[v];
+                match &states[v] {
+                    Status::Running(state) => {
+                        for i in 0..g.degree(v) {
+                            let slot = &mut arena[route_slots[base + i]];
+                            algo.message_into(state, i, slot);
+                            let units = slot.data().map_or(0, MessageSize::size_units);
+                            round_stats.messages_sent += 1;
+                            round_stats.total_message_units += units;
+                            round_stats.max_message_units =
+                                round_stats.max_message_units.max(units);
+                        }
+                    }
+                    Status::Stopped(_) => {
+                        for i in 0..g.degree(v) {
+                            arena[route_slots[base + i]] = Payload::Silent;
+                        }
                     }
                 }
             }
@@ -382,6 +394,64 @@ mod tests {
         let p = PortNumbering::consistent(&g);
         let run = Simulator::new().run(&SbAsVector(Ping), &g, &p).unwrap();
         assert_eq!(run.outputs(), &[true, true, false]);
+    }
+
+    /// A `Vec`-bodied message algorithm in two flavours: the default
+    /// allocate-per-message path and a slot-recycling `message_into`
+    /// override. Both must produce identical executions.
+    #[derive(Debug)]
+    struct VecEcho {
+        rounds: usize,
+        recycle: bool,
+    }
+
+    impl VectorAlgorithm for VecEcho {
+        type State = usize; // rounds elapsed
+        type Msg = Vec<usize>;
+        type Output = usize; // sum of everything heard
+
+        fn init(&self, _degree: usize) -> Status<usize, usize> {
+            Status::Running(0)
+        }
+
+        fn message(&self, round: &usize, port: usize) -> Vec<usize> {
+            vec![*round; port + 1]
+        }
+
+        fn message_into(&self, round: &usize, port: usize, slot: &mut Payload<Vec<usize>>) {
+            if !self.recycle {
+                *slot = Payload::Data(self.message(round, port));
+                return;
+            }
+            match slot.data_mut() {
+                Some(body) => {
+                    body.clear();
+                    body.resize(port + 1, *round);
+                }
+                None => *slot = Payload::Data(self.message(round, port)),
+            }
+        }
+
+        fn step(&self, round: &usize, received: &[Payload<Vec<usize>>]) -> Status<usize, usize> {
+            let heard: usize =
+                received.iter().filter_map(Payload::data).flatten().sum::<usize>() + round;
+            if round + 1 == self.rounds {
+                Status::Stopped(heard)
+            } else {
+                Status::Running(round + 1)
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_payloads_match_the_allocating_path() {
+        let g = generators::grid(3, 3);
+        let p = PortNumbering::consistent(&g);
+        let plain = Simulator::new().run(&VecEcho { rounds: 4, recycle: false }, &g, &p).unwrap();
+        let reused = Simulator::new().run(&VecEcho { rounds: 4, recycle: true }, &g, &p).unwrap();
+        assert_eq!(plain.outputs(), reused.outputs());
+        assert_eq!(plain.stats(), reused.stats());
+        assert_eq!(plain.total_message_units(), reused.total_message_units());
     }
 
     use portnum_graph::Graph;

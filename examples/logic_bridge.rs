@@ -9,7 +9,7 @@
 use portnum::algorithms::mb::OddOddMb;
 use portnum_graph::{generators, PortNumbering};
 use portnum_logic::compile::{compile_mb, compile_sb, mb_algorithm_to_formulas, ToFormulaOptions};
-use portnum_logic::{evaluate, parse, Kripke};
+use portnum_logic::{evaluate, parse, Kripke, ModelChecker};
 use portnum_machine::{adapters::MbAsVector, adapters::SbAsVector, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,15 +44,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let formulas = mb_algorithm_to_formulas(&OddOddMb, &opts)?;
     println!("\ncompiling the hand-written odd-odd MB algorithm into GML formulas:");
     let run = sim.run(&MbAsVector(OddOddMb), &graph, &ports)?;
+    // The emitted formulas share structure, so check the whole suite
+    // through one per-model plan cache instead of evaluating each from
+    // scratch.
+    let mut checker = ModelChecker::new(&model);
     for (output, formula) in &formulas {
-        let extension = evaluate(&model, formula)?;
+        let truth = checker.check(formula)?;
         let expected: Vec<bool> = run.outputs().iter().map(|o| o == output).collect();
-        assert_eq!(extension, expected);
+        assert_eq!(truth.to_bools(), expected);
         println!(
             "  output {output}: formula with {} nodes, md {}, matches execution: yes",
             formula.size(),
             formula.modal_depth()
         );
     }
+    let stats = checker.stats();
+    println!(
+        "plan cache over the suite: {} AST nodes lowered, {} distinct instructions, {} computed",
+        stats.ast_nodes, stats.instructions, stats.computed
+    );
     Ok(())
 }
