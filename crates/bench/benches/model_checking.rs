@@ -130,6 +130,25 @@ fn bench_formula_suite(c: &mut Criterion) {
     }
 }
 
+fn bench_parallel_execution(c: &mut Criterion) {
+    // Sequential vs pool-forced plan execution: on multi-core hosts
+    // the forced rows shrink with the core count; on single-core CI
+    // they bound the pool's coordination overhead instead.
+    let f = workloads::nested_diamonds(32);
+    for w in workloads::gnp_sweep(&[512], 0.05, 5) {
+        let k = Kripke::k_mm(&w.graph);
+        let plan = Plan::compile(&k, &f).unwrap();
+        let mut group = c.benchmark_group("model_checking/parallel_execution");
+        group.bench_function("sequential", |b| {
+            b.iter(|| plan.execute_with(&k, DiamondMode::Auto))
+        });
+        group.bench_function("pool_forced", |b| {
+            b.iter(|| plan.execute_forced_parallel(&k, DiamondMode::Auto))
+        });
+        group.finish();
+    }
+}
+
 fn bench_diamond_strategies(c: &mut Criterion) {
     // Deep alternating-grade towers: the grade-1 levels are eligible
     // for predecessor-row unions, the grade-2 levels always count
@@ -163,6 +182,6 @@ criterion_group! {
     name = benches;
     config = configure();
     targets = bench_depth_sweep, bench_shared_subformulas, bench_formula_suite,
-        bench_diamond_strategies
+        bench_diamond_strategies, bench_parallel_execution
 }
 criterion_main!(benches);

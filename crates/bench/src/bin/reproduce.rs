@@ -228,6 +228,49 @@ fn bench_eval_snapshot() {
             );
         }
     }
+    // Parallel vs sequential plan execution on one precompiled plan:
+    // `plan_exec_seq` is the gate-driven default (sequential below the
+    // work threshold), `plan_exec_pool` forces both chunking axes
+    // through the persistent worker pool. On single-core hosts the
+    // pool row bounds the coordination overhead; with >1 core it
+    // should undercut the sequential row.
+    use portnum_logic::plan::DiamondMode;
+    let deep = workloads::nested_diamonds(32);
+    for w in workloads::gnp_sweep(&[128, 512], 0.05, 5) {
+        let k = Kripke::k_mm(&w.graph);
+        let plan = Plan::compile(&k, &deep).expect("well-formed case");
+        let (reference, _) = plan.execute_with(&k, DiamondMode::Auto);
+        let ones: usize = reference.iter().map(|b| b.count_ones()).sum();
+        let exec_cases = [
+            (
+                "plan_exec_seq",
+                median_us(
+                    || plan.execute_with(&k, DiamondMode::Auto).0,
+                    |truths| assert_eq!(truths, reference),
+                ),
+            ),
+            (
+                "plan_exec_pool",
+                median_us(
+                    || plan.execute_forced_parallel(&k, DiamondMode::Auto).0,
+                    |truths| assert_eq!(truths, reference),
+                ),
+            ),
+        ];
+        for (case, median) in exec_cases {
+            t.row([w.name.clone(), case.to_string(), format!("{median:.1}"), ones.to_string()]);
+            let _ = writeln!(
+                json,
+                "{{\"bench\":\"eval\",\"workload\":\"{}\",\"case\":\"{}\",\"worlds\":{},\
+                 \"median_us\":{:.1},\"ones\":{}}}",
+                w.name,
+                case,
+                k.len(),
+                median,
+                ones
+            );
+        }
+    }
     print!("{}", t.render());
     match std::fs::write("BENCH_eval.json", &json) {
         Ok(()) => println!("wrote BENCH_eval.json ({} entries)", json.lines().count()),

@@ -189,6 +189,73 @@ mod tests {
     }
 
     #[test]
+    fn message_into_overwrites_any_stale_slot() {
+        // The simulator's recycling contract: `message_into` receives
+        // whatever the slot held last round — usually this sender's own
+        // previous payload, but after a Data→Silent→Data transition or
+        // an inbox re-layout it can be `Silent` or a payload from a
+        // *different* route entirely. Whatever it finds, it must leave
+        // exactly `Payload::Data(message(state, port))`.
+        let algo = ViewGather { radius: 3 };
+        let state_deep = (
+            2usize,
+            View {
+                degree: 2,
+                children: vec![
+                    (1, View { degree: 3, children: vec![(0, View::leaf(1))] }),
+                    (0, View::leaf(4)),
+                ],
+            },
+        );
+        let state_leaf = (0usize, View::leaf(1));
+        let stale_other_route = Payload::Data((
+            7usize,
+            View { degree: 5, children: vec![(4, View::leaf(9)), (3, View::leaf(9))] },
+        ));
+        for state in [&state_deep, &state_leaf] {
+            for port in [0usize, 1] {
+                let expected = Payload::Data(algo.message(state, port));
+                let mut slots = vec![
+                    Payload::Silent,                                  // neighbour stopped
+                    Payload::Data(algo.message(&state_leaf, 1)),      // own older message
+                    stale_other_route.clone(),                        // recycled, different route
+                    expected.clone(),                                 // steady state
+                ];
+                for slot in &mut slots {
+                    algo.message_into(state, port, slot);
+                    assert_eq!(slot, &expected, "port {port}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_clone_from_overwrites_larger_and_smaller_trees() {
+        // `clone_from` backs the recycling override; it must be a full
+        // overwrite whatever shape the recycled tree had (growing,
+        // shrinking, or disjoint), not just the strict-prefix shape of
+        // steady-state rounds.
+        let small = View::leaf(2);
+        let big = View {
+            degree: 1,
+            children: vec![
+                (0, View { degree: 2, children: vec![(1, View::leaf(7))] }),
+                (1, View::leaf(3)),
+            ],
+        };
+        let mut dst = big.clone();
+        dst.clone_from(&small);
+        assert_eq!(dst, small);
+        let mut dst = small.clone();
+        dst.clone_from(&big);
+        assert_eq!(dst, big);
+        let disjoint = View { degree: 9, children: vec![(5, View::leaf(5))] };
+        let mut dst = disjoint;
+        dst.clone_from(&big);
+        assert_eq!(dst, big);
+    }
+
+    #[test]
     fn symmetric_numbering_gives_identical_views() {
         let g = generators::no_one_factor(3);
         let p = PortNumbering::symmetric_regular(&g).unwrap();

@@ -259,6 +259,33 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_into_overwrites_any_stale_slot() {
+        // Same recycling contract as `message_into`: Silent slots,
+        // recycled buffers from other routes, and steady-state slots
+        // must all end up holding exactly the broadcast history.
+        let wrapper = MbFromVb::new(BcSilenceCounter);
+        let mut neighbors = Multiset::new();
+        neighbors.insert_n(vec![Payload::Data(0u8)], 3);
+        let state = VbHistoryState {
+            inner: (1, 3, 0),
+            sent: vec![Payload::Data(0)],
+            neighbors,
+            degree: 3,
+        };
+        let expected = Payload::Data(wrapper.broadcast(&state));
+        let stale_cases = [
+            Payload::Silent,
+            Payload::Data(Vec::new()),
+            Payload::Data(vec![Payload::Data(9), Payload::Silent, Payload::Data(9)]),
+            expected.clone(),
+        ];
+        for mut slot in stale_cases {
+            wrapper.broadcast_into(&state, &mut slot);
+            assert_eq!(slot, expected);
+        }
+    }
+
+    #[test]
     fn staggered_broadcast_stopping_matches() {
         let mut rng = StdRng::seed_from_u64(5);
         let sim = Simulator::new();

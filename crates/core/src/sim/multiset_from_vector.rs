@@ -259,6 +259,96 @@ mod tests {
     }
 
     #[test]
+    fn message_into_overwrites_any_stale_slot() {
+        // The recycling hook receives last round's slot contents —
+        // after a Data→Silent→Data transition or an inbox re-layout
+        // that can be Silent, an empty recycled buffer, or a history
+        // from a different route. It must always leave exactly
+        // `Payload::Data(message(state, port))`.
+        let wrapper = MultisetFromVector::new(SilenceCounter);
+        let mut neighbors = Multiset::new();
+        neighbors.insert_n(vec![Payload::Data(0u8), Payload::Data(0)], 2);
+        let state = MfvState {
+            inner: (2, 2, 0),
+            sent: vec![
+                vec![Payload::Data(0), Payload::Data(0)],
+                vec![Payload::Data(0), Payload::Data(0)],
+            ],
+            neighbors,
+            degree: 2,
+        };
+        for port in [0usize, 1] {
+            let expected = Payload::Data(wrapper.message(&state, port));
+            let stale_cases = [
+                Payload::Silent,
+                Payload::Data(Vec::new()),
+                Payload::Data(vec![Payload::Silent; 7]),
+                expected.clone(),
+            ];
+            for mut slot in stale_cases {
+                wrapper.message_into(&state, port, &mut slot);
+                assert_eq!(slot, expected, "port {port}");
+            }
+        }
+    }
+
+    /// Forwards an inner `Multiset` algorithm but suppresses its
+    /// `message_into` override, forcing the allocate-fresh default —
+    /// the reference the recycling path is pinned against.
+    #[derive(Debug, Clone, Copy)]
+    struct NoRecycle<A>(A);
+
+    impl<A: MultisetAlgorithm> MultisetAlgorithm for NoRecycle<A> {
+        type State = A::State;
+        type Msg = A::Msg;
+        type Output = A::Output;
+
+        fn init(&self, degree: usize) -> Status<Self::State, Self::Output> {
+            self.0.init(degree)
+        }
+
+        fn message(&self, state: &Self::State, port: usize) -> Self::Msg {
+            self.0.message(state, port)
+        }
+
+        // message_into deliberately NOT forwarded: the default
+        // allocates a fresh payload every round.
+
+        fn step(
+            &self,
+            state: &Self::State,
+            received: &Multiset<Payload<Self::Msg>>,
+        ) -> Status<Self::State, Self::Output> {
+            self.0.step(state, received)
+        }
+    }
+
+    #[test]
+    fn recycled_histories_match_fresh_allocation_under_staggered_stops() {
+        // Staggered stopping drives every slot through Data→Silent;
+        // the recycling and allocate-fresh paths must produce the same
+        // executions (outputs, rounds, and message accounting).
+        let mut rng = StdRng::seed_from_u64(9);
+        let sim = Simulator::new();
+        for g in [generators::star(3), generators::figure1_graph(), generators::grid(2, 3)] {
+            let p = PortNumbering::random(&g, &mut rng);
+            let recycled = sim
+                .run(&MultisetAsVector(MultisetFromVector::new(SilenceCounter)), &g, &p)
+                .unwrap();
+            let fresh = sim
+                .run(
+                    &MultisetAsVector(NoRecycle(MultisetFromVector::new(SilenceCounter))),
+                    &g,
+                    &p,
+                )
+                .unwrap();
+            assert_eq!(recycled.outputs(), fresh.outputs(), "{g}");
+            assert_eq!(recycled.rounds(), fresh.rounds(), "{g}");
+            assert_eq!(recycled.stats(), fresh.stats(), "{g}");
+        }
+    }
+
+    #[test]
     fn message_sizes_grow_linearly_with_rounds() {
         // The open-problem overhead the paper discusses: history messages
         // grow with T.

@@ -89,6 +89,19 @@ impl Bitset {
     /// Re-fills `self` as `from_fn(len, f)` would, reusing the backing
     /// allocation — the in-place counterpart of [`Bitset::from_fn`] for
     /// callers (the plan executor) that cycle a fixed pool of slots.
+    ///
+    /// # Invocation contract
+    ///
+    /// `f` is invoked **exactly once per element, in strictly
+    /// increasing order** (`f(0), f(1), …, f(len - 1)`), with no skips
+    /// and no repeats — the same contract as [`Bitset::from_fn`].
+    /// Callers are allowed to lean on it with stateful closures: the
+    /// plan executor's forward-diamond path threads a CSR row cursor
+    /// through `f` and would silently miscompile under any other
+    /// schedule. A range-split parallel fill must therefore go through
+    /// [`fill_words_from_fn`] with per-chunk closures (each chunk
+    /// re-deriving its cursor), never by sharing one closure across
+    /// chunks.
     pub fn assign_from_fn(&mut self, len: usize, mut f: impl FnMut(usize) -> bool) {
         self.len = len;
         self.words.clear();
@@ -289,6 +302,16 @@ impl Bitset {
         &self.words
     }
 
+    /// Mutable access to the backing words, for bulk overwrites (the
+    /// parallel plan executor splits this slice into disjoint per-chunk
+    /// ranges and fills each with [`fill_words_from_fn`]).
+    ///
+    /// The caller must uphold the tail invariant: unused high bits of
+    /// the last word stay zero.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     fn mask_tail(&mut self) {
         let tail = self.len % 64;
         if tail != 0 {
@@ -296,6 +319,44 @@ impl Bitset {
                 *last &= (1u64 << tail) - 1;
             }
         }
+    }
+}
+
+/// Fills `words` with the bits of elements `range.start..range.end`,
+/// exactly as that span of a [`Bitset::from_fn`] result would look:
+/// `f` is invoked once per element in increasing order, each word is
+/// accumulated in a register and stored once, and a trailing partial
+/// word gets zero tail bits.
+///
+/// This is the chunk primitive of parallel fills: split a bitset's
+/// [`Bitset::words_mut`] at element boundaries that are multiples of
+/// 64 (so chunks own disjoint words), hand each chunk its own closure
+/// (re-deriving any sequential state, e.g. a CSR cursor, from
+/// `range.start`), and fill the chunks concurrently — the result is
+/// bit-identical to one sequential [`Bitset::assign_from_fn`] pass.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `range.start` is not a multiple of 64
+/// or `words` is not exactly the chunk's word count.
+pub fn fill_words_from_fn(words: &mut [u64], range: std::ops::Range<usize>, mut f: impl FnMut(usize) -> bool) {
+    debug_assert_eq!(range.start % 64, 0, "chunk starts must be word-aligned");
+    debug_assert_eq!(
+        words.len(),
+        (range.end - range.start).div_ceil(64),
+        "chunk word count must match its element range"
+    );
+    let mut i = range.start;
+    let mut wi = 0;
+    while i < range.end {
+        let end = (i + 64).min(range.end);
+        let mut word = 0u64;
+        for bit in 0..end - i {
+            word |= (f(i + bit) as u64) << bit;
+        }
+        words[wi] = word;
+        wi += 1;
+        i = end;
     }
 }
 
@@ -521,5 +582,52 @@ mod tests {
     fn bitmatrix_bounds_checked() {
         let mut m = BitMatrix::zeros(2, 10);
         m.insert(2, 0);
+    }
+
+    #[test]
+    fn chunked_fill_matches_sequential_from_fn() {
+        // Splitting the universe at 64-aligned boundaries and filling
+        // each chunk independently must reproduce from_fn bit for bit,
+        // including partial tail words.
+        let pred = |i: usize| i.is_multiple_of(7) || i % 3 == 1;
+        for len in [1usize, 63, 64, 65, 130, 192, 200] {
+            let reference = Bitset::from_fn(len, pred);
+            for split in [64usize, 128] {
+                if split >= len {
+                    continue;
+                }
+                let mut out = Bitset::zeros(len);
+                let words = out.words_mut();
+                let (head, tail) = words.split_at_mut(split / 64);
+                fill_words_from_fn(head, 0..split, pred);
+                fill_words_from_fn(tail, split..len, pred);
+                assert_eq!(out, reference, "len {len}, split {split}");
+                assert_eq!(out.count_ones(), reference.count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fill_supports_per_chunk_cursors() {
+        // Each chunk re-derives sequential state from range.start —
+        // the pattern the parallel forward-diamond path uses.
+        let len = 150;
+        let reference = Bitset::from_fn(len, |i| i % 2 == 0);
+        let mut out = Bitset::zeros(len);
+        let words = out.words_mut();
+        let (head, tail) = words.split_at_mut(1);
+        let mut cursor = 0usize; // chunk-local state
+        fill_words_from_fn(head, 0..64, |i| {
+            assert_eq!(i, cursor, "strictly increasing, no skips");
+            cursor += 1;
+            i % 2 == 0
+        });
+        let mut cursor = 64usize;
+        fill_words_from_fn(tail, 64..len, |i| {
+            assert_eq!(i, cursor);
+            cursor += 1;
+            i % 2 == 0
+        });
+        assert_eq!(out, reference);
     }
 }

@@ -23,6 +23,8 @@
 //!   shared by colour refinement and `portnum-logic`'s bisimulation;
 //! * [`bitset`] — packed `u64`-word truth vectors backing
 //!   `portnum-logic`'s word-parallel model checker;
+//! * [`pool`] — the persistent worker pool behind every parallel phase
+//!   (refinement encode rounds, parallel plan execution);
 //! * [`properties`] — connectivity, regularity, bipartiteness, Eulerian
 //!   tests.
 //!
@@ -46,7 +48,10 @@
 //! # Ok::<(), portnum_graph::PortError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool ([`pool`]) carries the
+// crate's only two `unsafe impl`s (lifetime-erased job handoff to
+// parked workers, justified there); everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
@@ -57,6 +62,7 @@ mod graph;
 pub mod lifts;
 pub mod matching;
 pub mod partition;
+pub mod pool;
 mod ports;
 pub mod properties;
 pub mod refinement;

@@ -34,17 +34,21 @@
 //! Signature *encoding* (gather successor blocks, sort, flatten to
 //! words) only reads the previous partition, so it is embarrassingly
 //! parallel over nodes; only the *interning* step needs the shared
-//! table. [`parallel_encode`] runs the encode phase on scoped threads,
-//! each filling its own [`SignatureBuffer`] for a contiguous node chunk;
-//! the caller then walks the buffers in node order calling
-//! [`Refiner::commit_slice`], which preserves the first-seen canonical
-//! id order of the sequential engine exactly. Front-ends gate this on a
-//! size threshold — thread spawns only pay off once a round encodes
-//! thousands of nodes.
+//! table. [`parallel_encode`] runs the encode phase on the persistent
+//! worker pool ([`crate::pool::WorkerPool`]), each chunk filling its
+//! own [`SignatureBuffer`] for a contiguous node range; the caller then
+//! walks the buffers in node order calling [`Refiner::commit_slice`],
+//! which preserves the first-seen canonical id order of the sequential
+//! engine exactly. Front-ends gate this on a size threshold — waking
+//! the pool costs a few microseconds, which only pays off once a round
+//! encodes a few thousand signature words. The `PORTNUM_POOL`
+//! environment variable overrides the gate (see [`threads_for`]).
 
+use crate::pool::WorkerPool;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Range;
+use std::sync::{Mutex, OnceLock};
 
 /// The Fx (Firefox/rustc) hash function: multiply-xor over input words.
 ///
@@ -319,12 +323,14 @@ impl SignatureBuffer {
 /// Minimum signature words of per-round encode work before refinement
 /// front-ends parallelise the encode phase.
 ///
-/// [`parallel_encode`] spawns and joins fresh scoped threads every
-/// round (hundreds of microseconds); below roughly this much work per
-/// round that overhead outweighs the speedup. Gating on work rather
-/// than node count protects the worst shape — long-diameter models
-/// take Θ(diameter) rounds, each individually cheap.
-pub const PARALLEL_THRESHOLD: usize = 1 << 16;
+/// A parallel round costs one wake-up of the persistent pool
+/// ([`crate::pool`]) — a few microseconds, not the ~100µs of the old
+/// per-round scoped-thread spawns — so the gate sits an order of
+/// magnitude lower than it used to (2¹³ words, down from 2¹⁶). Gating
+/// on work rather than node count protects the worst shape —
+/// long-diameter models take Θ(diameter) rounds, each individually
+/// cheap.
+pub const PARALLEL_THRESHOLD: usize = 1 << 13;
 
 /// Number of worker threads the refinement front-ends use for the encode
 /// phase (the host's available parallelism, 1 if unknown).
@@ -332,22 +338,107 @@ pub fn encode_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Worker threads for an encode phase doing `work` signature words per
-/// round (for refinement this is roughly nodes + stored successor
+/// How the `PORTNUM_POOL` environment variable overrides the parallel
+/// work gate, parsed once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolMode {
+    /// No override: gate on [`PARALLEL_THRESHOLD`].
+    Auto,
+    /// Always parallel (≥ 2 threads even on single-core hosts) — lets
+    /// 1-core CI runners exercise every pool-driven code path.
+    Force,
+    /// Never parallel.
+    Off,
+}
+
+fn pool_mode() -> PoolMode {
+    static MODE: OnceLock<PoolMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("PORTNUM_POOL").as_deref() {
+        Ok("force") => PoolMode::Force,
+        Ok("off") => PoolMode::Off,
+        Ok("auto") | Err(_) => PoolMode::Auto,
+        // A typo (e.g. "forced") silently falling back to Auto would
+        // defeat the CI step that forces the pool on — fail loudly.
+        Ok(other) => panic!("unrecognised PORTNUM_POOL value {other:?} (use force, off, or auto)"),
+    })
+}
+
+/// Worker threads for a parallel phase doing `work` words of per-call
+/// work (for refinement this is roughly nodes + stored successor
 /// pairs): [`encode_threads`] at or above [`PARALLEL_THRESHOLD`], 1
-/// (sequential) below it. The single gate shared by every refinement
-/// front-end so the engines cannot diverge on tuning.
+/// (sequential) below it. The single gate shared by every parallel
+/// front-end (refinement rounds *and* plan execution) so the engines
+/// cannot diverge on tuning.
+///
+/// Setting the `PORTNUM_POOL` environment variable overrides the gate:
+/// `force` always parallelises (with at least 2 threads, so single-core
+/// CI runners still drive the pool), `off` never does.
 pub fn threads_for(work: usize) -> usize {
-    if work >= PARALLEL_THRESHOLD {
-        encode_threads()
-    } else {
-        1
+    match pool_mode() {
+        PoolMode::Force => encode_threads().max(2),
+        PoolMode::Off => 1,
+        PoolMode::Auto => {
+            if work >= PARALLEL_THRESHOLD {
+                encode_threads()
+            } else {
+                1
+            }
+        }
     }
+}
+
+/// Splits `0..n` into at most `threads` contiguous ranges at quantiles
+/// of a cumulative work function (`cum(i)` = total work of items
+/// `0..i`; nondecreasing with `cum(0) == 0`), each boundary rounded
+/// down to a multiple of `align`. Empty ranges are dropped, and the
+/// ranges always cover `0..n` exactly (the last boundary is pinned to
+/// `n`).
+///
+/// This is the one work-balanced splitter behind every parallel phase:
+/// the refinement encode split (`align = 1`, CSR-derived work), and
+/// the plan executor's bitset fills (`align = 64`, so chunks own
+/// disjoint output words) and `iter_ones` splits (popcount prefix).
+/// Keeping them on one implementation keeps their rounding and
+/// degenerate-input behaviour from drifting apart.
+pub fn quantile_ranges(
+    n: usize,
+    threads: usize,
+    align: usize,
+    cum: impl Fn(usize) -> usize,
+) -> Vec<Range<usize>> {
+    let threads = threads.max(1);
+    let total = cum(n);
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for i in 0..threads {
+        let end = if i + 1 == threads {
+            n
+        } else {
+            // First boundary whose cumulative work reaches this
+            // chunk's quantile, rounded down to the alignment.
+            let target = (total * (i + 1)).div_ceil(threads);
+            let (mut lo, mut hi) = (start, n);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if cum(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            (lo / align * align).clamp(start, n)
+        };
+        if end > start {
+            ranges.push(start..end);
+            start = end;
+        }
+    }
+    ranges
 }
 
 /// Runs one round's encode phase in parallel: splits `0..n` into up to
 /// `threads` contiguous chunks **of equal node count** and calls
-/// `encode(range, buffer)` for each on its own scoped thread. `buffers`
+/// `encode(range, buffer)` for each on the worker pool. `buffers`
 /// is resized to the chunk count and cleared; storage persists across
 /// calls so repeated rounds reuse capacity.
 ///
@@ -364,9 +455,7 @@ where
     F: Fn(Range<usize>, &mut SignatureBuffer) + Sync,
 {
     let threads = threads.clamp(1, n.max(1));
-    let chunk = n.div_ceil(threads);
-    let ranges = (0..threads).map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n));
-    encode_ranges(ranges.collect(), buffers, encode);
+    encode_ranges(quantile_ranges(n, threads, 1, |i| i), buffers, encode);
 }
 
 /// Work-balanced variant of [`parallel_encode`]: `work` is the
@@ -394,39 +483,32 @@ pub fn parallel_encode_weighted<F>(
 {
     let n = work.len().checked_sub(1).expect("work must be a prefix-sum array of length n + 1");
     let threads = threads.clamp(1, n.max(1));
-    let total = work[n];
-    let mut ranges = Vec::with_capacity(threads);
-    let mut start = 0usize;
-    for i in 0..threads {
-        let end = if i + 1 == threads {
-            n
-        } else {
-            // First node index whose cumulative work reaches this
-            // chunk's quantile.
-            let target = (total * (i + 1)).div_ceil(threads);
-            work.partition_point(|&w| w < target).clamp(start, n)
-        };
-        ranges.push(start..end);
-        start = end;
-    }
-    encode_ranges(ranges, buffers, encode);
+    encode_ranges(quantile_ranges(n, threads, 1, |i| work[i]), buffers, encode);
 }
 
-/// Shared scoped-thread fan-out over precomputed contiguous ranges.
+/// Shared pool fan-out over precomputed contiguous ranges: chunk `i`
+/// encodes `ranges[i]` into `buffers[i]`, whichever pool thread picks
+/// it up — the buffer↔range pairing (and therefore the intern order)
+/// is fixed up front, so the output is deterministic.
 fn encode_ranges<F>(ranges: Vec<Range<usize>>, buffers: &mut Vec<SignatureBuffer>, encode: F)
 where
     F: Fn(Range<usize>, &mut SignatureBuffer) + Sync,
 {
     buffers.resize_with(ranges.len(), SignatureBuffer::default);
-    std::thread::scope(|scope| {
-        for (range, buffer) in ranges.into_iter().zip(buffers.iter_mut()) {
-            let encode = &encode;
-            scope.spawn(move || {
-                buffer.clear();
-                if !range.is_empty() {
-                    encode(range, buffer);
-                }
-            });
+    if ranges.len() == 1 {
+        // One chunk needs no pool round-trip.
+        buffers[0].clear();
+        if !ranges[0].is_empty() {
+            encode(ranges[0].clone(), &mut buffers[0]);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<&mut SignatureBuffer>> = buffers.iter_mut().map(Mutex::new).collect();
+    WorkerPool::global().run(ranges.len(), &|i| {
+        let mut buffer = slots[i].lock().expect("pool chunks panicked");
+        buffer.clear();
+        if !ranges[i].is_empty() {
+            encode(ranges[i].clone(), &mut buffer);
         }
     });
 }

@@ -1,0 +1,504 @@
+//! A persistent worker pool for data-parallel chunk jobs.
+//!
+//! The refinement engines ([`crate::partition`], [`crate::refinement`],
+//! `portnum-logic`'s bisimulation) and the compiled-plan executor all
+//! fan the same shape of work out over threads: a call-scoped list of
+//! independent *chunks* (contiguous node ranges, plan instructions,
+//! bitset word ranges), each writing into its own pre-assigned output
+//! slot. Spawning fresh scoped threads per call costs ~100µs — more
+//! than an entire refinement round on a mid-size model — which is why
+//! the old scoped-thread fan-out had to hide behind a large work gate.
+//!
+//! [`WorkerPool`] keeps the threads alive instead: workers park on a
+//! condvar between calls, and a call is one mutex-protected job
+//! installation plus one wake-up. Per-call overhead drops to a few
+//! microseconds, so the shared work gate
+//! ([`crate::partition::PARALLEL_THRESHOLD`]) can sit an order of
+//! magnitude lower and small/medium models go parallel too.
+//!
+//! # Execution model
+//!
+//! [`WorkerPool::run`]`(chunks, job)` executes `job(i)` exactly once
+//! for every `i in 0..chunks` and returns when all invocations have
+//! finished. Chunks are claimed from a shared epoch-tagged cursor
+//! (range stealing): whichever thread is free takes the next index, so
+//! a straggler chunk cannot idle the rest of the pool. The **caller
+//! participates** — with zero workers (single-core hosts) `run` simply
+//! executes every chunk inline, so callers never need a sequential
+//! fallback path for correctness.
+//!
+//! # Determinism
+//!
+//! Which *thread* runs a chunk is scheduling-dependent, but chunk
+//! indices are handed out exactly once, so a job that writes only to
+//! per-chunk slots (`buffers[i]`, disjoint word ranges of one bitset)
+//! produces output independent of the interleaving. The refinement
+//! front-ends rely on this: encode buffers are filled per chunk and
+//! interned *in chunk order* afterwards, which keeps first-seen block
+//! ids bit-identical to the sequential engine.
+//!
+//! # Safety
+//!
+//! `run` lends the job reference to worker threads for the duration of
+//! the call, erasing its lifetime (the one `unsafe` impl in this
+//! crate). This is sound because `run` does not return until every
+//! claimed chunk has completed and no further chunk can be claimed for
+//! that epoch: workers verify the epoch with a compare-and-swap before
+//! every claim, so a stale worker can neither touch a new call's
+//! cursor nor run an old call's job after its borrow ended. Panics in
+//! a chunk are caught, remaining chunks are drained without running
+//! the job, and the panic is re-raised on the caller once the call's
+//! barrier is reached — the borrow again outlives every use.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// The job view a worker holds while a call is active: a raw,
+/// lifetime-erased pointer to the caller's `Fn(usize)` closure.
+///
+/// Sending the raw pointer across threads is safe under the pool's
+/// protocol: the pointer is only dereferenced between job installation
+/// and the completion barrier of the same epoch, and
+/// [`WorkerPool::run`] blocks until that barrier — so the pointee (and
+/// everything it borrows) is alive for every dereference.
+#[derive(Clone, Copy)]
+struct Job {
+    ptr: *const (dyn Fn(usize) + Sync),
+}
+
+#[allow(unsafe_code)]
+// SAFETY: see the `Job` doc comment — the pointer is only dereferenced
+// while the caller of `run` is blocked inside the call that installed it.
+unsafe impl Send for Job {}
+#[allow(unsafe_code)]
+// SAFETY: as above; the pointee is `Sync`, so shared dereferences from
+// several workers at once are fine.
+unsafe impl Sync for Job {}
+
+/// Pool state guarded by the control mutex.
+struct Control {
+    /// Bumped once per call; 0 means "no job has ever been installed",
+    /// so workers initialise their seen-epoch to 0. Wraps (skipping 0)
+    /// after 2³² calls, which a worker would only confuse after
+    /// sleeping through the entire wrap — not a realistic schedule.
+    epoch: u32,
+    /// Chunk count of the current call.
+    chunks: u32,
+    /// The current call's job, `None` between calls.
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    /// Serialises whole `run` calls: the epoch/cursor/done protocol
+    /// supports one active call at a time, so a second caller waits
+    /// here until the first call's barrier completes.
+    call: Mutex<()>,
+    control: Mutex<Control>,
+    /// Workers park here between calls.
+    work_ready: Condvar,
+    /// Completed chunks of the current call; the caller parks on
+    /// `done_cv` until it reaches `chunks`.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    /// `(epoch << 32) | next_chunk`: the range-stealing cursor. The
+    /// epoch tag makes claims from finished calls fail their CAS
+    /// instead of corrupting the next call's queue.
+    cursor: AtomicU64,
+    /// Set when a chunk panics; remaining chunks are drained without
+    /// running the job and the caller re-raises after the barrier.
+    panicked: AtomicBool,
+    /// The first panicking chunk's payload, resumed on the caller so
+    /// the original message/location is not lost.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+std::thread_local! {
+    /// Set while the current thread is executing a pool chunk; a
+    /// nested [`WorkerPool::run`] from inside a job would deadlock on
+    /// the call mutex, so it is detected and rejected instead.
+    static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent pool of parked worker threads; see the module docs.
+///
+/// Most callers want the process-wide [`WorkerPool::global`] instance.
+/// Dedicated pools (tests, isolation experiments) shut their workers
+/// down on drop.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::pool::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let hits = AtomicUsize::new(0);
+/// WorkerPool::global().run(16, &|i| {
+///     hits.fetch_add(i + 1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), (1..=16).sum());
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` dedicated threads (the caller of
+    /// [`run`](WorkerPool::run) always participates as one more).
+    /// `workers == 0` is valid: every call then runs inline.
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            call: Mutex::new(()),
+            control: Mutex::new(Control { epoch: 0, chunks: 0, job: None, shutdown: false }),
+            work_ready: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            cursor: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("portnum-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// The process-wide pool, created on first use with
+    /// `available_parallelism - 1` workers (at least one, so the pool
+    /// machinery is exercised even on single-core hosts; the caller is
+    /// the remaining thread).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            WorkerPool::new(threads.max(2) - 1)
+        })
+    }
+
+    /// Number of dedicated worker threads (the caller adds one more).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `job(i)` exactly once for every `i in 0..chunks`, on the
+    /// pool's workers and the calling thread, returning once all
+    /// invocations have completed. Concurrent `run` calls on the same
+    /// pool are serialised: the second caller blocks until the first
+    /// call's barrier completes, then gets the whole pool.
+    ///
+    /// `run` is **not re-entrant**: a job must never call `run` (on
+    /// any pool) from inside a chunk — the outer call holds the pool
+    /// for its whole duration, so nesting would deadlock. Nested calls
+    /// are detected and rejected with a panic instead of hanging.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the first panicking chunk's panic on the caller
+    /// (original payload preserved); the remaining chunks are skipped
+    /// but still drained, so the pool stays usable. Also panics on
+    /// re-entrant use, see above.
+    pub fn run(&self, chunks: usize, job: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        assert!(
+            !IN_POOL_JOB.with(std::cell::Cell::get),
+            "nested WorkerPool::run from inside a pool chunk would deadlock; \
+             restructure the job to fan out from the caller instead"
+        );
+        if self.workers.is_empty() {
+            // Inline fast path: no protocol, no atomics.
+            for i in 0..chunks {
+                job(i);
+            }
+            return;
+        }
+        let chunks32 = u32::try_from(chunks).expect("pool calls are capped at 2^32 chunks");
+        let _call = self.shared.call.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        #[allow(unsafe_code)]
+        // SAFETY: lifetime erasure only — the pointer is dereferenced
+        // exclusively between installation below and the completion
+        // barrier at the end of this call, during which `job` is alive
+        // (see the module-level safety argument).
+        let ptr: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+                job,
+            )
+        };
+        let epoch = {
+            let mut control = self.shared.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            control.epoch = control.epoch.wrapping_add(1);
+            if control.epoch == 0 {
+                control.epoch = 1;
+            }
+            control.chunks = chunks32;
+            control.job = Some(Job { ptr });
+            *self.shared.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = 0;
+            self.shared.panicked.store(false, Ordering::Relaxed);
+            // Publish the new cursor before workers can observe the new
+            // epoch (they read `control` under the mutex).
+            self.shared.cursor.store(u64::from(control.epoch) << 32, Ordering::Release);
+            control.epoch
+        };
+        self.shared.work_ready.notify_all();
+
+        // The caller is a worker too; with every chunk claimed via the
+        // epoch-tagged cursor this also guarantees completion even if
+        // all workers are still waking up.
+        run_chunks(&self.shared, epoch, chunks32, Job { ptr });
+
+        let mut done = self.shared.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *done < chunks {
+            done = self.shared.done_cv.wait(done).expect("pool done poisoned");
+        }
+        drop(done);
+        // Drop the erased pointer before the borrow ends.
+        self.shared.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner).job = None;
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            let payload = self
+                .shared
+                .panic_payload
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            match payload {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => panic!("a worker-pool chunk panicked"),
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut control = self.shared.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            control.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers.len()).finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u32;
+    loop {
+        let (epoch, chunks, job) = {
+            let mut control = shared.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if control.shutdown {
+                    return;
+                }
+                if control.epoch != seen {
+                    break;
+                }
+                control = shared.work_ready.wait(control).expect("pool control poisoned");
+            }
+            seen = control.epoch;
+            (control.epoch, control.chunks, control.job)
+        };
+        if let Some(job) = job {
+            run_chunks(shared, epoch, chunks, job);
+        }
+    }
+}
+
+/// Claims and executes chunks of the given epoch until the queue is
+/// exhausted or the epoch moves on. Every claim is an epoch-verified
+/// CAS, so a thread that dozed through the end of a call cannot steal
+/// from (or double-count into) the next one.
+fn run_chunks(shared: &Shared, epoch: u32, chunks: u32, job: Job) {
+    loop {
+        let mut cursor = shared.cursor.load(Ordering::Acquire);
+        let index = loop {
+            if (cursor >> 32) as u32 != epoch {
+                return;
+            }
+            let index = cursor as u32;
+            if index >= chunks {
+                return;
+            }
+            match shared.cursor.compare_exchange_weak(
+                cursor,
+                cursor + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break index,
+                Err(current) => cursor = current,
+            }
+        };
+        if !shared.panicked.load(Ordering::Relaxed) {
+            #[allow(unsafe_code)]
+            // SAFETY: the chunk was claimed under the current epoch, so
+            // the installing `run` call is still blocked on the
+            // completion barrier below and the pointee is alive.
+            let func = unsafe { &*job.ptr };
+            IN_POOL_JOB.with(|flag| flag.set(true));
+            let outcome = catch_unwind(AssertUnwindSafe(|| func(index as usize)));
+            IN_POOL_JOB.with(|flag| flag.set(false));
+            if let Err(payload) = outcome {
+                // Keep the first payload so the caller can resume the
+                // original panic (message and location intact).
+                let mut slot =
+                    shared.panic_payload.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                slot.get_or_insert(payload);
+                shared.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+        let mut done = shared.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *done += 1;
+        if *done == chunks as usize {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for chunks in [0usize, 1, 2, 7, 64, 1000] {
+            let counts: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(chunks, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "chunks = {chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_chunk_slots_are_deterministic() {
+        // Each chunk writes its own slot; repeated calls must produce
+        // identical output regardless of which worker ran what.
+        let pool = WorkerPool::new(4);
+        let reference: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for _ in 0..50 {
+            let slots: Vec<Mutex<usize>> = (0..257).map(|_| Mutex::new(0)).collect();
+            pool.run(257, &|i| {
+                *slots[i].lock().unwrap() = i * i;
+            });
+            let got: Vec<usize> = slots.iter().map(|s| *s.lock().unwrap()).collect();
+            assert_eq!(got, reference);
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.worker_count(), 0);
+        let sum = AtomicUsize::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn pool_survives_many_small_calls() {
+        // The epoch protocol must hand back a clean queue every call.
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..2000 {
+            pool.run(3, &|i| {
+                total.fetch_add(i + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2000 * 6);
+    }
+
+    #[test]
+    fn borrowed_environment_is_visible_and_mutable_per_chunk() {
+        let pool = WorkerPool::new(2);
+        let input: Vec<usize> = (0..100).collect();
+        let out: Vec<Mutex<usize>> = (0..4).map(|_| Mutex::new(0)).collect();
+        pool.run(4, &|c| {
+            let chunk = &input[c * 25..(c + 1) * 25];
+            *out[c].lock().unwrap() = chunk.iter().sum();
+        });
+        let total: usize = out.iter().map(|m| *m.lock().unwrap()).sum();
+        assert_eq!(total, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn panicking_chunk_propagates_payload_and_pool_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        // The ORIGINAL payload reaches the caller, not a generic
+        // re-panic — chunk diagnostics survive the pool boundary.
+        let payload = result.expect_err("panic must reach the caller");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "boom");
+        // The pool still works afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(5, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn nested_run_is_rejected_not_deadlocked() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|_| {
+                WorkerPool::global().run(2, &|_| {});
+            });
+        }));
+        let payload = result.expect_err("nested run must be rejected");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(message.contains("nested WorkerPool::run"), "got: {message}");
+        // Still usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = WorkerPool::global() as *const WorkerPool;
+        let b = WorkerPool::global() as *const WorkerPool;
+        assert_eq!(a, b);
+        let hits = AtomicUsize::new(0);
+        WorkerPool::global().run(12, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 12);
+    }
+}

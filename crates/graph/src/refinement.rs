@@ -14,9 +14,10 @@
 //! are comparable level by level. On graphs with at least
 //! [`crate::partition::PARALLEL_THRESHOLD`] signature words of encode
 //! work per round (nodes + edge endpoints) the encode phase of
-//! each round fans out over scoped threads (see
-//! [`crate::partition::parallel_encode`]); the sequential intern phase
-//! keeps colour ids bit-identical to the single-threaded engine.
+//! each round fans out over the persistent worker pool (see
+//! [`crate::partition::parallel_encode`] and [`crate::pool`]); the
+//! sequential intern phase keeps colour ids bit-identical to the
+//! single-threaded engine.
 
 use crate::graph::{Graph, NodeId};
 use crate::partition::{
@@ -33,8 +34,10 @@ pub struct ColorClasses {
 impl ColorClasses {
     /// Maps a query depth to a stored level. Depths within the computed
     /// range pass through; deeper depths clamp to the final level, but
-    /// only when that level is provably stable (equal to its predecessor,
-    /// as [`stable_coloring`] guarantees) — clamping a *truncated*
+    /// only when that level is provably stable — equal to its
+    /// predecessor (as [`stable_coloring`] guarantees) or empty (a
+    /// graph with no nodes has only one partition, so every depth is
+    /// the fixpoint even at `rounds == 0`). Clamping a *truncated*
     /// refinement would silently return a coarser partition, so that
     /// case panics instead.
     fn cap(&self, t: usize) -> usize {
@@ -42,8 +45,10 @@ impl ColorClasses {
         if t <= last {
             return t;
         }
+        let stable = (last >= 1 && self.levels[last] == self.levels[last - 1])
+            || self.levels[last].is_empty();
         assert!(
-            last >= 1 && self.levels[last] == self.levels[last - 1],
+            stable,
             "depth-{t} query on a refinement truncated at round {last}; \
              rerun with more rounds or use stable_coloring"
         );
@@ -349,5 +354,37 @@ mod tests {
         assert_eq!(classes.class_count(round), 1);
         let (classes, round) = stable_coloring(&Graph::empty(0));
         assert_eq!(classes.class_count(round), 0);
+    }
+
+    #[test]
+    fn zero_round_refinement_on_empty_graph_clamps() {
+        // rounds == 0 leaves a single (empty) level; with no nodes the
+        // partition is trivially stable, so deep queries clamp instead
+        // of panicking about truncation.
+        let classes = color_refinement(&Graph::empty(0), 0);
+        assert_eq!(classes.rounds(), 0);
+        assert_eq!(classes.class_count(0), 0);
+        assert_eq!(classes.class_count(1_000), 0);
+        assert!(classes.level(5).is_empty());
+        assert_eq!(classes.stable_round(), None, "no witness round exists to report");
+    }
+
+    #[test]
+    fn zero_round_refinement_on_nonempty_graph_reports_depth_zero() {
+        // rounds == 0 on a real graph: depth-0 queries work, the
+        // degree partition is reported, and nothing deeper is claimed.
+        let classes = color_refinement(&generators::star(3), 0);
+        assert_eq!(classes.rounds(), 0);
+        assert_eq!(classes.class_count(0), 2, "centre vs leaves by degree");
+        assert_eq!(classes.level(0).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn zero_round_refinement_on_nonempty_graph_rejects_deep_queries() {
+        // One level, at least one node, no stability witness: a deeper
+        // query must fail loudly rather than clamp.
+        let classes = color_refinement(&generators::path(4), 0);
+        let _ = classes.class_count(1);
     }
 }

@@ -45,11 +45,14 @@
 //! On models with at least [`PARALLEL_THRESHOLD`] signature words of
 //! per-round encode work (worlds + stored successor pairs) each round
 //! runs in two phases: the encode phase (gather + sort + flatten
-//! signatures — the dominant cost) fans out over scoped threads into
-//! chunk-local
+//! signatures — the dominant cost) fans out over the persistent worker
+//! pool ([`portnum_graph::pool`]) into chunk-local
 //! [`SignatureBuffer`]s, and the intern phase walks the buffers in world
 //! order through the shared table, so block ids (and therefore every
-//! partition) are bit-identical to the sequential engine's.
+//! partition) are bit-identical to the sequential engine's. The pool's
+//! parked workers make a parallel round cost a wake-up rather than a
+//! thread spawn, which is what lets the gate sit at a few thousand
+//! words instead of the old 2¹⁶.
 //!
 //! Chunk boundaries sit at *work* quantiles, not equal world counts:
 //! each world's encode cost (≈ its signature words, derived from the
@@ -65,7 +68,9 @@ use portnum_graph::partition::{
 
 /// Minimum signature words of per-round encode work (worlds + stored
 /// successor pairs) before refinement rounds parallelise their encode
-/// phase; below this, thread-spawn overhead dominates the round.
+/// phase; below this, even the pool wake-up outweighs the round's
+/// work. Overridable via `PORTNUM_POOL` — see
+/// [`portnum_graph::partition::threads_for`].
 pub const PARALLEL_THRESHOLD: usize = portnum_graph::partition::PARALLEL_THRESHOLD;
 
 /// Plain (set-based) or graded (counting) refinement.
@@ -227,9 +232,9 @@ fn refine_impl(
 }
 
 /// Runs the full-history refinement with the encode phase forced onto
-/// worker threads regardless of model size. Exists so tests and benches
-/// can pin the parallel path against the sequential one; use [`refine`]
-/// and friends everywhere else.
+/// the worker pool regardless of model size. Exists so tests and
+/// benches can pin the pool-driven path against the sequential one;
+/// use [`refine`] and friends everywhere else.
 #[doc(hidden)]
 pub fn refine_forced_parallel(model: &Kripke, style: BisimStyle) -> BisimClasses {
     refine_engine(model, style, None, true, encode_threads().max(2))

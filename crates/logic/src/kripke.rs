@@ -275,6 +275,13 @@ impl Kripke {
         self.degree[v]
     }
 
+    /// All world degrees as a slice — the whole valuation at once, for
+    /// bulk sweeps (the plan executor's chunked `Prop` fill reads this
+    /// instead of calling [`Kripke::degree`] per world).
+    pub fn degrees(&self) -> &[usize] {
+        &self.degree
+    }
+
     /// Successors of `v` under the relation for `index` (empty if the
     /// relation does not occur in the model), as `u32` world ids.
     pub fn successors(&self, v: usize, index: ModalIndex) -> &[u32] {

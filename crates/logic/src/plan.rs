@@ -25,14 +25,18 @@
 //! Folds can orphan already-lowered subtrees, so a finished plan is
 //! compacted to the instructions reachable from its roots.
 //!
-//! # Slot allocation
+//! # Slot allocation and the level schedule
 //!
-//! Every instruction writes one [`Bitset`] slot. Slots are recycled at
-//! an operand's *last use* (roots are pinned), so the executor's peak
-//! memory is bounded by the width of the instruction DAG, not its node
-//! count — a deep chain of diamonds runs in two slots however long it
-//! is. All slot writes are full overwrites, so recycled storage is
-//! reused without clearing.
+//! Every instruction writes one [`Bitset`] slot. Instructions are
+//! scheduled by DAG *level* (an instruction's level is one more than
+//! the deepest of its operands), and a slot is recycled one level
+//! after its last reader's level (roots are pinned) — so two
+//! instructions on the same level never alias each other's operands
+//! and the whole level can execute concurrently. Peak memory stays
+//! bounded by the width of the instruction DAG, not its node count — a
+//! deep chain of diamonds runs in two slots however long it is. All
+//! slot writes are full overwrites, so recycled storage is reused
+//! without clearing.
 //!
 //! # Diamond strategies
 //!
@@ -41,7 +45,9 @@
 //!
 //! * **forward** — walk the relation's CSR successor rows testing bits
 //!   of `‖φ‖`, with early exit at the grade (the recursive evaluator's
-//!   strategy; cost ≈ stored successor pairs);
+//!   strategy; cost ≈ worlds + stored successor pairs — the
+//!   `assign_from_fn` sweep visits every world even when its row is
+//!   empty);
 //! * **reverse** — union the relation's predecessor bit rows
 //!   ([`Kripke::predecessor_rows`]) over `iter_ones(‖φ‖)`; cost ≈
 //!   `|‖φ‖| × n/64` word ORs, a large win when `‖φ‖` is sparse.
@@ -49,8 +55,33 @@
 //! Reverse is only considered for grade-1 diamonds (the graded case
 //! falls back to forward counting), only when the predecessor matrix
 //! fits under [`REVERSE_WORD_CAP`], and under [`DiamondMode::Auto`]
-//! only when `count_ones(‖φ‖) × row_words < stored successor pairs`,
-//! i.e. when the row unions beat the full CSR sweep.
+//! only when `count_ones(‖φ‖) × row_words < successor pairs + worlds`,
+//! i.e. when the row unions beat the full CSR sweep *including* its
+//! per-world cost. (Comparing against the pair count alone was a bug:
+//! a sparse relation over a large universe made the forward walk look
+//! free when its `O(n)` sweep dominated.)
+//!
+//! # Parallel execution
+//!
+//! [`Plan::execute`] runs on the persistent worker pool
+//! ([`portnum_graph::pool`]) along two axes, both gated on the shared
+//! work threshold ([`portnum_graph::partition::threads_for`]) so tiny
+//! models stay on the sequential fast path:
+//!
+//! * **within an instruction** — `Prop` and forward diamonds split the
+//!   world range at 64-aligned, work-weighted boundaries (the CSR
+//!   offsets are the work prefix-sums) and fill disjoint word ranges
+//!   of the output slot; reverse diamonds split `iter_ones(‖φ‖)` at
+//!   popcount quantiles into per-chunk partial unions merged with
+//!   [`Bitset::or_assign`];
+//! * **across instructions** — all instructions of one DAG level are
+//!   independent (the level-aware slot allocator guarantees no
+//!   aliasing), so a wide level executes as one pool call with one
+//!   chunk per instruction.
+//!
+//! Both axes write only per-chunk state, so results are bit-identical
+//! to the sequential engine (proptest-pinned; `execute_forced_parallel`
+//! is the test knob that drives them below the gate).
 //!
 //! # Suites and the per-model cache
 //!
@@ -65,9 +96,12 @@
 use crate::error::LogicError;
 use crate::formula::{Formula, FormulaKind};
 use crate::kripke::Kripke;
-use portnum_graph::bitset::Bitset;
-use portnum_graph::partition::FxHashMap;
+use portnum_graph::bitset::{fill_words_from_fn, Bitset};
+use portnum_graph::partition::{encode_threads, quantile_ranges, threads_for, FxHashMap};
+use portnum_graph::pool::WorkerPool;
+use std::ops::Range;
 use std::rc::Rc;
+use std::sync::Mutex;
 
 /// Strategy selection for diamond instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -145,6 +179,24 @@ pub struct ExecStats {
     pub forward_diamonds: usize,
     /// Diamonds evaluated by predecessor-row unions.
     pub reverse_diamonds: usize,
+    /// Instructions whose per-world loop was split into pool chunks
+    /// (world-range splits for `Prop`/forward diamonds, `iter_ones`
+    /// splits for reverse diamonds).
+    pub chunked_ops: usize,
+    /// Instructions executed concurrently with same-level siblings
+    /// (instruction-level parallelism over the plan DAG).
+    pub level_parallel_ops: usize,
+}
+
+impl ExecStats {
+    /// Adds `other`'s counters into `self` (merging per-chunk stats).
+    fn absorb(&mut self, other: ExecStats) {
+        self.executed += other.executed;
+        self.forward_diamonds += other.forward_diamonds;
+        self.reverse_diamonds += other.reverse_diamonds;
+        self.chunked_ops += other.chunked_ops;
+        self.level_parallel_ops += other.level_parallel_ops;
+    }
 }
 
 /// Reusable lowering state: the instruction list, the structural
@@ -313,6 +365,11 @@ pub struct Plan {
     /// Output slot of each instruction.
     dst: Vec<u32>,
     slot_count: usize,
+    /// Instruction ids grouped by DAG level (ascending id within a
+    /// level); level `l` is `sched[level_bounds[l]..level_bounds[l+1]]`.
+    /// A valid topological order, and the executor's schedule.
+    sched: Vec<u32>,
+    level_bounds: Vec<usize>,
     /// Root instruction of each input formula, in input order.
     roots: Vec<u32>,
     stats: PlanStats,
@@ -383,32 +440,70 @@ impl Plan {
         }
         let roots: Vec<u32> = roots.iter().map(|&r| remap[r as usize]).collect();
 
-        // Liveness: an instruction's slot is free after its last
-        // consumer; roots are pinned until the end of the run.
-        let mut last_use: Vec<u32> = (0..compact.len() as u32).collect();
+        // DAG levels: leaves at 0, every instruction one past its
+        // deepest operand. Instructions of a level share no data
+        // dependency, so a level is the executor's unit of
+        // instruction-level parallelism.
+        let m = compact.len();
+        let mut level = vec![0u32; m];
+        let mut num_levels = 0usize;
         for (id, op) in compact.iter().enumerate() {
-            op.for_each_operand(|a| last_use[a as usize] = id as u32);
+            let mut l = 0u32;
+            op.for_each_operand(|a| l = l.max(level[a as usize] + 1));
+            level[id] = l;
+            num_levels = num_levels.max(l as usize + 1);
         }
-        for &r in &roots {
-            last_use[r as usize] = u32::MAX;
+        // Counting sort of instruction ids by level (stable, so ids
+        // ascend within a level).
+        let mut level_bounds = vec![0usize; num_levels + 1];
+        for &l in &level {
+            level_bounds[l as usize + 1] += 1;
+        }
+        for l in 0..num_levels {
+            level_bounds[l + 1] += level_bounds[l];
+        }
+        let mut cursor = level_bounds.clone();
+        let mut sched = vec![0u32; m];
+        for (id, &l) in level.iter().enumerate() {
+            sched[cursor[l as usize]] = id as u32;
+            cursor[l as usize] += 1;
         }
 
-        // Slot assignment with a free stack. The destination is
-        // allocated before dying operands are released, so an
-        // instruction never aliases its own inputs.
-        let mut dst = vec![0u32; compact.len()];
+        // Liveness by level: a slot is reusable starting one level
+        // after its deepest reader (roots are pinned), so within a
+        // level no destination ever aliases a sibling's operand — the
+        // invariant that makes level-parallel execution sound.
+        let mut free_level = vec![0u32; m];
+        for (id, op) in compact.iter().enumerate() {
+            op.for_each_operand(|a| {
+                free_level[a as usize] = free_level[a as usize].max(level[id]);
+            });
+        }
+        for &r in &roots {
+            free_level[r as usize] = u32::MAX;
+        }
+        let mut free_bucket: Vec<Vec<u32>> = vec![Vec::new(); num_levels];
+        for (id, &fl) in free_level.iter().enumerate() {
+            if fl != u32::MAX {
+                free_bucket[fl as usize].push(id as u32);
+            }
+        }
+
+        let mut dst = vec![0u32; m];
         let mut free: Vec<u32> = Vec::new();
         let mut slot_count = 0usize;
-        for (id, op) in compact.iter().enumerate() {
-            dst[id] = free.pop().unwrap_or_else(|| {
-                slot_count += 1;
-                (slot_count - 1) as u32
-            });
-            op.for_each_operand(|a| {
-                if last_use[a as usize] == id as u32 {
+        for l in 0..num_levels {
+            if l > 0 {
+                for &a in &free_bucket[l - 1] {
                     free.push(dst[a as usize]);
                 }
-            });
+            }
+            for &id in &sched[level_bounds[l]..level_bounds[l + 1]] {
+                dst[id as usize] = free.pop().unwrap_or_else(|| {
+                    slot_count += 1;
+                    (slot_count - 1) as u32
+                });
+            }
         }
 
         let stats = PlanStats {
@@ -417,7 +512,7 @@ impl Plan {
             dedup_hits: dedup,
             slots: slot_count,
         };
-        Plan { n, ops: compact, dst, slot_count, roots, stats }
+        Plan { n, ops: compact, dst, slot_count, sched, level_bounds, roots, stats }
     }
 
     /// Lowering statistics (instruction, dedup, and slot counts).
@@ -441,7 +536,9 @@ impl Plan {
     }
 
     /// Executes with [`DiamondMode::Auto`]; returns one truth vector
-    /// per input formula, in input order.
+    /// per input formula, in input order. Heavy instructions (and wide
+    /// DAG levels) run on the persistent worker pool — see the module
+    /// docs — while small plans stay on the sequential fast path.
     ///
     /// # Panics
     ///
@@ -452,37 +549,107 @@ impl Plan {
         self.execute_with(model, DiamondMode::Auto).0
     }
 
-    /// Executes the plan as a linear loop over its instructions with
-    /// the given diamond strategy, returning the root truth vectors and
-    /// the execution statistics.
+    /// Executes the plan level by level with the given diamond
+    /// strategy, returning the root truth vectors and the execution
+    /// statistics.
     ///
     /// # Panics
     ///
     /// See [`Plan::execute`].
     pub fn execute_with(&self, model: &Kripke, mode: DiamondMode) -> (Vec<Bitset>, ExecStats) {
+        self.execute_impl(model, mode, false)
+    }
+
+    /// Runs the executor with every parallel path forced on (both
+    /// chunking axes, regardless of model size). Exists so tests and
+    /// benches can pin the pool-driven executor against the sequential
+    /// one; use [`Plan::execute`] / [`Plan::execute_with`] everywhere
+    /// else.
+    #[doc(hidden)]
+    pub fn execute_forced_parallel(&self, model: &Kripke, mode: DiamondMode) -> (Vec<Bitset>, ExecStats) {
+        self.execute_impl(model, mode, true)
+    }
+
+    /// Estimated work of one instruction, in the same "words of work"
+    /// currency as [`threads_for`]'s gate (refinement signature words
+    /// ≈ a few ns each): connectives are word-parallel (`n/64`),
+    /// `Prop` compares one degree per world, diamonds sweep every
+    /// world plus every stored successor pair.
+    fn op_work(&self, model: &Kripke, id: u32) -> usize {
+        let n = model.len();
+        match self.ops[id as usize] {
+            Op::Prop(_) => n / 8,
+            Op::Diamond { rel, .. } => {
+                let (_, targets) = model.relation_rows(rel as usize);
+                (n + targets.len()) / 4
+            }
+            _ => n / 64,
+        }
+    }
+
+    fn execute_impl(&self, model: &Kripke, mode: DiamondMode, force: bool) -> (Vec<Bitset>, ExecStats) {
         assert_eq!(
             model.len(),
             self.n,
             "plan executed against a model of a different size than it was compiled for"
         );
+        let threads = |work: usize| {
+            if force {
+                encode_threads().max(2)
+            } else {
+                threads_for(work)
+            }
+        };
         let mut stats = ExecStats::default();
         let mut slots: Vec<Bitset> = (0..self.slot_count).map(|_| Bitset::default()).collect();
-        for (id, &op) in self.ops.iter().enumerate() {
-            let dst = self.dst[id] as usize;
-            // Take the output slot so operand slots stay borrowable;
-            // every arm fully overwrites it (recycled contents are
-            // stale by design).
-            let mut out = std::mem::take(&mut slots[dst]);
-            eval_op_into(
-                model,
-                mode,
-                op,
-                |a| &slots[self.dst[a as usize] as usize],
-                &mut out,
-                &mut stats,
-            );
-            stats.executed += 1;
-            slots[dst] = out;
+        for l in 0..self.level_bounds.len() - 1 {
+            let ids = &self.sched[self.level_bounds[l]..self.level_bounds[l + 1]];
+            let level_work: usize = ids.iter().map(|&id| self.op_work(model, id)).sum();
+            let heaviest: usize =
+                ids.iter().map(|&id| self.op_work(model, id)).max().unwrap_or(0);
+            // Instruction-level parallelism only when no sibling
+            // dominates the level: a level that is mostly one heavy
+            // diamond speeds up more by splitting that instruction's
+            // world range (below) than by running its cheap siblings
+            // alongside it.
+            if ids.len() > 1 && threads(level_work) > 1 && heaviest * 2 <= level_work {
+                self.exec_level_parallel(model, mode, ids, &mut slots, &mut stats);
+                continue;
+            }
+            for &id in ids {
+                let dst = self.dst[id as usize] as usize;
+                // Take the output slot so operand slots stay
+                // borrowable; every arm fully overwrites it (recycled
+                // contents are stale by design).
+                let mut out = std::mem::take(&mut slots[dst]);
+                let op = self.ops[id as usize];
+                let op_threads = match op {
+                    Op::Prop(_) | Op::Diamond { .. } => threads(self.op_work(model, id)),
+                    _ => 1,
+                };
+                if op_threads > 1 {
+                    eval_op_chunked(
+                        model,
+                        mode,
+                        op,
+                        |a| &slots[self.dst[a as usize] as usize],
+                        &mut out,
+                        &mut stats,
+                        op_threads,
+                    );
+                } else {
+                    eval_op_into(
+                        model,
+                        mode,
+                        op,
+                        |a| &slots[self.dst[a as usize] as usize],
+                        &mut out,
+                        &mut stats,
+                    );
+                }
+                stats.executed += 1;
+                slots[dst] = out;
+            }
         }
 
         // Move each root's vector out of its slot; duplicate roots
@@ -500,6 +667,48 @@ impl Plan {
             }
         }
         (results, stats)
+    }
+
+    /// Executes one DAG level's instructions concurrently, one pool
+    /// chunk per instruction. Sound because the level-aware slot
+    /// allocator guarantees the level's destinations are pairwise
+    /// distinct and disjoint from every operand slot still live at
+    /// this level; each chunk owns exactly its destination.
+    fn exec_level_parallel(
+        &self,
+        model: &Kripke,
+        mode: DiamondMode,
+        ids: &[u32],
+        slots: &mut [Bitset],
+        stats: &mut ExecStats,
+    ) {
+        let outs: Vec<Mutex<(Bitset, ExecStats)>> = ids
+            .iter()
+            .map(|&id| {
+                let taken = std::mem::take(&mut slots[self.dst[id as usize] as usize]);
+                Mutex::new((taken, ExecStats::default()))
+            })
+            .collect();
+        let slots_ref: &[Bitset] = slots;
+        WorkerPool::global().run(ids.len(), &|i| {
+            let mut guard = outs[i].lock().expect("level chunk panicked");
+            let (out, chunk_stats) = &mut *guard;
+            eval_op_into(
+                model,
+                mode,
+                self.ops[ids[i] as usize],
+                |a| &slots_ref[self.dst[a as usize] as usize],
+                out,
+                chunk_stats,
+            );
+        });
+        for (&id, out) in ids.iter().zip(outs) {
+            let (out, chunk_stats) = out.into_inner().expect("level chunk panicked");
+            slots[self.dst[id as usize] as usize] = out;
+            stats.absorb(chunk_stats);
+            stats.executed += 1;
+            stats.level_parallel_ops += 1;
+        }
     }
 }
 
@@ -538,9 +747,38 @@ fn eval_op_into<'a>(
     }
 }
 
+/// Whether a diamond should run on the reverse predecessor-row path —
+/// the one decision point shared by the sequential and chunked diamond
+/// evaluators, so a parallel run can never pick a different strategy
+/// (and therefore different stats) than a sequential one.
+///
+/// The `Auto` cost model compares the reverse cost (`|‖φ‖| ×
+/// row_words` word ORs) against the forward walk's **full** cost:
+/// `targets.len() + n`, because `assign_from_fn` visits every world
+/// even when its CSR row is empty. Comparing against `targets.len()`
+/// alone made sparse relations over large universes wrongly pick the
+/// forward path.
+fn use_reverse(
+    model: &Kripke,
+    mode: DiamondMode,
+    grade: usize,
+    sat: &Bitset,
+    targets_len: usize,
+) -> bool {
+    grade == 1
+        && model.predecessor_matrix_words() <= REVERSE_WORD_CAP
+        && match mode {
+            DiamondMode::Forward => false,
+            DiamondMode::Reverse => true,
+            DiamondMode::Auto => {
+                sat.count_ones() * sat.words().len() < targets_len + model.len()
+            }
+        }
+}
+
 /// Evaluates one diamond instruction into `out`, choosing the forward
 /// CSR walk or the reverse predecessor-row union per the mode and the
-/// cost heuristic (see the module docs). Shared by [`Plan`] and
+/// cost heuristic (see [`use_reverse`]). Shared by [`Plan`] and
 /// [`ModelChecker`].
 fn diamond_into(
     model: &Kripke,
@@ -553,16 +791,7 @@ fn diamond_into(
 ) {
     let n = model.len();
     let (offsets, targets) = model.relation_rows(rel);
-    let use_reverse = grade == 1
-        && model.predecessor_matrix_words() <= REVERSE_WORD_CAP
-        && match mode {
-            DiamondMode::Forward => false,
-            DiamondMode::Reverse => true,
-            // Row unions touch ones × row_words words; the forward walk
-            // touches every stored successor pair once.
-            DiamondMode::Auto => sat.count_ones() * sat.words().len() < targets.len(),
-        };
-    if use_reverse {
+    if use_reverse(model, mode, grade, sat, targets.len()) {
         stats.reverse_diamonds += 1;
         let pred = model.predecessor_rows(rel);
         out.assign_zeros(n);
@@ -573,8 +802,13 @@ fn diamond_into(
         stats.forward_diamonds += 1;
         let sat_words = sat.words();
         let test = |w: u32| sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1;
+        // The closure threads a CSR cursor through `assign_from_fn`,
+        // leaning on its exactly-once-in-order invocation contract;
+        // the debug_assert trips immediately if a schedule change
+        // (e.g. a buggy world-range split) ever violates it.
         let mut start = offsets[0];
         out.assign_from_fn(n, |v| {
+            debug_assert_eq!(start, offsets[v], "assign_from_fn must visit worlds in order");
             let end = offsets[v + 1];
             let row = &targets[start..end];
             start = end;
@@ -588,6 +822,154 @@ fn diamond_into(
             })
         });
     }
+}
+
+/// Fills `out` over universe `0..n` by running `fill(range, words)` on
+/// the pool, one chunk per range; range starts must be multiples of 64
+/// (as produced by `quantile_ranges` with `align = 64`) so the word
+/// slices are disjoint.
+fn par_fill(
+    out: &mut Bitset,
+    n: usize,
+    ranges: &[Range<usize>],
+    fill: &(dyn Fn(Range<usize>, &mut [u64]) + Sync),
+) {
+    out.assign_zeros(n);
+    if let [only] = ranges {
+        // One chunk (tiny or heavily skewed universe): fill inline.
+        fill(only.clone(), out.words_mut());
+        return;
+    }
+    let mut rest = out.words_mut();
+    let mut chunk_words: Vec<Mutex<&mut [u64]>> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let wc = r.end.div_ceil(64) - r.start / 64;
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(wc);
+        chunk_words.push(Mutex::new(head));
+        rest = tail;
+    }
+    WorkerPool::global().run(ranges.len(), &|i| {
+        let mut words = chunk_words[i].lock().expect("fill chunk panicked");
+        fill(ranges[i].clone(), &mut words);
+    });
+}
+
+/// Chunked (pool-parallel) counterpart of [`eval_op_into`] for the two
+/// per-world-heavy instructions, `Prop` and `Diamond`; bit-identical
+/// output by construction (disjoint word ranges / commutative unions).
+fn eval_op_chunked<'a>(
+    model: &Kripke,
+    mode: DiamondMode,
+    op: Op,
+    operand: impl Fn(u32) -> &'a Bitset,
+    out: &mut Bitset,
+    stats: &mut ExecStats,
+    threads: usize,
+) {
+    let n = model.len();
+    match op {
+        Op::Prop(d) => {
+            let degrees = model.degrees();
+            // Uniform work per world: quantiles degenerate to equal
+            // 64-aligned splits, no work array needed.
+            let ranges = quantile_ranges(n, threads, 64, |v| v);
+            stats.chunked_ops += (ranges.len() > 1) as usize;
+            par_fill(out, n, &ranges, &|range, words| {
+                fill_words_from_fn(words, range, |v| degrees[v] == d);
+            });
+        }
+        Op::Diamond { rel, grade, inner } => {
+            let sat = operand(inner);
+            let (offsets, targets) = model.relation_rows(rel as usize);
+            if use_reverse(model, mode, grade, sat, targets.len()) {
+                stats.reverse_diamonds += 1;
+                stats.chunked_ops +=
+                    reverse_diamond_chunked(model, rel as usize, sat, out, threads) as usize;
+            } else {
+                stats.forward_diamonds += 1;
+                let sat_words = sat.words();
+                // Per-world forward work = the CSR row plus the visit
+                // itself, so the cumulative work at world v is
+                // offsets[v] + v.
+                let ranges = quantile_ranges(n, threads, 64, |v| offsets[v] + v);
+                stats.chunked_ops += (ranges.len() > 1) as usize;
+                par_fill(out, n, &ranges, &|range, words| {
+                    // Per-chunk CSR cursor, re-derived from the chunk
+                    // start — the pattern `assign_from_fn`'s contract
+                    // demands for range splits.
+                    let mut start = offsets[range.start];
+                    fill_words_from_fn(words, range, |v| {
+                        debug_assert_eq!(start, offsets[v]);
+                        let end = offsets[v + 1];
+                        let row = &targets[start..end];
+                        start = end;
+                        let mut count = 0usize;
+                        row.iter().any(|&w| {
+                            count += (sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1) as usize;
+                            count >= grade
+                        })
+                    });
+                });
+            }
+        }
+        _ => unreachable!("only Prop and Diamond instructions are chunked"),
+    }
+}
+
+/// Reverse diamond over the pool: `iter_ones(‖φ‖)` is split at word
+/// boundaries balanced by popcount, each chunk unions its predecessor
+/// rows into a private partial, and the partials are OR-merged (in
+/// chunk order — though OR makes any order bit-identical). Returns
+/// whether the work was actually split (false on empty or
+/// single-chunk sets, which run inline).
+fn reverse_diamond_chunked(
+    model: &Kripke,
+    rel: usize,
+    sat: &Bitset,
+    out: &mut Bitset,
+    threads: usize,
+) -> bool {
+    let n = model.len();
+    let sat_words = sat.words();
+    // Popcount prefix over sat's words, the work array of the quantile
+    // split (universe = word indices, not worlds).
+    let wn = sat_words.len();
+    let mut ones_prefix = Vec::with_capacity(wn + 1);
+    ones_prefix.push(0usize);
+    for (i, &w) in sat_words.iter().enumerate() {
+        ones_prefix.push(ones_prefix[i] + w.count_ones() as usize);
+    }
+    if ones_prefix[wn] == 0 {
+        out.assign_zeros(n);
+        return false;
+    }
+    let pred = model.predecessor_rows(rel);
+    let ranges = quantile_ranges(wn, threads, 1, |i| ones_prefix[i]);
+    if ranges.len() <= 1 {
+        out.assign_zeros(n);
+        for w in sat.iter_ones() {
+            out.or_words(pred.row(w));
+        }
+        return false;
+    }
+    let partials: Vec<Mutex<Bitset>> =
+        (0..ranges.len()).map(|_| Mutex::new(Bitset::zeros(n))).collect();
+    WorkerPool::global().run(ranges.len(), &|i| {
+        let mut acc = partials[i].lock().expect("reverse chunk panicked");
+        for wi in ranges[i].clone() {
+            let mut word = sat_words[wi];
+            while word != 0 {
+                let w = wi * 64 + word.trailing_zeros() as usize;
+                acc.or_words(pred.row(w));
+                word &= word - 1;
+            }
+        }
+    });
+    out.assign_zeros(n);
+    for partial in &partials {
+        out.or_assign(&partial.lock().expect("reverse chunk panicked"));
+    }
+    true
 }
 
 /// Cumulative statistics of a [`ModelChecker`].
@@ -1029,6 +1411,150 @@ mod tests {
         .unwrap();
         let truth = Plan::compile(&empty, &Formula::top()).unwrap().execute(&empty);
         assert_eq!(truth[0].len(), 0);
+    }
+
+    /// A sparse relation over a large universe: `n = 640` worlds,
+    /// 20 stored pairs, 4 worlds satisfying the inner formula.
+    fn sparse_relation_model() -> Kripke {
+        let n = 640;
+        let mut degree = vec![0usize; n];
+        for d in &mut degree[600..604] {
+            *d = 7;
+        }
+        let mut rows = vec![Vec::new(); n];
+        for (v, row) in rows.iter_mut().enumerate().take(20) {
+            row.push(600 + v % 4);
+        }
+        let mut relations = std::collections::BTreeMap::new();
+        relations.insert(ModalIndex::Any, rows);
+        Kripke::from_parts(crate::kripke::ModelVariant::MinusMinus, degree, relations).unwrap()
+    }
+
+    #[test]
+    fn auto_cost_model_counts_the_full_forward_sweep() {
+        // Regression for the Auto crossover: the forward walk costs
+        // n + targets.len() (assign_from_fn visits every world, empty
+        // row or not), so on this model reverse (4 ones × 10 row words
+        // = 40 word ORs) beats forward (640 + 20). The old comparison
+        // against targets.len() alone (40 < 20 — false) wrongly chose
+        // the forward path.
+        let k = sparse_relation_model();
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(7));
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (mut out, stats) = plan.execute_with(&k, DiamondMode::Auto);
+        assert_eq!(stats.reverse_diamonds, 1, "sparse relation must go reverse: {stats:?}");
+        assert_eq!(stats.forward_diamonds, 0);
+        assert_eq!(out.pop().unwrap(), evaluate_packed_recursive(&k, &f).unwrap());
+
+        // Control: a dense inner set (⊤ holds everywhere, 640 ones ×
+        // 10 words = 6400 ≫ 660) still picks the forward walk.
+        let dense = Formula::diamond(ModalIndex::Any, &Formula::top());
+        let plan = Plan::compile(&k, &dense).unwrap();
+        let (_, stats) = plan.execute_with(&k, DiamondMode::Auto);
+        assert_eq!(stats.forward_diamonds, 1, "dense inner must stay forward: {stats:?}");
+        assert_eq!(stats.reverse_diamonds, 0);
+    }
+
+    #[test]
+    fn forced_parallel_chunks_instructions_and_matches_sequential() {
+        // A deep diamond chain on a 16×16 grid: every level is a
+        // singleton, so the parallel executor must split the per-world
+        // loop (the world-chunking axis) and still agree bit for bit.
+        let k = Kripke::k_mm(&generators::grid(16, 16));
+        let mut f = Formula::prop(4);
+        for _ in 0..6 {
+            f = Formula::diamond(ModalIndex::Any, &f).or(&Formula::prop(2));
+        }
+        let plan = Plan::compile(&k, &f).unwrap();
+        for mode in [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse] {
+            let (seq, seq_stats) = plan.execute_with(&k, mode);
+            let (par, par_stats) = plan.execute_forced_parallel(&k, mode);
+            assert_eq!(seq, par, "mode {mode:?}");
+            assert_eq!(seq_stats.executed, par_stats.executed);
+            assert_eq!(seq_stats.forward_diamonds, par_stats.forward_diamonds);
+            assert_eq!(seq_stats.reverse_diamonds, par_stats.reverse_diamonds);
+            // (The un-forced run may chunk too when PORTNUM_POOL=force
+            // is set, so only the forced side is asserted.)
+            assert!(par_stats.chunked_ops > 0, "mode {mode:?}: {par_stats:?}");
+        }
+    }
+
+    #[test]
+    fn forced_parallel_runs_wide_levels_concurrently() {
+        // Eight independent diamonds under one disjunction tree: they
+        // all sit on the same DAG level, so the forced executor runs
+        // them as one pool batch (the instruction-level axis).
+        let k = Kripke::k_mm(&generators::grid(5, 5));
+        let mut f = Formula::diamond(ModalIndex::Any, &Formula::prop(0));
+        for d in 1..8 {
+            f = f.or(&Formula::diamond(ModalIndex::Any, &Formula::prop(d)));
+        }
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (seq, seq_stats) = plan.execute_with(&k, DiamondMode::Auto);
+        let (par, par_stats) = plan.execute_forced_parallel(&k, DiamondMode::Auto);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats.executed, par_stats.executed);
+        assert!(par_stats.level_parallel_ops >= 8, "{par_stats:?}");
+    }
+
+    #[test]
+    fn forced_parallel_reverse_diamonds_split_iter_ones() {
+        // Pin the reverse path: sat bits spread over several words, so
+        // the popcount split produces real chunks whose partial unions
+        // must merge to the sequential answer.
+        let k = Kripke::k_mm(&generators::cycle(200));
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(2)); // everything true inside
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (seq, ss) = plan.execute_with(&k, DiamondMode::Reverse);
+        let (par, ps) = plan.execute_forced_parallel(&k, DiamondMode::Reverse);
+        assert_eq!(seq, par);
+        assert_eq!(ss.reverse_diamonds, 1);
+        assert_eq!(ps.reverse_diamonds, 1);
+        assert!(ps.chunked_ops > 0, "{ps:?}");
+        // An all-false inner set is the empty-union edge case.
+        let none = Formula::diamond(ModalIndex::Any, &Formula::prop(9));
+        let plan = Plan::compile(&k, &none).unwrap();
+        let (seq, _) = plan.execute_with(&k, DiamondMode::Reverse);
+        let (par, _) = plan.execute_forced_parallel(&k, DiamondMode::Reverse);
+        assert_eq!(seq, par);
+        assert!(seq[0].none());
+    }
+
+    #[test]
+    fn level_schedule_is_a_topological_order() {
+        // Operands always sit on strictly earlier levels, and the
+        // schedule is a permutation of the instruction list.
+        let k = Kripke::k_mm(&generators::grid(3, 3));
+        let f = unshared_tower(5).and(&unshared_tower(3).not());
+        let plan = Plan::compile(&k, &f).unwrap();
+        assert_eq!(plan.sched.len(), plan.ops.len());
+        let mut level_of = vec![0usize; plan.ops.len()];
+        for l in 0..plan.level_bounds.len() - 1 {
+            for &id in &plan.sched[plan.level_bounds[l]..plan.level_bounds[l + 1]] {
+                level_of[id as usize] = l;
+            }
+        }
+        for (id, op) in plan.ops.iter().enumerate() {
+            op.for_each_operand(|a| {
+                assert!(level_of[a as usize] < level_of[id], "operand on a later level");
+            });
+        }
+        // Within a level, destination slots are pairwise distinct and
+        // never alias an operand read on the same level.
+        for l in 0..plan.level_bounds.len() - 1 {
+            let ids = &plan.sched[plan.level_bounds[l]..plan.level_bounds[l + 1]];
+            let dsts: std::collections::HashSet<u32> =
+                ids.iter().map(|&id| plan.dst[id as usize]).collect();
+            assert_eq!(dsts.len(), ids.len(), "level {l} reuses a destination");
+            for &id in ids {
+                plan.ops[id as usize].for_each_operand(|a| {
+                    assert!(
+                        !dsts.contains(&plan.dst[a as usize]),
+                        "level {l} writes a slot it also reads"
+                    );
+                });
+            }
+        }
     }
 
     #[test]

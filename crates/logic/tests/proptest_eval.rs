@@ -183,6 +183,45 @@ proptest! {
     }
 
     #[test]
+    fn forced_parallel_execution_matches_sequential(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        f_pp in arb_formula(ModalIndex::InOut),
+        f_mp in arb_formula(|_i, j| ModalIndex::Out(j)),
+        f_pm in arb_formula(|i, _j| ModalIndex::In(i)),
+        f_mm in arb_formula(|_i, _j| ModalIndex::Any),
+    ) {
+        // The pool-driven executor (both chunking axes forced on, far
+        // below the work gate) must be BIT-identical to the sequential
+        // engine — same truth vectors, same per-strategy diamond
+        // counts — on all four variants under every diamond mode.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        let cases = [
+            (Kripke::k_pp(&g, &p), &f_pp),
+            (Kripke::k_mp(&g, &p), &f_mp),
+            (Kripke::k_pm(&g, &p), &f_pm),
+            (Kripke::k_mm(&g), &f_mm),
+        ];
+        for (model, f) in &cases {
+            let plan = Plan::compile(model, f).unwrap();
+            for mode in [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse] {
+                let (seq, seq_stats) = plan.execute_with(model, mode);
+                let (par, par_stats) = plan.execute_forced_parallel(model, mode);
+                prop_assert_eq!(
+                    &seq, &par,
+                    "variant {:?}, mode {:?}, formula {}", model.variant(), mode, f
+                );
+                prop_assert_eq!(seq_stats.executed, par_stats.executed);
+                prop_assert_eq!(seq_stats.forward_diamonds, par_stats.forward_diamonds);
+                // (No assertion on chunked_ops for the un-forced run:
+                // PORTNUM_POOL=force legitimately chunks it too.)
+                prop_assert_eq!(seq_stats.reverse_diamonds, par_stats.reverse_diamonds);
+            }
+        }
+    }
+
+    #[test]
     fn unshared_structural_duplicates_dedup_to_one_computation(
         g in arb_graph(),
         f in arb_formula(|_i, _j| ModalIndex::Any),

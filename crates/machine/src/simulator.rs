@@ -454,6 +454,85 @@ mod tests {
         assert_eq!(plain.total_message_units(), reused.total_message_units());
     }
 
+    /// `Vec`-bodied messages with *staggered* stopping (a node stops at
+    /// round = its degree), so inbox slots go Data→Silent mid-run and
+    /// the recycling override sees Silent slots, fresh slots, and
+    /// recycled buffers across one execution.
+    #[derive(Debug)]
+    struct StaggeredVecEcho {
+        recycle: bool,
+    }
+
+    impl VectorAlgorithm for StaggeredVecEcho {
+        type State = (usize, usize, usize); // (round, degree, heard)
+        type Msg = Vec<usize>;
+        type Output = usize;
+
+        fn init(&self, degree: usize) -> Status<(usize, usize, usize), usize> {
+            if degree == 0 {
+                Status::Stopped(0)
+            } else {
+                Status::Running((0, degree, 0))
+            }
+        }
+
+        fn message(&self, &(round, ..): &(usize, usize, usize), port: usize) -> Vec<usize> {
+            vec![round + 1; port + 2]
+        }
+
+        fn message_into(
+            &self,
+            state: &(usize, usize, usize),
+            port: usize,
+            slot: &mut Payload<Vec<usize>>,
+        ) {
+            if !self.recycle {
+                *slot = Payload::Data(self.message(state, port));
+                return;
+            }
+            match slot.data_mut() {
+                Some(body) => {
+                    body.clear();
+                    body.resize(port + 2, state.0 + 1);
+                }
+                None => *slot = Payload::Data(self.message(state, port)),
+            }
+        }
+
+        fn step(
+            &self,
+            &(round, degree, heard): &(usize, usize, usize),
+            received: &[Payload<Vec<usize>>],
+        ) -> Status<(usize, usize, usize), usize> {
+            let heard =
+                heard + received.iter().filter_map(Payload::data).flatten().sum::<usize>();
+            if round + 1 >= degree {
+                Status::Stopped(heard)
+            } else {
+                Status::Running((round + 1, degree, heard))
+            }
+        }
+    }
+
+    #[test]
+    fn staggered_stops_recycle_like_fresh_allocation() {
+        // Regression for the Data→Silent transition: once a neighbour
+        // stops, its slots turn Silent, and any later recycling on
+        // other routes must not be confused by what slots used to
+        // hold. The recycling run must equal the allocating run
+        // exactly — outputs, stop times, and message-unit accounting.
+        for g in [generators::star(3), generators::grid(3, 3), generators::path(5)] {
+            let p = PortNumbering::consistent(&g);
+            let fresh =
+                Simulator::new().run(&StaggeredVecEcho { recycle: false }, &g, &p).unwrap();
+            let recycled =
+                Simulator::new().run(&StaggeredVecEcho { recycle: true }, &g, &p).unwrap();
+            assert_eq!(fresh.outputs(), recycled.outputs(), "{g}");
+            assert_eq!(fresh.stats(), recycled.stats(), "{g}");
+            assert_eq!(fresh.stop_times(), recycled.stop_times(), "{g}");
+        }
+    }
+
     use portnum_graph::Graph;
 
     #[test]
