@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use portnum_bench::workloads;
-use portnum_logic::bisim::{refine, BisimStyle};
+use portnum_logic::bisim::{refine, refine_with, BisimStyle, RefineEngine};
 use portnum_logic::Kripke;
 use std::time::Duration;
 
@@ -23,6 +23,35 @@ fn bench_refine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("plain_kpp", &w.name), &k_pp, |b, k| {
             b.iter(|| refine(k, BisimStyle::Plain))
         });
+    }
+    group.finish();
+}
+
+fn bench_worklist_vs_rounds(c: &mut Criterion) {
+    // The engine comparison on the shapes it was built for: Θ(n) rounds
+    // with an O(1)-block frontier per round. The worklist engine should
+    // beat the full-round reference by an asymptotic margin here, and
+    // stay within noise of it on the small dense sweeps above.
+    let mut group = c.benchmark_group("bisimulation/engines");
+    let mut sweep = workloads::path_sweep(&[256, 1024]);
+    sweep.push(workloads::deep_tree(1024));
+    for w in sweep {
+        let k_mm = Kripke::k_mm(&w.graph);
+        let k_pp = Kripke::k_pp(&w.graph, &w.ports);
+        for (engine_name, engine) in
+            [("rounds", RefineEngine::Rounds), ("worklist", RefineEngine::Worklist)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("plain_kmm_{engine_name}"), &w.name),
+                &k_mm,
+                |b, k| b.iter(|| refine_with(k, BisimStyle::Plain, engine)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("plain_kpp_{engine_name}"), &w.name),
+                &k_pp,
+                |b, k| b.iter(|| refine_with(k, BisimStyle::Plain, engine)),
+            );
+        }
     }
     group.finish();
 }
@@ -54,6 +83,6 @@ fn configure() -> Criterion {
 criterion_group! {
     name = benches;
     config = configure();
-    targets = bench_refine, bench_symmetric_certificates
+    targets = bench_refine, bench_worklist_vs_rounds, bench_symmetric_certificates
 }
 criterion_main!(benches);

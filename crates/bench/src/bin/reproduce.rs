@@ -11,7 +11,7 @@ use portnum::{separations, verify, ProblemClass};
 use portnum_bench::report::{section, Table};
 use portnum_bench::workloads;
 use portnum_graph::{cover, generators, matching, properties, Graph, Port, PortNumbering};
-use portnum_logic::bisim::{self, BisimStyle};
+use portnum_logic::bisim::{self, BisimStyle, RefineEngine};
 use portnum_logic::compile::{
     compile_broadcast, compile_mb, compile_multiset, compile_sb, compile_set, compile_vector,
     mb_algorithm_to_formulas, ToFormulaOptions,
@@ -72,15 +72,24 @@ fn median_us<T>(mut routine: impl FnMut() -> T, mut verify: impl FnMut(T)) -> f6
 /// Times the partition-refinement hot path on the standard sweeps and
 /// writes `BENCH_bisim.json` (one JSON object per line) next to the
 /// working directory, so successive PRs accumulate a perf trajectory.
+///
+/// Every case is measured on **both** refinement engines: `refine` rows
+/// are the full-round reference (the engine all previous snapshots
+/// measured, so the trajectory stays comparable) and `refine_worklist`
+/// rows are the incremental worklist engine that now drives the default
+/// path. The long-diameter workloads (`path1024`, `deep_tree1024`) are
+/// where the two diverge by design.
 fn bench_snapshot() {
     use std::fmt::Write as _;
     section("Perf snapshot: bisimulation refinement (written to BENCH_bisim.json)");
 
     let mut sweep = workloads::gnp_sweep(&[32, 128, 512], 0.08, 23);
     sweep.extend(workloads::regular_sweep(3, &[128, 512], 41));
+    sweep.extend(workloads::path_sweep(&[1024]));
+    sweep.push(workloads::deep_tree(1024));
 
     let mut json = String::new();
-    let mut t = Table::new(["workload", "model", "style", "median µs", "classes"]);
+    let mut t = Table::new(["workload", "model", "style", "engine", "median µs", "touched", "classes"]);
     for w in &sweep {
         let k_mm = Kripke::k_mm(&w.graph);
         let k_pp = Kripke::k_pp(&w.graph, &w.ports);
@@ -90,35 +99,53 @@ fn bench_snapshot() {
             ("kpp", &k_pp, BisimStyle::Plain),
         ];
         for (model_name, k, style) in cases {
-            // Warm up once, then take the median of a handful of runs.
+            // Warm up once (and fix the expected partition), then take
+            // the median of a handful of runs per engine.
             let classes = bisim::refine(k, style);
-            let median = median_us(
-                || bisim::refine(k, style),
-                |c| assert_eq!(c.final_level(), classes.final_level()),
-            );
             let blocks = classes.class_count(classes.depth());
             let style_name = match style {
                 BisimStyle::Plain => "plain",
                 BisimStyle::Graded => "graded",
             };
-            t.row([
-                w.name.clone(),
-                model_name.to_string(),
-                style_name.to_string(),
-                format!("{median:.1}"),
-                blocks.to_string(),
-            ]);
-            let _ = writeln!(
-                json,
-                "{{\"bench\":\"refine\",\"workload\":\"{}\",\"model\":\"{}\",\"style\":\"{}\",\
-                 \"nodes\":{},\"median_us\":{:.1},\"classes\":{}}}",
-                w.name,
-                model_name,
-                style_name,
-                w.graph.len(),
-                median,
-                blocks
-            );
+            // The touched-world counter makes the asymptotic difference
+            // visible next to the timings: the round engine encodes
+            // exactly nodes × rounds signatures.
+            let (_, stats) = bisim::refine_fixpoint_stats(k, style);
+            for (bench_name, engine_name, engine) in [
+                ("refine", "rounds", RefineEngine::Rounds),
+                ("refine_worklist", "worklist", RefineEngine::Worklist),
+            ] {
+                let median = median_us(
+                    || bisim::refine_with(k, style, engine),
+                    |c| assert_eq!(c.final_level(), classes.final_level()),
+                );
+                let touched = match engine {
+                    RefineEngine::Rounds => w.graph.len() * stats.rounds,
+                    RefineEngine::Worklist => stats.encoded,
+                };
+                t.row([
+                    w.name.clone(),
+                    model_name.to_string(),
+                    style_name.to_string(),
+                    engine_name.to_string(),
+                    format!("{median:.1}"),
+                    touched.to_string(),
+                    blocks.to_string(),
+                ]);
+                let _ = writeln!(
+                    json,
+                    "{{\"bench\":\"{}\",\"workload\":\"{}\",\"model\":\"{}\",\"style\":\"{}\",\
+                     \"nodes\":{},\"median_us\":{:.1},\"touched\":{},\"classes\":{}}}",
+                    bench_name,
+                    w.name,
+                    model_name,
+                    style_name,
+                    w.graph.len(),
+                    median,
+                    touched,
+                    blocks
+                );
+            }
         }
     }
     print!("{}", t.render());

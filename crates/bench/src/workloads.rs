@@ -74,6 +74,20 @@ pub fn cycle_sweep(sizes: &[usize]) -> Vec<Workload> {
     sizes.iter().map(|&n| Workload::consistent(format!("cycle{n}"), generators::cycle(n))).collect()
 }
 
+/// Paths of increasing size — the long-diameter workloads where
+/// refinement takes Θ(n) rounds and each round changes O(1) blocks.
+/// These are the headline cases for the worklist refinement engine.
+pub fn path_sweep(sizes: &[usize]) -> Vec<Workload> {
+    sizes.iter().map(|&n| Workload::consistent(format!("path{n}"), generators::path(n))).collect()
+}
+
+/// A deep caterpillar tree on `n` nodes (`n/2` spine nodes, one leaf
+/// each): diameter ~n/2 like a path, but with degree-3 spine worlds so
+/// the refinement frontier carries both leaf and spine blocks.
+pub fn deep_tree(n: usize) -> Workload {
+    Workload::consistent(format!("deep_tree{n}"), generators::caterpillar(n / 2))
+}
+
 /// Random `d`-regular graphs of increasing size.
 pub fn regular_sweep(d: usize, sizes: &[usize], seed: u64) -> Vec<Workload> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -14,6 +14,26 @@ pub fn path(n: usize) -> Graph {
     b.build()
 }
 
+/// A caterpillar tree of depth ~`spine`: the path `0-1-…-(spine-1)`
+/// with one extra leaf attached to every spine node (`2·spine` nodes,
+/// diameter `spine + 1`).
+///
+/// The long-diameter, low-symmetry shape that makes partition
+/// refinement take Θ(n) rounds while each round changes only O(1)
+/// blocks — the worst case for full-round refinement and the best case
+/// for the worklist engine (the `deep_tree` workload of
+/// `BENCH_bisim.json`).
+pub fn caterpillar(spine: usize) -> Graph {
+    let mut b = GraphBuilder::new(2 * spine);
+    for v in 1..spine {
+        b.edge(v - 1, v).expect("spine edges are simple");
+    }
+    for v in 0..spine {
+        b.edge(v, spine + v).expect("leaf edges are simple");
+    }
+    b.build()
+}
+
 /// The cycle `C_n` on `n ≥ 3` nodes.
 ///
 /// # Panics

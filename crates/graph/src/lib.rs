@@ -19,14 +19,39 @@
 //! * [`cover`] — bipartite double covers;
 //! * [`views`] — Yamashita–Kameda view equivalence;
 //! * [`refinement`] — colour refinement (1-WL);
-//! * [`partition`] — the interned-signature partition-refinement engine
-//!   shared by colour refinement and `portnum-logic`'s bisimulation;
+//! * [`partition`] — the partition-refinement engines (full-round
+//!   interned-signature reference + incremental Paige–Tarjan-style
+//!   worklist, selected by `PORTNUM_REFINE`) shared by colour
+//!   refinement and `portnum-logic`'s bisimulation;
 //! * [`bitset`] — packed `u64`-word truth vectors backing
 //!   `portnum-logic`'s word-parallel model checker;
 //! * [`pool`] — the persistent worker pool behind every parallel phase
-//!   (refinement encode rounds, parallel plan execution);
+//!   (refinement encode rounds, parallel plan execution), tunable via
+//!   `PORTNUM_POOL`;
 //! * [`properties`] — connectivity, regularity, bipartiteness, Eulerian
 //!   tests.
+//!
+//! # Load-bearing invariants
+//!
+//! The hot paths lean on a small set of contracts, each documented and
+//! test-enforced where it is defined:
+//!
+//! * **Masked tail** ([`bitset::Bitset`]) — when the universe size is
+//!   not a multiple of 64, the unused high bits of the last word are
+//!   always zero, so `count_ones`, equality, and row-wise ORs never see
+//!   garbage.
+//! * **Exactly-once, in-order `assign_from_fn`**
+//!   ([`bitset::Bitset::assign_from_fn`]) — the generator closure is
+//!   called exactly once per index, in ascending order; the CSR
+//!   diamond walks carry a cursor that relies on it.
+//! * **Epoch-tagged chunk queue** ([`pool::WorkerPool`]) — workers
+//!   CAS-verify the call epoch before every chunk claim, so a stale
+//!   worker can neither touch a new call's cursor nor run an old job
+//!   after its borrow ended.
+//! * **First-seen canonical block ids** ([`partition`]) — refinement
+//!   levels number blocks in first-scan order, so stability detection
+//!   is a `memcmp` and partitions from different front-ends (1-WL,
+//!   bisimulation, either engine) are directly comparable.
 //!
 //! # Quick start
 //!

@@ -1,11 +1,24 @@
-//! Interned-signature partition refinement: the shared engine behind
-//! colour refinement (1-WL, [`crate::refinement`]) and (graded)
-//! bisimulation refinement (`portnum-logic`'s `bisim` module).
+//! Partition refinement engines: the shared machinery behind colour
+//! refinement (1-WL, [`crate::refinement`]) and (graded) bisimulation
+//! refinement (`portnum-logic`'s `bisim` module).
 //!
 //! Both algorithms are instances of one primitive: starting from an
 //! initial partition, repeatedly replace each node's block with an
 //! *interned signature* — the previous block plus, per relation, the
 //! (multi)set of successor blocks — until the partition stops changing.
+//! Two engines implement it, selected by the `PORTNUM_REFINE`
+//! environment variable (see [`refine_engine_choice`]) and pinned
+//! against each other by differential tests:
+//!
+//! * [`WorklistRefiner`] (default) — incremental, Paige–Tarjan-style:
+//!   per round only the *dirty frontier* (predecessors of nodes that
+//!   split off last round) is re-signed, so near-stable rounds cost
+//!   O(changed) instead of O(n). Long-diameter models drop from
+//!   Θ(n·rounds) total work to O(n + edges)-ish.
+//! * [`Refiner`] driven by a front-end loop — the full-round reference:
+//!   every node re-signed every round. Simpler, marginally faster on
+//!   models that stabilise in O(1) rounds, and the differential-testing
+//!   baseline.
 //!
 //! # Design
 //!
@@ -43,6 +56,17 @@
 //! the pool costs a few microseconds, which only pays off once a round
 //! encodes a few thousand signature words. The `PORTNUM_POOL`
 //! environment variable overrides the gate (see [`threads_for`]).
+//!
+//! # Environment variables
+//!
+//! | variable | values | read by |
+//! |----------|--------|---------|
+//! | `PORTNUM_POOL` | `auto` (default) / `force` / `off` | [`threads_for`] — the parallel work gate shared by refinement rounds and plan execution |
+//! | `PORTNUM_REFINE` | `worklist` (default) / `rounds` | [`refine_engine_choice`] — which engine drives `bisim::refine*`, 1-WL, and the quotient cache |
+//!
+//! Both are parsed once per process and panic on unrecognised values,
+//! so a typo cannot silently select the default in a CI job that pins
+//! a mode. See `ARCHITECTURE.md` for the full reference.
 
 use crate::pool::WorkerPool;
 use std::collections::HashMap;
@@ -513,6 +537,693 @@ where
     });
 }
 
+/// Which refinement engine drives the high-level front-ends
+/// (`bisim::refine*`, 1-WL [`crate::refinement::color_refinement`]).
+///
+/// Selected once per process via the `PORTNUM_REFINE` environment
+/// variable (`worklist` — the default — or `rounds`); see
+/// [`refine_engine_choice`]. The two engines produce identical
+/// partitions at every depth (proptest-pinned), so the knob is a
+/// performance/debugging switch, not a semantic one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineEngine {
+    /// Incremental worklist refinement ([`WorklistRefiner`]): each round
+    /// re-encodes only the dirty frontier. The default.
+    Worklist,
+    /// The full-round engine: every node re-signed every round. Kept as
+    /// the differential-testing reference.
+    Rounds,
+}
+
+/// How the `PORTNUM_REFINE` environment variable selects the refinement
+/// engine, parsed once per process: `worklist` (default) or `rounds`.
+///
+/// Like `PORTNUM_POOL`, a typo fails loudly instead of silently falling
+/// back — a CI job pinning one engine must not quietly run the other.
+pub fn refine_engine_choice() -> RefineEngine {
+    static CHOICE: OnceLock<RefineEngine> = OnceLock::new();
+    *CHOICE.get_or_init(|| match std::env::var("PORTNUM_REFINE").as_deref() {
+        Ok("rounds") => RefineEngine::Rounds,
+        Ok("worklist") | Err(_) => RefineEngine::Worklist,
+        Ok(other) => {
+            panic!("unrecognised PORTNUM_REFINE value {other:?} (use worklist or rounds)")
+        }
+    })
+}
+
+/// Borrowed CSR rows of one relation: successors of node `v` are
+/// `targets[offsets[v]..offsets[v + 1]]`, as `u32` node ids.
+///
+/// The input shape of the [`WorklistRefiner`]; `portnum-logic` hands in
+/// its `Kripke::relation_rows` slices directly, and colour refinement
+/// packs the adjacency lists of a `Graph` into one relation.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationCsr<'a> {
+    /// Row offsets, length `n + 1`.
+    pub offsets: &'a [usize],
+    /// Concatenated successor ids.
+    pub targets: &'a [u32],
+}
+
+/// Builds the nonempty-row index of a set of CSR relations: node `v`'s
+/// nonempty rows are `index[bounds[v]..bounds[v + 1]]`, each entry the
+/// relation id (the word pushed into signatures) plus the row slice,
+/// ascending by relation.
+///
+/// Empty rows never enter a signature — on many-relation models (K₊,₊
+/// stores O(Δ²) relations, almost all rows empty) this shrinks
+/// per-round encode work from O(nodes × relations) to O(edges). The
+/// index is itself CSR-shaped: two flat passes, two allocations, no
+/// per-node `Vec`s. Shared by the full-round front-ends and the
+/// [`WorklistRefiner`] so their row enumeration (and therefore their
+/// signatures) cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if a relation's `offsets` does not have `n + 1` entries.
+pub fn nonempty_row_index<'a>(
+    n: usize,
+    relations: &[RelationCsr<'a>],
+) -> (Vec<usize>, Vec<(u64, &'a [u32])>) {
+    let mut bounds = vec![0usize; n + 1];
+    for rel in relations {
+        assert_eq!(rel.offsets.len(), n + 1, "CSR offsets must have n + 1 entries");
+        let mut start = rel.offsets[0];
+        for v in 0..n {
+            let end = rel.offsets[v + 1];
+            bounds[v + 1] += (end > start) as usize;
+            start = end;
+        }
+    }
+    for v in 0..n {
+        bounds[v + 1] += bounds[v];
+    }
+    const EMPTY_ROW: (u64, &[u32]) = (0, &[]);
+    let mut index = vec![EMPTY_ROW; bounds[n]];
+    let mut cursor = bounds.clone();
+    for (r, rel) in relations.iter().enumerate() {
+        let mut start = rel.offsets[0];
+        for v in 0..n {
+            let end = rel.offsets[v + 1];
+            if end > start {
+                index[cursor[v]] = (r as u64, &rel.targets[start..end]);
+                cursor[v] += 1;
+            }
+            start = end;
+        }
+    }
+    (bounds, index)
+}
+
+/// Signature words node `v` emits when encoded against a
+/// [`nonempty_row_index`]: the previous-block word plus, per nonempty
+/// row, the relation id, the count slot, and the successor entries.
+/// Only *relative* weights matter for the work-quantile splits, so
+/// multiplicity words are not modelled. One definition for both
+/// engines keeps their parallel-gate accounting identical.
+pub fn encode_work(bounds: &[usize], index: &[(u64, &[u32])], v: usize) -> usize {
+    1 + index[bounds[v]..bounds[v + 1]].iter().map(|&(_, row)| 2 + row.len()).sum::<usize>()
+}
+
+/// Observability counters of a [`WorklistRefiner`] run.
+///
+/// `encoded` is the *touched-world* counter: the total number of
+/// signature encodes across all rounds. The full-round engine would
+/// count exactly `n · rounds`; the point of the worklist engine is that
+/// on long-diameter models `encoded` stays O(n + edges) — a unit test
+/// pins `encoded = o(n · rounds)` on path graphs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Refinement rounds run (including the final no-change round).
+    pub rounds: usize,
+    /// Signatures encoded (worlds touched) across all rounds.
+    pub encoded: usize,
+    /// Block reassignments (worlds moved to a freshly split block).
+    pub moved: usize,
+    /// Rounds whose encode phase ran on the worker pool.
+    pub parallel_rounds: usize,
+}
+
+/// Sentinel: a block whose stored signature has not been established yet
+/// (seed blocks before their first refinement round).
+const SIG_UNSET: usize = usize::MAX;
+/// Sentinel group/block link terminator.
+const NONE_U32: u32 = u32::MAX;
+
+/// One signature-equal group of dirty nodes within a block, built per
+/// round by [`WorklistRefiner::round`].
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    /// The block the members currently belong to.
+    block: u32,
+    /// The group's row text: `sig_words[sig_start..][..sig_len]` in the
+    /// block store (copied once at group creation; matched groups alias
+    /// the block's stored span instead).
+    sig_start: usize,
+    sig_len: u32,
+    /// Member count.
+    size: u32,
+    /// Next group of the same block this round (`NONE_U32` terminates).
+    next: u32,
+    /// Whether the group's row text equals the block's stored signature.
+    matched: bool,
+    /// Decision: the block id members move to (`NONE_U32` = stay).
+    new_id: u32,
+}
+
+/// Per-block partition state of a [`WorklistRefiner`]: sizes, stored
+/// signature spans, and the per-round split bookkeeping (epoch marks,
+/// group-list heads, dirty counts), all indexed by stable block id.
+#[derive(Debug, Default)]
+struct Blocks {
+    size: Vec<usize>,
+    /// Stored row text per block:
+    /// `sig_words[sig_start[b]..][..sig_len[b]]`; `SIG_UNSET` start =
+    /// not yet established (seed blocks before their first round).
+    sig_start: Vec<usize>,
+    sig_len: Vec<usize>,
+    sig_words: Vec<u64>,
+    /// Round stamp of the last round that saw a dirty member.
+    mark: Vec<u32>,
+    /// Head of this round's group list (`NONE_U32` = none).
+    head: Vec<u32>,
+    /// Dirty members seen this round.
+    dirty_count: Vec<u32>,
+}
+
+impl Blocks {
+    fn count(&self) -> usize {
+        self.size.len()
+    }
+
+    fn push(&mut self, size: usize, sig_start: usize, sig_len: usize) {
+        self.size.push(size);
+        self.sig_start.push(sig_start);
+        self.sig_len.push(sig_len);
+        self.mark.push(0);
+        self.head.push(NONE_U32);
+        self.dirty_count.push(0);
+    }
+}
+
+/// Per-round grouping scratch of a [`WorklistRefiner`], reused across
+/// rounds (the table keeps its capacity, groups their backing storage).
+#[derive(Debug, Default)]
+struct RoundScratch {
+    table: FxHashMap<Box<[u64]>, u32>,
+    groups: Vec<Group>,
+    /// Group of the `i`-th dirty node, parallel to the dirty list.
+    group_of: Vec<u32>,
+    /// Blocks with at least one dirty member this round.
+    touched: Vec<u32>,
+}
+
+/// Files one encoded signature (`[block, row text…]`) into its
+/// signature-equal group, creating the group — and copying its row text
+/// into the block store unless it matches the stored signature — on
+/// first sight. Free function so the sequential and pooled encode paths
+/// can share it under disjoint field borrows.
+fn group_one(sig: &[u64], stamp: u32, blocks: &mut Blocks, round: &mut RoundScratch) {
+    let b = sig[0] as usize;
+    if blocks.mark[b] != stamp {
+        blocks.mark[b] = stamp;
+        blocks.head[b] = NONE_U32;
+        blocks.dirty_count[b] = 0;
+        round.touched.push(b as u32);
+    }
+    blocks.dirty_count[b] += 1;
+    // Probe before inserting: repeated signatures (the common case)
+    // must not allocate a key.
+    let gid = match round.table.get(sig) {
+        Some(&g) => {
+            round.groups[g as usize].size += 1;
+            g
+        }
+        None => {
+            let g = round.groups.len() as u32;
+            round.table.insert(sig.into(), g);
+            let rows = &sig[1..];
+            let stored = blocks.sig_start[b];
+            let matched = stored != SIG_UNSET
+                && blocks.sig_words[stored..stored + blocks.sig_len[b]] == *rows;
+            // Matched groups alias the stored span; only genuinely new
+            // texts are copied (once — new blocks reuse the span).
+            let sig_start = if matched {
+                stored
+            } else {
+                let start = blocks.sig_words.len();
+                blocks.sig_words.extend_from_slice(rows);
+                start
+            };
+            round.groups.push(Group {
+                block: b as u32,
+                sig_start,
+                sig_len: rows.len() as u32,
+                size: 1,
+                next: blocks.head[b],
+                matched,
+                new_id: NONE_U32,
+            });
+            blocks.head[b] = g;
+            g
+        }
+    };
+    round.group_of.push(gid);
+}
+
+/// Incremental (Paige–Tarjan style) partition refinement over a
+/// worklist of *dirty* nodes.
+///
+/// The classic full-round engine ([`Refiner`] driven by a front-end
+/// loop) re-encodes **every** node's signature **every** round, which on
+/// long-diameter inputs costs Θ(n) work for Θ(n) rounds even though a
+/// near-stable round changes almost nothing. This engine keeps the
+/// round-synchronous semantics — the partition after round `t` is
+/// exactly the full-round engine's depth-`t` partition, so `t`-step
+/// equivalence queries stay meaningful — but does per round only
+/// O(dirty frontier) work:
+///
+/// * **Splitter worklist.** Blocks that split in round `t` are the
+///   splitters of round `t + 1`: only a node with a successor that
+///   *moved* into a freshly split block can change its signature. The
+///   dirty frontier is computed by walking the moved nodes' predecessors
+///   over a reverse CSR (built once per run, O(edges)).
+/// * **Per-block stored signatures.** Every block stores the signature
+///   text its members currently share (the invariant re-established each
+///   round). A dirty node is re-encoded and compared against its block's
+///   stored text: equal ⇒ it stays, different ⇒ it is grouped with
+///   equal-signature peers into a new block (counting-based split: the
+///   group key is the full counted successor-block multiset, so plain
+///   and graded styles share one mechanism).
+/// * **One group keeps the id.** When a block splits, the group matching
+///   the stored signature (or, if no member matches and no clean member
+///   remains, the largest group) keeps the block id — Paige–Tarjan's
+///   "process the smaller half" in worklist form. Only the *other*
+///   groups count as moved and seed the next frontier, so a stable
+///   majority never re-propagates.
+///
+/// Block ids are therefore **stable** (a block keeps its id across
+/// rounds) rather than first-seen canonical per round;
+/// [`WorklistRefiner::canonical_level_into`] renumbers the current
+/// partition into the canonical dense form the full-round engine
+/// produces, so the two engines' levels are bit-identical.
+///
+/// # Parallel rounds
+///
+/// When a round's encode work (signature words over the dirty frontier)
+/// reaches [`PARALLEL_THRESHOLD`], the encode phase fans the dirty list
+/// out over the persistent worker pool exactly like the full-round
+/// engine does (chunked at work quantiles into [`SignatureBuffer`]s,
+/// grouped sequentially in node order afterwards) — independent
+/// splitters' dirty ranges encode in parallel. `PORTNUM_POOL=force|off`
+/// overrides the gate (see [`threads_for`]), and
+/// [`WorklistRefiner::force_parallel`] pins it for differential tests.
+///
+/// # Usage
+///
+/// ```
+/// use portnum_graph::partition::{Counting, RelationCsr, WorklistRefiner};
+///
+/// // A 4-path: nodes 0-1-2-3, one symmetric relation in CSR form.
+/// let offsets = [0usize, 1, 3, 5, 6];
+/// let targets = [1u32, 0, 2, 1, 3, 2];
+/// let rel = RelationCsr { offsets: &offsets, targets: &targets };
+/// let mut r = WorklistRefiner::new(4, &[rel], Counting::Multiset, (0..4).map(|v| {
+///     [1u64, 2, 2, 1][v] // seed by degree
+/// }));
+/// while r.round() {}
+/// let mut level = Vec::new();
+/// r.canonical_level_into(&mut level);
+/// assert_eq!(level, vec![0, 1, 1, 0]); // ends vs middle
+/// assert!(r.stats().encoded <= 4 * r.stats().rounds.max(1) * 2);
+/// ```
+#[derive(Debug)]
+pub struct WorklistRefiner<'a> {
+    n: usize,
+    counting: Counting,
+    force_parallel: bool,
+    /// The input relations, kept for the lazy reverse-CSR build.
+    relations: Vec<RelationCsr<'a>>,
+    /// Nonempty forward rows of node `v`:
+    /// `row_index[row_bounds[v]..row_bounds[v + 1]]`, each entry the
+    /// relation id (as pushed into the signature) plus the row slice.
+    row_bounds: Vec<usize>,
+    row_index: Vec<(u64, &'a [u32])>,
+    /// Signature words node `v` emits when encoded (the parallel-gate
+    /// work unit), precomputed once.
+    node_work: Vec<usize>,
+    /// Combined reverse adjacency over *all* relations — predecessors
+    /// of node `w` are `targets[bounds[w]..bounds[w + 1]]` — built
+    /// lazily on the first round whose moved set is small enough for
+    /// precise frontier propagation to beat re-encoding everyone
+    /// (fast-stabilising models never pay for it).
+    preds: Option<(Vec<usize>, Vec<u32>)>,
+    /// Current block of each node (stable ids, not canonical).
+    assign: Vec<usize>,
+    blocks: Blocks,
+    round: RoundScratch,
+    /// Dirty frontier for the next round, sorted ascending.
+    dirty: Vec<u32>,
+    /// Epoch marks deduplicating the dirty set (`mark[v] == epoch`).
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Round stamps for the per-block split bookkeeping.
+    round_stamp: u32,
+    /// Encode buffers (pooled path) and scratch (sequential path).
+    buffers: Vec<SignatureBuffer>,
+    work: Vec<usize>,
+    scratch_sig: Vec<u64>,
+    scratch_blocks: Vec<usize>,
+    moved: Vec<u32>,
+    /// First-seen renumbering scratch for [`Self::canonical_level_into`].
+    canon: Vec<u32>,
+    canon_stamp: Vec<u32>,
+    canon_round: u32,
+    stats: RefineStats,
+}
+
+impl<'a> WorklistRefiner<'a> {
+    /// Builds the engine over `n` nodes and the given relations, seeding
+    /// the initial partition by first-seen `seed` keys (one per node —
+    /// the valuation/degree partition at depth 0).
+    ///
+    /// Construction walks every relation twice: once for the
+    /// nonempty-row index (empty rows never enter a signature — on
+    /// many-relation models almost all rows are empty) and once for the
+    /// combined reverse CSR that drives dirty propagation. Both passes
+    /// are O(n · relations + edges) with O(1) allocations each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation's `offsets` does not have `n + 1` entries.
+    pub fn new(
+        n: usize,
+        relations: &[RelationCsr<'a>],
+        counting: Counting,
+        seeds: impl Iterator<Item = u64>,
+    ) -> WorklistRefiner<'a> {
+        // Seed partition: dense first-seen ids per distinct key.
+        let mut table: FxHashMap<Box<[u64]>, u32> = FxHashMap::default();
+        let mut assign = Vec::with_capacity(n);
+        let mut blocks = Blocks::default();
+        for key in seeds {
+            let next = table.len() as u32;
+            let id = *table.entry(Box::from([key])).or_insert(next) as usize;
+            if id == blocks.count() {
+                blocks.push(0, SIG_UNSET, 0);
+            }
+            assign.push(id);
+            blocks.size[id] += 1;
+        }
+        assert_eq!(assign.len(), n, "seed keys must cover every node");
+        table.clear();
+
+        let (row_bounds, row_index) = nonempty_row_index(n, relations);
+        let node_work: Vec<usize> =
+            (0..n).map(|v| encode_work(&row_bounds, &row_index, v)).collect();
+
+        WorklistRefiner {
+            n,
+            counting,
+            force_parallel: false,
+            relations: relations.to_vec(),
+            row_bounds,
+            row_index,
+            node_work,
+            preds: None,
+            assign,
+            blocks,
+            round: RoundScratch { table, ..RoundScratch::default() },
+            // Round 1 re-encodes everything: every block is new.
+            dirty: (0..n as u32).collect(),
+            mark: vec![0; n],
+            epoch: 0,
+            round_stamp: 0,
+            buffers: Vec::new(),
+            work: Vec::new(),
+            scratch_sig: Vec::new(),
+            scratch_blocks: Vec::new(),
+            moved: Vec::new(),
+            canon: Vec::new(),
+            canon_stamp: Vec::new(),
+            canon_round: 0,
+            stats: RefineStats::default(),
+        }
+    }
+
+    /// Builds the combined reverse CSR on first use: every edge bucketed
+    /// by target, all relations together (the dirty set only needs "who
+    /// can see `w`", not under which relation).
+    fn ensure_preds(&mut self) {
+        if self.preds.is_none() {
+            let n = self.n;
+            let mut bounds = vec![0usize; n + 1];
+            for rel in &self.relations {
+                for &w in rel.targets {
+                    bounds[w as usize + 1] += 1;
+                }
+            }
+            for v in 0..n {
+                bounds[v + 1] += bounds[v];
+            }
+            let mut targets = vec![0u32; bounds[n]];
+            let mut cursor = bounds.clone();
+            for rel in &self.relations {
+                let mut row_start = rel.offsets[0];
+                for v in 0..n {
+                    let row_end = rel.offsets[v + 1];
+                    for &w in &rel.targets[row_start..row_end] {
+                        targets[cursor[w as usize]] = v as u32;
+                        cursor[w as usize] += 1;
+                    }
+                    row_start = row_end;
+                }
+            }
+            self.preds = Some((bounds, targets));
+        }
+    }
+
+    /// Forces every round's encode phase onto the worker pool regardless
+    /// of frontier size — the differential-test knob pinning the
+    /// pool-driven path bit-identical to the sequential one.
+    pub fn force_parallel(&mut self, on: bool) {
+        self.force_parallel = on;
+    }
+
+    /// The current partition under **stable** block ids (not dense, not
+    /// canonical — blocks keep their id across rounds). Use
+    /// [`Self::canonical_level_into`] for the canonical form.
+    pub fn partition(&self) -> &[usize] {
+        &self.assign
+    }
+
+    /// Writes the current partition into `out` under dense first-seen
+    /// canonical ids — bit-identical to the level the full-round engine
+    /// produces at the same depth.
+    pub fn canonical_level_into(&mut self, out: &mut Vec<usize>) {
+        self.canon_round += 1;
+        let stamp = self.canon_round;
+        self.canon.resize(self.blocks.count(), 0);
+        self.canon_stamp.resize(self.blocks.count(), 0);
+        out.clear();
+        out.reserve(self.n);
+        let mut fresh = 0u32;
+        for &b in &self.assign {
+            if self.canon_stamp[b] != stamp {
+                self.canon_stamp[b] = stamp;
+                self.canon[b] = fresh;
+                fresh += 1;
+            }
+            out.push(self.canon[b] as usize);
+        }
+    }
+
+    /// Counters accumulated so far (see [`RefineStats`]).
+    pub fn stats(&self) -> RefineStats {
+        self.stats
+    }
+
+    /// Runs one refinement round over the dirty frontier. Returns `true`
+    /// if any node moved to a new block (i.e. the partition changed); a
+    /// `false` round is exactly the full-round engine's stabilising
+    /// `next == prev` round.
+    pub fn round(&mut self) -> bool {
+        self.stats.rounds += 1;
+        self.stats.encoded += self.dirty.len();
+        if self.dirty.is_empty() {
+            // Past the fixpoint: nothing can change.
+            return false;
+        }
+
+        // Phases 1–2: encode every dirty node's signature against the
+        // frozen partition — `[block, (rel id, count, successor blocks
+        // [, multiplicities])*]`, the Refiner's exact encoding — and
+        // group it within its block. The sequential path fuses both
+        // phases through one scratch buffer; above the work gate the
+        // encode fans out over the pool into chunk buffers and the
+        // grouping walks them in node order, so group creation order —
+        // and therefore every downstream id — is identical either way.
+        let total_work: usize = self.dirty.iter().map(|&w| self.node_work[w as usize]).sum();
+        let threads = if self.force_parallel {
+            encode_threads().max(2)
+        } else {
+            threads_for(total_work)
+        };
+        let threads = threads.clamp(1, self.dirty.len());
+        self.round.groups.clear();
+        self.round.table.clear();
+        self.round.touched.clear();
+        self.round.group_of.clear();
+        self.round_stamp += 1;
+        let stamp = self.round_stamp;
+        if threads > 1 {
+            self.stats.parallel_rounds += 1;
+            self.work.clear();
+            self.work.reserve(self.dirty.len() + 1);
+            self.work.push(0);
+            let mut acc = 0usize;
+            for &w in &self.dirty {
+                acc += self.node_work[w as usize];
+                self.work.push(acc);
+            }
+            let (dirty, assign, row_bounds, row_index, counting) =
+                (&self.dirty, &self.assign, &self.row_bounds, &self.row_index, self.counting);
+            parallel_encode_weighted(&self.work, threads, &mut self.buffers, |range, buf| {
+                let mut blocks = std::mem::take(buf.blocks_scratch());
+                for i in range {
+                    let v = dirty[i] as usize;
+                    buf.begin(assign[v]);
+                    for &(r, row) in &row_index[row_bounds[v]..row_bounds[v + 1]] {
+                        buf.push_word(r);
+                        blocks.extend(row.iter().map(|&w| assign[w as usize]));
+                        buf.push_blocks(&mut blocks, counting);
+                    }
+                    buf.end();
+                }
+                *buf.blocks_scratch() = blocks;
+            });
+            for ci in 0..self.buffers.len() {
+                for local in 0..self.buffers[ci].len() {
+                    let sig = self.buffers[ci].signature(local);
+                    group_one(sig, stamp, &mut self.blocks, &mut self.round);
+                }
+            }
+        } else {
+            let mut sig = std::mem::take(&mut self.scratch_sig);
+            let mut gather = std::mem::take(&mut self.scratch_blocks);
+            for &w in &self.dirty {
+                let v = w as usize;
+                sig.clear();
+                sig.push(self.assign[v] as u64);
+                for &(r, row) in &self.row_index[self.row_bounds[v]..self.row_bounds[v + 1]] {
+                    sig.push(r);
+                    gather.extend(row.iter().map(|&u| self.assign[u as usize]));
+                    encode_blocks(&mut sig, &mut gather, self.counting);
+                }
+                group_one(&sig, stamp, &mut self.blocks, &mut self.round);
+            }
+            self.scratch_sig = sig;
+            self.scratch_blocks = gather;
+        }
+        debug_assert_eq!(self.round.group_of.len(), self.dirty.len());
+
+        // Phase 3: per touched block, pick the group that keeps the
+        // block id and allocate new blocks for the rest.
+        for ti in 0..self.round.touched.len() {
+            let b = self.round.touched[ti] as usize;
+            let clean = self.blocks.size[b] - self.blocks.dirty_count[b] as usize;
+            // Keeper: the group matching the stored signature — it is
+            // indistinguishable from the clean members. With no clean
+            // members and no match, the largest group keeps the id
+            // (fewest moves; ties to the earliest-seen group).
+            let mut keeper = NONE_U32;
+            let mut largest = NONE_U32;
+            let mut largest_size = 0u32;
+            let mut g = self.blocks.head[b];
+            while g != NONE_U32 {
+                let group = &self.round.groups[g as usize];
+                if group.matched {
+                    keeper = g;
+                }
+                // Walking head-first visits groups in reverse creation
+                // order; `>=` therefore ties toward the earlier group.
+                if group.size >= largest_size {
+                    largest = g;
+                    largest_size = group.size;
+                }
+                g = group.next;
+            }
+            if keeper == NONE_U32 && clean == 0 {
+                keeper = largest;
+            }
+            let mut g = self.blocks.head[b];
+            while g != NONE_U32 {
+                let group = self.round.groups[g as usize];
+                debug_assert_eq!(group.block as usize, b);
+                if g == keeper {
+                    if !group.matched {
+                        // The keeper's text becomes the block's stored
+                        // signature (all remaining members share it:
+                        // there are no clean members in this branch).
+                        debug_assert_eq!(clean, 0);
+                        self.blocks.sig_start[b] = group.sig_start;
+                        self.blocks.sig_len[b] = group.sig_len as usize;
+                    }
+                } else {
+                    // Split: members move to a fresh block id, reusing
+                    // the row text copied at group creation.
+                    let new_id = self.blocks.count();
+                    self.blocks.size[b] -= group.size as usize;
+                    self.blocks.push(group.size as usize, group.sig_start, group.sig_len as usize);
+                    self.round.groups[g as usize].new_id = new_id as u32;
+                }
+                g = self.round.groups[g as usize].next;
+            }
+        }
+
+        // Phase 4: reassign moved nodes and build the next frontier.
+        self.moved.clear();
+        for (i, &w) in self.dirty.iter().enumerate() {
+            let new_id = self.round.groups[self.round.group_of[i] as usize].new_id;
+            if new_id != NONE_U32 {
+                self.assign[w as usize] = new_id as usize;
+                self.moved.push(w);
+            }
+        }
+        self.stats.moved += self.moved.len();
+        self.dirty.clear();
+        if self.moved.is_empty() {
+            return false;
+        }
+        if self.moved.len() * 4 >= self.n {
+            // Most nodes moved: precise predecessor propagation would
+            // visit nearly every edge anyway, so mark everything dirty
+            // (a superset frontier is always safe — extra nodes
+            // re-encode, match their block's stored signature, and
+            // stay). Fast-stabilising models take only this branch and
+            // never build the reverse CSR.
+            self.dirty.extend(0..self.n as u32);
+        } else {
+            // Sparse frontier: every predecessor of a moved node,
+            // deduplicated by epoch mark and sorted so encode order
+            // (hence group order) is node order.
+            self.ensure_preds();
+            let (bounds, targets) = self.preds.as_ref().expect("just built");
+            self.epoch += 1;
+            for &w in &self.moved {
+                for &p in &targets[bounds[w as usize]..bounds[w as usize + 1]] {
+                    if self.mark[p as usize] != self.epoch {
+                        self.mark[p as usize] = self.epoch;
+                        self.dirty.push(p);
+                    }
+                }
+            }
+            self.dirty.sort_unstable();
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +1410,139 @@ mod tests {
         });
         let total: usize = buffers.iter().map(SignatureBuffer::len).sum();
         assert_eq!(total, n);
+    }
+
+    /// Symmetric CSR of an n-node path (0-1-…-(n-1)), one relation.
+    fn path_csr(n: usize) -> (Vec<usize>, Vec<u32>) {
+        let mut offsets = vec![0usize; n + 1];
+        let mut targets = Vec::new();
+        for v in 0..n {
+            if v > 0 {
+                targets.push(v as u32 - 1);
+            }
+            if v + 1 < n {
+                targets.push(v as u32 + 1);
+            }
+            offsets[v + 1] = targets.len();
+        }
+        (offsets, targets)
+    }
+
+    fn path_degrees(n: usize) -> impl Iterator<Item = u64> {
+        (0..n).map(move |v| if v == 0 || v + 1 == n { 1 } else { 2 })
+    }
+
+    fn run_to_fixpoint(r: &mut WorklistRefiner) -> Vec<usize> {
+        while r.round() {}
+        let mut level = Vec::new();
+        r.canonical_level_into(&mut level);
+        level
+    }
+
+    #[test]
+    fn worklist_path_refines_by_distance_to_ends() {
+        let n = 9;
+        let (offsets, targets) = path_csr(n);
+        let rel = RelationCsr { offsets: &offsets, targets: &targets };
+        let mut r = WorklistRefiner::new(n, &[rel], Counting::Multiset, path_degrees(n));
+        let level = run_to_fixpoint(&mut r);
+        // Distance-to-nearest-end classes, mirror-symmetric.
+        for v in 0..n {
+            assert_eq!(level[v], level[n - 1 - v], "mirror symmetry at {v}");
+        }
+        assert_eq!(level.iter().max(), Some(&4), "⌈n/2⌉ distance classes");
+    }
+
+    #[test]
+    fn worklist_touched_counter_is_o_of_n_rounds_on_paths() {
+        // The headline property: on a long-diameter model the frontier
+        // stays O(1) per round, so total encodes are O(n) even though
+        // the refinement takes Θ(n) rounds. The full-round engine would
+        // encode exactly n · rounds signatures.
+        let n = 256;
+        let (offsets, targets) = path_csr(n);
+        let rel = RelationCsr { offsets: &offsets, targets: &targets };
+        let mut r = WorklistRefiner::new(n, &[rel], Counting::Multiset, path_degrees(n));
+        while r.round() {}
+        let stats = r.stats();
+        assert!(stats.rounds >= n / 2 - 2, "a path takes Θ(n) rounds, got {}", stats.rounds);
+        let full_round_cost = n * stats.rounds;
+        assert!(
+            stats.encoded <= 8 * n,
+            "worklist touched {} worlds; expected O(n), full-round cost is {}",
+            stats.encoded,
+            full_round_cost
+        );
+    }
+
+    #[test]
+    fn worklist_forced_parallel_matches_sequential() {
+        // A pseudo-random sparse relation (deterministic LCG) plus the
+        // path: pooled encode must produce identical canonical levels
+        // round by round.
+        let n = 60;
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for _ in 0..2 * n {
+            let (u, w) = (rand() % n, rand() % n);
+            rows[u].push(w as u32);
+        }
+        let mut offsets = vec![0usize; n + 1];
+        let mut targets = Vec::new();
+        for (v, row) in rows.iter().enumerate() {
+            targets.extend_from_slice(row);
+            offsets[v + 1] = targets.len();
+        }
+        let rel = RelationCsr { offsets: &offsets, targets: &targets };
+        let seeds: Vec<u64> = (0..n).map(|v| (v % 3) as u64).collect();
+        for counting in [Counting::Distinct, Counting::Multiset] {
+            let mut seq = WorklistRefiner::new(n, &[rel], counting, seeds.iter().copied());
+            let mut par = WorklistRefiner::new(n, &[rel], counting, seeds.iter().copied());
+            par.force_parallel(true);
+            let (mut ls, mut lp) = (Vec::new(), Vec::new());
+            loop {
+                let (cs, cp) = (seq.round(), par.round());
+                assert_eq!(cs, cp, "round outcomes diverged");
+                seq.canonical_level_into(&mut ls);
+                par.canonical_level_into(&mut lp);
+                assert_eq!(ls, lp, "levels diverged at round {}", seq.stats().rounds);
+                if !cs {
+                    break;
+                }
+            }
+            assert_eq!(seq.stats().encoded, par.stats().encoded);
+        }
+    }
+
+    #[test]
+    fn worklist_degenerate_sizes() {
+        let rel = RelationCsr { offsets: &[0], targets: &[] };
+        let mut r = WorklistRefiner::new(0, &[rel], Counting::Multiset, std::iter::empty());
+        assert!(!r.round(), "no nodes: first round is the stable round");
+        assert_eq!(run_to_fixpoint(&mut r), Vec::<usize>::new());
+
+        let rel = RelationCsr { offsets: &[0, 0], targets: &[] };
+        let mut r = WorklistRefiner::new(1, &[rel], Counting::Multiset, std::iter::once(7));
+        assert!(!r.round(), "single isolated node never splits");
+        assert_eq!(run_to_fixpoint(&mut r), vec![0]);
+    }
+
+    #[test]
+    fn worklist_stable_rounds_are_free() {
+        let n = 16;
+        let (offsets, targets) = path_csr(n);
+        let rel = RelationCsr { offsets: &offsets, targets: &targets };
+        let mut r = WorklistRefiner::new(n, &[rel], Counting::Multiset, path_degrees(n));
+        while r.round() {}
+        let encoded = r.stats().encoded;
+        // Rounds past the fixpoint touch nothing.
+        assert!(!r.round());
+        assert!(!r.round());
+        assert_eq!(r.stats().encoded, encoded);
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //! ([`crate::partition::PARALLEL_THRESHOLD`]) can sit an order of
 //! magnitude lower and small/medium models go parallel too.
 //!
+//! # Tuning (`PORTNUM_POOL`)
+//!
+//! Whether a phase actually fans out is decided by the caller through
+//! the shared work gate [`crate::partition::threads_for`], which the
+//! `PORTNUM_POOL` environment variable overrides: `force` always
+//! parallelises (≥ 2 threads even on single-core hosts, so CI can
+//! drive every pool path), `off` never does, `auto` (default) gates on
+//! [`crate::partition::PARALLEL_THRESHOLD`]. The pool itself is sized
+//! `cores − 1` workers (minimum 1) plus the participating caller.
+//!
 //! # Execution model
 //!
 //! [`WorkerPool::run`]`(chunks, job)` executes `job(i)` exactly once

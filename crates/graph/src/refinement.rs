@@ -6,22 +6,29 @@
 //! (the logic crate cross-validates the equivalence), and characterises what
 //! `Multiset ∩ Broadcast` algorithms can distinguish.
 //!
-//! Rounds run on the shared interned-signature engine of
-//! [`crate::partition`]: a node's next colour is the interned word
-//! sequence `(prev colour, multiset of neighbour colours)`, assigned
-//! dense first-seen ids — the same engine, ids, and stability criterion
-//! that `portnum-logic` uses for (g-)bisimulation, so the two notions
-//! are comparable level by level. On graphs with at least
+//! Rounds run on the shared refinement engines of [`crate::partition`]:
+//! by default the incremental **worklist engine**
+//! ([`crate::partition::WorklistRefiner`]) re-colours only nodes whose
+//! neighbourhood colours can have changed (the dirty frontier —
+//! predecessors of nodes that split off last round), which turns
+//! near-stable rounds from Θ(n) into O(changed); `PORTNUM_REFINE=rounds`
+//! selects the full-round reference engine, in which a node's next
+//! colour is the interned word sequence `(prev colour, multiset of
+//! neighbour colours)` assigned dense first-seen ids. Both engines
+//! produce identical levels (differentially tested), use the same ids
+//! and stability criterion that `portnum-logic` uses for
+//! (g-)bisimulation — so the two notions are comparable level by level —
+//! and on rounds with at least
 //! [`crate::partition::PARALLEL_THRESHOLD`] signature words of encode
-//! work per round (nodes + edge endpoints) the encode phase of
-//! each round fans out over the persistent worker pool (see
+//! work fan the encode phase out over the persistent worker pool (see
 //! [`crate::partition::parallel_encode`] and [`crate::pool`]); the
-//! sequential intern phase keeps colour ids bit-identical to the
-//! single-threaded engine.
+//! sequential intern/group phase keeps colour ids bit-identical to the
+//! single-threaded path.
 
 use crate::graph::{Graph, NodeId};
 use crate::partition::{
-    parallel_encode_weighted, threads_for, Counting, Refiner, SignatureBuffer,
+    parallel_encode_weighted, refine_engine_choice, threads_for, Counting, RefineEngine,
+    Refiner, RelationCsr, SignatureBuffer, WorklistRefiner,
 };
 
 /// Per-round colour classes: `levels[t][v]` is node `v`'s colour after `t`
@@ -60,7 +67,7 @@ impl ColorClasses {
     /// # Panics
     ///
     /// Panics if `t` exceeds the computed rounds and the final partition
-    /// is not stable (see [`ColorClasses::cap`] semantics above); once
+    /// is not stable (see the clamping rules on `cap` above); once
     /// stable, deeper rounds repeat the final partition and are clamped.
     pub fn class(&self, t: usize, v: NodeId) -> usize {
         self.level(t)[v]
@@ -170,8 +177,69 @@ fn degree_partition(g: &Graph, refiner: &mut Refiner) -> Vec<usize> {
     refiner.seed_partition(g.nodes().map(|v| g.degree(v) as u64))
 }
 
+/// The adjacency lists of `g` packed as one CSR relation (`u32`
+/// targets), the worklist engine's input shape.
+fn graph_csr(g: &Graph) -> (Vec<usize>, Vec<u32>) {
+    assert!(g.len() <= u32::MAX as usize, "graphs are capped at 2^32 nodes");
+    let mut offsets = Vec::with_capacity(g.len() + 1);
+    let mut targets = Vec::with_capacity(2 * g.edge_count());
+    offsets.push(0);
+    for v in g.nodes() {
+        targets.extend(g.neighbors(v).iter().map(|&u| u as u32));
+        offsets.push(targets.len());
+    }
+    (offsets, targets)
+}
+
+/// Worklist-engine colour refinement: `bound = Some(r)` runs exactly
+/// `r` rounds (rounds past the fixpoint are free — the dirty frontier
+/// is empty), `None` runs to the first stable round and reports it.
+fn worklist_coloring(
+    g: &Graph,
+    bound: Option<usize>,
+    force_parallel: bool,
+) -> (ColorClasses, Option<usize>) {
+    let (offsets, targets) = graph_csr(g);
+    let rel = RelationCsr { offsets: &offsets, targets: &targets };
+    let mut refiner = WorklistRefiner::new(
+        g.len(),
+        std::slice::from_ref(&rel),
+        Counting::Multiset,
+        g.nodes().map(|v| g.degree(v) as u64),
+    );
+    refiner.force_parallel(force_parallel);
+    let mut level = Vec::new();
+    refiner.canonical_level_into(&mut level);
+    let mut levels = vec![level.clone()];
+    match bound {
+        Some(rounds) => {
+            for _ in 0..rounds {
+                refiner.round();
+                refiner.canonical_level_into(&mut level);
+                levels.push(level.clone());
+            }
+            (ColorClasses { levels }, None)
+        }
+        None => loop {
+            let changed = refiner.round();
+            refiner.canonical_level_into(&mut level);
+            levels.push(level.clone());
+            if !changed {
+                let round = levels.len() - 2;
+                return (ColorClasses { levels }, Some(round));
+            }
+            debug_assert!(levels.len() <= g.len().max(1) + 1, "refinement failed to stabilise");
+        },
+    }
+}
+
 /// Runs colour refinement for exactly `rounds` rounds (even past the
 /// stable point — use [`stable_coloring`] to stop at the fixpoint).
+///
+/// Rounds run on the engine selected by `PORTNUM_REFINE` (see
+/// [`refine_engine_choice`]): the incremental worklist engine by
+/// default, the full-round reference with `PORTNUM_REFINE=rounds`.
+/// Both produce identical levels.
 ///
 /// # Examples
 ///
@@ -183,6 +251,16 @@ fn degree_partition(g: &Graph, refiner: &mut Refiner) -> Vec<usize> {
 /// assert_eq!(c.class_count(5), 1);
 /// ```
 pub fn color_refinement(g: &Graph, rounds: usize) -> ColorClasses {
+    color_refinement_with(g, rounds, refine_engine_choice())
+}
+
+/// [`color_refinement`] pinned to a specific engine — the differential
+/// testing and benchmarking hook; use [`color_refinement`] elsewhere.
+#[doc(hidden)]
+pub fn color_refinement_with(g: &Graph, rounds: usize, engine: RefineEngine) -> ColorClasses {
+    if engine == RefineEngine::Worklist {
+        return worklist_coloring(g, Some(rounds), false).0;
+    }
     let mut state = RoundState::for_graph(g);
     let mut levels = Vec::with_capacity(rounds + 1);
     levels.push(degree_partition(g, &mut state.refiner));
@@ -200,8 +278,20 @@ pub fn color_refinement(g: &Graph, rounds: usize) -> ColorClasses {
 /// instead of running a fixed `n` rounds, so highly symmetric graphs
 /// (which stabilise in O(1) rounds) cost O(1) rounds. The returned
 /// [`ColorClasses`] contains levels `0..=round + 1` (the last two levels
-/// are equal, witnessing stability).
+/// are equal, witnessing stability). The engine is selected by
+/// `PORTNUM_REFINE` exactly as for [`color_refinement`].
 pub fn stable_coloring(g: &Graph) -> (ColorClasses, usize) {
+    stable_coloring_with(g, refine_engine_choice())
+}
+
+/// [`stable_coloring`] pinned to a specific engine — the differential
+/// testing and benchmarking hook; use [`stable_coloring`] elsewhere.
+#[doc(hidden)]
+pub fn stable_coloring_with(g: &Graph, engine: RefineEngine) -> (ColorClasses, usize) {
+    if engine == RefineEngine::Worklist {
+        let (classes, round) = worklist_coloring(g, None, false);
+        return (classes, round.expect("unbounded run reports its stable round"));
+    }
     let mut state = RoundState::for_graph(g);
     let mut levels = vec![degree_partition(g, &mut state.refiner)];
     loop {
@@ -345,6 +435,47 @@ mod tests {
                 level_s = next_s;
                 level_p = next_p;
             }
+        }
+    }
+
+    #[test]
+    fn worklist_engine_matches_rounds_engine() {
+        // The incremental worklist engine must reproduce the full-round
+        // engine's levels bit for bit: stable run, over-long bounded
+        // runs, and short truncations alike.
+        for g in [
+            generators::grid(5, 4),
+            generators::path(30),
+            generators::cycle(12),
+            Graph::disjoint_union(&[&generators::petersen(), &generators::star(6)]),
+            generators::binary_tree(31),
+            Graph::empty(3),
+            Graph::empty(0),
+        ] {
+            let (wl, wl_round) = stable_coloring_with(&g, RefineEngine::Worklist);
+            let (rd, rd_round) = stable_coloring_with(&g, RefineEngine::Rounds);
+            assert_eq!(wl_round, rd_round, "stable round diverged on {g}");
+            assert_eq!(wl.rounds(), rd.rounds(), "level count diverged on {g}");
+            for t in 0..=wl.rounds() {
+                assert_eq!(wl.level(t), rd.level(t), "{g} level {t}");
+            }
+            for rounds in [0, 1, wl_round + 2] {
+                let a = color_refinement_with(&g, rounds, RefineEngine::Worklist);
+                let b = color_refinement_with(&g, rounds, RefineEngine::Rounds);
+                for t in 0..=rounds {
+                    assert_eq!(a.levels[t], b.levels[t], "{g} bounded {rounds} level {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_forced_parallel_coloring_matches_sequential() {
+        for g in [generators::grid(6, 5), generators::path(40)] {
+            let (seq, seq_round) = worklist_coloring(&g, None, false);
+            let (par, par_round) = worklist_coloring(&g, None, true);
+            assert_eq!(seq_round, par_round);
+            assert_eq!(seq.levels, par.levels, "{g}");
         }
     }
 

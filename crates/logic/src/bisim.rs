@@ -20,8 +20,24 @@
 //!
 //! # Implementation
 //!
-//! Rounds run on the interned-signature engine of
-//! [`portnum_graph::partition`] (shared with 1-WL colour refinement): a
+//! Two engines drive the rounds, selected once per process by the
+//! `PORTNUM_REFINE` environment variable (see
+//! [`portnum_graph::partition::refine_engine_choice`]) and
+//! differentially tested to produce identical partitions at every
+//! depth:
+//!
+//! * **Worklist** (default) — the incremental engine of
+//!   [`portnum_graph::partition::WorklistRefiner`]: blocks that split
+//!   in round `t` are the splitters of round `t + 1`, and only their
+//!   members' predecessors (found via a reverse CSR built once per
+//!   run) are re-signed. Near-stable rounds cost O(changed) instead of
+//!   O(n), which collapses the Θ(n · rounds) bill that long-diameter
+//!   models (paths, deep trees — Θ(n) rounds each) used to pay.
+//! * **Rounds** (`PORTNUM_REFINE=rounds`) — the full-round reference
+//!   engine described below; every world is re-signed every round.
+//!
+//! Rounds of the reference engine run on the interned-signature engine
+//! of [`portnum_graph::partition`] (shared with 1-WL colour refinement): a
 //! world's signature is encoded as a flat run of `u64` words — previous
 //! block, then for each *nonempty* relation row its dense relation id
 //! followed by the sorted successor blocks (with multiplicities when
@@ -63,8 +79,10 @@
 
 use crate::kripke::Kripke;
 use portnum_graph::partition::{
-    encode_threads, parallel_encode_weighted, threads_for, Counting, Refiner, SignatureBuffer,
+    encode_threads, encode_work, nonempty_row_index, parallel_encode_weighted,
+    refine_engine_choice, threads_for, Counting, Refiner, SignatureBuffer, WorklistRefiner,
 };
+pub use portnum_graph::partition::{RefineEngine, RefineStats};
 
 /// Minimum signature words of per-round encode work (worlds + stored
 /// successor pairs) before refinement rounds parallelise their encode
@@ -197,6 +215,14 @@ impl BisimClasses {
 /// Runs signature refinement to a fixpoint, keeping every intermediate
 /// level (O(n · depth) memory). Use [`refine_fixpoint`] when only the
 /// final partition matters.
+///
+/// Rounds run on the engine selected by `PORTNUM_REFINE` (see
+/// [`refine_engine_choice`]): the incremental worklist engine by
+/// default, the full-round reference with `PORTNUM_REFINE=rounds`.
+/// The engines produce identical levels at every depth
+/// (proptest-pinned), differing only in cost: on long-diameter models
+/// the worklist engine touches O(changed) worlds per round instead of
+/// all n.
 pub fn refine(model: &Kripke, style: BisimStyle) -> BisimClasses {
     refine_impl(model, style, None, true)
 }
@@ -211,9 +237,34 @@ pub fn refine_bounded(model: &Kripke, style: BisimStyle, depth: usize) -> BisimC
 /// partition (O(n) memory — no level history).
 ///
 /// The result answers [`BisimClasses::bisimilar`] / final-level queries;
-/// level-indexed queries below the fixpoint depth panic.
+/// level-indexed queries below the fixpoint depth panic. Like
+/// [`refine`], the engine is selected by `PORTNUM_REFINE`.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::generators;
+/// use portnum_logic::bisim::{refine_fixpoint, BisimStyle};
+/// use portnum_logic::Kripke;
+///
+/// // On a path, worlds are bisimilar iff they mirror each other.
+/// let k = Kripke::k_mm(&generators::path(7));
+/// let classes = refine_fixpoint(&k, BisimStyle::Plain);
+/// assert!(classes.is_stable());
+/// assert!(classes.bisimilar(1, 5));
+/// assert!(!classes.bisimilar(1, 2));
+/// ```
 pub fn refine_fixpoint(model: &Kripke, style: BisimStyle) -> BisimClasses {
     refine_impl(model, style, None, false)
+}
+
+/// Runs [`refine_fixpoint`] on the worklist engine and also returns the
+/// engine's [`RefineStats`] — rounds, the touched-world counter
+/// (`encoded`), moves, and how many rounds went parallel. The
+/// full-round engine would encode exactly `n · rounds` signatures; on
+/// long-diameter models `encoded` stays O(n + edges).
+pub fn refine_fixpoint_stats(model: &Kripke, style: BisimStyle) -> (BisimClasses, RefineStats) {
+    refine_worklist(model, style, None, false, false)
 }
 
 fn refine_impl(
@@ -222,22 +273,101 @@ fn refine_impl(
     depth: Option<usize>,
     keep_levels: bool,
 ) -> BisimClasses {
-    refine_engine(
-        model,
-        style,
-        depth,
-        keep_levels,
-        threads_for(model.len() + model.relation_entry_count()),
-    )
+    match refine_engine_choice() {
+        RefineEngine::Worklist => refine_worklist(model, style, depth, keep_levels, false).0,
+        RefineEngine::Rounds => refine_engine(
+            model,
+            style,
+            depth,
+            keep_levels,
+            threads_for(model.len() + model.relation_entry_count()),
+        ),
+    }
 }
 
-/// Runs the full-history refinement with the encode phase forced onto
-/// the worker pool regardless of model size. Exists so tests and
-/// benches can pin the pool-driven path against the sequential one;
-/// use [`refine`] and friends everywhere else.
+/// Full-history refinement pinned to a specific engine — the
+/// differential-testing and benchmarking hook; use [`refine`] (which
+/// consults `PORTNUM_REFINE`) everywhere else.
+#[doc(hidden)]
+pub fn refine_with(model: &Kripke, style: BisimStyle, engine: RefineEngine) -> BisimClasses {
+    match engine {
+        RefineEngine::Worklist => refine_worklist(model, style, None, true, false).0,
+        RefineEngine::Rounds => refine_engine(
+            model,
+            style,
+            None,
+            true,
+            threads_for(model.len() + model.relation_entry_count()),
+        ),
+    }
+}
+
+/// Runs the full-history **round-engine** refinement with the encode
+/// phase forced onto the worker pool regardless of model size. Exists
+/// so tests and benches can pin the pool-driven path against the
+/// sequential one; use [`refine`] and friends everywhere else.
 #[doc(hidden)]
 pub fn refine_forced_parallel(model: &Kripke, style: BisimStyle) -> BisimClasses {
     refine_engine(model, style, None, true, encode_threads().max(2))
+}
+
+/// Runs the full-history **worklist** refinement with every round's
+/// encode phase forced onto the worker pool — the differential-test
+/// knob for the frontier-chunked parallel path.
+#[doc(hidden)]
+pub fn refine_worklist_forced_parallel(model: &Kripke, style: BisimStyle) -> BisimClasses {
+    refine_worklist(model, style, None, true, true).0
+}
+
+/// The worklist-engine driver: identical round semantics to
+/// [`refine_engine`] (the partition after round `t` is the synchronous
+/// depth-`t` partition, canonically renumbered), but each round
+/// re-encodes only the dirty frontier maintained by
+/// [`WorklistRefiner`]. Relations are handed over as borrowed CSR
+/// slices, so the engine adds no per-run copies of the model.
+fn refine_worklist(
+    model: &Kripke,
+    style: BisimStyle,
+    depth: Option<usize>,
+    keep_levels: bool,
+    force_parallel: bool,
+) -> (BisimClasses, RefineStats) {
+    let n = model.len();
+    let relations = model.relations_csr();
+    let mut refiner = WorklistRefiner::new(
+        n,
+        &relations,
+        style.counting(),
+        (0..n).map(|v| model.degree(v) as u64),
+    );
+    refiner.force_parallel(force_parallel);
+
+    let mut level = Vec::new();
+    refiner.canonical_level_into(&mut level);
+    let mut levels = if keep_levels { vec![level.clone()] } else { Vec::new() };
+    let mut rounds = 0usize;
+    let mut stable = n <= 1;
+
+    while depth.is_none_or(|d| rounds < d) {
+        let changed = refiner.round();
+        rounds += 1;
+        if keep_levels {
+            refiner.canonical_level_into(&mut level);
+            levels.push(level.clone());
+        }
+        if !changed {
+            stable = true;
+            break;
+        }
+        debug_assert!(rounds <= n, "refinement must stabilise within n rounds");
+    }
+
+    if !keep_levels {
+        refiner.canonical_level_into(&mut level);
+        levels.push(level);
+    }
+    let stats = refiner.stats();
+    (BisimClasses { style, levels, depth: rounds, stable }, stats)
 }
 
 fn refine_engine(
@@ -248,7 +378,6 @@ fn refine_engine(
     threads: usize,
 ) -> BisimClasses {
     let n = model.len();
-    let relations = model.relation_count();
     let counting = style.counting();
 
     let mut refiner = Refiner::new();
@@ -256,60 +385,29 @@ fn refine_engine(
     let mut prev = refiner.seed_partition((0..n).map(|v| model.degree(v) as u64));
     let mut levels = if keep_levels { vec![prev.clone()] } else { Vec::new() };
 
-    // Index each world's nonempty relation rows once per run: signatures
-    // then skip empty rows (the overwhelming majority on K₊,₊, which has
-    // O(Δ²) relations), pushing the relation id into the signature to
-    // stay canonical. The index is itself CSR — world `v`'s rows are
-    // `row_index[row_bounds[v]..row_bounds[v + 1]]`, ascending by
-    // relation — so building it costs two flat passes and two
-    // allocations, no per-world `Vec`s. Skipped at depth 0, where the
-    // round loop never runs.
-    const EMPTY_ROW: (u64, &[u32]) = (0, &[]);
+    // Index each world's nonempty relation rows once per run
+    // (signatures skip empty rows — the overwhelming majority on K₊,₊,
+    // which has O(Δ²) relations — pushing the relation id into the
+    // signature to stay canonical); one shared builder with the
+    // worklist engine, [`portnum_graph::partition::nonempty_row_index`],
+    // so the engines' row enumeration cannot drift apart. Skipped at
+    // depth 0, where the round loop never runs.
     let (row_bounds, row_index) = if depth == Some(0) {
         (vec![0usize; n + 1], Vec::new())
     } else {
-        let mut row_bounds = vec![0usize; n + 1];
-        for r in 0..relations {
-            let (offsets, _) = model.relation_rows(r);
-            let mut start = offsets[0];
-            for v in 0..n {
-                let end = offsets[v + 1];
-                row_bounds[v + 1] += (end > start) as usize;
-                start = end;
-            }
-        }
-        for v in 0..n {
-            row_bounds[v + 1] += row_bounds[v];
-        }
-        let mut row_index = vec![EMPTY_ROW; row_bounds[n]];
-        let mut cursor = row_bounds.clone();
-        for r in 0..relations {
-            let (offsets, targets) = model.relation_rows(r);
-            let mut start = offsets[0];
-            for v in 0..n {
-                let end = offsets[v + 1];
-                if end > start {
-                    row_index[cursor[v]] = (r as u64, &targets[start..end]);
-                    cursor[v] += 1;
-                }
-                start = end;
-            }
-        }
-        (row_bounds, row_index)
+        nonempty_row_index(n, &model.relations_csr())
     };
     let world_rows =
         |v: usize| -> &[(u64, &[u32])] { &row_index[row_bounds[v]..row_bounds[v + 1]] };
 
-    // Per-world encode work for the balanced parallel split: one word
-    // for the previous block plus, per nonempty row, the relation id,
-    // the count slot, and the successor entries. Only the *relative*
-    // weights matter, so multiplicity words are not modelled.
+    // Prefix sums of per-world encode work for the balanced parallel
+    // split — the same accounting the worklist engine's parallel gate
+    // uses ([`portnum_graph::partition::encode_work`]).
     let work: Vec<usize> = if threads > 1 {
         let mut work = Vec::with_capacity(n + 1);
         work.push(0);
         for v in 0..n {
-            let row_words: usize = world_rows(v).iter().map(|&(_, row)| 2 + row.len()).sum();
-            work.push(work[v] + 1 + row_words);
+            work.push(work[v] + encode_work(&row_bounds, &row_index, v));
         }
         work
     } else {
@@ -571,6 +669,75 @@ mod tests {
         let lean = refine_fixpoint(&k, BisimStyle::Plain);
         assert!(lean.depth() > 1, "path(9) needs several rounds");
         let _ = lean.level(1);
+    }
+
+    #[test]
+    fn worklist_matches_rounds_engine_level_by_level() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        use rand::SeedableRng;
+        let mut graphs = vec![
+            generators::path(17),
+            generators::star(5),
+            generators::theorem13_witness().0,
+            Graph::disjoint_union(&[&generators::cycle(3), &generators::cycle(4)]),
+        ];
+        for _ in 0..3 {
+            graphs.push(generators::gnp(14, 0.25, &mut rng));
+        }
+        for g in graphs {
+            let p = PortNumbering::random(&g, &mut rng);
+            for k in [Kripke::k_mm(&g), Kripke::k_pp(&g, &p), Kripke::k_mp(&g, &p)] {
+                for style in [BisimStyle::Plain, BisimStyle::Graded] {
+                    let wl = refine_with(&k, style, RefineEngine::Worklist);
+                    let rd = refine_with(&k, style, RefineEngine::Rounds);
+                    assert_eq!(wl.depth(), rd.depth(), "{g} {:?} depth", style);
+                    assert_eq!(wl.is_stable(), rd.is_stable());
+                    for t in 0..=wl.depth() {
+                        assert_eq!(wl.level(t), rd.level(t), "{g} {:?} level {t}", style);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_forced_parallel_matches_sequential() {
+        let g = generators::gnp(40, 0.1, &mut {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(31)
+        });
+        let k = Kripke::k_mm(&g);
+        for style in [BisimStyle::Plain, BisimStyle::Graded] {
+            let seq = refine_with(&k, style, RefineEngine::Worklist);
+            let par = refine_worklist_forced_parallel(&k, style);
+            assert_eq!(seq.depth(), par.depth());
+            for t in 0..=seq.depth() {
+                assert_eq!(seq.level(t), par.level(t), "{:?} level {t}", style);
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_touches_o_of_n_worlds_on_paths() {
+        // The tentpole property, end to end on a Kripke model: a path
+        // takes Θ(n) rounds, and the worklist engine still only encodes
+        // O(n) signatures in total — o(n · rounds), where the
+        // full-round engine pays exactly n · rounds.
+        let n = 256;
+        let k = Kripke::k_mm(&generators::path(n));
+        for style in [BisimStyle::Plain, BisimStyle::Graded] {
+            let (classes, stats) = refine_fixpoint_stats(&k, style);
+            assert!(classes.is_stable());
+            assert!(stats.rounds >= n / 2 - 2, "paths take Θ(n) rounds, got {}", stats.rounds);
+            assert!(
+                stats.encoded <= 8 * n,
+                "{:?}: touched {} worlds over {} rounds (full-round cost {})",
+                style,
+                stats.encoded,
+                stats.rounds,
+                n * stats.rounds
+            );
+        }
     }
 
     #[test]

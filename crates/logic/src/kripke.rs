@@ -48,6 +48,7 @@
 use crate::error::LogicError;
 use crate::formula::{IndexFamily, ModalIndex};
 use portnum_graph::bitset::BitMatrix;
+use portnum_graph::partition::RelationCsr;
 use portnum_graph::{Graph, Port, PortNumbering};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -348,6 +349,17 @@ impl Kripke {
     pub fn relation_rows(&self, r: usize) -> (&[usize], &[u32]) {
         let rel = &self.relations[r];
         (&rel.offsets, &rel.targets)
+    }
+
+    /// All stored relations as borrowed CSR slices, in dense-id order —
+    /// the input shape of the worklist refinement engine
+    /// ([`portnum_graph::partition::WorklistRefiner`]). No copies: the
+    /// slices alias the model's own arrays.
+    pub fn relations_csr(&self) -> Vec<RelationCsr<'_>> {
+        self.relations
+            .iter()
+            .map(|rel| RelationCsr { offsets: &rel.offsets, targets: &rel.targets })
+            .collect()
     }
 
     /// The predecessor bit rows of dense relation `r`: row `w` holds the

@@ -15,7 +15,9 @@
 //!   ([`plan::Plan::compile_suite`]) and the per-model
 //!   [`plan::ModelChecker`] cache amortising suites formula by formula;
 //! * [`bisim`] — plain and graded bisimulation via partition refinement,
-//!   bounded or to fixpoint (Section 4.2, Fact 1);
+//!   bounded or to fixpoint (Section 4.2, Fact 1), on the worklist or
+//!   full-round engine (`PORTNUM_REFINE`, see
+//!   [`portnum_graph::partition`]);
 //! * [`characteristic`] — Hennessy–Milner characteristic formulas: the
 //!   converse of Fact 1, one separating formula per inequivalent pair;
 //! * [`quotient`]/[`minimum_base`] — bisimulation quotients (the
@@ -25,6 +27,22 @@
 //! * [`compile`] — both directions of Theorem 2: formulas become
 //!   distributed algorithms in the *matching weak class* running in
 //!   `md(ψ)` rounds, and finite-state algorithms become formulas.
+//!
+//! # Load-bearing invariants
+//!
+//! * **Level-aware slot recycling** ([`plan`]) — plan instructions are
+//!   scheduled by DAG level and a truth-vector slot is recycled only
+//!   one level after its last reader, so instructions of one level
+//!   never alias each other's operands and a whole level can execute
+//!   in parallel; peak memory is the DAG's width, not its size.
+//! * **Retained formulas** ([`plan::ModelChecker`]) — checked formulas
+//!   are kept alive so the pointer-identity memo can never observe a
+//!   recycled allocation.
+//! * **Identical round semantics across refinement engines**
+//!   ([`bisim`]) — the worklist engine's partition after round `t`
+//!   equals the synchronous round engine's depth-`t` partition
+//!   (canonical first-seen ids), so `t`-step equivalence queries mean
+//!   the same thing under either engine.
 //!
 //! # Quick start
 //!

@@ -12,8 +12,9 @@
 //!
 //! # Lowering
 //!
-//! Each AST node becomes at most one [`Op`]-instruction whose operands
-//! are earlier instruction ids. Lowering folds on the fly:
+//! Each AST node becomes at most one instruction (an internal `Op`)
+//! whose operands are earlier instruction ids. Lowering folds on the
+//! fly:
 //!
 //! * `⟨α⟩≥0 φ → ⊤`, and a diamond over a relation the model does not
 //!   store (or over `⊥`) `→ ⊥`;
@@ -377,6 +378,20 @@ pub struct Plan {
 
 impl Plan {
     /// Compiles a single formula against `model`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use portnum_graph::generators;
+    /// use portnum_logic::{parse, Kripke, Plan};
+    ///
+    /// // "some neighbour has degree 1" — true exactly at the centre.
+    /// let k = Kripke::k_mm(&generators::star(3));
+    /// let plan = Plan::compile(&k, &parse("<*,*> q1")?)?;
+    /// let truths = plan.execute(&k);
+    /// assert_eq!(truths[0].iter_ones().collect::<Vec<_>>(), vec![0]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///

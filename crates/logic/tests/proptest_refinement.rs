@@ -10,7 +10,8 @@
 
 use portnum_graph::{Graph, PortNumbering};
 use portnum_logic::bisim::{
-    refine, refine_bounded, refine_fixpoint, refine_forced_parallel, BisimStyle,
+    refine, refine_bounded, refine_fixpoint, refine_fixpoint_stats, refine_forced_parallel,
+    refine_with, refine_worklist_forced_parallel, BisimStyle, RefineEngine,
 };
 use portnum_logic::{Kripke, ModalIndex};
 use proptest::prelude::*;
@@ -165,6 +166,59 @@ proptest! {
                 let seq = refine(&model, style);
                 let par = refine_forced_parallel(&model, style);
                 prop_assert!(par.is_stable());
+                prop_assert_eq!(seq.depth(), par.depth());
+                for t in 0..=seq.depth() {
+                    prop_assert_eq!(
+                        seq.level(t), par.level(t),
+                        "variant {:?}, style {:?}, level {}", model.variant(), style, t
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_engine_matches_rounds_engine(g in arb_graph(), seed in any::<u64>()) {
+        // The incremental worklist engine and the full-round reference
+        // must agree BIT-identically (canonical ids, not just
+        // partition-equal) at every level, on every variant and style.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        for model in all_variants(&g, &p) {
+            for style in [BisimStyle::Plain, BisimStyle::Graded] {
+                let wl = refine_with(&model, style, RefineEngine::Worklist);
+                let rd = refine_with(&model, style, RefineEngine::Rounds);
+                prop_assert_eq!(wl.depth(), rd.depth(), "variant {:?}", model.variant());
+                prop_assert_eq!(wl.is_stable(), rd.is_stable());
+                for t in 0..=wl.depth() {
+                    prop_assert_eq!(
+                        wl.level(t), rd.level(t),
+                        "variant {:?}, style {:?}, level {}", model.variant(), style, t
+                    );
+                }
+                // The stats-reporting fixpoint path agrees too, and its
+                // touched counter can never beat one full sweep yet
+                // never exceeds the full-round engine's bill.
+                let (lean, stats) = refine_fixpoint_stats(&model, style);
+                prop_assert_eq!(lean.final_level(), wl.final_level());
+                prop_assert_eq!(stats.rounds, wl.depth());
+                prop_assert!(stats.encoded >= model.len().min(1));
+                prop_assert!(stats.encoded <= model.len() * stats.rounds.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn forced_parallel_worklist_matches_sequential_worklist(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = PortNumbering::random(&g, &mut rng);
+        for model in all_variants(&g, &p) {
+            for style in [BisimStyle::Plain, BisimStyle::Graded] {
+                let seq = refine_with(&model, style, RefineEngine::Worklist);
+                let par = refine_worklist_forced_parallel(&model, style);
                 prop_assert_eq!(seq.depth(), par.depth());
                 for t in 0..=seq.depth() {
                     prop_assert_eq!(

@@ -278,7 +278,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Sizes acceptable to [`vec`]: a fixed length or a length range.
+    /// Sizes acceptable to [`vec()`](self::vec): a fixed length or a length range.
     pub trait IntoSize {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -304,7 +304,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](self::vec).
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,
