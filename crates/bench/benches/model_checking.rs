@@ -151,8 +151,9 @@ fn bench_parallel_execution(c: &mut Criterion) {
 
 fn bench_diamond_strategies(c: &mut Criterion) {
     // Deep alternating-grade towers: the grade-1 levels are eligible
-    // for predecessor-row unions, the grade-2 levels always count
-    // forward — `auto` picks per instruction.
+    // for predecessor-row unions, the grade-2 levels for the CSC
+    // counting gather — `auto` picks per instruction among forward,
+    // dense rows, and the CSC gather.
     let f = workloads::nested_diamonds(16);
     for w in workloads::gnp_sweep(&[512], 0.05, 5) {
         let k = Kripke::k_mm(&w.graph);
@@ -162,6 +163,7 @@ fn bench_diamond_strategies(c: &mut Criterion) {
             ("auto", DiamondMode::Auto),
             ("forward", DiamondMode::Forward),
             ("reverse", DiamondMode::Reverse),
+            ("csc", DiamondMode::Csc),
         ] {
             group.bench_with_input(BenchmarkId::new(name, w.graph.len()), &mode, |b, &mode| {
                 b.iter(|| plan.execute_with(&k, mode))
@@ -169,6 +171,24 @@ fn bench_diamond_strategies(c: &mut Criterion) {
         }
         group.finish();
     }
+
+    // Above the dense cap only forward and CSC are on the table: the
+    // n²-bit predecessor matrix would cost ~0.5 GiB here, so before
+    // the CSC store this workload's reverse-eligible diamonds were
+    // silently forced onto the forward sweep.
+    let w = workloads::sparse_huge();
+    let k = Kripke::k_mm(&w.graph);
+    let f = workloads::endpoint_diamond();
+    let plan = Plan::compile(&k, &f).unwrap();
+    let mut group = c.benchmark_group("model_checking/diamond_strategy_sparse_huge");
+    for (name, mode) in
+        [("auto", DiamondMode::Auto), ("forward", DiamondMode::Forward), ("csc", DiamondMode::Csc)]
+    {
+        group.bench_with_input(BenchmarkId::new(name, w.graph.len()), &mode, |b, &mode| {
+            b.iter(|| plan.execute_with(&k, mode))
+        });
+    }
+    group.finish();
 }
 
 fn configure() -> Criterion {

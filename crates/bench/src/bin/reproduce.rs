@@ -298,6 +298,53 @@ fn bench_eval_snapshot() {
             );
         }
     }
+    // A sparse model above the dense reverse cap (n²-bit predecessor
+    // rows are out of reach): the reverse diamond path is only
+    // reachable through the CSC store, where it previously fell back
+    // to the forward sweep. The Auto row asserts (via ExecStats) that
+    // the CSC gather actually fired.
+    let huge = workloads::sparse_huge();
+    let k = Kripke::k_mm(&huge.graph);
+    assert!(
+        k.predecessor_matrix_words() > portnum_logic::plan::REVERSE_WORD_CAP,
+        "sparse_huge must sit above the dense cap"
+    );
+    let f = workloads::endpoint_diamond();
+    let plan = Plan::compile(&k, &f).expect("well-formed case");
+    let (reference, stats) = plan.execute_with(&k, portnum_logic::plan::DiamondMode::Auto);
+    if portnum_logic::plan::reverse_override() == portnum_logic::plan::ReverseOverride::Auto {
+        assert_eq!(stats.csc_diamonds, 1, "above-cap sparse diamond must go CSC: {stats:?}");
+    }
+    let ones: usize = reference.iter().map(|b| b.count_ones()).sum();
+    let huge_cases = [
+        (
+            "sparse_huge_auto_csc",
+            median_us(
+                || plan.execute_with(&k, portnum_logic::plan::DiamondMode::Auto).0,
+                |truths| assert_eq!(truths, reference),
+            ),
+        ),
+        (
+            "sparse_huge_forward",
+            median_us(
+                || plan.execute_with(&k, portnum_logic::plan::DiamondMode::Forward).0,
+                |truths| assert_eq!(truths, reference),
+            ),
+        ),
+    ];
+    for (case, median) in huge_cases {
+        t.row([huge.name.clone(), case.to_string(), format!("{median:.1}"), ones.to_string()]);
+        let _ = writeln!(
+            json,
+            "{{\"bench\":\"eval\",\"workload\":\"{}\",\"case\":\"{}\",\"worlds\":{},\
+             \"median_us\":{:.1},\"ones\":{}}}",
+            huge.name,
+            case,
+            k.len(),
+            median,
+            ones
+        );
+    }
     print!("{}", t.render());
     match std::fs::write("BENCH_eval.json", &json) {
         Ok(()) => println!("wrote BENCH_eval.json ({} entries)", json.lines().count()),

@@ -88,6 +88,27 @@ pub fn deep_tree(n: usize) -> Workload {
     Workload::consistent(format!("deep_tree{n}"), generators::caterpillar(n / 2))
 }
 
+/// A sparse model **above the evaluator's dense reverse cap**
+/// ([`portnum_logic::plan::REVERSE_WORD_CAP`]): a 16384-world path,
+/// whose per-relation predecessor matrix would cost 16384 × 256 = 2²²
+/// `u64` words — twice the cap — while its CSC store is O(n). The
+/// workload where the reverse diamond path is only reachable through
+/// the CSC gather.
+pub fn sparse_huge() -> Workload {
+    let n = 16_384;
+    let w = Workload::consistent(format!("sparse_huge{n}"), generators::path(n));
+    debug_assert!(n * n.div_ceil(64) > portnum_logic::plan::REVERSE_WORD_CAP);
+    w
+}
+
+/// The sparse-inner-set diamond paired with [`sparse_huge`]: `⟨*,*⟩q₁`
+/// holds at a path's two endpoint-neighbours, so `‖φ‖` has two worlds
+/// and the reverse gather touches two predecessor rows where the
+/// forward sweep walks all n worlds.
+pub fn endpoint_diamond() -> Formula {
+    Formula::diamond(ModalIndex::Any, &Formula::prop(1))
+}
+
 /// Random `d`-regular graphs of increasing size.
 pub fn regular_sweep(d: usize, sizes: &[usize], seed: u64) -> Vec<Workload> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,0 +1,204 @@
+//! CSC (reverse CSR) adjacency: per-node *predecessor* lists as two
+//! flat arrays.
+//!
+//! A forward CSR relation answers "successors of `v`" in O(row); many
+//! hot paths instead need "predecessors of `w`" — the worklist
+//! refinement engine propagates dirty frontiers backwards, and the
+//! model checker's reverse diamond path computes `⟨α⟩φ` by gathering
+//! the predecessors of every world satisfying `φ`. [`CscAdjacency`] is
+//! that inverse in the same two-flat-arrays shape as the forward CSR:
+//! `O(n + edges)` memory at **any** scale, where the dense
+//! [`BitMatrix`](crate::bitset::BitMatrix) predecessor rows cost
+//! `n²` bits and stop paying for themselves on large sparse models.
+//!
+//! # Construction invariant
+//!
+//! [`CscAdjacency::from_relations`] buckets every stored edge by
+//! target with two counting-sort passes (relation-major, then source
+//! ascending), so each predecessor row comes out **sorted ascending by
+//! source within each relation** and an edge stored `k` times
+//! contributes `k` entries — multiplicities survive inversion, which
+//! is what lets graded (counting) consumers use the rows directly.
+
+use crate::partition::RelationCsr;
+
+/// Reverse (CSC) adjacency over `n` nodes: predecessors of node `w`
+/// are `preds()[bounds()[w]..bounds()[w + 1]]`, as `u32` node ids.
+///
+/// Built from one relation ([`CscAdjacency::from_csr`]) or the union
+/// of several ([`CscAdjacency::from_relations`], the shape the
+/// worklist refinement engine's dirty propagation wants — it only asks
+/// "who can see `w`", not under which relation).
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::csc::CscAdjacency;
+///
+/// // Two nodes: 0 → 1, 1 → 0, 1 → 1.
+/// let offsets = [0usize, 1, 3];
+/// let targets = [1u32, 0, 1];
+/// let csc = CscAdjacency::from_csr(2, &offsets, &targets);
+/// assert_eq!(csc.row(0), &[1]);
+/// assert_eq!(csc.row(1), &[0, 1]);
+/// assert_eq!(csc.entry_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CscAdjacency {
+    /// Row bounds, length `n + 1`.
+    bounds: Vec<usize>,
+    /// Concatenated predecessor ids.
+    preds: Vec<u32>,
+}
+
+impl CscAdjacency {
+    /// Inverts the union of `relations` over `n` nodes: node `w`'s row
+    /// collects every `v` with `w ∈ successors(v)` under *any* of the
+    /// relations, one entry per stored edge (multiplicities preserved),
+    /// ordered relation-major then source-ascending.
+    ///
+    /// Two linear passes, two allocations — `O(n + edges)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation's `offsets` does not have `n + 1` entries
+    /// or stores a target `≥ n`.
+    pub fn from_relations(n: usize, relations: &[RelationCsr<'_>]) -> CscAdjacency {
+        let mut bounds = vec![0usize; n + 1];
+        for rel in relations {
+            assert_eq!(rel.offsets.len(), n + 1, "CSR offsets must have n + 1 entries");
+            for &w in rel.targets {
+                bounds[w as usize + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            bounds[v + 1] += bounds[v];
+        }
+        let mut preds = vec![0u32; bounds[n]];
+        let mut cursor = bounds.clone();
+        for rel in relations {
+            let mut row_start = rel.offsets[0];
+            for v in 0..n {
+                let row_end = rel.offsets[v + 1];
+                for &w in &rel.targets[row_start..row_end] {
+                    preds[cursor[w as usize]] = v as u32;
+                    cursor[w as usize] += 1;
+                }
+                row_start = row_end;
+            }
+        }
+        CscAdjacency { bounds, preds }
+    }
+
+    /// Inverts a single relation given as raw CSR arrays (successors of
+    /// `v` are `targets[offsets[v]..offsets[v + 1]]`).
+    ///
+    /// # Panics
+    ///
+    /// As [`CscAdjacency::from_relations`].
+    pub fn from_csr(n: usize, offsets: &[usize], targets: &[u32]) -> CscAdjacency {
+        CscAdjacency::from_relations(n, &[RelationCsr { offsets, targets }])
+    }
+
+    /// Number of nodes of the underlying universe.
+    pub fn node_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total stored predecessor entries (= stored forward edges).
+    pub fn entry_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Predecessors of node `w`, one entry per stored forward edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.node_count()`.
+    #[inline]
+    pub fn row(&self, w: usize) -> &[u32] {
+        &self.preds[self.bounds[w]..self.bounds[w + 1]]
+    }
+
+    /// Number of predecessors of node `w` — the unit of the model
+    /// checker's CSC cost estimate, readable without touching the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.node_count()`.
+    #[inline]
+    pub fn row_len(&self, w: usize) -> usize {
+        self.bounds[w + 1] - self.bounds[w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CSR of a relation from explicit rows.
+    fn csr(rows: &[&[u32]]) -> (Vec<usize>, Vec<u32>) {
+        let mut offsets = vec![0usize];
+        let mut targets = Vec::new();
+        for row in rows {
+            targets.extend_from_slice(row);
+            offsets.push(targets.len());
+        }
+        (offsets, targets)
+    }
+
+    #[test]
+    fn inverts_a_single_relation() {
+        // 0 → {1, 2}, 1 → {2}, 2 → {}.
+        let (offsets, targets) = csr(&[&[1, 2], &[2], &[]]);
+        let csc = CscAdjacency::from_csr(3, &offsets, &targets);
+        assert_eq!(csc.node_count(), 3);
+        assert_eq!(csc.row(0), &[] as &[u32]);
+        assert_eq!(csc.row(1), &[0]);
+        assert_eq!(csc.row(2), &[0, 1]);
+        assert_eq!(csc.entry_count(), 3);
+        assert_eq!(csc.row_len(2), 2);
+    }
+
+    #[test]
+    fn combines_relations_and_preserves_multiplicity() {
+        // Relation A: 0 → 1; relation B: 0 → 1, 2 → 1. Node 1 sees the
+        // duplicated edge twice (A's entry first, then B's, source
+        // ascending within each).
+        let (oa, ta) = csr(&[&[1], &[], &[]]);
+        let (ob, tb) = csr(&[&[1], &[], &[1]]);
+        let rels = [
+            RelationCsr { offsets: &oa, targets: &ta },
+            RelationCsr { offsets: &ob, targets: &tb },
+        ];
+        let csc = CscAdjacency::from_relations(3, &rels);
+        assert_eq!(csc.row(1), &[0, 0, 2]);
+        assert_eq!(csc.entry_count(), 3);
+    }
+
+    #[test]
+    fn rows_sort_ascending_within_a_relation() {
+        // Sources are visited in ascending order, so each row is sorted.
+        let (offsets, targets) = csr(&[&[3], &[3], &[3], &[0, 1, 2, 3]]);
+        let csc = CscAdjacency::from_csr(4, &offsets, &targets);
+        assert_eq!(csc.row(3), &[0, 1, 2, 3]);
+        for w in 0..3 {
+            assert_eq!(csc.row(w), &[3]);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let empty = CscAdjacency::from_relations(0, &[]);
+        assert_eq!(empty.node_count(), 0);
+        assert_eq!(empty.entry_count(), 0);
+        let lonely = CscAdjacency::from_csr(1, &[0, 0], &[]);
+        assert_eq!(lonely.row(0), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n + 1 entries")]
+    fn malformed_offsets_panic() {
+        let _ = CscAdjacency::from_csr(2, &[0, 0], &[]);
+    }
+}

@@ -81,6 +81,7 @@
 
 pub mod bitset;
 pub mod cover;
+pub mod csc;
 mod error;
 pub mod generators;
 mod graph;

@@ -68,6 +68,7 @@
 //! so a typo cannot silently select the default in a CI job that pins
 //! a mode. See `ARCHITECTURE.md` for the full reference.
 
+use crate::csc::CscAdjacency;
 use crate::pool::WorkerPool;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -791,6 +792,35 @@ fn group_one(sig: &[u64], stamp: u32, blocks: &mut Blocks, round: &mut RoundScra
     round.group_of.push(gid);
 }
 
+/// The built form of the refiner's reverse adjacency: one combined
+/// [`CscAdjacency`] owned here, or a caller-cached combined store
+/// borrowed through [`WorklistRefiner::share_reverse_adjacency`] (the
+/// Kripke models' `OnceLock`-cached CSC, shared so the evaluator's
+/// reverse diamonds and the refiner's dirty propagation build the
+/// inverse once between them). One store either way — the hot
+/// propagation loop does a single bounds lookup per moved node
+/// regardless of how many relations the model carries.
+#[derive(Debug)]
+enum PredRows<'a> {
+    Owned(CscAdjacency),
+    Shared(&'a CscAdjacency),
+}
+
+/// A deferred supplier of the shared combined reverse adjacency,
+/// registered via [`WorklistRefiner::share_reverse_adjacency`]. The
+/// closure is only invoked if a sparse round actually needs
+/// predecessors, so a caller with a lazily-cached store pays for its
+/// construction exactly when the owned build would have run.
+struct SharedPreds<'a> {
+    source: Box<dyn Fn() -> &'a CscAdjacency + 'a>,
+}
+
+impl std::fmt::Debug for SharedPreds<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPreds").finish_non_exhaustive()
+    }
+}
+
 /// Incremental (Paige–Tarjan style) partition refinement over a
 /// worklist of *dirty* nodes.
 ///
@@ -872,12 +902,18 @@ pub struct WorklistRefiner<'a> {
     /// Signature words node `v` emits when encoded (the parallel-gate
     /// work unit), precomputed once.
     node_work: Vec<usize>,
-    /// Combined reverse adjacency over *all* relations — predecessors
-    /// of node `w` are `targets[bounds[w]..bounds[w + 1]]` — built
+    /// Reverse adjacency (CSC) used for dirty propagation — built
     /// lazily on the first round whose moved set is small enough for
     /// precise frontier propagation to beat re-encoding everyone
-    /// (fast-stabilising models never pay for it).
-    preds: Option<(Vec<usize>, Vec<u32>)>,
+    /// (fast-stabilising models never pay for it). Either a combined
+    /// [`CscAdjacency`] over all relations built here, or the caller's
+    /// own per-relation stores obtained through
+    /// [`WorklistRefiner::share_reverse_adjacency`].
+    preds: Option<PredRows<'a>>,
+    /// Deferred source of shared per-relation reverse adjacency;
+    /// consulted (once) by [`Self::ensure_preds`] so sharing keeps the
+    /// same laziness as the owned build.
+    shared_preds: Option<SharedPreds<'a>>,
     /// Current block of each node (stable ids, not canonical).
     assign: Vec<usize>,
     blocks: Blocks,
@@ -951,6 +987,7 @@ impl<'a> WorklistRefiner<'a> {
             row_index,
             node_work,
             preds: None,
+            shared_preds: None,
             assign,
             blocks,
             round: RoundScratch { table, ..RoundScratch::default() },
@@ -971,36 +1008,41 @@ impl<'a> WorklistRefiner<'a> {
         }
     }
 
-    /// Builds the combined reverse CSR on first use: every edge bucketed
-    /// by target, all relations together (the dirty set only needs "who
-    /// can see `w`", not under which relation).
+    /// Materialises the reverse adjacency on first use: either the
+    /// caller's shared combined store (if
+    /// [`Self::share_reverse_adjacency`] registered a source) or a
+    /// combined [`CscAdjacency`] over all relations built here (the
+    /// dirty set only needs "who can see `w`", not under which
+    /// relation).
     fn ensure_preds(&mut self) {
         if self.preds.is_none() {
-            let n = self.n;
-            let mut bounds = vec![0usize; n + 1];
-            for rel in &self.relations {
-                for &w in rel.targets {
-                    bounds[w as usize + 1] += 1;
-                }
-            }
-            for v in 0..n {
-                bounds[v + 1] += bounds[v];
-            }
-            let mut targets = vec![0u32; bounds[n]];
-            let mut cursor = bounds.clone();
-            for rel in &self.relations {
-                let mut row_start = rel.offsets[0];
-                for v in 0..n {
-                    let row_end = rel.offsets[v + 1];
-                    for &w in &rel.targets[row_start..row_end] {
-                        targets[cursor[w as usize]] = v as u32;
-                        cursor[w as usize] += 1;
-                    }
-                    row_start = row_end;
-                }
-            }
-            self.preds = Some((bounds, targets));
+            self.preds = Some(match self.shared_preds.take() {
+                Some(shared) => PredRows::Shared((shared.source)()),
+                None => PredRows::Owned(CscAdjacency::from_relations(self.n, &self.relations)),
+            });
         }
+    }
+
+    /// Registers a source for the **combined** reverse adjacency (the
+    /// union of all relations, as [`CscAdjacency::from_relations`]
+    /// builds it over the constructor's `relations` slice) to be used
+    /// instead of building one here. The source is consulted lazily —
+    /// only if a sparse round needs predecessors — so callers whose
+    /// store is itself lazily cached (the Kripke models' `OnceLock`
+    /// CSC) build the inverse at most once *across* refinement runs
+    /// and, on single-relation models, the model checker's reverse
+    /// diamond path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reverse adjacency was already built (call this
+    /// right after [`WorklistRefiner::new`], before any round).
+    pub fn share_reverse_adjacency(&mut self, source: impl Fn() -> &'a CscAdjacency + 'a) {
+        assert!(
+            self.preds.is_none(),
+            "share_reverse_adjacency must be called before the reverse adjacency is built"
+        );
+        self.shared_preds = Some(SharedPreds { source: Box::new(source) });
     }
 
     /// Forces every round's encode phase onto the worker pool regardless
@@ -1208,13 +1250,18 @@ impl<'a> WorklistRefiner<'a> {
             // deduplicated by epoch mark and sorted so encode order
             // (hence group order) is node order.
             self.ensure_preds();
-            let (bounds, targets) = self.preds.as_ref().expect("just built");
             self.epoch += 1;
+            let epoch = self.epoch;
+            let csc = match self.preds.as_ref().expect("just built") {
+                PredRows::Owned(csc) => csc,
+                PredRows::Shared(csc) => csc,
+            };
+            let (mark, dirty) = (&mut self.mark, &mut self.dirty);
             for &w in &self.moved {
-                for &p in &targets[bounds[w as usize]..bounds[w as usize + 1]] {
-                    if self.mark[p as usize] != self.epoch {
-                        self.mark[p as usize] = self.epoch;
-                        self.dirty.push(p);
+                for &p in csc.row(w as usize) {
+                    if mark[p as usize] != epoch {
+                        mark[p as usize] = epoch;
+                        dirty.push(p);
                     }
                 }
             }
@@ -1516,6 +1563,78 @@ mod tests {
             }
             assert_eq!(seq.stats().encoded, par.stats().encoded);
         }
+    }
+
+    #[test]
+    fn worklist_shared_reverse_adjacency_matches_owned_build() {
+        // Splitting the path relation into two half-relations and
+        // handing a caller-built combined CSC store to the refiner
+        // must reproduce the owned build's levels exactly, invoking
+        // the source lazily (at most once).
+        let n = 40;
+        let (offsets, targets) = path_csr(n);
+        // Two relations: forward edges (v → v+1) and backward edges.
+        let mut fwd_off = vec![0usize; n + 1];
+        let mut fwd = Vec::new();
+        let mut bwd_off = vec![0usize; n + 1];
+        let mut bwd = Vec::new();
+        for v in 0..n {
+            if v + 1 < n {
+                fwd.push(v as u32 + 1);
+            }
+            fwd_off[v + 1] = fwd.len();
+            if v > 0 {
+                bwd.push(v as u32 - 1);
+            }
+            bwd_off[v + 1] = bwd.len();
+        }
+        let rels = [
+            RelationCsr { offsets: &fwd_off, targets: &fwd },
+            RelationCsr { offsets: &bwd_off, targets: &bwd },
+        ];
+        let store = CscAdjacency::from_relations(n, &rels);
+        let calls = std::cell::Cell::new(0usize);
+        let mut owned = WorklistRefiner::new(n, &rels, Counting::Multiset, path_degrees(n));
+        let mut shared = WorklistRefiner::new(n, &rels, Counting::Multiset, path_degrees(n));
+        shared.share_reverse_adjacency(|| {
+            calls.set(calls.get() + 1);
+            &store
+        });
+        let (mut lo, mut ls) = (Vec::new(), Vec::new());
+        loop {
+            let (co, cs) = (owned.round(), shared.round());
+            assert_eq!(co, cs, "round outcomes diverged");
+            owned.canonical_level_into(&mut lo);
+            shared.canonical_level_into(&mut ls);
+            assert_eq!(lo, ls, "levels diverged at round {}", owned.stats().rounds);
+            if !co {
+                break;
+            }
+        }
+        assert_eq!(owned.stats(), shared.stats());
+        assert_eq!(calls.get(), 1, "the shared source is consulted exactly once");
+        // The path relation itself inverts back to the adjacency.
+        let csc = CscAdjacency::from_csr(n, &offsets, &targets);
+        for w in 0..n {
+            let mut expect: Vec<u32> = Vec::new();
+            if w > 0 {
+                expect.push(w as u32 - 1);
+            }
+            if w + 1 < n {
+                expect.push(w as u32 + 1);
+            }
+            assert_eq!(csc.row(w), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn env_knobs_parse_or_panic() {
+        // CI's knob matrix relies on unknown values failing loudly at
+        // first use: force both parsers to run under whatever this
+        // process's environment carries, so a typo in a matrix entry
+        // fails the suite here instead of silently testing the default.
+        let _ = threads_for(0);
+        let _ = refine_engine_choice();
     }
 
     #[test]

@@ -340,6 +340,13 @@ fn refine_worklist(
         style.counting(),
         (0..n).map(|v| model.degree(v) as u64),
     );
+    // Dirty propagation runs on the model's cached combined CSC store
+    // ([`Kripke::combined_predecessors_csc`]) instead of a private
+    // per-refiner reverse CSR — still lazy (fast-stabilising models
+    // build nothing), amortised across refinement runs, and on
+    // single-relation models literally the same store as the
+    // evaluator's CSC diamond path.
+    refiner.share_reverse_adjacency(|| model.combined_predecessors_csc());
     refiner.force_parallel(force_parallel);
 
     let mut level = Vec::new();

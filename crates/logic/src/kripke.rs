@@ -38,16 +38,31 @@
 //!
 //! The forward CSR answers "successors of `v`" in O(row); the packed
 //! model checker's reverse diamond path also needs "predecessors of
-//! `w`" as *bit rows*, so `⟨α⟩φ` can be computed as a union of whole
-//! predecessor rows over `iter_ones(‖φ‖)`. [`Kripke::predecessor_rows`]
-//! materialises one [`BitMatrix`] per relation — n² bits, so only worth
-//! it for relations the evaluator actually drives in reverse — lazily
-//! and at most once per relation (a `OnceLock` per relation; the cache
-//! is ignored by `PartialEq` and survives `clone`).
+//! `w`", in two interchangeable shapes:
+//!
+//! * **Dense bit rows** — [`Kripke::predecessor_rows`] materialises one
+//!   [`BitMatrix`] per relation, so `⟨α⟩φ` is a union of whole
+//!   predecessor rows over `iter_ones(‖φ‖)`. n² bits, so only viable
+//!   under the evaluator's word cap
+//!   ([`REVERSE_WORD_CAP`](crate::plan::REVERSE_WORD_CAP)).
+//! * **CSC lists** — [`Kripke::predecessors_csc`] inverts the forward
+//!   CSR into a per-relation [`CscAdjacency`] (reverse CSR): `O(n +
+//!   edges)` memory at any scale, so the reverse diamond path — and
+//!   graded counting — stays open on huge sparse models where the
+//!   dense matrix is out of reach. The same store drives the worklist
+//!   refinement engine's dirty propagation
+//!   ([`portnum_graph::partition::WorklistRefiner::share_reverse_adjacency`]),
+//!   so the inverse is built at most once per relation *across* the
+//!   evaluator and the refiner.
+//!
+//! Both caches are lazy and built at most once per relation (a
+//! `OnceLock` per relation; ignored by `PartialEq`, carried along by
+//! `clone`).
 
 use crate::error::LogicError;
 use crate::formula::{IndexFamily, ModalIndex};
 use portnum_graph::bitset::BitMatrix;
+use portnum_graph::csc::CscAdjacency;
 use portnum_graph::partition::RelationCsr;
 use portnum_graph::{Graph, Port, PortNumbering};
 use std::collections::BTreeMap;
@@ -140,6 +155,15 @@ pub struct Kripke {
     /// Lazily-built predecessor bit rows, parallel to `relations`.
     /// Derived data: excluded from equality, cloned along with the model.
     reverse: Vec<OnceLock<BitMatrix>>,
+    /// Lazily-built CSC (reverse CSR) predecessor lists, parallel to
+    /// `relations` — the sparse counterpart of `reverse`, usable at any
+    /// model size. Derived data, like `reverse`.
+    reverse_csc: Vec<OnceLock<CscAdjacency>>,
+    /// Lazily-built CSC over the union of **all** relations — the shape
+    /// the worklist refiner's dirty propagation wants on multi-relation
+    /// models (single-relation models reuse `reverse_csc[0]` instead).
+    /// Derived data, like `reverse`.
+    reverse_csc_combined: OnceLock<CscAdjacency>,
     empty: Vec<u32>,
 }
 
@@ -175,7 +199,17 @@ impl Kripke {
             relations.push(CsrRelation::from_pairs(n, &pairs));
         }
         let reverse = (0..relations.len()).map(|_| OnceLock::new()).collect();
-        Kripke { variant, degree, index_keys, relations, reverse, empty: Vec::new() }
+        let reverse_csc = (0..relations.len()).map(|_| OnceLock::new()).collect();
+        Kripke {
+            variant,
+            degree,
+            index_keys,
+            relations,
+            reverse,
+            reverse_csc,
+            reverse_csc_combined: OnceLock::new(),
+            empty: Vec::new(),
+        }
     }
 
     fn from_ports(
@@ -399,6 +433,52 @@ impl Kripke {
         self.len() * self.len().div_ceil(64)
     }
 
+    /// The CSC (reverse CSR) predecessor lists of dense relation `r`:
+    /// `row(w)` is the list `{ v : w ∈ successors(v) }`, one entry per
+    /// stored edge, sorted ascending.
+    ///
+    /// The sparse counterpart of [`Kripke::predecessor_rows`]: `O(n +
+    /// edges)` memory instead of n² bits, so the evaluator's reverse
+    /// diamond path (the CSC gather, including graded counting) works
+    /// at **any** model size — this is what keeps reverse evaluation
+    /// reachable beyond [`REVERSE_WORD_CAP`](crate::plan::REVERSE_WORD_CAP).
+    /// Built lazily from the forward CSR on first call and cached for
+    /// the lifetime of the model (a clone carries any already-built
+    /// stores). The worklist refinement engine shares this exact store
+    /// for its dirty-frontier propagation, so evaluator and refiner
+    /// build the inverse at most once between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.relation_count()`.
+    pub fn predecessors_csc(&self, r: usize) -> &CscAdjacency {
+        self.reverse_csc[r].get_or_init(|| {
+            let (offsets, targets) = self.relation_rows(r);
+            CscAdjacency::from_csr(self.len(), offsets, targets)
+        })
+    }
+
+    /// The CSC predecessor lists of the **union of all relations** —
+    /// "who can see `w` under any modality", the shape the worklist
+    /// refinement engine's dirty propagation consumes
+    /// ([`portnum_graph::partition::WorklistRefiner::share_reverse_adjacency`]).
+    ///
+    /// Lazy and cached like [`Kripke::predecessors_csc`]; on
+    /// single-relation models (`K₋,₋`, 1-relation customs — exactly the
+    /// models that get huge) it *is* the per-relation store, so the
+    /// refiner and the evaluator's reverse diamonds share one build.
+    /// Multi-relation models keep a separate combined store (one row
+    /// lookup per moved world beats per-relation probing when `K₊,₊`
+    /// carries O(Δ²) mostly-empty relations), amortised across every
+    /// refinement run on the model.
+    pub fn combined_predecessors_csc(&self) -> &CscAdjacency {
+        if self.relation_count() == 1 {
+            return self.predecessors_csc(0);
+        }
+        self.reverse_csc_combined
+            .get_or_init(|| CscAdjacency::from_relations(self.len(), &self.relations_csr()))
+    }
+
     /// Disjoint union with another model of the same variant; worlds of
     /// `other` are shifted by `self.len()`.
     ///
@@ -452,7 +532,17 @@ impl Kripke {
             }
         }
         let reverse = (0..relations.len()).map(|_| OnceLock::new()).collect();
-        Kripke { variant: self.variant, degree, index_keys, relations, reverse, empty: Vec::new() }
+        let reverse_csc = (0..relations.len()).map(|_| OnceLock::new()).collect();
+        Kripke {
+            variant: self.variant,
+            degree,
+            index_keys,
+            relations,
+            reverse,
+            reverse_csc,
+            reverse_csc_combined: OnceLock::new(),
+            empty: Vec::new(),
+        }
     }
 
     /// A CSR relation over `n` worlds holding `left`'s rows for worlds
@@ -622,6 +712,65 @@ mod tests {
             assert_eq!(copy, k);
             assert_eq!(copy.predecessor_rows(0), k.predecessor_rows(0));
         }
+    }
+
+    #[test]
+    fn csc_rows_invert_the_forward_csr() {
+        // Mirror of `predecessor_rows_invert_the_forward_csr` for the
+        // sparse store: csc.row(w) is exactly { v : w ∈ succ(v) },
+        // sorted ascending, with one entry per stored edge.
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        for k in [Kripke::k_pp(&g, &p), Kripke::k_mp(&g, &p), Kripke::k_mm(&g)] {
+            for r in 0..k.relation_count() {
+                let csc = k.predecessors_csc(r);
+                assert_eq!(csc.node_count(), k.len());
+                let dense = k.predecessor_rows(r);
+                for w in 0..k.len() {
+                    let mut expect: Vec<u32> = Vec::new();
+                    for v in 0..k.len() {
+                        let copies =
+                            k.successors_dense(r, v).iter().filter(|&&t| t as usize == w).count();
+                        expect.extend(std::iter::repeat_n(v as u32, copies));
+                    }
+                    assert_eq!(csc.row(w), expect.as_slice(), "relation {r}, world {w}");
+                    assert_eq!(csc.row_len(w), expect.len());
+                    // CSC and dense rows describe the same predecessor
+                    // set (dense collapses multiplicities).
+                    for v in 0..k.len() {
+                        assert_eq!(dense.get(w, v), expect.contains(&(v as u32)));
+                    }
+                }
+            }
+            // The cache survives cloning and does not affect equality.
+            let copy = k.clone();
+            assert_eq!(copy, k);
+            assert_eq!(copy.predecessors_csc(0), k.predecessors_csc(0));
+        }
+    }
+
+    #[test]
+    fn combined_csc_unions_all_relations() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        // Single-relation models share one store between the refiner's
+        // combined view and the evaluator's per-relation view.
+        let mm = Kripke::k_mm(&g);
+        assert!(std::ptr::eq(mm.combined_predecessors_csc(), mm.predecessors_csc(0)));
+        // Multi-relation models: the combined row of `w` is the
+        // concatenation of its per-relation rows (relation-major).
+        let pp = Kripke::k_pp(&g, &p);
+        assert!(pp.relation_count() > 1);
+        let combined = pp.combined_predecessors_csc();
+        for w in 0..pp.len() {
+            let expect: Vec<u32> = (0..pp.relation_count())
+                .flat_map(|r| pp.predecessors_csc(r).row(w).to_vec())
+                .collect();
+            assert_eq!(combined.row(w), expect.as_slice(), "world {w}");
+        }
+        let total: usize =
+            (0..pp.relation_count()).map(|r| pp.predecessors_csc(r).entry_count()).sum();
+        assert_eq!(combined.entry_count(), total);
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //!
 //! # Diamond strategies
 //!
-//! Diamond instructions have two implementations, chosen per
+//! Diamond instructions have **three** implementations, chosen per
 //! instruction at execution time ([`DiamondMode::Auto`]):
 //!
 //! * **forward** — walk the relation's CSR successor rows testing bits
@@ -49,18 +49,35 @@
 //!   strategy; cost ≈ worlds + stored successor pairs — the
 //!   `assign_from_fn` sweep visits every world even when its row is
 //!   empty);
-//! * **reverse** — union the relation's predecessor bit rows
+//! * **dense reverse** — union the relation's predecessor bit rows
 //!   ([`Kripke::predecessor_rows`]) over `iter_ones(‖φ‖)`; cost ≈
-//!   `|‖φ‖| × n/64` word ORs, a large win when `‖φ‖` is sparse.
+//!   `|‖φ‖| × n/64` word ORs, a large win when `‖φ‖` is sparse. Only
+//!   legal for grade-1 diamonds on models whose n²-bit predecessor
+//!   matrix fits under [`REVERSE_WORD_CAP`];
+//! * **CSC gather** — walk the relation's CSC predecessor lists
+//!   ([`Kripke::predecessors_csc`]) over `iter_ones(‖φ‖)`: `out ∪=
+//!   preds(u)` for grade 1, a counting scatter for grade ≥ 2. Cost ≈
+//!   the predecessor entries of the satisfying worlds; `O(n + edges)`
+//!   storage, so it is legal at **any** model size and any grade — the
+//!   path that keeps reverse evaluation reachable on huge sparse
+//!   models beyond the dense cap.
 //!
-//! Reverse is only considered for grade-1 diamonds (the graded case
-//! falls back to forward counting), only when the predecessor matrix
-//! fits under [`REVERSE_WORD_CAP`], and under [`DiamondMode::Auto`]
-//! only when `count_ones(‖φ‖) × row_words < successor pairs + worlds`,
-//! i.e. when the row unions beat the full CSR sweep *including* its
-//! per-world cost. (Comparing against the pair count alone was a bug:
-//! a sparse relation over a large universe made the forward walk look
-//! free when its `O(n)` sweep dominated.)
+//! Under [`DiamondMode::Auto`] the three are compared by a measured
+//! cost model (in the shared "entry ops" currency):
+//!
+//! * forward: `targets + n` (the sweep visits every world, empty row
+//!   or not — comparing against the pair count alone was a bug: a
+//!   sparse relation over a large universe made the forward walk look
+//!   free when its `O(n)` sweep dominated);
+//! * dense reverse: `|‖φ‖| × row_words`, `∞` when illegal;
+//! * CSC: `|‖φ‖| + Σ_{u ∈ ‖φ‖} |preds(u)|`, plus `n/64` (zeroing) for
+//!   grade 1 or `n` (the counts array) for graded — graded diamonds
+//!   are costed via actual CSC row lengths instead of being forced
+//!   forward.
+//!
+//! Ties break toward forward, then dense. The `PORTNUM_REVERSE`
+//! environment variable ([`reverse_override`]) pins Auto's choice for
+//! CI (`csc` / `dense` / `off`); explicit modes are never overridden.
 //!
 //! # Parallel execution
 //!
@@ -98,32 +115,100 @@ use crate::error::LogicError;
 use crate::formula::{Formula, FormulaKind};
 use crate::kripke::Kripke;
 use portnum_graph::bitset::{fill_words_from_fn, Bitset};
+use portnum_graph::csc::CscAdjacency;
 use portnum_graph::partition::{encode_threads, quantile_ranges, threads_for, FxHashMap};
 use portnum_graph::pool::WorkerPool;
 use std::ops::Range;
 use std::rc::Rc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Strategy selection for diamond instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DiamondMode {
-    /// Choose per instruction by the cost heuristic (the default).
+    /// Choose per instruction by the three-way cost model (the
+    /// default). Overridable process-wide via `PORTNUM_REVERSE` — see
+    /// [`reverse_override`].
     #[default]
     Auto,
     /// Always walk the forward CSR rows.
     Forward,
-    /// Use predecessor rows whenever legal: grade 1 **and** the
-    /// predecessor matrix under [`REVERSE_WORD_CAP`]. Graded diamonds
-    /// and over-cap models still fall back to forward counting — check
-    /// [`ExecStats::reverse_diamonds`] when pinning this mode for a
-    /// measurement.
+    /// Evaluate through predecessors, picking the denser store when
+    /// legal: the [`BitMatrix`](portnum_graph::bitset::BitMatrix) rows
+    /// for grade-1 diamonds on models under [`REVERSE_WORD_CAP`], the
+    /// CSC gather everywhere else (graded diamonds, over-cap models) —
+    /// the forward sweep is never taken. Check
+    /// [`ExecStats::reverse_diamonds`] / [`ExecStats::csc_diamonds`]
+    /// when pinning this mode for a measurement.
     Reverse,
+    /// Always use the CSC gather ([`Kripke::predecessors_csc`]), any
+    /// grade, any model size.
+    Csc,
 }
 
 /// Predecessor matrices larger than this many `u64` words (16 MiB) are
-/// never built by the evaluator — beyond it the n²-bit reverse storage
-/// stops paying for itself against the O(edges) forward sweep.
+/// never built by the evaluator — beyond it the n²-bit dense reverse
+/// storage stops paying for itself and the reverse diamond path runs
+/// on the `O(n + edges)` CSC store instead ([`DiamondMode::Csc`]'s
+/// implementation, which the cost model and [`DiamondMode::Reverse`]
+/// fall through to).
 pub const REVERSE_WORD_CAP: usize = 1 << 21;
+
+/// The effective dense cap, overridable for tests (differential suites
+/// shrink it so small proptest models exercise the over-cap CSC path).
+static REVERSE_WORD_CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(REVERSE_WORD_CAP);
+
+fn reverse_word_cap() -> usize {
+    REVERSE_WORD_CAP_OVERRIDE.load(Ordering::Relaxed)
+}
+
+/// Shrinks (or restores) the dense predecessor-matrix cap for this
+/// process. Test-only: lets differential suites push proptest-sized
+/// models above the cap so the CSC path actually fires. Affects every
+/// subsequent `Auto`/`Reverse` strategy choice in the process — do not
+/// mix with tests that pin strategy *counts* under the default cap in
+/// the same binary.
+#[doc(hidden)]
+pub fn set_reverse_word_cap_for_tests(words: usize) {
+    REVERSE_WORD_CAP_OVERRIDE.store(words, Ordering::Relaxed);
+}
+
+/// How the `PORTNUM_REVERSE` environment variable pins
+/// [`DiamondMode::Auto`]'s strategy choice, parsed once per process by
+/// [`reverse_override`]. Explicit modes (`Forward` / `Reverse` /
+/// `Csc`) are never overridden — the knob exists so CI can drive the
+/// whole default-mode suite down one reverse implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReverseOverride {
+    /// No override: `Auto` uses the cost model (the default).
+    Auto,
+    /// `Auto` never takes a reverse path (every diamond forward).
+    Off,
+    /// `Auto` takes the dense [`BitMatrix`] rows whenever legal
+    /// (grade 1, under the cap), forward otherwise.
+    ///
+    /// [`BitMatrix`]: portnum_graph::bitset::BitMatrix
+    Dense,
+    /// `Auto` evaluates every diamond through the CSC gather.
+    Csc,
+}
+
+/// How `PORTNUM_REVERSE` pins the `Auto` diamond strategy: `csc`,
+/// `dense`, `off`, or `auto` (default). Parsed once per process; like
+/// `PORTNUM_POOL` and `PORTNUM_REFINE`, an unrecognised value panics —
+/// a CI job pinning one implementation must not silently run another.
+pub fn reverse_override() -> ReverseOverride {
+    static MODE: OnceLock<ReverseOverride> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("PORTNUM_REVERSE").as_deref() {
+        Ok("csc") => ReverseOverride::Csc,
+        Ok("dense") => ReverseOverride::Dense,
+        Ok("off") => ReverseOverride::Off,
+        Ok("auto") | Err(_) => ReverseOverride::Auto,
+        Ok(other) => {
+            panic!("unrecognised PORTNUM_REVERSE value {other:?} (use csc, dense, off, or auto)")
+        }
+    })
+}
 
 /// One plan instruction; operands are earlier instruction ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,8 +263,13 @@ pub struct ExecStats {
     pub executed: usize,
     /// Diamonds evaluated by the forward CSR walk.
     pub forward_diamonds: usize,
-    /// Diamonds evaluated by predecessor-row unions.
+    /// Diamonds evaluated by dense predecessor-row unions
+    /// ([`Kripke::predecessor_rows`]).
     pub reverse_diamonds: usize,
+    /// Diamonds evaluated by the CSC predecessor gather
+    /// ([`Kripke::predecessors_csc`]) — the reverse path that works
+    /// beyond [`REVERSE_WORD_CAP`] and for graded diamonds.
+    pub csc_diamonds: usize,
     /// Instructions whose per-world loop was split into pool chunks
     /// (world-range splits for `Prop`/forward diamonds, `iter_ones`
     /// splits for reverse diamonds).
@@ -195,6 +285,7 @@ impl ExecStats {
         self.executed += other.executed;
         self.forward_diamonds += other.forward_diamonds;
         self.reverse_diamonds += other.reverse_diamonds;
+        self.csc_diamonds += other.csc_diamonds;
         self.chunked_ops += other.chunked_ops;
         self.level_parallel_ops += other.level_parallel_ops;
     }
@@ -762,39 +853,141 @@ fn eval_op_into<'a>(
     }
 }
 
-/// Whether a diamond should run on the reverse predecessor-row path —
-/// the one decision point shared by the sequential and chunked diamond
+/// The three diamond implementations (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiamondImpl {
+    Forward,
+    Dense,
+    Csc,
+}
+
+/// Picks the implementation of one diamond instruction — the single
+/// decision point shared by the sequential and chunked diamond
 /// evaluators, so a parallel run can never pick a different strategy
 /// (and therefore different stats) than a sequential one.
 ///
-/// The `Auto` cost model compares the reverse cost (`|‖φ‖| ×
-/// row_words` word ORs) against the forward walk's **full** cost:
-/// `targets.len() + n`, because `assign_from_fn` visits every world
-/// even when its CSR row is empty. Comparing against `targets.len()`
-/// alone made sparse relations over large universes wrongly pick the
-/// forward path.
-fn use_reverse(
+/// The `Auto` cost model compares, in "entry ops":
+///
+/// * forward: `targets.len() + n` — the `assign_from_fn` sweep visits
+///   every world even when its CSR row is empty (comparing against
+///   `targets.len()` alone once made sparse relations over large
+///   universes wrongly pick the forward path);
+/// * dense reverse: `|‖φ‖| × row_words` word ORs, legal only for
+///   grade 1 under the dense cap;
+/// * CSC gather: `|‖φ‖|` row lookups plus the *actual* predecessor
+///   entries of the satisfying worlds (read off the CSC bounds — this
+///   is why the store is built before costing), plus `n/64` for the
+///   grade-1 zeroing or `n` for the graded counts array.
+///
+/// Ties break toward forward, then dense. `PORTNUM_REVERSE` pins the
+/// `Auto` arm (see [`reverse_override`]); explicit modes are taken
+/// verbatim.
+fn diamond_impl(
     model: &Kripke,
     mode: DiamondMode,
+    rel: usize,
     grade: usize,
     sat: &Bitset,
     targets_len: usize,
-) -> bool {
-    grade == 1
-        && model.predecessor_matrix_words() <= REVERSE_WORD_CAP
-        && match mode {
-            DiamondMode::Forward => false,
-            DiamondMode::Reverse => true,
-            DiamondMode::Auto => {
-                sat.count_ones() * sat.words().len() < targets_len + model.len()
+) -> DiamondImpl {
+    let dense_legal = grade == 1 && model.predecessor_matrix_words() <= reverse_word_cap();
+    match mode {
+        DiamondMode::Forward => DiamondImpl::Forward,
+        DiamondMode::Csc => DiamondImpl::Csc,
+        DiamondMode::Reverse => {
+            if dense_legal {
+                DiamondImpl::Dense
+            } else {
+                DiamondImpl::Csc
             }
         }
+        DiamondMode::Auto => match reverse_override() {
+            ReverseOverride::Off => DiamondImpl::Forward,
+            ReverseOverride::Csc => DiamondImpl::Csc,
+            ReverseOverride::Dense => {
+                if dense_legal {
+                    DiamondImpl::Dense
+                } else {
+                    DiamondImpl::Forward
+                }
+            }
+            ReverseOverride::Auto => {
+                let n = model.len();
+                let ones = sat.count_ones();
+                let forward_cost = targets_len + n;
+                let dense_cost = if dense_legal {
+                    ones * sat.words().len()
+                } else {
+                    usize::MAX
+                };
+                // CSC cost: the fixed part (row lookups + zeroing or
+                // the counts array) plus the actual predecessor
+                // entries of the satisfying worlds. The summation
+                // stops — and the store is not even built — once the
+                // running cost reaches the cheaper alternative: past
+                // that point the winner cannot change, and a near-full
+                // ‖φ‖ would otherwise pay O(|‖φ‖|) lookups per
+                // execution just to re-learn that forward wins.
+                let budget = forward_cost.min(dense_cost);
+                let mut csc_cost = ones + if grade == 1 { n / 64 } else { n };
+                if csc_cost < budget {
+                    let csc = model.predecessors_csc(rel);
+                    for u in sat.iter_ones() {
+                        csc_cost += csc.row_len(u);
+                        if csc_cost >= budget {
+                            break;
+                        }
+                    }
+                }
+                if forward_cost <= dense_cost && forward_cost <= csc_cost {
+                    DiamondImpl::Forward
+                } else if dense_cost <= csc_cost {
+                    DiamondImpl::Dense
+                } else {
+                    DiamondImpl::Csc
+                }
+            }
+        },
+    }
+}
+
+/// The CSC gather: `⟨α⟩≥g φ` computed from the predecessor lists of
+/// the worlds satisfying `φ`. Grade 1 unions rows bit by bit; grade
+/// ≥ 2 scatter-counts into a per-world array, inserting a world the
+/// moment its count reaches the grade (duplicate stored edges count
+/// once each, matching the forward walk's semantics).
+fn csc_gather_into(
+    csc: &CscAdjacency,
+    grade: usize,
+    sat: &Bitset,
+    n: usize,
+    out: &mut Bitset,
+) {
+    out.assign_zeros(n);
+    if grade == 1 {
+        for u in sat.iter_ones() {
+            for &v in csc.row(u) {
+                out.insert(v as usize);
+            }
+        }
+    } else {
+        let mut counts = vec![0u32; n];
+        for u in sat.iter_ones() {
+            for &v in csc.row(u) {
+                let c = &mut counts[v as usize];
+                *c += 1;
+                if *c as usize == grade {
+                    out.insert(v as usize);
+                }
+            }
+        }
+    }
 }
 
 /// Evaluates one diamond instruction into `out`, choosing the forward
-/// CSR walk or the reverse predecessor-row union per the mode and the
-/// cost heuristic (see [`use_reverse`]). Shared by [`Plan`] and
-/// [`ModelChecker`].
+/// CSR walk, the dense predecessor-row union, or the CSC gather per
+/// the mode and the cost model (see [`diamond_impl`]). Shared by
+/// [`Plan`] and [`ModelChecker`].
 fn diamond_into(
     model: &Kripke,
     mode: DiamondMode,
@@ -806,36 +999,43 @@ fn diamond_into(
 ) {
     let n = model.len();
     let (offsets, targets) = model.relation_rows(rel);
-    if use_reverse(model, mode, grade, sat, targets.len()) {
-        stats.reverse_diamonds += 1;
-        let pred = model.predecessor_rows(rel);
-        out.assign_zeros(n);
-        for w in sat.iter_ones() {
-            out.or_words(pred.row(w));
+    match diamond_impl(model, mode, rel, grade, sat, targets.len()) {
+        DiamondImpl::Dense => {
+            stats.reverse_diamonds += 1;
+            let pred = model.predecessor_rows(rel);
+            out.assign_zeros(n);
+            for w in sat.iter_ones() {
+                out.or_words(pred.row(w));
+            }
         }
-    } else {
-        stats.forward_diamonds += 1;
-        let sat_words = sat.words();
-        let test = |w: u32| sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1;
-        // The closure threads a CSR cursor through `assign_from_fn`,
-        // leaning on its exactly-once-in-order invocation contract;
-        // the debug_assert trips immediately if a schedule change
-        // (e.g. a buggy world-range split) ever violates it.
-        let mut start = offsets[0];
-        out.assign_from_fn(n, |v| {
-            debug_assert_eq!(start, offsets[v], "assign_from_fn must visit worlds in order");
-            let end = offsets[v + 1];
-            let row = &targets[start..end];
-            start = end;
-            let mut count = 0usize;
-            // Early-exit once the grade is met (for grade 1 — the
-            // common case — this stops at the first satisfying
-            // successor).
-            row.iter().any(|&w| {
-                count += test(w) as usize;
-                count >= grade
-            })
-        });
+        DiamondImpl::Csc => {
+            stats.csc_diamonds += 1;
+            csc_gather_into(model.predecessors_csc(rel), grade, sat, n, out);
+        }
+        DiamondImpl::Forward => {
+            stats.forward_diamonds += 1;
+            let sat_words = sat.words();
+            let test = |w: u32| sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1;
+            // The closure threads a CSR cursor through `assign_from_fn`,
+            // leaning on its exactly-once-in-order invocation contract;
+            // the debug_assert trips immediately if a schedule change
+            // (e.g. a buggy world-range split) ever violates it.
+            let mut start = offsets[0];
+            out.assign_from_fn(n, |v| {
+                debug_assert_eq!(start, offsets[v], "assign_from_fn must visit worlds in order");
+                let end = offsets[v + 1];
+                let row = &targets[start..end];
+                start = end;
+                let mut count = 0usize;
+                // Early-exit once the grade is met (for grade 1 — the
+                // common case — this stops at the first satisfying
+                // successor).
+                row.iter().any(|&w| {
+                    count += test(w) as usize;
+                    count >= grade
+                })
+            });
+        }
     }
 }
 
@@ -896,55 +1096,70 @@ fn eval_op_chunked<'a>(
         Op::Diamond { rel, grade, inner } => {
             let sat = operand(inner);
             let (offsets, targets) = model.relation_rows(rel as usize);
-            if use_reverse(model, mode, grade, sat, targets.len()) {
-                stats.reverse_diamonds += 1;
-                stats.chunked_ops +=
-                    reverse_diamond_chunked(model, rel as usize, sat, out, threads) as usize;
-            } else {
-                stats.forward_diamonds += 1;
-                let sat_words = sat.words();
-                // Per-world forward work = the CSR row plus the visit
-                // itself, so the cumulative work at world v is
-                // offsets[v] + v.
-                let ranges = quantile_ranges(n, threads, 64, |v| offsets[v] + v);
-                stats.chunked_ops += (ranges.len() > 1) as usize;
-                par_fill(out, n, &ranges, &|range, words| {
-                    // Per-chunk CSR cursor, re-derived from the chunk
-                    // start — the pattern `assign_from_fn`'s contract
-                    // demands for range splits.
-                    let mut start = offsets[range.start];
-                    fill_words_from_fn(words, range, |v| {
-                        debug_assert_eq!(start, offsets[v]);
-                        let end = offsets[v + 1];
-                        let row = &targets[start..end];
-                        start = end;
-                        let mut count = 0usize;
-                        row.iter().any(|&w| {
-                            count += (sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1) as usize;
-                            count >= grade
-                        })
+            match diamond_impl(model, mode, rel as usize, grade, sat, targets.len()) {
+                DiamondImpl::Dense => {
+                    stats.reverse_diamonds += 1;
+                    stats.chunked_ops +=
+                        reverse_diamond_chunked(model, rel as usize, sat, out, threads) as usize;
+                }
+                DiamondImpl::Csc => {
+                    stats.csc_diamonds += 1;
+                    stats.chunked_ops += csc_diamond_chunked(
+                        model,
+                        rel as usize,
+                        grade,
+                        sat,
+                        out,
+                        threads,
+                    ) as usize;
+                }
+                DiamondImpl::Forward => {
+                    stats.forward_diamonds += 1;
+                    let sat_words = sat.words();
+                    // Per-world forward work = the CSR row plus the
+                    // visit itself, so the cumulative work at world v
+                    // is offsets[v] + v.
+                    let ranges = quantile_ranges(n, threads, 64, |v| offsets[v] + v);
+                    stats.chunked_ops += (ranges.len() > 1) as usize;
+                    par_fill(out, n, &ranges, &|range, words| {
+                        // Per-chunk CSR cursor, re-derived from the
+                        // chunk start — the pattern `assign_from_fn`'s
+                        // contract demands for range splits.
+                        let mut start = offsets[range.start];
+                        fill_words_from_fn(words, range, |v| {
+                            debug_assert_eq!(start, offsets[v]);
+                            let end = offsets[v + 1];
+                            let row = &targets[start..end];
+                            start = end;
+                            let mut count = 0usize;
+                            row.iter().any(|&w| {
+                                count +=
+                                    (sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1) as usize;
+                                count >= grade
+                            })
+                        });
                     });
-                });
+                }
             }
         }
         _ => unreachable!("only Prop and Diamond instructions are chunked"),
     }
 }
 
-/// Reverse diamond over the pool: `iter_ones(‖φ‖)` is split at word
-/// boundaries balanced by popcount, each chunk unions its predecessor
-/// rows into a private partial, and the partials are OR-merged (in
-/// chunk order — though OR makes any order bit-identical). Returns
-/// whether the work was actually split (false on empty or
-/// single-chunk sets, which run inline).
-fn reverse_diamond_chunked(
-    model: &Kripke,
-    rel: usize,
+/// The shared pool scaffold of both reverse diamond paths:
+/// `iter_ones(‖φ‖)` is split at word boundaries balanced by popcount,
+/// each chunk runs `gather(world, partial)` for its satisfying worlds
+/// into a private partial `Bitset`, and the partials are OR-merged (in
+/// chunk order — though OR makes any order bit-identical). Empty or
+/// single-chunk sets run inline into `out`. Returns whether the work
+/// was actually split.
+fn gather_ones_chunked(
+    n: usize,
     sat: &Bitset,
-    out: &mut Bitset,
     threads: usize,
+    out: &mut Bitset,
+    gather: &(dyn Fn(usize, &mut Bitset) + Sync),
 ) -> bool {
-    let n = model.len();
     let sat_words = sat.words();
     // Popcount prefix over sat's words, the work array of the quantile
     // split (universe = word indices, not worlds).
@@ -954,37 +1169,76 @@ fn reverse_diamond_chunked(
     for (i, &w) in sat_words.iter().enumerate() {
         ones_prefix.push(ones_prefix[i] + w.count_ones() as usize);
     }
-    if ones_prefix[wn] == 0 {
-        out.assign_zeros(n);
-        return false;
-    }
-    let pred = model.predecessor_rows(rel);
-    let ranges = quantile_ranges(wn, threads, 1, |i| ones_prefix[i]);
+    let ranges = if ones_prefix[wn] == 0 {
+        Vec::new()
+    } else {
+        quantile_ranges(wn, threads, 1, |i| ones_prefix[i])
+    };
     if ranges.len() <= 1 {
         out.assign_zeros(n);
         for w in sat.iter_ones() {
-            out.or_words(pred.row(w));
+            gather(w, out);
         }
         return false;
     }
     let partials: Vec<Mutex<Bitset>> =
         (0..ranges.len()).map(|_| Mutex::new(Bitset::zeros(n))).collect();
     WorkerPool::global().run(ranges.len(), &|i| {
-        let mut acc = partials[i].lock().expect("reverse chunk panicked");
+        let mut acc = partials[i].lock().expect("gather chunk panicked");
         for wi in ranges[i].clone() {
             let mut word = sat_words[wi];
             while word != 0 {
                 let w = wi * 64 + word.trailing_zeros() as usize;
-                acc.or_words(pred.row(w));
+                gather(w, &mut acc);
                 word &= word - 1;
             }
         }
     });
     out.assign_zeros(n);
     for partial in &partials {
-        out.or_assign(&partial.lock().expect("reverse chunk panicked"));
+        out.or_assign(&partial.lock().expect("gather chunk panicked"));
     }
     true
+}
+
+/// Dense reverse diamond over the pool: each satisfying world ORs its
+/// whole predecessor bit row into the chunk partial.
+fn reverse_diamond_chunked(
+    model: &Kripke,
+    rel: usize,
+    sat: &Bitset,
+    out: &mut Bitset,
+    threads: usize,
+) -> bool {
+    let pred = model.predecessor_rows(rel);
+    gather_ones_chunked(model.len(), sat, threads, out, &|w, acc| acc.or_words(pred.row(w)))
+}
+
+/// CSC diamond over the pool: each satisfying world inserts its CSC
+/// predecessor list into the chunk partial. Only grade-1 gathers split
+/// — graded counting needs one counts array across all satisfying
+/// worlds, so it runs inline (per-chunk counts would have to be
+/// summed, costing more than the gather saves). Returns whether the
+/// work was actually split.
+fn csc_diamond_chunked(
+    model: &Kripke,
+    rel: usize,
+    grade: usize,
+    sat: &Bitset,
+    out: &mut Bitset,
+    threads: usize,
+) -> bool {
+    let n = model.len();
+    let csc = model.predecessors_csc(rel);
+    if grade != 1 {
+        csc_gather_into(csc, grade, sat, n, out);
+        return false;
+    }
+    gather_ones_chunked(n, sat, threads, out, &|u, acc| {
+        for &v in csc.row(u) {
+            acc.insert(v as usize);
+        }
+    })
 }
 
 /// Cumulative statistics of a [`ModelChecker`].
@@ -1003,10 +1257,12 @@ pub struct CheckerStats {
     pub quotient_computed: usize,
     /// Lowered nodes resolved to an existing instruction.
     pub dedup_hits: usize,
-    /// Diamonds evaluated forward / in reverse.
+    /// Diamonds evaluated forward / dense-reverse / CSC-reverse.
     pub forward_diamonds: usize,
     /// See [`CheckerStats::forward_diamonds`].
     pub reverse_diamonds: usize,
+    /// See [`CheckerStats::forward_diamonds`].
+    pub csc_diamonds: usize,
 }
 
 /// A per-model evaluation cache: lowering state, computed truth
@@ -1176,6 +1432,7 @@ impl<'m> ModelChecker<'m> {
         self.quotient_computed += exec.executed;
         self.exec.forward_diamonds += exec.forward_diamonds;
         self.exec.reverse_diamonds += exec.reverse_diamonds;
+        self.exec.csc_diamonds += exec.csc_diamonds;
         let truth = truths.pop().expect("single root");
         Ok(Bitset::from_fn(map.len(), |v| truth.get(map[v])))
     }
@@ -1190,6 +1447,7 @@ impl<'m> ModelChecker<'m> {
             dedup_hits: self.lw.dedup_hits,
             forward_diamonds: self.exec.forward_diamonds,
             reverse_diamonds: self.exec.reverse_diamonds,
+            csc_diamonds: self.exec.csc_diamonds,
         }
     }
 }
@@ -1288,20 +1546,37 @@ mod tests {
             let plan = Plan::compile(&k, &f).unwrap();
             let (fwd, sf) = plan.execute_with(&k, DiamondMode::Forward);
             let (rev, sr) = plan.execute_with(&k, DiamondMode::Reverse);
+            let (csc, sc) = plan.execute_with(&k, DiamondMode::Csc);
             assert_eq!(fwd, rev);
-            assert_eq!(sf.reverse_diamonds, 0);
+            assert_eq!(fwd, csc);
+            assert_eq!(sf.reverse_diamonds + sf.csc_diamonds, 0);
             assert_eq!(sr.forward_diamonds, 0);
             assert!(sr.reverse_diamonds > 0);
+            assert_eq!(sc.forward_diamonds + sc.reverse_diamonds, 0);
+            assert!(sc.csc_diamonds > 0);
         }
     }
 
     #[test]
-    fn graded_diamonds_fall_back_to_forward() {
+    fn graded_diamonds_count_via_csc_under_reverse() {
+        // Dense bit rows cannot count, so a graded diamond pinned to
+        // the reverse path runs the CSC counting gather (before the
+        // CSC store existed it had to fall back to the forward walk).
         let k = Kripke::k_mm(&generators::star(4));
         let f = Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(1));
         let plan = Plan::compile(&k, &f).unwrap();
         let (mut out, stats) = plan.execute_with(&k, DiamondMode::Reverse);
-        assert_eq!(stats.forward_diamonds, 1, "graded must count forward");
+        assert_eq!(stats.csc_diamonds, 1, "graded reverse counts via CSC: {stats:?}");
+        assert_eq!(stats.forward_diamonds, 0);
+        assert_eq!(stats.reverse_diamonds, 0);
+        assert_eq!(out.pop().unwrap(), evaluate_packed_recursive(&k, &f).unwrap());
+        // Forward mode still takes the counting walk.
+        let (mut out, stats) = plan.execute_with(&k, DiamondMode::Forward);
+        assert_eq!(stats.forward_diamonds, 1);
+        assert_eq!(out.pop().unwrap(), evaluate_packed_recursive(&k, &f).unwrap());
+        // And the explicit CSC mode agrees, grade included.
+        let (mut out, stats) = plan.execute_with(&k, DiamondMode::Csc);
+        assert_eq!(stats.csc_diamonds, 1);
         assert_eq!(out.pop().unwrap(), evaluate_packed_recursive(&k, &f).unwrap());
     }
 
@@ -1445,29 +1720,111 @@ mod tests {
         Kripke::from_parts(crate::kripke::ModelVariant::MinusMinus, degree, relations).unwrap()
     }
 
+    /// Skips strategy-count pins when `PORTNUM_REVERSE` pins `Auto`
+    /// to one implementation (the CI matrix runs this suite under
+    /// every knob value; output equality is asserted elsewhere).
+    fn auto_is_unpinned() -> bool {
+        reverse_override() == ReverseOverride::Auto
+    }
+
     #[test]
     fn auto_cost_model_counts_the_full_forward_sweep() {
+        if !auto_is_unpinned() {
+            return;
+        }
         // Regression for the Auto crossover: the forward walk costs
         // n + targets.len() (assign_from_fn visits every world, empty
-        // row or not), so on this model reverse (4 ones × 10 row words
-        // = 40 word ORs) beats forward (640 + 20). The old comparison
-        // against targets.len() alone (40 < 20 — false) wrongly chose
-        // the forward path.
+        // row or not), so on this model a reverse path (4 satisfying
+        // worlds with 20 predecessor entries between them) beats
+        // forward (640 + 20). The old comparison against targets.len()
+        // alone wrongly chose the forward path. Under the three-way
+        // model the winner is the CSC gather (4 + 20 + 10 = 34 entry
+        // ops vs. 4 ones × 10 row words = 40 for the dense rows).
         let k = sparse_relation_model();
         let f = Formula::diamond(ModalIndex::Any, &Formula::prop(7));
         let plan = Plan::compile(&k, &f).unwrap();
         let (mut out, stats) = plan.execute_with(&k, DiamondMode::Auto);
-        assert_eq!(stats.reverse_diamonds, 1, "sparse relation must go reverse: {stats:?}");
+        assert_eq!(stats.csc_diamonds, 1, "sparse relation must go reverse via CSC: {stats:?}");
         assert_eq!(stats.forward_diamonds, 0);
         assert_eq!(out.pop().unwrap(), evaluate_packed_recursive(&k, &f).unwrap());
 
-        // Control: a dense inner set (⊤ holds everywhere, 640 ones ×
-        // 10 words = 6400 ≫ 660) still picks the forward walk.
+        // Control: a dense inner set (⊤ holds everywhere: CSC touches
+        // every stored edge plus every world, dense rows cost 640 ones
+        // × 10 words = 6400 ≫ 660) still picks the forward walk.
         let dense = Formula::diamond(ModalIndex::Any, &Formula::top());
         let plan = Plan::compile(&k, &dense).unwrap();
         let (_, stats) = plan.execute_with(&k, DiamondMode::Auto);
         assert_eq!(stats.forward_diamonds, 1, "dense inner must stay forward: {stats:?}");
-        assert_eq!(stats.reverse_diamonds, 0);
+        assert_eq!(stats.reverse_diamonds + stats.csc_diamonds, 0);
+    }
+
+    /// A hub model: every world points at world 0, which alone carries
+    /// the marker degree. Predecessor rows are maximally dense, so the
+    /// dense bit rows beat both the CSC gather (640 entries) and the
+    /// forward sweep.
+    fn hub_model(n: usize) -> Kripke {
+        let mut degree = vec![0usize; n];
+        degree[0] = 7;
+        let rows: Vec<Vec<usize>> = (0..n).map(|_| vec![0usize]).collect();
+        let mut relations = std::collections::BTreeMap::new();
+        relations.insert(ModalIndex::Any, rows);
+        Kripke::from_parts(crate::kripke::ModelVariant::MinusMinus, degree, relations).unwrap()
+    }
+
+    #[test]
+    fn auto_keeps_dense_rows_for_dense_predecessors_under_the_cap() {
+        if !auto_is_unpinned() {
+            return;
+        }
+        // One satisfying world with 640 predecessors: dense reverse is
+        // one 10-word row OR (cost 10), the CSC gather walks all 640
+        // entries, the forward sweep visits 640 worlds + 640 pairs.
+        let k = hub_model(640);
+        assert!(k.predecessor_matrix_words() <= REVERSE_WORD_CAP);
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(7));
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (mut out, stats) = plan.execute_with(&k, DiamondMode::Auto);
+        assert_eq!(stats.reverse_diamonds, 1, "dense predecessors keep BitMatrix: {stats:?}");
+        assert_eq!(stats.forward_diamonds + stats.csc_diamonds, 0);
+        assert_eq!(out.pop().unwrap(), evaluate_packed_recursive(&k, &f).unwrap());
+    }
+
+    #[test]
+    fn auto_picks_csc_above_the_dense_cap() {
+        if !auto_is_unpinned() {
+            return;
+        }
+        // The acceptance scenario: a sparse model big enough that the
+        // n²-bit predecessor matrix is over the cap, with a sparse
+        // inner set — before the CSC store existed, this diamond was
+        // silently forced onto the forward sweep.
+        let n = 12_000;
+        let k = Kripke::k_mm(&generators::path(n));
+        assert!(
+            k.predecessor_matrix_words() > REVERSE_WORD_CAP,
+            "model must sit above the dense cap: {} words",
+            k.predecessor_matrix_words()
+        );
+        // Degree 1 holds exactly at the two path endpoints.
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(1));
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (out, stats) = plan.execute_with(&k, DiamondMode::Auto);
+        assert_eq!(stats.csc_diamonds, 1, "above-cap sparse diamond must go CSC: {stats:?}");
+        assert_eq!(stats.forward_diamonds + stats.reverse_diamonds, 0);
+        // Bit-identical to the forward engine on the same plan.
+        let (fwd, fwd_stats) = plan.execute_with(&k, DiamondMode::Forward);
+        assert_eq!(fwd_stats.forward_diamonds, 1);
+        assert_eq!(out, fwd);
+        // ⟨α⟩q₁ holds exactly at the endpoints' neighbours.
+        assert_eq!(out[0].iter_ones().collect::<Vec<_>>(), vec![1, n - 2]);
+    }
+
+    #[test]
+    fn reverse_override_knob_parses_or_panics() {
+        // CI's knob matrix relies on unknown values failing loudly at
+        // first use; force the parse under whatever environment this
+        // process carries.
+        let _ = reverse_override();
     }
 
     #[test]
@@ -1481,13 +1838,16 @@ mod tests {
             f = Formula::diamond(ModalIndex::Any, &f).or(&Formula::prop(2));
         }
         let plan = Plan::compile(&k, &f).unwrap();
-        for mode in [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse] {
+        for mode in
+            [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse, DiamondMode::Csc]
+        {
             let (seq, seq_stats) = plan.execute_with(&k, mode);
             let (par, par_stats) = plan.execute_forced_parallel(&k, mode);
             assert_eq!(seq, par, "mode {mode:?}");
             assert_eq!(seq_stats.executed, par_stats.executed);
             assert_eq!(seq_stats.forward_diamonds, par_stats.forward_diamonds);
             assert_eq!(seq_stats.reverse_diamonds, par_stats.reverse_diamonds);
+            assert_eq!(seq_stats.csc_diamonds, par_stats.csc_diamonds);
             // (The un-forced run may chunk too when PORTNUM_POOL=force
             // is set, so only the forced side is asserted.)
             assert!(par_stats.chunked_ops > 0, "mode {mode:?}: {par_stats:?}");
@@ -1533,6 +1893,38 @@ mod tests {
         let (par, _) = plan.execute_forced_parallel(&k, DiamondMode::Reverse);
         assert_eq!(seq, par);
         assert!(seq[0].none());
+    }
+
+    #[test]
+    fn forced_parallel_csc_diamonds_split_iter_ones() {
+        // The CSC twin of the dense split test: sat bits spread over
+        // several words, so the popcount split produces real chunks
+        // whose partial gathers must merge to the sequential answer.
+        let k = Kripke::k_mm(&generators::cycle(200));
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(2)); // everything true inside
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (seq, ss) = plan.execute_with(&k, DiamondMode::Csc);
+        let (par, ps) = plan.execute_forced_parallel(&k, DiamondMode::Csc);
+        assert_eq!(seq, par);
+        assert_eq!(ss.csc_diamonds, 1);
+        assert_eq!(ps.csc_diamonds, 1);
+        assert!(ps.chunked_ops > 0, "{ps:?}");
+        // An all-false inner set is the empty-gather edge case.
+        let none = Formula::diamond(ModalIndex::Any, &Formula::prop(9));
+        let plan = Plan::compile(&k, &none).unwrap();
+        let (seq, _) = plan.execute_with(&k, DiamondMode::Csc);
+        let (par, _) = plan.execute_forced_parallel(&k, DiamondMode::Csc);
+        assert_eq!(seq, par);
+        assert!(seq[0].none());
+        // Graded counting runs inline even under the forced executor
+        // (per-chunk counts would have to be summed) but still agrees.
+        let graded = Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(2));
+        let plan = Plan::compile(&k, &graded).unwrap();
+        let (seq, ss) = plan.execute_with(&k, DiamondMode::Csc);
+        let (par, ps) = plan.execute_forced_parallel(&k, DiamondMode::Csc);
+        assert_eq!(seq, par);
+        assert_eq!(ss.csc_diamonds, ps.csc_diamonds);
+        assert_eq!(seq[0], evaluate_packed_recursive(&k, &graded).unwrap());
     }
 
     #[test]

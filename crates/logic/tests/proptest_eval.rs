@@ -15,7 +15,9 @@
 //! structurally equal but share no `Arc`s — the dedup case pointer
 //! identity cannot see, observable through the plan statistics hook.
 
-use portnum_graph::{Graph, PortNumbering};
+mod common;
+
+use common::{arb_formula_with as arb_formula, arb_graph, deep_clone};
 use portnum_logic::plan::{DiamondMode, ModelChecker, Plan};
 use portnum_logic::{
     evaluate, evaluate_packed, evaluate_packed_recursive, extension, satisfies, Formula,
@@ -24,44 +26,7 @@ use portnum_logic::{
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=9).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
-            let mut b = Graph::builder(n);
-            let mut idx = 0;
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    if mask[idx] {
-                        b.edge(u, v).expect("pairs distinct");
-                    }
-                    idx += 1;
-                }
-            }
-            b.build()
-        })
-    })
-}
-
-/// Random formulas whose modal indices come from `mk(in_port, out_port)`,
-/// so each canonical variant gets formulas of its own index family.
-fn arb_formula(mk: fn(usize, usize) -> ModalIndex) -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::top()),
-        Just(Formula::bottom()),
-        (0usize..=4).prop_map(Formula::prop),
-    ];
-    leaf.prop_recursive(4, 20, 3, move |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(&b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(&b)),
-            (0usize..=3, 0usize..=2, 0usize..=2, inner)
-                .prop_map(move |(k, i, j, f)| Formula::diamond_geq(mk(i, j), k, &f)),
-        ]
-    })
-}
+use portnum_graph::PortNumbering;
 
 /// Textbook semantics: unmemoised recursion over `Vec<bool>`.
 fn reference_eval(model: &Kripke, formula: &Formula) -> Vec<bool> {
@@ -91,22 +56,6 @@ fn reference_eval(model: &Kripke, formula: &Formula) -> Vec<bool> {
                     count >= *grade
                 })
                 .collect()
-        }
-    }
-}
-
-/// Rebuilds `f` node by node so the copy is structurally equal to the
-/// original but shares none of its `Arc`s.
-fn deep_clone(f: &Formula) -> Formula {
-    match f.kind() {
-        FormulaKind::Top => Formula::top(),
-        FormulaKind::Bottom => Formula::bottom(),
-        FormulaKind::Prop(d) => Formula::prop(*d),
-        FormulaKind::Not(a) => deep_clone(a).not(),
-        FormulaKind::And(a, b) => deep_clone(a).and(&deep_clone(b)),
-        FormulaKind::Or(a, b) => deep_clone(a).or(&deep_clone(b)),
-        FormulaKind::Diamond { index, grade, inner } => {
-            Formula::diamond_geq(*index, *grade, &deep_clone(inner))
         }
     }
 }
@@ -171,7 +120,9 @@ proptest! {
         for (model, f) in &cases {
             let reference = evaluate_packed_recursive(model, f).unwrap();
             let plan = Plan::compile(model, f).unwrap();
-            for mode in [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse] {
+            for mode in
+                [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse, DiamondMode::Csc]
+            {
                 let (mut out, exec) = plan.execute_with(model, mode);
                 prop_assert_eq!(
                     out.pop().unwrap(), reference.clone(),
@@ -205,7 +156,9 @@ proptest! {
         ];
         for (model, f) in &cases {
             let plan = Plan::compile(model, f).unwrap();
-            for mode in [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse] {
+            for mode in
+                [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse, DiamondMode::Csc]
+            {
                 let (seq, seq_stats) = plan.execute_with(model, mode);
                 let (par, par_stats) = plan.execute_forced_parallel(model, mode);
                 prop_assert_eq!(
@@ -217,6 +170,7 @@ proptest! {
                 // (No assertion on chunked_ops for the un-forced run:
                 // PORTNUM_POOL=force legitimately chunks it too.)
                 prop_assert_eq!(seq_stats.reverse_diamonds, par_stats.reverse_diamonds);
+                prop_assert_eq!(seq_stats.csc_diamonds, par_stats.csc_diamonds);
             }
         }
     }

@@ -1,8 +1,14 @@
 //! Property-based tests for the logic crate: evaluation laws, bisimulation
-//! invariance, and parser totality on displayed formulas.
+//! invariance (Proposition 4 on generated models, all four canonical
+//! variants), quotient-side checking, and parser totality on displayed
+//! formulas.
 
+mod common;
+
+use common::{all_variants, arb_formula_with, arb_graph, ungrade};
 use portnum_graph::{Graph, PortNumbering};
 use portnum_logic::bisim::{refine, refine_bounded, BisimStyle};
+use portnum_logic::plan::ModelChecker;
 use portnum_logic::{
     characteristic, evaluate, is_nnf, minimum_base, nnf, parse, simplify, Formula, Kripke,
     ModalIndex,
@@ -11,43 +17,72 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=8).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
-            let mut b = Graph::builder(n);
-            let mut idx = 0;
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    if mask[idx] {
-                        b.edge(u, v).expect("pairs distinct");
-                    }
-                    idx += 1;
-                }
-            }
-            b.build()
-        })
-    })
-}
-
+/// The single-relation (`K₋,₋`) formula distribution most tests here
+/// use: [`arb_formula_with`] over the `Any` index family.
 fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::top()),
-        Just(Formula::bottom()),
-        (0usize..=4).prop_map(Formula::prop),
-    ];
-    leaf.prop_recursive(4, 20, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(&b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(&b)),
-            (0usize..=3, inner).prop_map(|(k, f)| Formula::diamond_geq(ModalIndex::Any, k, &f)),
-        ]
-    })
+    arb_formula_with(|_i, _j| ModalIndex::Any)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn check_via_quotient_matches_direct_checking(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        f_pp in arb_formula_with(ModalIndex::InOut),
+        f_mp in arb_formula_with(|_i, j| ModalIndex::Out(j)),
+        f_pm in arb_formula_with(|i, _j| ModalIndex::In(i)),
+        f_mm in arb_formula_with(|_i, _j| ModalIndex::Any),
+    ) {
+        // Theorem: ungraded truth factors through the bisimulation
+        // quotient. `check_via_quotient` applies it — previously only
+        // exercised on fixed fixtures, here on generated models across
+        // all four canonical variants.
+        let models = all_variants(&g, seed);
+        let formulas = [&f_pp, &f_mp, &f_pm, &f_mm];
+        for (model, f) in models.iter().zip(formulas) {
+            let f = ungrade(f);
+            let mut checker = ModelChecker::new(model);
+            let via_quotient = checker.check_via_quotient(&f).unwrap();
+            let direct = checker.check(&f).unwrap();
+            prop_assert_eq!(
+                &via_quotient, &*direct,
+                "variant {:?} on {} with {}", model.variant(), g, f
+            );
+        }
+    }
+
+    #[test]
+    fn plain_bisimilar_worlds_agree_on_ungraded_formulas(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        f_pp in arb_formula_with(ModalIndex::InOut),
+        f_mp in arb_formula_with(|_i, j| ModalIndex::Out(j)),
+        f_pm in arb_formula_with(|i, _j| ModalIndex::In(i)),
+        f_mm in arb_formula_with(|_i, _j| ModalIndex::Any),
+    ) {
+        // Proposition 4 (Fact 1a), on generated models: plainly
+        // bisimilar worlds satisfy the same ML/MML formulas — all four
+        // variants, not just K₋,₋ (the graded twin lives below).
+        let models = all_variants(&g, seed);
+        let formulas = [&f_pp, &f_mp, &f_pm, &f_mm];
+        for (model, f) in models.iter().zip(formulas) {
+            let f = ungrade(f);
+            let classes = refine(model, BisimStyle::Plain);
+            let truth = evaluate(model, &f).unwrap();
+            for u in 0..model.len() {
+                for v in u + 1..model.len() {
+                    if classes.bisimilar(u, v) {
+                        prop_assert_eq!(
+                            truth[u], truth[v],
+                            "variant {:?}: {} vs {} on {}", model.variant(), u, v, f
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn boolean_laws_hold_pointwise(g in arb_graph(), f in arb_formula(), h in arb_formula()) {
@@ -137,19 +172,6 @@ proptest! {
     fn quotient_preserves_ungraded_formulas(g in arb_graph(), f in arb_formula()) {
         // Strip grades so the formula lands in ML (set-based quotients do
         // not preserve counting).
-        fn ungrade(f: &Formula) -> Formula {
-            use portnum_logic::FormulaKind;
-            match f.kind() {
-                FormulaKind::Top => Formula::top(),
-                FormulaKind::Bottom => Formula::bottom(),
-                FormulaKind::Prop(d) => Formula::prop(*d),
-                FormulaKind::Not(a) => ungrade(a).not(),
-                FormulaKind::And(a, b) => ungrade(a).and(&ungrade(b)),
-                FormulaKind::Or(a, b) => ungrade(a).or(&ungrade(b)),
-                FormulaKind::Diamond { index, inner, .. } =>
-                    Formula::diamond(*index, &ungrade(inner)),
-            }
-        }
         let f = ungrade(&f);
         let k = Kripke::k_mm(&g);
         let (q, map) = minimum_base(&k);

@@ -8,6 +8,9 @@
 //! but obviously correct; the engine must produce the *same partitions at
 //! every depth* for both styles on all four canonical model variants.
 
+mod common;
+
+use common::arb_graph;
 use portnum_graph::{Graph, PortNumbering};
 use portnum_logic::bisim::{
     refine, refine_bounded, refine_fixpoint, refine_fixpoint_stats, refine_forced_parallel,
@@ -18,25 +21,6 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..=9).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
-            let mut b = Graph::builder(n);
-            let mut idx = 0;
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    if mask[idx] {
-                        b.edge(u, v).expect("pairs distinct");
-                    }
-                    idx += 1;
-                }
-            }
-            b.build()
-        })
-    })
-}
 
 /// Naive reference refinement: all levels, nested-`Vec` signatures.
 fn reference_refine(model: &Kripke, style: BisimStyle, rounds: usize) -> Vec<Vec<usize>> {
