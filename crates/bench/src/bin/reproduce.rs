@@ -345,6 +345,51 @@ fn bench_eval_snapshot() {
             ones
         );
     }
+    // Cancellation latency: wall time from `CancelToken::cancel()` to
+    // the `Interrupted` return of a controlled execution, while the
+    // long gnp512 formula suite runs in a loop on another thread (so
+    // the cancel always lands mid-run). The contract bounds this by
+    // one granule — a single instruction's evaluation.
+    {
+        use portnum_graph::resilience::{CancelToken, ExecControl};
+        let w = workloads::gnp_sweep(&[512], 0.05, 5).pop().expect("gnp512 workload");
+        let k = Kripke::k_mm(&w.graph);
+        let suite: Vec<Formula> = (1..=16).map(workloads::nested_diamonds).collect();
+        let plan = Plan::compile_suite(&k, suite.iter()).expect("suite compiles");
+        let mut samples: Vec<f64> = Vec::new();
+        for _ in 0..7 {
+            let token = CancelToken::new();
+            let ctl = ExecControl::with_cancel(token.clone());
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::scope(|s| {
+                s.spawn(|| loop {
+                    match plan.execute_controlled(&k, DiamondMode::Auto, &ctl) {
+                        Ok(_) => continue,
+                        Err(_) => {
+                            let _ = tx.send(std::time::Instant::now());
+                            break;
+                        }
+                    }
+                });
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                let t0 = std::time::Instant::now();
+                token.cancel();
+                let returned = rx.recv().expect("controlled run reports interruption");
+                samples.push(returned.duration_since(t0).as_secs_f64() * 1e6);
+            });
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        t.row([w.name.clone(), "cancel_latency".to_string(), format!("{median:.1}"), "0".to_string()]);
+        let _ = writeln!(
+            json,
+            "{{\"bench\":\"eval\",\"workload\":\"{}\",\"case\":\"cancel_latency\",\"worlds\":{},\
+             \"median_us\":{:.1},\"ones\":0}}",
+            w.name,
+            k.len(),
+            median
+        );
+    }
     print!("{}", t.render());
     match std::fs::write("BENCH_eval.json", &json) {
         Ok(()) => println!("wrote BENCH_eval.json ({} entries)", json.lines().count()),

@@ -64,6 +64,10 @@ impl CscAdjacency {
     /// Panics if a relation's `offsets` does not have `n + 1` entries
     /// or stores a target `≥ n`.
     pub fn from_relations(n: usize, relations: &[RelationCsr<'_>]) -> CscAdjacency {
+        // Chaos site: the CSC stores live in `OnceLock`s, and a panic
+        // injected here must leave the lock uninitialised (not torn),
+        // so the next query rebuilds from scratch.
+        fail::fail_point!("csc-build");
         let mut bounds = vec![0usize; n + 1];
         for rel in relations {
             assert_eq!(rel.offsets.len(), n + 1, "CSR offsets must have n + 1 entries");

@@ -28,6 +28,9 @@
 //! * [`pool`] — the persistent worker pool behind every parallel phase
 //!   (refinement encode rounds, parallel plan execution), tunable via
 //!   `PORTNUM_POOL`;
+//! * [`resilience`] — the cooperative execution control plane
+//!   (`CancelToken`, `Deadline`, `ExecBudget`) threaded through every
+//!   long-running engine loop here and in `portnum-logic`;
 //! * [`properties`] — connectivity, regularity, bipartiteness, Eulerian
 //!   tests.
 //!
@@ -92,6 +95,7 @@ pub mod pool;
 mod ports;
 pub mod properties;
 pub mod refinement;
+pub mod resilience;
 pub mod views;
 
 pub use error::{GraphError, LiftError, MatchingError, PortError};

@@ -70,6 +70,7 @@
 
 use crate::csc::CscAdjacency;
 use crate::pool::WorkerPool;
+use crate::resilience::{ExecControl, Interrupted};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Range;
@@ -530,7 +531,7 @@ where
     }
     let slots: Vec<Mutex<&mut SignatureBuffer>> = buffers.iter_mut().map(Mutex::new).collect();
     WorkerPool::global().run(ranges.len(), &|i| {
-        let mut buffer = slots[i].lock().expect("pool chunks panicked");
+        let mut buffer = slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         buffer.clear();
         if !ranges[i].is_empty() {
             encode(ranges[i].clone(), &mut buffer);
@@ -1085,11 +1086,31 @@ impl<'a> WorklistRefiner<'a> {
         self.stats
     }
 
+    /// Control-aware [`round`](Self::round): polls `ctl` at the round
+    /// boundary — cancel/deadline plus the touched-work ceiling, priced
+    /// in cumulative encoded signatures (`RefineStats::encoded`, the
+    /// same counter the perf trajectory reports). On `Err` the refiner
+    /// is left exactly as the previous round left it: the caller can
+    /// resume with further rounds or drop the refiner, and no partial
+    /// round is ever observable.
+    ///
+    /// # Errors
+    ///
+    /// The [`Interrupted`] reported by [`ExecControl::check_work`].
+    pub fn round_controlled(&mut self, ctl: &ExecControl) -> Result<bool, Interrupted> {
+        ctl.check_work(self.stats.encoded)?;
+        Ok(self.round())
+    }
+
     /// Runs one refinement round over the dirty frontier. Returns `true`
     /// if any node moved to a new block (i.e. the partition changed); a
     /// `false` round is exactly the full-round engine's stabilising
     /// `next == prev` round.
     pub fn round(&mut self) -> bool {
+        // Chaos site at the round boundary, before any state mutation:
+        // an injected panic here leaves the refiner exactly as the
+        // previous round left it, so a retry continues correctly.
+        fail::fail_point!("refine-round");
         self.stats.rounds += 1;
         self.stats.encoded += self.dirty.len();
         if self.dirty.is_empty() {
@@ -1630,11 +1651,16 @@ mod tests {
     #[test]
     fn env_knobs_parse_or_panic() {
         // CI's knob matrix relies on unknown values failing loudly at
-        // first use: force both parsers to run under whatever this
+        // first use: force every parser to run under whatever this
         // process's environment carries, so a typo in a matrix entry
         // fails the suite here instead of silently testing the default.
         let _ = threads_for(0);
         let _ = refine_engine_choice();
+        // Resilience knobs: PORTNUM_DEADLINE_MS / PORTNUM_MAX_*_WORDS
+        // (panic on non-integer values) and PORTNUM_FAILPOINTS (panics
+        // on malformed site=action specs).
+        let _ = ExecControl::from_env();
+        fail::setup_from_env();
     }
 
     #[test]

@@ -59,10 +59,49 @@
 //! a chunk are caught, remaining chunks are drained without running
 //! the job, and the panic is re-raised on the caller once the call's
 //! barrier is reached — the borrow again outlives every use.
+//!
+//! # Self-healing contract
+//!
+//! The pool guarantees it stays serviceable across the three fault
+//! classes a shared, process-wide resource must survive:
+//!
+//! 1. **Job panics** — caught per chunk; the remaining chunks drain
+//!    without running the job, the barrier completes, and the original
+//!    payload is re-raised on the caller. The *next* call starts from a
+//!    clean epoch (pinned by `panicking_chunk_propagates…` below and
+//!    the cross-crate reuse tests in `portnum-logic`).
+//! 2. **Worker death** — a worker thread that exits (injected via the
+//!    `pool-worker` failpoint, or killed by an unhandled panic outside
+//!    the chunk guard) is detected at the next [`WorkerPool::run`]
+//!    entry and respawned. In-flight calls are unaffected because the
+//!    caller participates and drains every chunk itself if need be.
+//! 3. **Poisoned locks** — every mutex/condvar acquisition recovers
+//!    the guard from a `PoisonError`; the pool's state machine is
+//!    valid at every step that can unwind, so the poison flag carries
+//!    no information here.
+//!
+//! # Cancellation
+//!
+//! [`WorkerPool::run_controlled`] threads an
+//! [`crate::resilience::ExecControl`] through the chunk loop: each
+//! claimed chunk polls the control before running the job, so after a
+//! cancel/deadline trip the remaining chunks drain at a cost of one
+//! atomic load each and the call returns a typed
+//! [`crate::resilience::Interrupted`] — latency is bounded by the one
+//! chunk that was already executing.
+//!
+//! # Failpoints
+//!
+//! Chaos sites (no-ops unless activated, see the `fail` shim):
+//! `pool-dispatch` (entry of [`WorkerPool::run`]), `pool-chunk` (just
+//! before a claimed chunk's job runs, inside the panic guard), and
+//! `pool-worker` (worker loop head; a `return` action makes the worker
+//! thread exit, exercising the respawn path).
 
+use crate::resilience::{ExecControl, Interrupted};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// The job view a worker holds while a call is active: a raw,
@@ -152,14 +191,32 @@ std::thread_local! {
 /// ```
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Live worker handles, interior-mutable so [`heal`](Self::heal)
+    /// can replace dead workers from a `&self` call path.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The worker count the pool maintains (healing respawns up to it).
+    target_workers: usize,
+    /// Monotonic id for worker thread names, so respawned workers are
+    /// distinguishable in stack traces from the ones they replaced.
+    next_worker_id: AtomicUsize,
+    /// Total workers ever respawned by [`heal`](Self::heal);
+    /// observable so tests can pin the self-healing contract.
+    respawned: AtomicUsize,
 }
 
 impl WorkerPool {
     /// A pool with `workers` dedicated threads (the caller of
     /// [`run`](WorkerPool::run) always participates as one more).
     /// `workers == 0` is valid: every call then runs inline.
+    ///
+    /// Pool construction also arms any failpoints named in the
+    /// `PORTNUM_FAILPOINTS` environment variable (parsed once per
+    /// process, panicking on a malformed spec like every other knob):
+    /// every engine path crosses the pool module, so this is the one
+    /// production hook that makes env-driven chaos work without test
+    /// scaffolding.
     pub fn new(workers: usize) -> WorkerPool {
+        fail::setup_from_env();
         let shared = Arc::new(Shared {
             call: Mutex::new(()),
             control: Mutex::new(Control { epoch: 0, chunks: 0, job: None, shutdown: false }),
@@ -170,16 +227,15 @@ impl WorkerPool {
             panicked: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
         });
-        let workers = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("portnum-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning a pool worker")
-            })
-            .collect();
-        WorkerPool { shared, workers }
+        let handles =
+            (0..workers).map(|i| spawn_worker(&shared, i)).collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+            target_workers: workers,
+            next_worker_id: AtomicUsize::new(workers),
+            respawned: AtomicUsize::new(0),
+        }
     }
 
     /// The process-wide pool, created on first use with
@@ -196,7 +252,50 @@ impl WorkerPool {
 
     /// Number of dedicated worker threads (the caller adds one more).
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.target_workers
+    }
+
+    /// Total workers respawned by [`heal`](Self::heal) over the pool's
+    /// lifetime — the observable half of the self-healing contract.
+    pub fn respawn_count(&self) -> usize {
+        self.respawned.load(Ordering::Relaxed)
+    }
+
+    /// Detects and replaces dead worker threads. Called at every
+    /// [`run`](Self::run) entry; the all-alive fast path is one
+    /// `is_finished` atomic load per worker. A worker can die only by
+    /// exiting its loop (the `pool-worker` failpoint's `return` action)
+    /// or by a panic escaping the chunk guard — either way the epoch
+    /// protocol is unaffected, so a fresh worker can join mid-stream.
+    /// Public so callers can repair eagerly between calls; calling it
+    /// with every worker alive is one atomic load per worker.
+    pub fn heal(&self) {
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        if workers.iter().all(|h| !h.is_finished()) {
+            return;
+        }
+        let dead: Vec<JoinHandle<()>> = {
+            let mut alive = Vec::with_capacity(workers.len());
+            let mut dead = Vec::new();
+            for handle in workers.drain(..) {
+                if handle.is_finished() {
+                    dead.push(handle);
+                } else {
+                    alive.push(handle);
+                }
+            }
+            *workers = alive;
+            dead
+        };
+        for handle in dead {
+            // A dead worker's exit status carries nothing the pool can
+            // act on (job panics never escape the chunk guard), so the
+            // join result is deliberately dropped.
+            let _ = handle.join();
+            let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
+            workers.push(spawn_worker(&self.shared, id));
+            self.respawned.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Runs `job(i)` exactly once for every `i in 0..chunks`, on the
@@ -220,18 +319,20 @@ impl WorkerPool {
         if chunks == 0 {
             return;
         }
+        fail::fail_point!("pool-dispatch");
         assert!(
             !IN_POOL_JOB.with(std::cell::Cell::get),
             "nested WorkerPool::run from inside a pool chunk would deadlock; \
              restructure the job to fan out from the caller instead"
         );
-        if self.workers.is_empty() {
+        if self.target_workers == 0 {
             // Inline fast path: no protocol, no atomics.
             for i in 0..chunks {
                 job(i);
             }
             return;
         }
+        self.heal();
         let chunks32 = u32::try_from(chunks).expect("pool calls are capped at 2^32 chunks");
         let _call = self.shared.call.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         #[allow(unsafe_code)]
@@ -266,9 +367,9 @@ impl WorkerPool {
         // all workers are still waking up.
         run_chunks(&self.shared, epoch, chunks32, Job { ptr });
 
-        let mut done = self.shared.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut done = self.shared.done.lock().unwrap_or_else(PoisonError::into_inner);
         while *done < chunks {
-            done = self.shared.done_cv.wait(done).expect("pool done poisoned");
+            done = self.shared.done_cv.wait(done).unwrap_or_else(PoisonError::into_inner);
         }
         drop(done);
         // Drop the erased pointer before the borrow ends.
@@ -286,16 +387,57 @@ impl WorkerPool {
             }
         }
     }
+
+    /// Like [`run`](Self::run), but polls `ctl` before every chunk's
+    /// job: once the control trips (cancel or deadline), the remaining
+    /// chunks drain at one poll each without running the job, the
+    /// barrier completes normally, and the first interruption is
+    /// returned — so cancel-to-return latency is bounded by the one
+    /// chunk already executing, and the pool is immediately reusable.
+    ///
+    /// The caller owns output-slot semantics: on `Err`, slots whose
+    /// chunks never ran hold whatever the caller pre-filled, so callers
+    /// must treat the whole output as unpublishable (the engines above
+    /// discard it and surface the typed error).
+    ///
+    /// # Errors
+    ///
+    /// The first [`Interrupted`] observed by any chunk, or by the
+    /// entry check before work starts.
+    pub fn run_controlled(
+        &self,
+        chunks: usize,
+        ctl: &ExecControl,
+        job: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), Interrupted> {
+        if ctl.is_unrestricted() {
+            self.run(chunks, job);
+            return Ok(());
+        }
+        ctl.check()?;
+        let tripped: Mutex<Option<Interrupted>> = Mutex::new(None);
+        self.run(chunks, &|i| match ctl.check() {
+            Ok(()) => job(i),
+            Err(e) => {
+                tripped.lock().unwrap_or_else(PoisonError::into_inner).get_or_insert(e);
+            }
+        });
+        match tripped.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut control = self.shared.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut control = self.shared.control.lock().unwrap_or_else(PoisonError::into_inner);
             control.shutdown = true;
         }
         self.shared.work_ready.notify_all();
-        for handle in self.workers.drain(..) {
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -303,15 +445,28 @@ impl Drop for WorkerPool {
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerPool").field("workers", &self.workers.len()).finish_non_exhaustive()
+        f.debug_struct("WorkerPool").field("workers", &self.target_workers).finish_non_exhaustive()
     }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("portnum-pool-{id}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawning a pool worker")
 }
 
 fn worker_loop(shared: &Shared) {
     let mut seen = 0u32;
     loop {
+        // Chaos site: a `return` action makes this worker exit, which
+        // `WorkerPool::heal` must detect and repair. Safe at any time:
+        // the caller participates in every call, so in-flight chunks
+        // still complete without this worker.
+        fail::fail_point!("pool-worker", |_| ());
         let (epoch, chunks, job) = {
-            let mut control = shared.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut control = shared.control.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if control.shutdown {
                     return;
@@ -319,7 +474,7 @@ fn worker_loop(shared: &Shared) {
                 if control.epoch != seen {
                     break;
                 }
-                control = shared.work_ready.wait(control).expect("pool control poisoned");
+                control = shared.work_ready.wait(control).unwrap_or_else(PoisonError::into_inner);
             }
             seen = control.epoch;
             (control.epoch, control.chunks, control.job)
@@ -362,18 +517,24 @@ fn run_chunks(shared: &Shared, epoch: u32, chunks: u32, job: Job) {
             // completion barrier below and the pointee is alive.
             let func = unsafe { &*job.ptr };
             IN_POOL_JOB.with(|flag| flag.set(true));
-            let outcome = catch_unwind(AssertUnwindSafe(|| func(index as usize)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // Chaos site inside the panic guard, so an injected
+                // panic exercises the same containment path as a real
+                // job panic.
+                fail::fail_point!("pool-chunk");
+                func(index as usize);
+            }));
             IN_POOL_JOB.with(|flag| flag.set(false));
             if let Err(payload) = outcome {
                 // Keep the first payload so the caller can resume the
                 // original panic (message and location intact).
                 let mut slot =
-                    shared.panic_payload.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    shared.panic_payload.lock().unwrap_or_else(PoisonError::into_inner);
                 slot.get_or_insert(payload);
                 shared.panicked.store(true, Ordering::Relaxed);
             }
         }
-        let mut done = shared.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut done = shared.done.lock().unwrap_or_else(PoisonError::into_inner);
         *done += 1;
         if *done == chunks as usize {
             shared.done_cv.notify_all();
@@ -498,6 +659,59 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn run_controlled_pre_cancelled_runs_nothing() {
+        use crate::resilience::{CancelToken, ExecControl, InterruptReason};
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        let ctl = ExecControl::with_cancel(token.clone());
+        let ran = AtomicUsize::new(0);
+        token.cancel();
+        let err = pool
+            .run_controlled(64, &ctl, &|_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect_err("pre-cancelled control must interrupt");
+        assert_eq!(err.reason, InterruptReason::Cancelled);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        // The same pool serves the next (unrestricted) call in full.
+        pool.run_controlled(5, &ExecControl::unrestricted(), &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("unrestricted call");
+        assert_eq!(ran.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn run_controlled_expired_deadline_interrupts() {
+        use crate::resilience::{Deadline, ExecControl, InterruptReason};
+        use std::time::{Duration, Instant};
+        let pool = WorkerPool::new(1);
+        let ctl = ExecControl::with_deadline(Deadline::at(Instant::now() - Duration::from_secs(1)));
+        let err = pool.run_controlled(8, &ctl, &|_| {}).expect_err("expired deadline");
+        assert_eq!(err.reason, InterruptReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn run_controlled_unrestricted_is_passthrough() {
+        use crate::resilience::ExecControl;
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.run_controlled(16, &ExecControl::unrestricted(), &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("unrestricted never interrupts");
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn respawn_count_starts_at_zero_and_heal_is_a_noop_when_alive() {
+        let pool = WorkerPool::new(2);
+        pool.run(4, &|_| {});
+        pool.heal();
+        assert_eq!(pool.respawn_count(), 0);
     }
 
     #[test]

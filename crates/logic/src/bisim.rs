@@ -82,6 +82,7 @@ use portnum_graph::partition::{
     encode_threads, encode_work, nonempty_row_index, parallel_encode_weighted,
     refine_engine_choice, threads_for, Counting, Refiner, SignatureBuffer, WorklistRefiner,
 };
+use portnum_graph::resilience::{ExecControl, Interrupted};
 pub use portnum_graph::partition::{RefineEngine, RefineStats};
 
 /// Minimum signature words of per-round encode work (worlds + stored
@@ -224,13 +225,48 @@ impl BisimClasses {
 /// the worklist engine touches O(changed) worlds per round instead of
 /// all n.
 pub fn refine(model: &Kripke, style: BisimStyle) -> BisimClasses {
-    refine_impl(model, style, None, true)
+    refine_impl(model, style, None, true, &ExecControl::unrestricted())
+        .expect("unrestricted refinement cannot be interrupted")
+}
+
+/// Control-aware [`refine`]: polls the [`ExecControl`] at every round
+/// boundary (cancel, deadline, and the touched-work ceiling priced in
+/// encoded signatures — the engines' own `RefineStats::encoded`
+/// currency). On `Err` nothing is returned and nothing was published:
+/// all refinement state is call-local, so a retry is bit-identical to
+/// an uninterrupted run. Cancel-to-return latency is bounded by one
+/// refinement round.
+///
+/// # Errors
+///
+/// The first [`Interrupted`] observed at a round boundary.
+pub fn refine_controlled(
+    model: &Kripke,
+    style: BisimStyle,
+    ctl: &ExecControl,
+) -> Result<BisimClasses, Interrupted> {
+    refine_impl(model, style, None, true, ctl)
+}
+
+/// Control-aware [`refine_fixpoint`] (final partition only); the same
+/// round-boundary polling contract as [`refine_controlled`].
+///
+/// # Errors
+///
+/// The first [`Interrupted`] observed at a round boundary.
+pub fn refine_fixpoint_controlled(
+    model: &Kripke,
+    style: BisimStyle,
+    ctl: &ExecControl,
+) -> Result<BisimClasses, Interrupted> {
+    refine_impl(model, style, None, false, ctl)
 }
 
 /// Runs signature refinement for at most `depth` rounds (the result
 /// characterises formulas of modal depth `≤ depth`).
 pub fn refine_bounded(model: &Kripke, style: BisimStyle, depth: usize) -> BisimClasses {
-    refine_impl(model, style, Some(depth), true)
+    refine_impl(model, style, Some(depth), true, &ExecControl::unrestricted())
+        .expect("unrestricted refinement cannot be interrupted")
 }
 
 /// Runs signature refinement to a fixpoint keeping only the final
@@ -255,7 +291,8 @@ pub fn refine_bounded(model: &Kripke, style: BisimStyle, depth: usize) -> BisimC
 /// assert!(!classes.bisimilar(1, 2));
 /// ```
 pub fn refine_fixpoint(model: &Kripke, style: BisimStyle) -> BisimClasses {
-    refine_impl(model, style, None, false)
+    refine_impl(model, style, None, false, &ExecControl::unrestricted())
+        .expect("unrestricted refinement cannot be interrupted")
 }
 
 /// Runs [`refine_fixpoint`] on the worklist engine and also returns the
@@ -264,7 +301,8 @@ pub fn refine_fixpoint(model: &Kripke, style: BisimStyle) -> BisimClasses {
 /// full-round engine would encode exactly `n · rounds` signatures; on
 /// long-diameter models `encoded` stays O(n + edges).
 pub fn refine_fixpoint_stats(model: &Kripke, style: BisimStyle) -> (BisimClasses, RefineStats) {
-    refine_worklist(model, style, None, false, false)
+    refine_worklist(model, style, None, false, false, &ExecControl::unrestricted())
+        .expect("unrestricted refinement cannot be interrupted")
 }
 
 fn refine_impl(
@@ -272,15 +310,19 @@ fn refine_impl(
     style: BisimStyle,
     depth: Option<usize>,
     keep_levels: bool,
-) -> BisimClasses {
+    ctl: &ExecControl,
+) -> Result<BisimClasses, Interrupted> {
     match refine_engine_choice() {
-        RefineEngine::Worklist => refine_worklist(model, style, depth, keep_levels, false).0,
+        RefineEngine::Worklist => {
+            Ok(refine_worklist(model, style, depth, keep_levels, false, ctl)?.0)
+        }
         RefineEngine::Rounds => refine_engine(
             model,
             style,
             depth,
             keep_levels,
             threads_for(model.len() + model.relation_entry_count()),
+            ctl,
         ),
     }
 }
@@ -290,15 +332,20 @@ fn refine_impl(
 /// consults `PORTNUM_REFINE`) everywhere else.
 #[doc(hidden)]
 pub fn refine_with(model: &Kripke, style: BisimStyle, engine: RefineEngine) -> BisimClasses {
+    let ctl = ExecControl::unrestricted();
     match engine {
-        RefineEngine::Worklist => refine_worklist(model, style, None, true, false).0,
+        RefineEngine::Worklist => refine_worklist(model, style, None, true, false, &ctl)
+            .expect("unrestricted refinement cannot be interrupted")
+            .0,
         RefineEngine::Rounds => refine_engine(
             model,
             style,
             None,
             true,
             threads_for(model.len() + model.relation_entry_count()),
-        ),
+            &ctl,
+        )
+        .expect("unrestricted refinement cannot be interrupted"),
     }
 }
 
@@ -308,7 +355,8 @@ pub fn refine_with(model: &Kripke, style: BisimStyle, engine: RefineEngine) -> B
 /// sequential one; use [`refine`] and friends everywhere else.
 #[doc(hidden)]
 pub fn refine_forced_parallel(model: &Kripke, style: BisimStyle) -> BisimClasses {
-    refine_engine(model, style, None, true, encode_threads().max(2))
+    refine_engine(model, style, None, true, encode_threads().max(2), &ExecControl::unrestricted())
+        .expect("unrestricted refinement cannot be interrupted")
 }
 
 /// Runs the full-history **worklist** refinement with every round's
@@ -316,7 +364,9 @@ pub fn refine_forced_parallel(model: &Kripke, style: BisimStyle) -> BisimClasses
 /// knob for the frontier-chunked parallel path.
 #[doc(hidden)]
 pub fn refine_worklist_forced_parallel(model: &Kripke, style: BisimStyle) -> BisimClasses {
-    refine_worklist(model, style, None, true, true).0
+    refine_worklist(model, style, None, true, true, &ExecControl::unrestricted())
+        .expect("unrestricted refinement cannot be interrupted")
+        .0
 }
 
 /// The worklist-engine driver: identical round semantics to
@@ -331,7 +381,8 @@ fn refine_worklist(
     depth: Option<usize>,
     keep_levels: bool,
     force_parallel: bool,
-) -> (BisimClasses, RefineStats) {
+    ctl: &ExecControl,
+) -> Result<(BisimClasses, RefineStats), Interrupted> {
     let n = model.len();
     let relations = model.relations_csr();
     let mut refiner = WorklistRefiner::new(
@@ -356,7 +407,7 @@ fn refine_worklist(
     let mut stable = n <= 1;
 
     while depth.is_none_or(|d| rounds < d) {
-        let changed = refiner.round();
+        let changed = refiner.round_controlled(ctl)?;
         rounds += 1;
         if keep_levels {
             refiner.canonical_level_into(&mut level);
@@ -374,7 +425,7 @@ fn refine_worklist(
         levels.push(level);
     }
     let stats = refiner.stats();
-    (BisimClasses { style, levels, depth: rounds, stable }, stats)
+    Ok((BisimClasses { style, levels, depth: rounds, stable }, stats))
 }
 
 fn refine_engine(
@@ -383,7 +434,8 @@ fn refine_engine(
     depth: Option<usize>,
     keep_levels: bool,
     threads: usize,
-) -> BisimClasses {
+    ctl: &ExecControl,
+) -> Result<BisimClasses, Interrupted> {
     let n = model.len();
     let counting = style.counting();
 
@@ -428,6 +480,12 @@ fn refine_engine(
     let mut stable = n <= 1;
 
     while depth.is_none_or(|d| rounds < d) {
+        // Round-boundary chaos site + control poll, mirroring the
+        // worklist engine's `round_controlled`. The rounds engine
+        // encodes exactly n signatures per round, so `n · rounds` is
+        // its cumulative-work currency.
+        fail::fail_point!("refine-round");
+        ctl.check_work(n * rounds)?;
         refiner.begin_round();
         next.clear();
         if threads > 1 {
@@ -484,7 +542,7 @@ fn refine_engine(
     if !keep_levels {
         levels.push(prev);
     }
-    BisimClasses { style, levels, depth: rounds, stable }
+    Ok(BisimClasses { style, levels, depth: rounds, stable })
 }
 
 /// Whether worlds `u` and `v` of one model are (g-)bisimilar.

@@ -1,6 +1,7 @@
 //! Error types for the logic crate.
 
 use crate::formula::IndexFamily;
+use portnum_graph::resilience::Interrupted;
 use std::error::Error;
 use std::fmt;
 
@@ -17,6 +18,10 @@ pub enum LogicError {
     },
     /// A relation mentioned a world id out of range.
     WorldOutOfRange,
+    /// The computation was cooperatively interrupted (cancel, deadline,
+    /// or work budget) before producing a result; nothing was published
+    /// and a retry is bit-identical to an uninterrupted run.
+    Interrupted(Interrupted),
 }
 
 impl fmt::Display for LogicError {
@@ -27,11 +32,25 @@ impl fmt::Display for LogicError {
                 "formula uses {found:?} modalities but the model interprets {expected:?}"
             ),
             LogicError::WorldOutOfRange => write!(f, "relation refers to a world out of range"),
+            LogicError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
 
-impl Error for LogicError {}
+impl Error for LogicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogicError::Interrupted(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl From<Interrupted> for LogicError {
+    fn from(i: Interrupted) -> Self {
+        LogicError::Interrupted(i)
+    }
+}
 
 /// Errors from the Theorem-2 compilers.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -409,8 +409,16 @@ impl Kripke {
     /// # Panics
     ///
     /// Panics if `r >= self.relation_count()`.
+    /// # Atomicity
+    ///
+    /// The store is a `OnceLock`: a panic inside the build closure (the
+    /// `dense-build` chaos site below) leaves the lock *uninitialised*,
+    /// not poisoned or torn — the next caller simply rebuilds. Torn
+    /// publication is impossible by construction, which is what lets an
+    /// interrupted query retry bit-identically.
     pub fn predecessor_rows(&self, r: usize) -> &BitMatrix {
         self.reverse[r].get_or_init(|| {
+            fail::fail_point!("dense-build");
             let n = self.len();
             let mut m = BitMatrix::zeros(n, n);
             let (offsets, targets) = self.relation_rows(r);
@@ -447,6 +455,11 @@ impl Kripke {
     /// stores). The worklist refinement engine shares this exact store
     /// for its dirty-frontier propagation, so evaluator and refiner
     /// build the inverse at most once between them.
+    ///
+    /// Atomicity is as [`Kripke::predecessor_rows`]: the `OnceLock`
+    /// plus the `csc-build` chaos site inside the builder pin that an
+    /// interrupted build publishes nothing (rebuild on retry, never a
+    /// torn store).
     ///
     /// # Panics
     ///

@@ -118,6 +118,7 @@ use portnum_graph::bitset::{fill_words_from_fn, Bitset};
 use portnum_graph::csc::CscAdjacency;
 use portnum_graph::partition::{encode_threads, quantile_ranges, threads_for, FxHashMap};
 use portnum_graph::pool::WorkerPool;
+use portnum_graph::resilience::{ExecControl, Interrupted};
 use std::ops::Range;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -663,7 +664,41 @@ impl Plan {
     ///
     /// See [`Plan::execute`].
     pub fn execute_with(&self, model: &Kripke, mode: DiamondMode) -> (Vec<Bitset>, ExecStats) {
-        self.execute_impl(model, mode, false)
+        self.execute_impl(model, mode, false, &ExecControl::unrestricted())
+            .expect("unrestricted execution cannot be interrupted")
+    }
+
+    /// Control-aware executor: polls `ctl` at every instruction
+    /// boundary (and, through the pool, at every chunk boundary of a
+    /// level-parallel step), so cancel-to-error latency is bounded by
+    /// one instruction/chunk granule. Budget semantics:
+    ///
+    /// * the touched-work ceiling accumulates the executor's
+    ///   per-instruction work estimate — the same currency the Auto
+    ///   diamond cost model and the parallel work gate already price —
+    ///   and trips [`Interrupted`] when crossed;
+    /// * the slot-words ceiling *degrades*: when resident slot storage
+    ///   plus the parallel paths' per-thread partials would exceed it,
+    ///   execution stays sequential (no partials) instead of failing.
+    ///
+    /// On `Err`, nothing is returned and nothing was published: all
+    /// intermediate state is call-local, so an immediate retry is
+    /// bit-identical to a run that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Interrupted`] observed at any granule boundary.
+    ///
+    /// # Panics
+    ///
+    /// See [`Plan::execute`].
+    pub fn execute_controlled(
+        &self,
+        model: &Kripke,
+        mode: DiamondMode,
+        ctl: &ExecControl,
+    ) -> Result<(Vec<Bitset>, ExecStats), Interrupted> {
+        self.execute_impl(model, mode, false, ctl)
     }
 
     /// Runs the executor with every parallel path forced on (both
@@ -673,7 +708,20 @@ impl Plan {
     /// else.
     #[doc(hidden)]
     pub fn execute_forced_parallel(&self, model: &Kripke, mode: DiamondMode) -> (Vec<Bitset>, ExecStats) {
-        self.execute_impl(model, mode, true)
+        self.execute_impl(model, mode, true, &ExecControl::unrestricted())
+            .expect("unrestricted execution cannot be interrupted")
+    }
+
+    /// [`Plan::execute_forced_parallel`] with a control — the chaos
+    /// tests drive the pool-backed paths under cancellation with this.
+    #[doc(hidden)]
+    pub fn execute_forced_parallel_controlled(
+        &self,
+        model: &Kripke,
+        mode: DiamondMode,
+        ctl: &ExecControl,
+    ) -> Result<(Vec<Bitset>, ExecStats), Interrupted> {
+        self.execute_impl(model, mode, true, ctl)
     }
 
     /// Estimated work of one instruction, in the same "words of work"
@@ -682,30 +730,41 @@ impl Plan {
     /// `Prop` compares one degree per world, diamonds sweep every
     /// world plus every stored successor pair.
     fn op_work(&self, model: &Kripke, id: u32) -> usize {
-        let n = model.len();
-        match self.ops[id as usize] {
-            Op::Prop(_) => n / 8,
-            Op::Diamond { rel, .. } => {
-                let (_, targets) = model.relation_rows(rel as usize);
-                (n + targets.len()) / 4
-            }
-            _ => n / 64,
-        }
+        op_work_for(model, self.ops[id as usize])
     }
 
-    fn execute_impl(&self, model: &Kripke, mode: DiamondMode, force: bool) -> (Vec<Bitset>, ExecStats) {
+    fn execute_impl(
+        &self,
+        model: &Kripke,
+        mode: DiamondMode,
+        force: bool,
+        ctl: &ExecControl,
+    ) -> Result<(Vec<Bitset>, ExecStats), Interrupted> {
         assert_eq!(
             model.len(),
             self.n,
             "plan executed against a model of a different size than it was compiled for"
         );
+        ctl.check()?;
+        // Slot-words budget: resident storage is the recycled slots;
+        // the parallel paths add up to one partial bitset per pool
+        // thread (reverse/CSC gather partials, level outputs). When
+        // that sum would cross the ceiling, degrade to sequential —
+        // the query still answers, just without the partials.
+        let word_len = self.n.div_ceil(64);
+        let parallel_ok = !ctl
+            .budget
+            .slots_over(self.slot_count * word_len + (encode_threads().max(2) + 1) * word_len);
         let threads = |work: usize| {
-            if force {
+            if !parallel_ok {
+                1
+            } else if force {
                 encode_threads().max(2)
             } else {
                 threads_for(work)
             }
         };
+        let mut touched = 0usize;
         let mut stats = ExecStats::default();
         let mut slots: Vec<Bitset> = (0..self.slot_count).map(|_| Bitset::default()).collect();
         for l in 0..self.level_bounds.len() - 1 {
@@ -719,10 +778,19 @@ impl Plan {
             // world range (below) than by running its cheap siblings
             // alongside it.
             if ids.len() > 1 && threads(level_work) > 1 && heaviest * 2 <= level_work {
-                self.exec_level_parallel(model, mode, ids, &mut slots, &mut stats);
+                fail::fail_point!("plan-instr");
+                touched += level_work;
+                ctl.check_work(touched)?;
+                self.exec_level_parallel(model, mode, ids, &mut slots, &mut stats, ctl)?;
                 continue;
             }
             for &id in ids {
+                // Chaos site at the instruction boundary: all executor
+                // state is call-local, so a panic or interruption here
+                // publishes nothing.
+                fail::fail_point!("plan-instr");
+                touched += self.op_work(model, id);
+                ctl.check_work(touched)?;
                 let dst = self.dst[id as usize] as usize;
                 // Take the output slot so operand slots stay
                 // borrowable; every arm fully overwrites it (recycled
@@ -772,7 +840,7 @@ impl Plan {
                 }
             }
         }
-        (results, stats)
+        Ok((results, stats))
     }
 
     /// Executes one DAG level's instructions concurrently, one pool
@@ -787,7 +855,8 @@ impl Plan {
         ids: &[u32],
         slots: &mut [Bitset],
         stats: &mut ExecStats,
-    ) {
+        ctl: &ExecControl,
+    ) -> Result<(), Interrupted> {
         let outs: Vec<Mutex<(Bitset, ExecStats)>> = ids
             .iter()
             .map(|&id| {
@@ -796,8 +865,8 @@ impl Plan {
             })
             .collect();
         let slots_ref: &[Bitset] = slots;
-        WorkerPool::global().run(ids.len(), &|i| {
-            let mut guard = outs[i].lock().expect("level chunk panicked");
+        WorkerPool::global().run_controlled(ids.len(), ctl, &|i| {
+            let mut guard = outs[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let (out, chunk_stats) = &mut *guard;
             eval_op_into(
                 model,
@@ -807,14 +876,35 @@ impl Plan {
                 out,
                 chunk_stats,
             );
-        });
+        })?;
         for (&id, out) in ids.iter().zip(outs) {
-            let (out, chunk_stats) = out.into_inner().expect("level chunk panicked");
+            let (out, chunk_stats) =
+                out.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
             slots[self.dst[id as usize] as usize] = out;
             stats.absorb(chunk_stats);
             stats.executed += 1;
             stats.level_parallel_ops += 1;
         }
+        Ok(())
+    }
+}
+
+/// Estimated work of one instruction, in the same "words of work"
+/// currency as [`threads_for`]'s gate (refinement signature words
+/// ≈ a few ns each): connectives are word-parallel (`n/64`),
+/// `Prop` compares one degree per world, diamonds sweep every
+/// world plus every stored successor pair. Shared by [`Plan`]'s
+/// executor and [`ModelChecker`]'s touched-work budget so both price
+/// budgets in one currency.
+fn op_work_for(model: &Kripke, op: Op) -> usize {
+    let n = model.len();
+    match op {
+        Op::Prop(_) => n / 8,
+        Op::Diamond { rel, .. } => {
+            let (_, targets) = model.relation_rows(rel as usize);
+            (n + targets.len()) / 4
+        }
+        _ => n / 64,
     }
 }
 
@@ -1064,7 +1154,7 @@ fn par_fill(
         rest = tail;
     }
     WorkerPool::global().run(ranges.len(), &|i| {
-        let mut words = chunk_words[i].lock().expect("fill chunk panicked");
+        let mut words = chunk_words[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         fill(ranges[i].clone(), &mut words);
     });
 }
@@ -1184,7 +1274,7 @@ fn gather_ones_chunked(
     let partials: Vec<Mutex<Bitset>> =
         (0..ranges.len()).map(|_| Mutex::new(Bitset::zeros(n))).collect();
     WorkerPool::global().run(ranges.len(), &|i| {
-        let mut acc = partials[i].lock().expect("gather chunk panicked");
+        let mut acc = partials[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for wi in ranges[i].clone() {
             let mut word = sat_words[wi];
             while word != 0 {
@@ -1196,7 +1286,7 @@ fn gather_ones_chunked(
     });
     out.assign_zeros(n);
     for partial in &partials {
-        out.or_assign(&partial.lock().expect("gather chunk panicked"));
+        out.or_assign(&partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
     }
     true
 }
@@ -1304,6 +1394,10 @@ pub struct ModelChecker<'m> {
     computed: usize,
     quotient_computed: usize,
     exec: ExecStats,
+    /// Words committed into `results` so far — the accumulator the
+    /// cache-words budget of [`ModelChecker::check_controlled`] prices
+    /// publication against.
+    published_words: usize,
 }
 
 impl<'m> ModelChecker<'m> {
@@ -1325,6 +1419,7 @@ impl<'m> ModelChecker<'m> {
             computed: 0,
             quotient_computed: 0,
             exec: ExecStats::default(),
+            published_words: 0,
         }
     }
 
@@ -1341,6 +1436,28 @@ impl<'m> ModelChecker<'m> {
     /// Returns [`LogicError::FamilyMismatch`] as
     /// [`evaluate_packed`](crate::evaluate_packed) does.
     pub fn check(&mut self, formula: &Formula) -> Result<Rc<Bitset>, LogicError> {
+        self.check_controlled(formula, &ExecControl::unrestricted())
+    }
+
+    /// Control-aware [`check`](Self::check): polls `ctl` at every
+    /// instruction boundary and commits the per-instruction truth
+    /// vectors into the checker's cache **whole-or-nothing** — an
+    /// interrupted (or panicking) check publishes *no* new cache
+    /// entries, so an immediate retry computes bits identical to a
+    /// fresh checker. The cache-words budget gates publication only:
+    /// when committing this check's vectors would cross the ceiling,
+    /// the answer is still returned but nothing new is cached (later
+    /// structurally-shared checks recompute).
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::Interrupted`] when `ctl` trips, plus everything
+    /// [`check`](Self::check) returns.
+    pub fn check_controlled(
+        &mut self,
+        formula: &Formula,
+        ctl: &ExecControl,
+    ) -> Result<Rc<Bitset>, LogicError> {
         let memo_before = self.lw.ptr_memo.len();
         let lowered = self.lw.lower(self.model, formula);
         // The pointer memo stays sound only while its keys stay alive;
@@ -1356,13 +1473,20 @@ impl<'m> ModelChecker<'m> {
         if let Some(cached) = &self.results[root as usize] {
             return Ok(Rc::clone(cached));
         }
-        self.eval_needed(root);
-        Ok(Rc::clone(self.results[root as usize].as_ref().expect("just evaluated")))
+        Ok(self.eval_needed(root, ctl)?)
     }
 
     /// Computes the still-missing results `root` depends on, ascending
-    /// by instruction id (operands precede consumers).
-    fn eval_needed(&mut self, root: u32) {
+    /// by instruction id (operands precede consumers), and returns the
+    /// root's truth vector.
+    ///
+    /// Newly computed vectors are *staged* and committed into
+    /// `self.results` only after every needed instruction completed:
+    /// an interruption (or an injected panic at the `checker-instr`
+    /// failpoint) between instructions unwinds with the staging buffer
+    /// and leaves the cache exactly as the previous check left it —
+    /// never a partially-published check.
+    fn eval_needed(&mut self, root: u32, ctl: &ExecControl) -> Result<Rc<Bitset>, Interrupted> {
         let mut needed: Vec<u32> = Vec::new();
         let mut visited = vec![false; self.lw.ops.len()];
         let mut stack = vec![root];
@@ -1376,20 +1500,50 @@ impl<'m> ModelChecker<'m> {
             self.lw.ops[id as usize].for_each_operand(|a| stack.push(a));
         }
         needed.sort_unstable();
+        let mut staged: Vec<(u32, Rc<Bitset>)> = Vec::with_capacity(needed.len());
+        let mut exec = ExecStats::default();
+        let mut touched = 0usize;
         for id in needed {
+            // Chaos site at the checker's instruction boundary; see the
+            // staging contract above.
+            fail::fail_point!("checker-instr");
+            touched += op_work_for(self.model, self.lw.ops[id as usize]);
+            ctl.check_work(touched)?;
             let mut out = Bitset::default();
             let results = &self.results;
-            eval_op_into(
-                self.model,
-                self.mode,
-                self.lw.ops[id as usize],
-                |a| results[a as usize].as_ref().expect("operands evaluated before consumers"),
-                &mut out,
-                &mut self.exec,
-            );
-            self.computed += 1;
-            self.results[id as usize] = Some(Rc::new(out));
+            // Operands resolve through the committed cache first, then
+            // the staging buffer (ascending id order guarantees a
+            // staged operand was pushed before its consumer).
+            let operand = |a: u32| -> &Bitset {
+                results[a as usize].as_deref().unwrap_or_else(|| {
+                    let at = staged
+                        .binary_search_by_key(&a, |&(id, _)| id)
+                        .expect("operands evaluated before consumers");
+                    &staged[at].1
+                })
+            };
+            eval_op_into(self.model, self.mode, self.lw.ops[id as usize], operand, &mut out, &mut exec);
+            staged.push((id, Rc::new(out)));
         }
+        let root_vec = match staged.binary_search_by_key(&root, |&(id, _)| id) {
+            Ok(at) => Rc::clone(&staged[at].1),
+            Err(_) => Rc::clone(
+                self.results[root as usize].as_ref().expect("root cached by an earlier check"),
+            ),
+        };
+        self.exec.absorb(exec);
+        // Commit point: everything below is infallible. The cache-words
+        // budget gates publication as a whole — answer-but-don't-cache
+        // beats failing the query.
+        let staged_words: usize = staged.iter().map(|(_, b)| b.words().len()).sum();
+        if !ctl.budget.cache_over(self.published_words, staged_words) {
+            self.published_words += staged_words;
+            for (id, vec) in staged {
+                self.computed += 1;
+                self.results[id as usize] = Some(vec);
+            }
+        }
+        Ok(root_vec)
     }
 
     /// The model's minimum base (quotient by plain bisimilarity),

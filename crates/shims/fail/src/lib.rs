@@ -1,0 +1,379 @@
+//! Offline drop-in subset of the [tikv/fail-rs] failpoint API.
+//!
+//! A *failpoint* is a named site in library code where a test (or an
+//! operator, via `PORTNUM_FAILPOINTS`) can inject a fault: a panic, a
+//! delay, or an arbitrary callback. Sites are compiled in permanently —
+//! there is no cargo feature gate — and the disabled-path cost is one
+//! relaxed atomic load of a global counter, so production code pays
+//! essentially nothing when no failpoint is active.
+//!
+//! Supported action grammar (a subset of fail-rs, plus `cancel` which
+//! this workspace's chaos harness maps to a callback):
+//!
+//! ```text
+//! actions   := action ( "->" action )*        (fired left to right)
+//! action    := [ count "*" ] kind
+//! kind      := "panic" | "panic(" msg ")"
+//!            | "sleep(" millis ")" | "delay(" millis ")"
+//!            | "return" | "return(" value ")"
+//!            | "print" | "print(" msg ")"
+//!            | "off"
+//! ```
+//!
+//! A `count` prefix (`2*panic`) fires the action that many times and
+//! then falls through to the next action in the chain (or to no-op).
+//! `return` makes [`eval`] yield `Some(value)` — the macro caller maps
+//! that to an early return; sites in this workspace use it to make a
+//! worker thread exit so pool self-healing can be exercised.
+//!
+//! Environment activation: `PORTNUM_FAILPOINTS=site=action;site2=action`
+//! is parsed once by [`setup_from_env`] (the first call wins; later
+//! calls are no-ops). Malformed specs panic — same contract as every
+//! other `PORTNUM_*` knob in this workspace.
+//!
+//! [tikv/fail-rs]: https://github.com/tikv/fail-rs
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Number of currently registered (active) failpoints. The fast path in
+/// [`eval`] is a single relaxed load of this counter; while it is zero
+/// every site is a no-op.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+type Callback = Box<dyn Fn() + Send + Sync>;
+
+enum ActionKind {
+    Panic(Option<String>),
+    Sleep(Duration),
+    Return(Option<String>),
+    Print(Option<String>),
+    Callback(Callback),
+    Off,
+}
+
+struct Action {
+    /// Remaining firings before this action deactivates; `None` means
+    /// unlimited.
+    remaining: Option<usize>,
+    kind: ActionKind,
+}
+
+struct Registry {
+    sites: HashMap<String, Vec<Action>>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry { sites: HashMap::new() }))
+}
+
+fn parse_action(spec: &str) -> Result<Action, String> {
+    let spec = spec.trim();
+    let (remaining, body) = match spec.split_once('*') {
+        Some((count, rest)) => {
+            let n = count
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad failpoint count {count:?} in {spec:?}"))?;
+            (Some(n), rest.trim())
+        }
+        None => (None, spec),
+    };
+    let (name, arg) = match body.split_once('(') {
+        Some((name, rest)) => {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unbalanced parenthesis in failpoint action {spec:?}"))?;
+            (name.trim(), Some(inner.to_string()))
+        }
+        None => (body, None),
+    };
+    let kind = match name {
+        "panic" => ActionKind::Panic(arg),
+        "sleep" | "delay" => {
+            let ms = arg
+                .as_deref()
+                .unwrap_or("")
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad millis in failpoint action {spec:?}"))?;
+            ActionKind::Sleep(Duration::from_millis(ms))
+        }
+        "return" => ActionKind::Return(arg),
+        "print" => ActionKind::Print(arg),
+        "off" => ActionKind::Off,
+        other => return Err(format!("unknown failpoint action {other:?} in {spec:?}")),
+    };
+    Ok(Action { remaining, kind })
+}
+
+fn parse_actions(spec: &str) -> Result<Vec<Action>, String> {
+    spec.split("->").map(parse_action).collect()
+}
+
+fn set_parsed(site: &str, actions: Vec<Action>) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if reg.sites.insert(site.to_string(), actions).is_none() {
+        ACTIVE.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Activates `site` with the given action spec (see the module docs for
+/// the grammar). Replaces any previous configuration for the site.
+///
+/// # Errors
+///
+/// Returns a description of the malformed spec without touching the
+/// registry.
+pub fn cfg<S: AsRef<str>>(site: S, actions: &str) -> Result<(), String> {
+    let parsed = parse_actions(actions)?;
+    set_parsed(site.as_ref(), parsed);
+    Ok(())
+}
+
+/// Activates `site` with an arbitrary callback, fired on every hit
+/// until [`remove`] (or an `off`/count-exhausted reconfiguration).
+/// The chaos harness uses this to cancel a `CancelToken`-like flag
+/// from inside a deterministic execution point.
+pub fn cfg_callback<S: AsRef<str>, F>(site: S, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    set_parsed(
+        site.as_ref(),
+        vec![Action { remaining: None, kind: ActionKind::Callback(Box::new(f)) }],
+    );
+}
+
+/// Deactivates `site`. No-op if the site was not active.
+pub fn remove<S: AsRef<str>>(site: S) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if reg.sites.remove(site.as_ref()).is_some() {
+        ACTIVE.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Deactivates every site (test teardown helper).
+pub fn teardown() {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let n = reg.sites.len();
+    reg.sites.clear();
+    ACTIVE.fetch_sub(n, Ordering::Release);
+}
+
+/// Returns the currently active site names, sorted (diagnostics).
+pub fn list() -> Vec<String> {
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut names: Vec<String> = reg.sites.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// Parses `PORTNUM_FAILPOINTS` (format `site=action;site=action`) once
+/// per process and activates the listed sites. Later calls are no-ops.
+/// Malformed specs panic — the same parse-or-panic contract as the
+/// other `PORTNUM_*` knobs.
+pub fn setup_from_env() {
+    static DONE: OnceLock<()> = OnceLock::new();
+    DONE.get_or_init(|| {
+        if let Ok(spec) = std::env::var("PORTNUM_FAILPOINTS") {
+            for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+                let (site, actions) = entry
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("PORTNUM_FAILPOINTS entry {entry:?} missing '='"));
+                cfg(site.trim(), actions.trim())
+                    .unwrap_or_else(|e| panic!("PORTNUM_FAILPOINTS: {e}"));
+            }
+        }
+    });
+}
+
+/// Evaluates the failpoint named `site`. Returns `Some(value)` when a
+/// `return` action fired (the `fail_point!` macro maps this to an early
+/// return at the call site); `None` otherwise. Disabled sites cost one
+/// relaxed atomic load.
+pub fn eval(site: &str) -> Option<String> {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    // Resolve the action under the lock, but *fire* it outside so a
+    // panicking or sleeping action never holds the registry mutex.
+    enum Fire {
+        Panic(Option<String>),
+        Sleep(Duration),
+        Return(Option<String>),
+        Print(Option<String>),
+        Callback,
+    }
+    let fire = {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        let actions = reg.sites.get_mut(site)?;
+        let mut fire = None;
+        for action in actions.iter_mut() {
+            match action.remaining {
+                Some(0) => continue,
+                Some(ref mut n) => *n -= 1,
+                None => {}
+            }
+            fire = Some(match &action.kind {
+                ActionKind::Panic(msg) => Fire::Panic(msg.clone()),
+                ActionKind::Sleep(d) => Fire::Sleep(*d),
+                ActionKind::Return(v) => Fire::Return(v.clone()),
+                ActionKind::Print(msg) => Fire::Print(msg.clone()),
+                ActionKind::Callback(_) => Fire::Callback,
+                ActionKind::Off => return None,
+            });
+            break;
+        }
+        fire
+    };
+    match fire? {
+        Fire::Panic(msg) => {
+            let msg = msg.unwrap_or_else(|| format!("failpoint {site} panic"));
+            panic!("{msg}");
+        }
+        Fire::Sleep(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        Fire::Return(v) => Some(v.unwrap_or_default()),
+        Fire::Print(msg) => {
+            println!("{}", msg.unwrap_or_else(|| format!("failpoint {site} hit")));
+            None
+        }
+        Fire::Callback => {
+            // Re-acquire to run the callback: callbacks are not
+            // cloneable, so they fire under the lock. Callbacks must
+            // not recursively evaluate failpoints.
+            let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(actions) = reg.sites.get(site) {
+                for action in actions {
+                    if let ActionKind::Callback(f) = &action.kind {
+                        f();
+                        break;
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Marks a named failpoint site. Two forms:
+///
+/// * `fail_point!("site")` — evaluates the site; `return` actions are
+///   ignored (panic/sleep/callback still fire).
+/// * `fail_point!("site", |v| expr)` — evaluates the site; when a
+///   `return(value)` action fires, the closure receives the value
+///   string and its result is **returned from the enclosing function**.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {{
+        let _ = $crate::eval($site);
+    }};
+    ($site:expr, $body:expr) => {{
+        if let Some(value) = $crate::eval($site) {
+            #[allow(clippy::redundant_closure_call)]
+            return ($body)(value);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests serialise on one lock.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_site_is_noop() {
+        let _g = serial();
+        teardown();
+        assert_eq!(eval("nope"), None);
+    }
+
+    #[test]
+    fn count_prefix_exhausts() {
+        let _g = serial();
+        teardown();
+        cfg("shim-count", "2*return(x)").unwrap();
+        assert_eq!(eval("shim-count").as_deref(), Some("x"));
+        assert_eq!(eval("shim-count").as_deref(), Some("x"));
+        assert_eq!(eval("shim-count"), None);
+        remove("shim-count");
+    }
+
+    #[test]
+    fn chained_actions_fire_in_order() {
+        let _g = serial();
+        teardown();
+        cfg("shim-chain", "1*return(a)->return(b)").unwrap();
+        assert_eq!(eval("shim-chain").as_deref(), Some("a"));
+        assert_eq!(eval("shim-chain").as_deref(), Some("b"));
+        assert_eq!(eval("shim-chain").as_deref(), Some("b"));
+        remove("shim-chain");
+    }
+
+    #[test]
+    fn panic_action_panics_and_site_survives() {
+        let _g = serial();
+        teardown();
+        cfg("shim-panic", "1*panic(boom)").unwrap();
+        let err = std::panic::catch_unwind(|| eval("shim-panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom"), "payload was {msg:?}");
+        // Count exhausted: next hit is a no-op, registry not poisoned.
+        assert_eq!(eval("shim-panic"), None);
+        remove("shim-panic");
+    }
+
+    #[test]
+    fn callback_fires() {
+        let _g = serial();
+        teardown();
+        use std::sync::atomic::AtomicUsize;
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        cfg_callback("shim-cb", || {
+            HITS.fetch_add(1, Ordering::SeqCst);
+        });
+        eval("shim-cb");
+        eval("shim-cb");
+        assert_eq!(HITS.load(Ordering::SeqCst), 2);
+        remove("shim-cb");
+    }
+
+    #[test]
+    fn off_and_bad_specs() {
+        let _g = serial();
+        teardown();
+        cfg("shim-off", "off").unwrap();
+        assert_eq!(eval("shim-off"), None);
+        remove("shim-off");
+        assert!(cfg("x", "explode").is_err());
+        assert!(cfg("x", "sleep(abc)").is_err());
+        assert!(cfg("x", "panic(unbalanced").is_err());
+        assert!(cfg("x", "q*panic").is_err());
+    }
+
+    #[test]
+    fn macro_return_form() {
+        let _g = serial();
+        teardown();
+        fn site_fn() -> usize {
+            fail_point!("shim-macro", |v: String| v.parse::<usize>().unwrap_or(0));
+            7
+        }
+        assert_eq!(site_fn(), 7);
+        cfg("shim-macro", "return(42)").unwrap();
+        assert_eq!(site_fn(), 42);
+        remove("shim-macro");
+        assert_eq!(site_fn(), 7);
+    }
+}
