@@ -345,6 +345,70 @@ fn bench_eval_snapshot() {
             ones
         );
     }
+    // The million-world frontier: a streamed sparse G(n, p) model on
+    // 2²⁰ worlds (average degree 6), built through `KripkeBuilder`'s
+    // two-pass CSR streaming — no Graph, no intermediate edge Vec.
+    // `eval_1m_seq` is the forced-sequential reference, `eval_1m_pool`
+    // the forced-parallel run over the blocked/sharded chunk paths; at
+    // this size the pool is *required* to win, and the snapshot
+    // asserts it. `refine_1m_worklist` times worklist bisimulation
+    // refinement on the same model (gnp stabilises in O(log n) rounds,
+    // so the run is dominated by the round-1 fresh encode).
+    {
+        let n = 1usize << 20;
+        let k = workloads::huge_gnp(n, 6.0 / n as f64, 2012);
+        let deep = workloads::nested_diamonds(8);
+        let plan = Plan::compile(&k, &deep).expect("well-formed case");
+        let (reference, _) = plan.execute_forced_sequential(&k, DiamondMode::Auto);
+        let ones: usize = reference.iter().map(|b| b.count_ones()).sum();
+        let seq_median = median_us(
+            || plan.execute_forced_sequential(&k, DiamondMode::Auto).0,
+            |truths| assert_eq!(truths, reference),
+        );
+        let pool_median = median_us(
+            || plan.execute_forced_parallel(&k, DiamondMode::Auto).0,
+            |truths| assert_eq!(truths, reference),
+        );
+        let classes = bisim::refine(&k, BisimStyle::Plain);
+        let refine_median = median_us(
+            || bisim::refine_with(&k, BisimStyle::Plain, RefineEngine::Worklist),
+            |c| assert_eq!(c.final_level(), classes.final_level()),
+        );
+        let million_cases = [
+            ("eval_1m_seq", seq_median, ones),
+            ("eval_1m_pool", pool_median, ones),
+            ("refine_1m_worklist", refine_median, classes.class_count(classes.depth())),
+        ];
+        for (case, median, count) in million_cases {
+            t.row(["gnp1m".to_string(), case.to_string(), format!("{median:.1}"), count.to_string()]);
+            let _ = writeln!(
+                json,
+                "{{\"bench\":\"eval\",\"workload\":\"gnp1m\",\"case\":\"{}\",\"worlds\":{},\
+                 \"median_us\":{:.1},\"ones\":{}}}",
+                case,
+                n,
+                median,
+                count
+            );
+        }
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if cores > 1 {
+            assert!(
+                pool_median < seq_median,
+                "at 2^20 worlds the pool must beat sequential: \
+                 pool {pool_median:.1}µs vs seq {seq_median:.1}µs on {cores} cores"
+            );
+        } else {
+            // One core: the pool cannot win, but the chunked paths must
+            // stay within coordination overhead of the sequential sweep
+            // (no hash-map cliffs, no re-done work).
+            assert!(
+                pool_median < seq_median * 1.5,
+                "single-core pool overhead out of bounds: \
+                 pool {pool_median:.1}µs vs seq {seq_median:.1}µs"
+            );
+        }
+    }
     // Cancellation latency: wall time from `CancelToken::cancel()` to
     // the `Interrupted` return of a controlled execution, while the
     // long gnp512 formula suite runs in a loop on another thread (so

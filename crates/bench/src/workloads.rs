@@ -1,7 +1,7 @@
 //! Workload generators shared by the Criterion benches and `reproduce`.
 
 use portnum_graph::{generators, Graph, PortNumbering};
-use portnum_logic::{Formula, ModalIndex};
+use portnum_logic::{Formula, Kripke, KripkeBuilder, ModalIndex, ModelVariant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -121,6 +121,53 @@ pub fn regular_sweep(d: usize, sizes: &[usize], seed: u64) -> Vec<Workload> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Streamed million-world families. Each builds a `K₋,₋` model straight
+// through `KripkeBuilder`'s two-pass streaming CSR construction — no
+// `Graph`, no port numbering, no intermediate edge `Vec` — so peak
+// memory is the finished CSR plus O(1) stream state. At 10⁶–10⁷
+// worlds that is the difference between fitting in RAM and not.
+// ---------------------------------------------------------------------
+
+/// The streamed path `P_n` as a `K₋,₋` model on `n` worlds.
+pub fn huge_path(n: usize) -> Kripke {
+    KripkeBuilder::new(ModelVariant::MinusMinus, n)
+        .relation(ModalIndex::Any, move || generators::path_edges(n))
+        .build()
+        .expect("path stream stays in range")
+}
+
+/// The streamed caterpillar (spine path plus one leaf per spine world)
+/// as a `K₋,₋` model on `2·spine` worlds — the deep-tree shape of
+/// [`deep_tree`] at sizes where building the `Graph` first would
+/// dominate.
+pub fn huge_caterpillar(spine: usize) -> Kripke {
+    KripkeBuilder::new(ModelVariant::MinusMinus, 2 * spine)
+        .relation(ModalIndex::Any, move || generators::caterpillar_edges(spine))
+        .build()
+        .expect("caterpillar stream stays in range")
+}
+
+/// A streamed circulant (bounded-degree regular) `K₋,₋` model: world
+/// `v` sees `v ± o (mod n)` for every offset.
+pub fn huge_circulant(n: usize, offsets: Vec<usize>) -> Kripke {
+    KripkeBuilder::new(ModelVariant::MinusMinus, n)
+        .relation(ModalIndex::Any, move || generators::circulant_edges(n, &offsets))
+        .build()
+        .expect("circulant stream stays in range")
+}
+
+/// A streamed sparse `G(n, p)` `K₋,₋` model (seeded, deterministic):
+/// the geometric-skip stream touches only the kept pairs, so
+/// construction is `O(n + edges)` even though the pair space is
+/// `n(n−1)/2`. For a bounded average degree `d`, pass `p = d / n`.
+pub fn huge_gnp(n: usize, p: f64, seed: u64) -> Kripke {
+    KripkeBuilder::new(ModelVariant::MinusMinus, n)
+        .relation(ModalIndex::Any, move || generators::gnp_edges(n, p, seed))
+        .build()
+        .expect("gnp stream stays in range")
+}
+
 /// Random bounded-degree `G(n, p)` graphs.
 pub fn gnp_sweep(sizes: &[usize], p: f64, seed: u64) -> Vec<Workload> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -146,5 +193,24 @@ mod tests {
         assert_eq!(cycle_sweep(&[4, 8]).len(), 2);
         let regs = regular_sweep(3, &[8, 10], 7);
         assert!(regs.iter().all(|w| w.graph.max_degree() == 3));
+    }
+
+    #[test]
+    fn streamed_families_match_graph_built_models_in_miniature() {
+        // The streamed builders must agree with the Graph route at
+        // sizes where both are affordable; path and caterpillar emit
+        // rows in the Graph generators' exact adjacency order, so the
+        // models are `Eq`.
+        assert_eq!(huge_path(64), Kripke::k_mm(&generators::path(64)));
+        assert_eq!(huge_caterpillar(32), Kripke::k_mm(&generators::caterpillar(32)));
+        // Circulant rows may order offsets differently; check shape.
+        let c = huge_circulant(60, vec![1, 7]);
+        assert_eq!(c.len(), 60);
+        assert!(c.degrees().iter().all(|&d| d == 4));
+        // The gnp stream is its own RNG; check symmetry-level facts.
+        let g = huge_gnp(500, 0.01, 42);
+        assert_eq!(g.len(), 500);
+        assert_eq!(g.degrees().iter().sum::<usize>(), g.relation_entry_count());
+        assert!(g.relation_entry_count().is_multiple_of(2), "symmetric pairs come in twos");
     }
 }

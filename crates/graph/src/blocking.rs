@@ -1,0 +1,120 @@
+//! Cache blocking shared by the sweep-shaped hot loops.
+//!
+//! At 10⁶–10⁷ worlds a diamond sweep's working set (CSR row bounds,
+//! source and destination [`crate::bitset::Bitset`] words) is tens of
+//! megabytes — far past L2 — so an unblocked sweep streams everything
+//! through DRAM once per sweep. The million-world model families are
+//! locality-friendly by construction (paths, caterpillars, circulants,
+//! sparse G(n,p) with mostly-local edges after CSR layout), so tiling
+//! the sweep over fixed *world blocks* keeps a block's bitset words
+//! and row bounds resident in L2 while its rows are walked, and lets
+//! the walker prefetch the next block's row bounds while the current
+//! one computes.
+//!
+//! One module owns the block geometry so the two consumers — the plan
+//! executor's diamond sweeps/gathers (`portnum-logic`'s `plan`) and
+//! the worklist refiner's frontier encode ([`crate::partition`]) —
+//! cannot drift apart on tuning. Blocking is a *traversal order and
+//! hint* layer only: every consumer produces bit-identical output with
+//! blocking on or off, which is what lets the differential proptest
+//! matrix keep pinning blocked parallel paths against the sequential
+//! references.
+
+/// Bytes of per-core L2 cache the block geometry assumes. Conservative
+/// (most contemporary x86/ARM cores have 512 KiB–2 MiB): undersizing
+/// blocks costs a few extra loop trips, oversizing evicts the block's
+/// own words mid-sweep.
+pub const L2_BYTES: usize = 256 * 1024;
+
+/// Worlds per cache block for sweep-shaped loops.
+///
+/// Sized so one block's dominant streams fit in half of [`L2_BYTES`]
+/// (the other half is left to the irregular row-target reads): CSR row
+/// bounds at 8 bytes per world dominate, so `L2/2 / 8` = 16 Ki worlds.
+/// A multiple of 64, so block boundaries are always [`crate::bitset`]
+/// word boundaries and blocked writers can hand out whole words.
+pub const BLOCK_WORLDS: usize = 1 << 14;
+
+/// [`BLOCK_WORLDS`] expressed in 64-bit bitset words — the alignment
+/// unit parallel word-range splitters use so chunk boundaries coincide
+/// with cache-block boundaries.
+pub const BLOCK_WORDS: usize = BLOCK_WORLDS / 64;
+
+/// How many worlds ahead a sweep prefetches row bounds. Row bounds are
+/// read sequentially, so a short fixed distance is enough to cover the
+/// L2 miss latency without thrashing the prefetch queues.
+pub const PREFETCH_AHEAD: usize = 16;
+
+/// Iterator over the cache blocks of `0..n`: contiguous ranges of
+/// [`BLOCK_WORLDS`] worlds (the last one ragged). Every boundary is a
+/// multiple of 64.
+pub fn blocks(n: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    (0..n).step_by(BLOCK_WORLDS).map(move |start| start..(start + BLOCK_WORLDS).min(n))
+}
+
+/// Best-effort read prefetch of `slice[index]` into the nearest cache
+/// levels. Out-of-bounds indices are ignored (callers prefetch a fixed
+/// distance ahead and run off the end on the last block), and on
+/// targets without a prefetch intrinsic this is a no-op — it is purely
+/// a latency hint and never changes observable behaviour.
+#[inline(always)]
+pub fn prefetch_read<T>(slice: &[T], index: usize) {
+    if index >= slice.len() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        #[allow(unsafe_code)]
+        // SAFETY: `_mm_prefetch` is an architectural hint with no
+        // observable effect besides cache state; the pointer is
+        // in-bounds (checked above) and merely hinted, never
+        // dereferenced.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                slice.as_ptr().add(index).cast::<i8>(),
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = slice;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_geometry_is_word_aligned() {
+        assert_eq!(BLOCK_WORLDS % 64, 0);
+        assert_eq!(BLOCK_WORDS * 64, BLOCK_WORLDS);
+        // The dominant stream (8-byte row bounds per world) fits half L2.
+        const { assert!(BLOCK_WORLDS * 8 <= L2_BYTES / 2 + L2_BYTES % 2) }
+    }
+
+    #[test]
+    fn blocks_cover_exactly_once_in_order() {
+        for n in [0usize, 1, 63, 64, BLOCK_WORLDS - 1, BLOCK_WORLDS, BLOCK_WORLDS + 1, 3 * BLOCK_WORLDS + 7] {
+            let ranges: Vec<_> = blocks(n).collect();
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "n = {n}");
+                assert!(r.start % 64 == 0, "n = {n}");
+                assert!(!r.is_empty(), "n = {n}");
+                next = r.end;
+            }
+            assert_eq!(next, n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_noop_semantically() {
+        let data = [1u64, 2, 3];
+        prefetch_read(&data, 0);
+        prefetch_read(&data, 2);
+        prefetch_read(&data, 3); // out of bounds: ignored
+        prefetch_read(&data, usize::MAX);
+        assert_eq!(data, [1, 2, 3]);
+    }
+}

@@ -134,6 +134,21 @@ impl CscAdjacency {
     pub fn row_len(&self, w: usize) -> usize {
         self.bounds[w + 1] - self.bounds[w]
     }
+
+    /// Best-effort prefetch of node `w`'s row bounds and first
+    /// predecessor entries. A pure latency hint with
+    /// [`crate::blocking::prefetch_read`] semantics: out-of-range `w`
+    /// is ignored and observable behaviour never changes. Gather loops
+    /// that know which row they will visit next call this one
+    /// iteration ahead to hide the pointer-chase (bounds, then
+    /// entries) behind the current row's work.
+    #[inline]
+    pub fn prefetch_row(&self, w: usize) {
+        crate::blocking::prefetch_read(&self.bounds, w);
+        if let Some(&start) = self.bounds.get(w) {
+            crate::blocking::prefetch_read(&self.preds, start);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -340,6 +340,181 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     b.build()
 }
 
+// ---------------------------------------------------------------------
+// Streaming edge families
+//
+// The Graph constructors above materialise a Vec<Vec<NodeId>> adjacency
+// — fine up to ~10⁵ nodes, hopeless at the 10⁶–10⁷-world frontier
+// (pointer-chasing layout, per-row allocations, and `gnp`'s O(n²)
+// Bernoulli loop). The `*_edges` functions below are their streaming
+// counterparts: cheap, deterministic, restartable iterators over the
+// symmetric `(source, target)` pair sequence, consumed twice by a
+// counting-pass + placement-pass CSR builder (`portnum-logic`'s
+// `KripkeBuilder`) so a million-world model is built without any
+// intermediate edge storage. Each undirected edge {v, w} is emitted in
+// both directions; within one source, pair order is deterministic.
+// ---------------------------------------------------------------------
+
+/// Streaming symmetric edge pairs of the path `P_n` — each world `v`
+/// emits its neighbours `v − 1` (if any) then `v + 1` (if any).
+pub fn path_edges(n: usize) -> impl Iterator<Item = (u32, u32)> + Clone {
+    (0..n as u32).flat_map(move |v| {
+        let left = (v > 0).then(|| (v, v - 1));
+        let right = (v + 1 < n as u32).then_some((v, v + 1));
+        left.into_iter().chain(right)
+    })
+}
+
+/// Streaming symmetric edge pairs of the caterpillar on `2·spine`
+/// worlds (same shape as [`caterpillar`]): spine path `0‥spine`, one
+/// leaf `spine + v` per spine world `v`. Each world emits spine
+/// neighbours first, then its leaf/anchor edge.
+pub fn caterpillar_edges(spine: usize) -> impl Iterator<Item = (u32, u32)> + Clone {
+    let s = spine as u32;
+    let spine_part = (0..s).flat_map(move |v| {
+        let left = (v > 0).then(|| (v, v - 1));
+        let right = (v + 1 < s).then_some((v, v + 1));
+        let leaf = Some((v, s + v));
+        left.into_iter().chain(right).chain(leaf)
+    });
+    let leaves = (0..s).map(move |v| (s + v, v));
+    spine_part.chain(leaves)
+}
+
+/// Streaming symmetric edge pairs of the circulant graph
+/// `C_n(offsets)` (same family as [`circulant`], the bounded-degree
+/// regular workhorse): world `v` is adjacent to `v ± o (mod n)` for
+/// every offset. Offsets obey [`circulant`]'s rules — nonzero, at most
+/// `n/2`, distinct — and are validated eagerly with the same panics.
+///
+/// # Panics
+///
+/// As [`circulant`]: a zero offset, an offset above `n/2`, or a
+/// repeated offset.
+pub fn circulant_edges(n: usize, offsets: &[usize]) -> impl Iterator<Item = (u32, u32)> + Clone {
+    assert!(n >= 3, "a circulant needs at least 3 nodes");
+    let mut seen = std::collections::HashSet::new();
+    for &o in offsets {
+        assert!(o >= 1, "circulant offsets must be nonzero");
+        assert!(2 * o <= n, "circulant offset {o} exceeds n/2 = {}", n / 2);
+        assert!(seen.insert(o), "repeated circulant offset {o}");
+    }
+    let n32 = n as u32;
+    let offsets: std::sync::Arc<[u32]> = offsets.iter().map(|&o| o as u32).collect();
+    (0..n32).flat_map(move |v| {
+        let offsets = std::sync::Arc::clone(&offsets);
+        (0..offsets.len()).flat_map(move |i| {
+            let o = offsets[i];
+            let fwd = (v + o) % n32;
+            // The antipodal offset 2o == n collapses v+o and v−o into
+            // one neighbour; emit it once to keep the graph simple.
+            let back = (n32 + v - o) % n32;
+            let second = (back != fwd).then_some((v, back));
+            std::iter::once((v, fwd)).chain(second)
+        })
+    })
+}
+
+/// Streaming symmetric edge pairs of a seeded sparse `G(n, p)`: the
+/// undirected pairs `{v, w}`, `v < w`, are sampled in lexicographic
+/// order with geometric skips (`O(edges)` work, not [`gnp`]'s `O(n²)`
+/// coin flips), and each kept pair is emitted in both directions —
+/// `(v, w)` immediately followed by `(w, v)`. Deterministic in
+/// `(n, p, seed)` and restartable, so the two-pass CSR builder can
+/// replay it; row contents come out source-grouped by the builder
+/// regardless of emission order.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p < 1` (use [`complete`] for `p = 1`; the skip
+/// recurrence needs `ln(1 − p)`).
+pub fn gnp_edges(n: usize, p: f64, seed: u64) -> GnpEdges {
+    assert!((0.0..1.0).contains(&p), "gnp_edges needs 0 <= p < 1, got {p}");
+    GnpEdges {
+        n: n as u64,
+        p,
+        state: seed,
+        idx: 0,
+        started: false,
+        row: 0,
+        row_start: 0,
+        pending: None,
+    }
+}
+
+/// Iterator state of [`gnp_edges`]: a splitmix64 stream drives
+/// geometric skip lengths over a linear cursor into the
+/// lexicographically ordered pairs, decoded to `(v, w)` incrementally
+/// (each row boundary is crossed at most once over the whole
+/// iteration, so decoding is `O(n + edges)` total).
+#[derive(Debug, Clone)]
+pub struct GnpEdges {
+    n: u64,
+    p: f64,
+    state: u64,
+    /// Linear index of the current kept pair among the `n(n−1)/2`
+    /// pairs `{v, w}, v < w` in lexicographic order.
+    idx: u64,
+    started: bool,
+    /// Decoding state: `row_start` is the linear index of the first
+    /// pair of row `row` (i.e. of `{row, row + 1}`).
+    row: u64,
+    row_start: u64,
+    pending: Option<(u32, u32)>,
+}
+
+impl GnpEdges {
+    /// The next splitmix64 output, mapped to a uniform in `(0, 1]`
+    /// (never 0, so its `ln` is finite).
+    fn uniform(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 + f64::MIN_POSITIVE
+    }
+}
+
+impl Iterator for GnpEdges {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if let Some(back) = self.pending.take() {
+            return Some(back);
+        }
+        if self.p <= 0.0 || self.n < 2 {
+            return None;
+        }
+        // Geometric skip to the next kept pair; saturating arithmetic
+        // because a tiny p can produce skips beyond any pair count.
+        let denom = (1.0 - self.p).ln();
+        let u = self.uniform();
+        let skip = (u.ln() / denom).floor();
+        let skip = if skip >= u64::MAX as f64 { u64::MAX } else { skip as u64 };
+        if self.started {
+            self.idx = self.idx.saturating_add(skip).saturating_add(1);
+        } else {
+            self.idx = skip;
+            self.started = true;
+        }
+        let total = self.n * (self.n - 1) / 2;
+        if self.idx >= total {
+            return None;
+        }
+        // Decode the linear index: rows shrink by one pair each, and
+        // the cursor only moves forward, so walk row boundaries.
+        while self.idx >= self.row_start + (self.n - 1 - self.row) {
+            self.row_start += self.n - 1 - self.row;
+            self.row += 1;
+        }
+        let v = self.row as u32;
+        let w = (self.row + 1 + (self.idx - self.row_start)) as u32;
+        self.pending = Some((w, v));
+        Some((v, w))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,5 +689,107 @@ mod tests {
         let out = std::panic::catch_unwind(f);
         std::panic::set_hook(hook);
         out
+    }
+
+    /// Collects a symmetric edge stream into per-source rows.
+    fn stream_rows(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Vec<Vec<usize>> {
+        let mut rows = vec![Vec::new(); n];
+        for (v, w) in edges {
+            assert!((v as usize) < n && (w as usize) < n);
+            rows[v as usize].push(w as usize);
+        }
+        rows
+    }
+
+    #[test]
+    fn path_edges_match_graph_adjacency() {
+        for n in [0usize, 1, 2, 3, 17] {
+            let g = path(n);
+            let rows = stream_rows(n, path_edges(n));
+            for (v, row) in rows.iter().enumerate() {
+                assert_eq!(row, g.neighbors(v), "n = {n}, v = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn caterpillar_edges_match_graph_adjacency() {
+        for spine in [1usize, 2, 9] {
+            let g = caterpillar(spine);
+            let rows = stream_rows(2 * spine, caterpillar_edges(spine));
+            for (v, row) in rows.iter().enumerate() {
+                assert_eq!(row, g.neighbors(v), "spine = {spine}, v = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_edges_match_graph_as_sets() {
+        // The stream's within-row order differs from the builder's, so
+        // compare sorted rows (both sides are simple graphs).
+        for (n, offsets) in [(7usize, vec![1usize]), (10, vec![1, 3]), (6, vec![1, 3]), (5, vec![1, 2])] {
+            let g = circulant(n, &offsets);
+            let mut rows = stream_rows(n, circulant_edges(n, &offsets));
+            for (v, row) in rows.iter_mut().enumerate() {
+                row.sort_unstable();
+                row.dedup();
+                let mut expect = g.neighbors(v).to_vec();
+                expect.sort_unstable();
+                assert_eq!(*row, expect, "n = {n}, offsets = {offsets:?}, v = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_edges_reject_bad_offsets() {
+        assert!(catch_unwind_silent(|| circulant_edges(6, &[0]).count()).is_err());
+        assert!(catch_unwind_silent(|| circulant_edges(6, &[4]).count()).is_err());
+        assert!(catch_unwind_silent(|| circulant_edges(6, &[2, 2]).count()).is_err());
+    }
+
+    #[test]
+    fn gnp_edges_is_deterministic_symmetric_and_in_range() {
+        let a: Vec<_> = gnp_edges(200, 0.03, 42).collect();
+        let b: Vec<_> = gnp_edges(200, 0.03, 42).collect();
+        assert_eq!(a, b, "the stream must replay identically");
+        assert!(!a.is_empty());
+        assert_eq!(a.len() % 2, 0, "pairs come in both directions");
+        for pair in a.chunks_exact(2) {
+            let ((v, w), (x, y)) = (pair[0], pair[1]);
+            assert_eq!((v, w), (y, x), "each kept pair is emitted both ways");
+            assert!(v < w, "forward direction first");
+            assert!(w < 200);
+        }
+        // A different seed gives a different (but still valid) sample.
+        let c: Vec<_> = gnp_edges(200, 0.03, 43).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_edges_degenerate_cases() {
+        assert_eq!(gnp_edges(100, 0.0, 7).count(), 0);
+        assert_eq!(gnp_edges(1, 0.5, 7).count(), 0);
+        assert_eq!(gnp_edges(0, 0.5, 7).count(), 0);
+        assert!(catch_unwind_silent(|| gnp_edges(10, 1.0, 7)).is_err());
+        // Dense-ish p still visits every pair at most once.
+        let edges: Vec<_> = gnp_edges(40, 0.9, 11).collect();
+        let forward: Vec<_> = edges.iter().filter(|&&(v, w)| v < w).collect();
+        let mut dedup = forward.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(forward.len(), dedup.len(), "no pair sampled twice");
+        assert!(forward.len() as f64 >= 0.7 * (40.0 * 39.0 / 2.0));
+    }
+
+    #[test]
+    fn gnp_edges_expected_density_is_roughly_right() {
+        let n = 500usize;
+        let p = 0.02;
+        let kept = gnp_edges(n, p, 1).count() / 2;
+        let expect = p * (n * (n - 1) / 2) as f64;
+        assert!(
+            (kept as f64) > 0.5 * expect && (kept as f64) < 1.5 * expect,
+            "kept {kept} vs expected ~{expect}"
+        );
     }
 }

@@ -25,6 +25,9 @@
 //!   refinement and `portnum-logic`'s bisimulation;
 //! * [`bitset`] — packed `u64`-word truth vectors backing
 //!   `portnum-logic`'s word-parallel model checker;
+//! * [`blocking`] — the shared cache-block geometry (L2-sized world
+//!   blocks, row-bound prefetch) tiling the plan executor's diamond
+//!   sweeps and the worklist refiner's frontier encode;
 //! * [`pool`] — the persistent worker pool behind every parallel phase
 //!   (refinement encode rounds, parallel plan execution), tunable via
 //!   `PORTNUM_POOL`;
@@ -77,12 +80,14 @@
 //! ```
 
 // `deny` rather than `forbid`: the worker pool ([`pool`]) carries the
-// crate's only two `unsafe impl`s (lifetime-erased job handoff to
-// parked workers, justified there); everything else stays safe code.
+// crate's two `unsafe impl`s (lifetime-erased job handoff to parked
+// workers, justified there) and [`blocking`] wraps the architectural
+// prefetch hint; everything else stays safe code.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod blocking;
 pub mod cover;
 pub mod csc;
 mod error;

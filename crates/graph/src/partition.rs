@@ -360,8 +360,15 @@ pub const PARALLEL_THRESHOLD: usize = 1 << 13;
 
 /// Number of worker threads the refinement front-ends use for the encode
 /// phase (the host's available parallelism, 1 if unknown).
+///
+/// Cached for the life of the process: on Linux
+/// [`std::thread::available_parallelism`] re-reads the cgroup CPU quota
+/// files on every call (several microseconds of file I/O), and this
+/// function sits on the per-instruction path of the plan executor —
+/// uncached it costs more than the pool dispatch it is sizing.
 pub fn encode_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// How the `PORTNUM_POOL` environment variable overrides the parallel
@@ -389,12 +396,37 @@ fn pool_mode() -> PoolMode {
     })
 }
 
+/// Words of sweep/encode work one core retires per microsecond — a
+/// deliberately conservative estimate used only to convert the pool's
+/// *measured* dispatch cost ([`crate::pool::WorkerPool::dispatch_cost_ns`],
+/// nanoseconds) into the same unit as [`PARALLEL_THRESHOLD`] (words).
+/// Underestimating throughput overestimates the break-even floor,
+/// which errs on the safe (sequential) side for borderline calls.
+const WORDS_PER_US: u64 = 1024;
+
+/// The calibrated minimum work (in words) at which a pool fan-out can
+/// pay for its own dispatch: parallelising saves at most the whole
+/// sequential runtime, so the work must be worth at least ~2× the
+/// measured per-call coordination cost before going parallel wins.
+/// Never below the static [`PARALLEL_THRESHOLD`], which remains the
+/// cheap first gate (checking it does not touch — or lazily create —
+/// the global pool).
+pub fn parallel_floor_words() -> usize {
+    let cost_ns = crate::pool::WorkerPool::global().dispatch_cost_ns();
+    let floor = (2 * cost_ns * WORDS_PER_US / 1000) as usize;
+    PARALLEL_THRESHOLD.max(floor)
+}
+
 /// Worker threads for a parallel phase doing `work` words of per-call
 /// work (for refinement this is roughly nodes + stored successor
-/// pairs): [`encode_threads`] at or above [`PARALLEL_THRESHOLD`], 1
-/// (sequential) below it. The single gate shared by every parallel
-/// front-end (refinement rounds *and* plan execution) so the engines
-/// cannot diverge on tuning.
+/// pairs): [`encode_threads`] at or above the parallel floor, 1
+/// (sequential) below it. The floor is the static
+/// [`PARALLEL_THRESHOLD`] raised to the *measured* break-even point of
+/// the pool's calibrated dispatch cost ([`parallel_floor_words`]) —
+/// work that cannot amortise one real pool round-trip stays
+/// sequential. The single gate shared by every parallel front-end
+/// (refinement rounds *and* plan execution) so the engines cannot
+/// diverge on tuning.
 ///
 /// Setting the `PORTNUM_POOL` environment variable overrides the gate:
 /// `force` always parallelises (with at least 2 threads, so single-core
@@ -404,7 +436,10 @@ pub fn threads_for(work: usize) -> usize {
         PoolMode::Force => encode_threads().max(2),
         PoolMode::Off => 1,
         PoolMode::Auto => {
-            if work >= PARALLEL_THRESHOLD {
+            // Static gate first (short-circuit): below it we return
+            // without touching — or lazily constructing — the global
+            // pool that the calibrated floor would consult.
+            if work >= PARALLEL_THRESHOLD && work >= parallel_floor_words() {
                 encode_threads()
             } else {
                 1
@@ -754,6 +789,28 @@ fn group_one(sig: &[u64], stamp: u32, blocks: &mut Blocks, round: &mut RoundScra
         round.touched.push(b as u32);
     }
     blocks.dirty_count[b] += 1;
+    file_into_group(sig, b, blocks, round);
+}
+
+/// [`group_one`] for the all-fresh rounds ([`WorklistRefiner::round`]'s
+/// "every block fresh" fast path): the caller pre-stamped every block
+/// and pre-listed them all as touched before grouping began, so the
+/// per-node stamp check and touched push are skipped — on a
+/// fast-stabilising model whose dense frontier re-dirties the whole
+/// universe each round, that branch runs `n` times per round for no
+/// information. Same filing semantics otherwise (the `stamp` parameter
+/// only exists so both variants share one function-pointer type).
+fn group_one_fresh(sig: &[u64], _stamp: u32, blocks: &mut Blocks, round: &mut RoundScratch) {
+    let b = sig[0] as usize;
+    blocks.dirty_count[b] += 1;
+    file_into_group(sig, b, blocks, round);
+}
+
+/// The shared tail of [`group_one`]/[`group_one_fresh`]: files the
+/// signature into its signature-equal group, creating the group on
+/// first sight.
+#[inline]
+fn file_into_group(sig: &[u64], b: usize, blocks: &mut Blocks, round: &mut RoundScratch) {
     // Probe before inserting: repeated signatures (the common case)
     // must not allocate a key.
     let gid = match round.table.get(sig) {
@@ -1139,6 +1196,28 @@ impl<'a> WorklistRefiner<'a> {
         self.round.group_of.clear();
         self.round_stamp += 1;
         let stamp = self.round_stamp;
+        // "Every block fresh" fast path: on round 1 (and after every
+        // dense `moved*4 >= n` frontier — the steady state of dense
+        // fast-stabilising models) the dirty list is the whole
+        // universe, so every block is touched and has zero clean
+        // members. Pre-stamping all blocks once here lets the per-node
+        // filing skip the stamp check and touched push entirely. The
+        // touched order (block-id order instead of first-dirty-member
+        // order) only permutes *labels* of freshly split blocks —
+        // grouping, keeper choice, and the moved set are all decided
+        // by label-invariant data, and ids are canonicalised at every
+        // observation point ([`Self::canonical_level_into`]).
+        let fresh = self.dirty.len() == self.n;
+        if fresh {
+            self.round.touched.extend(0..self.blocks.count() as u32);
+            for b in 0..self.blocks.count() {
+                self.blocks.mark[b] = stamp;
+                self.blocks.head[b] = NONE_U32;
+                self.blocks.dirty_count[b] = 0;
+            }
+        }
+        let file: fn(&[u64], u32, &mut Blocks, &mut RoundScratch) =
+            if fresh { group_one_fresh } else { group_one };
         if threads > 1 {
             self.stats.parallel_rounds += 1;
             self.work.clear();
@@ -1155,6 +1234,11 @@ impl<'a> WorklistRefiner<'a> {
                 let mut blocks = std::mem::take(buf.blocks_scratch());
                 for i in range {
                     let v = dirty[i] as usize;
+                    // Row-bound lookahead, shared cache-block geometry
+                    // with the plan executor's sweeps (crate::blocking).
+                    if let Some(&ahead) = dirty.get(i + crate::blocking::PREFETCH_AHEAD) {
+                        crate::blocking::prefetch_read(row_bounds, ahead as usize);
+                    }
                     buf.begin(assign[v]);
                     for &(r, row) in &row_index[row_bounds[v]..row_bounds[v + 1]] {
                         buf.push_word(r);
@@ -1168,14 +1252,17 @@ impl<'a> WorklistRefiner<'a> {
             for ci in 0..self.buffers.len() {
                 for local in 0..self.buffers[ci].len() {
                     let sig = self.buffers[ci].signature(local);
-                    group_one(sig, stamp, &mut self.blocks, &mut self.round);
+                    file(sig, stamp, &mut self.blocks, &mut self.round);
                 }
             }
         } else {
             let mut sig = std::mem::take(&mut self.scratch_sig);
             let mut gather = std::mem::take(&mut self.scratch_blocks);
-            for &w in &self.dirty {
+            for (i, &w) in self.dirty.iter().enumerate() {
                 let v = w as usize;
+                if let Some(&ahead) = self.dirty.get(i + crate::blocking::PREFETCH_AHEAD) {
+                    crate::blocking::prefetch_read(&self.row_bounds, ahead as usize);
+                }
                 sig.clear();
                 sig.push(self.assign[v] as u64);
                 for &(r, row) in &self.row_index[self.row_bounds[v]..self.row_bounds[v + 1]] {
@@ -1183,7 +1270,7 @@ impl<'a> WorklistRefiner<'a> {
                     gather.extend(row.iter().map(|&u| self.assign[u as usize]));
                     encode_blocks(&mut sig, &mut gather, self.counting);
                 }
-                group_one(&sig, stamp, &mut self.blocks, &mut self.round);
+                file(&sig, stamp, &mut self.blocks, &mut self.round);
             }
             self.scratch_sig = sig;
             self.scratch_blocks = gather;

@@ -9,12 +9,65 @@
 //! than an entire refinement round on a mid-size model — which is why
 //! the old scoped-thread fan-out had to hide behind a large work gate.
 //!
-//! [`WorkerPool`] keeps the threads alive instead: workers park on a
-//! condvar between calls, and a call is one mutex-protected job
-//! installation plus one wake-up. Per-call overhead drops to a few
-//! microseconds, so the shared work gate
+//! [`WorkerPool`] keeps the threads alive instead, and keeps the
+//! per-call *submit path* light enough that back-to-back small calls
+//! (a plan executor walking a DAG level by level issues dozens) do not
+//! drown in coordination:
+//!
+//! * **Spin-then-park workers.** Between calls a worker first spins on
+//!   the epoch-tagged cursor for a few microseconds before parking on
+//!   the condvar. A burst of calls therefore pays the condvar wake
+//!   (two syscalls and a scheduler round-trip, the dominant cost of
+//!   the old per-call handshake) only for its *first* call; subsequent
+//!   dispatches are picked up by spinning workers at the cost of one
+//!   atomic store.
+//! * **Parked-count-gated wake.** The submit path calls `notify_all`
+//!   only when the parked-worker counter is nonzero, so a hot loop
+//!   never issues the wake syscall at all.
+//! * **Atomic completion counter.** Chunk completion is one
+//!   `fetch_sub` on a remaining-chunks atomic; only the *last* chunk
+//!   takes the done lock to wake a parked caller (the caller, too,
+//!   spins briefly before parking). The old protocol locked a mutex
+//!   and signalled a condvar once per chunk.
+//! * **Lock-free heal fast path.** Worker liveness is tracked by an
+//!   atomic counter (decremented by a drop guard on worker exit), so
+//!   the all-alive case of [`WorkerPool::heal`] — every call's entry
+//!   check — is one relaxed load instead of a mutex acquisition and a
+//!   handle scan.
+//!
+//! Per-call overhead drops from a handful of microseconds to well under
+//! one for warm (spinning) workers, so the shared work gate
 //! ([`crate::partition::PARALLEL_THRESHOLD`]) can sit an order of
 //! magnitude lower and small/medium models go parallel too.
+//!
+//! # Oversubscribed hosts
+//!
+//! When pool threads (workers plus the participating caller) outnumber
+//! the host's cores — the single-core CI shape — spinning inverts from
+//! latency hiding into sabotage: a caller burning its spin budget
+//! occupies the only core the straggling worker needs to finish the
+//! call (a ~100µs scheduler round-trip per stolen chunk), and a
+//! spinning worker steals the core from the caller producing the next
+//! call. An oversubscribed pool therefore (a) never wakes parked
+//! workers — the caller completes every call itself at inline speed,
+//! which is the throughput optimum when there is no spare core —
+//! (b) shrinks the worker spin window to a token budget, and (c) has
+//! the caller *yield* to a straggler rather than spin against it. The
+//! protocol (epoch claims, the remaining-chunks barrier, panic
+//! containment, healing) is identical in both regimes; only the
+//! waiting strategy changes.
+//!
+//! # Calibrated dispatch cost
+//!
+//! Construction of a pool with workers measures the real cost of one
+//! no-op `run` round-trip (median of a short burst, so a stray
+//! scheduling hiccup or an armed chaos failpoint cannot skew it) and
+//! exposes it as [`WorkerPool::dispatch_cost_ns`]. The parallel work
+//! gate ([`crate::partition::threads_for`]) prices this measured cost
+//! into its Auto decision — work below the *measured* break-even floor
+//! stays sequential even above the static [`crate::partition::PARALLEL_THRESHOLD`]
+//! — and the plan executor surfaces the same number in its `ExecStats`
+//! so a bench row records the coordination cost it actually paid.
 //!
 //! # Tuning (`PORTNUM_POOL`)
 //!
@@ -23,8 +76,9 @@
 //! `PORTNUM_POOL` environment variable overrides: `force` always
 //! parallelises (≥ 2 threads even on single-core hosts, so CI can
 //! drive every pool path), `off` never does, `auto` (default) gates on
-//! [`crate::partition::PARALLEL_THRESHOLD`]. The pool itself is sized
-//! `cores − 1` workers (minimum 1) plus the participating caller.
+//! [`crate::partition::PARALLEL_THRESHOLD`] and the calibrated floor.
+//! The pool itself is sized `cores − 1` workers (minimum 1) plus the
+//! participating caller.
 //!
 //! # Execution model
 //!
@@ -55,10 +109,13 @@
 //! claimed chunk has completed and no further chunk can be claimed for
 //! that epoch: workers verify the epoch with a compare-and-swap before
 //! every claim, so a stale worker can neither touch a new call's
-//! cursor nor run an old call's job after its borrow ended. Panics in
-//! a chunk are caught, remaining chunks are drained without running
-//! the job, and the panic is re-raised on the caller once the call's
-//! barrier is reached — the borrow again outlives every use.
+//! cursor nor run an old call's job after its borrow ended. The
+//! remaining-chunks counter only reaches zero after every claimed
+//! chunk's job invocation has returned, and the caller blocks until it
+//! does. Panics in a chunk are caught, remaining chunks are drained
+//! without running the job, and the panic is re-raised on the caller
+//! once the call's barrier is reached — the borrow again outlives
+//! every use.
 //!
 //! # Self-healing contract
 //!
@@ -72,9 +129,10 @@
 //!    the cross-crate reuse tests in `portnum-logic`).
 //! 2. **Worker death** — a worker thread that exits (injected via the
 //!    `pool-worker` failpoint, or killed by an unhandled panic outside
-//!    the chunk guard) is detected at the next [`WorkerPool::run`]
-//!    entry and respawned. In-flight calls are unaffected because the
-//!    caller participates and drains every chunk itself if need be.
+//!    the chunk guard) drops its liveness guard, which the next
+//!    [`WorkerPool::run`] entry detects (one atomic load) and repairs.
+//!    In-flight calls are unaffected because the caller participates
+//!    and drains every chunk itself if need be.
 //! 3. **Poisoned locks** — every mutex/condvar acquisition recovers
 //!    the guard from a `PoisonError`; the pool's state machine is
 //!    valid at every step that can unwind, so the poison flag carries
@@ -100,7 +158,7 @@
 
 use crate::resilience::{ExecControl, Interrupted};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
@@ -126,6 +184,41 @@ unsafe impl Send for Job {}
 // several workers at once are fine.
 unsafe impl Sync for Job {}
 
+/// Iterations a worker spins on the cursor before parking on the
+/// condvar. Each iteration is a load plus a `spin_loop` hint (~a few
+/// ns), so the spin window is in the tens of microseconds — enough to
+/// bridge the gaps of a plan executor walking DAG levels, short enough
+/// that an idle pool parks (and stops burning cores) almost at once.
+const WORKER_SPIN: u32 = 8_192;
+
+/// Worker spin budget when the pool is **oversubscribed** (more pool
+/// threads than cores, the single-core CI shape): every spin iteration
+/// then steals cycles from the caller that is trying to produce the
+/// next call, so workers give the core back almost immediately.
+const OVERSUBSCRIBED_WORKER_SPIN: u32 = 64;
+
+/// Iterations the caller spins on the remaining-chunks counter before
+/// escalating. The caller participates in the call, so by the time it
+/// starts waiting the stragglers are usually one in-flight chunk away;
+/// a short spin covers that without a syscall.
+const CALLER_SPIN: u32 = 256;
+
+/// `yield_now` rounds the caller inserts between spinning and parking.
+/// The straggler usually holds the call's last chunk; on an
+/// oversubscribed host it cannot *run* while the caller occupies the
+/// core, so burning the full spin budget first (the old protocol) cost
+/// a ~100µs scheduler round-trip per stolen chunk. Yielding hands the
+/// core straight to the straggler instead — the stall collapses to a
+/// context switch — while on idle multicore hosts a yield is a cheap
+/// syscall and the re-check loop stays tight.
+const CALLER_YIELDS: u32 = 512;
+
+/// No-op `run` calls timed by the construction-time calibration. The
+/// median of the burst is stored as the pool's dispatch cost, so a
+/// single scheduling hiccup (or an armed chaos failpoint delaying one
+/// dispatch) cannot skew the figure.
+const CALIBRATION_ROUNDS: usize = 17;
+
 /// Pool state guarded by the control mutex.
 struct Control {
     /// Bumped once per call; 0 means "no job has ever been installed",
@@ -141,27 +234,61 @@ struct Control {
 }
 
 struct Shared {
-    /// Serialises whole `run` calls: the epoch/cursor/done protocol
-    /// supports one active call at a time, so a second caller waits
-    /// here until the first call's barrier completes.
+    /// Serialises whole `run` calls: the epoch/cursor/remaining
+    /// protocol supports one active call at a time, so a second caller
+    /// waits here until the first call's barrier completes.
     call: Mutex<()>,
     control: Mutex<Control>,
-    /// Workers park here between calls.
+    /// Workers park here after their spin window expires.
     work_ready: Condvar,
-    /// Completed chunks of the current call; the caller parks on
-    /// `done_cv` until it reaches `chunks`.
-    done: Mutex<usize>,
+    /// Call-finished flag for a *parked* caller (spinning callers
+    /// never touch it); reset during job installation, set by the
+    /// thread that completes the call's last chunk.
+    done: Mutex<bool>,
     done_cv: Condvar,
     /// `(epoch << 32) | next_chunk`: the range-stealing cursor. The
     /// epoch tag makes claims from finished calls fail their CAS
-    /// instead of corrupting the next call's queue.
+    /// instead of corrupting the next call's queue — and doubles as
+    /// the value spinning workers watch for new work without taking
+    /// any lock.
     cursor: AtomicU64,
+    /// Chunks of the current call not yet completed; the call's
+    /// barrier is this counter reaching zero. Replaces the old
+    /// mutex-guarded per-chunk done count: completion is one
+    /// `fetch_sub` per chunk, and only the last chunk takes a lock.
+    remaining: AtomicU32,
+    /// Workers currently parked on `work_ready`; the submit path skips
+    /// the `notify_all` syscall entirely while this is zero (spinning
+    /// workers see the cursor store directly).
+    parked: AtomicUsize,
+    /// Shutdown mirror readable from the spin loop (the authoritative
+    /// flag lives in `Control` for the parked path's predicate).
+    shutdown: AtomicBool,
+    /// Live worker threads, maintained by a drop guard in the worker
+    /// loop — [`WorkerPool::heal`]'s all-alive fast path is one load.
+    live: AtomicUsize,
+    /// Whether pool threads (workers + the participating caller)
+    /// outnumber the host's cores — fixed at construction. Waiting
+    /// threads then yield instead of spinning, because every spin
+    /// iteration would steal the core from the thread being waited on.
+    oversubscribed: bool,
     /// Set when a chunk panics; remaining chunks are drained without
     /// running the job and the caller re-raises after the barrier.
     panicked: AtomicBool,
     /// The first panicking chunk's payload, resumed on the caller so
     /// the original message/location is not lost.
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Decrements the live-worker counter however the worker loop exits
+/// (normal shutdown, a `pool-worker` failpoint `return`, or a panic
+/// escaping the chunk guard), so heal's liveness view cannot leak.
+struct LiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
 }
 
 std::thread_local! {
@@ -202,12 +329,20 @@ pub struct WorkerPool {
     /// Total workers ever respawned by [`heal`](Self::heal);
     /// observable so tests can pin the self-healing contract.
     respawned: AtomicUsize,
+    /// Measured cost of one no-op `run` round-trip, in nanoseconds
+    /// (median of [`CALIBRATION_ROUNDS`] calls at construction; 0 for
+    /// zero-worker pools, whose calls are plain inline loops).
+    dispatch_cost_ns: AtomicU64,
 }
 
 impl WorkerPool {
     /// A pool with `workers` dedicated threads (the caller of
     /// [`run`](WorkerPool::run) always participates as one more).
     /// `workers == 0` is valid: every call then runs inline.
+    ///
+    /// Construction with workers also times a short burst of no-op
+    /// calls and stores the median as the pool's measured dispatch
+    /// cost (see [`dispatch_cost_ns`](Self::dispatch_cost_ns)).
     ///
     /// Pool construction also arms any failpoints named in the
     /// `PORTNUM_FAILPOINTS` environment variable (parsed once per
@@ -217,25 +352,35 @@ impl WorkerPool {
     /// scaffolding.
     pub fn new(workers: usize) -> WorkerPool {
         fail::setup_from_env();
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let shared = Arc::new(Shared {
             call: Mutex::new(()),
             control: Mutex::new(Control { epoch: 0, chunks: 0, job: None, shutdown: false }),
             work_ready: Condvar::new(),
-            done: Mutex::new(0),
+            done: Mutex::new(false),
             done_cv: Condvar::new(),
             cursor: AtomicU64::new(0),
+            remaining: AtomicU32::new(0),
+            parked: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            oversubscribed: workers + 1 > cores,
             panicked: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
         });
-        let handles =
-            (0..workers).map(|i| spawn_worker(&shared, i)).collect();
-        WorkerPool {
+        let handles = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
+        let pool = WorkerPool {
             shared,
             workers: Mutex::new(handles),
             target_workers: workers,
             next_worker_id: AtomicUsize::new(workers),
             respawned: AtomicUsize::new(0),
+            dispatch_cost_ns: AtomicU64::new(0),
+        };
+        if workers > 0 {
+            pool.calibrate();
         }
+        pool
     }
 
     /// The process-wide pool, created on first use with
@@ -255,6 +400,36 @@ impl WorkerPool {
         self.target_workers
     }
 
+    /// The measured cost of one no-op [`run`](Self::run) round-trip in
+    /// nanoseconds: the median of a short burst timed at construction.
+    /// This is the honest per-call coordination price the parallel
+    /// work gate ([`crate::partition::threads_for`]) charges against a
+    /// prospective fan-out, and the figure the plan executor surfaces
+    /// in its `ExecStats`. Zero for zero-worker pools (inline calls).
+    pub fn dispatch_cost_ns(&self) -> u64 {
+        self.dispatch_cost_ns.load(Ordering::Relaxed)
+    }
+
+    /// Times [`CALIBRATION_ROUNDS`] no-op calls and stores the median.
+    /// Each call is guarded against panics so an armed chaos failpoint
+    /// (`pool-dispatch=panic`) degrades the sample instead of aborting
+    /// pool construction; with no usable sample the cost stays 0 (the
+    /// gate then falls back to the static threshold alone).
+    fn calibrate(&self) {
+        let chunks = self.target_workers + 1;
+        let mut samples = Vec::with_capacity(CALIBRATION_ROUNDS);
+        for _ in 0..CALIBRATION_ROUNDS {
+            let start = std::time::Instant::now();
+            if catch_unwind(AssertUnwindSafe(|| self.run(chunks, &|_| {}))).is_ok() {
+                samples.push(start.elapsed().as_nanos() as u64);
+            }
+        }
+        samples.sort_unstable();
+        if !samples.is_empty() {
+            self.dispatch_cost_ns.store(samples[samples.len() / 2], Ordering::Relaxed);
+        }
+    }
+
     /// Total workers respawned by [`heal`](Self::heal) over the pool's
     /// lifetime — the observable half of the self-healing contract.
     pub fn respawn_count(&self) -> usize {
@@ -262,18 +437,19 @@ impl WorkerPool {
     }
 
     /// Detects and replaces dead worker threads. Called at every
-    /// [`run`](Self::run) entry; the all-alive fast path is one
-    /// `is_finished` atomic load per worker. A worker can die only by
-    /// exiting its loop (the `pool-worker` failpoint's `return` action)
-    /// or by a panic escaping the chunk guard — either way the epoch
-    /// protocol is unaffected, so a fresh worker can join mid-stream.
-    /// Public so callers can repair eagerly between calls; calling it
-    /// with every worker alive is one atomic load per worker.
+    /// [`run`](Self::run) entry; the all-alive fast path is a single
+    /// atomic load of the live-worker counter (each worker holds a
+    /// drop guard that decrements it on any exit). A worker can die
+    /// only by exiting its loop (the `pool-worker` failpoint's
+    /// `return` action) or by a panic escaping the chunk guard —
+    /// either way the epoch protocol is unaffected, so a fresh worker
+    /// can join mid-stream. Public so callers can repair eagerly
+    /// between calls.
     pub fn heal(&self) {
-        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
-        if workers.iter().all(|h| !h.is_finished()) {
+        if self.shared.live.load(Ordering::Acquire) >= self.target_workers {
             return;
         }
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
         let dead: Vec<JoinHandle<()>> = {
             let mut alive = Vec::with_capacity(workers.len());
             let mut dead = Vec::new();
@@ -353,25 +529,55 @@ impl WorkerPool {
             }
             control.chunks = chunks32;
             control.job = Some(Job { ptr });
-            *self.shared.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = 0;
+            *self.shared.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = false;
+            self.shared.remaining.store(chunks32, Ordering::Release);
             self.shared.panicked.store(false, Ordering::Relaxed);
-            // Publish the new cursor before workers can observe the new
-            // epoch (they read `control` under the mutex).
+            // Publish the new cursor last: spinning workers key off the
+            // epoch tag, and parked workers read `control` under the
+            // mutex — either way the job/chunk state is visible first.
             self.shared.cursor.store(u64::from(control.epoch) << 32, Ordering::Release);
             control.epoch
         };
-        self.shared.work_ready.notify_all();
+        // Wake parked workers only: spinning workers have already seen
+        // the cursor store, and an empty wait queue makes the notify a
+        // wasted syscall on the submit hot path. An *oversubscribed*
+        // pool never wakes parked workers at all — a woken worker must
+        // time-share the caller's own core, so the wake can only add
+        // syscalls and context switches to a call the participating
+        // caller (and any worker still inside its spin window) already
+        // completes; exactly-once execution never depends on workers.
+        if !self.shared.oversubscribed && self.shared.parked.load(Ordering::SeqCst) > 0 {
+            self.shared.work_ready.notify_all();
+        }
 
         // The caller is a worker too; with every chunk claimed via the
         // epoch-tagged cursor this also guarantees completion even if
         // all workers are still waking up.
         run_chunks(&self.shared, epoch, chunks32, Job { ptr });
 
-        let mut done = self.shared.done.lock().unwrap_or_else(PoisonError::into_inner);
-        while *done < chunks {
-            done = self.shared.done_cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        // Completion barrier, in three tiers: spin briefly (the caller
+        // just ran chunks, so stragglers are usually one in-flight
+        // chunk away), then yield — on an oversubscribed host the
+        // straggler needs this core to finish at all, and handing it
+        // over costs a context switch instead of the spin budget plus
+        // a scheduler round-trip — and finally park on the done
+        // condvar.
+        let mut waits = 0u32;
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            waits += 1;
+            if waits < CALLER_SPIN {
+                std::hint::spin_loop();
+            } else if waits < CALLER_SPIN + CALLER_YIELDS {
+                std::thread::yield_now();
+            } else {
+                let mut done =
+                    self.shared.done.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*done {
+                    done = self.shared.done_cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+                }
+                break;
+            }
         }
-        drop(done);
         // Drop the erased pointer before the borrow ends.
         self.shared.control.lock().unwrap_or_else(std::sync::PoisonError::into_inner).job = None;
         if self.shared.panicked.swap(false, Ordering::Relaxed) {
@@ -435,6 +641,9 @@ impl Drop for WorkerPool {
             let mut control = self.shared.control.lock().unwrap_or_else(PoisonError::into_inner);
             control.shutdown = true;
         }
+        // Spinning workers watch the atomic mirror; parked workers the
+        // control flag via the condvar.
+        self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_ready.notify_all();
         let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
         for handle in workers.drain(..) {
@@ -450,6 +659,10 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 fn spawn_worker(shared: &Arc<Shared>, id: usize) -> JoinHandle<()> {
+    // Count the worker live from the spawning side, so a heal/run
+    // racing the thread's startup does not see a phantom shortfall and
+    // spawn a duplicate.
+    shared.live.fetch_add(1, Ordering::Release);
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
         .name(format!("portnum-pool-{id}"))
@@ -458,6 +671,7 @@ fn spawn_worker(shared: &Arc<Shared>, id: usize) -> JoinHandle<()> {
 }
 
 fn worker_loop(shared: &Shared) {
+    let _live = LiveGuard(&shared.live);
     let mut seen = 0u32;
     loop {
         // Chaos site: a `return` action makes this worker exit, which
@@ -465,16 +679,49 @@ fn worker_loop(shared: &Shared) {
         // the caller participates in every call, so in-flight chunks
         // still complete without this worker.
         fail::fail_point!("pool-worker", |_| ());
+        // Spin-then-park: watch the cursor's epoch tag for a fresh
+        // call before paying the condvar round-trip. A burst of small
+        // calls is picked up here, lock-free. On an oversubscribed
+        // host the budget is tiny — a spinning worker would be
+        // stealing the core from the caller producing the next call.
+        let spin_budget =
+            if shared.oversubscribed { OVERSUBSCRIBED_WORKER_SPIN } else { WORKER_SPIN };
+        let mut spun_out = true;
+        let mut spins = 0u32;
+        while spins < spin_budget {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let tag = (shared.cursor.load(Ordering::Acquire) >> 32) as u32;
+            if tag != seen && tag != 0 {
+                spun_out = false;
+                break;
+            }
+            spins += 1;
+            std::hint::spin_loop();
+        }
         let (epoch, chunks, job) = {
-            let mut control = shared.control.lock().unwrap_or_else(PoisonError::into_inner);
-            loop {
-                if control.shutdown {
-                    return;
+            let mut control =
+                shared.control.lock().unwrap_or_else(PoisonError::into_inner);
+            if spun_out {
+                // Park. The parked counter is published before the
+                // epoch recheck under the lock, so a submitter either
+                // sees us parked (and notifies) or we see its epoch.
+                shared.parked.fetch_add(1, Ordering::SeqCst);
+                loop {
+                    if control.shutdown {
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                        return;
+                    }
+                    if control.epoch != seen {
+                        break;
+                    }
+                    control =
+                        shared.work_ready.wait(control).unwrap_or_else(PoisonError::into_inner);
                 }
-                if control.epoch != seen {
-                    break;
-                }
-                control = shared.work_ready.wait(control).unwrap_or_else(PoisonError::into_inner);
+                shared.parked.fetch_sub(1, Ordering::SeqCst);
+            } else if control.shutdown {
+                return;
             }
             seen = control.epoch;
             (control.epoch, control.chunks, control.job)
@@ -488,7 +735,10 @@ fn worker_loop(shared: &Shared) {
 /// Claims and executes chunks of the given epoch until the queue is
 /// exhausted or the epoch moves on. Every claim is an epoch-verified
 /// CAS, so a thread that dozed through the end of a call cannot steal
-/// from (or double-count into) the next one.
+/// from (or double-count into) the next one. Completion is one
+/// `fetch_sub` on the remaining counter per chunk; the thread that
+/// completes the call's last chunk additionally takes the done lock to
+/// wake a parked caller.
 fn run_chunks(shared: &Shared, epoch: u32, chunks: u32, job: Job) {
     loop {
         let mut cursor = shared.cursor.load(Ordering::Acquire);
@@ -534,9 +784,12 @@ fn run_chunks(shared: &Shared, epoch: u32, chunks: u32, job: Job) {
                 shared.panicked.store(true, Ordering::Relaxed);
             }
         }
-        let mut done = shared.done.lock().unwrap_or_else(PoisonError::into_inner);
-        *done += 1;
-        if *done == chunks as usize {
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last chunk of the call: flip the done flag under its
+            // lock so a caller that gave up spinning (checks the flag
+            // under the same lock) cannot miss the wake.
+            let mut done = shared.done.lock().unwrap_or_else(PoisonError::into_inner);
+            *done = true;
             shared.done_cv.notify_all();
         }
     }
@@ -582,6 +835,7 @@ mod tests {
     fn zero_worker_pool_runs_inline() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.worker_count(), 0);
+        assert_eq!(pool.dispatch_cost_ns(), 0, "inline calls have no dispatch cost");
         let sum = AtomicUsize::new(0);
         pool.run(10, &|i| {
             sum.fetch_add(i, Ordering::Relaxed);
@@ -600,6 +854,31 @@ mod tests {
             });
         }
         assert_eq!(total.load(Ordering::Relaxed), 2000 * 6);
+    }
+
+    #[test]
+    fn pool_survives_calls_across_park_boundaries() {
+        // Sleeping past the spin window parks every worker; the next
+        // call must take the condvar wake path and still complete.
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for round in 0..3 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            pool.run(8, &|i| {
+                total.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), (round + 1) * 36);
+        }
+    }
+
+    #[test]
+    fn dispatch_cost_is_calibrated_at_construction() {
+        let pool = WorkerPool::new(2);
+        let cost = pool.dispatch_cost_ns();
+        assert!(cost > 0, "a pool with workers must measure a nonzero dispatch cost");
+        // Sanity ceiling: a no-op round-trip through warm workers is
+        // microseconds, not milliseconds (loose bound for CI noise).
+        assert!(cost < 50_000_000, "implausible dispatch cost: {cost}ns");
     }
 
     #[test]

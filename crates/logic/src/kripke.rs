@@ -121,9 +121,188 @@ impl CsrRelation {
         CsrRelation { offsets, targets }
     }
 
+    /// Builds a CSR row set from a **re-runnable** edge stream, without
+    /// ever materialising the pairs: one counting pass sizes the rows,
+    /// one placement pass writes targets straight into their final
+    /// slots. `edges()` must yield the same sequence on both calls
+    /// (the million-world generators are deterministic closures, so
+    /// this is free); pair order is preserved within each source's
+    /// row, exactly as [`CsrRelation::from_pairs`] does.
+    fn from_stream<I>(n: usize, edges: impl Fn() -> I) -> CsrRelation
+    where
+        I: Iterator<Item = (u32, u32)>,
+    {
+        let mut offsets = vec![0usize; n + 1];
+        for (v, _) in edges() {
+            offsets[v as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; offsets[n]];
+        for (v, w) in edges() {
+            let slot = cursor[v as usize];
+            debug_assert!(
+                slot < offsets[v as usize + 1],
+                "edge stream changed between the counting and placement passes"
+            );
+            targets[slot] = w;
+            cursor[v as usize] = slot + 1;
+        }
+        CsrRelation { offsets, targets }
+    }
+
     #[inline]
     fn row(&self, v: usize) -> &[u32] {
         &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
+/// Type of the edge-stream factories a [`KripkeBuilder`] stores: each
+/// call must replay the same `(source, target)` sequence (the builder
+/// runs one counting and one placement pass per relation).
+type EdgeStreamFn<'a> = Box<dyn Fn() -> Box<dyn Iterator<Item = (u32, u32)> + 'a> + 'a>;
+
+/// Streaming [`Kripke`] construction: edges flow from generator
+/// closures straight into the final CSR arrays (counting pass +
+/// placement pass per relation), so a 10⁶–10⁷-world model is built
+/// without ever materialising an intermediate edge `Vec` — peak memory
+/// is the finished model plus one `usize` cursor per world.
+///
+/// Each relation is registered as a *factory closure* returning a
+/// fresh iterator over `(source, target)` pairs; the closure is called
+/// twice and must replay the same sequence both times (deterministic
+/// generators — [`portnum_graph::generators::path_edges`] and
+/// friends — satisfy this by construction). Pair order within a
+/// source's row is preserved, so a builder fed the same pair sequence
+/// as [`Kripke::from_parts`] produces an `Eq`-identical model; the
+/// streaming proptests pin exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::generators;
+/// use portnum_logic::{Kripke, KripkeBuilder, ModalIndex, ModelVariant};
+///
+/// let n = 1 << 10;
+/// let streamed = KripkeBuilder::new(ModelVariant::MinusMinus, n)
+///     .relation(ModalIndex::Any, || generators::path_edges(n))
+///     .degrees_from_streams()
+///     .build()?;
+/// assert_eq!(streamed.len(), n);
+/// assert_eq!(streamed.degree(0), 1);
+/// assert_eq!(streamed.degree(1), 2);
+/// # Ok::<(), portnum_logic::LogicError>(())
+/// ```
+pub struct KripkeBuilder<'a> {
+    variant: ModelVariant,
+    n: usize,
+    degree: Option<Vec<usize>>,
+    relations: BTreeMap<ModalIndex, EdgeStreamFn<'a>>,
+}
+
+impl<'a> KripkeBuilder<'a> {
+    /// A builder for an `n`-world model of the given variant. The
+    /// degree valuation defaults to
+    /// [`degrees_from_streams`](Self::degrees_from_streams); pass an
+    /// explicit vector via [`degrees`](Self::degrees) to override.
+    pub fn new(variant: ModelVariant, n: usize) -> KripkeBuilder<'a> {
+        KripkeBuilder { variant, n, degree: None, relations: BTreeMap::new() }
+    }
+
+    /// Sets the degree valuation explicitly (`degree.len()` must be the
+    /// builder's world count; checked in [`build`](Self::build)).
+    pub fn degrees(mut self, degree: Vec<usize>) -> KripkeBuilder<'a> {
+        self.degree = Some(degree);
+        self
+    }
+
+    /// Derives the degree valuation from the streams themselves:
+    /// `degree(v)` = total out-degree of `v` across all registered
+    /// relations. For all four canonical port models this *is* the
+    /// graph degree (each of `v`'s ports contributes exactly one
+    /// stored pair with source `v`, under every projection), so the
+    /// million-world families get the right valuation with no extra
+    /// pass — the counting pass already computes it.
+    pub fn degrees_from_streams(mut self) -> KripkeBuilder<'a> {
+        self.degree = None;
+        self
+    }
+
+    /// Registers the relation for `index` as a replayable edge-stream
+    /// factory. Registering the same index twice replaces the stream.
+    pub fn relation<I, F>(mut self, index: ModalIndex, edges: F) -> KripkeBuilder<'a>
+    where
+        F: Fn() -> I + 'a,
+        I: Iterator<Item = (u32, u32)> + 'a,
+    {
+        self.relations.insert(index, Box::new(move || Box::new(edges())));
+        self
+    }
+
+    /// Streams every registered relation into its final CSR arrays and
+    /// assembles the model.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::FamilyMismatch`] if a registered index does not
+    /// belong to the variant's family, [`LogicError::WorldOutOfRange`]
+    /// if any streamed pair mentions a world `>= n`, or if an explicit
+    /// degree vector's length is not `n`.
+    pub fn build(self) -> Result<Kripke, LogicError> {
+        let n = self.n;
+        assert!(n <= u32::MAX as usize, "Kripke models are capped at 2^32 worlds");
+        if let Some(degree) = &self.degree {
+            if degree.len() != n {
+                return Err(LogicError::WorldOutOfRange);
+            }
+        }
+        let mut index_keys = Vec::with_capacity(self.relations.len());
+        let mut relations = Vec::with_capacity(self.relations.len());
+        for (&index, make) in &self.relations {
+            if index.family() != self.variant.family() {
+                return Err(LogicError::FamilyMismatch {
+                    expected: self.variant.family(),
+                    found: index.family(),
+                });
+            }
+            // Range-check on the counting pass (the placement pass
+            // replays the same stream), so a bad generator fails with
+            // a typed error before any CSR memory is written.
+            let cap = n as u64;
+            if make().any(|(v, w)| u64::from(v) >= cap || u64::from(w) >= cap) {
+                return Err(LogicError::WorldOutOfRange);
+            }
+            index_keys.push(index);
+            relations.push(CsrRelation::from_stream(n, make));
+        }
+        let degree = match self.degree {
+            Some(degree) => degree,
+            None => {
+                // Sum of out-degrees across relations, straight from
+                // the already-built offsets — no extra stream pass.
+                let mut degree = vec![0usize; n];
+                for rel in &relations {
+                    for (v, d) in degree.iter_mut().enumerate() {
+                        *d += rel.offsets[v + 1] - rel.offsets[v];
+                    }
+                }
+                degree
+            }
+        };
+        let reverse = (0..relations.len()).map(|_| OnceLock::new()).collect();
+        let reverse_csc = (0..relations.len()).map(|_| OnceLock::new()).collect();
+        Ok(Kripke {
+            variant: self.variant,
+            degree,
+            index_keys,
+            relations,
+            reverse,
+            reverse_csc,
+            reverse_csc_combined: OnceLock::new(),
+            empty: Vec::new(),
+        })
     }
 }
 

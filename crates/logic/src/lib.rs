@@ -89,7 +89,7 @@ pub use error::{CompileError, LogicError, ParseError};
 pub use eval::{evaluate, evaluate_packed, evaluate_packed_recursive, extension, satisfies};
 pub use plan::{DiamondMode, ModelChecker, Plan};
 pub use formula::{Formula, FormulaKind, IndexFamily, ModalIndex};
-pub use kripke::{Kripke, ModelVariant};
+pub use kripke::{Kripke, KripkeBuilder, ModelVariant};
 pub use parser::parse;
 pub use quotient::{minimum_base, quotient};
 pub use transform::{is_nnf, nnf, simplify};

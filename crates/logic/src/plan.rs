@@ -89,17 +89,33 @@
 //! * **within an instruction** — `Prop` and forward diamonds split the
 //!   world range at 64-aligned, work-weighted boundaries (the CSR
 //!   offsets are the work prefix-sums) and fill disjoint word ranges
-//!   of the output slot; reverse diamonds split `iter_ones(‖φ‖)` at
-//!   popcount quantiles into per-chunk partial unions merged with
-//!   [`Bitset::or_assign`];
+//!   of the output slot; dense reverse diamonds split `iter_ones(‖φ‖)`
+//!   at popcount quantiles into per-chunk partial unions merged with
+//!   [`Bitset::or_assign`]; CSC gathers split the *entry* space at
+//!   equal-count boundaries that may fall inside a single hub world's
+//!   predecessor row, so one high-degree world can no longer serialise
+//!   a chunk;
 //! * **across instructions** — all instructions of one DAG level are
 //!   independent (the level-aware slot allocator guarantees no
 //!   aliasing), so a wide level executes as one pool call with one
 //!   chunk per instruction.
 //!
+//! Forward sweeps (sequential and chunked alike) are additionally
+//! tiled over the shared cache-block geometry
+//! ([`portnum_graph::blocking`]) with row-bound/row-target lookahead
+//! prefetch — a pure traversal-order-and-hint layer.
+//!
 //! Both axes write only per-chunk state, so results are bit-identical
 //! to the sequential engine (proptest-pinned; `execute_forced_parallel`
-//! is the test knob that drives them below the gate).
+//! is the test knob that drives them below the gate, and
+//! `execute_forced_sequential` the converse knob pinning the reference
+//! at sizes the work gate would parallelise).
+//!
+//! The gate itself is two-stage: the static word floor
+//! ([`portnum_graph::partition::threads_for`]) plus a floor derived
+//! from the pool's *measured* per-dispatch coordination cost
+//! ([`portnum_graph::partition::parallel_floor_words`], calibrated at
+//! pool construction and surfaced in [`ExecStats::dispatch_cost_ns`]).
 //!
 //! # Suites and the per-model cache
 //!
@@ -115,6 +131,7 @@ use crate::error::LogicError;
 use crate::formula::{Formula, FormulaKind};
 use crate::kripke::Kripke;
 use portnum_graph::bitset::{fill_words_from_fn, Bitset};
+use portnum_graph::blocking;
 use portnum_graph::csc::CscAdjacency;
 use portnum_graph::partition::{encode_threads, quantile_ranges, threads_for, FxHashMap};
 use portnum_graph::pool::WorkerPool;
@@ -278,10 +295,21 @@ pub struct ExecStats {
     /// Instructions executed concurrently with same-level siblings
     /// (instruction-level parallelism over the plan DAG).
     pub level_parallel_ops: usize,
+    /// The pool's measured per-dispatch coordination cost in
+    /// nanoseconds ([`WorkerPool::dispatch_cost_ns`], calibrated once
+    /// at pool construction) when this run dispatched any pool call,
+    /// `0` for a fully sequential run. This is the number the Auto
+    /// work gate prices against
+    /// ([`portnum_graph::partition::parallel_floor_words`]), surfaced
+    /// here so benches and regression rows can record the gate's
+    /// input alongside the timings it produced.
+    pub dispatch_cost_ns: u64,
 }
 
 impl ExecStats {
     /// Adds `other`'s counters into `self` (merging per-chunk stats).
+    /// The dispatch cost is a calibration constant, not a counter, so
+    /// it merges by `max` (either side that touched the pool knows it).
     fn absorb(&mut self, other: ExecStats) {
         self.executed += other.executed;
         self.forward_diamonds += other.forward_diamonds;
@@ -289,7 +317,20 @@ impl ExecStats {
         self.csc_diamonds += other.csc_diamonds;
         self.chunked_ops += other.chunked_ops;
         self.level_parallel_ops += other.level_parallel_ops;
+        self.dispatch_cost_ns = self.dispatch_cost_ns.max(other.dispatch_cost_ns);
     }
+}
+
+/// How the executor resolves thread counts: the two-stage Auto work
+/// gate, forced parallel (tests and benches pinning the pool paths
+/// below the gate), or forced sequential (the benches' reference
+/// timings above it). Orthogonal to [`DiamondMode`]: strategy choice
+/// and parallelisation never influence each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Parallelism {
+    Auto,
+    Force,
+    Off,
 }
 
 /// Reusable lowering state: the instruction list, the structural
@@ -664,7 +705,7 @@ impl Plan {
     ///
     /// See [`Plan::execute`].
     pub fn execute_with(&self, model: &Kripke, mode: DiamondMode) -> (Vec<Bitset>, ExecStats) {
-        self.execute_impl(model, mode, false, &ExecControl::unrestricted())
+        self.execute_impl(model, mode, Parallelism::Auto, &ExecControl::unrestricted())
             .expect("unrestricted execution cannot be interrupted")
     }
 
@@ -698,7 +739,7 @@ impl Plan {
         mode: DiamondMode,
         ctl: &ExecControl,
     ) -> Result<(Vec<Bitset>, ExecStats), Interrupted> {
-        self.execute_impl(model, mode, false, ctl)
+        self.execute_impl(model, mode, Parallelism::Auto, ctl)
     }
 
     /// Runs the executor with every parallel path forced on (both
@@ -708,7 +749,23 @@ impl Plan {
     /// else.
     #[doc(hidden)]
     pub fn execute_forced_parallel(&self, model: &Kripke, mode: DiamondMode) -> (Vec<Bitset>, ExecStats) {
-        self.execute_impl(model, mode, true, &ExecControl::unrestricted())
+        self.execute_impl(model, mode, Parallelism::Force, &ExecControl::unrestricted())
+            .expect("unrestricted execution cannot be interrupted")
+    }
+
+    /// Runs the executor with every parallel path forced *off* (one
+    /// thread regardless of work), so benches can measure the
+    /// sequential reference at sizes the Auto work gate would
+    /// parallelise — the counterpart of
+    /// [`Plan::execute_forced_parallel`] on the other side of the
+    /// gate. Bit-identical output to every other mode.
+    #[doc(hidden)]
+    pub fn execute_forced_sequential(
+        &self,
+        model: &Kripke,
+        mode: DiamondMode,
+    ) -> (Vec<Bitset>, ExecStats) {
+        self.execute_impl(model, mode, Parallelism::Off, &ExecControl::unrestricted())
             .expect("unrestricted execution cannot be interrupted")
     }
 
@@ -721,7 +778,7 @@ impl Plan {
         mode: DiamondMode,
         ctl: &ExecControl,
     ) -> Result<(Vec<Bitset>, ExecStats), Interrupted> {
-        self.execute_impl(model, mode, true, ctl)
+        self.execute_impl(model, mode, Parallelism::Force, ctl)
     }
 
     /// Estimated work of one instruction, in the same "words of work"
@@ -737,7 +794,7 @@ impl Plan {
         &self,
         model: &Kripke,
         mode: DiamondMode,
-        force: bool,
+        par: Parallelism,
         ctl: &ExecControl,
     ) -> Result<(Vec<Bitset>, ExecStats), Interrupted> {
         assert_eq!(
@@ -757,11 +814,12 @@ impl Plan {
             .slots_over(self.slot_count * word_len + (encode_threads().max(2) + 1) * word_len);
         let threads = |work: usize| {
             if !parallel_ok {
-                1
-            } else if force {
-                encode_threads().max(2)
-            } else {
-                threads_for(work)
+                return 1;
+            }
+            match par {
+                Parallelism::Off => 1,
+                Parallelism::Force => encode_threads().max(2),
+                Parallelism::Auto => threads_for(work),
             }
         };
         let mut touched = 0usize;
@@ -839,6 +897,12 @@ impl Plan {
                     results.push(std::mem::take(&mut slots[slot as usize]));
                 }
             }
+        }
+        // Record the coordination cost the work gate priced this run
+        // against — only when the pool actually dispatched, so a
+        // sequential run reports 0 and stats stay engine-faithful.
+        if stats.chunked_ops > 0 || stats.level_parallel_ops > 0 {
+            stats.dispatch_cost_ns = WorkerPool::global().dispatch_cost_ns();
         }
         Ok((results, stats))
     }
@@ -1074,6 +1138,56 @@ fn csc_gather_into(
     }
 }
 
+/// The forward CSR diamond sweep of one world range, tiled over the
+/// shared cache-block geometry ([`blocking`]): worlds are visited in
+/// blocks of [`blocking::BLOCK_WORLDS`] so a block's row bounds and
+/// output words stay L2-resident while its rows are walked, and the
+/// row bounds (and the row targets half a distance behind) are
+/// prefetched [`blocking::PREFETCH_AHEAD`] worlds ahead to hide their
+/// miss latency behind the current rows' bit tests.
+///
+/// `words` must cover exactly `range` (whose start is a multiple of
+/// 64, as every chunk splitter here guarantees). The sweep is the one
+/// shared by the sequential evaluator (`range = 0..n`) and the
+/// chunked one (a work-quantile world range), and is bit-identical to
+/// a plain [`Bitset::assign_from_fn`] pass: blocks are visited in
+/// ascending order, so the CSR cursor contract holds across block
+/// seams, and prefetch is a pure hint.
+fn forward_sweep_blocked(
+    offsets: &[usize],
+    targets: &[u32],
+    grade: usize,
+    sat_words: &[u64],
+    range: Range<usize>,
+    words: &mut [u64],
+) {
+    let mut start = offsets[range.start];
+    let mut word_base = 0usize;
+    for block in blocking::blocks(range.end - range.start) {
+        let block = range.start + block.start..range.start + block.end;
+        let block_words = (block.end - block.start).div_ceil(64);
+        fill_words_from_fn(&mut words[word_base..word_base + block_words], block.clone(), |v| {
+            blocking::prefetch_read(offsets, v + blocking::PREFETCH_AHEAD);
+            if let Some(&row_start) = offsets.get(v + blocking::PREFETCH_AHEAD / 2) {
+                blocking::prefetch_read(targets, row_start);
+            }
+            debug_assert_eq!(start, offsets[v], "blocked sweep must visit worlds in order");
+            let end = offsets[v + 1];
+            let row = &targets[start..end];
+            start = end;
+            let mut count = 0usize;
+            // Early-exit once the grade is met (for grade 1 — the
+            // common case — this stops at the first satisfying
+            // successor).
+            row.iter().any(|&w| {
+                count += (sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1) as usize;
+                count >= grade
+            })
+        });
+        word_base += block_words;
+    }
+}
+
 /// Evaluates one diamond instruction into `out`, choosing the forward
 /// CSR walk, the dense predecessor-row union, or the CSC gather per
 /// the mode and the cost model (see [`diamond_impl`]). Shared by
@@ -1104,27 +1218,11 @@ fn diamond_into(
         }
         DiamondImpl::Forward => {
             stats.forward_diamonds += 1;
-            let sat_words = sat.words();
-            let test = |w: u32| sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1;
-            // The closure threads a CSR cursor through `assign_from_fn`,
-            // leaning on its exactly-once-in-order invocation contract;
-            // the debug_assert trips immediately if a schedule change
-            // (e.g. a buggy world-range split) ever violates it.
-            let mut start = offsets[0];
-            out.assign_from_fn(n, |v| {
-                debug_assert_eq!(start, offsets[v], "assign_from_fn must visit worlds in order");
-                let end = offsets[v + 1];
-                let row = &targets[start..end];
-                start = end;
-                let mut count = 0usize;
-                // Early-exit once the grade is met (for grade 1 — the
-                // common case — this stops at the first satisfying
-                // successor).
-                row.iter().any(|&w| {
-                    count += test(w) as usize;
-                    count >= grade
-                })
-            });
+            // One blocked sweep over the whole universe; the closure
+            // threads a CSR cursor through `fill_words_from_fn`,
+            // leaning on its exactly-once-in-order invocation contract.
+            out.assign_zeros(n);
+            forward_sweep_blocked(offsets, targets, grade, sat.words(), 0..n, out.words_mut());
         }
     }
 }
@@ -1208,26 +1306,13 @@ fn eval_op_chunked<'a>(
                     let sat_words = sat.words();
                     // Per-world forward work = the CSR row plus the
                     // visit itself, so the cumulative work at world v
-                    // is offsets[v] + v.
+                    // is offsets[v] + v. Each chunk re-derives its CSR
+                    // cursor from the chunk start and runs the same
+                    // blocked sweep as the sequential path.
                     let ranges = quantile_ranges(n, threads, 64, |v| offsets[v] + v);
                     stats.chunked_ops += (ranges.len() > 1) as usize;
                     par_fill(out, n, &ranges, &|range, words| {
-                        // Per-chunk CSR cursor, re-derived from the
-                        // chunk start — the pattern `assign_from_fn`'s
-                        // contract demands for range splits.
-                        let mut start = offsets[range.start];
-                        fill_words_from_fn(words, range, |v| {
-                            debug_assert_eq!(start, offsets[v]);
-                            let end = offsets[v + 1];
-                            let row = &targets[start..end];
-                            start = end;
-                            let mut count = 0usize;
-                            row.iter().any(|&w| {
-                                count +=
-                                    (sat_words[(w >> 6) as usize] >> (w & 63) & 1 == 1) as usize;
-                                count >= grade
-                            })
-                        });
+                        forward_sweep_blocked(offsets, targets, grade, sat_words, range, words);
                     });
                 }
             }
@@ -1236,13 +1321,15 @@ fn eval_op_chunked<'a>(
     }
 }
 
-/// The shared pool scaffold of both reverse diamond paths:
+/// The pool scaffold of the *dense* reverse diamond path:
 /// `iter_ones(‖φ‖)` is split at word boundaries balanced by popcount,
 /// each chunk runs `gather(world, partial)` for its satisfying worlds
 /// into a private partial `Bitset`, and the partials are OR-merged (in
 /// chunk order — though OR makes any order bit-identical). Empty or
 /// single-chunk sets run inline into `out`. Returns whether the work
-/// was actually split.
+/// was actually split. (The CSC path shards finer — at entry
+/// granularity, see [`EntryShards`] — because its per-world cost is a
+/// row walk, not a fixed-width word OR.)
 fn gather_ones_chunked(
     n: usize,
     sat: &Bitset,
@@ -1304,12 +1391,90 @@ fn reverse_diamond_chunked(
     gather_ones_chunked(model.len(), sat, threads, out, &|w, acc| acc.or_words(pred.row(w)))
 }
 
-/// CSC diamond over the pool: each satisfying world inserts its CSC
-/// predecessor list into the chunk partial. Only grade-1 gathers split
-/// — graded counting needs one counts array across all satisfying
-/// worlds, so it runs inline (per-chunk counts would have to be
-/// summed, costing more than the gather saves). Returns whether the
-/// work was actually split.
+/// The CSC entry space of one gather, sharded at *entry* (not world)
+/// granularity: the satisfying worlds in ascending order plus the
+/// exclusive prefix sum of their CSC row lengths, so entry index `e`
+/// names one predecessor entry of one satisfying world, and an
+/// equal-entry split can cut *inside* a heavy-hitter row. This is
+/// what keeps one hub world (a star centre, a G(n,p) high-degree
+/// world) from serialising a whole chunk the way per-world popcount
+/// quantiles would.
+struct EntryShards {
+    /// Satisfying worlds, ascending.
+    ones: Vec<u32>,
+    /// `prefix[i]` = entries of `ones[..i]`; length `ones.len() + 1`.
+    prefix: Vec<usize>,
+}
+
+impl EntryShards {
+    fn build(csc: &CscAdjacency, sat: &Bitset) -> EntryShards {
+        let mut ones = Vec::new();
+        let mut prefix = vec![0usize];
+        let mut total = 0usize;
+        for u in sat.iter_ones() {
+            ones.push(u as u32);
+            total += csc.row_len(u);
+            prefix.push(total);
+        }
+        EntryShards { ones, prefix }
+    }
+
+    fn total(&self) -> usize {
+        *self.prefix.last().expect("prefix always has a leading 0")
+    }
+
+    /// Equal-entry chunk ranges over `0..total()` — plain splits, no
+    /// work array, because every entry costs the same (one row read).
+    fn ranges(&self, chunks: usize) -> Vec<Range<usize>> {
+        let total = self.total();
+        (0..chunks).map(|i| total * i / chunks..total * (i + 1) / chunks).collect()
+    }
+
+    /// Calls `f` once per predecessor entry of entry range `er`, in
+    /// ascending entry order, walking whole rows where possible and
+    /// partial rows at the shard seams. Prefetches the next row's
+    /// bounds/entries one row ahead.
+    fn for_entries(&self, csc: &CscAdjacency, er: Range<usize>, mut f: impl FnMut(u32)) {
+        if er.is_empty() {
+            return;
+        }
+        // The world containing entry `er.start`: the last index whose
+        // prefix is ≤ er.start (ties from empty rows resolve to the
+        // non-empty row that actually owns the entry).
+        let mut wi = self.prefix.partition_point(|&p| p <= er.start) - 1;
+        let mut pos = er.start;
+        while pos < er.end {
+            let u = self.ones[wi] as usize;
+            if let Some(&next) = self.ones.get(wi + 1) {
+                csc.prefetch_row(next as usize);
+            }
+            let row = csc.row(u);
+            // `pos` is always within world `wi`'s entry span here: the
+            // loop advances `pos` exactly to a row end (or to `er.end`,
+            // exiting), and empty rows fall through with `wi += 1`.
+            let lo = pos - self.prefix[wi];
+            let hi = (er.end - self.prefix[wi]).min(row.len());
+            for &v in &row[lo..hi] {
+                f(v);
+            }
+            pos = self.prefix[wi] + hi;
+            wi += 1;
+        }
+    }
+}
+
+/// CSC diamond over the pool, sharded at entry quantiles
+/// ([`EntryShards`]) so hub rows split across chunks. Grade 1 inserts
+/// each chunk's entries into a private partial `Bitset`, OR-merged —
+/// insertion is idempotent and OR commutative, so any shard geometry
+/// is bit-identical to the inline gather. Grade ≥ 2 scatter-counts
+/// each chunk's entries into a private count store — a dense `u32`
+/// array when the gather touches at least `n / 8` entries (the shape
+/// the inline path scatters into), a sparse map when it is sparser —
+/// the per-chunk counts are merged once, sequentially, and a world is
+/// inserted when its summed count reaches the grade: the same set the
+/// inline insert-at-threshold scatter produces, because both count
+/// every stored edge exactly once. Returns whether the work was split.
 fn csc_diamond_chunked(
     model: &Kripke,
     rel: usize,
@@ -1320,15 +1485,81 @@ fn csc_diamond_chunked(
 ) -> bool {
     let n = model.len();
     let csc = model.predecessors_csc(rel);
-    if grade != 1 {
+    let shards = EntryShards::build(csc, sat);
+    let total = shards.total();
+    if threads <= 1 || total < 2 {
         csc_gather_into(csc, grade, sat, n, out);
         return false;
     }
-    gather_ones_chunked(n, sat, threads, out, &|u, acc| {
-        for &v in csc.row(u) {
-            acc.insert(v as usize);
+    let ranges = shards.ranges(threads.min(total));
+    if grade == 1 {
+        let partials: Vec<Mutex<Bitset>> =
+            (0..ranges.len()).map(|_| Mutex::new(Bitset::zeros(n))).collect();
+        WorkerPool::global().run(ranges.len(), &|i| {
+            let mut acc = partials[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            shards.for_entries(csc, ranges[i].clone(), |v| {
+                acc.insert(v as usize);
+            });
+        });
+        out.assign_zeros(n);
+        for partial in &partials {
+            out.or_assign(&partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
         }
-    })
+    } else if total >= n / 8 {
+        // Dense gather: enough entries that a per-chunk `u32` count
+        // array (the same shape the inline path scatters into) beats a
+        // hash map's per-entry overhead by an order of magnitude, and
+        // the O(n · chunks) element-wise merge is dwarfed by the
+        // scatter itself.
+        let partials: Vec<Mutex<Vec<u32>>> =
+            (0..ranges.len()).map(|_| Mutex::new(vec![0u32; n])).collect();
+        WorkerPool::global().run(ranges.len(), &|i| {
+            let mut counts =
+                partials[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            shards.for_entries(csc, ranges[i].clone(), |v| {
+                counts[v as usize] += 1;
+            });
+        });
+        let mut partials = partials.into_iter();
+        let mut totals = partials
+            .next()
+            .expect("at least two ranges")
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for partial in partials {
+            let counts = partial.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+        out.assign_from_fn(n, |v| totals[v] as usize >= grade);
+    } else {
+        // Sparse gather: per-chunk sparse count maps, merged once —
+        // cost ∝ distinct predecessors touched, not n — then one
+        // thresholding pass over the merged totals.
+        let partials: Vec<Mutex<FxHashMap<u32, u32>>> =
+            (0..ranges.len()).map(|_| Mutex::new(FxHashMap::default())).collect();
+        WorkerPool::global().run(ranges.len(), &|i| {
+            let mut map = partials[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            shards.for_entries(csc, ranges[i].clone(), |v| {
+                *map.entry(v).or_insert(0) += 1;
+            });
+        });
+        let mut totals: FxHashMap<u32, u32> = FxHashMap::default();
+        for partial in partials {
+            let map = partial.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (v, c) in map {
+                *totals.entry(v).or_insert(0) += c;
+            }
+        }
+        out.assign_zeros(n);
+        for (v, c) in totals {
+            if c as usize >= grade {
+                out.insert(v as usize);
+            }
+        }
+    }
+    true
 }
 
 /// Cumulative statistics of a [`ModelChecker`].
@@ -2050,10 +2281,11 @@ mod tests {
     }
 
     #[test]
-    fn forced_parallel_csc_diamonds_split_iter_ones() {
-        // The CSC twin of the dense split test: sat bits spread over
-        // several words, so the popcount split produces real chunks
-        // whose partial gathers must merge to the sequential answer.
+    fn forced_parallel_csc_diamonds_shard_the_entry_space() {
+        // The CSC twin of the dense split test: the satisfying worlds
+        // contribute hundreds of predecessor entries, so the
+        // equal-entry shards produce real chunks whose partial gathers
+        // must merge to the sequential answer.
         let k = Kripke::k_mm(&generators::cycle(200));
         let f = Formula::diamond(ModalIndex::Any, &Formula::prop(2)); // everything true inside
         let plan = Plan::compile(&k, &f).unwrap();
@@ -2070,15 +2302,43 @@ mod tests {
         let (par, _) = plan.execute_forced_parallel(&k, DiamondMode::Csc);
         assert_eq!(seq, par);
         assert!(seq[0].none());
-        // Graded counting runs inline even under the forced executor
-        // (per-chunk counts would have to be summed) but still agrees.
+        // Graded counting chunks too (per-chunk sparse count maps,
+        // merged once, thresholded after the merge) and still agrees
+        // with both the sequential scatter and the recursive engine.
         let graded = Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(2));
         let plan = Plan::compile(&k, &graded).unwrap();
         let (seq, ss) = plan.execute_with(&k, DiamondMode::Csc);
         let (par, ps) = plan.execute_forced_parallel(&k, DiamondMode::Csc);
         assert_eq!(seq, par);
         assert_eq!(ss.csc_diamonds, ps.csc_diamonds);
+        assert!(ps.chunked_ops > 0, "graded CSC must shard its counting: {ps:?}");
         assert_eq!(seq[0], evaluate_packed_recursive(&k, &graded).unwrap());
+    }
+
+    #[test]
+    fn entry_shards_split_inside_hub_rows() {
+        // A star's centre is one huge CSC row (every leaf points at
+        // it); the entry shards must cut inside that row rather than
+        // serialising it into one chunk, and the sharded gather must
+        // still agree with the inline one.
+        let k = Kripke::k_mm(&generators::star(300));
+        let f = Formula::diamond(ModalIndex::Any, &Formula::prop(1)); // leaves satisfy q1
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (seq, _) = plan.execute_with(&k, DiamondMode::Csc);
+        let (par, ps) = plan.execute_forced_parallel(&k, DiamondMode::Csc);
+        assert_eq!(seq, par);
+        assert!(ps.chunked_ops > 0, "{ps:?}");
+        // Directly: shard one hub row across many chunks and replay
+        // the entries; together they must cover the row exactly once.
+        let csc = k.predecessors_csc(0);
+        let sat = Bitset::from_fn(k.len(), |w| w == 0); // the centre alone
+        let shards = EntryShards::build(csc, &sat);
+        assert_eq!(shards.total(), csc.row_len(0));
+        let mut replayed = Vec::new();
+        for r in shards.ranges(7) {
+            shards.for_entries(csc, r, |v| replayed.push(v));
+        }
+        assert_eq!(replayed, csc.row(0));
     }
 
     #[test]

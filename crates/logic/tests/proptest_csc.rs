@@ -163,3 +163,36 @@ fn explicit_grade_matrix_above_and_below_the_shrunk_cap() {
         }
     }
 }
+
+#[test]
+fn sharded_graded_counts_merge_across_chunks() {
+    shrink_cap();
+    // The cross-chunk counting trap: a star's hub has one predecessor
+    // row holding all 300 leaves, and entry-quantile sharding splits
+    // that single row across every chunk. With grade 200 no chunk can
+    // reach the threshold on its own (two chunks see ≤ 150 entries
+    // each, more chunks see fewer) — the hub is satisfied only if the
+    // per-chunk counts are *merged before* thresholding. An
+    // implementation that thresholds per chunk returns ∅ here.
+    let leaves = 300usize;
+    let grade = 200usize;
+    let k = Kripke::k_mm(&portnum_graph::generators::star(leaves));
+    assert!(k.predecessor_matrix_words() > TEST_CAP);
+    // Leaves have degree 1, so ⟨⟩₂₀₀ q₁ counts the hub's 300 q₁
+    // leaf-successors and holds exactly at the hub.
+    let f = Formula::diamond_geq(ModalIndex::Any, grade, &Formula::prop(1));
+    let reference = evaluate_packed_recursive(&k, &f).unwrap();
+    assert_eq!(reference.count_ones(), 1, "only the hub sees {grade}+ leaves");
+    let plan = Plan::compile(&k, &f).unwrap();
+    for mode in [DiamondMode::Auto, DiamondMode::Reverse, DiamondMode::Csc] {
+        let (mut seq, ss) = plan.execute_with(&k, mode);
+        let (mut par, ps) = plan.execute_forced_parallel(&k, mode);
+        assert_eq!(seq.pop().unwrap(), reference, "mode {mode:?}");
+        assert_eq!(par.pop().unwrap(), reference, "mode {mode:?}");
+        if mode != DiamondMode::Auto {
+            // (Auto is free to prefer the forward sweep on a star.)
+            assert_eq!(ss.csc_diamonds, 1, "graded above-cap must gather via CSC");
+            assert_eq!(ps.csc_diamonds, 1);
+        }
+    }
+}
