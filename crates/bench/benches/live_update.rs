@@ -1,0 +1,127 @@
+//! Live updates under traffic: apply a batch of deltas to a running
+//! model and re-answer a formula suite.
+//!
+//! Each iteration replays the full lifecycle — serve the suite on the
+//! pristine model, take the delta batch, serve the suite again — so
+//! the strategies stay comparable under the shim's plain `iter` timer
+//! (both pay the identical warm-up prefix, and the second serve is
+//! where they diverge):
+//!
+//! * **repair** — `Kripke::apply_delta` patches the CSR/CSC/dense
+//!   stores in place and `ModelChecker::detach`/`resume` repairs the
+//!   cached truth vectors over the dirty frontier;
+//! * **rebuild** — the post-delta model is reconstructed from its rows
+//!   (`Kripke::from_parts`) and a fresh checker recomputes everything;
+//! * **apply_only** — the model patch alone, isolating the storage
+//!   layer's cost from the checker's.
+//!
+//! The isolated numbers (untimed setup, repair-vs-rebuild only) are
+//! the `live_update_*` rows of `reproduce`'s `BENCH_eval.json`, which
+//! pins repair ≥ 5× faster than rebuild on `path1024`. This bench
+//! streams the flips as individual deltas (each built cache is spliced
+//! once per delta); `reproduce` merges them into one arrival batch
+//! (`workloads::edge_flip_batch`) so the splices are paid once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_bench::workloads;
+use portnum_logic::plan::ModelChecker;
+use portnum_logic::{Formula, Kripke, ModalIndex, ModelDelta};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The post-delta model's rows, the rebuild leg's input.
+fn rows_of(k: &Kripke) -> BTreeMap<ModalIndex, Vec<Vec<usize>>> {
+    (0..k.relation_count())
+        .map(|r| {
+            let rows = (0..k.len())
+                .map(|v| k.successors_dense(r, v).iter().map(|&w| w as usize).collect())
+                .collect();
+            (k.relation_index(r), rows)
+        })
+        .collect()
+}
+
+fn bench_live_update(c: &mut Criterion) {
+    let suite: Vec<Formula> = (1..=4).map(workloads::nested_diamonds).collect();
+    let shapes: Vec<(workloads::Workload, Vec<ModelDelta>)> = {
+        let mut shapes = Vec::new();
+        for w in workloads::path_sweep(&[1024, 4096]) {
+            let base = Kripke::k_mm(&w.graph);
+            let deltas = workloads::edge_flip_deltas(&base, 10, 77);
+            shapes.push((w, deltas));
+        }
+        for w in workloads::gnp_sweep(&[512], 0.05, 5) {
+            let base = Kripke::k_mm(&w.graph);
+            let mut deltas = workloads::edge_flip_deltas(&base, 8, 77);
+            deltas.extend(workloads::crash_deltas(&base, 2, 13));
+            shapes.push((w, deltas));
+        }
+        shapes
+    };
+
+    let serve = |checker: &mut ModelChecker<'_>| -> usize {
+        suite.iter().map(|f| checker.check(f).expect("suite case").count_ones()).sum()
+    };
+
+    let mut group = c.benchmark_group("live_update");
+    for (w, deltas) in &shapes {
+        let base = Kripke::k_mm(&w.graph);
+        let mut final_model = base.clone();
+        for d in deltas {
+            final_model.apply_delta(d).expect("workload deltas apply");
+        }
+        let rows = rows_of(&final_model);
+        let degrees = final_model.degrees().to_vec();
+
+        group.bench_with_input(BenchmarkId::new("repair", &w.name), &base, |b, base| {
+            b.iter(|| {
+                let mut model = base.clone();
+                let mut checker = ModelChecker::new(&model);
+                let warm = serve(&mut checker);
+                let cache = checker.detach();
+                let mut touched: Vec<u32> = Vec::new();
+                for d in deltas {
+                    touched.extend(model.apply_delta(d).expect("workload deltas apply"));
+                }
+                let mut checker = ModelChecker::resume(&model, cache, &touched);
+                warm + serve(&mut checker)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", &w.name), &base, |b, base| {
+            b.iter(|| {
+                let model = base.clone();
+                let mut checker = ModelChecker::new(&model);
+                let warm = serve(&mut checker);
+                drop(checker);
+                let rebuilt = Kripke::from_parts(base.variant(), degrees.clone(), rows.clone())
+                    .expect("extracted rows rebuild");
+                let mut checker = ModelChecker::new(&rebuilt);
+                warm + serve(&mut checker)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("apply_only", &w.name), &base, |b, base| {
+            b.iter(|| {
+                let mut model = base.clone();
+                for d in deltas {
+                    model.apply_delta(d).expect("workload deltas apply");
+                }
+                model.version()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_live_update
+}
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Workload generators shared by the Criterion benches and `reproduce`.
 
 use portnum_graph::{generators, Graph, PortNumbering};
-use portnum_logic::{Formula, Kripke, KripkeBuilder, ModalIndex, ModelVariant};
+use portnum_logic::{Formula, Kripke, KripkeBuilder, ModalIndex, ModelDelta, ModelVariant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -180,6 +180,79 @@ pub fn gnp_sweep(sizes: &[usize], p: f64, seed: u64) -> Vec<Workload> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Live-update delta workloads: deterministic `ModelDelta` sequences for
+// the live_update bench and the `BENCH_eval.json` live_update rows.
+// ---------------------------------------------------------------------
+
+/// `k` localized edge-flip deltas against a symmetric single-relation
+/// `K₋,₋` model: delta `i` removes the `i`-th sampled undirected edge
+/// (both stored directions) and re-adds the previously removed one, so
+/// every delta edits at most four directed entries and the model drifts
+/// by one missing edge at a time. Edges are sampled distinct by a
+/// seeded partial shuffle ([`generators::crash_schedule`] over edge
+/// indices), making the sequence a pure function of `(model, k, seed)`.
+///
+/// # Panics
+///
+/// Panics if the model is not `K₋,₋` or stores fewer than `k`
+/// undirected edges.
+pub fn edge_flip_deltas(model: &Kripke, k: usize, seed: u64) -> Vec<ModelDelta> {
+    assert_eq!(model.variant(), ModelVariant::MinusMinus, "edge flips target K₋,₋ models");
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for v in 0..model.len() {
+        for &w in model.successors_dense(0, v) {
+            if (v as u32) < w {
+                edges.push((v as u32, w));
+            }
+        }
+    }
+    assert!(k <= edges.len(), "cannot flip {k} of {} undirected edges", edges.len());
+    let picks = generators::crash_schedule(edges.len(), k, seed);
+    let mut deltas = Vec::with_capacity(k);
+    for (i, &e) in picks.iter().enumerate() {
+        let (v, w) = edges[e as usize];
+        let mut d = ModelDelta::new();
+        d.remove_edge(ModalIndex::Any, v, w).remove_edge(ModalIndex::Any, w, v);
+        if i > 0 {
+            let (pv, pw) = edges[picks[i - 1] as usize];
+            d.add_edge(ModalIndex::Any, pv, pw).add_edge(ModalIndex::Any, pw, pv);
+        }
+        deltas.push(d);
+    }
+    deltas
+}
+
+/// The same `k` edge flips as [`edge_flip_deltas`], merged into one
+/// arrival batch: every sampled edge is removed and all but the last
+/// re-added, which is exactly what the per-flip sequence composes to.
+/// Applying the batch patches each of the model's built caches once
+/// instead of once per flip — the serving pattern the
+/// `live_update_repair` rows of `reproduce` measure.
+pub fn edge_flip_batch(model: &Kripke, k: usize, seed: u64) -> ModelDelta {
+    let mut batch = ModelDelta::new();
+    let deltas = edge_flip_deltas(model, k, seed);
+    for d in &deltas {
+        batch.merge(d);
+    }
+    batch
+}
+
+/// `k` crash-failure deltas: each crashes one distinct world (sampled
+/// by [`generators::crash_schedule`]), isolating it from every stored
+/// relation while the universe keeps its size. Works on any model
+/// variant.
+pub fn crash_deltas(model: &Kripke, k: usize, seed: u64) -> Vec<ModelDelta> {
+    generators::crash_schedule(model.len(), k, seed)
+        .into_iter()
+        .map(|v| {
+            let mut d = ModelDelta::new();
+            d.crash_world(v);
+            d
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +285,35 @@ mod tests {
         assert_eq!(g.len(), 500);
         assert_eq!(g.degrees().iter().sum::<usize>(), g.relation_entry_count());
         assert!(g.relation_entry_count().is_multiple_of(2), "symmetric pairs come in twos");
+    }
+
+    #[test]
+    fn delta_workloads_apply_cleanly_and_stay_localized() {
+        let mut k = Kripke::k_mm(&generators::path(64));
+        let entries = k.relation_entry_count();
+        for (i, d) in edge_flip_deltas(&k, 8, 9).iter().enumerate() {
+            let touched = k.apply_delta(d).expect("flip deltas name stored edges");
+            assert!(touched.len() <= 4, "delta {i} touched {touched:?}");
+        }
+        // Net effect of 8 flips: exactly one undirected edge missing.
+        assert_eq!(k.relation_entry_count(), entries - 2);
+        assert_eq!(edge_flip_deltas(&k, 8, 9).len(), 8);
+
+        // The merged batch composes to the same model as the sequence.
+        let base = Kripke::k_mm(&generators::path(64));
+        let mut batched = base.clone();
+        batched.apply_delta(&edge_flip_batch(&base, 8, 9)).expect("batch applies");
+        assert_eq!(batched, k);
+        assert_eq!(batched.version(), 1, "one arrival, one version bump");
+
+        let mut k = Kripke::k_mm(&generators::cycle(32));
+        let crashes = crash_deltas(&k, 5, 3);
+        for d in &crashes {
+            k.apply_delta(d).expect("crashes are always valid");
+        }
+        // Crashed worlds are isolated (bystanders may lose edges too).
+        assert_eq!(crashes.len(), 5);
+        assert!(k.degrees().iter().filter(|&&d| d == 0).count() >= 5);
+        assert_eq!(k.len(), 32, "the universe never shrinks");
     }
 }

@@ -426,6 +426,25 @@ impl BitMatrix {
         self.words[r * self.row_words + c / 64] |= 1 << (c % 64);
     }
 
+    /// Sets or clears entry `(r, c)` — the delta-repair counterpart of
+    /// [`BitMatrix::insert`]: patching a cached predecessor matrix
+    /// after an edge removal needs to *clear* a stale bit, not only set
+    /// new ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= row_count()` or `c >= col_count()`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.rows && c < self.cols, "BitMatrix entry ({r}, {c}) out of range");
+        let word = &mut self.words[r * self.row_words + c / 64];
+        if value {
+            *word |= 1 << (c % 64);
+        } else {
+            *word &= !(1 << (c % 64));
+        }
+    }
+
     /// Tests entry `(r, c)`.
     ///
     /// # Panics
@@ -475,6 +494,20 @@ mod tests {
         for (i, &b) in bools.iter().enumerate() {
             assert_eq!(set.get(i), b);
         }
+    }
+
+    #[test]
+    fn bitmatrix_set_clears_and_sets() {
+        let mut m = BitMatrix::zeros(2, 70);
+        m.insert(1, 69);
+        m.set(1, 69, false);
+        assert!(!m.get(1, 69));
+        m.set(1, 3, true);
+        assert!(m.get(1, 3));
+        // Setting an already-set bit and clearing a clear bit are no-ops.
+        m.set(1, 3, true);
+        m.set(0, 0, false);
+        assert!(m.get(1, 3) && !m.get(0, 0));
     }
 
     #[test]

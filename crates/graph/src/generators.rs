@@ -515,6 +515,31 @@ impl Iterator for GnpEdges {
     }
 }
 
+/// `k` distinct node ids sampled uniformly from `0..n` — a
+/// deterministic crash-failure schedule for the live-update workloads.
+/// A splitmix64 stream drives a partial Fisher–Yates shuffle, so the
+/// schedule is a pure function of `(n, k, seed)` and shares no RNG
+/// state with anything else.
+pub fn crash_schedule(n: usize, k: usize, seed: u64) -> Vec<u32> {
+    assert!(k <= n, "cannot crash {k} of {n} nodes");
+    assert!(u32::try_from(n).is_ok(), "node ids are u32");
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for i in 0..k {
+        let j = i + (next() % (n - i) as u64) as usize;
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -779,6 +804,24 @@ mod tests {
         dedup.dedup();
         assert_eq!(forward.len(), dedup.len(), "no pair sampled twice");
         assert!(forward.len() as f64 >= 0.7 * (40.0 * 39.0 / 2.0));
+    }
+
+    #[test]
+    fn crash_schedule_is_distinct_in_range_and_deterministic() {
+        let s = crash_schedule(100, 10, 42);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&v| v < 100));
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "crashes are distinct");
+        assert_eq!(s, crash_schedule(100, 10, 42));
+        assert_ne!(s, crash_schedule(100, 10, 43));
+        // Degenerate shapes.
+        assert!(crash_schedule(5, 0, 1).is_empty());
+        let mut all = crash_schedule(5, 5, 1);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

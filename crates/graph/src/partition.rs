@@ -950,6 +950,11 @@ pub struct WorklistRefiner<'a> {
     n: usize,
     counting: Counting,
     force_parallel: bool,
+    /// Whether per-round level semantics are observed (default). When
+    /// off, the next frontier is left in discovery order instead of
+    /// being sorted into node order — see
+    /// [`WorklistRefiner::observe_levels`].
+    observe_levels: bool,
     /// The input relations, kept for the lazy reverse-CSR build.
     relations: Vec<RelationCsr<'a>>,
     /// Nonempty forward rows of node `v`:
@@ -1032,6 +1037,77 @@ impl<'a> WorklistRefiner<'a> {
         assert_eq!(assign.len(), n, "seed keys must cover every node");
         table.clear();
 
+        // Round 1 re-encodes everything: every block is new.
+        let dirty = (0..n as u32).collect();
+        Self::assemble(n, relations, counting, table, assign, blocks, dirty)
+    }
+
+    /// Resumes refinement from a previously **stable** partition after a
+    /// model delta, instead of re-refining from scratch.
+    ///
+    /// `prior[v]` is the old stable block of `v` (any labelling); the
+    /// initial partition is the intersection of `prior` with the current
+    /// seed keys, every stored block signature unknown. `dirty` must
+    /// contain every node whose seed key or forward rows changed, **plus
+    /// every current predecessor of such a node** — the worklist
+    /// contract: a node outside the initial frontier is only re-encoded
+    /// once a successor moves.
+    ///
+    /// Soundness contract: `prior` was stable for the *pre-delta*
+    /// relations and refined the pre-delta seed keys (any fixpoint this
+    /// engine produced qualifies). The resumed fixpoint is then a stable
+    /// partition of the *current* model refining the current seed keys —
+    /// possibly **finer** than the coarsest one, since refinement only
+    /// splits and never re-merges blocks the old model separated.
+    /// Consumers needing the coarsest partition (minimum bases) must
+    /// re-refine from scratch; consumers needing *a* stable partition
+    /// (quotient-based model checking) can use the resumed one directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior` does not have `n` entries, a dirty node is
+    /// `>= n`, or a relation's `offsets` does not have `n + 1` entries.
+    pub fn resume(
+        n: usize,
+        relations: &[RelationCsr<'a>],
+        counting: Counting,
+        seeds: impl Iterator<Item = u64>,
+        prior: &[usize],
+        dirty: &[u32],
+    ) -> WorklistRefiner<'a> {
+        assert_eq!(prior.len(), n, "prior partition must cover every node");
+        let mut table: FxHashMap<Box<[u64]>, u32> = FxHashMap::default();
+        let mut assign = Vec::with_capacity(n);
+        let mut blocks = Blocks::default();
+        for (v, key) in seeds.enumerate() {
+            let next = table.len() as u32;
+            let id = *table.entry(Box::from([prior[v] as u64, key])).or_insert(next) as usize;
+            if id == blocks.count() {
+                blocks.push(0, SIG_UNSET, 0);
+            }
+            assign.push(id);
+            blocks.size[id] += 1;
+        }
+        assert_eq!(assign.len(), n, "seed keys must cover every node");
+        table.clear();
+        let mut dirty = dirty.to_vec();
+        dirty.sort_unstable();
+        dirty.dedup();
+        assert!(dirty.last().is_none_or(|&w| (w as usize) < n), "dirty node out of range");
+        Self::assemble(n, relations, counting, table, assign, blocks, dirty)
+    }
+
+    /// Common tail of [`Self::new`] and [`Self::resume`]: the row index,
+    /// work table, and scratch state around a seeded assignment.
+    fn assemble(
+        n: usize,
+        relations: &[RelationCsr<'a>],
+        counting: Counting,
+        table: FxHashMap<Box<[u64]>, u32>,
+        assign: Vec<usize>,
+        blocks: Blocks,
+        dirty: Vec<u32>,
+    ) -> WorklistRefiner<'a> {
         let (row_bounds, row_index) = nonempty_row_index(n, relations);
         let node_work: Vec<usize> =
             (0..n).map(|v| encode_work(&row_bounds, &row_index, v)).collect();
@@ -1040,6 +1116,7 @@ impl<'a> WorklistRefiner<'a> {
             n,
             counting,
             force_parallel: false,
+            observe_levels: true,
             relations: relations.to_vec(),
             row_bounds,
             row_index,
@@ -1049,8 +1126,7 @@ impl<'a> WorklistRefiner<'a> {
             assign,
             blocks,
             round: RoundScratch { table, ..RoundScratch::default() },
-            // Round 1 re-encodes everything: every block is new.
-            dirty: (0..n as u32).collect(),
+            dirty,
             mark: vec![0; n],
             epoch: 0,
             round_stamp: 0,
@@ -1108,6 +1184,24 @@ impl<'a> WorklistRefiner<'a> {
     /// pool-driven path bit-identical to the sequential one.
     pub fn force_parallel(&mut self, on: bool) {
         self.force_parallel = on;
+    }
+
+    /// Switches per-round level bookkeeping off (or back on) for
+    /// fixpoint-only callers. When off, the sparse next frontier is left
+    /// in predecessor-discovery order instead of being sorted into node
+    /// order — skipping an O(frontier·log frontier) sort per round on
+    /// exactly the long-diameter inputs that take Θ(n) rounds.
+    ///
+    /// Grouping, keeper choice, and the moved set are all decided by
+    /// label-invariant data and [`Self::canonical_level_into`] renumbers
+    /// in node order, so the **fixpoint** partition (and each round's
+    /// partition *as a partition*) is unchanged and still deterministic;
+    /// only freshly split block labels — never observed by fixpoint
+    /// callers — can come out permuted. Leave bookkeeping on (the
+    /// default) when intermediate canonical levels are compared
+    /// round-for-round against the full-round engine's history.
+    pub fn observe_levels(&mut self, on: bool) {
+        self.observe_levels = on;
     }
 
     /// The current partition under **stable** block ids (not dense, not
@@ -1355,8 +1449,9 @@ impl<'a> WorklistRefiner<'a> {
             self.dirty.extend(0..self.n as u32);
         } else {
             // Sparse frontier: every predecessor of a moved node,
-            // deduplicated by epoch mark and sorted so encode order
-            // (hence group order) is node order.
+            // deduplicated by epoch mark and — when level bookkeeping is
+            // observed — sorted so encode order (hence group order) is
+            // node order.
             self.ensure_preds();
             self.epoch += 1;
             let epoch = self.epoch;
@@ -1373,7 +1468,9 @@ impl<'a> WorklistRefiner<'a> {
                     }
                 }
             }
-            self.dirty.sort_unstable();
+            if self.observe_levels {
+                self.dirty.sort_unstable();
+            }
         }
         true
     }
@@ -1775,6 +1872,126 @@ mod tests {
         assert!(!r.round());
         assert!(!r.round());
         assert_eq!(r.stats().encoded, encoded);
+    }
+
+    /// `a` refines `b` as a partition: `a`-equal nodes are `b`-equal.
+    fn refines(a: &[usize], b: &[usize]) -> bool {
+        let mut image: Vec<Option<usize>> = vec![None; a.len()];
+        a.iter().zip(b).all(|(&ba, &bb)| match image[ba] {
+            None => {
+                image[ba] = Some(bb);
+                true
+            }
+            Some(prev) => prev == bb,
+        })
+    }
+
+    /// Signature-uniformity of every block: the fixpoint property.
+    fn is_stable(level: &[usize], rel: &RelationCsr, seeds: &[u64]) -> bool {
+        let n = level.len();
+        let mut sig: Vec<Option<(u64, Vec<usize>)>> = vec![None; n];
+        (0..n).all(|v| {
+            let mut succ: Vec<usize> = rel.targets[rel.offsets[v]..rel.offsets[v + 1]]
+                .iter()
+                .map(|&w| level[w as usize])
+                .collect();
+            succ.sort_unstable();
+            match &sig[level[v]] {
+                None => {
+                    sig[level[v]] = Some((seeds[v], succ));
+                    true
+                }
+                Some((s, blocks)) => *s == seeds[v] && *blocks == succ,
+            }
+        })
+    }
+
+    #[test]
+    fn worklist_observe_levels_off_matches_fixpoint() {
+        // The sub-round fast path: skipping the per-round frontier sort
+        // must not change the fixpoint partition or the work counters.
+        let n = 64;
+        let (offsets, targets) = path_csr(n);
+        let rel = RelationCsr { offsets: &offsets, targets: &targets };
+        let mut on = WorklistRefiner::new(n, &[rel], Counting::Multiset, path_degrees(n));
+        let mut off = WorklistRefiner::new(n, &[rel], Counting::Multiset, path_degrees(n));
+        off.observe_levels(false);
+        assert_eq!(run_to_fixpoint(&mut on), run_to_fixpoint(&mut off));
+        assert_eq!(on.stats().encoded, off.stats().encoded);
+        assert_eq!(on.stats().rounds, off.stats().rounds);
+    }
+
+    #[test]
+    fn worklist_resume_reaches_a_stable_refinement() {
+        // Refine a 12-path to its fixpoint, cut the middle edge (3-4),
+        // and resume from the old partition with only the cut's endpoints
+        // and their current predecessors dirty. The resumed fixpoint must
+        // be a stable partition of the new model refining the current
+        // seeds — possibly finer than the from-scratch coarsest, never
+        // coarser.
+        let n = 12;
+        let (offsets, targets) = path_csr(n);
+        let rel = RelationCsr { offsets: &offsets, targets: &targets };
+        let mut orig = WorklistRefiner::new(n, &[rel], Counting::Multiset, path_degrees(n));
+        run_to_fixpoint(&mut orig);
+        let prior = orig.partition().to_vec();
+
+        // New model: the path with edge 3-4 removed (two components).
+        let mut cut_off = vec![0usize; n + 1];
+        let mut cut_tgt = Vec::new();
+        for v in 0..n {
+            for &w in &targets[offsets[v]..offsets[v + 1]] {
+                if !matches!((v, w), (3, 4) | (4, 3)) {
+                    cut_tgt.push(w);
+                }
+            }
+            cut_off[v + 1] = cut_tgt.len();
+        }
+        let cut = RelationCsr { offsets: &cut_off, targets: &cut_tgt };
+        let seeds: Vec<u64> =
+            (0..n).map(|v| (cut_off[v + 1] - cut_off[v]) as u64).collect();
+
+        // Touched worlds {3, 4} plus their current predecessors.
+        let dirty = [2u32, 3, 4, 5];
+        let mut resumed = WorklistRefiner::resume(
+            n,
+            &[cut],
+            Counting::Multiset,
+            seeds.iter().copied(),
+            &prior,
+            &dirty,
+        );
+        resumed.observe_levels(false);
+        let level = run_to_fixpoint(&mut resumed);
+        assert!(is_stable(&level, &cut, &seeds), "resumed fixpoint must be stable: {level:?}");
+
+        let mut fresh = WorklistRefiner::new(n, &[cut], Counting::Multiset, seeds.iter().copied());
+        let fresh_level = run_to_fixpoint(&mut fresh);
+        assert!(refines(&level, &fresh_level), "resumed {level:?} vs fresh {fresh_level:?}");
+        // The frontier never grew past the cut's influence: far fewer
+        // encodes than a from-scratch run of this shape.
+        assert!(resumed.stats().encoded < fresh.stats().encoded);
+    }
+
+    #[test]
+    fn worklist_resume_with_nothing_dirty_is_already_stable() {
+        let n = 10;
+        let (offsets, targets) = path_csr(n);
+        let rel = RelationCsr { offsets: &offsets, targets: &targets };
+        let mut orig = WorklistRefiner::new(n, &[rel], Counting::Multiset, path_degrees(n));
+        let level = run_to_fixpoint(&mut orig);
+        let mut resumed = WorklistRefiner::resume(
+            n,
+            &[rel],
+            Counting::Multiset,
+            path_degrees(n),
+            orig.partition(),
+            &[],
+        );
+        assert!(!resumed.round(), "an unchanged model needs no rounds");
+        let mut out = Vec::new();
+        resumed.canonical_level_into(&mut out);
+        assert_eq!(out, level);
     }
 
     #[test]

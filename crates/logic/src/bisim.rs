@@ -399,6 +399,10 @@ fn refine_worklist(
     // evaluator's CSC diamond path.
     refiner.share_reverse_adjacency(|| model.combined_predecessors_csc());
     refiner.force_parallel(force_parallel);
+    // Fixpoint-only callers never observe intermediate canonical
+    // levels, so the refiner can skip its per-round level bookkeeping
+    // (the dirty-order sort); the fixpoint partition is unaffected.
+    refiner.observe_levels(keep_levels);
 
     let mut level = Vec::new();
     refiner.canonical_level_into(&mut level);
@@ -426,6 +430,76 @@ fn refine_worklist(
     }
     let stats = refiner.stats();
     Ok((BisimClasses { style, levels, depth: rounds, stable }, stats))
+}
+
+/// Resumes signature refinement after a [`crate::ModelDelta`], seeding
+/// the worklist from a prior stable partition instead of from scratch.
+///
+/// `prior` must be a partition of the model that was **stable before
+/// the delta** (e.g. [`BisimClasses::final_level`] of a fixpoint run on
+/// the pre-delta model) and `touched` the sorted world list returned by
+/// [`crate::Kripke::apply_delta`] (the union over a batch of deltas is
+/// fine). The refiner restarts from the blocks of `prior` split by each
+/// world's *current* degree atom, with the dirty frontier seeded to
+/// `touched` plus every current predecessor of a touched world — the
+/// only worlds whose signatures can have changed — and runs to a
+/// fixpoint.
+///
+/// # The partition is stable but possibly finer than coarsest
+///
+/// Signature refinement only ever splits blocks, so resuming cannot
+/// re-merge worlds that a removed edge has made equivalent again. The
+/// result is guaranteed *stable* — a genuine (g-)bisimulation of the
+/// current model — which is exactly what quotient-based model checking
+/// needs ([`crate::quotient`] accepts any stable partition, and truth
+/// vectors lift through any bisimulation). It is **not** guaranteed
+/// coarsest, so minimum bases and bisimilarity *queries* must use
+/// [`refine_fixpoint`] on the current model instead: `bisimilar` on a
+/// resumed result can answer `false` for worlds the coarsest partition
+/// would merge.
+///
+/// Cost is proportional to the region the delta actually perturbs:
+/// on a localized delta the frontier stays small and the run touches
+/// O(affected) worlds, not O(n).
+pub fn refine_fixpoint_from(
+    model: &Kripke,
+    style: BisimStyle,
+    prior: &[usize],
+    touched: &[u32],
+) -> BisimClasses {
+    let n = model.len();
+    assert_eq!(prior.len(), n, "prior partition must cover every world");
+    // Dirty frontier: the touched worlds and their current predecessors
+    // (a changed successor row or degree atom can only re-sign the
+    // world itself and the worlds that observe it).
+    let mut dirty: Vec<u32> = touched.to_vec();
+    let csc = model.combined_predecessors_csc();
+    for &w in touched {
+        dirty.extend_from_slice(csc.row(w as usize));
+    }
+    let relations = model.relations_csr();
+    let mut refiner = WorklistRefiner::resume(
+        n,
+        &relations,
+        style.counting(),
+        (0..n).map(|v| model.degree(v) as u64),
+        prior,
+        &dirty,
+    );
+    refiner.share_reverse_adjacency(|| model.combined_predecessors_csc());
+    refiner.observe_levels(false);
+    let mut rounds = 0usize;
+    loop {
+        let changed = refiner.round();
+        rounds += 1;
+        if !changed {
+            break;
+        }
+        debug_assert!(rounds <= n + 1, "resumed refinement must stabilise within n rounds");
+    }
+    let mut level = Vec::new();
+    refiner.canonical_level_into(&mut level);
+    BisimClasses { style, levels: vec![level], depth: rounds, stable: true }
 }
 
 fn refine_engine(
@@ -803,6 +877,61 @@ mod tests {
                 n * stats.rounds
             );
         }
+    }
+
+    #[test]
+    fn resumed_refinement_is_a_stable_refinement_of_fresh() {
+        use crate::kripke::ModelDelta;
+        use crate::ModalIndex;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        use rand::SeedableRng;
+        for trial in 0..5 {
+            let g = generators::gnp(16, 0.2, &mut rng);
+            let mut k = Kripke::k_mm(&g);
+            for style in [BisimStyle::Plain, BisimStyle::Graded] {
+                let prior = refine_fixpoint(&k, style);
+                // Remove the first stored edge (both directions), if any.
+                let Some((v, &w)) = (0..k.len())
+                    .find_map(|v| k.successors_dense(0, v).first().map(|w| (v, w)))
+                else {
+                    continue;
+                };
+                let mut delta = ModelDelta::new();
+                delta
+                    .remove_edge(ModalIndex::Any, v as u32, w)
+                    .remove_edge(ModalIndex::Any, w, v as u32);
+                let mut patched = k.clone();
+                let touched = patched.apply_delta(&delta).unwrap();
+                let resumed =
+                    refine_fixpoint_from(&patched, style, prior.final_level(), &touched);
+                assert!(resumed.is_stable());
+                let fresh = refine_fixpoint(&patched, style);
+                // Stable means: refines the fresh coarsest partition.
+                let res = resumed.final_level();
+                let coarse = fresh.final_level();
+                for u in 0..k.len() {
+                    for x in (u + 1)..k.len() {
+                        if res[u] == res[x] {
+                            assert_eq!(
+                                coarse[u], coarse[x],
+                                "trial {trial} {style:?}: resumed merged {u},{x} \
+                                 but coarsest separates them"
+                            );
+                        }
+                    }
+                }
+                k = patched;
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_refinement_with_no_touched_worlds_keeps_the_partition() {
+        let k = Kripke::k_mm(&generators::path(9));
+        let prior = refine_fixpoint(&k, BisimStyle::Plain);
+        let resumed = refine_fixpoint_from(&k, BisimStyle::Plain, prior.final_level(), &[]);
+        assert!(resumed.is_stable());
+        assert_eq!(resumed.final_level(), prior.final_level());
     }
 
     #[test]

@@ -18,6 +18,14 @@ pub enum LogicError {
     },
     /// A relation mentioned a world id out of range.
     WorldOutOfRange,
+    /// A delta edit named a modality with no stored relation. Deltas
+    /// never create relations (dense relation ids are baked into every
+    /// compiled plan); construct dynamic models with all needed
+    /// relations up front, empty rows included.
+    NoSuchRelation,
+    /// A delta asked to remove an edge the model does not store (or
+    /// more copies of it than are stored).
+    EdgeNotPresent,
     /// The computation was cooperatively interrupted (cancel, deadline,
     /// or work budget) before producing a result; nothing was published
     /// and a retry is bit-identical to an uninterrupted run.
@@ -32,6 +40,12 @@ impl fmt::Display for LogicError {
                 "formula uses {found:?} modalities but the model interprets {expected:?}"
             ),
             LogicError::WorldOutOfRange => write!(f, "relation refers to a world out of range"),
+            LogicError::NoSuchRelation => {
+                write!(f, "delta edits a modality with no stored relation")
+            }
+            LogicError::EdgeNotPresent => {
+                write!(f, "delta removes an edge the model does not store")
+            }
             LogicError::Interrupted(i) => write!(f, "{i}"),
         }
     }

@@ -66,6 +66,7 @@ use portnum_graph::csc::CscAdjacency;
 use portnum_graph::partition::RelationCsr;
 use portnum_graph::{Graph, Port, PortNumbering};
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::OnceLock;
 
 /// Which of the four canonical model variants a [`Kripke`] model is.
@@ -99,6 +100,16 @@ impl ModelVariant {
 struct CsrRelation {
     offsets: Vec<usize>,
     targets: Vec<u32>,
+}
+
+/// A cache value stamped with the model version it was built against.
+/// Every cache read debug-asserts `built_at == version`, so a stale
+/// cache (a patch-coverage bug in [`Kripke::apply_delta`]) fails loudly
+/// in debug builds instead of serving a torn answer.
+#[derive(Debug, Clone)]
+struct Stamped<T> {
+    built_at: u64,
+    value: T,
 }
 
 impl CsrRelation {
@@ -156,6 +167,113 @@ impl CsrRelation {
     #[inline]
     fn row(&self, v: usize) -> &[u32] {
         &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Applies a **validated** batch of edge edits. Each touched row
+    /// becomes its old contents minus one occurrence per removal (first
+    /// match, order preserved) with added targets appended in batch
+    /// order — a canonical row a differential mirror can reproduce, so
+    /// a patched relation is `Eq`-identical to one rebuilt from the
+    /// edited rows. Rows whose length is unchanged are patched in
+    /// place; otherwise the target array is spliced once, untouched row
+    /// spans copied wholesale.
+    fn apply_edits(&mut self, n: usize, adds: &[(u32, u32)], removes: &[(u32, u32)]) {
+        if adds.is_empty() && removes.is_empty() {
+            return;
+        }
+        // Flat sorted edit lists — batch apply is on the serving hot
+        // path, so the cost per touched row must stay allocation-free
+        // (a per-row map of per-row `Vec`s dominates the splice for
+        // realistic batches). The stable sort keeps adds in batch order
+        // within each row; removal order within a row is immaterial
+        // (first-occurrence consumption yields the same row either way).
+        let mut add_sorted = adds.to_vec();
+        add_sorted.sort_by_key(|&(v, _)| v);
+        let mut rm_sorted = removes.to_vec();
+        rm_sorted.sort_unstable_by_key(|&(v, _)| v);
+        // Touched rows ascending, each with its edit sub-ranges.
+        let mut rows: Vec<(u32, Range<usize>, Range<usize>)> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < add_sorted.len() || j < rm_sorted.len() {
+            let row = match (add_sorted.get(i), rm_sorted.get(j)) {
+                (Some(&(a, _)), Some(&(r, _))) => a.min(r),
+                (Some(&(a, _)), None) => a,
+                (None, Some(&(r, _))) => r,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let (ai, ri) = (i, j);
+            while i < add_sorted.len() && add_sorted[i].0 == row {
+                i += 1;
+            }
+            while j < rm_sorted.len() && rm_sorted[j].0 == row {
+                j += 1;
+            }
+            rows.push((row, ai..i, ri..j));
+        }
+        // Scratch buffers reused across rows: the patched row contents
+        // and one consumed-flag per removal in the row.
+        let mut out: Vec<u32> = Vec::new();
+        let mut used: Vec<bool> = Vec::new();
+        let patch_row = |out: &mut Vec<u32>,
+                         used: &mut Vec<bool>,
+                         old: &[u32],
+                         row_adds: &[(u32, u32)],
+                         row_rms: &[(u32, u32)]| {
+            out.clear();
+            used.clear();
+            used.resize(row_rms.len(), false);
+            for &t in old {
+                match (0..row_rms.len()).find(|&k| !used[k] && row_rms[k].1 == t) {
+                    Some(k) => used[k] = true,
+                    None => out.push(t),
+                }
+            }
+            debug_assert!(
+                used.iter().all(|&u| u),
+                "removal validated against the stored row"
+            );
+            out.extend(row_adds.iter().map(|&(_, w)| w));
+        };
+        let in_place = rows.iter().all(|(_, a, rm)| a.len() == rm.len());
+        if in_place {
+            for &(v, ref ar, ref rr) in &rows {
+                let (start, end) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+                // `out` is built from a copy-free read of the old row,
+                // then written back over it.
+                let old = &self.targets[start..end];
+                patch_row(&mut out, &mut used, old, &add_sorted[ar.clone()], &rm_sorted[rr.clone()]);
+                self.targets[start..end].copy_from_slice(&out);
+            }
+            return;
+        }
+        let grown = adds.len().saturating_sub(removes.len());
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len() + grown);
+        offsets.push(0);
+        let (mut next, mut v) = (0usize, 0usize);
+        while v < n {
+            if next < rows.len() && rows[next].0 as usize == v {
+                let (_, ref ar, ref rr) = rows[next];
+                let old = &self.targets[self.offsets[v]..self.offsets[v + 1]];
+                patch_row(&mut out, &mut used, old, &add_sorted[ar.clone()], &rm_sorted[rr.clone()]);
+                targets.extend_from_slice(&out);
+                offsets.push(targets.len());
+                next += 1;
+                v += 1;
+            } else {
+                // Copy the whole untouched span up to the next touched
+                // row in one shot; its offsets shift by a constant.
+                let span_end = rows.get(next).map_or(n, |&(s, _, _)| s as usize);
+                let shift = targets.len() as isize - self.offsets[v] as isize;
+                targets.extend_from_slice(&self.targets[self.offsets[v]..self.offsets[span_end]]);
+                for u in v..span_end {
+                    offsets.push((self.offsets[u + 1] as isize + shift) as usize);
+                }
+                v = span_end;
+            }
+        }
+        self.offsets = offsets;
+        self.targets = targets;
     }
 }
 
@@ -301,8 +419,125 @@ impl<'a> KripkeBuilder<'a> {
             reverse,
             reverse_csc,
             reverse_csc_combined: OnceLock::new(),
+            version: 0,
             empty: Vec::new(),
         })
+    }
+}
+
+/// A batch of model edits — add/remove edges, override valuations,
+/// crash worlds — applied **atomically** by [`Kripke::apply_delta`]:
+/// a rejected delta leaves the model (and every cache) untouched.
+///
+/// Deltas edit only modalities the model already stores
+/// ([`LogicError::NoSuchRelation`] otherwise): dense relation ids are
+/// baked into every compiled plan, so inserting a relation would
+/// silently invalidate them. Construct dynamic models with all needed
+/// relations up front — empty rows are fine.
+///
+/// Crashing a world removes every edge at it (out-edges and in-edges,
+/// across all relations) but keeps the world, so the universe — and
+/// every world id held by detached caches — stays stable; its degree
+/// auto-adjusts to the isolated world's out-degree (0 on canonical
+/// models). This is the crash-failure product update of the dynamic
+/// epistemic treatments of fault-tolerant computation: the crashed
+/// process stops being observable, the indexing of agents does not
+/// shift.
+///
+/// # Examples
+///
+/// ```
+/// use portnum_graph::generators;
+/// use portnum_logic::{Kripke, ModalIndex, ModelDelta};
+///
+/// let mut k = Kripke::k_mm(&generators::path(4));
+/// let mut delta = ModelDelta::new();
+/// delta.remove_edge(ModalIndex::Any, 1, 2).remove_edge(ModalIndex::Any, 2, 1);
+/// let touched = k.apply_delta(&delta)?;
+/// assert_eq!(touched, vec![1, 2]);
+/// assert_eq!(k.successors(1, ModalIndex::Any), &[0]);
+/// assert_eq!(k.degree(1), 1);
+/// assert_eq!(k.version(), 1);
+/// # Ok::<(), portnum_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModelDelta {
+    add: Vec<(ModalIndex, u32, u32)>,
+    remove: Vec<(ModalIndex, u32, u32)>,
+    valuation: Vec<(u32, usize)>,
+    crash: Vec<u32>,
+}
+
+impl ModelDelta {
+    /// An empty delta.
+    pub fn new() -> ModelDelta {
+        ModelDelta::default()
+    }
+
+    /// Adds the edge `v →index w`. Relations are multisets: adding an
+    /// edge already present stores another copy.
+    pub fn add_edge(&mut self, index: ModalIndex, v: u32, w: u32) -> &mut ModelDelta {
+        self.add.push((index, v, w));
+        self
+    }
+
+    /// Removes one stored copy of the edge `v →index w`
+    /// ([`LogicError::EdgeNotPresent`] at apply time if none remains).
+    pub fn remove_edge(&mut self, index: ModalIndex, v: u32, w: u32) -> &mut ModelDelta {
+        self.remove.push((index, v, w));
+        self
+    }
+
+    /// Overrides world `v`'s recorded degree (its valuation: `q_d`
+    /// holds iff `degree(v) = d`), after the automatic out-degree
+    /// adjustment from this delta's edge edits.
+    pub fn set_valuation(&mut self, v: u32, d: usize) -> &mut ModelDelta {
+        self.valuation.push((v, d));
+        self
+    }
+
+    /// Crashes world `v`: removes every edge currently at it, in both
+    /// directions, across all relations. Combining a crash with an
+    /// explicit removal of one of those edges double-removes it and is
+    /// rejected at apply time.
+    pub fn crash_world(&mut self, v: u32) -> &mut ModelDelta {
+        self.crash.push(v);
+        self
+    }
+
+    /// Appends every edit of `other` to this delta, preserving order.
+    ///
+    /// Batching matters under traffic: [`Kripke::apply_delta`] patches
+    /// each built cache once per call with an O(edges) splice, so one
+    /// merged batch costs one splice where a sequence of small deltas
+    /// costs one per delta. Applying the merged batch is equivalent to
+    /// applying the sequence **provided every removal (and crash)
+    /// targets an edge stored before the whole batch** — a removal
+    /// aimed at an edge an earlier delta in the sequence added would
+    /// instead be validated against the pre-batch rows and rejected —
+    /// **and no valuation override precedes an edge edit on the same
+    /// source world**: overrides land after the batch's net degree
+    /// adjustment, where the sequence would bump the overridden value.
+    pub fn merge(&mut self, other: &ModelDelta) -> &mut ModelDelta {
+        self.add.extend_from_slice(&other.add);
+        self.remove.extend_from_slice(&other.remove);
+        self.valuation.extend_from_slice(&other.valuation);
+        self.crash.extend_from_slice(&other.crash);
+        self
+    }
+
+    /// `true` if the delta contains no edits at all.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty()
+            && self.remove.is_empty()
+            && self.valuation.is_empty()
+            && self.crash.is_empty()
+    }
+
+    /// Number of recorded edits (crashes count as one each, before
+    /// expansion into edge removals).
+    pub fn edit_count(&self) -> usize {
+        self.add.len() + self.remove.len() + self.valuation.len() + self.crash.len()
     }
 }
 
@@ -333,16 +568,22 @@ pub struct Kripke {
     relations: Vec<CsrRelation>,
     /// Lazily-built predecessor bit rows, parallel to `relations`.
     /// Derived data: excluded from equality, cloned along with the model.
-    reverse: Vec<OnceLock<BitMatrix>>,
+    reverse: Vec<OnceLock<Stamped<BitMatrix>>>,
     /// Lazily-built CSC (reverse CSR) predecessor lists, parallel to
     /// `relations` — the sparse counterpart of `reverse`, usable at any
     /// model size. Derived data, like `reverse`.
-    reverse_csc: Vec<OnceLock<CscAdjacency>>,
+    reverse_csc: Vec<OnceLock<Stamped<CscAdjacency>>>,
     /// Lazily-built CSC over the union of **all** relations — the shape
     /// the worklist refiner's dirty propagation wants on multi-relation
     /// models (single-relation models reuse `reverse_csc[0]` instead).
     /// Derived data, like `reverse`.
-    reverse_csc_combined: OnceLock<CscAdjacency>,
+    reverse_csc_combined: OnceLock<Stamped<CscAdjacency>>,
+    /// Mutation counter: bumped by every non-empty
+    /// [`Kripke::apply_delta`], `0` at construction. Detached caches
+    /// ([`crate::plan::CheckerCache`]) record it to check resumability;
+    /// the in-model caches above carry a matching stamp. Excluded from
+    /// equality — it is history, not structure.
+    version: u64,
     empty: Vec<u32>,
 }
 
@@ -387,6 +628,7 @@ impl Kripke {
             reverse,
             reverse_csc,
             reverse_csc_combined: OnceLock::new(),
+            version: 0,
             empty: Vec::new(),
         }
     }
@@ -596,7 +838,7 @@ impl Kripke {
     /// publication is impossible by construction, which is what lets an
     /// interrupted query retry bit-identically.
     pub fn predecessor_rows(&self, r: usize) -> &BitMatrix {
-        self.reverse[r].get_or_init(|| {
+        let stamped = self.reverse[r].get_or_init(|| {
             fail::fail_point!("dense-build");
             let n = self.len();
             let mut m = BitMatrix::zeros(n, n);
@@ -609,8 +851,13 @@ impl Kripke {
                 }
                 start = end;
             }
-            m
-        })
+            Stamped { built_at: self.version, value: m }
+        });
+        debug_assert_eq!(
+            stamped.built_at, self.version,
+            "stale dense predecessor cache for relation {r}"
+        );
+        &stamped.value
     }
 
     /// Number of `u64` words a predecessor matrix of this model costs
@@ -644,10 +891,15 @@ impl Kripke {
     ///
     /// Panics if `r >= self.relation_count()`.
     pub fn predecessors_csc(&self, r: usize) -> &CscAdjacency {
-        self.reverse_csc[r].get_or_init(|| {
+        let stamped = self.reverse_csc[r].get_or_init(|| {
             let (offsets, targets) = self.relation_rows(r);
-            CscAdjacency::from_csr(self.len(), offsets, targets)
-        })
+            Stamped { built_at: self.version, value: CscAdjacency::from_csr(self.len(), offsets, targets) }
+        });
+        debug_assert_eq!(
+            stamped.built_at, self.version,
+            "stale CSC predecessor cache for relation {r}"
+        );
+        &stamped.value
     }
 
     /// The CSC predecessor lists of the **union of all relations** —
@@ -667,8 +919,224 @@ impl Kripke {
         if self.relation_count() == 1 {
             return self.predecessors_csc(0);
         }
-        self.reverse_csc_combined
-            .get_or_init(|| CscAdjacency::from_relations(self.len(), &self.relations_csr()))
+        let stamped = self.reverse_csc_combined.get_or_init(|| Stamped {
+            built_at: self.version,
+            value: CscAdjacency::from_relations(self.len(), &self.relations_csr()),
+        });
+        debug_assert_eq!(stamped.built_at, self.version, "stale combined CSC predecessor cache");
+        &stamped.value
+    }
+
+    /// The model's mutation counter: `0` at construction, bumped by
+    /// every non-empty [`Kripke::apply_delta`]. Derived caches — the
+    /// in-model predecessor stores and detached
+    /// [`crate::plan::CheckerCache`]s — record the version they were
+    /// built against; a mismatch means the cache is stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The dense relation id a delta edit on `index` targets.
+    fn edit_relation(&self, index: ModalIndex) -> Result<usize, LogicError> {
+        if index.family() != self.variant.family() {
+            return Err(LogicError::FamilyMismatch {
+                expected: self.variant.family(),
+                found: index.family(),
+            });
+        }
+        self.relation_id(index).ok_or(LogicError::NoSuchRelation)
+    }
+
+    /// Applies `delta` atomically: validates every edit up front (a
+    /// rejected delta leaves the model and its caches untouched), then
+    /// patches the forward CSR rows in place where row lengths permit
+    /// (one splice otherwise), **repairs** the already-built derived
+    /// caches instead of dropping them — dense predecessor bits are
+    /// re-checked per edited pair, per-relation CSC rows are patched via
+    /// [`CscAdjacency::apply_edits`], only the multi-relation combined
+    /// CSC is invalidated for lazy rebuild — bumps [`Kripke::version`],
+    /// and returns the sorted, deduplicated set of **touched worlds**:
+    /// every endpoint of an edited edge, every world whose recorded
+    /// degree changed or was explicitly set, and every crashed world.
+    ///
+    /// The touched set is the contract consumed by the repair layers:
+    /// a world outside it has its exact pre-delta valuation and forward
+    /// row ([`crate::plan::ModelChecker::resume`] and
+    /// [`crate::bisim::refine_fixpoint_from`] rely on precisely this).
+    ///
+    /// Degrees track the canonical invariant `degree(v) = ` total
+    /// out-degree: each source's recorded degree is adjusted by its net
+    /// out-degree change (saturating at zero for hand-crafted models
+    /// whose valuation is decoupled from the rows), then explicit
+    /// [`ModelDelta::set_valuation`] overrides are applied.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::FamilyMismatch`] for an edit on a modality outside
+    /// the variant's family, [`LogicError::NoSuchRelation`] for one
+    /// with no stored relation, [`LogicError::WorldOutOfRange`] for any
+    /// world id `>= self.len()`, and [`LogicError::EdgeNotPresent`] if
+    /// removals (explicit or crash-expanded) exceed an edge's stored
+    /// multiplicity.
+    pub fn apply_delta(&mut self, delta: &ModelDelta) -> Result<Vec<u32>, LogicError> {
+        if delta.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.len();
+        let in_range = |w: u32| (w as usize) < n;
+
+        // ---- Validation and lowering, before any mutation. ----
+        let rel_count = self.relation_count();
+        let mut adds: Vec<Vec<(u32, u32)>> = vec![Vec::new(); rel_count];
+        let mut removes: Vec<Vec<(u32, u32)>> = vec![Vec::new(); rel_count];
+        for &(index, v, w) in &delta.add {
+            if !in_range(v) || !in_range(w) {
+                return Err(LogicError::WorldOutOfRange);
+            }
+            adds[self.edit_relation(index)?].push((v, w));
+        }
+        for &(index, v, w) in &delta.remove {
+            if !in_range(v) || !in_range(w) {
+                return Err(LogicError::WorldOutOfRange);
+            }
+            removes[self.edit_relation(index)?].push((v, w));
+        }
+        if delta.valuation.iter().any(|&(v, _)| !in_range(v)) || !delta.crash.iter().all(|&c| in_range(c)) {
+            return Err(LogicError::WorldOutOfRange);
+        }
+
+        // Expand crashes into edge removals against the pre-delta rows.
+        let mut crash = delta.crash.clone();
+        crash.sort_unstable();
+        crash.dedup();
+        if !crash.is_empty() {
+            let mut crashed = vec![false; n];
+            for &c in &crash {
+                crashed[c as usize] = true;
+            }
+            for (r, removes) in removes.iter_mut().enumerate() {
+                // Out-edges come from the crashed worlds' own rows; in-
+                // edges from surviving sources only, so an edge between
+                // two crashed worlds (or a self-loop) is removed once.
+                for &c in &crash {
+                    for &w in self.relations[r].row(c as usize) {
+                        removes.push((c, w));
+                    }
+                }
+                match self.reverse_csc[r].get() {
+                    // An already-built (hence fresh) CSC answers
+                    // "who sees c" directly.
+                    Some(st) => {
+                        for &c in &crash {
+                            for &v in st.value.row(c as usize) {
+                                if !crashed[v as usize] {
+                                    removes.push((v, c));
+                                }
+                            }
+                        }
+                    }
+                    // Otherwise one pass over the relation.
+                    None => {
+                        for v in 0..n {
+                            if crashed[v] {
+                                continue;
+                            }
+                            for &w in self.relations[r].row(v) {
+                                if crashed[w as usize] {
+                                    removes.push((v as u32, w));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Removals must not exceed stored multiplicities.
+        for (r, removes) in removes.iter().enumerate() {
+            if removes.is_empty() {
+                continue;
+            }
+            let mut need = removes.clone();
+            need.sort_unstable();
+            let mut i = 0;
+            while i < need.len() {
+                let (v, w) = need[i];
+                let mut count = 1;
+                while i + count < need.len() && need[i + count] == (v, w) {
+                    count += 1;
+                }
+                let stored = self.relations[r].row(v as usize).iter().filter(|&&t| t == w).count();
+                if stored < count {
+                    return Err(LogicError::EdgeNotPresent);
+                }
+                i += count;
+            }
+        }
+
+        // ---- Mutation (infallible from here on). ----
+        let mut touched: Vec<u32> = Vec::new();
+        let mut net: BTreeMap<u32, isize> = BTreeMap::new();
+        for r in 0..rel_count {
+            for &(v, w) in &adds[r] {
+                *net.entry(v).or_default() += 1;
+                touched.push(v);
+                touched.push(w);
+            }
+            for &(v, w) in &removes[r] {
+                *net.entry(v).or_default() -= 1;
+                touched.push(v);
+                touched.push(w);
+            }
+        }
+        let next_version = self.version + 1;
+        for r in 0..rel_count {
+            let edited = !(adds[r].is_empty() && removes[r].is_empty());
+            if edited {
+                self.relations[r].apply_edits(n, &adds[r], &removes[r]);
+            }
+            // Patch the built caches against the *post-edit* rows; a
+            // cache an untouched relation built stays valid, so only
+            // its stamp advances.
+            if let Some(st) = self.reverse[r].get_mut() {
+                if edited {
+                    for &(v, w) in adds[r].iter().chain(&removes[r]) {
+                        let present = self.relations[r].row(v as usize).contains(&w);
+                        st.value.set(w as usize, v as usize, present);
+                    }
+                }
+                st.built_at = next_version;
+            }
+            if let Some(st) = self.reverse_csc[r].get_mut() {
+                if edited {
+                    st.value.apply_edits(&adds[r], &removes[r]);
+                }
+                st.built_at = next_version;
+            }
+        }
+        let any_edges = (0..rel_count).any(|r| !adds[r].is_empty() || !removes[r].is_empty());
+        if any_edges && rel_count > 1 {
+            // The combined store is relation-major, so a flat edit batch
+            // cannot target the right span: invalidate, rebuild lazily.
+            self.reverse_csc_combined.take();
+        } else if let Some(st) = self.reverse_csc_combined.get_mut() {
+            st.built_at = next_version;
+        }
+        for (&v, &d) in &net {
+            if d != 0 {
+                self.degree[v as usize] =
+                    (self.degree[v as usize] as isize + d).max(0) as usize;
+            }
+        }
+        for &(v, d) in &delta.valuation {
+            self.degree[v as usize] = d;
+            touched.push(v);
+        }
+        touched.extend_from_slice(&crash);
+        self.version = next_version;
+        touched.sort_unstable();
+        touched.dedup();
+        Ok(touched)
     }
 
     /// Disjoint union with another model of the same variant; worlds of
@@ -733,6 +1201,7 @@ impl Kripke {
             reverse,
             reverse_csc,
             reverse_csc_combined: OnceLock::new(),
+            version: 0,
             empty: Vec::new(),
         }
     }
@@ -963,6 +1432,142 @@ mod tests {
         let total: usize =
             (0..pp.relation_count()).map(|r| pp.predecessors_csc(r).entry_count()).sum();
         assert_eq!(combined.entry_count(), total);
+    }
+
+    /// A cache-free reconstruction of `k` from its declared parts.
+    fn rebuilt(k: &Kripke) -> Kripke {
+        let mut rels: BTreeMap<ModalIndex, Vec<Vec<usize>>> = BTreeMap::new();
+        for r in 0..k.relation_count() {
+            let rows = (0..k.len())
+                .map(|v| k.successors_dense(r, v).iter().map(|&w| w as usize).collect())
+                .collect();
+            rels.insert(k.relation_index(r), rows);
+        }
+        Kripke::from_parts(k.variant(), k.degrees().to_vec(), rels).unwrap()
+    }
+
+    #[test]
+    fn apply_delta_patches_rows_degrees_and_version() {
+        let mut k = Kripke::k_mm(&generators::path(5));
+        let mut delta = ModelDelta::new();
+        delta
+            .remove_edge(ModalIndex::Any, 1, 2)
+            .remove_edge(ModalIndex::Any, 2, 1)
+            .add_edge(ModalIndex::Any, 0, 4)
+            .add_edge(ModalIndex::Any, 4, 0);
+        let touched = k.apply_delta(&delta).unwrap();
+        assert_eq!(touched, vec![0, 1, 2, 4]);
+        assert_eq!(k.version(), 1);
+        assert_eq!(k.successors(1, ModalIndex::Any), &[0]);
+        assert_eq!(k.successors(0, ModalIndex::Any), &[1, 4]);
+        assert_eq!(k.degrees(), &[2, 1, 1, 2, 2]);
+        // The patched model is Eq-identical to one rebuilt from its rows.
+        assert_eq!(k, rebuilt(&k));
+        // An empty delta is free: no version bump, no touched worlds.
+        assert_eq!(k.apply_delta(&ModelDelta::new()).unwrap(), Vec::<u32>::new());
+        assert_eq!(k.version(), 1);
+    }
+
+    #[test]
+    fn apply_delta_repairs_built_caches() {
+        // Build every cache shape first, on a multi-relation model, and
+        // check the patched caches against a cache-free rebuild.
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        let mut k = Kripke::k_pp(&g, &p);
+        let index = k.relation_index(0);
+        let (v, &w) = (0..k.len())
+            .find_map(|v| k.successors_dense(0, v).first().map(|w| (v, w)))
+            .expect("relation 0 has an edge");
+        for r in 0..k.relation_count() {
+            k.predecessor_rows(r);
+            k.predecessors_csc(r);
+        }
+        k.combined_predecessors_csc();
+        let mut delta = ModelDelta::new();
+        delta.remove_edge(index, v as u32, w).add_edge(index, w, v as u32);
+        k.apply_delta(&delta).unwrap();
+        let fresh = rebuilt(&k);
+        assert_eq!(k, fresh);
+        for r in 0..k.relation_count() {
+            assert_eq!(k.predecessor_rows(r), fresh.predecessor_rows(r), "dense rows, rel {r}");
+            assert_eq!(k.predecessors_csc(r), fresh.predecessors_csc(r), "csc rows, rel {r}");
+        }
+        assert_eq!(k.combined_predecessors_csc(), fresh.combined_predecessors_csc());
+    }
+
+    #[test]
+    fn apply_delta_crash_isolates_worlds() {
+        let mut k = Kripke::k_mm(&generators::star(3));
+        // Warm the caches so the crash path exercises cache repair too.
+        k.predecessor_rows(0);
+        k.predecessors_csc(0);
+        let mut delta = ModelDelta::new();
+        delta.crash_world(0).crash_world(0); // duplicate crashes are one crash
+        let touched = k.apply_delta(&delta).unwrap();
+        assert_eq!(touched, vec![0, 1, 2, 3]);
+        for v in 0..4 {
+            assert!(k.successors(v, ModalIndex::Any).is_empty(), "world {v}");
+            assert_eq!(k.degree(v), 0);
+        }
+        let fresh = rebuilt(&k);
+        assert_eq!(k.predecessor_rows(0), fresh.predecessor_rows(0));
+        assert_eq!(k.predecessors_csc(0), fresh.predecessors_csc(0));
+    }
+
+    #[test]
+    fn apply_delta_respects_multiplicity() {
+        let mut rel = BTreeMap::new();
+        rel.insert(ModalIndex::Any, vec![vec![1, 1], vec![]]);
+        let mut k = Kripke::from_parts(ModelVariant::MinusMinus, vec![2, 0], rel).unwrap();
+        k.predecessor_rows(0);
+        let mut delta = ModelDelta::new();
+        delta.remove_edge(ModalIndex::Any, 0, 1);
+        k.apply_delta(&delta).unwrap();
+        // One copy of the double edge remains: the dense bit stays set.
+        assert_eq!(k.successors(0, ModalIndex::Any), &[1]);
+        assert!(k.predecessor_rows(0).get(1, 0));
+        k.apply_delta(&delta).unwrap();
+        assert!(k.successors(0, ModalIndex::Any).is_empty());
+        assert!(!k.predecessor_rows(0).get(1, 0));
+        // A third removal has nothing left to remove.
+        assert_eq!(k.apply_delta(&delta).unwrap_err(), LogicError::EdgeNotPresent);
+    }
+
+    #[test]
+    fn apply_delta_is_atomic_on_rejection() {
+        let mut k = Kripke::k_mm(&generators::cycle(4));
+        let before = k.clone();
+        let mut delta = ModelDelta::new();
+        // A valid removal followed by an invalid one: nothing applies.
+        delta.remove_edge(ModalIndex::Any, 0, 1).remove_edge(ModalIndex::Any, 0, 2);
+        assert_eq!(k.apply_delta(&delta).unwrap_err(), LogicError::EdgeNotPresent);
+        assert_eq!(k, before);
+        assert_eq!(k.version(), 0);
+        let mut oob = ModelDelta::new();
+        oob.add_edge(ModalIndex::Any, 0, 9);
+        assert_eq!(k.apply_delta(&oob).unwrap_err(), LogicError::WorldOutOfRange);
+        let mut crash_oob = ModelDelta::new();
+        crash_oob.crash_world(9);
+        assert_eq!(k.apply_delta(&crash_oob).unwrap_err(), LogicError::WorldOutOfRange);
+        assert_eq!(k, before);
+    }
+
+    #[test]
+    fn apply_delta_rejects_foreign_and_missing_relations() {
+        let g = generators::cycle(3);
+        let p = PortNumbering::consistent(&g);
+        let mut k = Kripke::k_pp(&g, &p);
+        let mut foreign = ModelDelta::new();
+        foreign.add_edge(ModalIndex::Any, 0, 1);
+        assert_eq!(
+            k.apply_delta(&foreign).unwrap_err(),
+            LogicError::FamilyMismatch { expected: IndexFamily::InOut, found: IndexFamily::Any }
+        );
+        let mut missing = ModelDelta::new();
+        missing.add_edge(ModalIndex::InOut(7, 7), 0, 1);
+        assert_eq!(k.apply_delta(&missing).unwrap_err(), LogicError::NoSuchRelation);
+        assert_eq!(k.version(), 0);
     }
 
     #[test]

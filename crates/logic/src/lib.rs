@@ -87,9 +87,9 @@ mod transform;
 pub use characteristic::{characteristic, characteristic_formula, CharacteristicFormulas};
 pub use error::{CompileError, LogicError, ParseError};
 pub use eval::{evaluate, evaluate_packed, evaluate_packed_recursive, extension, satisfies};
-pub use plan::{DiamondMode, ModelChecker, Plan};
+pub use plan::{CheckerCache, DeltaOverride, DiamondMode, ModelChecker, Plan, RepairStats};
 pub use formula::{Formula, FormulaKind, IndexFamily, ModalIndex};
-pub use kripke::{Kripke, KripkeBuilder, ModelVariant};
+pub use kripke::{Kripke, KripkeBuilder, ModelDelta, ModelVariant};
 pub use parser::parse;
 pub use quotient::{minimum_base, quotient};
 pub use transform::{is_nnf, nnf, simplify};

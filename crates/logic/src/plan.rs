@@ -228,6 +228,38 @@ pub fn reverse_override() -> ReverseOverride {
     })
 }
 
+/// How the `PORTNUM_DELTA` environment variable steers
+/// [`ModelChecker::resume`] after a [`crate::ModelDelta`], parsed once
+/// per process by [`delta_override`]. The escape hatch exists so a
+/// repair bug can be ruled in or out in production without a rebuild:
+/// `PORTNUM_DELTA=rebuild` drops every cached truth vector (and the
+/// cached quotient) at resume time and recomputes on demand, which is
+/// always correct and never fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOverride {
+    /// Incrementally repair cached truth vectors over the dirty
+    /// frontier (the default).
+    Repair,
+    /// Drop all caches at resume; later checks recompute from scratch.
+    Rebuild,
+}
+
+/// How `PORTNUM_DELTA` steers cache handling across deltas: `repair`
+/// (default) or `rebuild`. Parsed once per process; like
+/// `PORTNUM_REVERSE` and `PORTNUM_REFINE`, an unrecognised value
+/// panics — a CI job pinning one implementation must not silently run
+/// another.
+pub fn delta_override() -> DeltaOverride {
+    static MODE: OnceLock<DeltaOverride> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("PORTNUM_DELTA").as_deref() {
+        Ok("rebuild") => DeltaOverride::Rebuild,
+        Ok("repair") | Err(_) => DeltaOverride::Repair,
+        Ok(other) => {
+            panic!("unrecognised PORTNUM_DELTA value {other:?} (use repair or rebuild)")
+        }
+    })
+}
+
 /// One plan instruction; operands are earlier instruction ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Op {
@@ -1586,6 +1618,50 @@ pub struct CheckerStats {
     pub csc_diamonds: usize,
 }
 
+/// What one [`ModelChecker::resume`] repair pass did — the
+/// observability hook asserting that a localized delta stays localized
+/// (see [`ModelChecker::last_repair`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Cached truth vectors patched world-by-world over their dirty
+    /// frontier.
+    pub repaired_vectors: usize,
+    /// Total world-bits recomputed across all point repairs (`≤
+    /// repaired_vectors × n`; on a localized delta, `≪`).
+    pub repaired_worlds: usize,
+    /// Cached truth vectors recomputed wholesale because their dirty
+    /// frontier grew past the dense fallback threshold (a quarter of
+    /// the universe).
+    pub rebuilt_vectors: usize,
+    /// Size of the largest dirty frontier used by a point repair.
+    pub max_frontier: usize,
+    /// Whether a cached quotient was repaired by resuming refinement
+    /// from the prior partition.
+    pub quotient_repaired: bool,
+}
+
+/// A [`ModelChecker`]'s state, detached from its model borrow so the
+/// model can be mutated with [`Kripke::apply_delta`] and the caches
+/// *repaired* rather than rebuilt — see [`ModelChecker::detach`] and
+/// [`ModelChecker::resume`].
+#[derive(Debug)]
+pub struct CheckerCache {
+    lw: Lowerer,
+    retained: Vec<Formula>,
+    results: Vec<Option<Rc<Bitset>>>,
+    mode: DiamondMode,
+    quotient: Option<Rc<(Kripke, Vec<usize>)>>,
+    quotient_repaired: bool,
+    computed: usize,
+    quotient_computed: usize,
+    exec: ExecStats,
+    published_words: usize,
+    /// [`Kripke::version`] at detach time; resume debug-asserts the
+    /// caller passed a touched set whenever the version moved.
+    model_version: u64,
+    n: usize,
+}
+
 /// A per-model evaluation cache: lowering state, computed truth
 /// vectors, and the bisimulation quotient, all keyed to one model and
 /// shared across every formula checked against it.
@@ -1622,6 +1698,11 @@ pub struct ModelChecker<'m> {
     results: Vec<Option<Rc<Bitset>>>,
     mode: DiamondMode,
     quotient: Option<Rc<(Kripke, Vec<usize>)>>,
+    /// Whether `quotient` came from a resumed refinement
+    /// ([`ModelChecker::resume`]): stable — valid for
+    /// [`Self::check_via_quotient`] — but possibly finer than coarsest,
+    /// so [`Self::minimum_base`] must recompute before answering.
+    quotient_repaired: bool,
     computed: usize,
     quotient_computed: usize,
     exec: ExecStats,
@@ -1629,6 +1710,8 @@ pub struct ModelChecker<'m> {
     /// cache-words budget of [`ModelChecker::check_controlled`] prices
     /// publication against.
     published_words: usize,
+    /// What the latest [`Self::resume`] repair pass did, if any.
+    last_repair: Option<RepairStats>,
 }
 
 impl<'m> ModelChecker<'m> {
@@ -1647,10 +1730,12 @@ impl<'m> ModelChecker<'m> {
             results: Vec::new(),
             mode,
             quotient: None,
+            quotient_repaired: false,
             computed: 0,
             quotient_computed: 0,
             exec: ExecStats::default(),
             published_words: 0,
+            last_repair: None,
         }
     }
 
@@ -1777,17 +1862,342 @@ impl<'m> ModelChecker<'m> {
         Ok(root_vec)
     }
 
+    /// Detaches the checker's caches from its model borrow so the
+    /// model can be mutated ([`Kripke::apply_delta`]) and the checker
+    /// brought back with [`Self::resume`] — the live-update handshake:
+    ///
+    /// ```
+    /// use portnum_graph::generators;
+    /// use portnum_logic::plan::ModelChecker;
+    /// use portnum_logic::{Formula, Kripke, ModalIndex, ModelDelta};
+    ///
+    /// let mut k = Kripke::k_mm(&generators::path(6));
+    /// let phi = Formula::diamond(ModalIndex::Any, &Formula::prop(1));
+    /// let mut checker = ModelChecker::new(&k);
+    /// let before = checker.check(&phi)?.to_bools();
+    ///
+    /// let cache = checker.detach();
+    /// let mut delta = ModelDelta::new();
+    /// delta.remove_edge(ModalIndex::Any, 0, 1).remove_edge(ModalIndex::Any, 1, 0);
+    /// let touched = k.apply_delta(&delta)?;
+    /// let mut checker = ModelChecker::resume(&k, cache, &touched);
+    ///
+    /// // Repaired answers are bit-identical to a fresh checker's.
+    /// assert_eq!(
+    ///     checker.check(&phi)?.to_bools(),
+    ///     ModelChecker::new(&k).check(&phi)?.to_bools(),
+    /// );
+    /// assert_ne!(checker.check(&phi)?.to_bools(), before);
+    /// # Ok::<(), portnum_logic::LogicError>(())
+    /// ```
+    pub fn detach(self) -> CheckerCache {
+        CheckerCache {
+            lw: self.lw,
+            retained: self.retained,
+            results: self.results,
+            mode: self.mode,
+            quotient: self.quotient,
+            quotient_repaired: self.quotient_repaired,
+            computed: self.computed,
+            quotient_computed: self.quotient_computed,
+            exec: self.exec,
+            published_words: self.published_words,
+            model_version: self.model.version(),
+            n: self.model.len(),
+        }
+    }
+
+    /// Rebinds a detached cache to `model` — the same model the cache
+    /// was detached from, after any number of [`Kripke::apply_delta`]
+    /// calls — and *repairs* the cached truth vectors instead of
+    /// dropping them. `touched` is the union of the touched-world lists
+    /// returned by the deltas applied since [`Self::detach`] (order and
+    /// duplicates don't matter).
+    ///
+    /// Repair recomputes only what a delta can have changed: an
+    /// instruction of modal height `h` is stale at world `v` exactly
+    /// when some touched world is forward-reachable from `v` within `h`
+    /// steps, so each cached vector is patched pointwise over the
+    /// frontier `D_h = touched ∪ preds(touched) ∪ …` (`h` predecessor
+    /// expansions, read off the post-delta CSC store). A frontier that
+    /// grows past a quarter of the universe falls back to recomputing
+    /// that vector wholesale — past that point the dense sweep is
+    /// cheaper than point lookups. Both paths are pinned bit-identical
+    /// to a fresh checker by the differential delta suite, and
+    /// [`Self::last_repair`] reports which path each vector took.
+    ///
+    /// A cached quotient is repaired too, by resuming partition
+    /// refinement from the prior partition seeded with the dirty
+    /// frontier ([`crate::bisim::refine_fixpoint_from`]) — stable, so
+    /// [`Self::check_via_quotient`] stays exact, but possibly finer
+    /// than coarsest, so the next [`Self::minimum_base`] recomputes.
+    ///
+    /// `PORTNUM_DELTA=rebuild` ([`delta_override`]) turns resume into
+    /// the escape hatch: all cached vectors and the quotient are
+    /// dropped and later checks recompute from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` has a different world count than the cache was
+    /// detached with (deltas never resize the universe — crashed worlds
+    /// stay as isolated vertices).
+    pub fn resume(model: &'m Kripke, cache: CheckerCache, touched: &[u32]) -> ModelChecker<'m> {
+        assert_eq!(
+            model.len(),
+            cache.n,
+            "resume requires the model the cache was detached from"
+        );
+        debug_assert!(
+            model.version() == cache.model_version || !touched.is_empty(),
+            "model version moved but no touched worlds were passed"
+        );
+        let mut checker = ModelChecker {
+            model,
+            lw: cache.lw,
+            retained: cache.retained,
+            results: cache.results,
+            mode: cache.mode,
+            quotient: cache.quotient,
+            quotient_repaired: cache.quotient_repaired,
+            computed: cache.computed,
+            quotient_computed: cache.quotient_computed,
+            exec: cache.exec,
+            published_words: cache.published_words,
+            last_repair: None,
+        };
+        if touched.is_empty() && model.version() == cache.model_version {
+            return checker;
+        }
+        if delta_override() == DeltaOverride::Rebuild {
+            checker.results.iter_mut().for_each(|r| *r = None);
+            checker.quotient = None;
+            checker.quotient_repaired = false;
+            return checker;
+        }
+        checker.repair(touched);
+        checker
+    }
+
+    /// The repair pass of [`Self::resume`]; see its contract there.
+    fn repair(&mut self, touched: &[u32]) {
+        let model = self.model;
+        let n = model.len();
+        let mut stats = RepairStats::default();
+
+        let mut d0: Vec<u32> = touched.to_vec();
+        d0.sort_unstable();
+        d0.dedup();
+        assert!(d0.last().is_none_or(|&w| (w as usize) < n), "touched world out of range");
+
+        // Change propagation in ascending id order (operands before
+        // consumers; a cached consumer's operands are always cached —
+        // commits are whole-or-nothing). Each cached vector re-evaluates
+        // only its *candidate* worlds — those whose value can have
+        // moved: the touched set where the op reads the model directly
+        // (valuations for `Prop`, edited rows for `Diamond` — both
+        // endpoints of every edit are in `touched`, so removed edges
+        // need no pre-delta predecessor pass), and the operands' worlds
+        // that **actually flipped** for the rest (their post-delta
+        // predecessors, for a diamond). The flips recorded at each op
+        // drive its consumers, so a delta the formula cannot observe
+        // dies out after one ring instead of dirtying a
+        // frontier-per-modal-height closure of the touched set.
+        let dense = |d: usize| d * 4 >= n;
+        let mut changed: Vec<Vec<u32>> = vec![Vec::new(); self.results.len()];
+        let mut exec = ExecStats::default();
+        for id in 0..self.results.len() {
+            let Some(existing) = self.results[id].take() else { continue };
+            let op = self.lw.ops[id];
+            // Candidate dirty worlds, sorted ascending and deduplicated.
+            let candidates: Vec<u32> = match op {
+                // Constant vectors cannot be dirtied.
+                Op::Top | Op::Bottom => Vec::new(),
+                Op::Prop(_) => d0.clone(),
+                Op::Not(a) => changed[a as usize].clone(),
+                Op::And(a, b) | Op::Or(a, b) => {
+                    let mut c: Vec<u32> =
+                        changed[a as usize].iter().chain(&changed[b as usize]).copied().collect();
+                    c.sort_unstable();
+                    c.dedup();
+                    c
+                }
+                Op::Diamond { inner, .. } => {
+                    let mut c = d0.clone();
+                    let inner_changed = &changed[inner as usize];
+                    if !inner_changed.is_empty() {
+                        let csc = model.combined_predecessors_csc();
+                        for &w in inner_changed {
+                            c.extend_from_slice(csc.row(w as usize));
+                        }
+                        c.sort_unstable();
+                        c.dedup();
+                    }
+                    c
+                }
+            };
+            if candidates.is_empty() {
+                self.results[id] = Some(existing);
+                continue;
+            }
+            if dense(candidates.len()) {
+                // Past the fallback threshold a wholesale vectorized
+                // recompute beats point repair; the flips still come
+                // cheap off a word-level diff.
+                let results = &self.results;
+                let operand = |a: u32| -> &Bitset {
+                    results[a as usize]
+                        .as_deref()
+                        .expect("cached consumers have cached operands")
+                };
+                let mut out = Bitset::default();
+                eval_op_into(model, self.mode, op, operand, &mut out, &mut exec);
+                for v in 0..n {
+                    if out.get(v) != existing.get(v) {
+                        changed[id].push(v as u32);
+                    }
+                }
+                stats.rebuilt_vectors += 1;
+                self.computed += 1;
+                self.results[id] = Some(Rc::new(out));
+                continue;
+            }
+            let mut vec = existing;
+            let bits = Rc::make_mut(&mut vec);
+            let results = &self.results;
+            let operand = |a: u32| -> &Bitset {
+                results[a as usize]
+                    .as_deref()
+                    .expect("cached consumers have cached operands")
+            };
+            // One dispatch per vector, not per world: each arm resolves
+            // its operand bitsets once and runs a tight point loop —
+            // semantically `eval_op_into(..).get(v)` per candidate,
+            // pinned by the differential delta tests.
+            let flips = &mut changed[id];
+            match op {
+                Op::Top | Op::Bottom => unreachable!("constants have no candidates"),
+                Op::Prop(d) => {
+                    for &v in &candidates {
+                        let now = model.degree(v as usize) == d;
+                        if bits.get(v as usize) != now {
+                            bits.set(v as usize, now);
+                            flips.push(v);
+                        }
+                    }
+                }
+                Op::Not(a) => {
+                    let a = operand(a);
+                    for &v in &candidates {
+                        let now = !a.get(v as usize);
+                        if bits.get(v as usize) != now {
+                            bits.set(v as usize, now);
+                            flips.push(v);
+                        }
+                    }
+                }
+                Op::And(a, b) => {
+                    let (a, b) = (operand(a), operand(b));
+                    for &v in &candidates {
+                        let now = a.get(v as usize) && b.get(v as usize);
+                        if bits.get(v as usize) != now {
+                            bits.set(v as usize, now);
+                            flips.push(v);
+                        }
+                    }
+                }
+                Op::Or(a, b) => {
+                    let (a, b) = (operand(a), operand(b));
+                    for &v in &candidates {
+                        let now = a.get(v as usize) || b.get(v as usize);
+                        if bits.get(v as usize) != now {
+                            bits.set(v as usize, now);
+                            flips.push(v);
+                        }
+                    }
+                }
+                Op::Diamond { rel, grade, inner } => {
+                    let sat = operand(inner);
+                    for &v in &candidates {
+                        let mut count = 0usize;
+                        let mut now = false;
+                        for &w in model.successors_dense(rel as usize, v as usize) {
+                            if sat.get(w as usize) {
+                                count += 1;
+                                if count >= grade {
+                                    now = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if bits.get(v as usize) != now {
+                            bits.set(v as usize, now);
+                            flips.push(v);
+                        }
+                    }
+                }
+            }
+            stats.repaired_vectors += 1;
+            stats.repaired_worlds += candidates.len();
+            stats.max_frontier = stats.max_frontier.max(candidates.len());
+            self.results[id] = Some(vec);
+        }
+        self.exec.absorb(exec);
+
+        // Quotient repair: resume refinement from the prior (stable,
+        // pre-delta) partition instead of refining from scratch.
+        if let Some(q) = self.quotient.take() {
+            let classes = crate::bisim::refine_fixpoint_from(
+                model,
+                crate::bisim::BisimStyle::Plain,
+                &q.1,
+                &d0,
+            );
+            self.quotient = Some(Rc::new(crate::quotient::quotient(model, &classes)));
+            self.quotient_repaired = true;
+            stats.quotient_repaired = true;
+        }
+        self.last_repair = Some(stats);
+    }
+
+    /// What the latest [`Self::resume`] repair pass did, or `None` if
+    /// this checker has not repaired anything (fresh checker, no-op
+    /// resume, or `PORTNUM_DELTA=rebuild`).
+    pub fn last_repair(&self) -> Option<&RepairStats> {
+        self.last_repair.as_ref()
+    }
+
     /// The model's minimum base (quotient by plain bisimilarity),
     /// computed on first use and cached for the checker's lifetime —
     /// the "quotient keyed by model identity" that amortises
     /// symmetric-model suites.
+    ///
+    /// A quotient repaired across a delta ([`Self::resume`]) is stable
+    /// but possibly finer than coarsest, so this recomputes the
+    /// coarsest partition from scratch before answering; the repaired
+    /// quotient keeps serving [`Self::check_via_quotient`] until then.
     pub fn minimum_base(&mut self) -> Rc<(Kripke, Vec<usize>)> {
+        if self.quotient_repaired {
+            self.quotient = None;
+            self.quotient_repaired = false;
+        }
         if let Some(q) = &self.quotient {
             return Rc::clone(q);
         }
         let q = Rc::new(crate::quotient::minimum_base(self.model));
         self.quotient = Some(Rc::clone(&q));
         q
+    }
+
+    /// The cached quotient under *some* stable plain bisimulation —
+    /// the coarsest one unless a delta repair left a finer (still
+    /// stable, still truth-preserving) partition in the cache. This is
+    /// all [`Self::check_via_quotient`] needs; callers that require
+    /// the minimum base itself use [`Self::minimum_base`].
+    fn stable_base(&mut self) -> Rc<(Kripke, Vec<usize>)> {
+        if let Some(q) = &self.quotient {
+            return Rc::clone(q);
+        }
+        self.minimum_base()
     }
 
     /// Evaluates an **ungraded** formula on the cached quotient and
@@ -1810,7 +2220,7 @@ impl<'m> ModelChecker<'m> {
             formula.is_ungraded(),
             "quotients preserve only ungraded truth; use check() for graded formulas"
         );
-        let q = self.minimum_base();
+        let q = self.stable_base();
         let (quotient, map) = &*q;
         let plan = Plan::compile(quotient, formula)?;
         let (mut truths, exec) = plan.execute_with(quotient, self.mode);
@@ -2210,6 +2620,129 @@ mod tests {
         // first use; force the parse under whatever environment this
         // process carries.
         let _ = reverse_override();
+    }
+
+    #[test]
+    fn delta_override_knob_parses_or_panics() {
+        // Same contract as PORTNUM_REVERSE: the CI rebuild matrix leg
+        // must never silently run the repair path.
+        let _ = delta_override();
+    }
+
+    /// A small suite exercising every op: atoms, boolean structure,
+    /// nested and graded diamonds.
+    fn delta_suite() -> Vec<Formula> {
+        let p1 = Formula::prop(1);
+        let p2 = Formula::prop(2);
+        let dia = Formula::diamond(ModalIndex::Any, &p2);
+        vec![
+            p1.clone(),
+            dia.clone(),
+            Formula::diamond(ModalIndex::Any, &dia).and(&p1.not()),
+            Formula::diamond_geq(ModalIndex::Any, 2, &p2).or(&dia),
+            Formula::diamond(ModalIndex::Any, &Formula::diamond(ModalIndex::Any, &dia)),
+        ]
+    }
+
+    #[test]
+    fn checker_repair_matches_fresh_after_deltas() {
+        use crate::kripke::ModelDelta;
+        for g in [generators::path(24), generators::theorem13_witness().0] {
+            let mut k = Kripke::k_mm(&g);
+            let mut checker = ModelChecker::new(&k);
+            for f in delta_suite() {
+                checker.check(&f).unwrap();
+            }
+            // Two rounds of deltas: remove an edge, then re-add it
+            // while crashing a world.
+            let (v, &w) = (0..k.len())
+                .find_map(|v| k.successors_dense(0, v).first().map(|w| (v, w)))
+                .unwrap();
+            let mut d1 = ModelDelta::new();
+            d1.remove_edge(ModalIndex::Any, v as u32, w).remove_edge(ModalIndex::Any, w, v as u32);
+            let mut d2 = ModelDelta::new();
+            d2.add_edge(ModalIndex::Any, v as u32, w)
+                .add_edge(ModalIndex::Any, w, v as u32)
+                .crash_world((k.len() - 1) as u32);
+            for delta in [d1, d2] {
+                let cache = checker.detach();
+                let touched = k.apply_delta(&delta).unwrap();
+                checker = ModelChecker::resume(&k, cache, &touched);
+                let mut fresh = ModelChecker::new(&k);
+                for f in delta_suite() {
+                    assert_eq!(
+                        checker.check(&f).unwrap().to_bools(),
+                        fresh.check(&f).unwrap().to_bools(),
+                        "{g}: repaired check diverged on {f}"
+                    );
+                }
+            }
+            if delta_override() == DeltaOverride::Repair {
+                let stats = checker.last_repair().expect("repair ran");
+                assert!(stats.repaired_vectors + stats.rebuilt_vectors > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn checker_repair_touches_a_strict_subset_on_localized_deltas() {
+        use crate::kripke::ModelDelta;
+        if delta_override() != DeltaOverride::Repair {
+            return; // the rebuild leg has no repair pass to observe
+        }
+        let mut k = Kripke::k_mm(&generators::path(256));
+        let mut checker = ModelChecker::new(&k);
+        for f in delta_suite() {
+            checker.check(&f).unwrap();
+        }
+        let mut delta = ModelDelta::new();
+        delta.remove_edge(ModalIndex::Any, 100, 101).remove_edge(ModalIndex::Any, 101, 100);
+        let cache = checker.detach();
+        let touched = k.apply_delta(&delta).unwrap();
+        checker = ModelChecker::resume(&k, cache, &touched);
+        let stats = *checker.last_repair().expect("repair ran");
+        assert!(stats.repaired_vectors > 0);
+        assert_eq!(stats.rebuilt_vectors, 0, "a 2-edge delta must stay out of the dense fallback");
+        // The tentpole property: repair work scales with the delta's
+        // ball, not the universe. Heights here are ≤ 3, so no vector's
+        // frontier can exceed 2 + 2·3 worlds.
+        assert!(stats.max_frontier <= 8, "frontier {} on a localized delta", stats.max_frontier);
+        assert!(stats.repaired_worlds < k.len());
+        let mut fresh = ModelChecker::new(&k);
+        for f in delta_suite() {
+            assert_eq!(
+                checker.check(&f).unwrap().to_bools(),
+                fresh.check(&f).unwrap().to_bools()
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_repair_stays_exact_and_minimum_base_recovers_coarsest() {
+        use crate::kripke::ModelDelta;
+        // A 6-cycle quotients to one world; cutting it open makes the
+        // quotient grow — the repaired (possibly finer) partition must
+        // still produce exact quotient-path answers, and minimum_base
+        // must fall back to the coarsest partition.
+        let mut k = Kripke::k_mm(&generators::cycle(6));
+        let phi = Formula::diamond(ModalIndex::Any, &Formula::prop(2));
+        let mut checker = ModelChecker::new(&k);
+        let before = checker.check_via_quotient(&phi).unwrap();
+        assert_eq!(before.to_bools(), checker.check(&phi).unwrap().to_bools());
+        let mut delta = ModelDelta::new();
+        delta.remove_edge(ModalIndex::Any, 0, 1).remove_edge(ModalIndex::Any, 1, 0);
+        let cache = checker.detach();
+        let touched = k.apply_delta(&delta).unwrap();
+        checker = ModelChecker::resume(&k, cache, &touched);
+        let via_quotient = checker.check_via_quotient(&phi).unwrap();
+        let mut fresh = ModelChecker::new(&k);
+        assert_eq!(via_quotient.to_bools(), fresh.check(&phi).unwrap().to_bools());
+        if delta_override() == DeltaOverride::Repair {
+            assert!(checker.last_repair().expect("repair ran").quotient_repaired);
+        }
+        // minimum_base drops the repaired quotient and recomputes the
+        // coarsest one — identical to a fresh checker's.
+        assert_eq!(*checker.minimum_base(), *fresh.minimum_base());
     }
 
     #[test]
