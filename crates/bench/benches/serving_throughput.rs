@@ -1,0 +1,123 @@
+//! Serving throughput: the same 16-formula workload answered through
+//! the serve crate's socket protocol, batched (one `Check` frame
+//! carrying the whole suite, coalesced server-side into shared-cache
+//! suite evaluation) versus unbatched (16 frames of one formula each),
+//! at 1 and 4 concurrent clients.
+//!
+//! The model is loaded once and every iteration runs against the warm
+//! serving cache — this measures steady-state request throughput,
+//! where batching's win is amortising round trips, framing, admission
+//! pricing, and shard dispatch across the suite. The cold-path
+//! acceptance gate (batched ≥ 3× unbatched QPS) lives in `reproduce`'s
+//! `serve_qps_*` rows; this bench tracks the same shape continuously.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portnum_bench::workloads;
+use portnum_logic::Formula;
+use portnum_serve::{Client, ModelSpec, ServeConfig, Server, Truths};
+use std::net::SocketAddr;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const MODEL: u64 = 0;
+
+/// One server for the whole bench run, bound to an ephemeral port and
+/// intentionally leaked: its shard and accept threads serve until the
+/// process exits.
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        })
+        .expect("binding an ephemeral port");
+        let addr = server.addr();
+        std::mem::forget(server);
+        let mut client = Client::connect(addr).expect("connecting");
+        client.load(MODEL, &ModelSpec::gnp(512, 0.05, 5)).expect("loading gnp512");
+        addr
+    })
+}
+
+/// All 16 formulas through one coalesced frame.
+fn serve_batched(client: &mut Client, suite: &[Formula]) -> Truths {
+    client.check(MODEL, suite).expect("batched check")
+}
+
+/// The same 16 formulas as 16 single-formula requests.
+fn serve_unbatched(client: &mut Client, suite: &[Formula]) -> usize {
+    suite
+        .iter()
+        .map(|f| {
+            client
+                .check(MODEL, std::slice::from_ref(f))
+                .expect("unbatched check")
+                .vectors
+                .len()
+        })
+        .sum()
+}
+
+fn bench_serving_throughput(c: &mut Criterion) {
+    let addr = server_addr();
+    let suite: Vec<Formula> = (1..=16).map(workloads::nested_diamonds).collect();
+
+    let mut group = c.benchmark_group("serving_throughput");
+    for clients in [1usize, 4] {
+        let mut pool: Vec<Client> =
+            (0..clients).map(|_| Client::connect(addr).expect("connecting")).collect();
+        // Warm every connection (and the serving cache) outside the
+        // timed region.
+        for client in &mut pool {
+            serve_batched(client, &suite);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("batched16", format!("gnp512/{clients}c")),
+            &clients,
+            |b, _| {
+                b.iter(|| match pool.as_mut_slice() {
+                    [one] => serve_batched(one, &suite).vectors.len(),
+                    many => std::thread::scope(|s| {
+                        let handles: Vec<_> = many
+                            .iter_mut()
+                            .map(|client| s.spawn(|| serve_batched(client, &suite).vectors.len()))
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+                    }),
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unbatched16", format!("gnp512/{clients}c")),
+            &clients,
+            |b, _| {
+                b.iter(|| match pool.as_mut_slice() {
+                    [one] => serve_unbatched(one, &suite),
+                    many => std::thread::scope(|s| {
+                        let handles: Vec<_> = many
+                            .iter_mut()
+                            .map(|client| s.spawn(|| serve_unbatched(client, &suite)))
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+                    }),
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_serving_throughput
+}
+criterion_main!(benches);

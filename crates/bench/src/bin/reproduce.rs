@@ -46,6 +46,7 @@ fn main() {
     section31();
     bench_snapshot();
     bench_eval_snapshot();
+    serve_qps_snapshot();
     println!("\nAll sections completed.");
 }
 
@@ -586,6 +587,145 @@ fn bench_eval_snapshot() {
         Ok(()) => println!("wrote BENCH_eval.json ({} entries)", json.lines().count()),
         Err(e) => println!("could not write BENCH_eval.json: {e}"),
     }
+}
+
+/// Serving throughput through the socket protocol: 16 compatible
+/// graded-diamond formulas on gnp512, batched (one coalesced `Check`
+/// frame) vs unbatched (16 single-formula requests), at 1 and 4
+/// clients. Appends `serve_qps_*` rows to `BENCH_eval.json` and gates
+/// the PR's headline number: batched must serve ≥ 3× the QPS of
+/// unbatched at 1 client. Batching amortises the per-frame costs —
+/// round trip, framing, admission pricing, shard dispatch — across the
+/// suite, so the suite here is 16 small distinct formulas whose
+/// evaluation does not drown the per-request overhead under test (the
+/// deep-tower shape is tracked continuously by the
+/// `serving_throughput` criterion bench instead). The gate compares
+/// minima over the samples (the noise-free estimate); the rows report
+/// medians like every other snapshot.
+fn serve_qps_snapshot() {
+    use portnum_serve::{Client, ModelSpec, ServeConfig, Server};
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    section("Serving throughput: batched vs unbatched checks (appended to BENCH_eval.json)");
+
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.addr();
+    let suite: Vec<Formula> = (0..16usize)
+        .map(|i| Formula::diamond_geq(ModalIndex::Any, i / 5, &Formula::prop(i % 5)))
+        .collect();
+    let mut client = Client::connect(addr).expect("connecting");
+    client.load(0, &ModelSpec::gnp(512, 0.05, 5)).expect("loading gnp512");
+    // Warm the serving cache: every measured iteration is steady-state,
+    // so the batched/unbatched gap is pure per-request overhead (round
+    // trips, framing, admission pricing, shard dispatch).
+    let reference = client.check(0, &suite).expect("warm-up batch");
+
+    /// `(median, min)` seconds over 9 runs of one 16-formula serving
+    /// round.
+    fn sample(mut round: impl FnMut()) -> (f64, f64) {
+        let mut secs: Vec<f64> = (0..9)
+            .map(|_| {
+                let start = Instant::now();
+                round();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(f64::total_cmp);
+        (secs[secs.len() / 2], secs[0])
+    }
+
+    let (batched_median, batched_min) = sample(|| {
+        let truths = client.check(0, &suite).expect("batched check");
+        assert_eq!(truths, reference);
+    });
+    let (unbatched_median, unbatched_min) = sample(|| {
+        for (i, f) in suite.iter().enumerate() {
+            let truths = client.check(0, std::slice::from_ref(f)).expect("unbatched check");
+            assert_eq!(truths.vectors[0], reference.vectors[i]);
+        }
+    });
+    // 4 clients on their own connections, each serving the full suite
+    // per round; the round is done when the slowest client finishes.
+    let fan_out = |batched: bool| {
+        let mut clients: Vec<Client> =
+            (0..4).map(|_| Client::connect(addr).expect("connecting")).collect();
+        sample(|| {
+            std::thread::scope(|s| {
+                for client in &mut clients {
+                    s.spawn(|| {
+                        if batched {
+                            let truths = client.check(0, &suite).expect("batched check");
+                            assert_eq!(truths, reference);
+                        } else {
+                            for (i, f) in suite.iter().enumerate() {
+                                let truths = client
+                                    .check(0, std::slice::from_ref(f))
+                                    .expect("unbatched check");
+                                assert_eq!(truths.vectors[0], reference.vectors[i]);
+                            }
+                        }
+                    });
+                }
+            });
+        })
+    };
+    let (batched_4c_median, _) = fan_out(true);
+    let (unbatched_4c_median, _) = fan_out(false);
+
+    let mut json = String::new();
+    let mut t = Table::new(["workload", "case", "clients", "median µs", "QPS (16-formula rounds/s)"]);
+    let cases = [
+        ("serve_qps_batched16_1c", 1u32, batched_median),
+        ("serve_qps_unbatched16_1c", 1, unbatched_median),
+        ("serve_qps_batched16_4c", 4, batched_4c_median),
+        ("serve_qps_unbatched16_4c", 4, unbatched_4c_median),
+    ];
+    for (case, clients, median) in cases {
+        // Rounds served per second across all clients: one round is 16
+        // formulas answered for one client.
+        let qps = f64::from(clients) / median;
+        t.row([
+            "gnp512".to_string(),
+            case.to_string(),
+            clients.to_string(),
+            format!("{:.1}", median * 1e6),
+            format!("{qps:.0}"),
+        ]);
+        let _ = writeln!(
+            json,
+            "{{\"bench\":\"serve\",\"workload\":\"gnp512\",\"case\":\"{}\",\"worlds\":512,\
+             \"median_us\":{:.1},\"qps\":{:.1}}}",
+            case,
+            median * 1e6,
+            qps
+        );
+    }
+    print!("{}", t.render());
+    assert!(
+        batched_min * 3.0 <= unbatched_min,
+        "a coalesced 16-formula batch must serve ≥ 3× the QPS of 16 single-formula \
+         requests: batched {:.1}µs vs unbatched {:.1}µs per round \
+         (medians {:.1}µs / {:.1}µs)",
+        batched_min * 1e6,
+        unbatched_min * 1e6,
+        batched_median * 1e6,
+        unbatched_median * 1e6
+    );
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_eval.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()));
+    match appended {
+        Ok(()) => println!("appended {} serve rows to BENCH_eval.json", json.lines().count()),
+        Err(e) => println!("could not append to BENCH_eval.json: {e}"),
+    }
+    server.shutdown();
 }
 
 /// Section 3.3's classic tool: covering graphs. Executions commute with

@@ -298,6 +298,21 @@ std::thread_local! {
     static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// Snapshot of a [`WorkerPool`]'s observable state, taken by
+/// [`WorkerPool::stats`]. Plain data — safe to ship across threads or
+/// serialize onto a monitoring wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Dedicated worker threads ([`WorkerPool::worker_count`]).
+    pub workers: usize,
+    /// Measured per-dispatch coordination cost in nanoseconds
+    /// ([`WorkerPool::dispatch_cost_ns`]).
+    pub dispatch_cost_ns: u64,
+    /// Workers respawned by [`WorkerPool::heal`] over the pool's
+    /// lifetime ([`WorkerPool::respawn_count`]).
+    pub respawn_count: usize,
+}
+
 /// A persistent pool of parked worker threads; see the module docs.
 ///
 /// Most callers want the process-wide [`WorkerPool::global`] instance.
@@ -434,6 +449,18 @@ impl WorkerPool {
     /// lifetime — the observable half of the self-healing contract.
     pub fn respawn_count(&self) -> usize {
         self.respawned.load(Ordering::Relaxed)
+    }
+
+    /// One-shot snapshot of the pool's observable state — worker
+    /// count, measured dispatch cost, and respawn total — for
+    /// monitoring surfaces (the serving layer's stats endpoint reports
+    /// this verbatim). Cheap: three atomic loads.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.worker_count(),
+            dispatch_cost_ns: self.dispatch_cost_ns(),
+            respawn_count: self.respawn_count(),
+        }
     }
 
     /// Detects and replaces dead worker threads. Called at every

@@ -715,6 +715,18 @@ impl Plan {
         self.roots.len()
     }
 
+    /// The plan's total per-instruction work estimate against `model`,
+    /// in the touched-words currency
+    /// [`ExecBudget`](portnum_graph::resilience::ExecBudget) meters —
+    /// the same
+    /// figure the Auto work gate and
+    /// [`ModelChecker::estimate_work`] price with. Admission layers use
+    /// this to cost a compiled suite before committing an executor to
+    /// it.
+    pub fn estimated_work(&self, model: &Kripke) -> usize {
+        self.ops.iter().map(|&op| op_work_for(model, op)).sum()
+    }
+
     /// Executes with [`DiamondMode::Auto`]; returns one truth vector
     /// per input formula, in input order. Heavy instructions (and wide
     /// DAG levels) run on the persistent worker pool — see the module
@@ -1662,6 +1674,25 @@ pub struct CheckerCache {
     n: usize,
 }
 
+impl CheckerCache {
+    /// Total `u64` words held by the cached truth vectors — the
+    /// detached cache's resident size, which a serving layer adds to
+    /// the model's own footprint when pricing an entry against a
+    /// memory budget. Computed from what is actually cached (repairs
+    /// and budget-gated commits included), not from a running
+    /// counter.
+    pub fn cached_words(&self) -> usize {
+        self.results.iter().flatten().map(|b| b.words().len()).sum()
+    }
+
+    /// The [`Kripke::version`] this cache was detached at. A serving
+    /// layer uses this to assert cache/model version agreement across
+    /// the detach → delta → resume handshake.
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+}
+
 /// A per-model evaluation cache: lowering state, computed truth
 /// vectors, and the bisimulation quotient, all keyed to one model and
 /// shared across every formula checked against it.
@@ -1774,38 +1805,124 @@ impl<'m> ModelChecker<'m> {
         formula: &Formula,
         ctl: &ExecControl,
     ) -> Result<Rc<Bitset>, LogicError> {
-        let memo_before = self.lw.ptr_memo.len();
-        let lowered = self.lw.lower(self.model, formula);
-        // The pointer memo stays sound only while its keys stay alive;
-        // retain the formula iff lowering recorded new nodes (a pure
-        // memo hit pins nothing new, so repeated checks stay bounded).
-        // Checked even on error: a failed lowering memoises the
-        // subformulas it reached before failing.
-        if self.lw.ptr_memo.len() > memo_before {
-            self.retained.push(formula.clone());
-        }
-        let root = lowered?;
+        let root = self.lower_retaining(formula)?;
         self.results.resize(self.lw.ops.len(), None);
         if let Some(cached) = &self.results[root as usize] {
             return Ok(Rc::clone(cached));
         }
-        Ok(self.eval_needed(root, ctl)?)
+        let mut out = self.eval_needed(&[root], ctl)?;
+        Ok(out.pop().expect("one root in, one vector out"))
     }
 
-    /// Computes the still-missing results `root` depends on, ascending
-    /// by instruction id (operands precede consumers), and returns the
-    /// root's truth vector.
+    /// Batched [`check_controlled`](Self::check_controlled): lowers
+    /// every formula of the batch into the shared instruction table
+    /// first, then evaluates the *union* of still-missing instructions
+    /// in one pass — a subformula shared by any two batch members (or
+    /// by an earlier check) is computed once, and the whole-or-nothing
+    /// commit covers the batch as a unit. This is the coalesced entry
+    /// point the serving layer routes compatible same-model formula
+    /// batches through; it is pinned bit-identical to checking the
+    /// formulas one at a time.
+    ///
+    /// Truth vectors come out in input order.
+    ///
+    /// # Errors
+    ///
+    /// As [`check_controlled`](Self::check_controlled). An error lowers
+    /// no partial answers: either every formula's vector is returned or
+    /// none is (though formulas lowered before the failing one stay
+    /// memoised, exactly as a failed single check would leave them).
+    pub fn check_suite_controlled(
+        &mut self,
+        formulas: &[Formula],
+        ctl: &ExecControl,
+    ) -> Result<Vec<Rc<Bitset>>, LogicError> {
+        let mut roots = Vec::with_capacity(formulas.len());
+        for formula in formulas {
+            roots.push(self.lower_retaining(formula)?);
+        }
+        self.results.resize(self.lw.ops.len(), None);
+        Ok(self.eval_needed(&roots, ctl)?)
+    }
+
+    /// Unrestricted [`check_suite_controlled`](Self::check_suite_controlled).
+    ///
+    /// # Errors
+    ///
+    /// As [`check`](Self::check).
+    pub fn check_suite(&mut self, formulas: &[Formula]) -> Result<Vec<Rc<Bitset>>, LogicError> {
+        self.check_suite_controlled(formulas, &ExecControl::unrestricted())
+    }
+
+    /// Prices a batch without running it: lowers every formula (which
+    /// only grows the shared instruction table, never evaluates) and
+    /// sums the per-instruction work estimate
+    /// ([`ExecBudget`](portnum_graph::resilience::ExecBudget)'s
+    /// touched-words currency, the same figure
+    /// [`check_controlled`](Self::check_controlled) meters against the
+    /// budget) over the instructions a subsequent
+    /// [`check_suite_controlled`](Self::check_suite_controlled) would
+    /// actually evaluate. Cached subresults price at zero, so the
+    /// estimate falls as the cache warms — admission control sees the
+    /// marginal cost, not the cold cost.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::FamilyMismatch`] as lowering does.
+    pub fn estimate_work(&mut self, formulas: &[Formula]) -> Result<usize, LogicError> {
+        let mut roots = Vec::with_capacity(formulas.len());
+        for formula in formulas {
+            roots.push(self.lower_retaining(formula)?);
+        }
+        self.results.resize(self.lw.ops.len(), None);
+        let mut visited = vec![false; self.lw.ops.len()];
+        let mut stack = roots;
+        let mut work = 0usize;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut visited[id as usize], true)
+                || self.results[id as usize].is_some()
+            {
+                continue;
+            }
+            work += op_work_for(self.model, self.lw.ops[id as usize]);
+            self.lw.ops[id as usize].for_each_operand(|a| stack.push(a));
+        }
+        Ok(work)
+    }
+
+    /// Lowers `formula`, pinning it in `retained` iff lowering recorded
+    /// new pointer-memo nodes. The pointer memo stays sound only while
+    /// its keys stay alive; a pure memo hit pins nothing new, so
+    /// repeated checks stay bounded. Checked even on error: a failed
+    /// lowering memoises the subformulas it reached before failing.
+    fn lower_retaining(&mut self, formula: &Formula) -> Result<u32, LogicError> {
+        let memo_before = self.lw.ptr_memo.len();
+        let lowered = self.lw.lower(self.model, formula);
+        if self.lw.ptr_memo.len() > memo_before {
+            self.retained.push(formula.clone());
+        }
+        lowered
+    }
+
+    /// Computes the still-missing results the `roots` depend on,
+    /// ascending by instruction id (operands precede consumers), and
+    /// returns one truth vector per root, in input order.
     ///
     /// Newly computed vectors are *staged* and committed into
     /// `self.results` only after every needed instruction completed:
     /// an interruption (or an injected panic at the `checker-instr`
     /// failpoint) between instructions unwinds with the staging buffer
     /// and leaves the cache exactly as the previous check left it —
-    /// never a partially-published check.
-    fn eval_needed(&mut self, root: u32, ctl: &ExecControl) -> Result<Rc<Bitset>, Interrupted> {
+    /// never a partially-published check. With several roots (a
+    /// coalesced suite) the batch commits as one unit.
+    fn eval_needed(
+        &mut self,
+        roots: &[u32],
+        ctl: &ExecControl,
+    ) -> Result<Vec<Rc<Bitset>>, Interrupted> {
         let mut needed: Vec<u32> = Vec::new();
         let mut visited = vec![false; self.lw.ops.len()];
-        let mut stack = vec![root];
+        let mut stack = roots.to_vec();
         while let Some(id) = stack.pop() {
             if std::mem::replace(&mut visited[id as usize], true)
                 || self.results[id as usize].is_some()
@@ -1841,12 +1958,15 @@ impl<'m> ModelChecker<'m> {
             eval_op_into(self.model, self.mode, self.lw.ops[id as usize], operand, &mut out, &mut exec);
             staged.push((id, Rc::new(out)));
         }
-        let root_vec = match staged.binary_search_by_key(&root, |&(id, _)| id) {
-            Ok(at) => Rc::clone(&staged[at].1),
-            Err(_) => Rc::clone(
-                self.results[root as usize].as_ref().expect("root cached by an earlier check"),
-            ),
-        };
+        let root_vecs = roots
+            .iter()
+            .map(|&root| match staged.binary_search_by_key(&root, |&(id, _)| id) {
+                Ok(at) => Rc::clone(&staged[at].1),
+                Err(_) => Rc::clone(
+                    self.results[root as usize].as_ref().expect("root cached by an earlier check"),
+                ),
+            })
+            .collect();
         self.exec.absorb(exec);
         // Commit point: everything below is infallible. The cache-words
         // budget gates publication as a whole — answer-but-don't-cache
@@ -1859,7 +1979,7 @@ impl<'m> ModelChecker<'m> {
                 self.results[id as usize] = Some(vec);
             }
         }
-        Ok(root_vec)
+        Ok(root_vecs)
     }
 
     /// Detaches the checker's caches from its model borrow so the
@@ -2311,6 +2431,49 @@ mod tests {
         assert_eq!(exec.executed, stats.instructions);
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], evaluate_packed_recursive(&k, &a).unwrap());
+    }
+
+    #[test]
+    fn check_suite_matches_individual_checks() {
+        let k = Kripke::k_mm(&generators::grid(4, 4));
+        let suite: Vec<Formula> = (1..=4)
+            .map(|p| {
+                Formula::diamond(ModalIndex::Any, &Formula::prop(p))
+                    .or(&Formula::diamond_geq(ModalIndex::Any, 2, &Formula::prop(1)))
+            })
+            .collect();
+        let mut batched = ModelChecker::new(&k);
+        let got = batched.check_suite(&suite).unwrap();
+        let mut oneshot = ModelChecker::new(&k);
+        for (f, g) in suite.iter().zip(&got) {
+            assert_eq!(**g, *oneshot.check(f).unwrap());
+        }
+        // The batch committed into the shared cache: a repeat is a pure
+        // cache hit, vector for vector.
+        let again = batched.check_suite(&suite).unwrap();
+        for (a, b) in got.iter().zip(&again) {
+            assert!(Rc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn estimate_work_prices_marginal_cost() {
+        let k = Kripke::k_mm(&generators::grid(4, 4));
+        let suite: Vec<Formula> = (1..=3)
+            .map(|p| Formula::diamond(ModalIndex::Any, &Formula::prop(p)))
+            .collect();
+        let mut checker = ModelChecker::new(&k);
+        let cold = checker.estimate_work(&suite).unwrap();
+        assert!(cold > 0, "cold batches carry a nonzero price");
+        // The compiled-plan estimate prices the same instructions.
+        let plan = Plan::compile_suite(&k, suite.iter()).unwrap();
+        assert_eq!(plan.estimated_work(&k), cold);
+        checker.check_suite(&suite).unwrap();
+        assert_eq!(
+            checker.estimate_work(&suite).unwrap(),
+            0,
+            "a fully cached batch is free"
+        );
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! The `portnum-serve` binary: bind, print the address, serve until
+//! killed. Configuration comes entirely from the `PORTNUM_SERVE_*`
+//! environment knobs (see `ServeConfig::from_env`); defaults bind an
+//! ephemeral local port, so the printed address is the one to dial.
+
+use portnum_serve::{ServeConfig, Server};
+
+fn main() {
+    let cfg = ServeConfig::from_env();
+    let server = Server::start(cfg).expect("binding the serve address");
+    println!("portnum-serve listening on {}", server.addr());
+    // The accept loop and the shards do all the work; this thread just
+    // keeps the process (and the Server handle) alive.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,215 @@
+//! A blocking client for the serving protocol: one request in flight
+//! per connection, typed accessors per request kind.
+
+use crate::framing::{read_frame, write_frame, FrameError};
+use crate::protocol::{
+    DeltaSpec, ErrorFrame, ModelSpec, ProtocolError, Request, Response, ServerStats,
+};
+use portnum_logic::Formula;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server closed the connection between frames.
+    Closed,
+    /// The server's frame did not decode.
+    Protocol(ProtocolError),
+    /// The server answered with an error frame.
+    Server(ErrorFrame),
+    /// The server answered with the wrong response kind for the
+    /// request (`&'static str` names what was expected).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Protocol(e) => write!(f, "undecodable server frame: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(want) => write!(f, "expected a {want} response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Protocol(e) => ClientError::Protocol(e),
+        }
+    }
+}
+
+/// The batch answer of [`Client::check`]: packed truth vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Truths {
+    /// World count (valid bit-length of every vector).
+    pub worlds: u64,
+    /// One vector of `u64` words per requested formula, in order.
+    pub vectors: Vec<Vec<u64>>,
+}
+
+impl Truths {
+    /// Whether formula `f` holds at world `v`.
+    #[must_use]
+    pub fn holds(&self, f: usize, v: usize) -> bool {
+        debug_assert!((v as u64) < self.worlds);
+        (self.vectors[f][v / 64] >> (v % 64)) & 1 == 1
+    }
+}
+
+/// One connection to a server; requests run strictly in sequence.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one request frame and reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport and decode failures; an [`ErrorFrame`] answer is
+    /// returned as `Ok(Response::Error(..))` here — the typed
+    /// accessors below lift it into [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        match read_frame(&mut self.reader)? {
+            Some(body) => Ok(Response::decode(&body)?),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        want: &'static str,
+        pick: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, ClientError> {
+        match self.call(req)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            resp => pick(resp).ok_or(ClientError::Unexpected(want)),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`ClientError::Server`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, "Pong", |r| matches!(r, Response::Pong).then_some(()))
+    }
+
+    /// Loads (or replaces) `model` from `spec`; returns
+    /// `(worlds, version)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`ClientError::Server`].
+    pub fn load(&mut self, model: u64, spec: &ModelSpec) -> Result<(u64, u64), ClientError> {
+        self.expect(
+            &Request::Load { model, spec: spec.clone() },
+            "Loaded",
+            |r| match r {
+                Response::Loaded { worlds, version, .. } => Some((worlds, version)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Evicts `model`; returns whether it was loaded.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`ClientError::Server`].
+    pub fn evict(&mut self, model: u64) -> Result<bool, ClientError> {
+        self.expect(&Request::Evict { model }, "Evicted", |r| match r {
+            Response::Evicted { existed, .. } => Some(existed),
+            _ => None,
+        })
+    }
+
+    /// Checks a batch of formulas against `model`, coalesced
+    /// server-side into shared-cache suite evaluation.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`ClientError::Server`].
+    pub fn check(&mut self, model: u64, formulas: &[Formula]) -> Result<Truths, ClientError> {
+        self.expect(
+            &Request::Check { model, formulas: formulas.to_vec() },
+            "Truths",
+            |r| match r {
+                Response::Truths { worlds, vectors } => Some(Truths { worlds, vectors }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Applies `delta` to `model`; returns
+    /// `(new version, touched world count)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`ClientError::Server`].
+    pub fn apply_delta(
+        &mut self,
+        model: u64,
+        delta: &DeltaSpec,
+    ) -> Result<(u64, u64), ClientError> {
+        self.expect(
+            &Request::Delta { model, delta: delta.clone() },
+            "DeltaApplied",
+            |r| match r {
+                Response::DeltaApplied { version, touched, .. } => Some((version, touched)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Server-wide statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`ClientError::Server`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        self.expect(&Request::Stats, "Stats", |r| match r {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,117 @@
+//! Server configuration and its `PORTNUM_SERVE_*` environment knobs.
+
+use std::env;
+
+/// Everything a [`Server`](crate::server::Server) needs to start.
+///
+/// [`ServeConfig::from_env`] is the production entry point; tests build
+/// from it (so CI knob legs reach them) and override fields.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`PORTNUM_SERVE_ADDR`). Port 0 picks a free port —
+    /// read it back from [`Server::addr`](crate::server::Server::addr).
+    pub addr: String,
+    /// Shard count (`PORTNUM_SERVE_SHARDS`, ≥ 1). A model id is pinned
+    /// to shard `id % shards` for its lifetime.
+    pub shards: usize,
+    /// Serving-cache memory budget in bytes across the whole server
+    /// (`PORTNUM_SERVE_MEM_BYTES`), split evenly over the shards.
+    /// Models plus their checker caches are LRU-evicted to stay under
+    /// it; a single model over a shard's slice is rejected at load.
+    pub mem_budget: usize,
+    /// Admission cost cap per check request in the engine's work-words
+    /// currency (`PORTNUM_SERVE_MAX_COST`; absent = admit everything).
+    /// Priced *before* execution by
+    /// [`ModelChecker::estimate_work`](portnum_logic::ModelChecker::estimate_work);
+    /// the same figure bounds the in-flight work budget, so a
+    /// mis-estimate still trips a typed interrupt instead of running
+    /// away.
+    pub max_cost: Option<u64>,
+    /// Per-request wall-clock deadline in milliseconds
+    /// (`PORTNUM_SERVE_DEADLINE_MS`; absent = none).
+    pub deadline_ms: Option<u64>,
+    /// Bounded depth of each shard's request queue
+    /// (`PORTNUM_SERVE_QUEUE`, ≥ 1). A full queue sheds with an
+    /// `Overloaded` error frame instead of stalling the connection.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            mem_budget: 256 << 20,
+            max_cost: None,
+            deadline_ms: None,
+            queue_cap: 128,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads every `PORTNUM_SERVE_*` knob, falling back to
+    /// [`Default`]. Like every other `PORTNUM_*` knob in the workspace
+    /// this parses-or-panics: a malformed value fails the process at
+    /// startup instead of silently serving with defaults (the
+    /// `serve_knobs_parse_or_panic` test forces the parse in every CI
+    /// leg).
+    ///
+    /// # Panics
+    ///
+    /// On any set-but-malformed knob, or a zero shard/queue count.
+    #[must_use]
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Ok(v) = env::var("PORTNUM_SERVE_ADDR") {
+            cfg.addr = v;
+        }
+        if let Some(v) = parse_knob::<usize>("PORTNUM_SERVE_SHARDS") {
+            assert!(v >= 1, "PORTNUM_SERVE_SHARDS must be >= 1, got {v}");
+            cfg.shards = v;
+        }
+        if let Some(v) = parse_knob::<usize>("PORTNUM_SERVE_MEM_BYTES") {
+            cfg.mem_budget = v;
+        }
+        if let Some(v) = parse_knob::<u64>("PORTNUM_SERVE_MAX_COST") {
+            cfg.max_cost = Some(v);
+        }
+        if let Some(v) = parse_knob::<u64>("PORTNUM_SERVE_DEADLINE_MS") {
+            cfg.deadline_ms = Some(v);
+        }
+        if let Some(v) = parse_knob::<usize>("PORTNUM_SERVE_QUEUE") {
+            assert!(v >= 1, "PORTNUM_SERVE_QUEUE must be >= 1, got {v}");
+            cfg.queue_cap = v;
+        }
+        cfg
+    }
+
+    /// The memory budget of one shard: the configured total split
+    /// evenly (never below one byte, so the eviction loop terminates).
+    #[must_use]
+    pub fn shard_budget(&self) -> usize {
+        (self.mem_budget / self.shards.max(1)).max(1)
+    }
+}
+
+fn parse_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+    env::var(name).ok().map(|v| {
+        v.parse::<T>().unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Forces the knob parse under whatever environment CI exported —
+    /// a malformed matrix entry fails here instead of silently testing
+    /// the defaults (same contract as the engine knobs).
+    #[test]
+    fn serve_knobs_parse_or_panic() {
+        let cfg = ServeConfig::from_env();
+        assert!(cfg.shards >= 1);
+        assert!(cfg.queue_cap >= 1);
+        assert!(cfg.shard_budget() >= 1);
+    }
+}

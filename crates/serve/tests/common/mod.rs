@@ -1,0 +1,139 @@
+//! Shared helpers for the serve-crate integration suites
+//! (`differential`, `soak`): the single-threaded oracle a server's
+//! answers are compared against, and the random formula/delta
+//! generators both suites draw their traffic from.
+//!
+//! Each test binary compiles its own copy of this module and uses a
+//! subset of it, hence the file-level `dead_code` allowance.
+#![allow(dead_code)]
+
+use portnum_logic::{CheckerCache, Formula, Kripke, ModalIndex, ModelChecker};
+use portnum_serve::{DeltaSpec, ModelSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The single-threaded ground truth for one model id: the same spec
+/// builds, the same deltas apply, the same suites run.
+pub struct Oracle {
+    pub model: Kripke,
+    pub cache: Option<CheckerCache>,
+}
+
+impl Oracle {
+    pub fn load(spec: &ModelSpec) -> Oracle {
+        Oracle { model: spec.build().expect("oracle spec builds"), cache: None }
+    }
+
+    /// One suite over the long-lived cache, exactly the server's
+    /// detach → resume handshake.
+    pub fn check(&mut self, formulas: &[Formula]) -> Result<Vec<Vec<u64>>, ()> {
+        let mut checker = match self.cache.take() {
+            Some(c) => ModelChecker::resume(&self.model, c, &[]),
+            None => ModelChecker::new(&self.model),
+        };
+        let out = checker.check_suite(formulas);
+        self.cache = Some(checker.detach());
+        match out {
+            Ok(truths) => Ok(truths.iter().map(|b| b.words().to_vec()).collect()),
+            Err(_) => Err(()),
+        }
+    }
+
+    pub fn apply(&mut self, delta: &DeltaSpec) -> Vec<u32> {
+        let touched = self.model.apply_delta(&delta.to_delta()).expect("generated deltas apply");
+        if let Some(c) = self.cache.take() {
+            self.cache = Some(ModelChecker::resume(&self.model, c, &touched).detach());
+        }
+        touched
+    }
+}
+
+/// Random `K₋,₋` formulas; `valid` controls whether the modal indices
+/// match the model's family (an `InOut` index on `K₋,₋` must be
+/// rejected by server and oracle alike).
+pub fn random_formula(rng: &mut StdRng, depth: usize, valid: bool) -> Formula {
+    let index = if valid { ModalIndex::Any } else { ModalIndex::InOut(0, 0) };
+    if depth == 0 || rng.random_bool(0.3) {
+        match rng.random_range(0..4u8) {
+            0 => Formula::top(),
+            1 => Formula::bottom(),
+            _ => Formula::prop(rng.random_range(0..5usize)),
+        }
+    } else {
+        match rng.random_range(0..5u8) {
+            0 => random_formula(rng, depth - 1, valid).not(),
+            1 => random_formula(rng, depth - 1, valid)
+                .and(&random_formula(rng, depth - 1, valid)),
+            2 => random_formula(rng, depth - 1, valid).or(&random_formula(rng, depth - 1, valid)),
+            3 => Formula::diamond(index, &random_formula(rng, depth - 1, valid)),
+            _ => Formula::diamond_geq(
+                index,
+                rng.random_range(0..4usize),
+                &random_formula(rng, depth - 1, valid),
+            ),
+        }
+    }
+}
+
+/// A small always-valid delta against the oracle's current state: adds
+/// avoid duplicate edges (so `ModelSpec::from_model` reloads stay in
+/// the simple-relation regime), removals are drawn from stored edges,
+/// and the edits never overlap — a crash expands to removing every
+/// edge incident to the world, so an explicit remove touching a
+/// crashed world (or the same world crashed twice) would double-remove
+/// and fail `apply_delta`'s multiplicity validation.
+pub fn random_delta(rng: &mut StdRng, model: &Kripke) -> DeltaSpec {
+    let n = model.len() as u32;
+    let mut spec = DeltaSpec::default();
+    let touches_crash = |spec: &DeltaSpec, v: u32, w: u32| {
+        spec.crash.contains(&v) || spec.crash.contains(&w)
+    };
+    for _ in 0..rng.random_range(1..4usize) {
+        match rng.random_range(0..4u8) {
+            0 => {
+                for _ in 0..4 {
+                    let (v, w) = (rng.random_range(0..n), rng.random_range(0..n));
+                    let dup = model.successors_dense(0, v as usize).contains(&w)
+                        || spec.add.iter().any(|&(_, a, b)| (a, b) == (v, w))
+                        || touches_crash(&spec, v, w);
+                    if !dup {
+                        spec.add.push((ModalIndex::Any, v, w));
+                        break;
+                    }
+                }
+            }
+            1 => {
+                let start = rng.random_range(0..n);
+                'scan: for off in 0..n {
+                    let v = (start + off) % n;
+                    let row = model.successors_dense(0, v as usize);
+                    for &w in row {
+                        let dup = spec.remove.iter().any(|&(_, a, b)| (a, b) == (v, w))
+                            || touches_crash(&spec, v, w);
+                        if !dup {
+                            spec.remove.push((ModalIndex::Any, v, w));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            2 => spec.valuation.push((rng.random_range(0..n), rng.random_range(0..5u64))),
+            _ => {
+                for _ in 0..4 {
+                    let c = rng.random_range(0..n);
+                    let clash = spec.crash.contains(&c)
+                        || spec.add.iter().any(|&(_, a, b)| a == c || b == c)
+                        || spec.remove.iter().any(|&(_, a, b)| a == c || b == c);
+                    if !clash {
+                        spec.crash.push(c);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if spec.edit_count() == 0 {
+        spec.valuation.push((0, 1));
+    }
+    spec
+}

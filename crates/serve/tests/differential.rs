@@ -1,0 +1,145 @@
+//! End-to-end differential test (satellite 1 of ISSUE 9): eight client
+//! threads drive randomized load / check / delta / evict scripts
+//! against an in-process server, and **every** response must be
+//! bit-identical to a single-threaded oracle — a local [`Kripke`] plus
+//! a detach/resume [`ModelChecker`] — replaying the same per-model op
+//! sequence.
+//!
+//! Model ids are disjoint per thread, so each model's op sequence *is*
+//! its client's script: the shard serialises it, and any cross-model
+//! interference (shared worker pool, shard-level caches, concurrent
+//! connections) would surface as a bit mismatch. Formula batches are
+//! answered through the server's coalesced suite path while the oracle
+//! runs one plain `check_suite` — pinning that batching is purely a
+//! throughput transform.
+
+mod common;
+
+use common::{random_delta, random_formula, Oracle};
+use portnum_logic::Formula;
+use portnum_serve::{Client, ClientError, ErrorCode, ModelSpec, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: usize = 60;
+
+fn expect_code(result: Result<impl std::fmt::Debug, ClientError>, code: ErrorCode) {
+    match result {
+        Err(ClientError::Server(e)) if e.code == code => {}
+        other => panic!("expected a {code:?} error frame, got {other:?}"),
+    }
+}
+
+/// One client thread's script over its two private model ids.
+fn client_script(addr: std::net::SocketAddr, idx: u64, shards: u64) {
+    let mut rng = StdRng::seed_from_u64(0x9e37_79b9 ^ idx);
+    let mut client = Client::connect(addr).expect("connecting");
+    let mut oracles: HashMap<u64, Oracle> = HashMap::new();
+
+    for id in [idx * 2, idx * 2 + 1] {
+        let spec = ModelSpec::gnp(32 + id as usize as u64, 0.12, 1000 + id);
+        let oracle = Oracle::load(&spec);
+        let (worlds, version) = client.load(id, &spec).expect("initial load");
+        assert_eq!(worlds, oracle.model.len() as u64);
+        assert_eq!(version, oracle.model.version());
+        oracles.insert(id, oracle);
+    }
+
+    for _ in 0..OPS_PER_THREAD {
+        let id = idx * 2 + rng.random_range(0..2u64);
+        match rng.random_range(0..10u8) {
+            // Checks dominate the mix; ~1 in 12 batches carries a
+            // family-mismatched formula to pin error parity.
+            0..=4 => {
+                let valid = !rng.random_bool(1.0 / 12.0);
+                let batch: Vec<Formula> = (0..rng.random_range(1..5usize))
+                    .map(|_| random_formula(&mut rng, 3, valid))
+                    .collect();
+                let oracle = oracles.get_mut(&id).expect("loaded");
+                match (client.check(id, &batch), oracle.check(&batch)) {
+                    (Ok(truths), Ok(words)) => {
+                        assert_eq!(truths.worlds, oracle.model.len() as u64);
+                        assert_eq!(truths.vectors, words, "bit mismatch on model {id}");
+                    }
+                    (Err(ClientError::Server(e)), Err(())) => {
+                        assert_eq!(e.code, ErrorCode::Logic);
+                    }
+                    (server, oracle) => {
+                        panic!("server {server:?} disagrees with oracle {oracle:?}")
+                    }
+                }
+            }
+            5 | 6 => {
+                let oracle = oracles.get_mut(&id).expect("loaded");
+                let spec = random_delta(&mut rng, &oracle.model);
+                let (version, touched) = client.apply_delta(id, &spec).expect("valid delta");
+                let oracle_touched = oracle.apply(&spec);
+                assert_eq!(version, oracle.model.version(), "version skew on model {id}");
+                assert_eq!(touched, oracle_touched.len() as u64);
+            }
+            7 => {
+                // Evict, observe the typed miss, reload from the
+                // oracle's snapshot (the `Edges` spec path).
+                assert!(client.evict(id).expect("evict answers"));
+                expect_code(client.check(id, &[Formula::prop(0)]), ErrorCode::NoSuchModel);
+                let oracle = oracles.get_mut(&id).expect("loaded");
+                let spec = ModelSpec::from_model(&oracle.model);
+                let (worlds, version) = client.load(id, &spec).expect("reload");
+                *oracle = Oracle::load(&spec);
+                assert_eq!(worlds, oracle.model.len() as u64);
+                assert_eq!(version, oracle.model.version());
+            }
+            8 => {
+                // In-place replacement: a load over a live id drops the
+                // old model and its cache.
+                let spec = ModelSpec::gnp(24 + (id % 8) * 4, 0.15, rng.random::<u64>());
+                let (worlds, version) = client.load(id, &spec).expect("replace");
+                let oracle = Oracle::load(&spec);
+                assert_eq!(worlds, oracle.model.len() as u64);
+                assert_eq!(version, oracle.model.version());
+                oracles.insert(id, oracle);
+            }
+            _ => {
+                client.ping().expect("ping");
+                let stats = client.stats().expect("stats");
+                assert_eq!(stats.shards, shards);
+                assert_eq!(stats.protocol_errors, 0);
+                assert_eq!(stats.internal_errors, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_match_the_single_threaded_oracle() {
+    // Base on the environment so the `PORTNUM_SERVE_SHARDS=1` CI leg
+    // reaches this suite (collapsing every model onto one queue);
+    // under the default config the 16 ids spread over 4 shards.
+    let cfg = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::from_env() };
+    let shards = cfg.shards as u64;
+    let mut server = Server::start(cfg).expect("binding an ephemeral port");
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|idx| scope.spawn(move || client_script(addr, idx, shards)))
+            .collect();
+        for handle in handles {
+            handle.join().expect("client script succeeds");
+        }
+    });
+
+    // The server end state agrees with the scripts: every model still
+    // loaded, nothing shed or interrupted, no surviving panics.
+    let mut client = Client::connect(addr).expect("connecting");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.models, THREADS * 2);
+    assert!(stats.checks > 0 && stats.deltas > 0 && stats.loads >= THREADS * 2);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.interrupted, 0);
+    assert_eq!(stats.internal_errors, 0);
+    assert_eq!(stats.protocol_errors, 0);
+    server.shutdown();
+}

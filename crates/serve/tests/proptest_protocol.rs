@@ -1,0 +1,344 @@
+//! Property tests for the wire protocol (satellite 2 of ISSUE 9):
+//!
+//! * **round-trip**: `decode(encode(x)) == x` for every frame type,
+//!   request and response, over randomized payloads (formula batches
+//!   included — formulas travel as their `Display` rendering, so this
+//!   also re-pins the parser round-trip through the wire);
+//! * **hardening**: truncated bodies (every proper prefix), trailing
+//!   bytes, unknown opcodes, hostile element counts, oversized length
+//!   prefixes, and arbitrary byte soup all yield *typed*
+//!   [`ProtocolError`]s — never a panic, and (checked live at the
+//!   bottom) never a desynchronised connection.
+
+use portnum_logic::{Formula, ModalIndex, ModelVariant};
+use portnum_serve::framing::{read_frame, write_frame, FrameError};
+use portnum_serve::protocol::MAX_FRAME_LEN;
+use portnum_serve::{
+    DeltaSpec, ErrorCode, ErrorFrame, ModelSpec, ProtocolError, Request, Response, ServeConfig,
+    Server, ServerStats,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn arb_index() -> impl Strategy<Value = ModalIndex> {
+    prop_oneof![
+        Just(ModalIndex::Any),
+        (0usize..4, 0usize..4).prop_map(|(i, j)| ModalIndex::InOut(i, j)),
+        (0usize..4).prop_map(ModalIndex::Out),
+        (0usize..4).prop_map(ModalIndex::In),
+    ]
+}
+
+fn arb_variant() -> impl Strategy<Value = ModelVariant> {
+    prop_oneof![
+        Just(ModelVariant::PlusPlus),
+        Just(ModelVariant::MinusPlus),
+        Just(ModelVariant::PlusMinus),
+        Just(ModelVariant::MinusMinus),
+    ]
+}
+
+/// Random formulas over every index family — the protocol ships them
+/// as strings, so the distribution only needs to cover the grammar.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::top()),
+        Just(Formula::bottom()),
+        (0usize..=4).prop_map(Formula::prop),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(&b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(&b)),
+            (arb_index(), 0usize..=3, inner)
+                .prop_map(|(index, k, f)| Formula::diamond_geq(index, k, &f)),
+        ]
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = ModelSpec> {
+    let edges = (
+        arb_variant(),
+        0u64..64,
+        prop_oneof![
+            Just(None),
+            proptest::collection::vec(0u64..16, 0..6).prop_map(Some),
+        ],
+        proptest::collection::vec(
+            (arb_index(), proptest::collection::vec((0u32..64, 0u32..64), 0..8)),
+            0..3,
+        ),
+    )
+        .prop_map(|(variant, n, degrees, relations)| ModelSpec::Edges {
+            variant,
+            n,
+            degrees,
+            relations,
+        });
+    prop_oneof![
+        edges,
+        (0u64..4096).prop_map(|n| ModelSpec::Path { n }),
+        (0u64..4096, any::<u64>(), any::<u64>())
+            .prop_map(|(n, p_bits, seed)| ModelSpec::Gnp { n, p_bits, seed }),
+    ]
+}
+
+fn arb_delta() -> impl Strategy<Value = DeltaSpec> {
+    (
+        proptest::collection::vec((arb_index(), 0u32..64, 0u32..64), 0..5),
+        proptest::collection::vec((arb_index(), 0u32..64, 0u32..64), 0..5),
+        proptest::collection::vec((0u32..64, any::<u64>()), 0..5),
+        proptest::collection::vec(0u32..64, 0..5),
+    )
+        .prop_map(|(add, remove, valuation, crash)| DeltaSpec { add, remove, valuation, crash })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Stats),
+        (any::<u64>(), arb_spec()).prop_map(|(model, spec)| Request::Load { model, spec }),
+        any::<u64>().prop_map(|model| Request::Evict { model }),
+        (any::<u64>(), proptest::collection::vec(arb_formula(), 0..5))
+            .prop_map(|(model, formulas)| Request::Check { model, formulas }),
+        (any::<u64>(), arb_delta()).prop_map(|(model, delta)| Request::Delta { model, delta }),
+    ]
+}
+
+/// ASCII plus a fixed non-ASCII salt: exercises the UTF-8 path without
+/// needing a full `char` strategy.
+fn arb_message() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::collection::vec(0x20u8..0x7f, 0..24)
+            .prop_map(|b| String::from_utf8(b).expect("printable ASCII")),
+        Just("K₋,₋ ⟨⟩≥2 — ünïcode payload".to_string()),
+    ]
+}
+
+fn arb_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Protocol),
+        Just(ErrorCode::NoSuchModel),
+        Just(ErrorCode::Logic),
+        Just(ErrorCode::Cancelled),
+        Just(ErrorCode::DeadlineExceeded),
+        Just(ErrorCode::BudgetExceeded),
+        Just(ErrorCode::Overloaded),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn arb_stats() -> impl Strategy<Value = ServerStats> {
+    proptest::collection::vec(any::<u64>(), ServerStats::FIELDS).prop_map(|v| ServerStats {
+        shards: v[0],
+        models: v[1],
+        mem_bytes: v[2],
+        mem_budget: v[3],
+        loads: v[4],
+        evictions: v[5],
+        cache_trims: v[6],
+        checks: v[7],
+        formulas_checked: v[8],
+        deltas: v[9],
+        shed: v[10],
+        interrupted: v[11],
+        internal_errors: v[12],
+        protocol_errors: v[13],
+        pool_workers: v[14],
+        pool_dispatch_cost_ns: v[15],
+        pool_respawns: v[16],
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(model, worlds, version)| Response::Loaded { model, worlds, version }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(model, existed)| Response::Evicted { model, existed }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(proptest::collection::vec(any::<u64>(), 0..5), 0..5)
+        )
+            .prop_map(|(worlds, vectors)| Response::Truths { worlds, vectors }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(model, version, touched)| {
+            Response::DeltaApplied { model, version, touched }
+        }),
+        arb_stats().prop_map(Response::Stats),
+        (arb_code(), arb_message())
+            .prop_map(|(code, message)| Response::Error(ErrorFrame { code, message })),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let body = req.encode();
+        prop_assert_eq!(Request::decode(&body), Ok(req));
+    }
+
+    #[test]
+    fn response_round_trips(resp in arb_response()) {
+        let body = resp.encode();
+        prop_assert_eq!(Response::decode(&body), Ok(resp));
+    }
+
+    /// Every proper prefix of a valid body fails with `Truncated`: the
+    /// cut removes only trailing bytes, so the decoder replays the
+    /// same reads until one crosses the cut — and counts are checked
+    /// against the bytes actually present before anything allocates.
+    #[test]
+    fn truncated_request_is_typed(req in arb_request()) {
+        let body = req.encode();
+        for cut in 0..body.len() {
+            prop_assert_eq!(
+                Request::decode(&body[..cut]),
+                Err(ProtocolError::Truncated),
+                "cut at {} of {}",
+                cut,
+                body.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_response_is_typed(resp in arb_response()) {
+        let body = resp.encode();
+        for cut in 0..body.len() {
+            prop_assert_eq!(
+                Response::decode(&body[..cut]),
+                Err(ProtocolError::Truncated),
+                "cut at {} of {}",
+                cut,
+                body.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed(req in arb_request(), junk in 1u8..=255) {
+        let mut body = req.encode();
+        body.push(junk);
+        prop_assert_eq!(Request::decode(&body), Err(ProtocolError::TrailingBytes));
+    }
+
+    /// Request opcodes stop at 0x06; everything above (response
+    /// opcodes included — the planes are disjoint) is typed.
+    #[test]
+    fn unknown_request_opcode_is_typed(op in 0x07u8..=0xff, tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let mut body = vec![op];
+        body.extend(tail);
+        prop_assert_eq!(Request::decode(&body), Err(ProtocolError::UnknownOpcode(op)));
+    }
+
+    #[test]
+    fn unknown_response_opcode_is_typed(op in 0x00u8..=0x80, tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let mut body = vec![op];
+        body.extend(tail);
+        prop_assert_eq!(Response::decode(&body), Err(ProtocolError::UnknownOpcode(op)));
+    }
+
+    /// Decoding is total: arbitrary byte soup yields `Ok` or a typed
+    /// error, never a panic (the `proptest!` harness would report it).
+    #[test]
+    fn byte_soup_never_panics(soup in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = Request::decode(&soup);
+        let _ = Response::decode(&soup);
+    }
+
+    /// An oversized length prefix is rejected *before* any allocation,
+    /// as a protocol (not transport) error.
+    #[test]
+    fn oversized_prefix_is_typed(len in (MAX_FRAME_LEN as u32 + 1)..=u32::MAX) {
+        let mut wire: &[u8] = &len.to_le_bytes();
+        match read_frame(&mut wire) {
+            Err(FrameError::Protocol(ProtocolError::FrameTooLarge(l))) => {
+                prop_assert_eq!(l, u64::from(len));
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    /// Frames written back-to-back stay framed: a reader recovers each
+    /// body byte-exactly and then sees the clean end of stream.
+    #[test]
+    fn frames_stay_in_sync(reqs in proptest::collection::vec(arb_request(), 1..5)) {
+        let mut wire = Vec::new();
+        for req in &reqs {
+            write_frame(&mut wire, &req.encode()).expect("Vec writes are infallible");
+        }
+        let mut rd: &[u8] = &wire;
+        for req in &reqs {
+            let body = read_frame(&mut rd).expect("framed").expect("not EOF");
+            prop_assert_eq!(Request::decode(&body).as_ref(), Ok(req));
+        }
+        prop_assert!(read_frame(&mut rd).expect("clean end").is_none());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live hardening: the typed errors above, observed through a server
+// ---------------------------------------------------------------------
+
+/// A malformed (but correctly framed) body gets an error frame and the
+/// connection keeps serving — the frame boundary was never in doubt.
+#[test]
+fn malformed_body_then_ping_keeps_the_connection() {
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::from_env()
+    })
+    .expect("binding an ephemeral port");
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connecting");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("cloning"));
+    let mut writer = std::io::BufWriter::new(stream);
+
+    write_frame(&mut writer, &[0xff, 0x01, 0x02]).expect("writing the bad frame");
+    let body = read_frame(&mut reader).expect("reading").expect("a frame");
+    match Response::decode(&body).expect("decodable error frame") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
+        other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+
+    write_frame(&mut writer, &Request::Ping.encode()).expect("writing the ping");
+    let body = read_frame(&mut reader).expect("reading").expect("a frame");
+    assert_eq!(Response::decode(&body), Ok(Response::Pong));
+    server.shutdown();
+}
+
+/// An oversized length prefix gets one error frame and then the close:
+/// past a corrupt prefix there is no boundary left to trust.
+#[test]
+fn oversized_prefix_closes_the_connection() {
+    use std::io::Write;
+
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::from_env()
+    })
+    .expect("binding an ephemeral port");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connecting");
+    stream.write_all(&u32::MAX.to_le_bytes()).expect("writing the corrupt prefix");
+    stream.flush().expect("flushing");
+
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("cloning"));
+    let body = read_frame(&mut reader).expect("reading").expect("a frame");
+    match Response::decode(&body).expect("decodable error frame") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
+        other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+    // Then EOF: the server hung up rather than guess at a boundary.
+    assert!(read_frame(&mut reader).expect("clean close").is_none());
+    server.shutdown();
+}

@@ -1,0 +1,242 @@
+//! Soak/stress leg (satellite 4 of ISSUE 9): sustained mixed
+//! check + delta traffic against `gnp512` and `path4096` on a server
+//! whose memory budget cannot hold both models at once — the LRU
+//! evictor thrashes by design. Over the whole run (default 60 s,
+//! `PORTNUM_SOAK_SECS` overrides; CI runs this `--release`):
+//!
+//! * **zero protocol desyncs** — every frame decodes (a desync would
+//!   panic a client thread) and the server's `protocol_errors` counter
+//!   stays at zero;
+//! * **monotone version stamps** — per model, every committed delta's
+//!   version is strictly greater than the last observed one (resets
+//!   only at an observed reload);
+//! * **eviction never exceeds the memory budget** — `mem_bytes` is
+//!   polled throughout and must stay under `mem_budget`;
+//! * writer responses stay bit-identical to the single-threaded
+//!   oracle even while readers thrash the caches from other
+//!   connections.
+//!
+//! Ignored by default: this test exists to burn wall-clock.
+
+mod common;
+
+use common::{random_delta, random_formula, Oracle};
+use portnum_logic::Formula;
+use portnum_serve::{Client, ClientError, ErrorCode, ModelSpec, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Small enough that gnp512 (~60 kB) and path4096 (~98 kB) cannot both
+/// stay resident, large enough that each fits alone.
+const MEM_BUDGET: usize = 140_000;
+
+fn soak_duration() -> Duration {
+    let secs = match std::env::var("PORTNUM_SOAK_SECS") {
+        Ok(v) => v.parse().expect("PORTNUM_SOAK_SECS must be an integer second count"),
+        Err(_) => 60,
+    };
+    Duration::from_secs(secs)
+}
+
+/// The model under id 0 (~60 kB resident).
+fn gnp512() -> ModelSpec {
+    ModelSpec::gnp(512, 0.05, 0x512)
+}
+
+/// The model under id 1 (~98 kB resident).
+fn path4096() -> ModelSpec {
+    ModelSpec::Path { n: 4096 }
+}
+
+struct WriterReport {
+    checks: u64,
+    deltas: u64,
+    reloads: u64,
+}
+
+/// The designated writer for one model id: the only thread mutating
+/// it, so the oracle replay is exact. A server-side LRU eviction
+/// surfaces as `NoSuchModel` and is answered by reloading the oracle's
+/// snapshot (resetting the version baseline).
+fn writer(
+    addr: std::net::SocketAddr,
+    id: u64,
+    spec: &ModelSpec,
+    stop: &AtomicBool,
+) -> WriterReport {
+    let mut rng = StdRng::seed_from_u64(0x50ac ^ id);
+    let mut client = Client::connect(addr).expect("connecting");
+    let mut oracle = Oracle::load(spec);
+    let worlds = oracle.model.len() as u64;
+    let (loaded, mut last_version) = client.load(id, spec).expect("initial load");
+    assert_eq!(loaded, worlds);
+    let mut report = WriterReport { checks: 0, deltas: 0, reloads: 0 };
+
+    let reload = |client: &mut Client, oracle: &mut Oracle, report: &mut WriterReport| {
+        let snapshot = ModelSpec::from_model(&oracle.model);
+        let (loaded, version) = client.load(id, &snapshot).expect("reload");
+        assert_eq!(loaded, worlds);
+        *oracle = Oracle::load(&snapshot);
+        report.reloads += 1;
+        version
+    };
+
+    while !stop.load(Ordering::Relaxed) {
+        match rng.random_range(0..10u8) {
+            0..=6 => {
+                let batch: Vec<Formula> = (0..rng.random_range(1..4usize))
+                    .map(|_| random_formula(&mut rng, 2, true))
+                    .collect();
+                match client.check(id, &batch) {
+                    Ok(truths) => {
+                        let words = oracle.check(&batch).expect("valid formulas");
+                        assert_eq!(truths.worlds, worlds);
+                        assert_eq!(truths.vectors, words, "bit mismatch on model {id}");
+                        report.checks += 1;
+                    }
+                    Err(ClientError::Server(e)) if e.code == ErrorCode::NoSuchModel => {
+                        last_version = reload(&mut client, &mut oracle, &mut report);
+                    }
+                    other => panic!("writer {id} check failed: {other:?}"),
+                }
+            }
+            7 | 8 => {
+                let delta = random_delta(&mut rng, &oracle.model);
+                match client.apply_delta(id, &delta) {
+                    Ok((version, touched)) => {
+                        let oracle_touched = oracle.apply(&delta);
+                        assert!(
+                            version > last_version,
+                            "model {id} version went {last_version} -> {version}"
+                        );
+                        assert_eq!(version, oracle.model.version());
+                        assert_eq!(touched, oracle_touched.len() as u64);
+                        last_version = version;
+                        report.deltas += 1;
+                    }
+                    Err(ClientError::Server(e)) if e.code == ErrorCode::NoSuchModel => {
+                        last_version = reload(&mut client, &mut oracle, &mut report);
+                    }
+                    other => panic!("writer {id} delta failed: {other:?}"),
+                }
+            }
+            _ => {
+                // Explicit evict (racing the LRU: both outcomes fine),
+                // then reload from the snapshot.
+                client.evict(id).expect("evict answers");
+                last_version = reload(&mut client, &mut oracle, &mut report);
+            }
+        }
+    }
+    report
+}
+
+/// Readers thrash both models from their own connections. They cannot
+/// predict bits (the writers mutate concurrently) but every response
+/// must be well-formed: the right world count, the right vector count
+/// and word length, or the one legitimate typed error.
+fn reader(addr: std::net::SocketAddr, stop: &AtomicBool, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = Client::connect(addr).expect("connecting");
+    let mut served = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let id = rng.random_range(0..2u64);
+        let worlds: usize = if id == 0 { 512 } else { 4096 };
+        let batch: Vec<Formula> =
+            (0..rng.random_range(1..4usize)).map(|_| random_formula(&mut rng, 2, true)).collect();
+        match client.check(id, &batch) {
+            Ok(truths) => {
+                assert_eq!(truths.worlds, worlds as u64);
+                assert_eq!(truths.vectors.len(), batch.len());
+                for v in &truths.vectors {
+                    assert_eq!(v.len(), worlds.div_ceil(64));
+                }
+                served += 1;
+            }
+            Err(ClientError::Server(e)) if e.code == ErrorCode::NoSuchModel => {}
+            other => panic!("reader hit {other:?}"),
+        }
+        if rng.random_bool(0.05) {
+            client.ping().expect("ping");
+        }
+    }
+    served
+}
+
+#[test]
+#[ignore = "wall-clock soak; run with --ignored (PORTNUM_SOAK_SECS overrides the 60 s default)"]
+fn soak_mixed_traffic_holds_every_invariant() {
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        mem_budget: MEM_BUDGET,
+        ..ServeConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.addr();
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + soak_duration();
+
+    let (w0, w1, r0, r1) = std::thread::scope(|scope| {
+        let stop = &stop;
+        let w0 = scope.spawn(move || writer(addr, 0, &gnp512(), stop));
+        let w1 = scope.spawn(move || writer(addr, 1, &path4096(), stop));
+        let r0 = scope.spawn(move || reader(addr, stop, 0xbeef));
+        let r1 = scope.spawn(move || reader(addr, stop, 0xcafe));
+
+        // The monitor: the budget invariant must hold at every sample,
+        // not just at the end.
+        let mut monitor = Client::connect(addr).expect("connecting the monitor");
+        while Instant::now() < deadline {
+            let stats = monitor.stats().expect("stats");
+            assert!(
+                stats.mem_bytes <= stats.mem_budget,
+                "resident {} B over the {} B budget",
+                stats.mem_bytes,
+                stats.mem_budget
+            );
+            assert_eq!(stats.protocol_errors, 0, "protocol desync under load");
+            assert_eq!(stats.internal_errors, 0, "shard panic under load");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        stop.store(true, Ordering::Relaxed);
+        (
+            w0.join().expect("writer 0"),
+            w1.join().expect("writer 1"),
+            r0.join().expect("reader 0"),
+            r1.join().expect("reader 1"),
+        )
+    });
+
+    let mut client = Client::connect(addr).expect("connecting");
+    let stats = client.stats().expect("final stats");
+    assert!(stats.evictions > 0, "the budget never forced an eviction — soak had no teeth");
+    assert!(stats.mem_bytes <= stats.mem_budget);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.internal_errors, 0);
+    for (name, report) in [("gnp512", &w0), ("path4096", &w1)] {
+        assert!(
+            report.checks > 0 && report.deltas > 0,
+            "{name} writer starved: {} checks, {} deltas",
+            report.checks,
+            report.deltas
+        );
+    }
+    assert!(r0 + r1 > 0, "readers starved");
+    println!(
+        "soak: {} + {} writer checks, {} + {} deltas, {} + {} reloads, {} reader checks, \
+         {} evictions, {} cache trims",
+        w0.checks,
+        w1.checks,
+        w0.deltas,
+        w1.deltas,
+        w0.reloads,
+        w1.reloads,
+        r0 + r1,
+        stats.evictions,
+        stats.cache_trims
+    );
+    server.shutdown();
+}
