@@ -63,6 +63,9 @@ fn evaluate_legacy(model: &Kripke, formula: &Formula) -> Vec<bool> {
                         .collect(),
                 }
             }
+            FormulaKind::Var(_) | FormulaKind::Mu { .. } | FormulaKind::Nu { .. } => {
+                unreachable!("the legacy baseline predates fixpoints; its workloads have none")
+            }
         };
         let result = Rc::new(result);
         memo.insert(key, Rc::clone(&result));
@@ -191,6 +194,28 @@ fn bench_diamond_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fixpoint_reachability(c: &mut Criterion) {
+    // Reachability `µX. q1 ∨ ⟨*,*⟩X` on goal-studded paths (a goal
+    // world every 50 positions, ≈ 27 Kleene iterations): the compiled
+    // plan iterates over the dirty frontier after one dense pass, the
+    // recursive reference re-evaluates the whole model per iteration.
+    // The million-world acceptance gate lives in `reproduce`; these
+    // sizes track the same gap continuously.
+    let f = workloads::reachability_formula();
+    for n in [1usize << 14, 1 << 17] {
+        let k = workloads::huge_reachability(n, 50);
+        let plan = Plan::compile(&k, &f).unwrap();
+        let mut group = c.benchmark_group("model_checking/fixpoint_reachability");
+        group.bench_with_input(BenchmarkId::new("plan", n), &n, |b, _| {
+            b.iter(|| plan.execute_with(&k, DiamondMode::Auto))
+        });
+        group.bench_with_input(BenchmarkId::new("kleene", n), &n, |b, _| {
+            b.iter(|| evaluate_packed_recursive(&k, &f).unwrap())
+        });
+        group.finish();
+    }
+}
+
 fn configure() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -202,6 +227,6 @@ criterion_group! {
     name = benches;
     config = configure();
     targets = bench_depth_sweep, bench_shared_subformulas, bench_formula_suite,
-        bench_diamond_strategies, bench_parallel_execution
+        bench_diamond_strategies, bench_parallel_execution, bench_fixpoint_reachability
 }
 criterion_main!(benches);

@@ -410,6 +410,77 @@ fn bench_eval_snapshot() {
             );
         }
     }
+    // The million-world fixpoint: reachability `µX. q1 ∨ ⟨*,*⟩X` on a
+    // 2²⁰-world path with a goal world every 100 positions (≈ 52 Kleene
+    // iterations; the spacing sets the frontier-vs-dense gap — each
+    // iteration flips ~2 worlds per goal segment, so wider segments
+    // mean more iterations at the same total flip count while every
+    // dense re-sweep still pays the full 2²⁰ worlds). `reachability_1m` is the compiled plan — frontier
+    // iteration under the default knob, dense re-sweeps under
+    // `PORTNUM_FIXPOINT=dense` — and `reachability_1m_kleene` is the
+    // whole-model re-evaluation reference. Both engines run the same
+    // Kleene iteration sequence, so the total-time ratio *is* the
+    // per-iteration ratio; the acceptance gate requires the frontier
+    // engine to beat whole-model re-evaluation ≥ 3× (compared on
+    // minima, reported as medians, like the live-update rows).
+    {
+        use portnum_logic::plan::{fixpoint_override, FixpointOverride};
+        let n = 1usize << 20;
+        let k = workloads::huge_reachability(n, 100);
+        let f = workloads::reachability_formula();
+        let plan = Plan::compile(&k, &f).expect("reachability compiles");
+        let (reference, fstats) = plan.execute_with(&k, DiamondMode::Auto);
+        let iters = fstats.fixpoint_iters;
+        let ones: usize = reference.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, n, "every path world reaches a goal");
+        let sample = |run: &mut dyn FnMut()| -> (f64, f64) {
+            let mut us: Vec<f64> = (0..7)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    run();
+                    start.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            us.sort_by(f64::total_cmp);
+            (us[us.len() / 2], us[0])
+        };
+        let (plan_median, plan_min) = sample(&mut || {
+            let (truths, _) = plan.execute_with(&k, DiamondMode::Auto);
+            assert_eq!(truths, reference);
+        });
+        let (kleene_median, kleene_min) = sample(&mut || {
+            let truth = evaluate_packed_recursive(&k, &f).expect("reachability evaluates");
+            assert_eq!(&truth, &reference[0]);
+        });
+        let engine = match fixpoint_override() {
+            FixpointOverride::Frontier => "frontier",
+            FixpointOverride::Dense => "dense",
+        };
+        for (case, median) in
+            [("reachability_1m", plan_median), ("reachability_1m_kleene", kleene_median)]
+        {
+            t.row(["path1m".to_string(), case.to_string(), format!("{median:.1}"), iters.to_string()]);
+            let _ = writeln!(
+                json,
+                "{{\"bench\":\"eval\",\"workload\":\"path1m\",\"case\":\"{}\",\"worlds\":{},\
+                 \"median_us\":{:.1},\"ones\":{},\"iters\":{},\"engine\":\"{}\"}}",
+                case,
+                n,
+                median,
+                ones,
+                iters,
+                engine
+            );
+        }
+        if fixpoint_override() == FixpointOverride::Frontier {
+            assert!(
+                plan_min * 3.0 <= kleene_min,
+                "frontier fixpoint iteration must beat whole-model re-evaluation ≥ 3× \
+                 on the million-world path: plan {plan_min:.1}µs vs kleene {kleene_min:.1}µs \
+                 over {iters} iterations (medians {plan_median:.1}µs / {kleene_median:.1}µs)"
+            );
+        }
+    }
     // Cancellation latency: wall time from `CancelToken::cancel()` to
     // the `Interrupted` return of a controlled execution, while the
     // long gnp512 formula suite runs in a loop on another thread (so

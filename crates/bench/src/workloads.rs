@@ -168,6 +168,32 @@ pub fn huge_gnp(n: usize, p: f64, seed: u64) -> Kripke {
         .expect("gnp stream stays in range")
 }
 
+/// The streamed path with a goal world every `goal_every` positions
+/// (valuation 1 at goals, 0 elsewhere), the fixpoint benchmark model:
+/// `µX. q1 ∨ ⟨*,*⟩X` converges in ≈ `goal_every/2` Kleene iterations,
+/// and after the first dense pass the frontier is two worlds per goal
+/// segment — tiny against the whole model, which is exactly the gap
+/// the `reachability_1m` snapshot measures.
+pub fn huge_reachability(n: usize, goal_every: usize) -> Kripke {
+    assert!(goal_every >= 2, "adjacent goals leave no frontier to measure");
+    KripkeBuilder::new(ModelVariant::MinusMinus, n)
+        .relation(ModalIndex::Any, move || generators::path_edges(n))
+        .degrees((0..n).map(|v| usize::from(v % goal_every == 0)).collect())
+        .build()
+        .expect("path stream stays in range")
+}
+
+/// The reachability fixpoint paired with [`huge_reachability`]:
+/// `µX. q1 ∨ ⟨*,*⟩X` — every world can reach a goal, but only by
+/// iterating the wave out from the goal worlds.
+pub fn reachability_formula() -> Formula {
+    Formula::mu(
+        "X",
+        &Formula::prop(1).or(&Formula::diamond(ModalIndex::Any, &Formula::var("X"))),
+    )
+    .expect("body is positive in X")
+}
+
 /// Random bounded-degree `G(n, p)` graphs.
 pub fn gnp_sweep(sizes: &[usize], p: f64, seed: u64) -> Vec<Workload> {
     let mut rng = StdRng::seed_from_u64(seed);

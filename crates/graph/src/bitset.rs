@@ -282,6 +282,26 @@ impl Bitset {
         out
     }
 
+    /// Calls `f` with every element where `self` and `other` disagree, in
+    /// increasing order — one XOR per word, then trailing-zero peeling,
+    /// so the cost is one word sweep plus the number of differences (the
+    /// flip-extraction primitive behind fixpoint frontier iteration and
+    /// cache repair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn for_each_difference(&self, other: &Bitset, mut f: impl FnMut(usize)) {
+        assert_eq!(self.len, other.len, "Bitset universe mismatch");
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut diff = a ^ b;
+            while diff != 0 {
+                f(wi * 64 + diff.trailing_zeros() as usize);
+                diff &= diff - 1; // clear lowest set bit
+            }
+        }
+    }
+
     /// Iterates the set elements in increasing order, skipping empty words
     /// wholesale and peeling set bits with trailing-zero counts.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
@@ -483,6 +503,27 @@ mod tests {
             // re-masked each time.
             assert_eq!(full.not().not(), full);
         }
+    }
+
+    #[test]
+    fn for_each_difference_yields_exactly_the_xor_in_order() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let a = Bitset::from_fn(len, |i| i % 3 == 0);
+            let b = Bitset::from_fn(len, |i| i % 5 == 0);
+            let mut seen = Vec::new();
+            a.for_each_difference(&b, |i| seen.push(i));
+            let expected: Vec<usize> =
+                (0..len).filter(|i| (i % 3 == 0) != (i % 5 == 0)).collect();
+            assert_eq!(seen, expected, "len {len}");
+            // Identical sets disagree nowhere, whatever the tail shape.
+            a.for_each_difference(&a.clone(), |i| panic!("spurious difference at {i}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn for_each_difference_rejects_mismatched_universes() {
+        Bitset::zeros(64).for_each_difference(&Bitset::zeros(65), |_| {});
     }
 
     #[test]

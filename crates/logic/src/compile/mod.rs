@@ -91,6 +91,10 @@ impl Table {
                 let inner = self.intern(inner, by_ptr, by_key);
                 Node::Diamond { index: *index, grade: *grade, inner }
             }
+            // Rejected by check_no_fixpoints before any table is built.
+            FormulaKind::Var(_) | FormulaKind::Mu { .. } | FormulaKind::Nu { .. } => {
+                unreachable!("fixpoints are rejected before subformula interning")
+            }
         };
         let id = match by_key.get(&key) {
             Some(&id) => id,

@@ -98,6 +98,7 @@ struct Engine {
 impl Engine {
     fn new(formula: &Formula, family: IndexFamily) -> Result<Engine, CompileError> {
         check_family(formula, family)?;
+        check_no_fixpoints(formula)?;
         let table = Table::build(formula);
         let mut out_dict: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         let mut bc_dict: Vec<usize> = Vec::new();
@@ -228,12 +229,35 @@ fn check_ungraded(formula: &Formula) -> Result<(), CompileError> {
             FormulaKind::Not(a) => walk(a),
             FormulaKind::And(a, b) | FormulaKind::Or(a, b) => walk(a) && walk(b),
             FormulaKind::Diamond { grade, inner, .. } => *grade <= 1 && walk(inner),
+            FormulaKind::Var(_) => true,
+            FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => walk(body),
         }
     }
     if walk(formula) {
         Ok(())
     } else {
         Err(CompileError::GradedNotSupported)
+    }
+}
+
+/// Theorem 2 compiles formulas whose running time is the modal depth; a
+/// fixpoint iterates to a model-dependent depth, so `µ`/`ν` anywhere in
+/// the formula is a typed [`CompileError::FixpointNotSupported`].
+fn check_no_fixpoints(formula: &Formula) -> Result<(), CompileError> {
+    fn walk(f: &Formula) -> bool {
+        use crate::formula::FormulaKind;
+        match f.kind() {
+            FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => true,
+            FormulaKind::Not(a) => walk(a),
+            FormulaKind::And(a, b) | FormulaKind::Or(a, b) => walk(a) && walk(b),
+            FormulaKind::Diamond { inner, .. } => walk(inner),
+            FormulaKind::Var(_) | FormulaKind::Mu { .. } | FormulaKind::Nu { .. } => false,
+        }
+    }
+    if walk(formula) {
+        Ok(())
+    } else {
+        Err(CompileError::FixpointNotSupported)
     }
 }
 

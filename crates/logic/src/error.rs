@@ -26,6 +26,25 @@ pub enum LogicError {
     /// A delta asked to remove an edge the model does not store (or
     /// more copies of it than are stored).
     EdgeNotPresent,
+    /// A fixpoint variable occurred free: no enclosing `µ`/`ν` binds it.
+    /// Only closed formulas can be evaluated or compiled.
+    UnboundVariable {
+        /// The unbound variable's name.
+        name: String,
+    },
+    /// A `µ`/`ν` binder re-binds a variable already bound by an
+    /// enclosing binder of the same name.
+    ShadowedVariable {
+        /// The re-bound variable's name.
+        name: String,
+    },
+    /// A fixpoint body uses its bound variable under an odd number of
+    /// negations; Kleene iteration requires the body to be monotone in
+    /// the bound variable.
+    NonMonotoneVariable {
+        /// The offending variable's name.
+        name: String,
+    },
     /// The computation was cooperatively interrupted (cancel, deadline,
     /// or work budget) before producing a result; nothing was published
     /// and a retry is bit-identical to an uninterrupted run.
@@ -46,6 +65,16 @@ impl fmt::Display for LogicError {
             LogicError::EdgeNotPresent => {
                 write!(f, "delta removes an edge the model does not store")
             }
+            LogicError::UnboundVariable { name } => {
+                write!(f, "fixpoint variable {name} is not bound by any enclosing binder")
+            }
+            LogicError::ShadowedVariable { name } => {
+                write!(f, "fixpoint variable {name} is re-bound by an inner binder")
+            }
+            LogicError::NonMonotoneVariable { name } => write!(
+                f,
+                "fixpoint variable {name} occurs under an odd number of negations"
+            ),
             LogicError::Interrupted(i) => write!(f, "{i}"),
         }
     }
@@ -90,6 +119,10 @@ pub enum CompileError {
         /// The configured limit.
         limit: usize,
     },
+    /// Fixpoint formulas (`µ`/`ν`) have no finite-round distributed
+    /// algorithm in the Theorem-2 sense: their evaluation depth depends
+    /// on the model, not on the formula alone.
+    FixpointNotSupported,
 }
 
 impl fmt::Display for CompileError {
@@ -107,6 +140,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::TooManyConfigs { limit } => {
                 write!(f, "reachable configuration space exceeded limit {limit}")
+            }
+            CompileError::FixpointNotSupported => {
+                write!(f, "fixpoint formulas have no finite-round distributed algorithm")
             }
         }
     }

@@ -29,6 +29,18 @@
 //! kept as the differential-testing reference (the proptests pin plans
 //! bit-identical to it) and as the baseline the benches measure plans
 //! against.
+//!
+//! # Fixpoints
+//!
+//! Both engines evaluate the modal µ-fragment. The recursive engine is
+//! the *naive Kleene reference*: `µX.φ` starts from `⊥` (`νX.φ` from
+//! `⊤`) and re-evaluates the whole body until the approximation is
+//! stable — monotonicity (enforced at construction) bounds this at
+//! `n + 1` iterations. The memo is bypassed while any variable is in
+//! scope, so every iteration is a full bottom-up pass: deliberately
+//! simple, deliberately slow, and exactly what the compiled
+//! frontier-iterating plans (see [`crate::plan`]) are pinned
+//! bit-identical to.
 
 use crate::error::LogicError;
 use crate::formula::{Formula, FormulaKind};
@@ -37,6 +49,7 @@ use crate::plan::Plan;
 use portnum_graph::bitset::Bitset;
 use portnum_graph::partition::FxHashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Evaluates `formula` at every world of `model`, packed one bit per
 /// world.
@@ -77,7 +90,7 @@ pub fn evaluate_packed(model: &Kripke, formula: &Formula) -> Result<Bitset, Logi
 /// See [`evaluate_packed`].
 pub fn evaluate_packed_recursive(model: &Kripke, formula: &Formula) -> Result<Bitset, LogicError> {
     let mut memo: FxHashMap<*const FormulaKind, Rc<Bitset>> = FxHashMap::default();
-    let result = eval_rec(model, formula, &mut memo)?;
+    let result = eval_rec(model, formula, &mut memo, &mut Vec::new())?;
     drop(memo);
     // The memo is gone, so the root Rc is unique unless the root formula
     // shares a node with itself (impossible); unwrap without copying.
@@ -136,8 +149,12 @@ fn eval_rec(
     model: &Kripke,
     formula: &Formula,
     memo: &mut FxHashMap<*const FormulaKind, Rc<Bitset>>,
+    env: &mut Vec<(Arc<str>, Rc<Bitset>)>,
 ) -> Result<Rc<Bitset>, LogicError> {
     let key = formula.kind() as *const FormulaKind;
+    // Reading the memo is sound even under binders: an entry only exists
+    // for a subformula that evaluated without any environment, i.e. a
+    // closed one, whose value cannot depend on the variables in scope.
     if let Some(cached) = memo.get(&key) {
         return Ok(Rc::clone(cached));
     }
@@ -147,18 +164,49 @@ fn eval_rec(
         FormulaKind::Bottom => Bitset::zeros(n),
         FormulaKind::Prop(d) => Bitset::from_fn(n, |v| model.degree(v) == *d),
         FormulaKind::Not(a) => {
-            let inner = eval_rec(model, a, memo)?;
+            let inner = eval_rec(model, a, memo, env)?;
             inner.not()
         }
         FormulaKind::And(a, b) => {
-            let left = eval_rec(model, a, memo)?;
-            let right = eval_rec(model, b, memo)?;
+            let left = eval_rec(model, a, memo, env)?;
+            let right = eval_rec(model, b, memo, env)?;
             left.and(&right)
         }
         FormulaKind::Or(a, b) => {
-            let left = eval_rec(model, a, memo)?;
-            let right = eval_rec(model, b, memo)?;
+            let left = eval_rec(model, a, memo, env)?;
+            let right = eval_rec(model, b, memo, env)?;
             left.or(&right)
+        }
+        FormulaKind::Var(name) => {
+            return match env.iter().rev().find(|(v, _)| v == name) {
+                Some((_, val)) => Ok(Rc::clone(val)),
+                None => Err(LogicError::UnboundVariable { name: name.to_string() }),
+            };
+        }
+        FormulaKind::Mu { var, body } | FormulaKind::Nu { var, body } => {
+            // Naive Kleene iteration: re-evaluate the whole body against
+            // the current approximation until it stabilises. Construction
+            // guarantees the body monotone in `var`, so each world's bit
+            // moves at most once and the loop ends within n + 1 rounds.
+            let greatest = matches!(formula.kind(), FormulaKind::Nu { .. });
+            let mut x = Rc::new(if greatest { Bitset::ones(n) } else { Bitset::zeros(n) });
+            let mut rounds = 0usize;
+            loop {
+                env.push((var.clone(), Rc::clone(&x)));
+                let next = eval_rec(model, body, memo, env);
+                env.pop().expect("pushed above");
+                let next = next?;
+                if *next == *x {
+                    break;
+                }
+                x = next;
+                rounds += 1;
+                assert!(rounds <= n + 1, "fixpoint failed to converge: body not monotone?");
+            }
+            if env.is_empty() {
+                memo.insert(key, Rc::clone(&x));
+            }
+            return Ok(x);
         }
         FormulaKind::Diamond { index, grade, inner } => {
             if index.family() != model.variant().family() {
@@ -167,11 +215,11 @@ fn eval_rec(
                     found: index.family(),
                 });
             }
-            let sat = eval_rec(model, inner, memo)?;
+            let sat = eval_rec(model, inner, memo, env)?;
             if *grade == 0 {
                 // ⟨α⟩≥0 φ is vacuously true, with or without a stored
                 // relation.
-                return cache(memo, key, Bitset::ones(n));
+                return cache(memo, key, Bitset::ones(n), env.is_empty());
             }
             // Resolve the relation once per diamond, not once per world,
             // and test successor bits on the raw words: the successor
@@ -204,17 +252,23 @@ fn eval_rec(
             }
         }
     };
-    cache(memo, key, result)
+    cache(memo, key, result, env.is_empty())
 }
 
-/// Memoises `result` under `key` and returns the shared handle.
+/// Wraps `result` in a shared handle, memoising it under `key` only when
+/// `memoise` is set — entries written while fixpoint variables are in
+/// scope could capture environment-dependent values, so the naive
+/// reference simply recomputes inside binders.
 fn cache(
     memo: &mut FxHashMap<*const FormulaKind, Rc<Bitset>>,
     key: *const FormulaKind,
     result: Bitset,
+    memoise: bool,
 ) -> Result<Rc<Bitset>, LogicError> {
     let result = Rc::new(result);
-    memo.insert(key, Rc::clone(&result));
+    if memoise {
+        memo.insert(key, Rc::clone(&result));
+    }
     Ok(result)
 }
 
@@ -329,6 +383,64 @@ mod tests {
             evaluate_packed(&k, &f).unwrap(),
             evaluate_packed_recursive(&k, &f).unwrap()
         );
+    }
+
+    #[test]
+    fn fixpoint_reachability_on_a_path() {
+        // path(6): degrees are 1,2,2,2,2,1. µX. q1 ∨ ◇X = "some world of
+        // degree 1 is reachable" — everywhere on a connected graph.
+        let k = Kripke::k_mm(&generators::path(6));
+        let reach = Formula::mu(
+            "X",
+            &Formula::prop(1).or(&Formula::diamond(ModalIndex::Any, &Formula::var("X"))),
+        )
+        .unwrap();
+        assert_eq!(evaluate(&k, &reach).unwrap(), vec![true; 6]);
+        // µX. q7 ∨ ◇X with no q7 world: empty.
+        let none = Formula::mu(
+            "X",
+            &Formula::prop(7).or(&Formula::diamond(ModalIndex::Any, &Formula::var("X"))),
+        )
+        .unwrap();
+        assert_eq!(evaluate(&k, &none).unwrap(), vec![false; 6]);
+        // νX. q2 ∧ ◻X = "every reachable world has degree 2" — false
+        // everywhere (the endpoints are reachable from everywhere).
+        let safe = Formula::nu(
+            "X",
+            &Formula::prop(2).and(&Formula::box_(ModalIndex::Any, &Formula::var("X"))),
+        )
+        .unwrap();
+        assert_eq!(evaluate(&k, &safe).unwrap(), vec![false; 6]);
+        // Degenerate binders.
+        assert_eq!(
+            evaluate(&k, &Formula::mu("X", &Formula::var("X")).unwrap()).unwrap(),
+            vec![false; 6]
+        );
+        assert_eq!(
+            evaluate(&k, &Formula::nu("X", &Formula::var("X")).unwrap()).unwrap(),
+            vec![true; 6]
+        );
+    }
+
+    #[test]
+    fn fixpoint_nesting_and_unbound_errors() {
+        let k = Kripke::k_mm(&generators::star(3));
+        // νY. µX. (X ∨ Y-guarded): the inner µ sees the outer variable.
+        let inner = Formula::var("X").or(&Formula::diamond(ModalIndex::Any, &Formula::var("Y")));
+        let f = Formula::nu("Y", &Formula::mu("X", &inner).unwrap()).unwrap();
+        // µX.(X ∨ ◇Y) = ◇Y, so the ν iterates ◇ to its greatest fixpoint:
+        // on a connected graph with edges both ways, everything stays true.
+        assert_eq!(evaluate(&k, &f).unwrap(), vec![true; 4]);
+        // A free variable is a typed error, not a panic.
+        assert_eq!(
+            evaluate(&k, &Formula::var("Z")),
+            Err(LogicError::UnboundVariable { name: "Z".into() })
+        );
+        let open = Formula::mu("X", &Formula::var("X").or(&Formula::var("Z"))).unwrap();
+        assert!(matches!(
+            evaluate_packed_recursive(&k, &open),
+            Err(LogicError::UnboundVariable { .. })
+        ));
     }
 
     #[test]

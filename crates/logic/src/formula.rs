@@ -16,8 +16,28 @@
 //! all of whose grades are 1 belongs to the ungraded logic (ML/MML), which
 //! is what the `Set`-based classes can evaluate.
 //!
+//! # The modal µ-fragment
+//!
+//! Beyond the paper's graded logics, the AST carries least and greatest
+//! fixpoints (`µX.φ` / `νX.φ`, Reiter's characterization of asynchronous
+//! runs): [`Formula::mu`], [`Formula::nu`], and fixpoint variables
+//! ([`Formula::var`]). Binder construction is *scope-checked* — the bound
+//! variable must not be re-bound inside the body
+//! ([`LogicError::ShadowedVariable`]) and every free occurrence must sit
+//! under an even number of negations
+//! ([`LogicError::NonMonotoneVariable`]), the positivity condition that
+//! makes Kleene iteration converge. Variables left unbound are caught at
+//! evaluation/compile time ([`LogicError::UnboundVariable`]), so nested
+//! binders can be assembled bottom-up.
+//!
 //! Port indices are `0`-based, matching the rest of the workspace.
+//!
+//! [`LogicError::ShadowedVariable`]: crate::LogicError::ShadowedVariable
+//! [`LogicError::NonMonotoneVariable`]: crate::LogicError::NonMonotoneVariable
+//! [`LogicError::UnboundVariable`]: crate::LogicError::UnboundVariable
 
+use crate::error::LogicError;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -94,6 +114,23 @@ pub enum FormulaKind {
         /// The subformula `φ`.
         inner: Formula,
     },
+    /// A fixpoint variable `X`, free until bound by an enclosing
+    /// [`Mu`](FormulaKind::Mu) or [`Nu`](FormulaKind::Nu).
+    Var(Arc<str>),
+    /// Least fixpoint `µX.φ` — the limit of `⊥, φ(⊥), φ(φ(⊥)), …`.
+    Mu {
+        /// The bound variable `X`.
+        var: Arc<str>,
+        /// The body `φ`, positive in `X`.
+        body: Formula,
+    },
+    /// Greatest fixpoint `νX.φ` — the limit of `⊤, φ(⊤), φ(φ(⊤)), …`.
+    Nu {
+        /// The bound variable `X`.
+        var: Arc<str>,
+        /// The body `φ`, positive in `X`.
+        body: Formula,
+    },
 }
 
 /// A modal formula (cheaply cloneable; subtrees are shared).
@@ -164,6 +201,89 @@ impl Formula {
         Formula::diamond(index, &inner.not()).not()
     }
 
+    /// A fixpoint variable `X` (free until bound by [`Formula::mu`] /
+    /// [`Formula::nu`]).
+    ///
+    /// Any non-empty name is accepted; names matching the parser's
+    /// identifier shape (an uppercase ASCII letter followed by ASCII
+    /// alphanumerics) round-trip through `Display` and [`crate::parse`].
+    pub fn var(name: &str) -> Self {
+        Formula::new(FormulaKind::Var(Arc::from(name)))
+    }
+
+    /// Least fixpoint `µX. body`.
+    ///
+    /// Scope-checked: fails with [`LogicError::ShadowedVariable`] if an
+    /// inner binder re-binds `name`, and with
+    /// [`LogicError::NonMonotoneVariable`] if any free occurrence of
+    /// `name` in `body` sits under an odd number of negations (Kleene
+    /// iteration needs the body monotone in the bound variable). Other
+    /// variables may remain free — they are resolved by enclosing
+    /// binders, or rejected at evaluation time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use portnum_logic::{Formula, ModalIndex};
+    ///
+    /// // reachability: "a world of degree 1 is reachable"
+    /// let reach = Formula::mu(
+    ///     "X",
+    ///     &Formula::prop(1).or(&Formula::diamond(ModalIndex::Any, &Formula::var("X"))),
+    /// )
+    /// .unwrap();
+    /// assert_eq!(reach.to_string(), "(mu X . (q1 | <*,*> X))");
+    ///
+    /// // !X is not monotone in X
+    /// assert!(Formula::mu("X", &Formula::var("X").not()).is_err());
+    /// ```
+    pub fn mu(name: &str, body: &Formula) -> Result<Self, LogicError> {
+        check_binder(name, body)?;
+        Ok(Formula::mu_unchecked(Arc::from(name), body.clone()))
+    }
+
+    /// Greatest fixpoint `νX. body`; scope-checked exactly like
+    /// [`Formula::mu`].
+    pub fn nu(name: &str, body: &Formula) -> Result<Self, LogicError> {
+        check_binder(name, body)?;
+        Ok(Formula::nu_unchecked(Arc::from(name), body.clone()))
+    }
+
+    /// Rebuild a `Mu` node from parts already known to be scope-valid
+    /// (used by transformations that preserve scoping and polarity).
+    pub(crate) fn mu_unchecked(var: Arc<str>, body: Formula) -> Self {
+        Formula::new(FormulaKind::Mu { var, body })
+    }
+
+    /// Rebuild a `Nu` node from parts already known to be scope-valid.
+    pub(crate) fn nu_unchecked(var: Arc<str>, body: Formula) -> Self {
+        Formula::new(FormulaKind::Nu { var, body })
+    }
+
+    /// Returns `true` if no fixpoint variable occurs free: every `Var` is
+    /// inside a `Mu`/`Nu` binding its name. Only closed formulas can be
+    /// evaluated or compiled.
+    pub fn is_closed(&self) -> bool {
+        fn walk(f: &Formula, bound: &mut Vec<Arc<str>>) -> bool {
+            match f.kind() {
+                FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => true,
+                FormulaKind::Var(name) => bound.iter().any(|b| b == name),
+                FormulaKind::Not(a) => walk(a, bound),
+                FormulaKind::And(a, b) | FormulaKind::Or(a, b) => {
+                    walk(a, bound) && walk(b, bound)
+                }
+                FormulaKind::Diamond { inner, .. } => walk(inner, bound),
+                FormulaKind::Mu { var, body } | FormulaKind::Nu { var, body } => {
+                    bound.push(var.clone());
+                    let ok = walk(body, bound);
+                    bound.pop();
+                    ok
+                }
+            }
+        }
+        walk(self, &mut Vec::new())
+    }
+
     /// Disjunction of a sequence (`⊥` when empty).
     pub fn any_of<I: IntoIterator<Item = Formula>>(items: I) -> Self {
         let mut iter = items.into_iter();
@@ -199,6 +319,8 @@ impl Formula {
                 a.modal_depth().max(b.modal_depth())
             }
             FormulaKind::Diamond { inner, .. } => inner.modal_depth() + 1,
+            FormulaKind::Var(_) => 0,
+            FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => body.modal_depth(),
         }
     }
 
@@ -212,6 +334,8 @@ impl Formula {
                 a.is_ungraded() && b.is_ungraded()
             }
             FormulaKind::Diamond { grade, inner, .. } => *grade == 1 && inner.is_ungraded(),
+            FormulaKind::Var(_) => true,
+            FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => body.is_ungraded(),
         }
     }
 
@@ -225,6 +349,10 @@ impl Formula {
             }
             FormulaKind::Diamond { index, inner, .. } => {
                 index.family() == family && inner.uses_only(family)
+            }
+            FormulaKind::Var(_) => true,
+            FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => {
+                body.uses_only(family)
             }
         }
     }
@@ -246,6 +374,8 @@ impl Formula {
                     }
                     walk(inner, out);
                 }
+                FormulaKind::Var(_) => {}
+                FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => walk(body, out),
             }
         }
         walk(self, &mut out);
@@ -260,6 +390,8 @@ impl Formula {
             FormulaKind::Not(a) => 1 + a.size(),
             FormulaKind::And(a, b) | FormulaKind::Or(a, b) => 1 + a.size() + b.size(),
             FormulaKind::Diamond { inner, .. } => 1 + inner.size(),
+            FormulaKind::Var(_) => 1,
+            FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => 1 + body.size(),
         }
     }
 
@@ -267,6 +399,48 @@ impl Formula {
     pub fn ptr_eq(&self, other: &Formula) -> bool {
         Arc::ptr_eq(&self.node, &other.node)
     }
+}
+
+/// Scope check for `µname.body` / `νname.body`: no inner binder re-binds
+/// `name`, and every free occurrence of `name` has positive polarity
+/// (an even number of `Not`s above it).
+///
+/// Visited `(node, polarity)` pairs are memoised so shared subtrees cost
+/// one visit per polarity, keeping the check linear in the DAG size.
+fn check_binder(name: &str, body: &Formula) -> Result<(), LogicError> {
+    fn walk(
+        f: &Formula,
+        name: &str,
+        odd: bool,
+        seen: &mut HashSet<(*const FormulaKind, bool)>,
+    ) -> Result<(), LogicError> {
+        if !seen.insert((Arc::as_ptr(&f.node), odd)) {
+            return Ok(());
+        }
+        match f.kind() {
+            FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => Ok(()),
+            FormulaKind::Var(v) => {
+                if **v == *name && odd {
+                    Err(LogicError::NonMonotoneVariable { name: name.to_string() })
+                } else {
+                    Ok(())
+                }
+            }
+            FormulaKind::Not(a) => walk(a, name, !odd, seen),
+            FormulaKind::And(a, b) | FormulaKind::Or(a, b) => {
+                walk(a, name, odd, seen)?;
+                walk(b, name, odd, seen)
+            }
+            FormulaKind::Diamond { inner, .. } => walk(inner, name, odd, seen),
+            FormulaKind::Mu { var, body } | FormulaKind::Nu { var, body } => {
+                if **var == *name {
+                    return Err(LogicError::ShadowedVariable { name: name.to_string() });
+                }
+                walk(body, name, odd, seen)
+            }
+        }
+    }
+    walk(body, name, false, &mut HashSet::new())
 }
 
 impl fmt::Display for Formula {
@@ -285,6 +459,12 @@ impl fmt::Display for Formula {
                     write!(f, "<{index}>>={grade} {inner}")
                 }
             }
+            FormulaKind::Var(name) => write!(f, "{name}"),
+            // Binder bodies extend maximally rightward in the grammar,
+            // so an unparenthesized binder printed as a left operand
+            // would swallow its sibling on reparse.
+            FormulaKind::Mu { var, body } => write!(f, "(mu {var} . {body})"),
+            FormulaKind::Nu { var, body } => write!(f, "(nu {var} . {body})"),
         }
     }
 }
@@ -341,6 +521,49 @@ mod tests {
         let items = vec![Formula::prop(1), Formula::prop(2)];
         assert_eq!(Formula::any_of(items.clone()).to_string(), "(q1 | q2)");
         assert_eq!(Formula::all_of(items).to_string(), "(q1 & q2)");
+    }
+
+    #[test]
+    fn binder_construction_is_scope_checked() {
+        let x = Formula::var("X");
+        let body = Formula::prop(1).or(&Formula::diamond(ModalIndex::Any, &x));
+        let reach = Formula::mu("X", &body).unwrap();
+        assert_eq!(reach.to_string(), "(mu X . (q1 | <*,*> X))");
+        assert!(reach.is_closed());
+        assert!(!body.is_closed());
+        assert_eq!(reach.modal_depth(), 1);
+        assert_eq!(reach.size(), 5);
+        assert!(reach.is_ungraded());
+        assert!(reach.uses_only(IndexFamily::Any));
+        assert_eq!(reach.indices(), vec![ModalIndex::Any]);
+
+        // odd polarity is rejected...
+        assert_eq!(
+            Formula::mu("X", &x.not()),
+            Err(LogicError::NonMonotoneVariable { name: "X".into() })
+        );
+        // ...but double negation is fine
+        assert!(Formula::nu("X", &x.not().not()).is_ok());
+        // re-binding the same name inside the body is rejected
+        let inner = Formula::mu("X", &x).unwrap();
+        assert_eq!(
+            Formula::mu("X", &inner),
+            Err(LogicError::ShadowedVariable { name: "X".into() })
+        );
+        // binding a *different* name around a nested binder is fine
+        assert!(Formula::nu("Y", &Formula::mu("X", &x.or(&Formula::var("Y"))).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn polarity_check_handles_shared_subtrees() {
+        // A deeply shared DAG: without (ptr, polarity) memoisation this
+        // walk would be exponential.
+        let mut f = Formula::var("X").or(&Formula::prop(1));
+        for _ in 0..64 {
+            f = f.and(&f);
+        }
+        assert!(Formula::mu("X", &f).is_ok());
+        assert!(Formula::mu("X", &f.not()).is_err());
     }
 
     #[test]

@@ -6,12 +6,23 @@
 //! formula := or
 //! or      := and ('|' and)*
 //! and     := unary ('&' unary)*
-//! unary   := '!' unary | '<' index '>' ['>=' NUM] unary | '[' index ']' unary | atom
-//! atom    := 'true' | 'false' | 'q' NUM | '(' formula ')'
+//! unary   := '!' unary | '<' index '>' ['>=' NUM] unary | '[' index ']' unary
+//!          | ('mu' | 'nu') VAR '.' or | atom
+//! atom    := 'true' | 'false' | 'q' NUM | VAR | '(' formula ')'
 //! index   := NUM ',' NUM | '*' ',' NUM | NUM ',' '*' | '*' ',' '*'
+//! VAR     := [A-Z][A-Za-z0-9]*
 //! ```
 //!
-//! Port indices are `0`-based. `[α]φ` is sugar for `!<α>!φ`.
+//! Port indices are `0`-based. `[α]φ` is sugar for `!<α>!φ`. A binder's
+//! body extends as far right as possible (`mu X . q1 | <*,*> X` binds the
+//! whole disjunction), the usual µ-calculus convention.
+//!
+//! The parser is scope-checked: a variable outside any binder for its
+//! name, a binder re-binding a name already in scope, and a bound
+//! variable used under an odd number of negations are all [`ParseError`]s
+//! — `parse` only ever returns closed, monotone formulas, so malformed
+//! fixpoint input surfaces as a typed error value, never a panic deeper
+//! in the pipeline.
 //!
 //! # Examples
 //!
@@ -34,7 +45,7 @@ use crate::formula::{Formula, ModalIndex};
 ///
 /// Returns a [`ParseError`] describing the first offending position.
 pub fn parse(input: &str) -> Result<Formula, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, scope: Vec::new() };
     let f = p.or_expr()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -46,6 +57,8 @@ pub fn parse(input: &str) -> Result<Formula, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Fixpoint variables bound by enclosing binders, innermost last.
+    scope: Vec<String>,
 }
 
 impl<'a> Parser<'a> {
@@ -112,6 +125,47 @@ impl<'a> Parser<'a> {
         false
     }
 
+    /// A fixpoint-variable identifier: an uppercase ASCII letter followed
+    /// by ASCII alphanumerics. Returns `None` (without consuming input)
+    /// if the next token does not start with an uppercase letter.
+    fn variable(&mut self) -> Option<String> {
+        self.skip_ws();
+        if !self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_uppercase()) {
+            return None;
+        }
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        Some(
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .expect("ascii alphanumerics are utf8")
+                .to_string(),
+        )
+    }
+
+    /// `('mu' | 'nu') VAR '.' or` — the body extends as far right as
+    /// possible. Scope is tracked so unbound and shadowed variables are
+    /// reported at their position.
+    fn binder(&mut self, greatest: bool) -> Result<Formula, ParseError> {
+        let Some(name) = self.variable() else {
+            return Err(self.error("expected a fixpoint variable (uppercase letter)"));
+        };
+        if self.scope.contains(&name) {
+            return Err(self.error(&format!("binder re-binds variable {name} already in scope")));
+        }
+        self.expect(b'.')?;
+        self.scope.push(name);
+        let body = self.or_expr();
+        let name = self.scope.pop().expect("pushed above");
+        let result = if greatest {
+            Formula::nu(&name, &body?)
+        } else {
+            Formula::mu(&name, &body?)
+        };
+        result.map_err(|e| self.error(&e.to_string()))
+    }
+
     fn or_expr(&mut self) -> Result<Formula, ParseError> {
         let mut left = self.and_expr()?;
         while self.eat(b'|') {
@@ -170,7 +224,15 @@ impl<'a> Parser<'a> {
                 let inner = self.unary()?;
                 Ok(Formula::box_(index, &inner))
             }
-            _ => self.atom(),
+            _ => {
+                if self.keyword("mu") {
+                    return self.binder(false);
+                }
+                if self.keyword("nu") {
+                    return self.binder(true);
+                }
+                self.atom()
+            }
         }
     }
 
@@ -192,7 +254,19 @@ impl<'a> Parser<'a> {
                 self.expect(b')')?;
                 Ok(f)
             }
-            _ => Err(self.error("expected an atom, '!', '<', '[', or '('")),
+            _ => {
+                let at = self.pos;
+                if let Some(name) = self.variable() {
+                    if !self.scope.contains(&name) {
+                        self.pos = at;
+                        return Err(
+                            self.error(&format!("fixpoint variable {name} is not in scope"))
+                        );
+                    }
+                    return Ok(Formula::var(&name));
+                }
+                Err(self.error("expected an atom, a variable, '!', '<', '[', or '('"))
+            }
         }
     }
 }
@@ -270,5 +344,49 @@ mod tests {
     fn keywords_need_boundaries() {
         assert!(parse("truex").is_err());
         assert!(parse("true2").is_err());
+        assert!(parse("muX. X").is_err());
+    }
+
+    #[test]
+    fn fixpoint_binders() {
+        let reach = parse("mu X . q1 | <*,*> X").unwrap();
+        assert_eq!(
+            reach,
+            Formula::mu(
+                "X",
+                &Formula::prop(1).or(&Formula::diamond(ModalIndex::Any, &Formula::var("X")))
+            )
+            .unwrap()
+        );
+        // the binder body extends as far right as possible
+        assert_eq!(reach.to_string(), "(mu X . (q1 | <*,*> X))");
+        let nested = parse("nu Y . mu X2 . (X2 | Y) & q0").unwrap();
+        assert_eq!(parse(&nested.to_string()).unwrap(), nested);
+        // binders nest under other connectives
+        let under = parse("q1 & mu X . <0,1> X").unwrap();
+        assert_eq!(parse(&under.to_string()).unwrap(), under);
+        assert!(parse("! nu X . !!X").is_ok());
+    }
+
+    #[test]
+    fn fixpoint_scope_errors_are_typed() {
+        // unbound variable
+        let err = parse("mu X . Y").unwrap_err();
+        assert!(err.message.contains("not in scope"), "{err}");
+        assert!(parse("X").is_err());
+        // variable escapes its binder
+        assert!(parse("(mu X . X) & X").is_err());
+        // shadowed binder
+        let err = parse("mu X . mu X . X").unwrap_err();
+        assert!(err.message.contains("re-binds"), "{err}");
+        // non-monotone use
+        let err = parse("mu X . !X").unwrap_err();
+        assert!(err.message.contains("odd number of negations"), "{err}");
+        // boxes flip polarity twice: [a]X is fine
+        assert!(parse("nu X . [*,*] X").is_ok());
+        // malformed binder heads
+        assert!(parse("mu . X").is_err());
+        assert!(parse("mu x . q1").is_err());
+        assert!(parse("mu X q1").is_err());
     }
 }

@@ -79,6 +79,44 @@
 //! environment variable ([`reverse_override`]) pins Auto's choice for
 //! CI (`csc` / `dense` / `off`); explicit modes are never overridden.
 //!
+//! # Fixpoints
+//!
+//! A µ/ν binder lowers to one `Fixpoint` instruction owning a
+//! self-contained *body* instruction list: `Var` reads the enclosing
+//! binder's accumulator, `Arg` reads an outer body's value (nested
+//! binders nest bodies — a body's external args are ids in its
+//! *enclosing* body, never plan ids, because a variable free at the
+//! plan level is a lowering error). The executor iterates the body
+//! until the accumulator is stable — Kleene iteration, µ from ⊥ and ν
+//! from ⊤; positivity is enforced at formula construction, so the
+//! accumulator moves one way and converges within `n + 1` root
+//! evaluations:
+//!
+//! * the **first** iteration evaluates the body densely (every op,
+//!   every world), exactly like the straight-line executor;
+//! * every later iteration re-evaluates only the **dirty frontier**:
+//!   per body op, the candidate worlds whose value can have moved
+//!   given the flips recorded one operand upstream (the accumulator's
+//!   flips seed `Var`; a diamond's candidates are its flipped inner
+//!   worlds' CSC predecessors), with the same n/4 dense-fallback
+//!   threshold as [`ModelChecker::resume`]'s delta repair. An
+//!   iteration therefore costs O(frontier), not O(model): a monotone
+//!   iteration flips each world at most once, so a path-shaped
+//!   reachability query totals O(edges) across *all* its iterations
+//!   instead of O(n · iterations).
+//!
+//! `PORTNUM_FIXPOINT=dense` ([`fixpoint_override`]) pins every
+//! iteration to the dense pass — the always-correct baseline the
+//! frontier path is differentially pinned against and benchmarked
+//! over. Fixpoint instructions price into the shared work currency at
+//! twice their body's per-iteration work plus an `n/8` flip term (the
+//! flip-once amortization above), which keeps
+//! [`ModelChecker::estimate_work`] — and therefore serve admission —
+//! honest about iterate-until-stable batches. Fixpoint instructions
+//! run on the sequential instruction path (their *body* ops still
+//! chunk over the pool); scheduling one as a level-parallel chunk
+//! would nest pool dispatches from a worker thread.
+//!
 //! # Parallel execution
 //!
 //! [`Plan::execute`] runs on the persistent worker pool
@@ -260,6 +298,38 @@ pub fn delta_override() -> DeltaOverride {
     })
 }
 
+/// How the `PORTNUM_FIXPOINT` environment variable steers the
+/// iterate-until-stable executor (`eval_fixpoint_into`), parsed once
+/// per process by [`fixpoint_override`]. `dense` re-evaluates the
+/// whole body every Kleene iteration — always correct, never fast:
+/// the baseline the frontier path is differentially pinned against
+/// (the CI matrix drives the whole suite down it) and benchmarked
+/// over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixpointOverride {
+    /// After the first iteration, re-evaluate only the dirty frontier,
+    /// with the per-op n/4 dense fallback (the default).
+    Frontier,
+    /// Re-evaluate the whole body every iteration.
+    Dense,
+}
+
+/// How `PORTNUM_FIXPOINT` steers fixpoint iteration: `frontier`
+/// (default) or `dense`. Parsed once per process; like
+/// `PORTNUM_REVERSE` and `PORTNUM_DELTA`, an unrecognised value
+/// panics — a CI job pinning one implementation must not silently run
+/// another.
+pub fn fixpoint_override() -> FixpointOverride {
+    static MODE: OnceLock<FixpointOverride> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("PORTNUM_FIXPOINT").as_deref() {
+        Ok("dense") => FixpointOverride::Dense,
+        Ok("frontier") | Err(_) => FixpointOverride::Frontier,
+        Ok(other) => {
+            panic!("unrecognised PORTNUM_FIXPOINT value {other:?} (use frontier or dense)")
+        }
+    })
+}
+
 /// One plan instruction; operands are earlier instruction ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Op {
@@ -273,13 +343,26 @@ enum Op {
     /// `⟨α⟩≥grade φ` with `grade ≥ 1` over a stored relation (grade 0
     /// and missing relations fold away during lowering).
     Diamond { rel: u32, grade: usize, inner: u32 },
+    /// The enclosing fixpoint's accumulator. Body-local: never appears
+    /// in a plan's top-level instruction list.
+    Var,
+    /// The `k`-th external input of the enclosing fixpoint body (an
+    /// outer binder's accumulator, imported frame by frame).
+    /// Body-local, like [`Op::Var`].
+    Arg(u32),
+    /// `µX.φ` / `νX.φ`, iterated to stability by
+    /// [`eval_fixpoint_into`]; the payload indexes the plan's
+    /// [`FixBody`] table. Top-level fixpoints have no plan operands
+    /// (their bodies are self-contained), so this is a leaf to
+    /// [`Op::for_each_operand`].
+    Fixpoint(u32),
 }
 
 impl Op {
     /// Calls `f` on each operand instruction id.
     fn for_each_operand(self, mut f: impl FnMut(u32)) {
         match self {
-            Op::Top | Op::Bottom | Op::Prop(_) => {}
+            Op::Top | Op::Bottom | Op::Prop(_) | Op::Var | Op::Arg(_) | Op::Fixpoint(_) => {}
             Op::Not(a) | Op::Diamond { inner: a, .. } => f(a),
             Op::And(a, b) | Op::Or(a, b) => {
                 f(a);
@@ -287,6 +370,27 @@ impl Op {
             }
         }
     }
+}
+
+/// One fixpoint body: a self-contained linear instruction list
+/// evaluated once per Kleene iteration. Body ids are body-local and
+/// ascending (operands precede consumers, the lowering order); the
+/// body is never compacted or level-scheduled — it executes in id
+/// order over a dense per-op value store that persists across
+/// iterations so the frontier pass can repair it in place.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FixBody {
+    /// `true` for ν (iterate from ⊤), `false` for µ (from ⊥).
+    greatest: bool,
+    /// Body instructions; operand ids are body-local.
+    ops: Vec<Op>,
+    /// The body op whose value is the next accumulator.
+    root: u32,
+    /// External inputs, as instruction ids in the *enclosing* body
+    /// (`Op::Arg(k)` reads the k-th entry). Always empty for a
+    /// top-level body: only outer binder accumulators are importable,
+    /// and at the plan level there are none.
+    args: Vec<u32>,
 }
 
 /// Lowering statistics — the observability hook for structural dedup.
@@ -327,6 +431,21 @@ pub struct ExecStats {
     /// Instructions executed concurrently with same-level siblings
     /// (instruction-level parallelism over the plan DAG).
     pub level_parallel_ops: usize,
+    /// Fixpoint instructions executed (each runs one
+    /// iterate-until-stable loop over its body).
+    pub fixpoints: usize,
+    /// Total Kleene iterations across all fixpoint instructions
+    /// (nested fixpoints included).
+    pub fixpoint_iters: usize,
+    /// World-bits re-evaluated by frontier iteration passes: the
+    /// point-repaired candidate worlds, plus `n` for every body op
+    /// that fell back to a dense recompute. The o(n · iters) figure
+    /// the differential suite pins on path-shaped models.
+    pub fixpoint_frontier_worlds: usize,
+    /// Whole-body dense evaluation passes: the first iteration of
+    /// every fixpoint, and every iteration under
+    /// `PORTNUM_FIXPOINT=dense`.
+    pub fixpoint_dense_passes: usize,
     /// The pool's measured per-dispatch coordination cost in
     /// nanoseconds ([`WorkerPool::dispatch_cost_ns`], calibrated once
     /// at pool construction) when this run dispatched any pool call,
@@ -349,6 +468,10 @@ impl ExecStats {
         self.csc_diamonds += other.csc_diamonds;
         self.chunked_ops += other.chunked_ops;
         self.level_parallel_ops += other.level_parallel_ops;
+        self.fixpoints += other.fixpoints;
+        self.fixpoint_iters += other.fixpoint_iters;
+        self.fixpoint_frontier_worlds += other.fixpoint_frontier_worlds;
+        self.fixpoint_dense_passes += other.fixpoint_dense_passes;
         self.dispatch_cost_ns = self.dispatch_cost_ns.max(other.dispatch_cost_ns);
     }
 }
@@ -365,6 +488,40 @@ enum Parallelism {
     Off,
 }
 
+/// One in-progress fixpoint body during lowering: the frame of a µ/ν
+/// binder whose body is still being lowered. Body ops intern into the
+/// frame's own list and cons table — body ids are meaningless outside
+/// their body, so nothing here may leak into (or read from) the plan
+/// tables.
+#[derive(Debug)]
+struct Frame {
+    /// Unique consing context of this binder *site*; see
+    /// [`Lowerer::bodies_cons`].
+    ctx: u32,
+    /// The variable this frame's binder bound.
+    var: std::sync::Arc<str>,
+    ops: Vec<Op>,
+    cons: FxHashMap<Op, u32>,
+    /// External inputs imported so far (ids in the enclosing context).
+    args: Vec<u32>,
+    /// Enclosing-context id → local `Arg` op id, so one outer value is
+    /// imported once however often it is referenced.
+    arg_memo: FxHashMap<u32, u32>,
+}
+
+impl Frame {
+    fn intern(&mut self, op: Op) -> u32 {
+        if let Some(&id) = self.cons.get(&op) {
+            return id;
+        }
+        let id =
+            u32::try_from(self.ops.len()).expect("fixpoint bodies are capped at 2^32 instructions");
+        self.cons.insert(op, id);
+        self.ops.push(op);
+        id
+    }
+}
+
 /// Reusable lowering state: the instruction list, the structural
 /// hash-cons table, and the pointer memo short-circuiting re-lowering
 /// of `Arc`-shared subtrees.
@@ -373,12 +530,42 @@ struct Lowerer {
     ops: Vec<Op>,
     cons: FxHashMap<Op, u32>,
     ptr_memo: FxHashMap<*const FormulaKind, u32>,
+    /// Completed fixpoint bodies, indexed by [`Op::Fixpoint`]'s
+    /// payload. Nested bodies complete before their parents, so a
+    /// body's nested `Fixpoint` ops always reference lower indices.
+    bodies: Vec<FixBody>,
+    /// Structural body dedup, keyed by *site context* as well as
+    /// content: a body's args are ids in its enclosing context, so two
+    /// structurally equal bodies may only merge when that context is
+    /// shared (0 = the plan level, where args are always empty; each
+    /// binder frame gets a fresh context id).
+    bodies_cons: FxHashMap<(u32, FixBody), u32>,
+    /// Open binder frames, innermost last. Empty outside fixpoint
+    /// lowering — the fast path.
+    frames: Vec<Frame>,
+    /// Context-id allocator for frames (0 is reserved for the plan).
+    next_ctx: u32,
     ast_nodes: usize,
     dedup_hits: usize,
 }
 
 impl Lowerer {
+    /// The op behind `id` *in the current lowering context* (the
+    /// innermost open frame, or the plan when no binder is open).
+    fn op_at(&self, id: u32) -> Op {
+        match self.frames.last() {
+            Some(frame) => frame.ops[id as usize],
+            None => self.ops[id as usize],
+        }
+    }
+
     fn intern(&mut self, op: Op) -> u32 {
+        if let Some(frame) = self.frames.last_mut() {
+            if frame.cons.contains_key(&op) {
+                self.dedup_hits += 1;
+            }
+            return frame.intern(op);
+        }
         if let Some(&id) = self.cons.get(&op) {
             self.dedup_hits += 1;
             return id;
@@ -390,7 +577,7 @@ impl Lowerer {
     }
 
     fn mk_not(&mut self, a: u32) -> u32 {
-        match self.ops[a as usize] {
+        match self.op_at(a) {
             Op::Not(inner) => {
                 self.dedup_hits += 1;
                 inner
@@ -407,7 +594,7 @@ impl Lowerer {
             self.dedup_hits += 1;
             return a;
         }
-        match (self.ops[a as usize], self.ops[b as usize]) {
+        match (self.op_at(a), self.op_at(b)) {
             (Op::Bottom, _) | (_, Op::Bottom) => self.intern(Op::Bottom),
             (Op::Top, _) => {
                 self.dedup_hits += 1;
@@ -427,7 +614,7 @@ impl Lowerer {
             self.dedup_hits += 1;
             return a;
         }
-        match (self.ops[a as usize], self.ops[b as usize]) {
+        match (self.op_at(a), self.op_at(b)) {
             (Op::Top, _) | (_, Op::Top) => self.intern(Op::Top),
             (Op::Bottom, _) => {
                 self.dedup_hits += 1;
@@ -441,11 +628,90 @@ impl Lowerer {
         }
     }
 
+    /// Lowers a fixpoint variable reference: the accumulator read
+    /// interns as [`Op::Var`] in its *binding* frame, then is imported
+    /// down through every intervening frame as an [`Op::Arg`] — each
+    /// body only ever reads its own ops.
+    fn lower_var(&mut self, name: &str) -> Result<u32, LogicError> {
+        let Some(fi) = self.frames.iter().rposition(|f| *f.var == *name) else {
+            return Err(LogicError::UnboundVariable { name: name.to_string() });
+        };
+        let mut id = self.frames[fi].intern(Op::Var);
+        for i in fi + 1..self.frames.len() {
+            let frame = &mut self.frames[i];
+            id = match frame.arg_memo.get(&id) {
+                Some(&local) => local,
+                None => {
+                    let k = u32::try_from(frame.args.len())
+                        .expect("fixpoint bodies are capped at 2^32 external inputs");
+                    frame.args.push(id);
+                    let local = frame.intern(Op::Arg(k));
+                    frame.arg_memo.insert(id, local);
+                    local
+                }
+            };
+        }
+        Ok(id)
+    }
+
+    /// Lowers a µ/ν binder: opens a fresh frame, lowers the body into
+    /// it, and interns the completed body as one [`Op::Fixpoint`]
+    /// instruction in the enclosing context.
+    fn lower_fixpoint(
+        &mut self,
+        model: &Kripke,
+        var: &std::sync::Arc<str>,
+        body: &Formula,
+        greatest: bool,
+    ) -> Result<u32, LogicError> {
+        self.next_ctx += 1;
+        self.frames.push(Frame {
+            ctx: self.next_ctx,
+            var: std::sync::Arc::clone(var),
+            ops: Vec::new(),
+            cons: FxHashMap::default(),
+            args: Vec::new(),
+            arg_memo: FxHashMap::default(),
+        });
+        // Pop the frame even when the body fails to lower: a
+        // ModelChecker's Lowerer outlives errors.
+        let root = match self.lower(model, body) {
+            Ok(root) => root,
+            Err(e) => {
+                self.frames.pop();
+                return Err(e);
+            }
+        };
+        let frame = self.frames.pop().expect("pushed above");
+        let fix = FixBody { greatest, ops: frame.ops, root, args: frame.args };
+        let site_ctx = self.frames.last().map_or(0, |f| f.ctx);
+        let b = match self.bodies_cons.get(&(site_ctx, fix.clone())) {
+            Some(&b) => {
+                self.dedup_hits += 1;
+                b
+            }
+            None => {
+                let b = u32::try_from(self.bodies.len()).expect("body indices fit u32");
+                self.bodies_cons.insert((site_ctx, fix.clone()), b);
+                self.bodies.push(fix);
+                b
+            }
+        };
+        Ok(self.intern(Op::Fixpoint(b)))
+    }
+
     fn lower(&mut self, model: &Kripke, formula: &Formula) -> Result<u32, LogicError> {
         let key = formula.kind() as *const FormulaKind;
-        if let Some(&id) = self.ptr_memo.get(&key) {
-            self.dedup_hits += 1;
-            return Ok(id);
+        // The pointer memo holds plan-context ids of (necessarily
+        // closed) subtrees lowered outside every binder, so it is
+        // sound to consult — and grow — only when no frame is open: a
+        // body-local id is meaningless elsewhere, and inside a frame
+        // even a closed subtree lowers to frame-local ops.
+        if self.frames.is_empty() {
+            if let Some(&id) = self.ptr_memo.get(&key) {
+                self.dedup_hits += 1;
+                return Ok(id);
+            }
         }
         self.ast_nodes += 1;
         let id = match formula.kind() {
@@ -481,9 +747,7 @@ impl Lowerer {
                     match model.relation_id(*index) {
                         None => self.intern(Op::Bottom),
                         // ⟨α⟩≥k ⊥ has no satisfying successor for k ≥ 1.
-                        Some(_) if self.ops[inner as usize] == Op::Bottom => {
-                            self.intern(Op::Bottom)
-                        }
+                        Some(_) if self.op_at(inner) == Op::Bottom => self.intern(Op::Bottom),
                         Some(r) => self.intern(Op::Diamond {
                             rel: u32::try_from(r).expect("relation ids fit u32"),
                             grade: *grade,
@@ -492,8 +756,13 @@ impl Lowerer {
                     }
                 }
             }
+            FormulaKind::Var(name) => self.lower_var(name)?,
+            FormulaKind::Mu { var, body } => self.lower_fixpoint(model, var, body, false)?,
+            FormulaKind::Nu { var, body } => self.lower_fixpoint(model, var, body, true)?,
         };
-        self.ptr_memo.insert(key, id);
+        if self.frames.is_empty() {
+            self.ptr_memo.insert(key, id);
+        }
         Ok(id)
     }
 }
@@ -528,6 +797,10 @@ impl Lowerer {
 pub struct Plan {
     n: usize,
     ops: Vec<Op>,
+    /// Fixpoint bodies, indexed by [`Op::Fixpoint`] payloads (possibly
+    /// including bodies orphaned by folds; body ids are not compacted
+    /// — a dead body is never executed, and bodies are small).
+    bodies: Vec<FixBody>,
     /// Output slot of each instruction.
     dst: Vec<u32>,
     slot_count: usize,
@@ -582,12 +855,21 @@ impl Plan {
         for f in formulas {
             roots.push(lw.lower(model, f)?);
         }
-        Ok(Plan::finish(model.len(), lw.ops, roots, lw.ast_nodes, lw.dedup_hits))
+        Ok(Plan::finish(model.len(), lw.ops, lw.bodies, roots, lw.ast_nodes, lw.dedup_hits))
     }
 
     /// Compacts to the live instructions, assigns recycled slots, and
-    /// freezes the statistics.
-    fn finish(n: usize, ops: Vec<Op>, roots: Vec<u32>, ast_nodes: usize, dedup: usize) -> Plan {
+    /// freezes the statistics. Fixpoint bodies are self-contained
+    /// (body-local ids, no plan references either way), so compaction
+    /// never rewrites them.
+    fn finish(
+        n: usize,
+        ops: Vec<Op>,
+        bodies: Vec<FixBody>,
+        roots: Vec<u32>,
+        ast_nodes: usize,
+        dedup: usize,
+    ) -> Plan {
         // Reachability from the roots: folds may have orphaned subtrees.
         let mut live = vec![false; ops.len()];
         let mut stack: Vec<u32> = roots.clone();
@@ -607,13 +889,14 @@ impl Plan {
                 continue;
             }
             let rewritten = match op {
-                Op::Top | Op::Bottom | Op::Prop(_) => op,
+                Op::Top | Op::Bottom | Op::Prop(_) | Op::Fixpoint(_) => op,
                 Op::Not(a) => Op::Not(remap[a as usize]),
                 Op::And(a, b) => Op::And(remap[a as usize], remap[b as usize]),
                 Op::Or(a, b) => Op::Or(remap[a as usize], remap[b as usize]),
                 Op::Diamond { rel, grade, inner } => {
                     Op::Diamond { rel, grade, inner: remap[inner as usize] }
                 }
+                Op::Var | Op::Arg(_) => unreachable!("Var/Arg live only inside fixpoint bodies"),
             };
             remap[id] = compact.len() as u32;
             compact.push(rewritten);
@@ -692,7 +975,7 @@ impl Plan {
             dedup_hits: dedup,
             slots: slot_count,
         };
-        Plan { n, ops: compact, dst, slot_count, sched, level_bounds, roots, stats }
+        Plan { n, ops: compact, bodies, dst, slot_count, sched, level_bounds, roots, stats }
     }
 
     /// Lowering statistics (instruction, dedup, and slot counts).
@@ -724,7 +1007,7 @@ impl Plan {
     /// this to cost a compiled suite before committing an executor to
     /// it.
     pub fn estimated_work(&self, model: &Kripke) -> usize {
-        self.ops.iter().map(|&op| op_work_for(model, op)).sum()
+        self.ops.iter().map(|&op| op_work_for(model, &self.bodies, op)).sum()
     }
 
     /// Executes with [`DiamondMode::Auto`]; returns one truth vector
@@ -831,7 +1114,7 @@ impl Plan {
     /// `Prop` compares one degree per world, diamonds sweep every
     /// world plus every stored successor pair.
     fn op_work(&self, model: &Kripke, id: u32) -> usize {
-        op_work_for(model, self.ops[id as usize])
+        op_work_for(model, &self.bodies, self.ops[id as usize])
     }
 
     fn execute_impl(
@@ -878,8 +1161,15 @@ impl Plan {
             // dominates the level: a level that is mostly one heavy
             // diamond speeds up more by splitting that instruction's
             // world range (below) than by running its cheap siblings
-            // alongside it.
-            if ids.len() > 1 && threads(level_work) > 1 && heaviest * 2 <= level_work {
+            // alongside it. Levels carrying a fixpoint stay on the
+            // sequential path: the iterate-until-stable loop chunks
+            // its own body ops over the pool, and a pool worker must
+            // never dispatch a nested pool call.
+            if ids.len() > 1
+                && threads(level_work) > 1
+                && heaviest * 2 <= level_work
+                && !ids.iter().any(|&id| matches!(self.ops[id as usize], Op::Fixpoint(_)))
+            {
                 fail::fail_point!("plan-instr");
                 touched += level_work;
                 ctl.check_work(touched)?;
@@ -899,6 +1189,22 @@ impl Plan {
                 // contents are stale by design).
                 let mut out = std::mem::take(&mut slots[dst]);
                 let op = self.ops[id as usize];
+                if let Op::Fixpoint(b) = op {
+                    eval_fixpoint_into(
+                        model,
+                        mode,
+                        &self.bodies,
+                        b,
+                        &|a| &slots[self.dst[a as usize] as usize],
+                        &mut out,
+                        &mut stats,
+                        ctl,
+                        &threads,
+                    )?;
+                    stats.executed += 1;
+                    slots[dst] = out;
+                    continue;
+                }
                 let op_threads = match op {
                     Op::Prop(_) | Op::Diamond { .. } => threads(self.op_work(model, id)),
                     _ => 1,
@@ -1001,16 +1307,29 @@ impl Plan {
 /// currency as [`threads_for`]'s gate (refinement signature words
 /// ≈ a few ns each): connectives are word-parallel (`n/64`),
 /// `Prop` compares one degree per world, diamonds sweep every
-/// world plus every stored successor pair. Shared by [`Plan`]'s
-/// executor and [`ModelChecker`]'s touched-work budget so both price
-/// budgets in one currency.
-fn op_work_for(model: &Kripke, op: Op) -> usize {
+/// world plus every stored successor pair. A fixpoint prices at twice
+/// its body's per-iteration work plus an `n/8` flip term: frontier
+/// iteration flips each world at most once (monotone bodies), so
+/// total work is a small multiple of one dense pass plus the flip
+/// volume — this is what makes [`ModelChecker::estimate_work`]
+/// iteration-aware for serve admission. Shared by [`Plan`]'s executor
+/// and [`ModelChecker`]'s touched-work budget so both price budgets
+/// in one currency.
+fn op_work_for(model: &Kripke, bodies: &[FixBody], op: Op) -> usize {
     let n = model.len();
     match op {
         Op::Prop(_) => n / 8,
         Op::Diamond { rel, .. } => {
             let (_, targets) = model.relation_rows(rel as usize);
             (n + targets.len()) / 4
+        }
+        Op::Fixpoint(b) => {
+            let per_iter: usize = bodies[b as usize]
+                .ops
+                .iter()
+                .map(|&body_op| op_work_for(model, bodies, body_op))
+                .sum();
+            2 * per_iter + n / 8
         }
         _ => n / 64,
     }
@@ -1048,7 +1367,333 @@ fn eval_op_into<'a>(
         Op::Diamond { rel, grade, inner } => {
             diamond_into(model, mode, rel as usize, grade, operand(inner), out, stats);
         }
+        Op::Var | Op::Arg(_) => {
+            unreachable!("Var/Arg are body-local leaves resolved by the fixpoint executor")
+        }
+        Op::Fixpoint(_) => {
+            unreachable!("fixpoint instructions dispatch through eval_fixpoint_into")
+        }
     }
+}
+
+/// One dense evaluation pass over a fixpoint body: every op, every
+/// world, in body id order (operands precede consumers) — the same
+/// engine as the straight-line executor, with `Var` reading the
+/// current accumulator and `Arg` the resolved external inputs. Heavy
+/// `Prop`/`Diamond` body ops chunk over the pool exactly as top-level
+/// instructions do.
+#[allow(clippy::too_many_arguments)]
+fn body_dense_pass(
+    model: &Kripke,
+    mode: DiamondMode,
+    bodies: &[FixBody],
+    body: &FixBody,
+    x: &Bitset,
+    arg_vals: &[&Bitset],
+    vals: &mut [Bitset],
+    stats: &mut ExecStats,
+    ctl: &ExecControl,
+    threads: &(dyn Fn(usize) -> usize + Sync),
+) -> Result<(), Interrupted> {
+    for i in 0..body.ops.len() {
+        let op = body.ops[i];
+        // Take the value slot so sibling slots stay borrowable; every
+        // arm fully overwrites it.
+        let mut out = std::mem::take(&mut vals[i]);
+        match op {
+            Op::Var => out.copy_from(x),
+            Op::Arg(k) => out.copy_from(arg_vals[k as usize]),
+            Op::Fixpoint(b) => {
+                eval_fixpoint_into(
+                    model,
+                    mode,
+                    bodies,
+                    b,
+                    &|a| &vals[a as usize],
+                    &mut out,
+                    stats,
+                    ctl,
+                    threads,
+                )?;
+            }
+            _ => {
+                let op_threads = match op {
+                    Op::Prop(_) | Op::Diamond { .. } => threads(op_work_for(model, bodies, op)),
+                    _ => 1,
+                };
+                if op_threads > 1 {
+                    eval_op_chunked(model, mode, op, |a| &vals[a as usize], &mut out, stats, op_threads);
+                } else {
+                    eval_op_into(model, mode, op, |a| &vals[a as usize], &mut out, stats);
+                }
+            }
+        }
+        vals[i] = out;
+    }
+    Ok(())
+}
+
+/// One frontier pass over a fixpoint body: repairs the persistent
+/// per-op values in place, re-evaluating each op only at its
+/// *candidate* worlds — those whose value can have moved given the
+/// flips recorded one operand upstream (`x_changed`, the accumulator's
+/// flips, seeds the `Var` op). Semantically
+/// `eval_op_into(..).get(v)` per candidate, so the repaired values are
+/// bit-identical to a dense pass — the contract the differential µ
+/// suite pins. Flips land in `changed[i]` (ascending, deduplicated);
+/// `changed[body.root]` is the accumulator's next flip set.
+#[allow(clippy::too_many_arguments)]
+fn body_frontier_pass(
+    model: &Kripke,
+    mode: DiamondMode,
+    bodies: &[FixBody],
+    body: &FixBody,
+    x: &Bitset,
+    x_changed: &[u32],
+    vals: &mut [Bitset],
+    changed: &mut [Vec<u32>],
+    stats: &mut ExecStats,
+    ctl: &ExecControl,
+    threads: &(dyn Fn(usize) -> usize + Sync),
+) -> Result<(), Interrupted> {
+    let n = model.len();
+    let dense = |d: usize| d * 4 >= n;
+    for i in 0..body.ops.len() {
+        let op = body.ops[i];
+        // A nested fixpoint re-runs whenever any of its external
+        // inputs flipped (its own executor starts dense again — its
+        // accumulator restarts from ⊥/⊤, so stale per-iteration state
+        // cannot be reused); the flips its consumers need fall out of
+        // a word diff.
+        if let Op::Fixpoint(b) = op {
+            let stale = bodies[b as usize].args.iter().any(|&a| !changed[a as usize].is_empty());
+            let (prev_changed, rest_changed) = changed.split_at_mut(i);
+            let flips = &mut rest_changed[0];
+            flips.clear();
+            if stale {
+                let (prev, rest) = vals.split_at_mut(i);
+                let cur = &mut rest[0];
+                let mut next = Bitset::default();
+                eval_fixpoint_into(
+                    model,
+                    mode,
+                    bodies,
+                    b,
+                    &|a| &prev[a as usize],
+                    &mut next,
+                    stats,
+                    ctl,
+                    threads,
+                )?;
+                cur.for_each_difference(&next, |v| flips.push(v as u32));
+                *cur = next;
+            }
+            let _ = prev_changed;
+            continue;
+        }
+        // Candidate dirty worlds, ascending and deduplicated.
+        let candidates: Vec<u32> = match op {
+            // Inputs are fixed for the whole fixpoint run: the model
+            // does not change between iterations, and external args
+            // are resolved once at entry.
+            Op::Top | Op::Bottom | Op::Prop(_) | Op::Arg(_) => Vec::new(),
+            Op::Var => x_changed.to_vec(),
+            Op::Not(a) => changed[a as usize].clone(),
+            Op::And(a, b) | Op::Or(a, b) => {
+                let mut c: Vec<u32> =
+                    changed[a as usize].iter().chain(&changed[b as usize]).copied().collect();
+                c.sort_unstable();
+                c.dedup();
+                c
+            }
+            Op::Diamond { rel, inner, .. } => {
+                let inner_changed = &changed[inner as usize];
+                let mut c = Vec::new();
+                if !inner_changed.is_empty() {
+                    let csc = model.predecessors_csc(rel as usize);
+                    for &w in inner_changed {
+                        c.extend_from_slice(csc.row(w as usize));
+                    }
+                    c.sort_unstable();
+                    c.dedup();
+                }
+                c
+            }
+            Op::Fixpoint(_) => unreachable!("handled above"),
+        };
+        let (_, rest_changed) = changed.split_at_mut(i);
+        let flips = &mut rest_changed[0];
+        flips.clear();
+        if candidates.is_empty() {
+            continue;
+        }
+        let (prev, rest) = vals.split_at_mut(i);
+        let cur = &mut rest[0];
+        if dense(candidates.len()) {
+            // Past a quarter of the universe the vectorized sweep
+            // beats point lookups — the same crossover as delta
+            // repair; the flips still come cheap off a word diff.
+            stats.fixpoint_frontier_worlds += n;
+            let mut next = Bitset::default();
+            match op {
+                Op::Var => next.copy_from(x),
+                _ => eval_op_into(model, mode, op, |a| &prev[a as usize], &mut next, stats),
+            }
+            cur.for_each_difference(&next, |v| flips.push(v as u32));
+            *cur = next;
+            continue;
+        }
+        stats.fixpoint_frontier_worlds += candidates.len();
+        // One dispatch per op, tight point loops per candidate —
+        // mirroring the delta-repair arms.
+        match op {
+            Op::Var => {
+                for &v in &candidates {
+                    let now = x.get(v as usize);
+                    if cur.get(v as usize) != now {
+                        cur.set(v as usize, now);
+                        flips.push(v);
+                    }
+                }
+            }
+            Op::Not(a) => {
+                let a = &prev[a as usize];
+                for &v in &candidates {
+                    let now = !a.get(v as usize);
+                    if cur.get(v as usize) != now {
+                        cur.set(v as usize, now);
+                        flips.push(v);
+                    }
+                }
+            }
+            Op::And(a, b) => {
+                let (a, b) = (&prev[a as usize], &prev[b as usize]);
+                for &v in &candidates {
+                    let now = a.get(v as usize) && b.get(v as usize);
+                    if cur.get(v as usize) != now {
+                        cur.set(v as usize, now);
+                        flips.push(v);
+                    }
+                }
+            }
+            Op::Or(a, b) => {
+                let (a, b) = (&prev[a as usize], &prev[b as usize]);
+                for &v in &candidates {
+                    let now = a.get(v as usize) || b.get(v as usize);
+                    if cur.get(v as usize) != now {
+                        cur.set(v as usize, now);
+                        flips.push(v);
+                    }
+                }
+            }
+            Op::Diamond { rel, grade, inner } => {
+                let sat = &prev[inner as usize];
+                for &v in &candidates {
+                    let mut count = 0usize;
+                    let mut now = false;
+                    for &w in model.successors_dense(rel as usize, v as usize) {
+                        if sat.get(w as usize) {
+                            count += 1;
+                            if count >= grade {
+                                now = true;
+                                break;
+                            }
+                        }
+                    }
+                    if cur.get(v as usize) != now {
+                        cur.set(v as usize, now);
+                        flips.push(v);
+                    }
+                }
+            }
+            Op::Top | Op::Bottom | Op::Prop(_) | Op::Arg(_) | Op::Fixpoint(_) => {
+                unreachable!("ops without candidates are skipped above")
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Iterate-until-stable evaluation of one [`Op::Fixpoint`]
+/// instruction: Kleene iteration of `bodies[b]` from ⊥ (µ) or ⊤ (ν),
+/// with the first iteration dense and every later one a frontier pass
+/// (unless `PORTNUM_FIXPOINT=dense` pins the baseline) — see the
+/// module docs. The accumulator is advanced by applying the root op's
+/// recorded flips, so a frontier iteration costs O(frontier); the
+/// empty flip set is the convergence test. `arg_of` resolves the
+/// body's external inputs in the enclosing context (plan slots,
+/// checker caches, or an enclosing body's value store — never invoked
+/// for a top-level fixpoint, whose body is closed).
+///
+/// Bit-identical to the naive Kleene reference: every pass computes
+/// exactly `body(Xᵢ)` (ops are deterministic functions of their
+/// operands, and point repair re-evaluates the same function
+/// per world), and both engines stop at the first `Xᵢ₊₁ = Xᵢ`.
+///
+/// # Errors
+///
+/// [`Interrupted`] when `ctl` trips — checked every iteration, so
+/// cancel latency is bounded by one body pass.
+#[allow(clippy::too_many_arguments)]
+fn eval_fixpoint_into<'a>(
+    model: &Kripke,
+    mode: DiamondMode,
+    bodies: &[FixBody],
+    b: u32,
+    arg_of: &dyn Fn(u32) -> &'a Bitset,
+    out: &mut Bitset,
+    stats: &mut ExecStats,
+    ctl: &ExecControl,
+    threads: &(dyn Fn(usize) -> usize + Sync),
+) -> Result<(), Interrupted> {
+    let body = &bodies[b as usize];
+    let n = model.len();
+    let arg_vals: Vec<&Bitset> = body.args.iter().map(|&a| arg_of(a)).collect();
+    let mut vals: Vec<Bitset> = (0..body.ops.len()).map(|_| Bitset::default()).collect();
+    let mut changed: Vec<Vec<u32>> = vec![Vec::new(); body.ops.len()];
+    let mut x = if body.greatest { Bitset::ones(n) } else { Bitset::zeros(n) };
+    let mut x_changed: Vec<u32> = Vec::new();
+    let frontier = fixpoint_override() == FixpointOverride::Frontier;
+    stats.fixpoints += 1;
+    let mut iters = 0usize;
+    loop {
+        // Chaos site at the iteration boundary: all iteration state is
+        // call-local, so a panic or interruption mid-fixpoint
+        // publishes nothing and a retry is bit-identical.
+        fail::fail_point!("plan-fixpoint-iter");
+        ctl.check()?;
+        iters += 1;
+        // Positivity is checked at construction, so a monotone body
+        // converges within n + 1 root evaluations; anything more means
+        // the accumulator oscillated.
+        assert!(iters <= n + 2, "fixpoint failed to converge: body not monotone?");
+        stats.fixpoint_iters += 1;
+        if iters == 1 || !frontier {
+            stats.fixpoint_dense_passes += 1;
+            body_dense_pass(model, mode, bodies, body, &x, &arg_vals, &mut vals, stats, ctl, threads)?;
+            x_changed.clear();
+            x.for_each_difference(&vals[body.root as usize], |v| x_changed.push(v as u32));
+        } else {
+            body_frontier_pass(
+                model, mode, bodies, body, &x, &x_changed, &mut vals, &mut changed, stats, ctl,
+                threads,
+            )?;
+            x_changed.clear();
+            x_changed.extend_from_slice(&changed[body.root as usize]);
+        }
+        if x_changed.is_empty() {
+            break;
+        }
+        // Advance the accumulator by its flips — O(frontier), not
+        // O(n), which is what keeps total fixpoint cost proportional
+        // to flip volume instead of n × iterations.
+        let root_val = &vals[body.root as usize];
+        for &v in &x_changed {
+            x.set(v as usize, root_val.get(v as usize));
+        }
+    }
+    out.copy_from(&x);
+    Ok(())
 }
 
 /// The three diamond implementations (see the module docs).
@@ -1628,6 +2273,11 @@ pub struct CheckerStats {
     pub reverse_diamonds: usize,
     /// See [`CheckerStats::forward_diamonds`].
     pub csc_diamonds: usize,
+    /// Kleene iterations executed across all fixpoint instructions
+    /// (each fixpoint converges within `n + 1` root evaluations by
+    /// monotonicity; the figure the iteration-aware work estimate
+    /// prices).
+    pub fixpoint_iters: usize,
 }
 
 /// What one [`ModelChecker::resume`] repair pass did — the
@@ -1884,7 +2534,7 @@ impl<'m> ModelChecker<'m> {
             {
                 continue;
             }
-            work += op_work_for(self.model, self.lw.ops[id as usize]);
+            work += op_work_for(self.model, &self.lw.bodies, self.lw.ops[id as usize]);
             self.lw.ops[id as usize].for_each_operand(|a| stack.push(a));
         }
         Ok(work)
@@ -1940,7 +2590,7 @@ impl<'m> ModelChecker<'m> {
             // Chaos site at the checker's instruction boundary; see the
             // staging contract above.
             fail::fail_point!("checker-instr");
-            touched += op_work_for(self.model, self.lw.ops[id as usize]);
+            touched += op_work_for(self.model, &self.lw.bodies, self.lw.ops[id as usize]);
             ctl.check_work(touched)?;
             let mut out = Bitset::default();
             let results = &self.results;
@@ -1955,7 +2605,24 @@ impl<'m> ModelChecker<'m> {
                     &staged[at].1
                 })
             };
-            eval_op_into(self.model, self.mode, self.lw.ops[id as usize], operand, &mut out, &mut exec);
+            if let Op::Fixpoint(b) = self.lw.ops[id as usize] {
+                // Top-level fixpoint bodies are closed (a free variable is
+                // a lowering error), so the arg resolver is never called;
+                // the iteration runs sequentially inside the checker.
+                eval_fixpoint_into(
+                    self.model,
+                    self.mode,
+                    &self.lw.bodies,
+                    b,
+                    &operand,
+                    &mut out,
+                    &mut exec,
+                    ctl,
+                    &|_| 1,
+                )?;
+            } else {
+                eval_op_into(self.model, self.mode, self.lw.ops[id as usize], operand, &mut out, &mut exec);
+            }
             staged.push((id, Rc::new(out)));
         }
         let root_vecs = roots
@@ -2128,6 +2795,36 @@ impl<'m> ModelChecker<'m> {
         for id in 0..self.results.len() {
             let Some(existing) = self.results[id].take() else { continue };
             let op = self.lw.ops[id];
+            if let Op::Fixpoint(b) = op {
+                // A fixpoint reads the model at unbounded modal depth, so
+                // no frontier bound holds after a delta: rebuild it
+                // wholesale (its own executor still iterates by frontier)
+                // and let the word diff drive downstream consumers.
+                let results = &self.results;
+                let operand = |a: u32| -> &Bitset {
+                    results[a as usize]
+                        .as_deref()
+                        .expect("cached consumers have cached operands")
+                };
+                let mut out = Bitset::default();
+                eval_fixpoint_into(
+                    model,
+                    self.mode,
+                    &self.lw.bodies,
+                    b,
+                    &operand,
+                    &mut out,
+                    &mut exec,
+                    &ExecControl::unrestricted(),
+                    &|_| 1,
+                )
+                .expect("unrestricted control never interrupts");
+                existing.for_each_difference(&out, |v| changed[id].push(v as u32));
+                stats.rebuilt_vectors += 1;
+                self.computed += 1;
+                self.results[id] = Some(Rc::new(out));
+                continue;
+            }
             // Candidate dirty worlds, sorted ascending and deduplicated.
             let candidates: Vec<u32> = match op {
                 // Constant vectors cannot be dirtied.
@@ -2154,6 +2851,8 @@ impl<'m> ModelChecker<'m> {
                     }
                     c
                 }
+                Op::Var | Op::Arg(_) => unreachable!("Var/Arg live only inside fixpoint bodies"),
+                Op::Fixpoint(_) => unreachable!("fixpoints are rebuilt wholesale above"),
             };
             if candidates.is_empty() {
                 self.results[id] = Some(existing);
@@ -2254,6 +2953,9 @@ impl<'m> ModelChecker<'m> {
                             flips.push(v);
                         }
                     }
+                }
+                Op::Var | Op::Arg(_) | Op::Fixpoint(_) => {
+                    unreachable!("never point-repaired: no candidates or handled above")
                 }
             }
             stats.repaired_vectors += 1;
@@ -2363,6 +3065,7 @@ impl<'m> ModelChecker<'m> {
             forward_diamonds: self.exec.forward_diamonds,
             reverse_diamonds: self.exec.reverse_diamonds,
             csc_diamonds: self.exec.csc_diamonds,
+            fixpoint_iters: self.exec.fixpoint_iters,
         }
     }
 }
@@ -3085,5 +3788,175 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[0], out[1]);
         assert_eq!(out[1], out[2]);
+    }
+
+    #[test]
+    fn fixpoint_override_knob_parses_or_panics() {
+        // Same contract as PORTNUM_REVERSE / PORTNUM_DELTA: CI's dense
+        // baseline leg must never silently run the frontier path.
+        let _ = fixpoint_override();
+    }
+
+    /// Closed fixpoint formulas exercising µ, ν, nesting, boolean
+    /// structure around binders, and grades inside bodies.
+    fn fixpoint_suite() -> Vec<Formula> {
+        let parse = |s: &str| crate::parser::parse(s).unwrap();
+        vec![
+            parse("mu X . X"),
+            parse("nu X . X"),
+            parse("mu X . q2 | <*,*> X"),
+            parse("nu X . q2 & <*,*> X"),
+            parse("mu X . q1 | <*,*>>=2 X"),
+            parse("(mu X . q2 | <*,*> X) & !(nu Y . <*,*> Y)"),
+            parse("nu Y . mu X . (q1 & Y) | <*,*> X"),
+        ]
+    }
+
+    /// The [`fixpoint_suite`] shapes rebuilt over `index`, so each
+    /// canonical variant gets fixpoints in its own modal family.
+    fn fixpoint_suite_with(index: ModalIndex) -> Vec<Formula> {
+        let x = Formula::var("X");
+        let reach =
+            Formula::mu("X", &Formula::prop(2).or(&Formula::diamond(index, &x))).unwrap();
+        let safe = Formula::nu("X", &Formula::prop(2).and(&Formula::diamond(index, &x))).unwrap();
+        let graded =
+            Formula::mu("X", &Formula::prop(1).or(&Formula::diamond_geq(index, 2, &x))).unwrap();
+        let nested = Formula::nu(
+            "Y",
+            &Formula::mu(
+                "X",
+                &Formula::prop(1).and(&Formula::var("Y")).or(&Formula::diamond(index, &x)),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        vec![reach.clone(), safe.clone(), graded, reach.and(&safe.not()), nested]
+    }
+
+    #[test]
+    fn fixpoint_plans_match_kleene_reference_on_all_variants() {
+        let g = generators::figure1_graph();
+        let p = PortNumbering::consistent(&g);
+        let models =
+            [Kripke::k_pp(&g, &p), Kripke::k_mp(&g, &p), Kripke::k_pm(&g, &p), Kripke::k_mm(&g)];
+        for k in &models {
+            let index = k.indices().next().unwrap();
+            for f in fixpoint_suite_with(index) {
+                let plan = Plan::compile(k, &f).unwrap();
+                let want = evaluate_packed_recursive(k, &f).unwrap();
+                for mode in
+                    [DiamondMode::Auto, DiamondMode::Forward, DiamondMode::Reverse, DiamondMode::Csc]
+                {
+                    let (mut got, stats) = plan.execute_with(k, mode);
+                    assert_eq!(got.pop().unwrap(), want, "{f} under {mode:?} on {:?}", k.variant());
+                    assert!(stats.fixpoints > 0, "{f} lowered without a fixpoint instruction");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_trivial_bodies_converge_immediately() {
+        let k = Kripke::k_mm(&generators::cycle(5));
+        let mu = Plan::compile(&k, &crate::parser::parse("mu X . X").unwrap()).unwrap();
+        let (out, stats) = mu.execute_with(&k, DiamondMode::Auto);
+        assert!(out[0].none(), "µX.X is ⊥");
+        assert_eq!(stats.fixpoint_iters, 1, "⊥ is already a fixed point");
+        let nu = Plan::compile(&k, &crate::parser::parse("nu X . X").unwrap()).unwrap();
+        let (out, _) = nu.execute_with(&k, DiamondMode::Auto);
+        assert_eq!(out[0].count_ones(), k.len(), "νX.X is ⊤");
+    }
+
+    #[test]
+    fn fixpoint_reachability_iterates_and_frontier_stays_small() {
+        // One goal world at the far end of a path: reachability needs a
+        // full length-of-path sweep of iterations, but after the first
+        // (dense) iteration the wave front is O(1) worlds per step — the
+        // o(n·iters) pin. World n-1 of path(n) under K_MM has degree 1,
+        // like world 0; q1 marks both ends, and reachability from every
+        // world holds everywhere on an undirected path.
+        let n = 512;
+        let k = Kripke::k_mm(&generators::path(n));
+        let f = crate::parser::parse("mu X . q1 | <*,*> X").unwrap();
+        let plan = Plan::compile(&k, &f).unwrap();
+        let (out, stats) = plan.execute_with(&k, DiamondMode::Auto);
+        assert_eq!(out[0], evaluate_packed_recursive(&k, &f).unwrap());
+        assert!(stats.fixpoint_iters > n / 4, "a path forces a long iteration chain: {stats:?}");
+        if fixpoint_override() == FixpointOverride::Frontier {
+            assert_eq!(stats.fixpoint_dense_passes, 1, "only the first iteration is dense");
+            // Frontier accounting must beat whole-model re-evaluation by
+            // a wide margin: n per iteration would be n·iters ≈ n²/2.
+            let budget = 8 * n + stats.fixpoint_iters * 8;
+            assert!(
+                stats.fixpoint_frontier_worlds < budget,
+                "frontier touched {} worlds over {} iterations (budget {budget})",
+                stats.fixpoint_frontier_worlds,
+                stats.fixpoint_iters,
+            );
+        } else {
+            assert_eq!(stats.fixpoint_dense_passes, stats.fixpoint_iters);
+        }
+    }
+
+    #[test]
+    fn fixpoint_nested_matches_reference_under_forced_parallel() {
+        let k = Kripke::k_mm(&generators::grid(7, 7));
+        for f in fixpoint_suite() {
+            let plan = Plan::compile(&k, &f).unwrap();
+            let (seq, seq_stats) = plan.execute_with(&k, DiamondMode::Auto);
+            let (par, par_stats) = plan.execute_forced_parallel(&k, DiamondMode::Auto);
+            assert_eq!(seq, par, "{f}");
+            assert_eq!(seq_stats.executed, par_stats.executed);
+            assert_eq!(seq_stats.fixpoint_iters, par_stats.fixpoint_iters, "{f}");
+            assert_eq!(seq[0], evaluate_packed_recursive(&k, &f).unwrap(), "{f}");
+        }
+    }
+
+    #[test]
+    fn checker_caches_and_prices_fixpoints() {
+        let k = Kripke::k_mm(&generators::grid(5, 5));
+        let f = crate::parser::parse("mu X . q2 | <*,*> X").unwrap();
+        let mut checker = ModelChecker::new(&k);
+        // Fixpoints are priced above a plain diamond: the estimate must
+        // carry the iteration-aware 2× body + flip term.
+        let plain = crate::parser::parse("<*,*> q2").unwrap();
+        let fix_work = checker.estimate_work(std::slice::from_ref(&f)).unwrap();
+        let plain_work = checker.estimate_work(std::slice::from_ref(&plain)).unwrap();
+        assert!(fix_work > plain_work, "fixpoint priced {fix_work} ≤ diamond {plain_work}");
+        let first = checker.check(&f).unwrap();
+        assert_eq!(*first, evaluate_packed_recursive(&k, &f).unwrap());
+        assert!(checker.stats().fixpoint_iters > 0);
+        let iters_once = checker.stats().fixpoint_iters;
+        // A repeat is a pure cache hit: same vector, no new iterations,
+        // and the batch now prices as free.
+        let again = checker.check(&f).unwrap();
+        assert!(Rc::ptr_eq(&first, &again));
+        assert_eq!(checker.stats().fixpoint_iters, iters_once);
+        assert_eq!(checker.estimate_work(std::slice::from_ref(&f)).unwrap(), 0);
+    }
+
+    #[test]
+    fn checker_repair_matches_fresh_after_deltas_with_fixpoints() {
+        use crate::kripke::ModelDelta;
+        let mut k = Kripke::k_mm(&generators::path(24));
+        let mut checker = ModelChecker::new(&k);
+        for f in fixpoint_suite() {
+            checker.check(&f).unwrap();
+        }
+        // Cutting an edge splits the path: reachability answers genuinely
+        // change, so the repair has real flips to propagate.
+        let mut delta = ModelDelta::new();
+        delta.remove_edge(ModalIndex::Any, 11, 12).remove_edge(ModalIndex::Any, 12, 11);
+        let cache = checker.detach();
+        let touched = k.apply_delta(&delta).unwrap();
+        checker = ModelChecker::resume(&k, cache, &touched);
+        let mut fresh = ModelChecker::new(&k);
+        for f in fixpoint_suite() {
+            assert_eq!(
+                checker.check(&f).unwrap().to_bools(),
+                fresh.check(&f).unwrap().to_bools(),
+                "repaired fixpoint diverged on {f}"
+            );
+        }
     }
 }

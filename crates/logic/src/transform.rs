@@ -71,6 +71,12 @@ pub fn simplify(f: &Formula) -> Formula {
                 Formula::diamond_geq(*index, *grade, &inner)
             }
         }
+        FormulaKind::Var(_) => f.clone(),
+        // Simplification never introduces binders or moves negations past
+        // a variable (double negations are removed in pairs), so bodies
+        // stay scope-valid and positive in their bound variable.
+        FormulaKind::Mu { var, body } => Formula::mu_unchecked(var.clone(), simplify(body)),
+        FormulaKind::Nu { var, body } => Formula::nu_unchecked(var.clone(), simplify(body)),
     }
 }
 
@@ -148,6 +154,34 @@ fn nnf_signed(f: &Formula, negate: bool) -> Formula {
                 dia
             }
         }
+        FormulaKind::Var(name) => {
+            let var = Formula::var(name);
+            if negate {
+                var.not()
+            } else {
+                var
+            }
+        }
+        // Binders are a stopping point like diamonds: `¬µX.φ ≡ νX.¬φ[¬X/X]`
+        // needs substitution, so the negation stays outside. NNF of a body
+        // positive in its variable is still positive (an even-parity
+        // occurrence is reached with `negate == false`).
+        FormulaKind::Mu { var, body } => {
+            let fix = Formula::mu_unchecked(var.clone(), nnf_signed(body, false));
+            if negate {
+                fix.not()
+            } else {
+                fix
+            }
+        }
+        FormulaKind::Nu { var, body } => {
+            let fix = Formula::nu_unchecked(var.clone(), nnf_signed(body, false));
+            if negate {
+                fix.not()
+            } else {
+                fix
+            }
+        }
     }
 }
 
@@ -159,17 +193,24 @@ pub fn is_nnf(f: &Formula) -> bool {
         FormulaKind::Top | FormulaKind::Bottom | FormulaKind::Prop(_) => true,
         FormulaKind::Not(a) => matches!(
             a.kind(),
-            FormulaKind::Prop(_) | FormulaKind::Diamond { .. }
+            FormulaKind::Prop(_)
+                | FormulaKind::Diamond { .. }
+                | FormulaKind::Var(_)
+                | FormulaKind::Mu { .. }
+                | FormulaKind::Nu { .. }
         ) && is_nnf_inner(a),
         FormulaKind::And(a, b) | FormulaKind::Or(a, b) => is_nnf(a) && is_nnf(b),
         FormulaKind::Diamond { inner, .. } => is_nnf(inner),
+        FormulaKind::Var(_) => true,
+        FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => is_nnf(body),
     }
 }
 
 fn is_nnf_inner(f: &Formula) -> bool {
     match f.kind() {
-        FormulaKind::Prop(_) => true,
+        FormulaKind::Prop(_) | FormulaKind::Var(_) => true,
         FormulaKind::Diamond { inner, .. } => is_nnf(inner),
+        FormulaKind::Mu { body, .. } | FormulaKind::Nu { body, .. } => is_nnf(body),
         _ => false,
     }
 }
@@ -268,6 +309,21 @@ mod tests {
         assert!(!is_nnf(&parse("!(q1 & q2)").unwrap()));
         assert!(!is_nnf(&parse("!true").unwrap()));
         assert!(!is_nnf(&parse("<*,*> !(q1 | q2)").unwrap()));
+    }
+
+    #[test]
+    fn fixpoints_transform_structurally() {
+        // simplify folds inside bodies without disturbing the binder
+        let f = parse("mu X . (q1 & true) | <*,*> X").unwrap();
+        assert_eq!(simplify(&f).to_string(), "(mu X . (q1 | <*,*> X))");
+        // nnf stops at binders and keeps bodies positive
+        let g = parse("!(q1 & nu X . [*,*] X)").unwrap();
+        let n = nnf(&g);
+        assert!(is_nnf(&n), "{n}");
+        assert_eq!(nnf(&n), n);
+        // a negated binder is a literal, like a negated diamond
+        assert!(is_nnf(&parse("!mu X . q1 | <*,*> X").unwrap()));
+        assert!(!is_nnf(&parse("mu X . !!X").unwrap()));
     }
 
     #[test]

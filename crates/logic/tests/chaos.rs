@@ -42,6 +42,17 @@ fn query_formula(depth: usize) -> Formula {
     f.or(&Formula::prop(1)).and(&Formula::prop(0).not())
 }
 
+/// `µX. q1 ∨ ⟨*,*⟩X` — endpoint reachability. On the 96-path the wave
+/// front moves one world per Kleene iteration, so the
+/// `plan-fixpoint-iter` site is hit ~n/2 times per query.
+fn fixpoint_formula() -> Formula {
+    Formula::mu(
+        "X",
+        &Formula::prop(1).or(&Formula::diamond(ModalIndex::Any, &Formula::var("X"))),
+    )
+    .expect("body is positive in X")
+}
+
 /// The query each site is exercised through: a closure running one
 /// complete engine call on a **fresh model** (so lazily built caches
 /// like the CSC/dense reverse stores are rebuilt — and their build
@@ -76,6 +87,20 @@ fn run_plan_dense(ctl: &ExecControl) -> Result<Vec<u64>, LogicError> {
     Ok(truths.iter().flat_map(|b| b.words().iter().copied()).collect())
 }
 
+fn run_fixpoint_seq(ctl: &ExecControl) -> Result<Vec<u64>, LogicError> {
+    let k = chaos_model();
+    let plan = Plan::compile(&k, &fixpoint_formula())?;
+    let (truths, _) = plan.execute_controlled(&k, DiamondMode::Auto, ctl)?;
+    Ok(truths.iter().flat_map(|b| b.words().iter().copied()).collect())
+}
+
+fn run_fixpoint_pool(ctl: &ExecControl) -> Result<Vec<u64>, LogicError> {
+    let k = chaos_model();
+    let plan = Plan::compile(&k, &fixpoint_formula())?;
+    let (truths, _) = plan.execute_forced_parallel_controlled(&k, DiamondMode::Auto, ctl)?;
+    Ok(truths.iter().flat_map(|b| b.words().iter().copied()).collect())
+}
+
 fn run_checker(ctl: &ExecControl) -> Result<Vec<u64>, LogicError> {
     let k = chaos_model();
     let mut checker = ModelChecker::new(&k);
@@ -98,6 +123,8 @@ fn run_refine(ctl: &ExecControl) -> Result<Vec<u64>, LogicError> {
 const MATRIX: &[(&str, Query)] = &[
     ("plan-instr", run_plan_seq as Query),
     ("plan-instr", run_plan_pool as Query),
+    ("plan-fixpoint-iter", run_fixpoint_seq as Query),
+    ("plan-fixpoint-iter", run_fixpoint_pool as Query),
     ("checker-instr", run_checker as Query),
     ("refine-round", run_refine as Query),
     ("csc-build", run_plan_csc as Query),
@@ -205,6 +232,110 @@ fn cancelled_check_commits_nothing_and_retries_like_fresh() {
     // Immediate retry on the same checker is bit-identical to fresh.
     let retry = checker.check(&f).expect("retry").words().to_vec();
     assert_eq!(retry, fresh_bits);
+}
+
+/// Cancel raised from *inside* a fixpoint loop — dozens of iterations
+/// into the second of two fixpoints — must leave the checker cache
+/// whole-or-nothing: the completed first fixpoint may be committed
+/// (as a whole vector), the in-flight one must not be, and a retry on
+/// the SAME checker is bit-identical to a fresh run (a torn cached
+/// vector would be reused and poison the retry).
+#[test]
+fn cancelled_fixpoint_mid_iteration_leaves_cache_whole_or_nothing() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let _g = serial();
+    let k = chaos_model();
+    // Two slow fixpoints: reach = µX.q1∨◇X (≈ n/2 iterations on the
+    // path), then νY.⟨⟩≥2 Y under a negation (the 2-core: one endpoint
+    // world erodes per iteration, ≈ n/2 more). The cancel fires on the
+    // 60th hit of the per-iteration site — after `reach` has converged
+    // and committed, mid-flight inside the second loop.
+    let reach = fixpoint_formula();
+    let core = Formula::nu("Y", &Formula::diamond_geq(ModalIndex::Any, 2, &Formula::var("Y")))
+        .expect("body is positive in Y");
+    let f = reach.and(&core.not());
+    let fresh_bits = ModelChecker::new(&k).check(&f).expect("fresh").words().to_vec();
+
+    let mut checker = ModelChecker::new(&k);
+    let token = CancelToken::new();
+    let t = token.clone();
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = hits.clone();
+    fail::cfg_callback("plan-fixpoint-iter", move || {
+        if h.fetch_add(1, Ordering::Relaxed) + 1 == 60 {
+            t.cancel();
+        }
+    });
+    let err = checker
+        .check_controlled(&f, &ExecControl::with_cancel(token))
+        .expect_err("cancel on iteration 60 must interrupt");
+    assert!(matches!(err, LogicError::Interrupted(_)));
+    fail::teardown();
+    assert!(hits.load(Ordering::Relaxed) >= 60, "site under-hit: not a mid-iteration cancel");
+    // Whole vectors only: whatever was committed, a retry on the same
+    // checker reuses it and still matches fresh bits exactly.
+    let committed = checker.stats().computed;
+    let retry = checker.check(&f).expect("retry").words().to_vec();
+    assert_eq!(retry, fresh_bits, "torn fixpoint cache after mid-iteration cancel");
+    assert!(
+        checker.stats().computed > committed,
+        "retry must recompute the uncommitted suffix"
+    );
+}
+
+/// An already-expired deadline is observed at the fixpoint's own loop
+/// boundary (not just between instructions): the query interrupts with
+/// the typed reason, commits nothing for the in-flight op, and retries
+/// bit-identically.
+#[test]
+fn expired_deadline_interrupts_inside_the_fixpoint_loop() {
+    let _g = serial();
+    let k = chaos_model();
+    let f = fixpoint_formula();
+    let fresh_bits = ModelChecker::new(&k).check(&f).expect("fresh").words().to_vec();
+    let mut checker = ModelChecker::new(&k);
+    let ctl = ExecControl {
+        deadline: Some(portnum_graph::resilience::Deadline::after(std::time::Duration::ZERO)),
+        ..ExecControl::unrestricted()
+    };
+    match checker.check_controlled(&f, &ctl) {
+        Err(LogicError::Interrupted(i)) => {
+            assert_eq!(i.reason, InterruptReason::DeadlineExceeded)
+        }
+        other => panic!("expired deadline must interrupt, got {:?}", other.is_ok()),
+    }
+    assert_eq!(checker.stats().computed, 0, "interrupted fixpoint must publish nothing");
+    let retry = checker.check(&f).expect("retry").words().to_vec();
+    assert_eq!(retry, fresh_bits);
+}
+
+/// A panic injected mid-iteration (40 clean hits first) unwinds out of
+/// the executor without corrupting anything process-global: the pool
+/// still serves and a fresh run of the same query is bit-identical.
+#[test]
+fn fixpoint_panic_mid_iteration_then_bit_identical_retry() {
+    let _g = serial();
+    let baseline = run_fixpoint_seq(&ExecControl::unrestricted()).expect("clean run");
+    fail::cfg("plan-fixpoint-iter", "40*off->1*panic(chaos injection)").unwrap();
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| run_fixpoint_seq(&ExecControl::unrestricted())));
+    match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default();
+            assert!(msg.contains("chaos injection"), "foreign panic {msg:?}");
+        }
+        Ok(r) => panic!("iteration 41 was never reached (got {:?})", r.is_ok()),
+    }
+    fail::teardown();
+    assert_pool_not_wedged();
+    let retry = run_fixpoint_seq(&ExecControl::unrestricted()).expect("retry after panic");
+    assert_eq!(retry, baseline, "retry diverged after mid-iteration panic");
 }
 
 #[test]

@@ -54,6 +54,67 @@ pub fn arb_formula_with(mk: fn(usize, usize) -> ModalIndex) -> impl Strategy<Val
     })
 }
 
+/// Closed µ-calculus fixpoint formulas over the index family drawn by
+/// `mk(in_port, out_port)`.
+///
+/// `open(lo, next, depth)` generates formulas whose variable leaves are
+/// drawn from `{X{lo}, …, X{next-1}}` — the binders in scope whose
+/// occurrence here would be positive. Negation recurses with `lo =
+/// next` (no outer variable may appear under it, keeping positivity),
+/// a binder introduces the globally fresh name `X{next}` (so shadowing
+/// never arises), and every other connective passes the window
+/// through. The root is always a binder, so every draw is a closed
+/// formula containing at least one fixpoint.
+pub fn arb_mu_formula(mk: fn(usize, usize) -> ModalIndex) -> impl Strategy<Value = Formula> {
+    fn open(
+        mk: fn(usize, usize) -> ModalIndex,
+        lo: usize,
+        next: usize,
+        depth: u32,
+    ) -> BoxedStrategy<Formula> {
+        let mut leaves = vec![
+            Just(Formula::top()).boxed(),
+            Just(Formula::bottom()).boxed(),
+            (0usize..=4).prop_map(Formula::prop).boxed(),
+        ];
+        if lo < next {
+            leaves.push((lo..next).prop_map(|i| Formula::var(&format!("X{i}"))).boxed());
+        }
+        let leaf = proptest::Union::new(leaves);
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        prop_oneof![
+            leaf,
+            open(mk, next, next, depth - 1).prop_map(|f| f.not()),
+            (open(mk, lo, next, depth - 1), open(mk, lo, next, depth - 1))
+                .prop_map(|(a, b)| a.and(&b)),
+            (open(mk, lo, next, depth - 1), open(mk, lo, next, depth - 1))
+                .prop_map(|(a, b)| a.or(&b)),
+            (0usize..=3, 0usize..=2, 0usize..=2, open(mk, lo, next, depth - 1))
+                .prop_map(move |(k, i, j, f)| Formula::diamond_geq(mk(i, j), k, &f)),
+            (any::<bool>(), open(mk, lo, next + 1, depth - 1)).prop_map(move |(greatest, body)| {
+                let name = format!("X{next}");
+                if greatest {
+                    Formula::nu(&name, &body).expect("positive by construction")
+                } else {
+                    Formula::mu(&name, &body).expect("positive by construction")
+                }
+            }),
+        ]
+        .boxed()
+    }
+    (any::<bool>(), open(mk, 0, 1, 3)).prop_map(|(greatest, body)| {
+        let f = if greatest {
+            Formula::nu("X0", &body).expect("positive by construction")
+        } else {
+            Formula::mu("X0", &body).expect("positive by construction")
+        };
+        assert!(f.is_closed(), "strategy generated an open formula: {f}");
+        f
+    })
+}
+
 /// All four canonical models of `g` under a seeded random numbering.
 pub fn all_variants(g: &Graph, seed: u64) -> [Kripke; 4] {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -72,6 +133,15 @@ pub fn ungrade(f: &Formula) -> Formula {
         FormulaKind::And(a, b) => ungrade(a).and(&ungrade(b)),
         FormulaKind::Or(a, b) => ungrade(a).or(&ungrade(b)),
         FormulaKind::Diamond { index, inner, .. } => Formula::diamond(*index, &ungrade(inner)),
+        FormulaKind::Var(name) => Formula::var(name),
+        // Ungrading preserves negation structure, so bodies stay positive
+        // and scoped — the checked constructors cannot fail.
+        FormulaKind::Mu { var, body } => {
+            Formula::mu(var, &ungrade(body)).expect("ungrading preserves binder validity")
+        }
+        FormulaKind::Nu { var, body } => {
+            Formula::nu(var, &ungrade(body)).expect("ungrading preserves binder validity")
+        }
     }
 }
 
@@ -88,6 +158,14 @@ pub fn deep_clone(f: &Formula) -> Formula {
         FormulaKind::Or(a, b) => deep_clone(a).or(&deep_clone(b)),
         FormulaKind::Diamond { index, grade, inner } => {
             Formula::diamond_geq(*index, *grade, &deep_clone(inner))
+        }
+        FormulaKind::Var(name) => Formula::var(name),
+        // A structural rebuild cannot invalidate scoping or positivity.
+        FormulaKind::Mu { var, body } => {
+            Formula::mu(var, &deep_clone(body)).expect("rebuild preserves binder validity")
+        }
+        FormulaKind::Nu { var, body } => {
+            Formula::nu(var, &deep_clone(body)).expect("rebuild preserves binder validity")
         }
     }
 }

@@ -57,6 +57,9 @@ fn reference_eval(model: &Kripke, formula: &Formula) -> Vec<bool> {
                 })
                 .collect()
         }
+        FormulaKind::Var(_) | FormulaKind::Mu { .. } | FormulaKind::Nu { .. } => {
+            unreachable!("the shared strategies generate only fixpoint-free formulas")
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 
 mod common;
 
-use common::{all_variants, arb_formula_with, arb_graph, ungrade};
+use common::{all_variants, arb_formula_with, arb_graph, arb_mu_formula, ungrade};
 use portnum_graph::{Graph, PortNumbering};
 use portnum_logic::bisim::{refine, refine_bounded, BisimStyle};
 use portnum_logic::plan::ModelChecker;
@@ -201,6 +201,27 @@ proptest! {
     }
 
     #[test]
+    fn display_parse_identity_with_binders(f in arb_mu_formula(|_i, _j| ModalIndex::Any)) {
+        // µ/ν binders survive the string round-trip the serve protocol
+        // ships formulas through, structurally intact.
+        prop_assert_eq!(parse(&f.to_string()).unwrap(), f);
+    }
+
+    #[test]
+    fn binder_transforms_preserve_extension(
+        g in arb_graph(),
+        f in arb_mu_formula(|_i, _j| ModalIndex::Any),
+    ) {
+        let k = Kripke::k_mm(&g);
+        let s = simplify(&f);
+        prop_assert!(s.size() <= f.size(), "{} grew to {}", f, s);
+        prop_assert_eq!(evaluate(&k, &f).unwrap(), evaluate(&k, &s).unwrap(), "{} vs {}", f, s);
+        let n = nnf(&f);
+        prop_assert!(is_nnf(&n), "nnf({}) = {} not normal", f, n);
+        prop_assert_eq!(evaluate(&k, &f).unwrap(), evaluate(&k, &n).unwrap(), "{} vs {}", f, n);
+    }
+
+    #[test]
     fn simplify_preserves_extension_and_never_grows(g in arb_graph(), f in arb_formula()) {
         let k = Kripke::k_mm(&g);
         let s = simplify(&f);
@@ -235,6 +256,25 @@ proptest! {
         for w in 0..kb.len() {
             prop_assert_eq!(vu[ka.len() + w], vb[w]);
         }
+    }
+}
+
+#[test]
+fn malformed_binders_answer_typed_errors() {
+    // Typed `ParseError` values, never panics — the contract the serve
+    // protocol's `BadFormula` frames rest on.
+    for s in [
+        "X",                      // unbound at top level
+        "q1 | Y",                 // unbound under a connective
+        "mu X . q1 | Y",          // unbound inside a binder body
+        "mu X . mu X . X",        // shadowed binder
+        "nu Y . (q1 & mu Y . Y)", // shadowed across binder kinds
+        "mu X . !X",              // negative occurrence (non-monotone)
+        "mu X",                   // missing dot and body
+        "mu . X",                 // missing variable
+    ] {
+        let err = parse(s).expect_err(&format!("{s:?} must not parse"));
+        assert!(!err.to_string().is_empty());
     }
 }
 

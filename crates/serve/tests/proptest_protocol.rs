@@ -41,8 +41,22 @@ fn arb_variant() -> impl Strategy<Value = ModelVariant> {
     ]
 }
 
+/// Wraps a closed formula in a reachability-shaped binder, picking the
+/// first variable name `f` does not already bind (nesting depth is
+/// bounded well below the candidate list, so one is always fresh).
+fn bind_fixpoint(greatest: bool, index: ModalIndex, f: &Formula) -> Formula {
+    ["X", "Y", "Z", "W", "V"]
+        .iter()
+        .find_map(|name| {
+            let body = f.or(&Formula::diamond(index, &Formula::var(name)));
+            if greatest { Formula::nu(name, &body).ok() } else { Formula::mu(name, &body).ok() }
+        })
+        .expect("some candidate name is fresh")
+}
+
 /// Random formulas over every index family — the protocol ships them
-/// as strings, so the distribution only needs to cover the grammar.
+/// as strings, so the distribution only needs to cover the grammar,
+/// µ/ν binders included.
 fn arb_formula() -> impl Strategy<Value = Formula> {
     let leaf = prop_oneof![
         Just(Formula::top()),
@@ -54,8 +68,10 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
             inner.clone().prop_map(|f| f.not()),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(&b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(&b)),
-            (arb_index(), 0usize..=3, inner)
+            (arb_index(), 0usize..=3, inner.clone())
                 .prop_map(|(index, k, f)| Formula::diamond_geq(index, k, &f)),
+            (any::<bool>(), arb_index(), inner)
+                .prop_map(|(greatest, index, f)| bind_fixpoint(greatest, index, &f)),
         ]
     })
 }
@@ -309,6 +325,53 @@ fn malformed_body_then_ping_keeps_the_connection() {
     match Response::decode(&body).expect("decodable error frame") {
         Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
         other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+
+    write_frame(&mut writer, &Request::Ping.encode()).expect("writing the ping");
+    let body = read_frame(&mut reader).expect("reading").expect("a frame");
+    assert_eq!(Response::decode(&body), Ok(Response::Pong));
+    server.shutdown();
+}
+
+/// Unparseable formula strings inside a well-framed `Check` body — an
+/// unbound variable and a shadowed binder — answer a *typed* protocol
+/// error frame (the decoder's `BadFormula` path), and the connection
+/// keeps serving afterwards. Hand-encoded so the test exercises the
+/// wire shape directly, not `Request::encode` (which cannot produce
+/// these bodies: the `Formula` constructors already reject them).
+#[test]
+fn bad_formula_strings_answer_typed_errors_and_keep_serving() {
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::from_env()
+    })
+    .expect("binding an ephemeral port");
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connecting");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("cloning"));
+    let mut writer = std::io::BufWriter::new(stream);
+
+    for bad in ["X", "mu X . mu X . X", "mu X . !X", "mu X . q1 | Y"] {
+        // Check = opcode 0x04, model id u64 LE, formula count u32 LE,
+        // then each formula as a u32 LE length + UTF-8 bytes.
+        let mut body = vec![0x04u8];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&(bad.len() as u32).to_le_bytes());
+        body.extend_from_slice(bad.as_bytes());
+
+        write_frame(&mut writer, &body).expect("writing the check frame");
+        let reply = read_frame(&mut reader).expect("reading").expect("a frame");
+        match Response::decode(&reply).expect("decodable error frame") {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Protocol, "formula {bad:?}");
+                assert!(
+                    e.message.contains("unparseable formula"),
+                    "want the BadFormula rendering for {bad:?}, got {:?}",
+                    e.message
+                );
+            }
+            other => panic!("expected a protocol error frame for {bad:?}, got {other:?}"),
+        }
     }
 
     write_frame(&mut writer, &Request::Ping.encode()).expect("writing the ping");
